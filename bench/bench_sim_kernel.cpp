@@ -1,0 +1,131 @@
+// Google-benchmark microbenchmarks of the infrastructure the applets run
+// on: simulator settle/cycle throughput vs circuit size, netlister
+// throughput per format, applet build cost, and archive compression.
+// These quantify the "simulating the IP directly on the user's machine"
+// half of the paper's latency argument.
+#include <benchmark/benchmark.h>
+
+#include "core/applet.h"
+#include "core/generators.h"
+#include "core/packaging.h"
+#include "hdl/hwsystem.h"
+#include "modgen/kcm.h"
+#include "netlist/netlist.h"
+#include "sim/simulator.h"
+#include "util/compress.h"
+#include "util/rng.h"
+
+using namespace jhdl;
+
+namespace {
+
+struct KcmRig {
+  HWSystem hw;
+  Wire* m;
+  Wire* p;
+  modgen::VirtexKCMMultiplier* kcm;
+  explicit KcmRig(std::size_t width, bool pipelined = false) {
+    m = new Wire(&hw, width, "m");
+    p = new Wire(&hw, width + 14, "p");
+    kcm = new modgen::VirtexKCMMultiplier(&hw, m, p, false, pipelined, 12345);
+  }
+};
+
+void BM_SimulatorPropagate(benchmark::State& state) {
+  KcmRig rig(static_cast<std::size_t>(state.range(0)));
+  Simulator sim(rig.hw);
+  Rng rng(1);
+  const std::uint64_t mask = (1ull << state.range(0)) - 1;
+  for (auto _ : state) {
+    sim.put(rig.m, rng.next() & mask);
+    benchmark::DoNotOptimize(sim.get(rig.p));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorPropagate)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SimulatorCycle(benchmark::State& state) {
+  KcmRig rig(static_cast<std::size_t>(state.range(0)), /*pipelined=*/true);
+  Simulator sim(rig.hw);
+  Rng rng(1);
+  const std::uint64_t mask = (1ull << state.range(0)) - 1;
+  for (auto _ : state) {
+    sim.put(rig.m, rng.next() & mask);
+    sim.cycle();
+    benchmark::DoNotOptimize(sim.get(rig.p));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorCycle)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GeneratorElaborate(benchmark::State& state) {
+  for (auto _ : state) {
+    KcmRig rig(static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(rig.kcm);
+  }
+}
+BENCHMARK(BM_GeneratorElaborate)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_NetlistEdif(benchmark::State& state) {
+  KcmRig rig(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netlist::write_edif(*rig.kcm));
+  }
+}
+BENCHMARK(BM_NetlistEdif);
+
+void BM_NetlistVhdl(benchmark::State& state) {
+  KcmRig rig(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netlist::write_vhdl(*rig.kcm));
+  }
+}
+BENCHMARK(BM_NetlistVhdl);
+
+void BM_NetlistVerilog(benchmark::State& state) {
+  KcmRig rig(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netlist::write_verilog(*rig.kcm));
+  }
+}
+BENCHMARK(BM_NetlistVerilog);
+
+void BM_NetlistJson(benchmark::State& state) {
+  KcmRig rig(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netlist::write_json(*rig.kcm));
+  }
+}
+BENCHMARK(BM_NetlistJson);
+
+void BM_LzssCompressNetlist(benchmark::State& state) {
+  KcmRig rig(16);
+  std::string edif = netlist::write_edif(*rig.kcm);
+  std::vector<std::uint8_t> data(edif.begin(), edif.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lzss_compress(data));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_LzssCompressNetlist);
+
+void BM_AppletBuildOp(benchmark::State& state) {
+  using namespace jhdl::core;
+  auto gen = std::make_shared<KcmGenerator>();
+  Applet applet = AppletBuilder()
+                      .generator(gen)
+                      .license(LicensePolicy::make("b", LicenseTier::Licensed))
+                      .build_applet();
+  ParamMap params = ParamMap()
+                        .set("input_width", std::int64_t{16})
+                        .set("constant", std::int64_t{12345});
+  for (auto _ : state) {
+    applet.build(params);
+  }
+}
+BENCHMARK(BM_AppletBuildOp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

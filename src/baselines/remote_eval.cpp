@@ -1,0 +1,84 @@
+#include "baselines/remote_eval.h"
+
+#include <chrono>
+
+namespace jhdl::baselines {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+WorkloadResult run_applet_local(core::BlackBoxModel& model,
+                                const std::vector<Vector>& workload) {
+  WorkloadResult result;
+  result.style = "applet-local";
+  auto start = Clock::now();
+  std::vector<core::BlackBoxPort> ports = model.ports();
+  for (const Vector& v : workload) {
+    for (const auto& [name, value] : v.inputs) {
+      model.set_input(name, value);
+    }
+    if (v.cycles > 0) model.cycle(v.cycles);
+    std::map<std::string, BitVector> outputs;
+    for (const core::BlackBoxPort& p : ports) {
+      if (!p.is_input) outputs.emplace(p.name, model.get_output(p.name));
+    }
+    result.outputs.push_back(std::move(outputs));
+    ++result.vectors;
+  }
+  result.wall_seconds = seconds_since(start);
+  result.round_trips = 0;
+  return result;
+}
+
+WorkloadResult run_webcad(net::SimClient& client,
+                          const std::vector<Vector>& workload) {
+  WorkloadResult result;
+  result.style = "webcad-remote-events";
+  const std::size_t before = client.round_trips();
+  // Output port names from the handshake descriptor.
+  std::vector<std::string> outputs;
+  for (const Json& p : client.interface().at("ports").items()) {
+    if (p.at("dir").as_string() == "out") {
+      outputs.push_back(p.at("name").as_string());
+    }
+  }
+  auto start = Clock::now();
+  for (const Vector& v : workload) {
+    for (const auto& [name, value] : v.inputs) {
+      client.set_input(name, value);  // one round trip per event
+    }
+    if (v.cycles > 0) client.cycle(v.cycles);  // one round trip
+    std::map<std::string, BitVector> sampled;
+    for (const std::string& name : outputs) {
+      sampled.emplace(name, client.get_output(name));  // one each
+    }
+    result.outputs.push_back(std::move(sampled));
+    ++result.vectors;
+  }
+  result.wall_seconds = seconds_since(start);
+  result.round_trips = client.round_trips() - before;
+  return result;
+}
+
+WorkloadResult run_javacad(net::SimClient& client,
+                           const std::vector<Vector>& workload) {
+  WorkloadResult result;
+  result.style = "javacad-rmi";
+  const std::size_t before = client.round_trips();
+  auto start = Clock::now();
+  for (const Vector& v : workload) {
+    result.outputs.push_back(client.eval(v.inputs, v.cycles));
+    ++result.vectors;
+  }
+  result.wall_seconds = seconds_since(start);
+  result.round_trips = client.round_trips() - before;
+  return result;
+}
+
+}  // namespace jhdl::baselines

@@ -1,0 +1,62 @@
+// Simulation-delivery baselines from the paper's related work, plus the
+// applet (local) approach, all runnable on the same workload so the
+// benchmarks can reproduce the paper's latency argument (Sections 1.2 and
+// 4.2):
+//
+//   Applet (this paper): the model is downloaded and simulated locally;
+//       zero network traffic per event.
+//   Web-CAD [2]: the model stays at the vendor; every simulation event
+//       (drive input, advance clock, sample output) is a network round
+//       trip.
+//   JavaCAD [1]: remote method invocation; one round trip per evaluated
+//       vector (inputs + cycles + outputs batched into one call).
+//
+// A workload is a stream of input vectors; each vector is applied, the
+// clock advanced, and all outputs sampled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/blackbox.h"
+#include "net/sim_client.h"
+
+namespace jhdl::baselines {
+
+/// One stimulus step: input values by port name, then `cycles` clocks.
+struct Vector {
+  std::map<std::string, BitVector> inputs;
+  std::size_t cycles = 1;
+};
+
+/// Outcome of running a workload through one delivery style.
+struct WorkloadResult {
+  std::string style;
+  std::size_t vectors = 0;
+  std::size_t round_trips = 0;    ///< network round trips used
+  double wall_seconds = 0.0;      ///< measured (loopback) wall time
+  std::vector<std::map<std::string, BitVector>> outputs;  ///< per vector
+
+  /// Wall time this run would take if each round trip paid `rtt_ms` of
+  /// network latency (analytic model; loopback transport cost included
+  /// in wall_seconds).
+  double modeled_seconds(double rtt_ms) const {
+    return wall_seconds + static_cast<double>(round_trips) * rtt_ms / 1000.0;
+  }
+};
+
+/// Applet style: local model, no network.
+WorkloadResult run_applet_local(core::BlackBoxModel& model,
+                                const std::vector<Vector>& workload);
+
+/// Web-CAD style: per-event round trips over `client`.
+WorkloadResult run_webcad(net::SimClient& client,
+                          const std::vector<Vector>& workload);
+
+/// JavaCAD style: one RMI-ish round trip per vector.
+WorkloadResult run_javacad(net::SimClient& client,
+                           const std::vector<Vector>& workload);
+
+}  // namespace jhdl::baselines

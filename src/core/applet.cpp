@@ -1,0 +1,255 @@
+#include "core/applet.h"
+
+#include <sstream>
+
+#include "netlist/netlist.h"
+#include "util/strings.h"
+#include "viewer/hierarchy.h"
+#include "viewer/layout_view.h"
+#include "viewer/memview.h"
+#include "viewer/schematic.h"
+#include "viewer/waveview.h"
+#include "sim/vcd.h"
+
+namespace jhdl::core {
+
+Applet::Applet(AppletSpec spec)
+    : spec_(std::move(spec)), meter_(spec_.netlist_quota) {
+  if (spec_.generator == nullptr) {
+    throw std::invalid_argument("applet needs a module generator");
+  }
+}
+
+void Applet::require(Feature f, const char* operation) const {
+  if (!spec_.license.valid_on(spec_.today)) {
+    audit_.push_back(std::string(operation) + " DENIED (license expired)");
+    throw AppletSecurityError(
+        format("operation '%s' refused: the license of customer '%s' "
+               "expired on day %d (today is day %d)",
+               operation, spec_.license.customer.c_str(),
+               spec_.license.expires_day, spec_.today));
+  }
+  if (!can(f)) {
+    audit_.push_back(std::string(operation) + " DENIED (missing " +
+                     feature_name(f) + ")");
+    throw AppletSecurityError(
+        format("operation '%s' requires feature '%s', which the '%s' "
+               "license of customer '%s' does not grant",
+               operation, feature_name(f),
+               license_tier_name(spec_.license.tier),
+               spec_.license.customer.c_str()));
+  }
+  audit_.push_back(std::string(operation) + " granted");
+}
+
+const BuildResult& Applet::checked_build(const char* operation) const {
+  if (!build_.has_value()) {
+    throw std::logic_error(std::string(operation) +
+                           ": no instance built yet; call build() first");
+  }
+  return *build_;
+}
+
+std::string Applet::describe() const {
+  std::ostringstream os;
+  os << "=== " << spec_.title << " ===\n";
+  os << spec_.generator->description() << "\n";
+  os << "customer: " << spec_.license.customer << " ("
+     << license_tier_name(spec_.license.tier) << ")\n";
+  os << "features: " << features().to_string() << "\n";
+  os << "parameters:\n" << describe_schema(spec_.generator->params());
+  return os.str();
+}
+
+void Applet::build(const ParamMap& params) {
+  require(Feature::ParameterInterface, "build");
+  ParamMap resolved = params.resolved(spec_.generator->params());
+  BuildResult result = spec_.generator->build(resolved);
+
+  if (!spec_.watermark_owner.empty()) {
+    Watermarker marker(spec_.watermark_owner);
+    marker.embed(*result.top, {});
+  }
+  if (spec_.obfuscate) {
+    obfuscate(*result.top, spec_.obfuscation_seed);
+  }
+
+  // Commit: tear down the previous instance (recorder and simulator hold
+  // pointers into it, so they go first).
+  recorder_.reset();
+  sim_.reset();
+  build_ = std::move(result);
+  params_ = std::move(resolved);
+  sim_ = std::make_unique<Simulator>(*build_->system);
+  meter_.record_build();
+}
+
+std::size_t Applet::latency() const {
+  return checked_build("latency").latency;
+}
+
+const ParamMap& Applet::current_params() const {
+  checked_build("current_params");
+  return params_;
+}
+
+estimate::AreaEstimate Applet::area() const {
+  require(Feature::Estimator, "area estimate");
+  return estimate::estimate_area(*checked_build("area").top);
+}
+
+estimate::TimingEstimate Applet::timing() const {
+  require(Feature::Estimator, "timing estimate");
+  return estimate::estimate_timing(*checked_build("timing").top);
+}
+
+std::string Applet::hierarchy() const {
+  require(Feature::StructuralViewer, "hierarchy view");
+  return viewer::hierarchy_tree(*checked_build("hierarchy").top);
+}
+
+std::string Applet::interface_text() const {
+  // Interface visibility is part of the parameter interface: a customer
+  // must at least see the ports to integrate the IP.
+  require(Feature::ParameterInterface, "interface view");
+  return viewer::interface_summary(*checked_build("interface").top);
+}
+
+std::string Applet::schematic_text() const {
+  require(Feature::StructuralViewer, "schematic view");
+  return viewer::text_schematic(*checked_build("schematic").top);
+}
+
+std::string Applet::schematic_svg() const {
+  require(Feature::StructuralViewer, "schematic view");
+  return viewer::svg_schematic(*checked_build("schematic").top);
+}
+
+std::string Applet::memories() const {
+  require(Feature::StructuralViewer, "memory view");
+  return viewer::memory_contents(*checked_build("memories").top);
+}
+
+std::string Applet::layout_text() const {
+  require(Feature::LayoutViewer, "layout view");
+  return viewer::text_layout(*checked_build("layout").top);
+}
+
+std::string Applet::layout_svg() const {
+  require(Feature::LayoutViewer, "layout view");
+  return viewer::svg_layout(*checked_build("layout").top);
+}
+
+Wire* Applet::find_port(const std::map<std::string, Wire*>& map,
+                        const std::string& name, const char* kind) const {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    throw std::out_of_range(format("IP has no %s port named '%s'", kind,
+                                   name.c_str()));
+  }
+  return it->second;
+}
+
+void Applet::sim_put(const std::string& input, std::uint64_t value) {
+  require(Feature::Simulator, "simulation");
+  checked_build("sim_put");
+  sim_->put(find_port(build_->inputs, input, "input"), value);
+}
+
+void Applet::sim_put_signed(const std::string& input, std::int64_t value) {
+  require(Feature::Simulator, "simulation");
+  checked_build("sim_put");
+  sim_->put_signed(find_port(build_->inputs, input, "input"), value);
+}
+
+void Applet::sim_cycle(std::size_t n) {
+  require(Feature::Simulator, "simulation");
+  checked_build("sim_cycle");
+  sim_->cycle(n);
+  meter_.record_simulation_cycles(n);
+}
+
+void Applet::sim_reset() {
+  require(Feature::Simulator, "simulation");
+  checked_build("sim_reset");
+  sim_->reset();
+}
+
+BitVector Applet::sim_get(const std::string& output) {
+  require(Feature::Simulator, "simulation");
+  checked_build("sim_get");
+  return sim_->get(find_port(build_->outputs, output, "output"));
+}
+
+void Applet::watch(const std::string& port) {
+  require(Feature::WaveformViewer, "waveform recording");
+  checked_build("watch");
+  if (recorder_ == nullptr) {
+    recorder_ = std::make_unique<WaveformRecorder>(*sim_);
+  }
+  // Accept both input and output port names.
+  auto in_it = build_->inputs.find(port);
+  Wire* w = in_it != build_->inputs.end()
+                ? in_it->second
+                : find_port(build_->outputs, port, "watchable");
+  recorder_->watch(w, port);
+}
+
+std::string Applet::waves() const {
+  require(Feature::WaveformViewer, "waveform view");
+  if (recorder_ == nullptr) return "(nothing watched)\n";
+  return viewer::text_waves(*recorder_);
+}
+
+std::string Applet::vcd() const {
+  require(Feature::WaveformViewer, "VCD export");
+  if (recorder_ == nullptr) return "";
+  std::ostringstream os;
+  write_vcd(os, *recorder_, spec_.title);
+  return os.str();
+}
+
+std::string Applet::netlist(NetlistFormat fmt) {
+  require(Feature::Netlister, "netlist export");
+  const BuildResult& b = checked_build("netlist");
+  meter_.record_netlist();
+  switch (fmt) {
+    case NetlistFormat::Edif:
+      return netlist::write_edif(*b.top);
+    case NetlistFormat::Vhdl:
+      return netlist::write_vhdl(*b.top);
+    case NetlistFormat::Verilog:
+      return netlist::write_verilog(*b.top);
+    case NetlistFormat::Json:
+      return netlist::write_json(*b.top);
+  }
+  throw std::logic_error("unknown netlist format");
+}
+
+std::unique_ptr<BlackBoxModel> Applet::make_black_box() const {
+  require(Feature::BlackBoxSim, "black-box model");
+  checked_build("make_black_box");
+  // Independent build so the caller cannot alias the applet's instance.
+  BuildResult fresh = spec_.generator->build(params_);
+  if (!spec_.watermark_owner.empty()) {
+    Watermarker marker(spec_.watermark_owner);
+    marker.embed(*fresh.top, {});
+  }
+  return std::make_unique<BlackBoxModel>(std::move(fresh),
+                                         spec_.generator->name());
+}
+
+Packager::Report Applet::download_report() const {
+  Packager packager;
+  return Packager::report(
+      packager.archives_for(features(), spec_.generator.get()));
+}
+
+Applet AppletBuilder::build_applet() {
+  if (spec_.title.empty() && spec_.generator != nullptr) {
+    spec_.title = spec_.generator->name() + " applet";
+  }
+  return Applet(std::move(spec_));
+}
+
+}  // namespace jhdl::core

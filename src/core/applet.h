@@ -1,0 +1,209 @@
+// Applet: a sandboxed IP evaluation & delivery executable - the paper's
+// central artifact. A vendor assembles one with AppletBuilder, choosing
+// the feature set per customer license; every tool invocation is gated at
+// this API boundary, so a delivered applet physically exposes only what
+// the license grants ("IP evaluation and delivery tools may be organized
+// into a single executable on a customer by customer basis", Section 3.2).
+//
+// A typical licensed-customer session (Figure 3):
+//
+//   Applet applet = AppletBuilder()
+//                       .title("KCM Multiplier Evaluation")
+//                       .generator(std::make_shared<KcmGenerator>())
+//                       .license(LicensePolicy::make("acme", LicenseTier::Licensed))
+//                       .build_applet();
+//   applet.build(ParamMap()
+//                    .set("input_width", 8)
+//                    .set("product_width", 12)
+//                    .set("constant", -56)
+//                    .set("signed_mode", true)
+//                    .set("pipelined_mode", true));
+//   auto area = applet.area();
+//   std::string tree = applet.hierarchy();
+//   applet.sim_put("multiplicand", 100);
+//   applet.sim_cycle(applet.latency());
+//   auto product = applet.sim_get("product");
+//   std::string edif = applet.netlist(NetlistFormat::Edif);
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/blackbox.h"
+#include "core/feature.h"
+#include "core/generator.h"
+#include "core/license.h"
+#include "core/packaging.h"
+#include "core/protect.h"
+#include "estimate/area.h"
+#include "estimate/timing.h"
+#include "sim/simulator.h"
+#include "sim/waveform.h"
+
+namespace jhdl::core {
+
+/// Raised when a session invokes a tool its license does not grant.
+class AppletSecurityError : public std::runtime_error {
+ public:
+  explicit AppletSecurityError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Netlist output formats offered by the Netlister feature.
+enum class NetlistFormat { Edif, Vhdl, Verilog, Json };
+
+/// Everything a vendor decides when assembling an applet.
+struct AppletSpec {
+  std::string title;
+  std::shared_ptr<const ModuleGenerator> generator;
+  LicensePolicy license;
+  /// Obfuscate generated circuits before any structural output (names
+  /// become opaque; function preserved).
+  bool obfuscate = false;
+  std::uint64_t obfuscation_seed = 0x1F2E3D4C;
+  /// Embed the vendor watermark into free ROM carriers on build.
+  std::string watermark_owner;  // empty = no watermark
+  /// Netlist exports allowed per session (0 = unlimited).
+  std::size_t netlist_quota = 0;
+  /// The vendor's calendar day stamped into the executable at assembly
+  /// time; gated operations are refused once the license has expired.
+  int today = 0;
+};
+
+/// The sandboxed IP evaluation/delivery executable.
+class Applet {
+ public:
+  explicit Applet(AppletSpec spec);
+
+  // --- metadata (always available) ---
+  const std::string& title() const { return spec_.title; }
+  const LicensePolicy& license() const { return spec_.license; }
+  const FeatureSet& features() const { return spec_.license.features; }
+  bool can(Feature f) const { return features().has(f); }
+  /// Human-readable banner: title, IP description, parameters, features.
+  std::string describe() const;
+
+  // --- parameter interface & build ---
+  /// Elaborate an instance for `params` (validated against the schema).
+  /// Replaces any previous instance. Gated by ParameterInterface.
+  void build(const ParamMap& params);
+  bool built() const { return build_.has_value(); }
+  /// Latency of the built instance in cycles.
+  std::size_t latency() const;
+  const ParamMap& current_params() const;
+
+  // --- estimator ---
+  estimate::AreaEstimate area() const;
+  estimate::TimingEstimate timing() const;
+
+  // --- structural viewer ---
+  std::string hierarchy() const;
+  std::string interface_text() const;
+  std::string schematic_text() const;
+  std::string schematic_svg() const;
+
+  // --- layout viewer ---
+  std::string layout_text() const;
+  std::string layout_svg() const;
+
+  /// Memory contents dump (ROM tables, RAM state) - gated with the
+  /// structural viewer since it reveals the partial-product tables.
+  std::string memories() const;
+
+  // --- simulator (the Cycle / Reset buttons of Figure 3) ---
+  void sim_put(const std::string& input, std::uint64_t value);
+  void sim_put_signed(const std::string& input, std::int64_t value);
+  void sim_cycle(std::size_t n = 1);
+  void sim_reset();
+  BitVector sim_get(const std::string& output);
+
+  // --- waveform viewer ---
+  /// Record a port each cycle from now on.
+  void watch(const std::string& port);
+  std::string waves() const;
+  std::string vcd() const;
+
+  // --- netlister (metered) ---
+  std::string netlist(NetlistFormat format);
+
+  // --- black-box delivery ---
+  /// A fresh, structure-free simulation model of the current instance
+  /// (independent build; the applet keeps its own).
+  std::unique_ptr<BlackBoxModel> make_black_box() const;
+
+  // --- packaging & metering ---
+  /// Download payload (the archives this applet's feature set pulls).
+  Packager::Report download_report() const;
+  const Meter& meter() const { return meter_; }
+
+  /// Audit trail of gated operations ("op granted"/"op DENIED"), for the
+  /// vendor's usage reporting.
+  const std::vector<std::string>& audit_log() const { return audit_; }
+
+ private:
+  void require(Feature f, const char* operation) const;
+  const BuildResult& checked_build(const char* operation) const;
+  Wire* find_port(const std::map<std::string, Wire*>& map,
+                  const std::string& name, const char* kind) const;
+
+  AppletSpec spec_;
+  ParamMap params_;
+  std::optional<BuildResult> build_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<WaveformRecorder> recorder_;
+  Meter meter_;
+  mutable std::vector<std::string> audit_;
+};
+
+/// Fluent vendor-side assembly of applets.
+class AppletBuilder {
+ public:
+  AppletBuilder& title(std::string t) {
+    spec_.title = std::move(t);
+    return *this;
+  }
+  AppletBuilder& generator(std::shared_ptr<const ModuleGenerator> g) {
+    spec_.generator = std::move(g);
+    return *this;
+  }
+  AppletBuilder& license(LicensePolicy policy) {
+    spec_.license = std::move(policy);
+    return *this;
+  }
+  /// Grant or revoke an individual feature on top of the license tier.
+  AppletBuilder& grant(Feature f) {
+    spec_.license.features.add(f);
+    return *this;
+  }
+  AppletBuilder& revoke(Feature f) {
+    spec_.license.features.remove(f);
+    return *this;
+  }
+  AppletBuilder& obfuscated(std::uint64_t seed = 0x1F2E3D4C) {
+    spec_.obfuscate = true;
+    spec_.obfuscation_seed = seed;
+    return *this;
+  }
+  AppletBuilder& watermark(std::string owner) {
+    spec_.watermark_owner = std::move(owner);
+    return *this;
+  }
+  AppletBuilder& netlist_quota(std::size_t quota) {
+    spec_.netlist_quota = quota;
+    return *this;
+  }
+  /// Stamp the assembly day (for license-expiry enforcement).
+  AppletBuilder& assembled_on(int day) {
+    spec_.today = day;
+    return *this;
+  }
+
+  /// Validates the spec (a generator is mandatory) and builds the applet.
+  Applet build_applet();
+
+ private:
+  AppletSpec spec_;
+};
+
+}  // namespace jhdl::core

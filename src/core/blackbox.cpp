@@ -1,0 +1,72 @@
+#include "core/blackbox.h"
+
+#include <stdexcept>
+
+namespace jhdl::core {
+
+BlackBoxModel::BlackBoxModel(BuildResult build, std::string ip_name)
+    : build_(std::move(build)), ip_name_(std::move(ip_name)) {
+  sim_ = std::make_unique<Simulator>(*build_.system);
+}
+
+std::vector<BlackBoxPort> BlackBoxModel::ports() const {
+  std::vector<BlackBoxPort> out;
+  for (const auto& [name, wire] : build_.inputs) {
+    out.push_back(BlackBoxPort{name, wire->width(), true});
+  }
+  for (const auto& [name, wire] : build_.outputs) {
+    out.push_back(BlackBoxPort{name, wire->width(), false});
+  }
+  return out;
+}
+
+Wire* BlackBoxModel::input_wire(const std::string& name) const {
+  auto it = build_.inputs.find(name);
+  if (it == build_.inputs.end()) {
+    throw std::out_of_range("black box has no input '" + name + "'");
+  }
+  return it->second;
+}
+
+Wire* BlackBoxModel::output_wire(const std::string& name) const {
+  auto it = build_.outputs.find(name);
+  if (it == build_.outputs.end()) {
+    throw std::out_of_range("black box has no output '" + name + "'");
+  }
+  return it->second;
+}
+
+void BlackBoxModel::set_input(const std::string& name,
+                              const BitVector& value) {
+  sim_->put(input_wire(name), value);
+}
+
+void BlackBoxModel::set_input(const std::string& name, std::uint64_t value) {
+  sim_->put(input_wire(name), value);
+}
+
+BitVector BlackBoxModel::get_output(const std::string& name) {
+  return sim_->get(output_wire(name));
+}
+
+void BlackBoxModel::cycle(std::size_t n) { sim_->cycle(n); }
+
+void BlackBoxModel::reset() { sim_->reset(); }
+
+Json BlackBoxModel::interface_json() const {
+  Json root = Json::object();
+  root.set("ip", ip_name_);
+  root.set("latency", latency());
+  Json ports_json = Json::array();
+  for (const BlackBoxPort& p : ports()) {
+    Json jp = Json::object();
+    jp.set("name", p.name);
+    jp.set("width", p.width);
+    jp.set("dir", p.is_input ? "in" : "out");
+    ports_json.push(std::move(jp));
+  }
+  root.set("ports", std::move(ports_json));
+  return root;
+}
+
+}  // namespace jhdl::core

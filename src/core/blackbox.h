@@ -1,0 +1,66 @@
+// BlackBoxModel: the paper's black-box simulation model (Section 4.2).
+//
+// Wraps a built circuit and exposes ONLY its port interface and clocked
+// behaviour - no hierarchy, no netlist, no structure. "The applet includes
+// a self-contained simulation model of the intellectual property ...
+// without exposing any proprietary information."
+//
+// The net module serves this object over a socket so a customer's system
+// simulator can co-simulate the IP (Figure 4).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/generator.h"
+#include "sim/simulator.h"
+#include "util/bitvector.h"
+#include "util/json.h"
+
+namespace jhdl::core {
+
+/// One externally visible port of a black-box model.
+struct BlackBoxPort {
+  std::string name;
+  std::size_t width;
+  bool is_input;
+};
+
+/// Value-only simulation facade over a built circuit instance.
+class BlackBoxModel {
+ public:
+  /// Takes ownership of the build. `ip_name` identifies the IP in
+  /// protocol handshakes.
+  BlackBoxModel(BuildResult build, std::string ip_name);
+
+  const std::string& ip_name() const { return ip_name_; }
+  std::vector<BlackBoxPort> ports() const;
+  /// Cycles before outputs reflect inputs (0 = combinational).
+  std::size_t latency() const { return build_.latency; }
+
+  /// Drive an input port. Throws std::out_of_range for unknown names,
+  /// HdlError on width mismatch.
+  void set_input(const std::string& name, const BitVector& value);
+  void set_input(const std::string& name, std::uint64_t value);
+
+  /// Read an output port (settles combinational logic first).
+  BitVector get_output(const std::string& name);
+
+  void cycle(std::size_t n = 1);
+  void reset();
+  std::size_t cycle_count() const { return sim_->cycle_count(); }
+
+  /// Interface descriptor for protocol handshakes: name, latency, ports.
+  Json interface_json() const;
+
+ private:
+  Wire* input_wire(const std::string& name) const;
+  Wire* output_wire(const std::string& name) const;
+
+  BuildResult build_;
+  std::string ip_name_;
+  std::unique_ptr<Simulator> sim_;
+};
+
+}  // namespace jhdl::core

@@ -1,0 +1,100 @@
+#include "core/catalog.h"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace jhdl::core {
+
+void IpCatalog::add(std::shared_ptr<const ModuleGenerator> generator) {
+  if (generator == nullptr) {
+    throw std::invalid_argument("null generator");
+  }
+  if (find(generator->name()) != nullptr) {
+    throw std::invalid_argument("duplicate generator '" + generator->name() +
+                                "'");
+  }
+  entries_.push_back(std::move(generator));
+}
+
+std::shared_ptr<const ModuleGenerator> IpCatalog::find(
+    const std::string& name) const {
+  for (const auto& gen : entries_) {
+    if (gen->name() == name) return gen;
+  }
+  return nullptr;
+}
+
+std::string IpCatalog::listing() const {
+  std::ostringstream os;
+  os << "IP catalog (" << entries_.size() << " modules)\n";
+  for (const auto& gen : entries_) {
+    os << "\n* " << gen->name() << "\n  " << gen->description() << "\n"
+       << describe_schema(gen->params());
+  }
+  return os.str();
+}
+
+Applet IpCatalog::make_applet(const std::string& generator_name,
+                              const LicensePolicy& license) const {
+  auto gen = find(generator_name);
+  if (gen == nullptr) {
+    throw std::out_of_range("catalog has no IP named '" + generator_name +
+                            "'");
+  }
+  return AppletBuilder().generator(gen).license(license).build_applet();
+}
+
+MultiIpApplet::MultiIpApplet(const IpCatalog& catalog,
+                             const LicensePolicy& license,
+                             const std::vector<std::string>& names)
+    : license_(license) {
+  std::vector<std::string> selected = names;
+  if (selected.empty()) {
+    for (const auto& gen : catalog.entries()) {
+      selected.push_back(gen->name());
+    }
+  }
+  for (const std::string& name : selected) {
+    auto gen = catalog.find(name);
+    if (gen == nullptr) {
+      throw std::out_of_range("catalog has no IP named '" + name + "'");
+    }
+    generators_.push_back(gen);
+    applets_.emplace_back(
+        name,
+        AppletBuilder().generator(gen).license(license).build_applet());
+  }
+}
+
+std::vector<std::string> MultiIpApplet::ip_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, applet] : applets_) out.push_back(name);
+  return out;
+}
+
+Applet& MultiIpApplet::select(const std::string& generator_name) {
+  for (auto& [name, applet] : applets_) {
+    if (name == generator_name) return applet;
+  }
+  throw std::out_of_range("bundle has no IP named '" + generator_name + "'");
+}
+
+Packager::Report MultiIpApplet::download_report() const {
+  Packager packager;
+  std::vector<Archive> archives;
+  std::set<std::string> seen;
+  // Shared framework archives once.
+  for (Archive& a :
+       packager.archives_for(license_.features, nullptr)) {
+    if (seen.insert(a.name()).second) archives.push_back(std::move(a));
+  }
+  // One generator-specific archive per bundled IP.
+  for (const auto& gen : generators_) {
+    Archive a = packager.applet_archive(*gen);
+    if (seen.insert(a.name()).second) archives.push_back(std::move(a));
+  }
+  return Packager::report(archives);
+}
+
+}  // namespace jhdl::core

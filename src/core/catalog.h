@@ -1,0 +1,71 @@
+// IP catalog and multi-IP applets - the paper's future work item
+// "developing applets that deliver more than one IP module" (Section 5).
+//
+// An IpCatalog is the vendor's storefront: registered module generators
+// with listings. From it a vendor can assemble either a single-IP Applet
+// or a MultiIpApplet that bundles several IPs behind one license and one
+// download (sharing the Base/Virtex/Viewer archives; one applet archive
+// per IP).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/applet.h"
+
+namespace jhdl::core {
+
+/// The vendor's generator registry.
+class IpCatalog {
+ public:
+  /// Register a generator. Throws std::invalid_argument on duplicates.
+  void add(std::shared_ptr<const ModuleGenerator> generator);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<std::shared_ptr<const ModuleGenerator>>& entries() const {
+    return entries_;
+  }
+
+  /// Find by name; nullptr if absent.
+  std::shared_ptr<const ModuleGenerator> find(const std::string& name) const;
+
+  /// Storefront text: one block per IP with description and parameters.
+  std::string listing() const;
+
+  /// Assemble a single-IP applet for a customer.
+  Applet make_applet(const std::string& generator_name,
+                     const LicensePolicy& license) const;
+
+ private:
+  std::vector<std::shared_ptr<const ModuleGenerator>> entries_;
+};
+
+/// Several IPs delivered in one executable under one license. Each IP
+/// keeps its own instance/simulator state; the sandbox gate is shared.
+class MultiIpApplet {
+ public:
+  /// `names` empty = every IP in the catalog.
+  MultiIpApplet(const IpCatalog& catalog, const LicensePolicy& license,
+                const std::vector<std::string>& names = {});
+
+  std::size_t size() const { return applets_.size(); }
+  std::vector<std::string> ip_names() const;
+
+  /// Access one IP's applet session. Throws std::out_of_range for
+  /// unknown names.
+  Applet& select(const std::string& generator_name);
+
+  /// Combined download payload: shared archives once, one applet archive
+  /// per bundled IP.
+  Packager::Report download_report() const;
+
+  const LicensePolicy& license() const { return license_; }
+
+ private:
+  LicensePolicy license_;
+  std::vector<std::pair<std::string, Applet>> applets_;
+  std::vector<std::shared_ptr<const ModuleGenerator>> generators_;
+};
+
+}  // namespace jhdl::core

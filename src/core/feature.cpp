@@ -1,0 +1,54 @@
+#include "core/feature.h"
+
+namespace jhdl::core {
+
+const char* feature_name(Feature f) {
+  switch (f) {
+    case Feature::ParameterInterface:
+      return "parameter-interface";
+    case Feature::Estimator:
+      return "estimator";
+    case Feature::StructuralViewer:
+      return "structural-viewer";
+    case Feature::LayoutViewer:
+      return "layout-viewer";
+    case Feature::Simulator:
+      return "simulator";
+    case Feature::WaveformViewer:
+      return "waveform-viewer";
+    case Feature::Netlister:
+      return "netlister";
+    case Feature::BlackBoxSim:
+      return "black-box-sim";
+  }
+  return "?";
+}
+
+FeatureSet FeatureSet::all() {
+  return FeatureSet{Feature::ParameterInterface, Feature::Estimator,
+                    Feature::StructuralViewer,  Feature::LayoutViewer,
+                    Feature::Simulator,         Feature::WaveformViewer,
+                    Feature::Netlister,         Feature::BlackBoxSim};
+}
+
+std::vector<Feature> FeatureSet::list() const {
+  std::vector<Feature> out;
+  for (Feature f :
+       {Feature::ParameterInterface, Feature::Estimator,
+        Feature::StructuralViewer, Feature::LayoutViewer, Feature::Simulator,
+        Feature::WaveformViewer, Feature::Netlister, Feature::BlackBoxSim}) {
+    if (has(f)) out.push_back(f);
+  }
+  return out;
+}
+
+std::string FeatureSet::to_string() const {
+  std::string out;
+  for (Feature f : list()) {
+    if (!out.empty()) out += ",";
+    out += feature_name(f);
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+}  // namespace jhdl::core

@@ -1,0 +1,61 @@
+// Applet capability flags - the paper's central idea: "a custom Java
+// executable can be created and delivered that is customized to the needs
+// of both the customer and vendor. By controlling the content and opacity
+// of the IP executable, vendors may determine the features available for
+// evaluation as well as the visibility into the delivered IP" (Section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace jhdl::core {
+
+/// The individually gateable IP-evaluation tools named in the paper.
+enum class Feature : std::uint32_t {
+  ParameterInterface = 1u << 0,  ///< expose parameters & build instances
+  Estimator = 1u << 1,           ///< area / timing estimates
+  StructuralViewer = 1u << 2,    ///< hierarchy browser + schematic
+  LayoutViewer = 1u << 3,        ///< RLOC layout view
+  Simulator = 1u << 4,           ///< interactive simulation
+  WaveformViewer = 1u << 5,      ///< recorded waveforms / VCD export
+  Netlister = 1u << 6,           ///< EDIF / VHDL / Verilog / JSON export
+  BlackBoxSim = 1u << 7,         ///< value-only co-simulation interface
+};
+
+const char* feature_name(Feature f);
+
+/// A set of features; cheap value type.
+class FeatureSet {
+ public:
+  FeatureSet() = default;
+  FeatureSet(std::initializer_list<Feature> features) {
+    for (Feature f : features) add(f);
+  }
+
+  FeatureSet& add(Feature f) {
+    bits_ |= static_cast<std::uint32_t>(f);
+    return *this;
+  }
+  FeatureSet& remove(Feature f) {
+    bits_ &= ~static_cast<std::uint32_t>(f);
+    return *this;
+  }
+  bool has(Feature f) const {
+    return (bits_ & static_cast<std::uint32_t>(f)) != 0;
+  }
+  bool empty() const { return bits_ == 0; }
+  std::uint32_t bits() const { return bits_; }
+
+  /// All features, for the full-visibility configuration.
+  static FeatureSet all();
+
+  std::vector<Feature> list() const;
+  std::string to_string() const;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace jhdl::core

@@ -1,0 +1,45 @@
+// ModuleGenerator: the vendor-side abstraction an applet wraps. A
+// generator knows its parameter schema and can elaborate a fresh circuit
+// instance (its own HWSystem) for a given parameter assignment - the
+// "module generator executables" of Section 3.2.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "hdl/hwsystem.h"
+
+namespace jhdl::core {
+
+/// A freshly elaborated circuit instance. The HWSystem owns everything;
+/// `top` is the IP cell; `inputs`/`outputs` are the externally drivable /
+/// observable wires by logical port name.
+struct BuildResult {
+  std::unique_ptr<HWSystem> system;
+  Cell* top = nullptr;
+  std::map<std::string, Wire*> inputs;
+  std::map<std::string, Wire*> outputs;
+  /// Cycles before outputs reflect inputs (pipelined IP), 0 = comb.
+  std::size_t latency = 0;
+};
+
+/// Interface implemented by every deliverable IP generator.
+class ModuleGenerator {
+ public:
+  virtual ~ModuleGenerator() = default;
+
+  /// Stable identifier, e.g. "kcm-multiplier".
+  virtual std::string name() const = 0;
+  /// One-line marketing description shown by the applet.
+  virtual std::string description() const = 0;
+  /// Parameter schema (validated by ParamMap::resolved).
+  virtual std::vector<ParamSpec> params() const = 0;
+  /// Elaborate an instance. `params` is validated and completed before
+  /// this is called.
+  virtual BuildResult build(const ParamMap& params) const = 0;
+};
+
+}  // namespace jhdl::core

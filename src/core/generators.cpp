@@ -1,0 +1,160 @@
+#include "core/generators.h"
+
+#include "modgen/modgen.h"
+
+namespace jhdl::core {
+
+// --------------------------------------------------------------- KCM
+
+std::vector<ParamSpec> KcmGenerator::params() const {
+  return {
+      {"input_width", ParamSpec::Kind::Int, 1, 32, 8,
+       "multiplicand width in bits"},
+      {"product_width", ParamSpec::Kind::Int, 0, 64, 0,
+       "product width (top bits); 0 = full product"},
+      {"constant", ParamSpec::Kind::Int, -(1 << 30), (1 << 30), 1,
+       "the constant coefficient"},
+      {"signed_mode", ParamSpec::Kind::Bool, 0, 1, 0,
+       "treat the multiplicand as two's complement"},
+      {"pipelined_mode", ParamSpec::Kind::Bool, 0, 1, 0,
+       "insert pipeline registers after ROMs and adder levels"},
+  };
+}
+
+BuildResult KcmGenerator::build(const ParamMap& params) const {
+  const auto width = static_cast<std::size_t>(params.get("input_width"));
+  const auto constant = static_cast<int>(params.get("constant"));
+  const bool sign = params.get("signed_mode") != 0;
+  const bool pipe = params.get("pipelined_mode") != 0;
+  std::size_t pw = static_cast<std::size_t>(params.get("product_width"));
+  const std::size_t full =
+      width + modgen::VirtexKCMMultiplier::width_of_constant(constant);
+  if (pw == 0) pw = full;
+  if (pw > full) {
+    throw ParamError("product_width " + std::to_string(pw) +
+                     " exceeds full product width " + std::to_string(full));
+  }
+
+  BuildResult r;
+  r.system = std::make_unique<HWSystem>("kcm_system");
+  Wire* m = new Wire(r.system.get(), width, "multiplicand");
+  Wire* p = new Wire(r.system.get(), pw, "product");
+  auto* kcm =
+      new modgen::VirtexKCMMultiplier(r.system.get(), m, p, sign, pipe,
+                                      constant);
+  r.top = kcm;
+  r.inputs["multiplicand"] = m;
+  r.outputs["product"] = p;
+  r.latency = kcm->latency();
+  return r;
+}
+
+// ------------------------------------------------------------- adder
+
+std::vector<ParamSpec> AdderGenerator::params() const {
+  return {
+      {"width", ParamSpec::Kind::Int, 1, 64, 16, "operand width in bits"},
+      {"registered", ParamSpec::Kind::Bool, 0, 1, 0,
+       "register the sum output"},
+  };
+}
+
+BuildResult AdderGenerator::build(const ParamMap& params) const {
+  const auto width = static_cast<std::size_t>(params.get("width"));
+  const bool registered = params.get("registered") != 0;
+
+  BuildResult r;
+  r.system = std::make_unique<HWSystem>("adder_system");
+  // Wrap in a composite cell so the netlist boundary is clean.
+  class AdderIp : public Cell {
+   public:
+    AdderIp(Node* parent, Wire* a, Wire* b, Wire* s, bool registered)
+        : Cell(parent, "adder_ip") {
+      set_type_name("adder_ip");
+      port_in("a", a);
+      port_in("b", b);
+      port_out("s", s);
+      if (registered) {
+        Wire* sum = new Wire(this, a->width());
+        new modgen::CarryChainAdder(this, a, b, sum);
+        new modgen::RegisterBank(this, sum, s);
+      } else {
+        new modgen::CarryChainAdder(this, a, b, s);
+      }
+    }
+  };
+  Wire* a = new Wire(r.system.get(), width, "a");
+  Wire* b = new Wire(r.system.get(), width, "b");
+  Wire* s = new Wire(r.system.get(), width, "s");
+  r.top = new AdderIp(r.system.get(), a, b, s, registered);
+  r.inputs["a"] = a;
+  r.inputs["b"] = b;
+  r.outputs["s"] = s;
+  r.latency = registered ? 1 : 0;
+  return r;
+}
+
+// --------------------------------------------------------------- FIR
+
+std::vector<ParamSpec> FirGenerator::params() const {
+  return {
+      {"input_width", ParamSpec::Kind::Int, 2, 24, 8,
+       "input sample width (signed)"},
+      {"c0", ParamSpec::Kind::Int, -32768, 32767, 1, "tap 0 coefficient"},
+      {"c1", ParamSpec::Kind::Int, -32768, 32767, 2, "tap 1 coefficient"},
+      {"c2", ParamSpec::Kind::Int, -32768, 32767, 2, "tap 2 coefficient"},
+      {"c3", ParamSpec::Kind::Int, -32768, 32767, 1, "tap 3 coefficient"},
+      {"pipelined", ParamSpec::Kind::Bool, 0, 1, 0,
+       "pipeline multipliers and adder tree"},
+  };
+}
+
+BuildResult FirGenerator::build(const ParamMap& params) const {
+  const auto width = static_cast<std::size_t>(params.get("input_width"));
+  const bool pipe = params.get("pipelined") != 0;
+  std::vector<int> coeffs = {
+      static_cast<int>(params.get("c0")), static_cast<int>(params.get("c1")),
+      static_cast<int>(params.get("c2")), static_cast<int>(params.get("c3"))};
+
+  BuildResult r;
+  r.system = std::make_unique<HWSystem>("fir_system");
+  const std::size_t yw =
+      modgen::FIRFilter::required_output_width(width, coeffs);
+  Wire* x = new Wire(r.system.get(), width, "x");
+  Wire* y = new Wire(r.system.get(), yw, "y");
+  auto* fir = new modgen::FIRFilter(r.system.get(), x, y, coeffs, pipe);
+  r.top = fir;
+  r.inputs["x"] = x;
+  r.outputs["y"] = y;
+  r.latency = fir->latency();
+  return r;
+}
+
+// --------------------------------------------------------------- DDS
+
+std::vector<ParamSpec> DdsIpGenerator::params() const {
+  return {
+      {"phase_width", ParamSpec::Kind::Int, 9, 32, 16,
+       "phase accumulator width"},
+      {"tuning", ParamSpec::Kind::Int, 1, (1 << 30), 1024,
+       "phase increment per cycle (f_out = f_clk * tuning / 2^width)"},
+  };
+}
+
+BuildResult DdsIpGenerator::build(const ParamMap& params) const {
+  const auto width = static_cast<std::size_t>(params.get("phase_width"));
+  const auto tuning = static_cast<std::uint32_t>(params.get("tuning"));
+  if (width < 32 && tuning >= (std::uint32_t{1} << width)) {
+    throw ParamError("tuning must be < 2^phase_width");
+  }
+
+  BuildResult r;
+  r.system = std::make_unique<HWSystem>("dds_system");
+  Wire* out = new Wire(r.system.get(), 8, "out");
+  r.top = new modgen::DdsGenerator(r.system.get(), out, width, tuning);
+  r.outputs["out"] = out;
+  r.latency = 1;  // synchronous BRAM read
+  return r;
+}
+
+}  // namespace jhdl::core

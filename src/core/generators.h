@@ -1,0 +1,61 @@
+// Stock IP generators offered through applets: the paper's constant
+// coefficient multiplier plus adder and FIR IP for multi-IP scenarios
+// (the "developing applets that deliver more than one IP module" future
+// work, Section 5).
+#pragma once
+
+#include "core/generator.h"
+
+namespace jhdl::core {
+
+/// The paper's running example (Figures 1 and 3): VirtexKCMMultiplier.
+/// Parameters: input_width, product_width (0 = full), constant,
+/// signed_mode, pipelined_mode.
+class KcmGenerator final : public ModuleGenerator {
+ public:
+  std::string name() const override { return "kcm-multiplier"; }
+  std::string description() const override {
+    return "Optimized constant coefficient multiplier for Virtex "
+           "(partial-product LUT tables, preplaced carry-chain adders)";
+  }
+  std::vector<ParamSpec> params() const override;
+  BuildResult build(const ParamMap& params) const override;
+};
+
+/// Carry-chain adder IP. Parameters: width, registered (output register).
+class AdderGenerator final : public ModuleGenerator {
+ public:
+  std::string name() const override { return "carry-adder"; }
+  std::string description() const override {
+    return "Pipelinable carry-chain adder with preplaced slices";
+  }
+  std::vector<ParamSpec> params() const override;
+  BuildResult build(const ParamMap& params) const override;
+};
+
+/// 4-tap FIR filter IP built from KCMs. Parameters: input_width,
+/// c0..c3, pipelined.
+class FirGenerator final : public ModuleGenerator {
+ public:
+  std::string name() const override { return "fir4-filter"; }
+  std::string description() const override {
+    return "4-tap FIR filter assembled from KCM multiplier IP";
+  }
+  std::vector<ParamSpec> params() const override;
+  BuildResult build(const ParamMap& params) const override;
+};
+
+/// Direct digital synthesizer IP (BRAM sine table + phase accumulator).
+/// Parameters: phase_width, tuning.
+class DdsIpGenerator final : public ModuleGenerator {
+ public:
+  std::string name() const override { return "dds-synth"; }
+  std::string description() const override {
+    return "Direct digital synthesizer: block-RAM sine table swept by a "
+           "phase accumulator";
+  }
+  std::vector<ParamSpec> params() const override;
+  BuildResult build(const ParamMap& params) const override;
+};
+
+}  // namespace jhdl::core

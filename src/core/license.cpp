@@ -1,0 +1,46 @@
+#include "core/license.h"
+
+namespace jhdl::core {
+
+const char* license_tier_name(LicenseTier tier) {
+  switch (tier) {
+    case LicenseTier::Anonymous:
+      return "anonymous";
+    case LicenseTier::Evaluation:
+      return "evaluation";
+    case LicenseTier::Licensed:
+      return "licensed";
+  }
+  return "?";
+}
+
+FeatureSet LicensePolicy::features_for(LicenseTier tier) {
+  switch (tier) {
+    case LicenseTier::Anonymous:
+      // Figure 2, left configuration: module generator + estimator only.
+      return {Feature::ParameterInterface, Feature::Estimator};
+    case LicenseTier::Evaluation:
+      // Evaluation adds visibility and black-box simulation but not
+      // netlist delivery.
+      return {Feature::ParameterInterface, Feature::Estimator,
+              Feature::StructuralViewer,  Feature::LayoutViewer,
+              Feature::Simulator,         Feature::WaveformViewer,
+              Feature::BlackBoxSim};
+    case LicenseTier::Licensed:
+      // Figure 2, right configuration: full visibility plus netlisting.
+      return FeatureSet::all();
+  }
+  return {};
+}
+
+LicensePolicy LicensePolicy::make(std::string customer, LicenseTier tier,
+                                  int expires_day) {
+  LicensePolicy p;
+  p.customer = std::move(customer);
+  p.tier = tier;
+  p.features = features_for(tier);
+  p.expires_day = expires_day;
+  return p;
+}
+
+}  // namespace jhdl::core

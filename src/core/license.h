@@ -1,0 +1,44 @@
+// License policy: maps customer tiers to feature sets, reproducing the
+// two configurations of Figure 2 (passive browsing vs licensed customer)
+// plus an anonymous tier. Vendors can also hand-craft arbitrary feature
+// sets per customer.
+#pragma once
+
+#include <string>
+
+#include "core/feature.h"
+
+namespace jhdl::core {
+
+/// Customer tiers used by the stock policies.
+enum class LicenseTier {
+  Anonymous,   ///< marketing page: parameters + estimator only
+  Evaluation,  ///< Figure 2 left + viewers and black-box simulation
+  Licensed,    ///< Figure 2 right: everything, including netlist delivery
+};
+
+const char* license_tier_name(LicenseTier tier);
+
+/// A named license with its feature grant.
+struct LicensePolicy {
+  std::string customer;
+  LicenseTier tier = LicenseTier::Anonymous;
+  FeatureSet features;
+  /// Expiry as a day number in the vendor's calendar (0 = perpetual).
+  /// The applet compares against the day the vendor stamps into it.
+  int expires_day = 0;
+
+  /// True when the license is usable on `day`.
+  bool valid_on(int day) const {
+    return expires_day == 0 || day <= expires_day;
+  }
+
+  /// Stock feature grants per tier.
+  static FeatureSet features_for(LicenseTier tier);
+
+  /// Convenience factory applying the stock grant.
+  static LicensePolicy make(std::string customer, LicenseTier tier,
+                            int expires_day = 0);
+};
+
+}  // namespace jhdl::core

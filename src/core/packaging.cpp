@@ -1,0 +1,224 @@
+#include "core/packaging.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "tech/library.h"
+#include "util/bytestream.h"
+#include "util/compress.h"
+#include "util/crc32.h"
+
+#ifndef JHDLPP_SOURCE_DIR
+#define JHDLPP_SOURCE_DIR ""
+#endif
+
+namespace jhdl::core {
+namespace {
+
+constexpr std::uint32_t kArchiveMagic = 0x4A415231;  // "JAR1"
+
+std::vector<std::string> list_module_files(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cpp") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+void Archive::add(const std::string& entry_name,
+                  std::vector<std::uint8_t> data) {
+  entries_.push_back(ArchiveEntry{entry_name, std::move(data)});
+}
+
+void Archive::add_text(const std::string& entry_name,
+                       const std::string& text) {
+  add(entry_name, std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+std::size_t Archive::raw_size() const {
+  std::size_t total = 0;
+  for (const ArchiveEntry& e : entries_) total += e.data.size();
+  return total;
+}
+
+std::vector<std::uint8_t> Archive::serialize() const {
+  ByteWriter w;
+  w.u32(kArchiveMagic);
+  w.str(name_);
+  w.varint(entries_.size());
+  for (const ArchiveEntry& e : entries_) {
+    w.str(e.name);
+    w.u32(crc32(e.data));
+    w.varint(e.data.size());
+    std::vector<std::uint8_t> packed = lzss_compress(e.data);
+    w.varint(packed.size());
+    w.raw(packed);
+  }
+  return w.take();
+}
+
+std::size_t Archive::compressed_size() const { return serialize().size(); }
+
+Archive Archive::deserialize(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kArchiveMagic) {
+    throw std::runtime_error("archive: bad magic");
+  }
+  Archive archive(r.str());
+  std::size_t n = r.varint();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string entry_name = r.str();
+    std::uint32_t expected_crc = r.u32();
+    std::size_t raw_len = r.varint();
+    std::size_t packed_len = r.varint();
+    std::vector<std::uint8_t> packed = r.raw(packed_len);
+    std::vector<std::uint8_t> data = lzss_decompress(packed);
+    if (data.size() != raw_len || crc32(data) != expected_crc) {
+      throw std::runtime_error("archive: entry '" + entry_name +
+                               "' failed integrity check");
+    }
+    archive.add(entry_name, std::move(data));
+  }
+  return archive;
+}
+
+Packager::Packager(std::string source_root)
+    : source_root_(std::move(source_root)) {}
+
+std::string Packager::default_source_root() { return JHDLPP_SOURCE_DIR; }
+
+Archive Packager::from_sources(
+    const std::string& archive_name,
+    const std::vector<std::string>& module_dirs,
+    const std::vector<std::string>& extra_files) const {
+  Archive archive(archive_name);
+  for (const std::string& module : module_dirs) {
+    const std::string dir = source_root_ + "/src/" + module;
+    for (const std::string& path : list_module_files(dir)) {
+      std::vector<std::uint8_t> data = read_file(path);
+      if (data.empty()) continue;
+      const std::string entry =
+          module + "/" + std::filesystem::path(path).filename().string();
+      archive.add(entry, std::move(data));
+    }
+  }
+  for (const std::string& path : extra_files) {
+    std::vector<std::uint8_t> data =
+        read_file(source_root_ + "/" + path);
+    if (!data.empty()) {
+      archive.add(path, std::move(data));
+    }
+  }
+  return archive;
+}
+
+Archive Packager::base_archive() const {
+  Archive a = from_sources(
+      "JHDLBase", {"util", "hdl", "sim", "netlist", "estimate"},
+      {"src/core/applet.h", "src/core/applet.cpp", "src/core/feature.h",
+       "src/core/feature.cpp", "src/core/license.h", "src/core/license.cpp",
+       "src/core/params.h", "src/core/params.cpp", "src/core/generator.h",
+       "src/core/blackbox.h", "src/core/blackbox.cpp",
+       "src/modgen/wires.h", "src/modgen/wires.cpp", "src/modgen/adder.h",
+       "src/modgen/adder.cpp", "src/modgen/register.h",
+       "src/modgen/register.cpp"});
+  if (a.entries().empty()) {
+    // Source-less fallback: ship the simulator's own catalog description.
+    a.add_text("manifest.txt",
+               "JHDLBase: HDL kernel, cycle simulator, netlisters, "
+               "estimators, applet framework");
+  }
+  return a;
+}
+
+Archive Packager::virtex_archive() const {
+  Archive a = from_sources("Virtex", {"tech"}, {});
+  // The serialized primitive catalog (simulation model tables) always
+  // ships, matching the technology-library role of Virtex.jar.
+  a.add("virtex_catalog.bin", tech::serialize_virtex_library());
+  return a;
+}
+
+Archive Packager::viewer_archive() const {
+  Archive a = from_sources("Viewer", {"viewer"}, {});
+  if (a.entries().empty()) {
+    a.add_text("manifest.txt",
+               "Viewer: schematic, layout and waveform renderers");
+  }
+  return a;
+}
+
+Archive Packager::applet_archive(const ModuleGenerator& generator) const {
+  Archive a(generator.name() + "-applet");
+  // Generator-specific code only (the paper's Applet.jar is the module
+  // generator plus applet glue, 16 kB of 795 kB): the KCM sources and the
+  // applet's parameter schema. Shared module-library code (adders,
+  // registers) ships in JHDLBase like the rest of the framework.
+  for (const std::string& path :
+       {std::string("src/modgen/kcm.h"), std::string("src/modgen/kcm.cpp"),
+        std::string("src/core/generators.h")}) {
+    std::vector<std::uint8_t> data = read_file(source_root_ + "/" + path);
+    if (!data.empty()) {
+      a.add(path, std::move(data));
+    }
+  }
+  a.add_text("schema.txt", describe_schema(generator.params()));
+  a.add_text("description.txt", generator.description());
+  return a;
+}
+
+std::vector<Archive> Packager::archives_for(
+    const FeatureSet& features, const ModuleGenerator* generator) const {
+  std::vector<Archive> out;
+  // Every applet needs the kernel and the technology library.
+  out.push_back(base_archive());
+  out.push_back(virtex_archive());
+  if (features.has(Feature::StructuralViewer) ||
+      features.has(Feature::LayoutViewer) ||
+      features.has(Feature::WaveformViewer)) {
+    out.push_back(viewer_archive());
+  }
+  if (generator != nullptr) {
+    out.push_back(applet_archive(*generator));
+  }
+  return out;
+}
+
+Packager::Report Packager::report(const std::vector<Archive>& archives) {
+  Report rep;
+  for (const Archive& a : archives) {
+    Row row;
+    row.file = a.name() + ".jar";
+    row.entries = a.entries().size();
+    row.raw = a.raw_size();
+    row.compressed = a.compressed_size();
+    rep.rows.push_back(row);
+    rep.total_raw += row.raw;
+    rep.total_compressed += row.compressed;
+  }
+  return rep;
+}
+
+double Packager::download_seconds(std::size_t bytes, double bits_per_second) {
+  return static_cast<double>(bytes) * 8.0 / bits_per_second;
+}
+
+}  // namespace jhdl::core

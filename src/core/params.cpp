@@ -1,0 +1,67 @@
+#include "core/params.h"
+
+#include <sstream>
+
+namespace jhdl::core {
+
+std::int64_t ParamMap::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    throw ParamError("parameter '" + name + "' not set");
+  }
+  return it->second;
+}
+
+ParamMap ParamMap::resolved(const std::vector<ParamSpec>& schema) const {
+  // Reject unknown parameters first: typos must not silently disappear.
+  for (const auto& [name, value] : values_) {
+    bool known = false;
+    for (const ParamSpec& spec : schema) known |= (spec.name == name);
+    if (!known) throw ParamError("unknown parameter '" + name + "'");
+  }
+  ParamMap out;
+  for (const ParamSpec& spec : schema) {
+    std::int64_t v = has(spec.name) ? get(spec.name) : spec.default_value;
+    if (spec.kind == ParamSpec::Kind::Bool) {
+      if (v != 0 && v != 1) {
+        throw ParamError("parameter '" + spec.name + "' must be 0 or 1, got " +
+                         std::to_string(v));
+      }
+    } else if (v < spec.min_value || v > spec.max_value) {
+      throw ParamError("parameter '" + spec.name + "' = " + std::to_string(v) +
+                       " out of range [" + std::to_string(spec.min_value) +
+                       ", " + std::to_string(spec.max_value) + "]");
+    }
+    out.set(spec.name, v);
+  }
+  return out;
+}
+
+std::string ParamMap::summary() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) os << ", ";
+    first = false;
+    os << name << "=" << value;
+  }
+  return os.str();
+}
+
+std::string describe_schema(const std::vector<ParamSpec>& schema) {
+  std::ostringstream os;
+  for (const ParamSpec& spec : schema) {
+    os << "  " << spec.name;
+    if (spec.kind == ParamSpec::Kind::Bool) {
+      os << " (bool, default " << spec.default_value << ")";
+    } else {
+      os << " (int " << spec.min_value << ".." << spec.max_value
+         << ", default " << spec.default_value << ")";
+    }
+    if (!spec.doc.empty()) os << ": " << spec.doc;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace jhdl::core

@@ -1,0 +1,65 @@
+// Parameter schema and values for module generators - the paper's
+// "programmatic circuit generator interface": "IP executables may provide
+// an interface that exposes the parameters and options available to the
+// user of the IP" (Section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace jhdl::core {
+
+/// Raised on invalid parameter names, types, or out-of-range values.
+class ParamError : public std::runtime_error {
+ public:
+  explicit ParamError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Declaration of one generator parameter.
+struct ParamSpec {
+  enum class Kind { Int, Bool };
+  std::string name;
+  Kind kind = Kind::Int;
+  std::int64_t min_value = 0;   ///< ints only
+  std::int64_t max_value = 0;   ///< ints only
+  std::int64_t default_value = 0;  ///< bools: 0/1
+  std::string doc;
+};
+
+/// A set of parameter values keyed by name.
+class ParamMap {
+ public:
+  ParamMap() = default;
+
+  ParamMap& set(const std::string& name, std::int64_t value) {
+    values_[name] = value;
+    return *this;
+  }
+  ParamMap& set(const std::string& name, bool value) {
+    values_[name] = value ? 1 : 0;
+    return *this;
+  }
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+  std::int64_t get(const std::string& name) const;
+  const std::map<std::string, std::int64_t>& values() const { return values_; }
+
+  /// Validate against a schema: unknown names and out-of-range values
+  /// throw ParamError; missing values are filled with defaults. Returns
+  /// the completed map.
+  ParamMap resolved(const std::vector<ParamSpec>& schema) const;
+
+  /// Human-readable "name=value, ..." summary.
+  std::string summary() const;
+
+ private:
+  std::map<std::string, std::int64_t> values_;
+};
+
+/// Render a schema as help text (the GUI of Figure 1, in text form).
+std::string describe_schema(const std::vector<ParamSpec>& schema);
+
+}  // namespace jhdl::core

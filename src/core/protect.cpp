@@ -1,0 +1,153 @@
+#include "core/protect.h"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "hdl/net.h"
+#include "hdl/visitor.h"
+#include "tech/memory.h"
+#include "util/crc32.h"
+#include "util/strings.h"
+
+namespace jhdl::core {
+namespace {
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string opaque_name(const char* prefix, std::uint64_t seed,
+                        std::size_t index) {
+  return format("%s%08llx", prefix,
+                static_cast<unsigned long long>(
+                    splitmix(seed ^ (index * 0x100000001b3ULL)) & 0xFFFFFFFF));
+}
+
+}  // namespace
+
+ObfuscationReport obfuscate(Cell& root, std::uint64_t seed) {
+  ObfuscationReport report;
+
+  // Nets bound to the root's ports keep their names: the interface must
+  // stay usable by the customer.
+  std::set<const Net*> interface_nets;
+  for (const Port& p : root.ports()) {
+    for (Net* n : p.wire->nets()) interface_nets.insert(n);
+  }
+
+  std::size_t index = 0;
+  std::set<Net*> renamed_nets;
+  for_each_cell(root, [&](Cell& cell) {
+    if (&cell != &root) {
+      cell.rename(opaque_name("u", seed, index));
+      ++report.cells_renamed;
+      if (!cell.is_primitive()) {
+        // Library primitive type names are part of the technology library
+        // contract and stay; composite definitions become opaque.
+        cell.retype(opaque_name("t", seed, index + 0x8000));
+      }
+      report.properties_kept += cell.properties().size();
+    }
+    for (Wire* w : cell.wires()) {
+      w->rename(opaque_name("w", seed, index + 0x10000));
+      ++report.wires_renamed;
+      for (Net* n : w->nets()) {
+        if (interface_nets.count(n) > 0) continue;
+        if (renamed_nets.insert(n).second) {
+          n->rename(opaque_name("n", seed,
+                                static_cast<std::size_t>(n->id()) + 0x20000));
+          ++report.nets_renamed;
+        }
+      }
+    }
+    ++index;
+  });
+  return report;
+}
+
+Watermarker::Watermarker(std::string owner_tag)
+    : owner_tag_(std::move(owner_tag)), owner_crc_(crc32(owner_tag_)) {}
+
+std::uint64_t Watermarker::signature_word(std::size_t index) const {
+  return splitmix(static_cast<std::uint64_t>(owner_crc_) * 0x10001 + index);
+}
+
+std::size_t Watermarker::embed(
+    Cell& root, const std::map<std::string, unsigned>& reachable) {
+  std::size_t written = 0;
+  std::size_t carrier_index = 0;
+  for (Primitive* p : collect_primitives(root)) {
+    auto* rom = dynamic_cast<tech::Rom16*>(p);
+    if (rom == nullptr) continue;
+    unsigned first_unused = 16;
+    auto it = reachable.find(rom->full_name());
+    if (it != reachable.end()) {
+      first_unused = it->second;
+    } else if (const std::string* prop = rom->property("UNUSED_ABOVE")) {
+      first_unused = static_cast<unsigned>(std::stoul(*prop));
+    }
+    if (first_unused >= 16) continue;
+    const std::uint64_t mask =
+        rom->num_outputs() >= 64
+            ? ~std::uint64_t{0}
+            : (std::uint64_t{1} << rom->num_outputs()) - 1;
+    for (unsigned a = first_unused; a < 16; ++a) {
+      rom->set_entry(a, signature_word(carrier_index++) & mask);
+      ++written;
+    }
+  }
+  return written;
+}
+
+Watermarker::Extraction Watermarker::extract(
+    Cell& root, const std::map<std::string, unsigned>& reachable) const {
+  Extraction ex;
+  std::size_t carrier_index = 0;
+  for (Primitive* p : collect_primitives(root)) {
+    auto* rom = dynamic_cast<tech::Rom16*>(p);
+    if (rom == nullptr) continue;
+    unsigned first_unused = 16;
+    auto it = reachable.find(rom->full_name());
+    if (it != reachable.end()) {
+      first_unused = it->second;
+    } else if (const std::string* prop = rom->property("UNUSED_ABOVE")) {
+      first_unused = static_cast<unsigned>(std::stoul(*prop));
+    }
+    if (first_unused >= 16) continue;
+    const std::uint64_t mask =
+        rom->num_outputs() >= 64
+            ? ~std::uint64_t{0}
+            : (std::uint64_t{1} << rom->num_outputs()) - 1;
+    for (unsigned a = first_unused; a < 16; ++a) {
+      ++ex.carriers;
+      if (rom->contents()[a] == (signature_word(carrier_index) & mask)) {
+        ++ex.matching;
+      }
+      ++carrier_index;
+    }
+  }
+  return ex;
+}
+
+void Meter::record_netlist() {
+  if (netlist_quota_ > 0 && netlists_ >= netlist_quota_) {
+    throw std::runtime_error(
+        "netlist quota exhausted (" + std::to_string(netlist_quota_) +
+        " exports); contact the vendor for a license upgrade");
+  }
+  ++netlists_;
+}
+
+std::string Meter::report() const {
+  std::ostringstream os;
+  os << "meter: builds=" << builds_ << " sim_cycles=" << sim_cycles_
+     << " netlists=" << netlists_;
+  if (netlist_quota_ > 0) os << "/" << netlist_quota_;
+  return os.str();
+}
+
+}  // namespace jhdl::core

@@ -1,0 +1,89 @@
+// IP protection measures (paper Section 4.3): identifier obfuscation
+// (standing in for Java class-file obfuscation), LUT-table watermarking
+// (ref [7]), and usage metering (ref [6]).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hdl/cell.h"
+
+namespace jhdl::core {
+
+/// Statistics from an obfuscation pass.
+struct ObfuscationReport {
+  std::size_t cells_renamed = 0;
+  std::size_t wires_renamed = 0;
+  std::size_t nets_renamed = 0;
+  std::size_t properties_kept = 0;  ///< functional properties (INIT etc.)
+};
+
+/// Renames every descendant cell, wire and net of `root` (but not root
+/// itself or its port names - the interface stays usable) to opaque
+/// seed-derived identifiers, and replaces composite definition names.
+/// Functional properties (INIT*, VALUE) are preserved; the circuit's
+/// behaviour and netlist connectivity are untouched.
+ObfuscationReport obfuscate(Cell& root, std::uint64_t seed);
+
+/// Watermark embedding into unreachable ROM16 truth-table entries.
+///
+/// A KCM built for a multiplicand whose top digit has fewer than 4 bits
+/// (unsigned mode) never addresses the upper entries of its top-digit ROM;
+/// those entries are free carriers. The watermark is a CRC-chained bit
+/// string derived from `owner_tag`.
+class Watermarker {
+ public:
+  explicit Watermarker(std::string owner_tag);
+
+  /// Embed into every unreachable ROM entry under `root`.
+  /// `reachable_addresses` tells the marker how many low addresses each
+  /// top ROM actually uses; ROMs with 16 reachable entries are skipped.
+  /// Returns the number of carrier entries written.
+  std::size_t embed(Cell& root,
+                    const std::map<std::string, unsigned>& reachable);
+
+  /// Check how many carrier entries still hold the expected watermark.
+  struct Extraction {
+    std::size_t carriers = 0;
+    std::size_t matching = 0;
+    bool verified() const { return carriers > 0 && matching == carriers; }
+  };
+  Extraction extract(Cell& root,
+                     const std::map<std::string, unsigned>& reachable) const;
+
+ private:
+  std::uint64_t signature_word(std::size_t index) const;
+  std::string owner_tag_;
+  std::uint32_t owner_crc_;
+};
+
+/// Usage metering (hardware metering, ref [6], in delivery-executable
+/// form): counts gated operations per customer and enforces quotas.
+class Meter {
+ public:
+  /// quota 0 = unlimited.
+  explicit Meter(std::size_t netlist_quota = 0)
+      : netlist_quota_(netlist_quota) {}
+
+  void record_build() { ++builds_; }
+  void record_simulation_cycles(std::size_t n) { sim_cycles_ += n; }
+  /// Throws std::runtime_error when the quota is exhausted.
+  void record_netlist();
+
+  std::size_t builds() const { return builds_; }
+  std::size_t sim_cycles() const { return sim_cycles_; }
+  std::size_t netlists() const { return netlists_; }
+  std::size_t netlist_quota() const { return netlist_quota_; }
+
+  std::string report() const;
+
+ private:
+  std::size_t netlist_quota_;
+  std::size_t builds_ = 0;
+  std::size_t sim_cycles_ = 0;
+  std::size_t netlists_ = 0;
+};
+
+}  // namespace jhdl::core

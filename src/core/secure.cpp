@@ -1,0 +1,21 @@
+#include "core/secure.h"
+
+namespace jhdl::core {
+
+SecureChannel::SecureChannel(const std::string& license_secret,
+                             const std::string& vendor_salt)
+    : key_(derive_key(license_secret, vendor_salt)) {}
+
+SealedArchive SecureChannel::seal_archive(const Archive& archive,
+                                          std::uint64_t nonce) const {
+  SealedArchive out;
+  out.name = archive.name();
+  out.payload = seal(archive.serialize(), key_, nonce);
+  return out;
+}
+
+Archive SecureChannel::open_archive(const SealedArchive& sealed) const {
+  return Archive::deserialize(open(sealed.payload, key_));
+}
+
+}  // namespace jhdl::core

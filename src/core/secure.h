@@ -1,0 +1,45 @@
+// Secure delivery channel (paper Sections 4.3 and 5): archives are sealed
+// with a per-customer license key before leaving the vendor's server, so
+// only the licensed customer's applet shell can unpack them. Stacks on
+// top of the visibility sandbox - encryption protects the download in
+// transit/at rest; the applet's feature gating controls what a customer
+// can do with the unpacked tools.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/packaging.h"
+#include "util/cipher.h"
+
+namespace jhdl::core {
+
+/// A sealed archive ready for download.
+struct SealedArchive {
+  std::string name;
+  std::vector<std::uint8_t> payload;  ///< nonce || tag || ciphertext
+};
+
+/// Vendor/customer ends of the secure channel, keyed by license secret.
+class SecureChannel {
+ public:
+  /// Keys are derived from the customer's license secret; the salt binds
+  /// the key to this vendor.
+  SecureChannel(const std::string& license_secret,
+                const std::string& vendor_salt = "jhdlpp-ip-delivery");
+
+  /// Seal an archive for download. The nonce must be unique per seal
+  /// (the vendor's download counter).
+  SealedArchive seal_archive(const Archive& archive,
+                             std::uint64_t nonce) const;
+
+  /// Verify, decrypt and deserialize. Throws std::runtime_error on a
+  /// wrong key, tampering, or a corrupt inner archive.
+  Archive open_archive(const SealedArchive& sealed) const;
+
+ private:
+  Speck64::Key key_;
+};
+
+}  // namespace jhdl::core

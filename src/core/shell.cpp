@@ -1,0 +1,184 @@
+#include "core/shell.h"
+
+#include <sstream>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace jhdl::core {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+/// Parse "name=value" into a ParamMap entry (ints; true/false accepted).
+void parse_assignment(ParamMap& params, const std::string& tok) {
+  std::size_t eq = tok.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw ParamError("expected name=value, got '" + tok + "'");
+  }
+  std::string name = tok.substr(0, eq);
+  std::string value = tok.substr(eq + 1);
+  if (value == "true") {
+    params.set(name, true);
+  } else if (value == "false") {
+    params.set(name, false);
+  } else {
+    try {
+      params.set(name, static_cast<std::int64_t>(std::stoll(value)));
+    } catch (const std::exception&) {
+      throw ParamError("bad value in '" + tok + "'");
+    }
+  }
+}
+
+std::int64_t parse_int(const std::string& tok, const char* what) {
+  try {
+    return std::stoll(tok);
+  } catch (const std::exception&) {
+    throw ParamError(std::string("bad ") + what + ": '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+std::string AppletShell::help() {
+  return
+      "commands:\n"
+      "  describe                 show IP, parameters, features\n"
+      "  build name=value ...     elaborate an instance\n"
+      "  params                   show the current instance parameters\n"
+      "  area | timing            estimator\n"
+      "  hierarchy | interface | schematic | layout | memories\n"
+      "  put <port> <int>         drive an input (signed ok)\n"
+      "  get <port>               read an output\n"
+      "  cycle [n] | reset        clock control\n"
+      "  watch <port> | waves     waveform recording\n"
+      "  netlist edif|vhdl|verilog|json\n"
+      "  download | meter | audit\n"
+      "  help\n";
+}
+
+std::string AppletShell::execute(const std::string& line) {
+  std::vector<std::string> tokens = tokenize(line);
+  if (tokens.empty()) return "";
+  const std::string& cmd = tokens[0];
+  try {
+    if (cmd == "help") return help();
+    if (cmd == "describe") return applet_.describe();
+    if (cmd == "build") {
+      ParamMap params;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        parse_assignment(params, tokens[i]);
+      }
+      applet_.build(params);
+      return format("built: %s (latency %zu)\n",
+                    applet_.current_params().summary().c_str(),
+                    applet_.latency());
+    }
+    if (cmd == "params") {
+      return applet_.current_params().summary() + "\n";
+    }
+    if (cmd == "area") {
+      auto a = applet_.area();
+      return format("LUTs %zu  FFs %zu  carries %zu  BRAMs %zu  slices %zu\n",
+                    a.luts, a.ffs, a.carries, a.brams, a.slices);
+    }
+    if (cmd == "timing") {
+      auto t = applet_.timing();
+      return format("critical path %.2f ns (%zu levels), fmax %.1f MHz\n",
+                    t.comb_delay_ns, t.levels, t.fmax_mhz);
+    }
+    if (cmd == "hierarchy") return applet_.hierarchy();
+    if (cmd == "interface") return applet_.interface_text();
+    if (cmd == "schematic") return applet_.schematic_text();
+    if (cmd == "layout") return applet_.layout_text();
+    if (cmd == "memories") return applet_.memories();
+    if (cmd == "put" && tokens.size() == 3) {
+      applet_.sim_put_signed(tokens[1], parse_int(tokens[2], "value"));
+      return "ok\n";
+    }
+    if (cmd == "get" && tokens.size() == 2) {
+      BitVector v = applet_.sim_get(tokens[1]);
+      std::string out = tokens[1] + " = " + v.to_string();
+      if (v.is_fully_defined()) {
+        out += format(" (unsigned %llu, signed %lld)",
+                      static_cast<unsigned long long>(v.to_uint()),
+                      static_cast<long long>(v.to_int()));
+      }
+      return out + "\n";
+    }
+    if (cmd == "cycle") {
+      std::size_t n = tokens.size() > 1
+                          ? static_cast<std::size_t>(
+                                parse_int(tokens[1], "cycle count"))
+                          : 1;
+      applet_.sim_cycle(n);
+      return format("cycled %zu\n", n);
+    }
+    if (cmd == "reset") {
+      applet_.sim_reset();
+      return "reset\n";
+    }
+    if (cmd == "watch" && tokens.size() == 2) {
+      applet_.watch(tokens[1]);
+      return "watching " + tokens[1] + "\n";
+    }
+    if (cmd == "waves") return applet_.waves();
+    if (cmd == "netlist" && tokens.size() == 2) {
+      NetlistFormat fmt;
+      if (tokens[1] == "edif") {
+        fmt = NetlistFormat::Edif;
+      } else if (tokens[1] == "vhdl") {
+        fmt = NetlistFormat::Vhdl;
+      } else if (tokens[1] == "verilog") {
+        fmt = NetlistFormat::Verilog;
+      } else if (tokens[1] == "json") {
+        fmt = NetlistFormat::Json;
+      } else {
+        return "error: unknown netlist format '" + tokens[1] + "'\n";
+      }
+      return applet_.netlist(fmt);
+    }
+    if (cmd == "download") {
+      auto report = applet_.download_report();
+      std::string out;
+      for (const auto& row : report.rows) {
+        out += format("%-28s %8zu B\n", row.file.c_str(), row.compressed);
+      }
+      out += format("total %zu B\n", report.total_compressed);
+      return out;
+    }
+    if (cmd == "meter") return applet_.meter().report() + "\n";
+    if (cmd == "audit") {
+      std::string out;
+      for (const std::string& entry : applet_.audit_log()) {
+        out += entry + "\n";
+      }
+      return out.empty() ? "(empty)\n" : out;
+    }
+    return "error: unknown command '" + cmd + "' (try 'help')\n";
+  } catch (const std::exception& e) {
+    return std::string("error: ") + e.what() + "\n";
+  }
+}
+
+std::string AppletShell::run_script(const std::string& script) {
+  std::istringstream is(script);
+  std::string line;
+  std::string out;
+  while (std::getline(is, line)) {
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (tokenize(line).empty()) continue;
+    out += execute(line);
+  }
+  return out;
+}
+
+}  // namespace jhdl::core

@@ -1,0 +1,43 @@
+// AppletShell: a scriptable command interface over an Applet - the
+// text-mode equivalent of the GUI panes in Figures 1 and 3 (parameter
+// entry, Build/Cycle/Reset/Netlist buttons). Drives exactly the same
+// sandboxed API, so license gating applies identically; errors come back
+// as messages, never exceptions, like a GUI would surface them.
+//
+//   AppletShell shell(applet);
+//   shell.run_script(
+//       "build input_width=8 constant=-56 signed_mode=1\n"
+//       "area\n"
+//       "put multiplicand 100\n"
+//       "cycle\n"
+//       "get product\n"
+//       "netlist edif\n");
+#pragma once
+
+#include <string>
+
+#include "core/applet.h"
+
+namespace jhdl::core {
+
+/// Command interpreter over one applet session.
+class AppletShell {
+ public:
+  explicit AppletShell(Applet& applet) : applet_(applet) {}
+
+  /// Execute one command line; returns the command's output (always
+  /// newline-terminated; errors are reported as "error: ..." text).
+  std::string execute(const std::string& line);
+
+  /// Execute a whole script (newline-separated commands; '#' comments and
+  /// blank lines skipped). Returns the concatenated output.
+  std::string run_script(const std::string& script);
+
+  /// The command reference printed by "help".
+  static std::string help();
+
+ private:
+  Applet& applet_;
+};
+
+}  // namespace jhdl::core

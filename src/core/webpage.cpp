@@ -1,0 +1,100 @@
+#include "core/webpage.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace jhdl::core {
+namespace {
+
+void escape_html(std::ostream& os, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        os << "&lt;";
+        break;
+      case '>':
+        os << "&gt;";
+        break;
+      case '&':
+        os << "&amp;";
+        break;
+      default:
+        os << c;
+    }
+  }
+}
+
+void pre_block(std::ostream& os, const std::string& text) {
+  os << "<pre>";
+  escape_html(os, text);
+  os << "</pre>\n";
+}
+
+}  // namespace
+
+std::string render_applet_page(Applet& applet) {
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html>\n<head><title>";
+  escape_html(os, applet.title());
+  os << "</title></head>\n<body>\n";
+  os << "<h1>";
+  escape_html(os, applet.title());
+  os << "</h1>\n";
+  os << "<p>customer: <b>" << applet.license().customer << "</b> ("
+     << license_tier_name(applet.license().tier) << ")</p>\n";
+
+  os << "<h2>Parameters</h2>\n";
+  pre_block(os, applet.describe());
+
+  auto section = [&](const char* title,
+                     const std::function<std::string()>& body,
+                     bool preformatted) {
+    os << "<h2>" << title << "</h2>\n";
+    try {
+      std::string content = body();
+      if (preformatted) {
+        pre_block(os, content);
+      } else {
+        os << content << "\n";
+      }
+    } catch (const AppletSecurityError&) {
+      os << "<p><i>not licensed</i></p>\n";
+    } catch (const std::logic_error&) {
+      os << "<p><i>build an instance first</i></p>\n";
+    }
+  };
+
+  section("Estimate",
+          [&] {
+            auto area = applet.area();
+            auto timing = applet.timing();
+            return format(
+                "LUTs %zu  FFs %zu  carries %zu  BRAMs %zu  slices %zu\n"
+                "critical path %.2f ns (%zu levels), fmax %.1f MHz",
+                area.luts, area.ffs, area.carries, area.brams, area.slices,
+                timing.comb_delay_ns, timing.levels, timing.fmax_mhz);
+          },
+          true);
+  section("Structure", [&] { return applet.hierarchy(); }, true);
+  section("Schematic", [&] { return applet.schematic_svg(); }, false);
+  section("Layout", [&] { return applet.layout_svg(); }, false);
+  section("Memories", [&] { return applet.memories(); }, true);
+  section("Waveforms", [&] { return applet.waves(); }, true);
+
+  os << "<h2>Download</h2>\n<table border=\"1\">\n"
+     << "<tr><th>archive</th><th>files</th><th>bytes</th></tr>\n";
+  auto report = applet.download_report();
+  for (const auto& row : report.rows) {
+    os << "<tr><td>" << row.file << "</td><td>" << row.entries << "</td><td>"
+       << row.compressed << "</td></tr>\n";
+  }
+  os << "<tr><td><b>total</b></td><td></td><td><b>"
+     << report.total_compressed << "</b></td></tr>\n</table>\n";
+
+  os << "<p><small>" << applet.meter().report() << "</small></p>\n";
+  os << "</body>\n</html>\n";
+  return os.str();
+}
+
+}  // namespace jhdl::core

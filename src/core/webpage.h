@@ -1,0 +1,24 @@
+// Applet web page renderer: the static HTML face of the paper's delivery
+// model ("a potential user may evaluate a given FPGA circuit by accessing
+// a web page and interacting with the applet", Section 1). Renders one
+// evaluation page per applet: title, IP description, the parameter form,
+// the feature palette the license grants, the built instance's estimates
+// and SVG views, and the download manifest.
+//
+// In 2002 the page embedded a JVM <applet> tag; here the executable runs
+// out-of-browser and the page is its self-describing storefront/report.
+#pragma once
+
+#include <string>
+
+#include "core/applet.h"
+
+namespace jhdl::core {
+
+/// Render the applet's evaluation page. Sections gated features would
+/// deny are rendered as "not licensed" notices rather than content,
+/// mirroring the executable's opacity. Requires a built instance for the
+/// estimate/view sections (they are omitted otherwise).
+std::string render_applet_page(Applet& applet);
+
+}  // namespace jhdl::core

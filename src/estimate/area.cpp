@@ -1,0 +1,24 @@
+#include "estimate/area.h"
+
+#include "hdl/visitor.h"
+
+namespace jhdl::estimate {
+
+AreaEstimate estimate_area(const Cell& root) {
+  AreaEstimate est;
+  for (Primitive* p : collect_primitives(const_cast<Cell&>(root))) {
+    Resources r = p->resources();
+    est.luts += static_cast<std::size_t>(r.luts);
+    est.ffs += static_cast<std::size_t>(r.ffs);
+    est.carries += static_cast<std::size_t>(r.carries);
+    est.brams += static_cast<std::size_t>(r.brams);
+    ++est.primitives;
+  }
+  auto per_slice = [](std::size_t n) { return (n + 1) / 2; };
+  est.slices = per_slice(est.luts);
+  if (per_slice(est.ffs) > est.slices) est.slices = per_slice(est.ffs);
+  if (per_slice(est.carries) > est.slices) est.slices = per_slice(est.carries);
+  return est;
+}
+
+}  // namespace jhdl::estimate

@@ -1,0 +1,31 @@
+// Area estimation - the "circuit estimator" component of the paper's IP
+// delivery executables (Figure 2): passive customers get area/size
+// feedback without seeing the circuit structure.
+//
+// Model: Virtex-class slices hold two 4-input LUTs, two flip-flops, and two
+// carry mux/xor pairs. The estimate sums each primitive's resource usage
+// and packs greedily.
+#pragma once
+
+#include <cstddef>
+
+#include "hdl/cell.h"
+
+namespace jhdl::estimate {
+
+/// Aggregate FPGA resource usage of a subtree.
+struct AreaEstimate {
+  std::size_t luts = 0;
+  std::size_t ffs = 0;
+  std::size_t carries = 0;
+  std::size_t brams = 0;
+  std::size_t primitives = 0;
+  /// Packed slice estimate: max over the per-resource slice demands
+  /// (block RAMs live in their own columns and do not consume slices).
+  std::size_t slices = 0;
+};
+
+/// Estimate the area of `root` and everything below it.
+AreaEstimate estimate_area(const Cell& root);
+
+}  // namespace jhdl::estimate

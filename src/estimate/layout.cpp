@@ -1,0 +1,45 @@
+#include "estimate/layout.h"
+
+#include "hdl/visitor.h"
+
+namespace jhdl::estimate {
+
+double LayoutEstimate::density() const {
+  if (!placed) return 0.0;
+  double bbox = static_cast<double>(height()) * width();
+  if (bbox <= 0) return 0.0;
+  return static_cast<double>(occupancy.size()) / bbox;
+}
+
+namespace {
+// True when the cell or any ancestor carries an RLOC attribute.
+bool has_placement(const Cell* c) {
+  for (; c != nullptr; c = c->parent()) {
+    if (c->rloc().has_value()) return true;
+  }
+  return false;
+}
+}  // namespace
+
+LayoutEstimate estimate_layout(const Cell& root) {
+  LayoutEstimate est;
+  for (Primitive* p : collect_primitives(const_cast<Cell&>(root))) {
+    if (!has_placement(p)) continue;
+    RLoc loc = p->absolute_loc();
+    if (!est.placed) {
+      est.placed = true;
+      est.min_row = est.max_row = loc.row;
+      est.min_col = est.max_col = loc.col;
+    } else {
+      est.min_row = std::min(est.min_row, loc.row);
+      est.max_row = std::max(est.max_row, loc.row);
+      est.min_col = std::min(est.min_col, loc.col);
+      est.max_col = std::max(est.max_col, loc.col);
+    }
+    ++est.placed_primitives;
+    ++est.occupancy[{loc.row, loc.col}];
+  }
+  return est;
+}
+
+}  // namespace jhdl::estimate

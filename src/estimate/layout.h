@@ -1,0 +1,35 @@
+// Layout estimation from relative placement (RLOC) attributes: bounding
+// box, occupancy grid, and density. Feeds the paper's "layout view"
+// feature: "users may explore various placement and layout options of a
+// macro without seeing the underlying circuit structure".
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "hdl/cell.h"
+#include "hdl/placement.h"
+
+namespace jhdl::estimate {
+
+/// Placement footprint of a subtree.
+struct LayoutEstimate {
+  bool placed = false;  ///< true when at least one primitive carries an RLOC
+  int min_row = 0, max_row = 0;
+  int min_col = 0, max_col = 0;
+  std::size_t placed_primitives = 0;
+  /// Occupancy: absolute (row,col) -> number of primitives at that slice.
+  std::map<std::pair<int, int>, std::size_t> occupancy;
+
+  int height() const { return placed ? max_row - min_row + 1 : 0; }
+  int width() const { return placed ? max_col - min_col + 1 : 0; }
+  /// Fraction of bounding-box slices occupied (0 when unplaced).
+  double density() const;
+};
+
+/// Compute the layout footprint. Primitives whose RLOC chain is empty are
+/// skipped (they are unplaced and left to the vendor place-and-route).
+LayoutEstimate estimate_layout(const Cell& root);
+
+}  // namespace jhdl::estimate

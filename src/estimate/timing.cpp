@@ -1,0 +1,108 @@
+#include "estimate/timing.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "hdl/error.h"
+#include "hdl/visitor.h"
+#include "tech/timing.h"
+
+namespace jhdl::estimate {
+
+TimingEstimate estimate_timing(const Cell& root) {
+  auto prims = collect_primitives(const_cast<Cell&>(root));
+  std::vector<Primitive*> comb;
+  bool has_seq = false;
+  for (Primitive* p : prims) {
+    if (p->sequential()) has_seq = true;
+    if (p->has_comb_path()) comb.push_back(p);
+  }
+
+  // Topological order via Kahn over the combinational subgraph.
+  std::unordered_map<Primitive*, std::size_t> indegree;
+  for (Primitive* p : comb) indegree[p] = 0;
+  for (Primitive* q : comb) {
+    for (Net* n : q->output_nets()) {
+      for (Primitive* sink : n->sinks()) {
+        auto it = indegree.find(sink);
+        if (it != indegree.end()) ++it->second;
+      }
+    }
+  }
+  std::vector<Primitive*> ready;
+  for (Primitive* p : comb) {
+    if (indegree[p] == 0) ready.push_back(p);
+  }
+  std::vector<Primitive*> order;
+  order.reserve(comb.size());
+  while (!ready.empty()) {
+    Primitive* q = ready.back();
+    ready.pop_back();
+    order.push_back(q);
+    for (Net* n : q->output_nets()) {
+      for (Primitive* sink : n->sinks()) {
+        auto it = indegree.find(sink);
+        if (it != indegree.end() && --it->second == 0) ready.push_back(sink);
+      }
+    }
+  }
+  if (order.size() != comb.size()) {
+    throw HdlError("timing estimate: combinational cycle in subtree");
+  }
+
+  // Longest-path DP: arrival(p) = delay(p) + max over comb predecessors.
+  std::unordered_map<Primitive*, double> arrival;
+  std::unordered_map<Primitive*, Primitive*> pred;
+  TimingEstimate est;
+  Primitive* worst = nullptr;
+  for (Primitive* p : order) {
+    double in_arrival = 0.0;
+    Primitive* best = nullptr;
+    for (Net* n : p->input_nets()) {
+      if (n->driver_kind() == DriverKind::Primitive &&
+          n->driver()->has_comb_path()) {
+        auto it = arrival.find(n->driver());
+        if (it != arrival.end() && it->second > in_arrival) {
+          in_arrival = it->second;
+          best = n->driver();
+        }
+      }
+    }
+    double a = in_arrival + p->resources().delay_ns;
+    arrival[p] = a;
+    pred[p] = best;
+    if (worst == nullptr || a > arrival[worst]) worst = p;
+  }
+
+  if (worst != nullptr) {
+    est.comb_delay_ns = arrival[worst];
+    for (Primitive* p = worst; p != nullptr; p = pred[p]) {
+      est.path.insert(est.path.begin(), p);
+    }
+    est.levels = est.path.size();
+  }
+  est.period_ns = est.comb_delay_ns;
+  if (has_seq) {
+    est.period_ns += tech::timing::kFfClkToQNs + tech::timing::kFfSetupNs;
+  }
+  if (est.period_ns > 0) est.fmax_mhz = 1000.0 / est.period_ns;
+  return est;
+}
+
+std::string timing_report(const TimingEstimate& est) {
+  std::ostringstream os;
+  os << "critical path: " << est.comb_delay_ns << " ns over " << est.levels
+     << " levels";
+  if (est.fmax_mhz > 0) {
+    os << "; period " << est.period_ns << " ns (fmax " << est.fmax_mhz
+       << " MHz)";
+  }
+  os << "\n";
+  for (const Primitive* p : est.path) {
+    os << "  " << p->full_name() << " (" << p->type_name() << ", "
+       << p->resources().delay_ns << " ns)\n";
+  }
+  return os.str();
+}
+
+}  // namespace jhdl::estimate

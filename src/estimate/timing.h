@@ -1,0 +1,35 @@
+// Timing estimation: longest combinational path through the delay-annotated
+// primitive graph, plus a register-to-register clock estimate.
+//
+// Path model: a path starts at an external input or a sequential output and
+// ends at a sequential input or an undriven-sink output. Path delay sums
+// each combinational primitive's pin-to-pin delay; the clock period adds
+// flip-flop clock-to-q and setup.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hdl/cell.h"
+#include "hdl/primitive.h"
+
+namespace jhdl::estimate {
+
+/// Result of a critical-path analysis.
+struct TimingEstimate {
+  double comb_delay_ns = 0.0;   ///< worst combinational path
+  std::size_t levels = 0;       ///< primitives on the worst path
+  double period_ns = 0.0;       ///< comb + clk-to-q + setup
+  double fmax_mhz = 0.0;        ///< 1000 / period
+  std::vector<const Primitive*> path;  ///< worst path, source to sink
+};
+
+/// Estimate the critical path of `root`. Throws HdlError when the subtree
+/// contains a combinational cycle (no static critical path exists).
+TimingEstimate estimate_timing(const Cell& root);
+
+/// Render the critical path as a human-readable report.
+std::string timing_report(const TimingEstimate& est);
+
+}  // namespace jhdl::estimate

@@ -1,0 +1,150 @@
+#include "hdl/cell.h"
+
+#include <algorithm>
+
+#include "hdl/error.h"
+#include "hdl/hwsystem.h"
+
+namespace jhdl {
+
+const char* port_dir_name(PortDir dir) {
+  switch (dir) {
+    case PortDir::In:
+      return "in";
+    case PortDir::Out:
+      return "out";
+    case PortDir::InOut:
+      return "inout";
+  }
+  return "?";
+}
+
+Cell::Cell(Cell* parent, std::string name) {
+  if (parent == nullptr) {
+    throw HdlError("Cell '" + name +
+                   "' must have a parent (only HWSystem roots the tree)");
+  }
+  parent_ = parent;
+  name_ = parent->unique_child_name(name.empty() ? "cell" : name);
+  parent->children_.push_back(this);
+}
+
+Cell::Cell(std::string name) : name_(std::move(name)) {}
+
+Cell::~Cell() {
+  destroying_ = true;
+  // Delete owned wires and children. Reverse order so later-constructed
+  // nodes (which may reference earlier ones) go first.
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    delete *it;
+  }
+  children_.clear();
+  for (auto it = wires_.rbegin(); it != wires_.rend(); ++it) {
+    delete *it;
+  }
+  wires_.clear();
+  // If we are being destroyed while the parent lives on (exception during
+  // construction, or explicit removal), unregister from the parent.
+  if (parent_ != nullptr && !parent_->destroying_) {
+    parent_->remove_child(this);
+  }
+}
+
+void Cell::remove_child(Cell* child) {
+  auto it = std::find(children_.begin(), children_.end(), child);
+  if (it != children_.end()) children_.erase(it);
+}
+
+std::string Cell::full_name() const {
+  if (parent_ == nullptr) return name_;
+  return parent_->full_name() + "/" + name_;
+}
+
+HWSystem* Cell::system() const {
+  const Cell* c = this;
+  while (c->parent_ != nullptr) c = c->parent_;
+  auto* sys = dynamic_cast<const HWSystem*>(c);
+  if (sys == nullptr) {
+    throw HdlError("cell '" + full_name() + "' is not rooted in an HWSystem");
+  }
+  return const_cast<HWSystem*>(sys);
+}
+
+const Port* Cell::find_port(const std::string& name) const {
+  for (const Port& p : ports_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+void Cell::set_property(const std::string& key, const std::string& value) {
+  properties_[key] = value;
+}
+
+const std::string* Cell::property(const std::string& key) const {
+  auto it = properties_.find(key);
+  return it == properties_.end() ? nullptr : &it->second;
+}
+
+RLoc Cell::absolute_loc() const {
+  RLoc loc;
+  for (const Cell* c = this; c != nullptr; c = c->parent_) {
+    if (c->rloc_) {
+      loc.row += c->rloc_->row;
+      loc.col += c->rloc_->col;
+    }
+  }
+  return loc;
+}
+
+Wire* Cell::adopt_wire(Wire* wire) {
+  wires_.push_back(wire);
+  return wire;
+}
+
+void Cell::port_in(const std::string& name, Wire* wire) {
+  add_port(name, PortDir::In, wire);
+}
+
+void Cell::port_out(const std::string& name, Wire* wire) {
+  add_port(name, PortDir::Out, wire);
+}
+
+void Cell::port_inout(const std::string& name, Wire* wire) {
+  add_port(name, PortDir::InOut, wire);
+}
+
+void Cell::add_port(const std::string& name, PortDir dir, Wire* wire) {
+  if (wire == nullptr) {
+    throw HdlError("null wire bound to port '" + name + "' of " + full_name());
+  }
+  if (find_port(name) != nullptr) {
+    throw HdlError("duplicate port '" + name + "' on " + full_name());
+  }
+  ports_.push_back(Port{name, dir, wire});
+}
+
+void Cell::rename(const std::string& new_name) {
+  if (parent_ == nullptr) {
+    name_ = new_name;
+    return;
+  }
+  name_ = "";  // free the current name during uniquification
+  name_ = parent_->unique_child_name(new_name.empty() ? "cell" : new_name);
+}
+
+std::string Cell::unique_child_name(const std::string& base) const {
+  auto taken = [&](const std::string& n) {
+    for (const Cell* c : children_) {
+      if (c->name_ == n) return true;
+    }
+    return false;
+  };
+  if (!taken(base)) return base;
+  for (int i = 1;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (!taken(candidate)) return candidate;
+  }
+}
+
+}  // namespace jhdl

@@ -1,0 +1,149 @@
+// Cell: a node in the circuit hierarchy, mirroring JHDL's Cell/Logic class.
+//
+// Circuits are described structurally by writing C++ classes whose
+// constructors instance sub-cells and wires, exactly as the paper's Java
+// listings do:
+//
+//   class FullAdder : public jhdl::Cell {
+//    public:
+//     FullAdder(Cell* parent, Wire* a, Wire* b, Wire* ci, Wire* s, Wire* co)
+//         : Cell(parent, "fulladder") {
+//       port_in("a", a); ... port_out("co", co);
+//       Wire* t1 = new Wire(this, 1);
+//       ...
+//       new tech::And2(this, a, b, t1);
+//       new tech::Or3(this, t1, t2, t3, co);
+//       new tech::Xor3(this, a, b, ci, s);
+//     }
+//   };
+//
+// Ownership model (JHDL-style self-registration): constructing a Cell or a
+// Wire with a parent/owner transfers ownership to that parent - the tree
+// owns its nodes and deletes them from the root down. Never delete cells or
+// wires manually; destroying the HWSystem destroys everything. The pattern
+// is exception-safe: if a constructor throws after the base Cell subobject
+// registered with the parent, the base destructor unregisters it during
+// unwinding.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hdl/placement.h"
+#include "hdl/wire.h"
+
+namespace jhdl {
+
+class HWSystem;
+class Net;
+
+/// Port direction as seen from inside the cell.
+enum class PortDir { In, Out, InOut };
+
+const char* port_dir_name(PortDir dir);
+
+/// A formal port of a cell: a name, direction and the wire bound to it.
+/// JHDL passes wires straight through the hierarchy; the port list records
+/// the boundary crossing so netlisters can emit hierarchical interfaces.
+struct Port {
+  std::string name;
+  PortDir dir;
+  Wire* wire;
+};
+
+/// Base class for all hierarchy nodes (JHDL calls this Cell / Logic;
+/// the paper's listings use `Node parent` - see the Node alias below).
+class Cell {
+ public:
+  /// Construct as a child of `parent` (must be non-null; only HWSystem
+  /// roots the tree). The parent takes ownership. If `name` collides with
+  /// a sibling, a numeric suffix is appended.
+  Cell(Cell* parent, std::string name);
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+  virtual ~Cell();
+
+  // --- identity & hierarchy ---
+  const std::string& name() const { return name_; }
+  /// Slash-separated path from the root, e.g. "system/mult/ppgen0".
+  std::string full_name() const;
+  Cell* parent() const { return parent_; }
+  /// Walks to the root; throws HdlError if the root is not an HWSystem.
+  HWSystem* system() const;
+  const std::vector<Cell*>& children() const { return children_; }
+
+  /// True for leaf library primitives (gates, LUTs, flip-flops).
+  virtual bool is_primitive() const { return false; }
+
+  /// Cell-definition name used by netlisters. Instances that share a
+  /// definition name are assumed structurally identical; the default ""
+  /// makes every instance its own definition.
+  const std::string& type_name() const { return type_name_; }
+
+  // --- ports ---
+  const std::vector<Port>& ports() const { return ports_; }
+  /// Find a port by name; nullptr if absent.
+  const Port* find_port(const std::string& name) const;
+
+  // --- properties (string key/value metadata, e.g. netlist attributes) ---
+  void set_property(const std::string& key, const std::string& value);
+  /// nullptr when the property is not set.
+  const std::string* property(const std::string& key) const;
+  const std::map<std::string, std::string>& properties() const {
+    return properties_;
+  }
+
+  // --- relative placement ---
+  void set_rloc(RLoc rloc) { rloc_ = rloc; }
+  const std::optional<RLoc>& rloc() const { return rloc_; }
+  /// Sum of RLOCs from the root to this cell (cells without RLOC contribute
+  /// nothing).
+  RLoc absolute_loc() const;
+
+  // --- bookkeeping used by Wire construction (not for end users) ---
+  Wire* adopt_wire(Wire* wire);
+  const std::vector<Wire*>& wires() const { return wires_; }
+
+  /// Rename this cell (tooling hook used by the obfuscator). The name is
+  /// uniquified against siblings like at construction.
+  void rename(const std::string& new_name);
+  /// Replace the netlist definition name (obfuscator hook).
+  void retype(std::string new_type) { type_name_ = std::move(new_type); }
+
+ protected:
+  /// Root constructor, used only by HWSystem.
+  explicit Cell(std::string name);
+
+  /// Declare formal ports. Call in the subclass constructor, once per port.
+  /// Throws HdlError on duplicate names or null wires.
+  void port_in(const std::string& name, Wire* wire);
+  void port_out(const std::string& name, Wire* wire);
+  void port_inout(const std::string& name, Wire* wire);
+
+  /// Set the netlist definition name (e.g. "fulladder", "kcm_8x8_c56").
+  void set_type_name(std::string type) { type_name_ = std::move(type); }
+
+ private:
+  void add_port(const std::string& name, PortDir dir, Wire* wire);
+  std::string unique_child_name(const std::string& base) const;
+  void remove_child(Cell* child);
+
+  Cell* parent_ = nullptr;
+  std::string name_;
+  std::string type_name_;
+  std::vector<Cell*> children_;  // owned; deleted in ~Cell
+  std::vector<Wire*> wires_;     // owned; deleted in ~Cell
+  std::vector<Port> ports_;
+  std::map<std::string, std::string> properties_;
+  std::optional<RLoc> rloc_;
+  bool destroying_ = false;
+};
+
+/// The paper's listings take `Node parent`; JHDL's Node is the hierarchy
+/// base class. In this library Cell plays that role directly.
+using Node = Cell;
+
+}  // namespace jhdl

@@ -1,0 +1,23 @@
+// Exception types for circuit construction and elaboration errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace jhdl {
+
+/// Raised on structural errors: double-driven nets, width mismatches,
+/// duplicate port names, invalid hierarchy operations.
+class HdlError : public std::runtime_error {
+ public:
+  explicit HdlError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised by the simulator: combinational loops that do not settle,
+/// simulation of unelaborated systems, etc.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace jhdl

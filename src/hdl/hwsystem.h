@@ -1,0 +1,37 @@
+// HWSystem: the root of a circuit hierarchy and the arena that owns all
+// Nets, mirroring JHDL's HWSystem.
+//
+// Typical use:
+//
+//   jhdl::HWSystem hw;
+//   Wire* a = new Wire(&hw, 1, "a");
+//   ...
+//   auto* design = new FullAdder(&hw, a, b, ci, s, co);
+//   jhdl::Simulator sim(hw);
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hdl/cell.h"
+#include "hdl/net.h"
+
+namespace jhdl {
+
+/// Root node of a circuit; owns the flat Net arena.
+class HWSystem : public Cell {
+ public:
+  explicit HWSystem(std::string name = "system") : Cell(std::move(name)) {}
+
+  /// Allocate a fresh net. Called by Wire construction.
+  Net* new_net(const std::string& name);
+
+  std::size_t net_count() const { return nets_.size(); }
+  const std::vector<std::unique_ptr<Net>>& nets() const { return nets_; }
+
+ private:
+  std::vector<std::unique_ptr<Net>> nets_;
+};
+
+}  // namespace jhdl

@@ -1,0 +1,65 @@
+// Net: a single-bit electrical node.
+//
+// Wires (the user-facing, possibly multi-bit objects) are views over Nets.
+// Each Net has at most one driver - either the output pin of a primitive or
+// an external source (testbench / top-level input). All Nets are owned by
+// the HWSystem arena; Cells and Wires reference them by pointer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logic.h"
+
+namespace jhdl {
+
+class Primitive;
+
+/// Who drives a net.
+enum class DriverKind : std::uint8_t {
+  None,      ///< undriven (floating); simulates as X until driven
+  Primitive,  ///< driven by a primitive output pin
+  External,  ///< driven by the testbench / simulator put()
+};
+
+/// A single-bit node in the flattened circuit graph.
+///
+/// Invariant: at most one driver. The HWSystem enforces this when primitives
+/// bind output pins.
+class Net {
+ public:
+  Net(std::uint32_t id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  std::uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  /// Rename the net (obfuscator tooling hook).
+  void rename(std::string new_name) { name_ = std::move(new_name); }
+
+  DriverKind driver_kind() const { return driver_kind_; }
+  Primitive* driver() const { return driver_; }
+  int driver_pin() const { return driver_pin_; }
+
+  /// Primitives whose inputs read this net.
+  const std::vector<Primitive*>& sinks() const { return sinks_; }
+
+  /// Current simulation value.
+  Logic4 value() const { return value_; }
+  void set_value(Logic4 v) { value_ = v; }
+
+  // --- wiring (called by Primitive/Simulator, not by end users) ---
+  void bind_driver(Primitive* p, int pin);
+  void bind_external();
+  void add_sink(Primitive* p) { sinks_.push_back(p); }
+
+ private:
+  std::uint32_t id_;
+  std::string name_;
+  DriverKind driver_kind_ = DriverKind::None;
+  Primitive* driver_ = nullptr;
+  int driver_pin_ = -1;
+  std::vector<Primitive*> sinks_;
+  Logic4 value_ = Logic4::X;
+};
+
+}  // namespace jhdl

@@ -1,0 +1,19 @@
+// Relative placement (RLOC) attributes, mirroring the Xilinx relative
+// location constraints JHDL module generators attach to improve timing.
+//
+// A cell's RLOC is an offset (row, col) in slice coordinates relative to its
+// parent. Absolute positions are computed by summing the chain of RLOCs up
+// to the root; cells without an RLOC anchor at their parent's origin.
+#pragma once
+
+namespace jhdl {
+
+/// Relative location in slice grid coordinates.
+struct RLoc {
+  int row = 0;
+  int col = 0;
+
+  bool operator==(const RLoc&) const = default;
+};
+
+}  // namespace jhdl

@@ -1,0 +1,55 @@
+#include "hdl/primitive.h"
+
+#include "hdl/error.h"
+
+namespace jhdl {
+
+void Net::bind_driver(Primitive* p, int pin) {
+  if (driver_kind_ != DriverKind::None) {
+    throw HdlError("net '" + name_ + "' already driven; cannot add driver " +
+                   p->full_name());
+  }
+  driver_kind_ = DriverKind::Primitive;
+  driver_ = p;
+  driver_pin_ = pin;
+}
+
+void Net::bind_external() {
+  if (driver_kind_ == DriverKind::Primitive) {
+    throw HdlError("net '" + name_ +
+                   "' is driven by a primitive; cannot drive externally");
+  }
+  driver_kind_ = DriverKind::External;
+}
+
+void Primitive::in(const std::string& name, Wire* wire) {
+  if (wire == nullptr) {
+    throw HdlError("null wire on input pin '" + name + "' of " + full_name());
+  }
+  port_in(name, wire);
+  for (std::size_t i = 0; i < wire->width(); ++i) {
+    Net* n = wire->net(i);
+    std::string pin_name =
+        wire->width() == 1 ? name : name + "[" + std::to_string(i) + "]";
+    pins_.push_back(Pin{pin_name, PortDir::In, n});
+    inputs_.push_back(n);
+    n->add_sink(this);
+  }
+}
+
+void Primitive::out(const std::string& name, Wire* wire) {
+  if (wire == nullptr) {
+    throw HdlError("null wire on output pin '" + name + "' of " + full_name());
+  }
+  port_out(name, wire);
+  for (std::size_t i = 0; i < wire->width(); ++i) {
+    Net* n = wire->net(i);
+    std::string pin_name =
+        wire->width() == 1 ? name : name + "[" + std::to_string(i) + "]";
+    pins_.push_back(Pin{pin_name, PortDir::Out, n});
+    n->bind_driver(this, static_cast<int>(outputs_.size()));
+    outputs_.push_back(n);
+  }
+}
+
+}  // namespace jhdl

@@ -1,0 +1,102 @@
+// Primitive: a leaf library cell with simulation behaviour and resource
+// models. Technology libraries (src/tech) subclass this, exactly as JHDL's
+// technology libraries provide and2/or3/fdce/... leaf cells.
+//
+// A primitive's constructor declares its pins with in()/out(). Input pins
+// register the primitive as a sink on each net; output pins claim the net's
+// single driver slot (double-driving throws HdlError).
+//
+// Simulation contract:
+//  - Combinational primitives override propagate(), reading inputs with
+//    iv() and writing outputs with ov(). The simulator calls propagate() in
+//    levelized order.
+//  - Sequential primitives return true from sequential() and override
+//    pre_clock() (sample inputs into internal state) and post_clock()
+//    (drive outputs from that state). The two-phase protocol makes the
+//    result independent of evaluation order, like real flip-flops.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hdl/cell.h"
+#include "hdl/net.h"
+#include "util/logic.h"
+
+namespace jhdl {
+
+/// Per-primitive FPGA resource and timing model (Virtex-class numbers).
+struct Resources {
+  int luts = 0;      ///< 4-input LUTs consumed
+  int ffs = 0;       ///< flip-flops consumed
+  int carries = 0;   ///< carry-chain mux/xor pairs consumed
+  int brams = 0;     ///< block RAMs consumed
+  double delay_ns = 0.0;  ///< worst pin-to-pin (comb) or clk-to-q (seq) delay
+};
+
+/// A named single-bit pin bound to a net.
+struct Pin {
+  std::string name;
+  PortDir dir;
+  Net* net;
+};
+
+/// Base class of all leaf library cells.
+class Primitive : public Cell {
+ public:
+  Primitive(Cell* parent, std::string name) : Cell(parent, std::move(name)) {}
+
+  bool is_primitive() const final { return true; }
+
+  /// Combinational evaluation; default does nothing.
+  virtual void propagate() {}
+
+  /// True for clocked primitives.
+  virtual bool sequential() const { return false; }
+
+  /// True when some output depends combinationally on an input, so the
+  /// simulator must call propagate() during settling. Combinational
+  /// primitives always do; sequential ones usually do not (flip-flop
+  /// outputs change only on clock edges), but e.g. distributed RAM with an
+  /// asynchronous read port overrides this to true.
+  virtual bool has_comb_path() const { return !sequential(); }
+  /// Phase 1 of a clock edge: sample inputs into internal state.
+  virtual void pre_clock() {}
+  /// Phase 2 of a clock edge: drive outputs from sampled state.
+  virtual void post_clock() {}
+
+  /// Reset internal state to power-on values and drive outputs accordingly.
+  /// Default is a no-op for combinational primitives.
+  virtual void reset() {}
+
+  /// Area/timing model for the estimator.
+  virtual Resources resources() const { return {}; }
+
+  /// Flattened single-bit pins in declaration order (netlister interface).
+  const std::vector<Pin>& pins() const { return pins_; }
+
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  const std::vector<Net*>& input_nets() const { return inputs_; }
+  const std::vector<Net*>& output_nets() const { return outputs_; }
+
+ protected:
+  /// Declare an input pin group bound to `wire` (one pin per bit; pins are
+  /// named "name" for 1-bit wires, "name[i]" otherwise). Also records a
+  /// cell port so viewers/netlisters see a uniform interface.
+  void in(const std::string& name, Wire* wire);
+  /// Declare an output pin group; claims the driver slot of each net.
+  void out(const std::string& name, Wire* wire);
+
+  /// Value of the i-th declared input bit.
+  Logic4 iv(std::size_t i) const { return inputs_[i]->value(); }
+  /// Drive the i-th declared output bit.
+  void ov(std::size_t i, Logic4 v) { outputs_[i]->set_value(v); }
+
+ private:
+  std::vector<Pin> pins_;
+  std::vector<Net*> inputs_;
+  std::vector<Net*> outputs_;
+};
+
+}  // namespace jhdl

@@ -1,0 +1,40 @@
+#include "hdl/visitor.h"
+
+namespace jhdl {
+
+void for_each_cell(Cell& root, const std::function<void(Cell&)>& fn) {
+  fn(root);
+  for (Cell* child : root.children()) {
+    for_each_cell(*child, fn);
+  }
+}
+
+std::vector<Primitive*> collect_primitives(Cell& root) {
+  std::vector<Primitive*> prims;
+  for_each_cell(root, [&](Cell& c) {
+    if (c.is_primitive()) {
+      prims.push_back(static_cast<Primitive*>(&c));
+    }
+  });
+  return prims;
+}
+
+namespace {
+void stats_walk(Cell& c, std::size_t depth, HierarchyStats& s) {
+  ++s.cells;
+  if (c.is_primitive()) ++s.primitives;
+  s.wires += c.wires().size();
+  if (depth > s.max_depth) s.max_depth = depth;
+  for (Cell* child : c.children()) {
+    stats_walk(*child, depth + 1, s);
+  }
+}
+}  // namespace
+
+HierarchyStats hierarchy_stats(Cell& root) {
+  HierarchyStats s;
+  stats_walk(root, 0, s);
+  return s;
+}
+
+}  // namespace jhdl

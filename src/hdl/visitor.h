@@ -1,0 +1,32 @@
+// Hierarchy traversal helpers - the "open API to the circuit structure"
+// the paper highlights (Section 2): application-specific tools (viewers,
+// netlisters, estimators, obfuscators) are all built on these.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "hdl/cell.h"
+#include "hdl/primitive.h"
+
+namespace jhdl {
+
+/// Pre-order depth-first visit of `root` and every descendant cell.
+void for_each_cell(Cell& root, const std::function<void(Cell&)>& fn);
+
+/// All primitive leaves under `root` (including `root` itself if it is one),
+/// in deterministic construction order.
+std::vector<Primitive*> collect_primitives(Cell& root);
+
+/// Aggregate structural statistics of a subtree.
+struct HierarchyStats {
+  std::size_t cells = 0;       ///< total cells including primitives
+  std::size_t primitives = 0;  ///< leaf library cells
+  std::size_t wires = 0;       ///< wire objects (views included)
+  std::size_t max_depth = 0;   ///< deepest nesting level (root = 0)
+};
+
+HierarchyStats hierarchy_stats(Cell& root);
+
+}  // namespace jhdl

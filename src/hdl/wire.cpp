@@ -1,0 +1,70 @@
+#include "hdl/wire.h"
+
+#include "hdl/cell.h"
+#include "hdl/error.h"
+#include "hdl/hwsystem.h"
+
+namespace jhdl {
+
+Wire::Wire(Cell* owner, std::size_t width, std::string name) {
+  if (owner == nullptr) throw HdlError("Wire must have an owning cell");
+  if (width == 0) throw HdlError("Wire width must be >= 1");
+  owner_ = owner;
+  HWSystem* sys = owner->system();
+  if (name.empty()) {
+    name = "w" + std::to_string(sys->net_count());
+  }
+  name_ = name;
+  nets_.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    std::string net_name =
+        width == 1 ? name : name + "[" + std::to_string(i) + "]";
+    nets_.push_back(sys->new_net(net_name));
+  }
+  owner->adopt_wire(this);
+}
+
+Wire::Wire(Cell* owner, std::vector<Net*> nets, std::string name)
+    : owner_(owner), name_(std::move(name)), nets_(std::move(nets)) {
+  owner->adopt_wire(this);
+}
+
+Net* Wire::net(std::size_t bit) const {
+  if (bit >= nets_.size()) {
+    throw HdlError("bit " + std::to_string(bit) + " out of range on wire '" +
+                   name_ + "' (width " + std::to_string(nets_.size()) + ")");
+  }
+  return nets_[bit];
+}
+
+Wire* Wire::gw(std::size_t i) { return range(i, i); }
+
+Wire* Wire::range(std::size_t hi, std::size_t lo) {
+  if (hi < lo || hi >= nets_.size()) {
+    throw HdlError("bad range [" + std::to_string(hi) + ":" +
+                   std::to_string(lo) + "] on wire '" + name_ + "' (width " +
+                   std::to_string(nets_.size()) + ")");
+  }
+  std::vector<Net*> view(nets_.begin() + static_cast<std::ptrdiff_t>(lo),
+                         nets_.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
+  std::string view_name = name_ + "[" + std::to_string(hi) + ":" +
+                          std::to_string(lo) + "]";
+  return new Wire(owner_, std::move(view), std::move(view_name));
+}
+
+Wire* Wire::concat(Wire* low) {
+  if (low == nullptr) throw HdlError("concat with null wire");
+  std::vector<Net*> view = low->nets_;
+  view.insert(view.end(), nets_.begin(), nets_.end());
+  return new Wire(owner_, std::move(view), "{" + name_ + "," + low->name_ + "}");
+}
+
+BitVector Wire::value() const {
+  BitVector v(nets_.size());
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    v.set(i, nets_[i]->value());
+  }
+  return v;
+}
+
+}  // namespace jhdl

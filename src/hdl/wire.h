@@ -1,0 +1,79 @@
+// Wire: the user-facing signal object, mirroring JHDL's Wire class.
+//
+// A Wire is an ordered list of Nets (bit 0 = LSB). Wires are constructed
+// with an owning Cell, exactly as in JHDL:
+//
+//   Wire* t1 = new Wire(this, 1);          // fresh 1-bit wire
+//   Wire* bus = new Wire(this, 8, "data"); // named 8-bit wire
+//
+// The constructor transfers ownership to the owning cell (JHDL-style
+// self-registration); do not delete Wires manually.
+//
+// Bit-selects, ranges, and concatenations produce new Wire views sharing
+// the same underlying Nets:
+//
+//   Wire* b3 = bus->gw(3);          // single-bit view of bit 3
+//   Wire* lo = bus->range(3, 0);    // bits 3..0
+//   Wire* cat = hi->concat(lo);     // hi in MSBs, lo in LSBs
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hdl/net.h"
+#include "util/bitvector.h"
+
+namespace jhdl {
+
+class Cell;
+
+/// Multi-bit signal; a view over one Net per bit.
+class Wire {
+ public:
+  /// Create a `width`-bit wire with fresh nets, owned by `owner`.
+  /// An empty name gets an auto-generated one ("w<id>").
+  Wire(Cell* owner, std::size_t width, std::string name = "");
+
+  Wire(const Wire&) = delete;
+  Wire& operator=(const Wire&) = delete;
+
+  const std::string& name() const { return name_; }
+  Cell* owner() const { return owner_; }
+
+  /// Rename the wire (tooling hook used by the obfuscator). Does not
+  /// rename the underlying nets.
+  void rename(std::string new_name) { name_ = std::move(new_name); }
+  std::size_t width() const { return nets_.size(); }
+
+  Net* net(std::size_t bit) const;
+  const std::vector<Net*>& nets() const { return nets_; }
+
+  /// Single-bit view of bit `i` ("get wire", JHDL's gw()).
+  Wire* gw(std::size_t i);
+
+  /// View of bits [lo, hi] inclusive, hi >= lo.
+  Wire* range(std::size_t hi, std::size_t lo);
+
+  /// Concatenation view: *this supplies the MSBs, `low` the LSBs.
+  Wire* concat(Wire* low);
+
+  /// Current simulation value of all bits.
+  BitVector value() const;
+
+  /// Convenience: value as unsigned integer (throws if any bit is X/Z).
+  std::uint64_t uvalue() const { return value().to_uint(); }
+  /// Convenience: value as signed integer (throws if any bit is X/Z).
+  std::int64_t svalue() const { return value().to_int(); }
+
+ private:
+  friend class Cell;
+  // View constructor: shares nets, used by gw/range/concat.
+  Wire(Cell* owner, std::vector<Net*> nets, std::string name);
+
+  Cell* owner_;
+  std::string name_;
+  std::vector<Net*> nets_;
+};
+
+}  // namespace jhdl

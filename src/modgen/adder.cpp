@@ -1,0 +1,104 @@
+#include "modgen/adder.h"
+
+#include "hdl/error.h"
+#include "modgen/wires.h"
+#include "tech/carry.h"
+#include "tech/constants.h"
+#include "tech/gates.h"
+
+namespace jhdl::modgen {
+namespace {
+void check_widths(const Cell& c, Wire* a, Wire* b, Wire* s) {
+  if (a->width() != b->width() || a->width() != s->width()) {
+    throw HdlError("adder width mismatch in " + c.full_name());
+  }
+  if (a->width() == 0) throw HdlError("adder width must be >= 1");
+}
+}  // namespace
+
+CarryChainAdder::CarryChainAdder(Node* parent, Wire* a, Wire* b, Wire* s,
+                                 Wire* cin, Wire* cout)
+    : Cell(parent, "add" + std::to_string(a->width())) {
+  check_widths(*this, a, b, s);
+  set_type_name("add" + std::to_string(a->width()));
+  port_in("a", a);
+  port_in("b", b);
+  port_out("s", s);
+  if (cin != nullptr) port_in("cin", cin);
+  if (cout != nullptr) port_out("cout", cout);
+
+  Wire* carry = cin != nullptr ? cin : constant_wire(this, 1, 0);
+  const std::size_t n = a->width();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Half-sum LUT drives both the sum xor and the carry-select input.
+    Wire* p = new Wire(this, 1);
+    auto* lut = new tech::Xor2(this, a->gw(i), b->gw(i), p);
+    auto* sum = new tech::XorCY(this, p, carry, s->gw(i));
+    // Two bits per slice, stacked vertically.
+    lut->set_rloc({static_cast<int>(i / 2), 0});
+    sum->set_rloc({static_cast<int>(i / 2), 0});
+    const bool last = (i + 1 == n);
+    Wire* next = last && cout != nullptr ? cout
+               : last                    ? nullptr
+                                         : new Wire(this, 1);
+    if (next != nullptr) {
+      auto* mux = new tech::MuxCY(this, a->gw(i), carry, p, next);
+      mux->set_rloc({static_cast<int>(i / 2), 0});
+      carry = next;
+    }
+  }
+}
+
+namespace {
+/// One gate-level full adder: s = a^b^ci, co = ab + aci + bci.
+void full_adder(Cell* parent, Wire* a, Wire* b, Wire* ci, Wire* s, Wire* co) {
+  Wire* t1 = new Wire(parent, 1);
+  Wire* t2 = new Wire(parent, 1);
+  Wire* t3 = new Wire(parent, 1);
+  new tech::And2(parent, a, b, t1);
+  new tech::And2(parent, a, ci, t2);
+  new tech::And2(parent, b, ci, t3);
+  new tech::Or3(parent, t1, t2, t3, co);
+  new tech::Xor3(parent, a, b, ci, s);
+}
+}  // namespace
+
+RippleAdder::RippleAdder(Node* parent, Wire* a, Wire* b, Wire* s, Wire* cin,
+                         Wire* cout)
+    : Cell(parent, "radd" + std::to_string(a->width())) {
+  check_widths(*this, a, b, s);
+  set_type_name("radd" + std::to_string(a->width()));
+  port_in("a", a);
+  port_in("b", b);
+  port_out("s", s);
+  if (cin != nullptr) port_in("cin", cin);
+  if (cout != nullptr) port_out("cout", cout);
+
+  Wire* carry = cin != nullptr ? cin : constant_wire(this, 1, 0);
+  const std::size_t n = a->width();
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool last = (i + 1 == n);
+    Wire* next = last && cout != nullptr ? cout : new Wire(this, 1);
+    full_adder(this, a->gw(i), b->gw(i), carry, s->gw(i), next);
+    carry = next;
+  }
+}
+
+Subtractor::Subtractor(Node* parent, Wire* a, Wire* b, Wire* s)
+    : Cell(parent, "sub" + std::to_string(a->width())) {
+  check_widths(*this, a, b, s);
+  set_type_name("sub" + std::to_string(a->width()));
+  port_in("a", a);
+  port_in("b", b);
+  port_out("s", s);
+
+  // a - b = a + ~b + 1.
+  Wire* nb = new Wire(this, b->width());
+  for (std::size_t i = 0; i < b->width(); ++i) {
+    new tech::Inv(this, b->gw(i), nb->gw(i));
+  }
+  Wire* one = constant_wire(this, 1, 1);
+  new CarryChainAdder(this, a, nb, s, one, nullptr);
+}
+
+}  // namespace jhdl::modgen

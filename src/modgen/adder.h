@@ -1,0 +1,38 @@
+// Adder / subtractor module generators.
+//
+// CarryChainAdder is the Virtex-idiomatic form the JHDL module library
+// uses: one LUT per bit computes the half-sum (a XOR b), the dedicated
+// carry chain (MUXCY) propagates the carry, and XORCY forms the sum.
+// Relative placement stacks two bits per slice in a vertical column.
+//
+// RippleAdder is a carry-chain-free baseline built from discrete full
+// adders (gates only), used by the ablation benchmarks.
+#pragma once
+
+#include "hdl/cell.h"
+
+namespace jhdl::modgen {
+
+/// s = a + b (+ cin). Widths of a, b and s must match; cout is optional.
+class CarryChainAdder : public Cell {
+ public:
+  /// `cin`/`cout` may be null (carry-in 0 / carry-out unused).
+  CarryChainAdder(Node* parent, Wire* a, Wire* b, Wire* s,
+                  Wire* cin = nullptr, Wire* cout = nullptr);
+};
+
+/// Same function built from discrete gates (2 LUT-mapped gates deep per
+/// bit, no carry chain). Baseline for the carry-chain ablation.
+class RippleAdder : public Cell {
+ public:
+  RippleAdder(Node* parent, Wire* a, Wire* b, Wire* s, Wire* cin = nullptr,
+              Wire* cout = nullptr);
+};
+
+/// s = a - b, two's complement (carry chain with inverted b, carry-in 1).
+class Subtractor : public Cell {
+ public:
+  Subtractor(Node* parent, Wire* a, Wire* b, Wire* s);
+};
+
+}  // namespace jhdl::modgen

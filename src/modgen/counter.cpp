@@ -1,0 +1,90 @@
+#include "modgen/counter.h"
+
+#include <vector>
+
+#include "hdl/error.h"
+#include "modgen/adder.h"
+#include "modgen/register.h"
+#include "modgen/wires.h"
+#include "tech/gates.h"
+
+namespace jhdl::modgen {
+
+Counter::Counter(Node* parent, Wire* q, Wire* ce, Wire* clr)
+    : Cell(parent, "count" + std::to_string(q->width())) {
+  set_type_name("count" + std::to_string(q->width()));
+  port_out("q", q);
+  if (ce != nullptr) port_in("ce", ce);
+  if (clr != nullptr) port_in("clr", clr);
+
+  Wire* next = new Wire(this, q->width());
+  Wire* one = constant_wire(this, q->width(), 1);
+  new CarryChainAdder(this, q, one, next);
+  new RegisterBank(this, next, q, ce, clr);
+}
+
+EqComparator::EqComparator(Node* parent, Wire* a, Wire* b, Wire* eq)
+    : Cell(parent, "eq" + std::to_string(a->width())) {
+  if (a->width() != b->width() || eq->width() != 1) {
+    throw HdlError("comparator width mismatch in " + full_name());
+  }
+  set_type_name("eq" + std::to_string(a->width()));
+  port_in("a", a);
+  port_in("b", b);
+  port_out("eq", eq);
+
+  // Per-bit XNOR, then an AND reduction tree (4-ary to match LUT4s).
+  std::vector<Wire*> terms;
+  for (std::size_t i = 0; i < a->width(); ++i) {
+    Wire* x = new Wire(this, 1);
+    Wire* nx = new Wire(this, 1);
+    new tech::Xor2(this, a->gw(i), b->gw(i), x);
+    new tech::Inv(this, x, nx);
+    terms.push_back(nx);
+  }
+  while (terms.size() > 1) {
+    std::vector<Wire*> next_terms;
+    std::size_t i = 0;
+    while (i < terms.size()) {
+      std::size_t take = std::min<std::size_t>(4, terms.size() - i);
+      if (take == 1) {
+        next_terms.push_back(terms[i]);
+        ++i;
+        continue;
+      }
+      Wire* o = new Wire(this, 1);
+      switch (take) {
+        case 2:
+          new tech::And2(this, terms[i], terms[i + 1], o);
+          break;
+        case 3:
+          new tech::And3(this, terms[i], terms[i + 1], terms[i + 2], o);
+          break;
+        default:
+          new tech::And4(this, terms[i], terms[i + 1], terms[i + 2],
+                         terms[i + 3], o);
+          break;
+      }
+      next_terms.push_back(o);
+      i += take;
+    }
+    terms = std::move(next_terms);
+  }
+  new tech::Buf(this, terms[0], eq);
+}
+
+ConstComparator::ConstComparator(Node* parent, Wire* a, std::uint64_t constant,
+                                 Wire* eq)
+    : Cell(parent, "eqc" + std::to_string(a->width())) {
+  if (eq->width() != 1) {
+    throw HdlError("comparator output must be 1 bit in " + full_name());
+  }
+  set_type_name("eqc" + std::to_string(a->width()));
+  port_in("a", a);
+  port_out("eq", eq);
+
+  Wire* cref = constant_wire(this, a->width(), constant);
+  new EqComparator(this, a, cref, eq);
+}
+
+}  // namespace jhdl::modgen

@@ -1,0 +1,29 @@
+// Counter and comparator module generators.
+#pragma once
+
+#include <cstdint>
+
+#include "hdl/cell.h"
+
+namespace jhdl::modgen {
+
+/// Free-running binary up-counter: q increments every enabled cycle,
+/// wrapping at 2^width. Optional ce and synchronous clear.
+class Counter : public Cell {
+ public:
+  Counter(Node* parent, Wire* q, Wire* ce = nullptr, Wire* clr = nullptr);
+};
+
+/// eq = (a == b), one xor per bit plus an AND reduction tree.
+class EqComparator : public Cell {
+ public:
+  EqComparator(Node* parent, Wire* a, Wire* b, Wire* eq);
+};
+
+/// eq = (a == constant), LUT-friendly: inverters fold into the reduction.
+class ConstComparator : public Cell {
+ public:
+  ConstComparator(Node* parent, Wire* a, std::uint64_t constant, Wire* eq);
+};
+
+}  // namespace jhdl::modgen

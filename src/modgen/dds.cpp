@@ -1,0 +1,71 @@
+#include "modgen/dds.h"
+
+#include <cmath>
+
+#include "hdl/error.h"
+#include "modgen/adder.h"
+#include "modgen/register.h"
+#include "modgen/wires.h"
+#include "tech/bram.h"
+#include "tech/constants.h"
+#include "util/strings.h"
+
+namespace jhdl::modgen {
+
+std::vector<std::uint8_t> DdsGenerator::sine_table() {
+  std::vector<std::uint8_t> table(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    double angle = 2.0 * 3.14159265358979323846 * static_cast<double>(i) / 512.0;
+    double s = std::sin(angle);
+    // Offset binary: 0 -> 0x80, full scale +/-127.
+    table[i] = static_cast<std::uint8_t>(
+        std::lround(128.0 + 127.0 * s) & 0xFF);
+  }
+  return table;
+}
+
+DdsGenerator::DdsGenerator(Node* parent, Wire* out, std::size_t phase_width,
+                           std::uint32_t tuning, Wire* ce)
+    : Cell(parent, format("dds%zu", phase_width)),
+      phase_width_(phase_width),
+      tuning_(tuning) {
+  if (out->width() != 8) {
+    throw HdlError("DDS output must be 8 bits: " + full_name());
+  }
+  if (phase_width < 9 || phase_width > 32) {
+    throw HdlError("DDS phase width must be 9..32: " + full_name());
+  }
+  if (tuning == 0 ||
+      (phase_width < 32 && tuning >= (std::uint32_t{1} << phase_width))) {
+    throw HdlError("DDS tuning word out of range: " + full_name());
+  }
+  set_type_name(format("dds%zu_t%u", phase_width, tuning));
+  port_out("out", out);
+  if (ce != nullptr) port_in("ce", ce);
+
+  // Phase accumulator.
+  Wire* phase = new Wire(this, phase_width, "phase");
+  Wire* next = new Wire(this, phase_width);
+  Wire* inc = constant_wire(this, phase_width, tuning);
+  new CarryChainAdder(this, phase, inc, next);
+  new RegisterBank(this, next, phase, ce);
+
+  // BRAM sine lookup on the top 9 phase bits.
+  Wire* addr = phase->range(phase_width - 1, phase_width - 9);
+  Wire* din = constant_wire(this, 8, 0);
+  Wire* we = constant_wire(this, 1, 0);
+  Wire* en = ce != nullptr ? ce : constant_wire(this, 1, 1);
+  new tech::RamB4S8(this, addr, din, we, en, out, sine_table());
+}
+
+std::uint8_t DdsGenerator::expected_output(std::uint64_t cycles) const {
+  // At clock edge k the BRAM samples the phase value after edge k-1,
+  // which is (k-1)*tuning (phase powers on at 0).
+  const std::uint64_t mask = phase_width_ >= 64
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << phase_width_) - 1;
+  std::uint64_t phase = ((cycles - 1) * tuning_) & mask;
+  return sine_table()[phase >> (phase_width_ - 9)];
+}
+
+}  // namespace jhdl::modgen

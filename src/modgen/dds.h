@@ -1,0 +1,43 @@
+// Direct digital synthesizer (DDS) module generator: a phase accumulator
+// sweeping a block-RAM sine table - the "more complicated IP" class the
+// paper's future work targets (Section 5), and a natural consumer of the
+// RAMB4 primitive.
+//
+//   phase <= phase + tuning            (pw-bit accumulator)
+//   out   <= sine_table[phase >> (pw-9)]  (synchronous BRAM read)
+//
+// The output frequency is f_clk * tuning / 2^pw. The sample is an 8-bit
+// offset-binary sine (0x80 = zero crossing).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hdl/cell.h"
+
+namespace jhdl::modgen {
+
+/// Sine-table DDS with a BRAM-backed waveform store.
+class DdsGenerator : public Cell {
+ public:
+  /// `out` must be 8 bits; `phase_width` in [9, 32]; `tuning` is the
+  /// phase increment per cycle (nonzero, < 2^phase_width).
+  DdsGenerator(Node* parent, Wire* out, std::size_t phase_width,
+               std::uint32_t tuning, Wire* ce = nullptr);
+
+  std::size_t phase_width() const { return phase_width_; }
+  std::uint32_t tuning() const { return tuning_; }
+
+  /// The 512-entry sine table baked into the BRAM.
+  static std::vector<std::uint8_t> sine_table();
+
+  /// Software reference: output after `cycles` clocks (accounting for the
+  /// synchronous-read latency; X before the first clock).
+  std::uint8_t expected_output(std::uint64_t cycles) const;
+
+ private:
+  std::size_t phase_width_;
+  std::uint32_t tuning_;
+};
+
+}  // namespace jhdl::modgen

@@ -1,0 +1,104 @@
+#include "modgen/ecc.h"
+
+#include "hdl/error.h"
+#include "tech/gates.h"
+#include "tech/lut.h"
+
+namespace jhdl::modgen {
+
+std::uint32_t HammingEncoder::encode(std::uint32_t d) {
+  d &= 0xF;
+  std::uint32_t d0 = d & 1, d1 = (d >> 1) & 1, d2 = (d >> 2) & 1,
+                d3 = (d >> 3) & 1;
+  std::uint32_t p0 = d0 ^ d1 ^ d3;
+  std::uint32_t p1 = d0 ^ d2 ^ d3;
+  std::uint32_t p2 = d1 ^ d2 ^ d3;
+  return d | (p0 << 4) | (p1 << 5) | (p2 << 6);
+}
+
+HammingEncoder::HammingEncoder(Node* parent, Wire* data, Wire* code)
+    : Cell(parent, "hamenc") {
+  if (data->width() != 4 || code->width() != 7) {
+    throw HdlError("Hamming encoder needs 4-bit data, 7-bit code");
+  }
+  set_type_name("hamming74_enc");
+  port_in("data", data);
+  port_out("code", code);
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    new tech::Buf(this, data->gw(i), code->gw(i));
+  }
+  new tech::Xor3(this, data->gw(0), data->gw(1), data->gw(3), code->gw(4));
+  new tech::Xor3(this, data->gw(0), data->gw(2), data->gw(3), code->gw(5));
+  new tech::Xor3(this, data->gw(1), data->gw(2), data->gw(3), code->gw(6));
+}
+
+std::uint32_t HammingDecoder::decode(std::uint32_t c, bool* corrected) {
+  c &= 0x7F;
+  std::uint32_t d0 = c & 1, d1 = (c >> 1) & 1, d2 = (c >> 2) & 1,
+                d3 = (c >> 3) & 1;
+  std::uint32_t s0 = ((c >> 4) & 1) ^ d0 ^ d1 ^ d3;
+  std::uint32_t s1 = ((c >> 5) & 1) ^ d0 ^ d2 ^ d3;
+  std::uint32_t s2 = ((c >> 6) & 1) ^ d1 ^ d2 ^ d3;
+  std::uint32_t syndrome = s0 | (s1 << 1) | (s2 << 2);
+  if (corrected != nullptr) *corrected = syndrome != 0;
+  // Syndrome = standard Hamming position (parities at 1,2,4).
+  switch (syndrome) {
+    case 3:
+      d0 ^= 1;
+      break;
+    case 5:
+      d1 ^= 1;
+      break;
+    case 6:
+      d2 ^= 1;
+      break;
+    case 7:
+      d3 ^= 1;
+      break;
+    default:
+      break;  // parity-bit error or clean word: data unaffected
+  }
+  return d0 | (d1 << 1) | (d2 << 2) | (d3 << 3);
+}
+
+HammingDecoder::HammingDecoder(Node* parent, Wire* code, Wire* data,
+                               Wire* corrected)
+    : Cell(parent, "hamdec") {
+  if (code->width() != 7 || data->width() != 4 || corrected->width() != 1) {
+    throw HdlError(
+        "Hamming decoder needs 7-bit code, 4-bit data, 1-bit flag");
+  }
+  set_type_name("hamming74_dec");
+  port_in("code", code);
+  port_out("data", data);
+  port_out("corrected", corrected);
+
+  // Recomputed parity vs received parity -> syndrome bits.
+  Wire* syndrome = new Wire(this, 3, "syndrome");
+  auto parity = [&](std::size_t a, std::size_t b, std::size_t c,
+                    std::size_t p, Wire* s) {
+    Wire* recomputed = new Wire(this, 1);
+    new tech::Xor3(this, code->gw(a), code->gw(b), code->gw(c), recomputed);
+    new tech::Xor2(this, recomputed, code->gw(p), s);
+  };
+  parity(0, 1, 3, 4, syndrome->gw(0));
+  parity(0, 2, 3, 5, syndrome->gw(1));
+  parity(1, 2, 3, 6, syndrome->gw(2));
+
+  // Per data bit: flip when the syndrome names its position.
+  // Positions: d0=3, d1=5, d2=6, d3=7 -> LUT3 one-hot INIT masks.
+  const std::uint16_t flip_init[4] = {0x08, 0x20, 0x40, 0x80};
+  for (std::size_t i = 0; i < 4; ++i) {
+    Wire* flip = new Wire(this, 1);
+    new tech::Lut3(this, syndrome->gw(0), syndrome->gw(1), syndrome->gw(2),
+                   flip, flip_init[i]);
+    new tech::Xor2(this, code->gw(i), flip, data->gw(i));
+  }
+
+  // corrected = syndrome != 0.
+  new tech::Or3(this, syndrome->gw(0), syndrome->gw(1), syndrome->gw(2),
+                corrected);
+}
+
+}  // namespace jhdl::modgen

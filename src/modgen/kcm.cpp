@@ -1,0 +1,167 @@
+#include "modgen/kcm.h"
+
+#include <array>
+#include <vector>
+
+#include "hdl/error.h"
+#include "modgen/adder.h"
+#include "modgen/register.h"
+#include "modgen/wires.h"
+#include "tech/gates.h"
+#include "tech/memory.h"
+#include "util/strings.h"
+
+namespace jhdl::modgen {
+namespace {
+
+/// A partial value in the adder tree: a wire holding bits
+/// [offset, offset + width) of the product, signed or unsigned.
+struct Val {
+  Wire* w;
+  std::size_t offset;
+  bool sig;
+};
+
+std::uint64_t mask_bits(std::size_t w) {
+  return w >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << w) - 1;
+}
+
+}  // namespace
+
+std::size_t VirtexKCMMultiplier::width_of_constant(std::int64_t c) {
+  if (c >= 0) {
+    std::size_t w = 1;
+    while ((c >> w) != 0) ++w;
+    return w;
+  }
+  // Smallest w with c >= -2^(w-1).
+  std::size_t w = 1;
+  while (c < -(std::int64_t{1} << (w - 1))) ++w;
+  return w;
+}
+
+VirtexKCMMultiplier::VirtexKCMMultiplier(Node* parent, Wire* multiplicand,
+                                         Wire* product, bool signed_mode,
+                                         bool pipelined_mode, int constant)
+    : Cell(parent, format("kcm_%zux%zu", multiplicand->width(),
+                          width_of_constant(constant))),
+      constant_(constant),
+      constant_width_(width_of_constant(constant)),
+      multiplicand_width_(multiplicand->width()),
+      product_width_(product->width()),
+      full_width_(multiplicand->width() + width_of_constant(constant)),
+      signed_(signed_mode),
+      pipelined_(pipelined_mode) {
+  set_type_name(format("kcm_%zux%zu_c%lld%s%s", multiplicand_width_,
+                       constant_width_, static_cast<long long>(constant_),
+                       signed_ ? "_s" : "", pipelined_ ? "_p" : ""));
+  port_in("multiplicand", multiplicand);
+  port_out("product", product);
+  if (product_width_ == 0 || product_width_ > full_width_) {
+    throw HdlError(format(
+        "KCM product width %zu out of range (full product is %zu bits)",
+        product_width_, full_width_));
+  }
+
+  const std::size_t n = multiplicand_width_;
+  const std::size_t wc = constant_width_;
+  const std::size_t digits = (n + 3) / 4;
+  const std::size_t ppw = wc + 4;  // partial product width
+
+  // Pad the multiplicand to a whole number of digits; pure routing.
+  Wire* m_ext = extend(this, multiplicand, 4 * digits, signed_);
+
+  // Stage 1: partial-product ROMs, one per digit.
+  std::vector<Val> vals;
+  for (std::size_t i = 0; i < digits; ++i) {
+    const bool top = (i + 1 == digits);
+    const bool digit_signed = signed_ && top;
+    std::array<std::uint64_t, 16> table{};
+    for (std::uint32_t a = 0; a < 16; ++a) {
+      std::int64_t dv = digit_signed && a >= 8 ? static_cast<std::int64_t>(a) - 16
+                                               : static_cast<std::int64_t>(a);
+      std::int64_t pp = constant_ * dv;
+      table[a] = static_cast<std::uint64_t>(pp) & mask_bits(ppw);
+    }
+    Wire* addr = m_ext->range(4 * i + 3, 4 * i);
+    Wire* pp = new Wire(this, ppw);
+    auto* rom = new tech::Rom16(this, addr, pp, table);
+    rom->set_rloc({0, static_cast<int>(2 * i)});
+    // An unsigned top digit narrower than 4 bits never addresses the upper
+    // table entries; mark them as free watermark carriers (core/protect.h).
+    const std::size_t top_bits = n - 4 * (digits - 1);
+    if (top && !signed_ && top_bits < 4) {
+      rom->set_property("UNUSED_ABOVE",
+                        std::to_string(std::uint64_t{1} << top_bits));
+    }
+    vals.push_back(Val{pp, 4 * i, constant_ < 0 || digit_signed});
+  }
+
+  // Optional pipeline register after the ROMs.
+  if (pipelined_) {
+    for (Val& v : vals) {
+      Wire* q = new Wire(this, v.w->width());
+      new RegisterBank(this, v.w, q);
+      v.w = q;
+    }
+    latency_ = 1;
+  }
+
+  // Adder tree: combine adjacent pairs until one value remains.
+  int level = 0;
+  while (vals.size() > 1) {
+    ++level;
+    std::vector<Val> next;
+    for (std::size_t i = 0; i + 1 < vals.size(); i += 2) {
+      const Val& lo = vals[i];
+      const Val& hi = vals[i + 1];
+      const std::size_t shift = hi.offset - lo.offset;
+      // Bits below the overlap pass straight through.
+      Wire* lo_pass = shift > 0 ? lo.w->range(shift - 1, 0) : nullptr;
+      Wire* lo_hi = lo.w->range(lo.w->width() - 1, shift);
+      const std::size_t w = std::max(lo_hi->width(), hi.w->width()) + 1;
+      Wire* a = extend(this, lo_hi, w, lo.sig);
+      Wire* b = extend(this, hi.w, w, hi.sig);
+      Wire* sum = new Wire(this, w);
+      auto* add = new CarryChainAdder(this, a, b, sum);
+      add->set_rloc({0, static_cast<int>(2 * digits + 2 * (i / 2) + level)});
+      Wire* combined = lo_pass != nullptr ? sum->concat(lo_pass) : sum;
+      next.push_back(Val{combined, lo.offset, lo.sig || hi.sig});
+    }
+    if (vals.size() % 2 == 1) next.push_back(vals.back());
+    vals = std::move(next);
+    if (pipelined_) {
+      for (Val& v : vals) {
+        Wire* q = new Wire(this, v.w->width());
+        new RegisterBank(this, v.w, q);
+        v.w = q;
+      }
+      ++latency_;
+    }
+  }
+
+  // Deliver the top product bits, as the paper specifies.
+  Val full = vals.front();
+  if (full.offset != 0) {
+    throw HdlError("KCM internal error: final offset nonzero");
+  }
+  Wire* fw = extend(this, full.w, full_width_, full.sig);
+  Wire* top_bits = fw->range(full_width_ - 1, full_width_ - product_width_);
+  connect(this, top_bits, product);
+}
+
+std::uint64_t VirtexKCMMultiplier::expected_product(std::uint64_t m_raw) const {
+  m_raw &= mask_bits(multiplicand_width_);
+  std::int64_t m;
+  if (signed_ && multiplicand_width_ > 0 &&
+      ((m_raw >> (multiplicand_width_ - 1)) & 1) != 0) {
+    m = static_cast<std::int64_t>(m_raw | ~mask_bits(multiplicand_width_));
+  } else {
+    m = static_cast<std::int64_t>(m_raw);
+  }
+  std::uint64_t full =
+      static_cast<std::uint64_t>(constant_ * m) & mask_bits(full_width_);
+  return full >> (full_width_ - product_width_);
+}
+
+}  // namespace jhdl::modgen

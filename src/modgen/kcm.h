@@ -1,0 +1,66 @@
+// VirtexKCMMultiplier: the paper's flagship IP - an optimized constant
+// coefficient multiplier for Virtex built from partial-product lookup
+// tables (Wirthlin & McMurtrey, FPL 2001 [9]).
+//
+// Algorithm: the multiplicand is split into 4-bit digits; each digit
+// indexes a 16-entry LUT ROM holding constant*digit; the shifted partial
+// products are summed with a carry-chain adder tree. Signed mode treats
+// the multiplicand's top digit as two's complement; negative constants are
+// handled by signed partial products. Pipelined mode inserts a register
+// after the ROMs and after every adder-tree level.
+//
+// The constructor signature mirrors the paper (Section 3.1):
+//
+//   public VirtexKCMMultiplier(Node parent, Wire multiplicand, Wire product,
+//                              boolean signed_mode, boolean pipelined_mode,
+//                              int constant);
+//
+// As in the paper, the product wire may be narrower than the full product;
+// the generator then delivers the TOP `product->width()` bits (e.g. an
+// 8x8 multiply with a 12-bit product wire yields the top 12 of 16 bits).
+#pragma once
+
+#include <cstdint>
+
+#include "hdl/cell.h"
+
+namespace jhdl::modgen {
+
+/// Optimized constant-coefficient multiplier (see file comment).
+class VirtexKCMMultiplier : public Cell {
+ public:
+  /// Throws HdlError if product is wider than the full product
+  /// (multiplicand width + constant width).
+  VirtexKCMMultiplier(Node* parent, Wire* multiplicand, Wire* product,
+                      bool signed_mode, bool pipelined_mode, int constant);
+
+  /// Pipeline latency in cycles (0 when not pipelined).
+  std::size_t latency() const { return latency_; }
+  /// The constant baked into the partial-product tables.
+  std::int64_t constant() const { return constant_; }
+  /// Bits used to represent the constant (two's complement if negative).
+  std::size_t constant_width() const { return constant_width_; }
+  /// Width of the untruncated product (multiplicand + constant widths).
+  std::size_t full_width() const { return full_width_; }
+  bool is_signed() const { return signed_; }
+  bool is_pipelined() const { return pipelined_; }
+
+  /// Reference model: the value the hardware must produce for input `m`
+  /// (interpreted per signed mode), including the top-bits truncation.
+  std::uint64_t expected_product(std::uint64_t m_raw) const;
+
+  /// Minimal two's-complement width of a constant.
+  static std::size_t width_of_constant(std::int64_t c);
+
+ private:
+  std::int64_t constant_;
+  std::size_t constant_width_;
+  std::size_t multiplicand_width_;
+  std::size_t product_width_;
+  std::size_t full_width_;
+  bool signed_;
+  bool pipelined_;
+  std::size_t latency_ = 0;
+};
+
+}  // namespace jhdl::modgen

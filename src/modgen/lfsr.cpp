@@ -1,0 +1,58 @@
+#include "modgen/lfsr.h"
+
+#include "hdl/error.h"
+#include "modgen/wires.h"
+#include "tech/ff.h"
+#include "tech/gates.h"
+#include "util/strings.h"
+
+namespace jhdl::modgen {
+
+std::uint64_t Lfsr::next_state(std::uint64_t state, std::size_t width,
+                               const std::vector<std::size_t>& taps) {
+  std::uint64_t fb = 0;
+  for (std::size_t t : taps) fb ^= (state >> t) & 1;
+  std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  return ((state << 1) | fb) & mask;
+}
+
+Lfsr::Lfsr(Node* parent, Wire* q, std::vector<std::size_t> taps,
+           std::uint64_t seed, Wire* ce)
+    : Cell(parent, format("lfsr%zu", q->width())), taps_(std::move(taps)) {
+  const std::size_t n = q->width();
+  if (taps_.empty()) throw HdlError("LFSR needs at least one tap");
+  for (std::size_t t : taps_) {
+    if (t >= n) throw HdlError("LFSR tap out of range: " + full_name());
+  }
+  const std::uint64_t mask =
+      n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+  if ((seed & mask) == 0) {
+    throw HdlError("LFSR seed must be non-zero: " + full_name());
+  }
+  set_type_name(format("lfsr%zu", n));
+  port_out("q", q);
+  if (ce != nullptr) port_in("ce", ce);
+
+  // Feedback: XOR tree over the tap bits.
+  Wire* fb = q->gw(taps_[0]);
+  for (std::size_t i = 1; i < taps_.size(); ++i) {
+    Wire* next = new Wire(this, 1);
+    new tech::Xor2(this, fb, q->gw(taps_[i]), next);
+    fb = next;
+  }
+
+  // Shift register with per-bit INIT from the seed.
+  Wire* r_low = ce != nullptr ? constant_wire(this, 1, 0) : nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    Wire* d = (i == 0) ? fb : q->gw(i - 1);
+    const bool init_one = ((seed >> i) & 1) != 0;
+    if (ce != nullptr) {
+      new tech::FDRE(this, d, q->gw(i), ce, r_low, init_one);
+    } else {
+      new tech::FD(this, d, q->gw(i), init_one);
+    }
+  }
+}
+
+}  // namespace jhdl::modgen

@@ -1,0 +1,31 @@
+// LFSR module generator: Fibonacci linear-feedback shift register, the
+// stock pseudo-random stimulus source of FPGA testbenches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hdl/cell.h"
+
+namespace jhdl::modgen {
+
+/// Fibonacci LFSR: q shifts left each enabled cycle; bit 0 receives the
+/// XOR of the tap bits. Seeded non-zero via flip-flop INIT.
+class Lfsr : public Cell {
+ public:
+  /// `taps` are bit indices into q (at least one; all < q->width()).
+  /// `seed` must be non-zero in the low width bits.
+  Lfsr(Node* parent, Wire* q, std::vector<std::size_t> taps,
+       std::uint64_t seed = 1, Wire* ce = nullptr);
+
+  /// Software reference: the next state after `state` for given taps.
+  static std::uint64_t next_state(std::uint64_t state, std::size_t width,
+                                  const std::vector<std::size_t>& taps);
+
+  const std::vector<std::size_t>& taps() const { return taps_; }
+
+ private:
+  std::vector<std::size_t> taps_;
+};
+
+}  // namespace jhdl::modgen

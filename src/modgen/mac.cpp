@@ -1,0 +1,53 @@
+#include "modgen/mac.h"
+
+#include "hdl/error.h"
+#include "modgen/adder.h"
+#include "modgen/kcm.h"
+#include "modgen/register.h"
+#include "modgen/wires.h"
+#include "util/strings.h"
+
+namespace jhdl::modgen {
+
+std::size_t MacUnit::acc_width(std::size_t input_width, int constant,
+                               std::size_t extra_bits) {
+  return input_width + VirtexKCMMultiplier::width_of_constant(constant) +
+         extra_bits;
+}
+
+MacUnit::MacUnit(Node* parent, Wire* x, Wire* acc, Wire* clr, int constant,
+                 std::size_t extra_bits)
+    : Cell(parent, format("mac_%zu", x->width())), constant_(constant) {
+  const std::size_t aw = acc_width(x->width(), constant, extra_bits);
+  if (acc->width() != aw) {
+    throw HdlError(format("MAC accumulator must be %zu bits, got %zu", aw,
+                          acc->width()));
+  }
+  if (clr == nullptr || clr->width() != 1) {
+    throw HdlError("MAC clear must be a 1-bit wire: " + full_name());
+  }
+  set_type_name(format("mac_%zux%lld", x->width(),
+                       static_cast<long long>(constant)));
+  port_in("x", x);
+  port_in("clr", clr);
+  port_out("acc", acc);
+
+  // Product (full precision, signed).
+  const std::size_t pw =
+      x->width() + VirtexKCMMultiplier::width_of_constant(constant);
+  Wire* product = new Wire(this, pw);
+  new VirtexKCMMultiplier(this, x, product, /*signed_mode=*/true,
+                          /*pipelined_mode=*/false, constant);
+
+  // acc + product, truncated back to the accumulator width (wrap-around
+  // semantics; the guard bits delay overflow).
+  Wire* sum = new Wire(this, aw + 1);
+  new CarryChainAdder(this, sign_extend(this, acc, aw + 1),
+                      sign_extend(this, product, aw + 1), sum);
+  Wire* next = sum->range(aw - 1, 0);
+
+  // Registered accumulator with synchronous clear.
+  new RegisterBank(this, next, acc, /*ce=*/nullptr, clr);
+}
+
+}  // namespace jhdl::modgen

@@ -1,0 +1,31 @@
+// Multiply-accumulate module generator: acc <= clr ? 0 : acc + c * x.
+// Built from delivered KCM IP plus a carry-chain adder and a clearable
+// register bank - the inner loop of the DSP workloads the paper's
+// introduction motivates.
+#pragma once
+
+#include <cstdint>
+
+#include "hdl/cell.h"
+
+namespace jhdl::modgen {
+
+/// Constant-coefficient multiply-accumulator (signed).
+class MacUnit : public Cell {
+ public:
+  /// `x` is the signed input; `acc` (the registered accumulator output)
+  /// must be `acc_width()` bits; `clr` synchronously clears.
+  MacUnit(Node* parent, Wire* x, Wire* acc, Wire* clr, int constant,
+          std::size_t extra_bits = 8);
+
+  /// Accumulator width for an input width: product width plus guard bits.
+  static std::size_t acc_width(std::size_t input_width, int constant,
+                               std::size_t extra_bits = 8);
+
+  std::int64_t constant() const { return constant_; }
+
+ private:
+  std::int64_t constant_;
+};
+
+}  // namespace jhdl::modgen

@@ -1,0 +1,17 @@
+// Umbrella header for the module generator library - the parameterizable
+// IP the paper's delivery applets serve (Section 3).
+#pragma once
+
+#include "modgen/adder.h"
+#include "modgen/counter.h"
+#include "modgen/dds.h"
+#include "modgen/ecc.h"
+#include "modgen/encode.h"
+#include "modgen/fir.h"
+#include "modgen/kcm.h"
+#include "modgen/lfsr.h"
+#include "modgen/mac.h"
+#include "modgen/mult.h"
+#include "modgen/register.h"
+#include "modgen/shifter.h"
+#include "modgen/wires.h"

@@ -1,0 +1,84 @@
+#include "modgen/mult.h"
+
+#include <vector>
+
+#include "hdl/error.h"
+#include "modgen/adder.h"
+#include "modgen/register.h"
+#include "modgen/wires.h"
+#include "tech/constants.h"
+#include "tech/gates.h"
+#include "util/strings.h"
+
+namespace jhdl::modgen {
+
+ArrayMultiplier::ArrayMultiplier(Node* parent, Wire* a, Wire* b, Wire* p,
+                                 bool pipelined)
+    : Cell(parent, format("mult_%zux%zu", a->width(), b->width())) {
+  set_type_name(format("mult_%zux%zu%s", a->width(), b->width(),
+                       pipelined ? "_p" : ""));
+  port_in("a", a);
+  port_in("b", b);
+  port_out("p", p);
+  if (p->width() != a->width() + b->width()) {
+    throw HdlError(
+        format("array multiplier product must be %zu bits, got %zu",
+               a->width() + b->width(), p->width()));
+  }
+
+  const std::size_t na = a->width();
+  const std::size_t nb = b->width();
+
+  // Row 0: a AND b[0], aligned at product bit 0.
+  Wire* acc = new Wire(this, na);
+  for (std::size_t j = 0; j < na; ++j) {
+    new tech::And2(this, a->gw(j), b->gw(0), acc->gw(j));
+  }
+
+  // Each subsequent row retires one low product bit and adds the shifted
+  // row into the running accumulator. The sum needs one growth bit: the
+  // accumulator's upper part (<= na bits) plus a fresh na-bit row fits in
+  // na+1 bits.
+  std::vector<Wire*> done;  // retired low product bits, LSB first
+  for (std::size_t i = 1; i < nb; ++i) {
+    Wire* row = new Wire(this, na);
+    for (std::size_t j = 0; j < na; ++j) {
+      new tech::And2(this, a->gw(j), b->gw(i), row->gw(j));
+    }
+    done.push_back(acc->gw(0));
+    // Shifted accumulator; a 1-bit accumulator has no upper part.
+    Wire* acc_hi = acc->width() > 1 ? acc->range(acc->width() - 1, 1)
+                                    : constant_wire(this, 1, 0);
+    const std::size_t w = na + 1;
+    Wire* sum = new Wire(this, w);
+    new CarryChainAdder(this, zero_extend(this, acc_hi, w),
+                        zero_extend(this, row, w), sum);
+    acc = sum;
+    if (pipelined) {
+      // Register the accumulator (systolic row pipeline; operands are held
+      // constant while the array computes).
+      Wire* q = new Wire(this, w);
+      new RegisterBank(this, acc, q);
+      acc = q;
+      ++latency_;
+    }
+  }
+
+  // Assemble the product: retired bits, then the final accumulator, then
+  // zero-fill (only reachable when b is a single bit wide).
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    new tech::Buf(this, done[i], p->gw(i));
+  }
+  for (std::size_t j = 0; j < acc->width(); ++j) {
+    new tech::Buf(this, acc->gw(j), p->gw(done.size() + j));
+  }
+  const std::size_t covered = done.size() + acc->width();
+  if (covered < p->width()) {
+    Wire* zero = constant_wire(this, 1, 0);
+    for (std::size_t k = covered; k < p->width(); ++k) {
+      new tech::Buf(this, zero, p->gw(k));
+    }
+  }
+}
+
+}  // namespace jhdl::modgen

@@ -1,0 +1,25 @@
+// Generic (non-constant) multiplier baseline: an unsigned array multiplier
+// built from AND-gate partial products and carry-chain adders. This is the
+// comparison point for the KCM benchmarks - a constant coefficient folds
+// the AND rows into LUT ROMs, which is exactly the optimization the
+// paper's module generator exploits.
+#pragma once
+
+#include "hdl/cell.h"
+
+namespace jhdl::modgen {
+
+/// p = a * b (unsigned). p must be exactly a.width + b.width bits.
+/// Pipelined mode registers after every row accumulation.
+class ArrayMultiplier : public Cell {
+ public:
+  ArrayMultiplier(Node* parent, Wire* a, Wire* b, Wire* p,
+                  bool pipelined = false);
+
+  std::size_t latency() const { return latency_; }
+
+ private:
+  std::size_t latency_ = 0;
+};
+
+}  // namespace jhdl::modgen

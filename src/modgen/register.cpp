@@ -1,0 +1,80 @@
+#include "modgen/register.h"
+
+#include "hdl/error.h"
+#include "modgen/wires.h"
+#include "tech/ff.h"
+#include "tech/srl.h"
+
+namespace jhdl::modgen {
+
+RegisterBank::RegisterBank(Node* parent, Wire* d, Wire* q, Wire* ce,
+                           Wire* clr)
+    : Cell(parent, "reg" + std::to_string(d->width())) {
+  if (d->width() != q->width()) {
+    throw HdlError("register width mismatch in " + full_name());
+  }
+  set_type_name("reg" + std::to_string(d->width()));
+  port_in("d", d);
+  port_out("q", q);
+  if (ce != nullptr) port_in("ce", ce);
+  if (clr != nullptr) port_in("clr", clr);
+
+  // Library FDRE always has its R pin; tie it low for ce-only banks so
+  // netlists carry the full primitive interface.
+  Wire* r_low = ce != nullptr && clr == nullptr ? constant_wire(this, 1, 0)
+                                                : nullptr;
+  for (std::size_t i = 0; i < d->width(); ++i) {
+    if (ce != nullptr && clr != nullptr) {
+      new tech::FDCE(this, d->gw(i), q->gw(i), ce, clr);
+    } else if (ce != nullptr) {
+      new tech::FDRE(this, d->gw(i), q->gw(i), ce, r_low);
+    } else if (clr != nullptr) {
+      new tech::FDC(this, d->gw(i), q->gw(i), clr);
+    } else {
+      new tech::FD(this, d->gw(i), q->gw(i));
+    }
+  }
+}
+
+ShiftRegister::ShiftRegister(Node* parent, Wire* in, Wire* out,
+                             std::size_t depth, Style style)
+    : Cell(parent, "srl" + std::to_string(depth)) {
+  if (in->width() != out->width()) {
+    throw HdlError("shift register width mismatch in " + full_name());
+  }
+  if (depth == 0) {
+    throw HdlError("shift register depth must be >= 1: " + full_name());
+  }
+  set_type_name("srl" + std::to_string(in->width()) + "x" +
+                std::to_string(depth) +
+                (style == Style::SRL16 ? "l" : ""));
+  port_in("in", in);
+  port_out("out", out);
+
+  if (style == Style::FF) {
+    Wire* stage = in;
+    for (std::size_t k = 0; k < depth; ++k) {
+      Wire* next = (k + 1 == depth) ? out : new Wire(this, in->width());
+      new RegisterBank(this, stage, next);
+      stage = next;
+    }
+    return;
+  }
+
+  // SRL16 style: per bit, a chain of shift-register LUTs. Full segments
+  // tap stage 15; the last segment taps (remaining-1).
+  for (std::size_t bit = 0; bit < in->width(); ++bit) {
+    Wire* d = in->gw(bit);
+    std::size_t remaining = depth;
+    while (remaining > 0) {
+      const std::size_t seg = remaining > 16 ? 16 : remaining;
+      Wire* tap = constant_wire(this, 4, seg - 1);
+      Wire* q = (remaining == seg) ? out->gw(bit) : new Wire(this, 1);
+      new tech::Srl16(this, d, tap, q);
+      d = q;
+      remaining -= seg;
+    }
+  }
+}
+
+}  // namespace jhdl::modgen

@@ -1,0 +1,28 @@
+// Register bank and shift register module generators.
+#pragma once
+
+#include "hdl/cell.h"
+
+namespace jhdl::modgen {
+
+/// q <= d each cycle; optional clock enable and clear apply to every bit.
+class RegisterBank : public Cell {
+ public:
+  RegisterBank(Node* parent, Wire* d, Wire* q, Wire* ce = nullptr,
+               Wire* clr = nullptr);
+};
+
+/// `depth`-stage single-bit-or-bus shift register: out is in delayed by
+/// `depth` cycles. Two implementation styles:
+///   FF    - a chain of flip-flops (1 FF per bit per stage)
+///   SRL16 - shift register LUTs with a static tap (1 LUT per bit per 16
+///           stages), the classic Virtex area optimization
+class ShiftRegister : public Cell {
+ public:
+  enum class Style { FF, SRL16 };
+
+  ShiftRegister(Node* parent, Wire* in, Wire* out, std::size_t depth,
+                Style style = Style::FF);
+};
+
+}  // namespace jhdl::modgen

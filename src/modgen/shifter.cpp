@@ -1,0 +1,47 @@
+#include "modgen/shifter.h"
+
+#include "hdl/error.h"
+#include "modgen/wires.h"
+#include "tech/gates.h"
+#include "util/strings.h"
+
+namespace jhdl::modgen {
+
+BarrelShifter::BarrelShifter(Node* parent, Wire* in, Wire* amount, Wire* out,
+                             Direction direction)
+    : Cell(parent, format("bshift%zu", in->width())) {
+  const std::size_t n = in->width();
+  if (out->width() != n) {
+    throw HdlError("barrel shifter width mismatch in " + full_name());
+  }
+  if (amount->width() == 0) {
+    throw HdlError("barrel shifter needs a shift amount: " + full_name());
+  }
+  set_type_name(format("bshift%zu_%s", n,
+                       direction == Direction::Left ? "l" : "r"));
+  port_in("in", in);
+  port_in("amount", amount);
+  port_out("out", out);
+
+  Wire* zero = constant_wire(this, 1, 0);
+  Wire* stage = in;
+  for (std::size_t layer = 0; layer < amount->width(); ++layer) {
+    const std::size_t dist = std::size_t{1} << layer;
+    Wire* sel = amount->gw(layer);
+    const bool last = (layer + 1 == amount->width());
+    Wire* next = last ? out : new Wire(this, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Shifted source for this output bit, zero when out of range.
+      Wire* shifted;
+      if (direction == Direction::Left) {
+        shifted = (i >= dist) ? stage->gw(i - dist) : zero;
+      } else {
+        shifted = (i + dist < n) ? stage->gw(i + dist) : zero;
+      }
+      new tech::Mux2(this, stage->gw(i), shifted, sel, next->gw(i));
+    }
+    stage = next;
+  }
+}
+
+}  // namespace jhdl::modgen

@@ -1,0 +1,20 @@
+// Barrel shifter module generator: logarithmic mux stages, one layer per
+// shift-amount bit.
+#pragma once
+
+#include "hdl/cell.h"
+
+namespace jhdl::modgen {
+
+/// out = in << amount (Left) or in >> amount (RightLogical), with zero
+/// fill. amount must be ceil(log2(width)) bits or wider; shift amounts
+/// >= width produce zero.
+class BarrelShifter : public Cell {
+ public:
+  enum class Direction { Left, RightLogical };
+
+  BarrelShifter(Node* parent, Wire* in, Wire* amount, Wire* out,
+                Direction direction);
+};
+
+}  // namespace jhdl::modgen

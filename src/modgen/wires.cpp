@@ -1,0 +1,55 @@
+#include "modgen/wires.h"
+
+#include <vector>
+
+#include "hdl/error.h"
+#include "tech/constants.h"
+#include "tech/gates.h"
+
+namespace jhdl::modgen {
+
+Wire* constant_wire(Cell* parent, std::size_t width, std::uint64_t value) {
+  Wire* w = new Wire(parent, width);
+  new tech::Constant(parent, w, value);
+  return w;
+}
+
+Wire* zero_extend(Cell* parent, Wire* w, std::size_t width) {
+  if (w->width() >= width) return w;
+  Wire* zero = constant_wire(parent, 1, 0);
+  // Build a view: original bits, then the shared zero net repeated.
+  Wire* ext = w;
+  for (std::size_t i = w->width(); i < width; ++i) {
+    ext = zero->concat(ext);
+  }
+  return ext;
+}
+
+Wire* sign_extend(Cell* parent, Wire* w, std::size_t width) {
+  (void)parent;
+  if (w->width() >= width) return w;
+  Wire* msb = w->gw(w->width() - 1);
+  Wire* ext = w;
+  for (std::size_t i = w->width(); i < width; ++i) {
+    ext = msb->concat(ext);
+  }
+  return ext;
+}
+
+Wire* extend(Cell* parent, Wire* w, std::size_t width, bool is_signed) {
+  return is_signed ? sign_extend(parent, w, width)
+                   : zero_extend(parent, w, width);
+}
+
+void connect(Cell* parent, Wire* src, Wire* dst) {
+  if (src->width() != dst->width()) {
+    throw HdlError("connect width mismatch: " + src->name() + "(" +
+                   std::to_string(src->width()) + ") -> " + dst->name() + "(" +
+                   std::to_string(dst->width()) + ")");
+  }
+  for (std::size_t i = 0; i < src->width(); ++i) {
+    new tech::Buf(parent, src->gw(i), dst->gw(i));
+  }
+}
+
+}  // namespace jhdl::modgen

@@ -1,0 +1,30 @@
+// Wiring helpers shared by the module generators: constants, zero/sign
+// extension views, and buffered connections.
+#pragma once
+
+#include <cstdint>
+
+#include "hdl/cell.h"
+
+namespace jhdl::modgen {
+
+/// A `width`-bit wire driven to `value` (one Constant primitive).
+Wire* constant_wire(Cell* parent, std::size_t width, std::uint64_t value);
+
+/// Zero-extension to `width`: a view whose upper bits are a shared
+/// constant-0 net (no logic beyond one Gnd per call when padding is
+/// needed). Returns `w` unchanged when already wide enough.
+Wire* zero_extend(Cell* parent, Wire* w, std::size_t width);
+
+/// Sign-extension to `width`: a view whose upper bits replicate the MSB
+/// net (pure routing, no logic). Returns `w` unchanged when wide enough.
+Wire* sign_extend(Cell* parent, Wire* w, std::size_t width);
+
+/// Extend according to `is_signed`.
+Wire* extend(Cell* parent, Wire* w, std::size_t width, bool is_signed);
+
+/// Drive `dst` from `src` bit-by-bit with route-through buffers
+/// (widths must match).
+void connect(Cell* parent, Wire* src, Wire* dst);
+
+}  // namespace jhdl::modgen

@@ -1,0 +1,30 @@
+// Co-simulation stub generator: emits the Verilog wrapper module and the
+// PLI C skeleton that connect a customer's Verilog simulator to a
+// black-box applet over the socket protocol - the integration path the
+// paper demonstrates: "a simulation wrapper was created to interface the
+// JHDL black-box simulator with a Verilog simulation using PLI;
+// simulation events are exchanged over network sockets and a custom
+// communication protocol" (Section 4.2).
+//
+// The generated artifacts are source text the customer drops into their
+// flow; the C skeleton documents the exact frame format of
+// net/protocol.h so any PLI 1.0/VPI environment can implement it.
+#pragma once
+
+#include <string>
+
+#include "core/blackbox.h"
+
+namespace jhdl::net {
+
+/// Verilog module with the black box's ports; its always-blocks call the
+/// PLI tasks that forward events to the applet socket.
+std::string verilog_pli_wrapper(const core::BlackBoxModel& model,
+                                std::uint16_t port);
+
+/// C skeleton implementing the PLI tasks over a TCP socket, with the
+/// frame format documented inline.
+std::string pli_c_skeleton(const core::BlackBoxModel& model,
+                           std::uint16_t port);
+
+}  // namespace jhdl::net

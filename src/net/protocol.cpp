@@ -1,0 +1,116 @@
+#include "net/protocol.h"
+
+#include <stdexcept>
+
+#include "util/bytestream.h"
+
+namespace jhdl::net {
+namespace {
+
+void put_value(ByteWriter& w, const BitVector& v) { w.str(v.to_string()); }
+
+BitVector get_value(ByteReader& r) { return BitVector::from_string(r.str()); }
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(msg.type));
+  switch (msg.type) {
+    case MsgType::Hello:
+    case MsgType::Reset:
+    case MsgType::Bye:
+      break;
+    case MsgType::SetInput:
+      w.str(msg.name);
+      put_value(w, msg.value);
+      break;
+    case MsgType::GetOutput:
+      w.str(msg.name);
+      break;
+    case MsgType::Cycle:
+      w.varint(msg.count);
+      break;
+    case MsgType::Eval:
+      w.varint(msg.values.size());
+      for (const auto& [name, value] : msg.values) {
+        w.str(name);
+        put_value(w, value);
+      }
+      w.varint(msg.count);
+      break;
+    case MsgType::Iface:
+    case MsgType::Error:
+      w.str(msg.text);
+      break;
+    case MsgType::Ok:
+      w.varint(msg.count);
+      break;
+    case MsgType::Value:
+      put_value(w, msg.value);
+      break;
+    case MsgType::Values:
+      w.varint(msg.values.size());
+      for (const auto& [name, value] : msg.values) {
+        w.str(name);
+        put_value(w, value);
+      }
+      break;
+  }
+  return w.take();
+}
+
+Message decode(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  Message msg;
+  msg.type = static_cast<MsgType>(r.u8());
+  switch (msg.type) {
+    case MsgType::Hello:
+    case MsgType::Reset:
+    case MsgType::Bye:
+      break;
+    case MsgType::SetInput:
+      msg.name = r.str();
+      msg.value = get_value(r);
+      break;
+    case MsgType::GetOutput:
+      msg.name = r.str();
+      break;
+    case MsgType::Cycle:
+      msg.count = r.varint();
+      break;
+    case MsgType::Eval: {
+      std::size_t n = r.varint();
+      for (std::size_t i = 0; i < n; ++i) {
+        std::string name = r.str();
+        msg.values.emplace(std::move(name), get_value(r));
+      }
+      msg.count = r.varint();
+      break;
+    }
+    case MsgType::Iface:
+    case MsgType::Error:
+      msg.text = r.str();
+      break;
+    case MsgType::Ok:
+      msg.count = r.varint();
+      break;
+    case MsgType::Value:
+      msg.value = get_value(r);
+      break;
+    case MsgType::Values: {
+      std::size_t n = r.varint();
+      for (std::size_t i = 0; i < n; ++i) {
+        std::string name = r.str();
+        msg.values.emplace(std::move(name), get_value(r));
+      }
+      break;
+    }
+    default:
+      throw std::runtime_error("protocol: unknown message type " +
+                               std::to_string(static_cast<int>(msg.type)));
+  }
+  return msg;
+}
+
+}  // namespace jhdl::net

@@ -1,0 +1,69 @@
+// Black-box co-simulation wire protocol (paper Section 4.2: "simulation
+// events are exchanged over network sockets and a custom communication
+// protocol").
+//
+// Framing: u32 little-endian payload length, then the payload. The first
+// payload byte is the message type; the rest is message-specific and
+// encoded with ByteWriter primitives. Values travel as BitVector strings
+// ("10x1", MSB first), which keeps X-propagation visible across the wire.
+//
+// Requests (client -> server):
+//   Hello                          expects IFACE
+//   SetInput  name, value          expects Ok
+//   GetOutput name                 expects Value
+//   Cycle     n                    expects Ok
+//   Reset                          expects Ok
+//   Eval      {name,value}*, n     expects Values   (one-round-trip RMI
+//                                   style: set all inputs, cycle n, read
+//                                   all outputs - the JavaCAD baseline)
+//   Bye                            closes the session
+//
+// Replies (server -> client):
+//   Iface  json text               interface descriptor
+//   Ok     cycle_count
+//   Value  bits
+//   Values {name,bits}*
+//   Error  message
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bitvector.h"
+
+namespace jhdl::net {
+
+enum class MsgType : std::uint8_t {
+  Hello = 1,
+  SetInput = 2,
+  GetOutput = 3,
+  Cycle = 4,
+  Reset = 5,
+  Eval = 6,
+  Bye = 7,
+  Iface = 64,
+  Ok = 65,
+  Value = 66,
+  Values = 67,
+  Error = 68,
+};
+
+/// A decoded protocol message. Fields are used per type (see above).
+struct Message {
+  MsgType type = MsgType::Bye;
+  std::string text;                       // Iface json / Error message
+  std::string name;                       // SetInput / GetOutput
+  BitVector value;                        // SetInput / Value
+  std::uint64_t count = 0;                // Cycle n / Ok cycle_count
+  std::map<std::string, BitVector> values;  // Eval inputs / Values outputs
+};
+
+/// Encode a message payload (without the length frame).
+std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Decode a payload. Throws std::runtime_error on malformed input.
+Message decode(const std::vector<std::uint8_t>& payload);
+
+}  // namespace jhdl::net

@@ -1,0 +1,81 @@
+#include "net/sim_client.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace jhdl::net {
+
+SimClient::SimClient(std::uint16_t port, double injected_rtt_ms)
+    : stream_(TcpStream::connect(port)), injected_rtt_ms_(injected_rtt_ms) {
+  Message hello;
+  hello.type = MsgType::Hello;
+  Message reply = request(hello);
+  if (reply.type != MsgType::Iface) {
+    throw NetError("handshake failed: unexpected reply");
+  }
+  iface_ = Json::parse(reply.text);
+}
+
+Message SimClient::request(const Message& msg) {
+  if (injected_rtt_ms_ > 0.0) {
+    // One synthetic RTT per request: the wire itself is loopback, so the
+    // sleep stands in for propagation delay both ways.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(injected_rtt_ms_));
+  }
+  stream_.send_frame(encode(msg));
+  ++round_trips_;
+  Message reply = decode(stream_.recv_frame());
+  if (reply.type == MsgType::Error) {
+    throw std::runtime_error("remote error: " + reply.text);
+  }
+  return reply;
+}
+
+void SimClient::set_input(const std::string& name, const BitVector& value) {
+  Message msg;
+  msg.type = MsgType::SetInput;
+  msg.name = name;
+  msg.value = value;
+  request(msg);
+}
+
+BitVector SimClient::get_output(const std::string& name) {
+  Message msg;
+  msg.type = MsgType::GetOutput;
+  msg.name = name;
+  return request(msg).value;
+}
+
+void SimClient::cycle(std::size_t n) {
+  Message msg;
+  msg.type = MsgType::Cycle;
+  msg.count = n;
+  request(msg);
+}
+
+void SimClient::reset() {
+  Message msg;
+  msg.type = MsgType::Reset;
+  request(msg);
+}
+
+std::map<std::string, BitVector> SimClient::eval(
+    const std::map<std::string, BitVector>& inputs, std::size_t n) {
+  Message msg;
+  msg.type = MsgType::Eval;
+  msg.values = inputs;
+  msg.count = n;
+  return request(msg).values;
+}
+
+void SimClient::bye() {
+  if (!stream_.valid()) return;
+  Message msg;
+  msg.type = MsgType::Bye;
+  stream_.send_frame(encode(msg));
+  stream_.close();
+}
+
+}  // namespace jhdl::net

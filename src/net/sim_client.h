@@ -1,0 +1,63 @@
+// SimClient: the system-simulator side of Figure 4. Connects to a
+// SimServer and mirrors the BlackBoxModel API over the socket.
+//
+// Supports injected one-way latency to model a WAN link: the paper's
+// argument against server-side simulation (Web-CAD [2], JavaCAD [1]) is
+// that every simulation event pays a network round trip, while the applet
+// approach simulates locally. The `eval` call is the coarse-grained
+// RMI-style transaction (one round trip per vector); the fine-grained
+// set/cycle/get calls model per-event traffic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "util/json.h"
+
+namespace jhdl::net {
+
+/// Client handle to a remote black-box simulation.
+class SimClient {
+ public:
+  /// Connect and handshake. `injected_rtt_ms` adds a synthetic network
+  /// round-trip time to every request (0 = raw loopback).
+  SimClient(std::uint16_t port, double injected_rtt_ms = 0.0);
+
+  /// Parsed interface descriptor from the handshake.
+  const Json& interface() const { return iface_; }
+  std::string ip_name() const { return iface_.at("ip").as_string(); }
+  std::size_t latency() const {
+    return static_cast<std::size_t>(iface_.at("latency").as_int());
+  }
+
+  // Fine-grained (per-event) operations - one round trip each.
+  void set_input(const std::string& name, const BitVector& value);
+  BitVector get_output(const std::string& name);
+  void cycle(std::size_t n = 1);
+  void reset();
+
+  /// Coarse transaction: set all `inputs`, cycle `n`, return all outputs.
+  /// One round trip total.
+  std::map<std::string, BitVector> eval(
+      const std::map<std::string, BitVector>& inputs, std::size_t n);
+
+  /// Round trips performed so far.
+  std::size_t round_trips() const { return round_trips_; }
+  double injected_rtt_ms() const { return injected_rtt_ms_; }
+
+  /// Close the session politely.
+  void bye();
+
+ private:
+  Message request(const Message& msg);
+
+  TcpStream stream_;
+  Json iface_;
+  double injected_rtt_ms_;
+  std::size_t round_trips_ = 0;
+};
+
+}  // namespace jhdl::net

@@ -1,0 +1,98 @@
+#include "net/sim_server.h"
+
+namespace jhdl::net {
+
+SimServer::SimServer(std::unique_ptr<core::BlackBoxModel> model)
+    : model_(std::move(model)) {}
+
+SimServer::~SimServer() { stop(); }
+
+std::uint16_t SimServer::start() {
+  listener_ = std::make_unique<TcpListener>();
+  std::uint16_t port = listener_->port();
+  running_ = true;
+  thread_ = std::thread([this] {
+    while (running_) {
+      try {
+        serve_session(listener_->accept());
+      } catch (const NetError&) {
+        // Listener closed during stop(), or a session died; either way,
+        // re-check running_ and exit or accept the next session.
+      }
+    }
+  });
+  return port;
+}
+
+void SimServer::stop() {
+  running_ = false;
+  if (listener_ != nullptr) {
+    listener_->close();  // unblocks accept()
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void SimServer::serve_session(TcpStream stream) {
+  while (true) {
+    Message request = decode(stream.recv_frame());
+    if (request.type == MsgType::Bye) return;
+    ++requests_;
+    Message reply;
+    try {
+      reply = handle(request);
+    } catch (const std::exception& e) {
+      reply.type = MsgType::Error;
+      reply.text = e.what();
+    }
+    stream.send_frame(encode(reply));
+  }
+}
+
+Message SimServer::handle(const Message& request) {
+  Message reply;
+  switch (request.type) {
+    case MsgType::Hello:
+      reply.type = MsgType::Iface;
+      reply.text = model_->interface_json().dump();
+      break;
+    case MsgType::SetInput:
+      model_->set_input(request.name, request.value);
+      reply.type = MsgType::Ok;
+      reply.count = model_->cycle_count();
+      break;
+    case MsgType::GetOutput:
+      reply.type = MsgType::Value;
+      reply.value = model_->get_output(request.name);
+      break;
+    case MsgType::Cycle:
+      model_->cycle(request.count);
+      reply.type = MsgType::Ok;
+      reply.count = model_->cycle_count();
+      break;
+    case MsgType::Reset:
+      model_->reset();
+      reply.type = MsgType::Ok;
+      reply.count = model_->cycle_count();
+      break;
+    case MsgType::Eval: {
+      // RMI-style transaction: set all inputs, advance, read all outputs.
+      for (const auto& [name, value] : request.values) {
+        model_->set_input(name, value);
+      }
+      if (request.count > 0) model_->cycle(request.count);
+      reply.type = MsgType::Values;
+      for (const core::BlackBoxPort& p : model_->ports()) {
+        if (!p.is_input) {
+          reply.values.emplace(p.name, model_->get_output(p.name));
+        }
+      }
+      break;
+    }
+    default:
+      reply.type = MsgType::Error;
+      reply.text = "unexpected message type";
+  }
+  return reply;
+}
+
+}  // namespace jhdl::net

@@ -1,0 +1,49 @@
+// SimServer: serves a BlackBoxModel over the co-simulation protocol -
+// the applet side of Figure 4. One thread services one session; the
+// model's internals never cross the wire, only port values.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "core/blackbox.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace jhdl::net {
+
+/// Serves one black-box model to one client session.
+class SimServer {
+ public:
+  /// Takes ownership of the model.
+  explicit SimServer(std::unique_ptr<core::BlackBoxModel> model);
+  ~SimServer();
+  SimServer(const SimServer&) = delete;
+  SimServer& operator=(const SimServer&) = delete;
+
+  /// Start listening and servicing sessions on a background thread.
+  /// Returns the port to connect to.
+  std::uint16_t start();
+
+  /// Stop the server and join the thread. Idempotent.
+  void stop();
+
+  /// Requests handled so far (protocol round trips).
+  std::size_t requests_served() const { return requests_.load(); }
+
+  /// Service a single already-accepted session (blocking). Exposed for
+  /// in-process tests without the background thread.
+  void serve_session(TcpStream stream);
+
+ private:
+  Message handle(const Message& request);
+
+  std::unique_ptr<core::BlackBoxModel> model_;
+  std::unique_ptr<TcpListener> listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> requests_{0};
+};
+
+}  // namespace jhdl::net

@@ -1,0 +1,154 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace jhdl::net {
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+TcpStream::~TcpStream() { close(); }
+
+TcpStream::TcpStream(TcpStream&& rhs) noexcept : fd_(rhs.fd_) {
+  rhs.fd_ = -1;
+}
+
+TcpStream& TcpStream::operator=(TcpStream&& rhs) noexcept {
+  if (this != &rhs) {
+    close();
+    fd_ = rhs.fd_;
+    rhs.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream TcpStream::connect(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) raise_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    raise_errno("connect");
+  }
+  set_nodelay(fd);
+  return TcpStream(fd);
+}
+
+void TcpStream::send_all(const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      raise_errno("send");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void TcpStream::recv_all(std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    ssize_t n = ::recv(fd_, data, size, 0);
+    if (n == 0) throw NetError("connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("recv");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void TcpStream::send_frame(const std::vector<std::uint8_t>& payload) {
+  if (!valid()) throw NetError("send on closed stream");
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<std::uint8_t>(len);
+  header[1] = static_cast<std::uint8_t>(len >> 8);
+  header[2] = static_cast<std::uint8_t>(len >> 16);
+  header[3] = static_cast<std::uint8_t>(len >> 24);
+  send_all(header, 4);
+  if (!payload.empty()) send_all(payload.data(), payload.size());
+}
+
+std::vector<std::uint8_t> TcpStream::recv_frame() {
+  if (!valid()) throw NetError("recv on closed stream");
+  std::uint8_t header[4];
+  recv_all(header, 4);
+  std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                      (static_cast<std::uint32_t>(header[1]) << 8) |
+                      (static_cast<std::uint32_t>(header[2]) << 16) |
+                      (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > (64u << 20)) throw NetError("frame too large");
+  std::vector<std::uint8_t> payload(len);
+  if (len > 0) recv_all(payload.data(), len);
+  return payload;
+}
+
+TcpListener::TcpListener() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) raise_errno("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // kernel-chosen port
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    raise_errno("bind");
+  }
+  if (::listen(fd_, 4) != 0) raise_errno("listen");
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    raise_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    // shutdown() first: closing alone does not wake a thread blocked in
+    // accept() on Linux, which would deadlock SimServer::stop().
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream TcpListener::accept() {
+  int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) raise_errno("accept");
+  set_nodelay(fd);
+  return TcpStream(fd);
+}
+
+}  // namespace jhdl::net

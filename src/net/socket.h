@@ -1,0 +1,64 @@
+// Minimal RAII TCP sockets over the loopback interface, plus length-framed
+// message transport for the co-simulation protocol.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace jhdl::net {
+
+/// Raised on socket-level failures (connect/bind/IO errors, peer close).
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A connected TCP stream. Move-only; closes on destruction.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream();
+  TcpStream(TcpStream&& rhs) noexcept;
+  TcpStream& operator=(TcpStream&& rhs) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Connect to 127.0.0.1:port. Throws NetError on failure.
+  static TcpStream connect(std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one length-framed payload. Throws NetError on failure.
+  void send_frame(const std::vector<std::uint8_t>& payload);
+  /// Receive one frame. Throws NetError on failure or orderly close.
+  std::vector<std::uint8_t> recv_frame();
+
+ private:
+  void send_all(const std::uint8_t* data, std::size_t size);
+  void recv_all(std::uint8_t* data, std::size_t size);
+  int fd_ = -1;
+};
+
+/// A listening socket on 127.0.0.1 with a kernel-chosen port.
+class TcpListener {
+ public:
+  TcpListener();
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  /// Accept one connection (blocking). Throws NetError on failure.
+  TcpStream accept();
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace jhdl::net

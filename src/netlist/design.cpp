@@ -1,0 +1,239 @@
+#include "netlist/design.h"
+
+#include <set>
+
+#include "hdl/error.h"
+#include "hdl/net.h"
+#include "hdl/primitive.h"
+#include "hdl/visitor.h"
+#include "util/strings.h"
+
+namespace jhdl::netlist {
+namespace {
+
+std::vector<PortDecl> declare_ports(const Cell& cell) {
+  std::vector<PortDecl> out;
+  for (const Port& p : cell.ports()) {
+    out.push_back(PortDecl{sanitize_identifier(p.name), p.dir,
+                           p.wire->width()});
+  }
+  return out;
+}
+
+/// Allocates names unique within one definition scope.
+class NameScope {
+ public:
+  std::string claim(const std::string& base) {
+    std::string candidate = base;
+    int suffix = 1;
+    while (!used_.insert(candidate).second) {
+      candidate = base + "_" + std::to_string(suffix++);
+    }
+    return candidate;
+  }
+
+ private:
+  std::set<std::string> used_;
+};
+
+}  // namespace
+
+Design::Design(const Cell& top, const NetlistOptions& options)
+    : options_(options) {
+  if (options_.flatten) {
+    // Leaf definitions are created on demand while walking primitives.
+    build_flat_def(top);
+  } else {
+    def_for(top);
+  }
+  if (!options_.top_name.empty()) {
+    defs_.back()->name = sanitize_identifier(options_.top_name);
+  }
+}
+
+std::string Design::unique_def_name(const std::string& base) {
+  std::string b = sanitize_identifier(base);
+  int& count = def_name_counts_[b];
+  std::string name = count == 0 ? b : b + "_d" + std::to_string(count);
+  ++count;
+  return name;
+}
+
+DefInfo* Design::build_leaf_def(const Cell& prim) {
+  std::string type = prim.type_name().empty()
+                         ? sanitize_identifier(prim.name())
+                         : prim.type_name();
+  // Leaf definitions are shared per type AND port signature: the same
+  // library cell instanced with optional pins omitted must not alias a
+  // fully pinned definition.
+  std::string key = type;
+  for (const Port& p : prim.ports()) {
+    key += "/" + p.name + ":" + std::to_string(p.wire->width());
+  }
+  auto it = leaf_defs_.find(key);
+  if (it != leaf_defs_.end()) return it->second;
+
+  auto def = std::make_unique<DefInfo>();
+  def->exemplar = &prim;
+  def->name = unique_def_name(type);
+  def->is_leaf = true;
+  def->ports = declare_ports(prim);
+  DefInfo* raw = def.get();
+  // Leaf definitions go to the front half of the list naturally because
+  // they are created before the composite defs that instance them.
+  defs_.push_back(std::move(def));
+  leaf_defs_.emplace(key, raw);
+  return raw;
+}
+
+DefInfo* Design::def_for(const Cell& cell) {
+  if (cell.is_primitive()) return build_leaf_def(cell);
+  auto it = cell_def_.find(&cell);
+  if (it != cell_def_.end()) return it->second;
+  // Children first so definitions appear before their uses.
+  for (const Cell* child : cell.children()) {
+    def_for(*child);
+  }
+  return build_composite_def(cell);
+}
+
+DefInfo* Design::build_composite_def(const Cell& cell) {
+  auto def = std::make_unique<DefInfo>();
+  def->exemplar = &cell;
+  def->name = unique_def_name(cell.type_name().empty() ? cell.name()
+                                                       : cell.type_name());
+  def->ports = declare_ports(cell);
+
+  // Scope map: net -> name in this definition.
+  std::map<const Net*, BitRef> net_map;
+  NameScope names;
+  for (std::size_t pi = 0; pi < cell.ports().size(); ++pi) {
+    const Port& p = cell.ports()[pi];
+    const PortDecl& decl = def->ports[pi];
+    names.claim(decl.name);
+    for (std::size_t i = 0; i < p.wire->width(); ++i) {
+      net_map.emplace(p.wire->net(i),
+                      BitRef{decl.name, static_cast<int>(i),
+                             static_cast<int>(p.wire->width())});
+    }
+  }
+
+  auto resolve = [&](const Net* net) -> BitRef {
+    auto found = net_map.find(net);
+    if (found != net_map.end()) return found->second;
+    // Not a port net: becomes an internal scalar net of this definition.
+    // A net may be internal to exactly one definition; seeing it again in
+    // another definition means a wire crossed a cell boundary without a
+    // port, which no hierarchical netlist can represent.
+    std::string base = names.claim(sanitize_identifier(net->name()));
+    BitRef ref{base, -1, 1};
+    net_map.emplace(net, ref);
+    def->internal_nets.push_back(base);
+    auto claimed = internal_owner_.emplace(net, def.get());
+    if (!claimed.second) {
+      throw HdlError(
+          "net '" + net->name() + "' is used inside both '" +
+          claimed.first->second->name + "' and '" + def->name +
+          "' but is not exposed through ports; add ports along the path");
+    }
+    return ref;
+  };
+
+  NameScope inst_names;
+  for (const Cell* child : cell.children()) {
+    InstanceInfo inst;
+    inst.cell = child;
+    inst.inst_name = inst_names.claim(sanitize_identifier(child->name()));
+    inst.is_primitive = child->is_primitive();
+    DefInfo* child_def = child->is_primitive()
+                             ? build_leaf_def(*child)
+                             : cell_def_.at(child);
+    inst.def_name = child_def->name;
+    for (const Port& cp : child->ports()) {
+      PortConn conn;
+      conn.name = sanitize_identifier(cp.name);
+      conn.dir = cp.dir;
+      for (std::size_t i = 0; i < cp.wire->width(); ++i) {
+        conn.bits.push_back(resolve(cp.wire->net(i)));
+      }
+      inst.conns.push_back(std::move(conn));
+    }
+    def->instances.push_back(std::move(inst));
+  }
+
+  DefInfo* raw = def.get();
+  defs_.push_back(std::move(def));
+  cell_def_.emplace(&cell, raw);
+  return raw;
+}
+
+DefInfo* Design::build_flat_def(const Cell& top) {
+  auto def = std::make_unique<DefInfo>();
+  def->exemplar = &top;
+  def->ports = declare_ports(top);
+
+  std::map<const Net*, BitRef> net_map;
+  NameScope names;
+  for (std::size_t pi = 0; pi < top.ports().size(); ++pi) {
+    const Port& p = top.ports()[pi];
+    const PortDecl& decl = def->ports[pi];
+    names.claim(decl.name);
+    for (std::size_t i = 0; i < p.wire->width(); ++i) {
+      net_map.emplace(p.wire->net(i),
+                      BitRef{decl.name, static_cast<int>(i),
+                             static_cast<int>(p.wire->width())});
+    }
+  }
+
+  auto resolve = [&](const Net* net) -> BitRef {
+    auto found = net_map.find(net);
+    if (found != net_map.end()) return found->second;
+    std::string base = names.claim(sanitize_identifier(net->name()));
+    BitRef ref{base, -1, 1};
+    net_map.emplace(net, ref);
+    def->internal_nets.push_back(base);
+    return ref;
+  };
+
+  const std::string top_path = top.full_name();
+  auto prims = collect_primitives(const_cast<Cell&>(top));
+  NameScope inst_names;
+  for (const Primitive* prim : prims) {
+    InstanceInfo inst;
+    inst.cell = prim;
+    std::string rel = prim->full_name();
+    if (starts_with(rel, top_path)) rel = rel.substr(top_path.size());
+    inst.inst_name = inst_names.claim(sanitize_identifier(rel));
+    inst.is_primitive = true;
+    inst.def_name = build_leaf_def(*prim)->name;
+    for (const Port& cp : prim->ports()) {
+      PortConn conn;
+      conn.name = sanitize_identifier(cp.name);
+      conn.dir = cp.dir;
+      for (std::size_t i = 0; i < cp.wire->width(); ++i) {
+        conn.bits.push_back(resolve(cp.wire->net(i)));
+      }
+      inst.conns.push_back(std::move(conn));
+    }
+    def->instances.push_back(std::move(inst));
+  }
+
+  def->name = unique_def_name(top.type_name().empty() ? top.name()
+                                                      : top.type_name());
+  DefInfo* raw = def.get();
+  defs_.push_back(std::move(def));
+  return raw;
+}
+
+DesignStats Design::stats() const {
+  DesignStats s;
+  for (const auto& def : defs_) {
+    ++s.definitions;
+    if (def->is_leaf) ++s.leaf_definitions;
+    s.instances += def->instances.size();
+    s.nets += def->internal_nets.size();
+  }
+  return s;
+}
+
+}  // namespace jhdl::netlist

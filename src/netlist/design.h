@@ -1,0 +1,110 @@
+// Netlist scoping: converts the live circuit object graph into a
+// format-neutral Design description (definitions, instances, scoped net
+// names) that each writer (EDIF / VHDL / Verilog / JSON) renders.
+//
+// This is the C++ equivalent of JHDL's netlister API: "the structure,
+// interconnect, hierarchy and properties of a circuit described in JHDL is
+// exposed and can be regenerated in one of many possible formats" (paper,
+// Section 2.2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hdl/cell.h"
+#include "hdl/hwsystem.h"
+
+namespace jhdl::netlist {
+
+/// Options shared by all netlist writers.
+struct NetlistOptions {
+  /// Emit a single definition containing every primitive (hierarchical
+  /// instance names) instead of one definition per composite cell.
+  bool flatten = false;
+  /// Override the top definition's name (default: the top cell's type or
+  /// instance name).
+  std::string top_name;
+};
+
+/// Reference to one bit of a net within a definition's scope: either a
+/// port bit (base + index into a vector port) or a scalar internal net.
+struct BitRef {
+  std::string base;  ///< port name or internal net name
+  int index = -1;    ///< bit index for vector ports; -1 for scalars
+  int width = 1;     ///< declared width of the base (1 => render as scalar)
+};
+
+/// A declared port of a definition.
+struct PortDecl {
+  std::string name;
+  PortDir dir;
+  std::size_t width;
+};
+
+/// Connection of one instance port: the port's bits (LSB first) resolved
+/// into the enclosing definition's scope.
+struct PortConn {
+  std::string name;
+  PortDir dir;
+  std::vector<BitRef> bits;
+};
+
+/// One child instance inside a definition.
+struct InstanceInfo {
+  const Cell* cell = nullptr;
+  std::string inst_name;  ///< sanitized, unique within the definition
+  std::string def_name;   ///< resolved definition name
+  bool is_primitive = false;
+  std::vector<PortConn> conns;
+};
+
+/// A definition: interface + contents of one cell (or, for primitives,
+/// interface only - their contents live in the technology library).
+struct DefInfo {
+  const Cell* exemplar = nullptr;
+  std::string name;
+  bool is_leaf = false;
+  std::vector<PortDecl> ports;
+  std::vector<std::string> internal_nets;  ///< scalar net names
+  std::vector<InstanceInfo> instances;
+};
+
+/// Summary counters reported by viewers and the applet UI.
+struct DesignStats {
+  std::size_t definitions = 0;
+  std::size_t leaf_definitions = 0;
+  std::size_t instances = 0;
+  std::size_t nets = 0;  ///< internal nets summed over definitions
+};
+
+/// The scoped design: definitions in dependency order (children before the
+/// definitions that instance them; the top definition is last).
+class Design {
+ public:
+  /// Builds the scoped design for `top`. Throws HdlError when a wire
+  /// crosses a cell boundary without a declared port (ill-formed
+  /// hierarchy), since that cannot be represented in any netlist.
+  Design(const Cell& top, const NetlistOptions& options);
+
+  const std::vector<std::unique_ptr<DefInfo>>& defs() const { return defs_; }
+  const DefInfo& top_def() const { return *defs_.back(); }
+  DesignStats stats() const;
+
+ private:
+  DefInfo* build_leaf_def(const Cell& prim);
+  DefInfo* build_composite_def(const Cell& cell);
+  DefInfo* build_flat_def(const Cell& top);
+  DefInfo* def_for(const Cell& cell);
+  std::string unique_def_name(const std::string& base);
+
+  NetlistOptions options_;
+  std::vector<std::unique_ptr<DefInfo>> defs_;
+  std::map<const Cell*, DefInfo*> cell_def_;       // composite cells
+  std::map<std::string, DefInfo*> leaf_defs_;      // primitives by type
+  std::map<std::string, int> def_name_counts_;
+  std::map<const Net*, DefInfo*> internal_owner_;  // hierarchy check
+};
+
+}  // namespace jhdl::netlist

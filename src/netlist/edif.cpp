@@ -1,0 +1,145 @@
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "netlist/netlist.h"
+
+namespace jhdl::netlist {
+namespace {
+
+/// EDIF rendering of one scope-net key.
+struct NetKey {
+  std::string base;
+  int index;  // -1 for scalar
+  bool operator<(const NetKey& rhs) const {
+    return std::tie(base, index) < std::tie(rhs.base, rhs.index);
+  }
+};
+
+struct PortTouch {
+  std::string instance;  // empty = the definition's own port
+  std::string port;
+  int member;  // -1 scalar
+};
+
+void emit_port_decl(std::ostream& os, const PortDecl& p,
+                    const std::string& indent) {
+  const char* dir = p.dir == PortDir::In    ? "INPUT"
+                    : p.dir == PortDir::Out ? "OUTPUT"
+                                            : "INOUT";
+  if (p.width == 1) {
+    os << indent << "(port " << p.name << " (direction " << dir << "))\n";
+  } else {
+    os << indent << "(port (array (rename " << p.name << " \"" << p.name
+       << "\") " << p.width << ") (direction " << dir << "))\n";
+  }
+}
+
+void emit_port_ref(std::ostream& os, const PortTouch& t) {
+  os << "(portRef ";
+  if (t.member >= 0) {
+    os << "(member " << t.port << " " << t.member << ")";
+  } else {
+    os << t.port;
+  }
+  if (!t.instance.empty()) {
+    os << " (instanceRef " << t.instance << ")";
+  }
+  os << ")";
+}
+
+void emit_cell(std::ostream& os, const DefInfo& def, const std::string& lib) {
+  os << "  (cell " << def.name << " (cellType GENERIC)\n";
+  os << "   (view netlist (viewType NETLIST)\n";
+  os << "    (interface\n";
+  for (const PortDecl& p : def.ports) {
+    emit_port_decl(os, p, "     ");
+  }
+  os << "    )\n";
+  if (!def.is_leaf) {
+    os << "    (contents\n";
+    // Instances.
+    for (const InstanceInfo& inst : def.instances) {
+      os << "     (instance " << inst.inst_name << " (viewRef netlist (cellRef "
+         << inst.def_name << " (libraryRef "
+         << (inst.is_primitive ? "virtex" : lib) << ")))";
+      for (const auto& [key, value] : inst.cell->properties()) {
+        os << "\n      (property " << key << " (string \"" << value << "\"))";
+      }
+      os << ")\n";
+    }
+    // Connectivity: group every port touch by scope net.
+    std::map<NetKey, std::vector<PortTouch>> joins;
+    for (const PortDecl& p : def.ports) {
+      for (std::size_t i = 0; i < p.width; ++i) {
+        NetKey key{p.name, p.width == 1 ? -1 : static_cast<int>(i)};
+        joins[key].push_back(
+            PortTouch{"", p.name, p.width == 1 ? -1 : static_cast<int>(i)});
+      }
+    }
+    for (const std::string& n : def.internal_nets) {
+      joins[NetKey{n, -1}];  // ensure the net exists even if untouched
+    }
+    for (const InstanceInfo& inst : def.instances) {
+      for (const PortConn& conn : inst.conns) {
+        for (std::size_t i = 0; i < conn.bits.size(); ++i) {
+          const BitRef& b = conn.bits[i];
+          NetKey key{b.base, b.width == 1 ? -1 : b.index};
+          int member =
+              conn.bits.size() == 1 ? -1 : static_cast<int>(i);
+          joins[key].push_back(PortTouch{inst.inst_name, conn.name, member});
+        }
+      }
+    }
+    std::set<std::string> net_names;
+    for (const auto& [key, touches] : joins) {
+      std::string net_name =
+          key.index < 0 ? key.base : key.base + "_" + std::to_string(key.index);
+      int n = 1;
+      while (!net_names.insert(net_name).second) {
+        net_name = key.base + "_" + std::to_string(key.index) + "_" +
+                   std::to_string(n++);
+      }
+      os << "     (net " << net_name << " (joined";
+      for (const PortTouch& t : touches) {
+        os << " ";
+        emit_port_ref(os, t);
+      }
+      os << "))\n";
+    }
+    os << "    )\n";
+  }
+  os << "   )\n  )\n";
+}
+
+}  // namespace
+
+std::string write_edif(const Cell& top, const NetlistOptions& options) {
+  Design design(top, options);
+  std::ostringstream os;
+  const std::string& top_name = design.top_def().name;
+  os << "(edif " << top_name << "\n";
+  os << " (edifVersion 2 0 0)\n (edifLevel 0)\n";
+  os << " (keywordMap (keywordLevel 0))\n";
+  os << " (status (written (timeStamp 2002 6 10 0 0 0) (program \"jhdlpp\" "
+        "(version \"1.0\"))))\n";
+
+  os << " (library virtex\n  (edifLevel 0)\n  (technology (numberDefinition))\n";
+  for (const auto& def : design.defs()) {
+    if (def->is_leaf) emit_cell(os, *def, "work");
+  }
+  os << " )\n";
+
+  os << " (library work\n  (edifLevel 0)\n  (technology (numberDefinition))\n";
+  for (const auto& def : design.defs()) {
+    if (!def->is_leaf) emit_cell(os, *def, "work");
+  }
+  os << " )\n";
+
+  os << " (design " << top_name << " (cellRef " << top_name
+     << " (libraryRef work)))\n";
+  os << ")\n";
+  return os.str();
+}
+
+}  // namespace jhdl::netlist

@@ -1,0 +1,301 @@
+#include "netlist/edif_import.h"
+
+#include <array>
+#include <functional>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "tech/virtex.h"
+#include "util/strings.h"
+
+namespace jhdl::netlist {
+namespace {
+
+/// Key for one pin of one instance within a definition scope.
+struct PinKey {
+  std::string instance;
+  std::string port;
+  int member;  // -1 scalar
+  bool operator<(const PinKey& rhs) const {
+    return std::tie(instance, port, member) <
+           std::tie(rhs.instance, rhs.port, rhs.member);
+  }
+};
+
+std::uint16_t parse_init16(const std::string& hex) {
+  return static_cast<std::uint16_t>(std::stoul(hex, nullptr, 16));
+}
+
+std::uint16_t init_of(const EdifInstance& inst) {
+  auto it = inst.properties.find("INIT");
+  if (it == inst.properties.end()) return 0;
+  return parse_init16(it->second);
+}
+
+bool init_is_one(const EdifInstance& inst) {
+  auto it = inst.properties.find("INIT");
+  return it != inst.properties.end() && it->second == "1";
+}
+
+/// A reconstructed composite cell: its ports bind the wires the parent
+/// scope resolved for the instance.
+class ImportedCell : public Cell {
+ public:
+  ImportedCell(Node* parent, const std::string& inst_name,
+               const EdifCell& def,
+               const std::map<std::string, Wire*>& bound)
+      : Cell(parent, inst_name) {
+    set_type_name(def.name);
+    for (const EdifPort& p : def.ports) {
+      Wire* w = bound.at(p.name);
+      if (p.direction == "INPUT") {
+        port_in(p.name, w);
+      } else if (p.direction == "OUTPUT") {
+        port_out(p.name, w);
+      } else {
+        port_inout(p.name, w);
+      }
+    }
+  }
+};
+
+class Importer {
+ public:
+  explicit Importer(const EdifDoc& doc) : doc_(doc) {}
+
+  /// Elaborate `def`'s contents into `container`, whose ports are bound
+  /// to `port_wires` (name -> full-width wire).
+  void elaborate(const EdifCell& def, Cell* container,
+                 const std::map<std::string, Wire*>& port_wires) {
+    if (!stack_.insert(def.name).second) {
+      throw std::runtime_error("EDIF import: recursive cell '" + def.name +
+                               "'");
+    }
+
+    // Resolve every net to a single-bit wire in this scope.
+    std::map<PinKey, Wire*> pin_wire;
+    for (const EdifNet& net : def.nets) {
+      Wire* wire = nullptr;
+      for (const EdifPortRef& ref : net.joined) {
+        if (!ref.instance.empty()) continue;
+        auto it = port_wires.find(ref.port);
+        if (it == port_wires.end()) {
+          throw std::runtime_error("EDIF import: net '" + net.name +
+                                   "' references unknown port '" + ref.port +
+                                   "' of cell '" + def.name + "'");
+        }
+        wire = it->second->gw(
+            static_cast<std::size_t>(ref.member < 0 ? 0 : ref.member));
+        break;
+      }
+      if (wire == nullptr) {
+        wire = new Wire(container, 1, sanitize_identifier(net.name));
+      }
+      for (const EdifPortRef& ref : net.joined) {
+        if (ref.instance.empty()) continue;
+        pin_wire[PinKey{ref.instance, ref.port, ref.member}] = wire;
+      }
+    }
+
+    for (const EdifInstance& inst : def.instances) {
+      const EdifCell* child = doc_.find_cell(inst.cell_ref);
+      if (child == nullptr) {
+        throw std::runtime_error("EDIF import: unknown cell '" +
+                                 inst.cell_ref + "'");
+      }
+      auto pin = [&](const std::string& port) -> Wire* {
+        auto it = pin_wire.find(PinKey{inst.name, port, -1});
+        if (it == pin_wire.end()) {
+          throw std::runtime_error("EDIF import: instance '" + inst.name +
+                                   "' pin '" + port + "' unconnected");
+        }
+        return it->second;
+      };
+      auto bus = [&](const std::string& port, int width) -> Wire* {
+        if (width == 1) return pin(port);
+        Wire* acc = nullptr;
+        for (int i = 0; i < width; ++i) {
+          auto it = pin_wire.find(PinKey{inst.name, port, i});
+          if (it == pin_wire.end()) {
+            throw std::runtime_error(format(
+                "EDIF import: instance '%s' pin '%s[%d]' unconnected",
+                inst.name.c_str(), port.c_str(), i));
+          }
+          acc = (acc == nullptr) ? it->second : it->second->concat(acc);
+        }
+        return acc;
+      };
+
+      if (child->has_contents) {
+        // Composite: bind its ports, recurse.
+        std::map<std::string, Wire*> bound;
+        for (const EdifPort& p : child->ports) {
+          bound[p.name] = bus(p.name, p.width);
+        }
+        auto* sub = new ImportedCell(
+            container, sanitize_identifier(inst.name), *child, bound);
+        elaborate(*child, sub, bound);
+      } else {
+        build_leaf(*child, inst, container, pin, bus);
+      }
+    }
+
+    stack_.erase(def.name);
+  }
+
+ private:
+  using PinFn = std::function<Wire*(const std::string&)>;
+  using BusFn = std::function<Wire*(const std::string&, int)>;
+
+  void build_leaf(const EdifCell& def, const EdifInstance& inst, Cell* top,
+                  const PinFn& pin, const BusFn& bus) {
+    (void)def;
+    const std::string& type = inst.cell_ref;
+    Cell* built = nullptr;
+    if (type == "and2") {
+      built = new tech::And2(top, pin("i0"), pin("i1"), pin("o"));
+    } else if (type == "and3") {
+      built = new tech::And3(top, pin("i0"), pin("i1"), pin("i2"), pin("o"));
+    } else if (type == "and4") {
+      built = new tech::And4(top, pin("i0"), pin("i1"), pin("i2"), pin("i3"),
+                             pin("o"));
+    } else if (type == "or2") {
+      built = new tech::Or2(top, pin("i0"), pin("i1"), pin("o"));
+    } else if (type == "or3") {
+      built = new tech::Or3(top, pin("i0"), pin("i1"), pin("i2"), pin("o"));
+    } else if (type == "or4") {
+      built = new tech::Or4(top, pin("i0"), pin("i1"), pin("i2"), pin("i3"),
+                            pin("o"));
+    } else if (type == "xor2") {
+      built = new tech::Xor2(top, pin("i0"), pin("i1"), pin("o"));
+    } else if (type == "xor3") {
+      built = new tech::Xor3(top, pin("i0"), pin("i1"), pin("i2"), pin("o"));
+    } else if (type == "nand2") {
+      built = new tech::Nand2(top, pin("i0"), pin("i1"), pin("o"));
+    } else if (type == "nor2") {
+      built = new tech::Nor2(top, pin("i0"), pin("i1"), pin("o"));
+    } else if (type == "inv") {
+      built = new tech::Inv(top, pin("i0"), pin("o"));
+    } else if (type == "buf") {
+      built = new tech::Buf(top, pin("i0"), pin("o"));
+    } else if (type == "mux2") {
+      built = new tech::Mux2(top, pin("i0"), pin("i1"), pin("sel"), pin("o"));
+    } else if (type == "lut1") {
+      built = new tech::Lut1(top, pin("i0"), pin("o"), init_of(inst));
+    } else if (type == "lut2") {
+      built = new tech::Lut2(top, pin("i0"), pin("i1"), pin("o"),
+                             init_of(inst));
+    } else if (type == "lut3") {
+      built = new tech::Lut3(top, pin("i0"), pin("i1"), pin("i2"), pin("o"),
+                             init_of(inst));
+    } else if (type == "lut4") {
+      built = new tech::Lut4(top, pin("i0"), pin("i1"), pin("i2"), pin("i3"),
+                             pin("o"), init_of(inst));
+    } else if (type == "muxcy") {
+      built = new tech::MuxCY(top, pin("di"), pin("ci"), pin("s"), pin("o"));
+    } else if (type == "xorcy") {
+      built = new tech::XorCY(top, pin("li"), pin("ci"), pin("o"));
+    } else if (type == "muxf5") {
+      built = new tech::MuxF5(top, pin("i0"), pin("i1"), pin("s"), pin("o"));
+    } else if (type == "fd") {
+      built = new tech::FD(top, pin("d"), pin("q"), init_is_one(inst));
+    } else if (type == "fdc") {
+      built = new tech::FDC(top, pin("d"), pin("q"), pin("clr"),
+                            init_is_one(inst));
+    } else if (type == "fdce") {
+      built = new tech::FDCE(top, pin("d"), pin("q"), pin("ce"), pin("clr"),
+                             init_is_one(inst));
+    } else if (type == "fdre") {
+      built = new tech::FDRE(top, pin("d"), pin("q"), pin("ce"), pin("r"),
+                             init_is_one(inst));
+    } else if (type == "gnd") {
+      built = new tech::Gnd(top, pin("o"));
+    } else if (type == "vcc") {
+      built = new tech::Vcc(top, pin("o"));
+    } else if (starts_with(type, "const")) {
+      const int width = std::stoi(type.substr(5));
+      std::uint64_t value = 0;
+      auto it = inst.properties.find("VALUE");
+      if (it != inst.properties.end()) value = std::stoull(it->second);
+      built = new tech::Constant(top, bus("o", width), value);
+    } else if (starts_with(type, "rom16x")) {
+      const int width = std::stoi(type.substr(6));
+      std::array<std::uint64_t, 16> contents{};
+      for (int bit = 0; bit < width; ++bit) {
+        auto it = inst.properties.find("INIT_" + std::to_string(bit));
+        if (it == inst.properties.end()) continue;
+        std::uint16_t table = parse_init16(it->second);
+        for (unsigned a = 0; a < 16; ++a) {
+          if ((table >> a) & 1) contents[a] |= std::uint64_t{1} << bit;
+        }
+      }
+      built = new tech::Rom16(top, bus("a", 4), bus("d", width), contents);
+    } else if (type == "ram16x1s") {
+      built = new tech::Ram16x1s(top, bus("a", 4), pin("d"), pin("we"),
+                                 pin("o"), init_of(inst));
+    } else if (type == "srl16" || type == "srl16e") {
+      built = new tech::Srl16(top, pin("d"), bus("a", 4), pin("q"),
+                              type == "srl16e" ? pin("ce") : nullptr,
+                              init_of(inst));
+    } else if (type == "ibuf") {
+      built = new tech::Ibuf(top, pin("pad"), pin("o"));
+    } else if (type == "obuf") {
+      built = new tech::Obuf(top, pin("i"), pin("pad"));
+    } else if (type == "ramb4_s8") {
+      // Block RAM contents are not carried as EDIF properties (they live
+      // in the bitstream in real flows); imported BRAMs start zeroed.
+      built = new tech::RamB4S8(top, bus("a", 9), bus("d", 8), pin("we"),
+                                pin("en"), bus("o", 8));
+    } else {
+      throw std::runtime_error("EDIF import: unsupported leaf cell '" + type +
+                               "'");
+    }
+    built->rename(sanitize_identifier(inst.name));
+  }
+
+  const EdifDoc& doc_;
+  std::set<std::string> stack_;
+};
+
+}  // namespace
+
+ImportedCircuit import_edif(const std::string& edif_text) {
+  EdifDoc doc = read_edif(edif_text);
+  const EdifCell* top_def = doc.find_cell(doc.top_cell);
+  if (top_def == nullptr || !top_def->has_contents) {
+    throw std::runtime_error("EDIF import: top cell missing or empty");
+  }
+
+  ImportedCircuit out;
+  out.system = std::make_unique<HWSystem>("imported");
+
+  // Top-level port wires live in the fresh system's root.
+  class ImportedTop : public Cell {
+   public:
+    ImportedTop(Node* parent, const EdifCell& def,
+                std::map<std::string, Wire*>& ports)
+        : Cell(parent, def.name) {
+      set_type_name(def.name);
+      for (const EdifPort& p : def.ports) {
+        Wire* w = new Wire(this, static_cast<std::size_t>(p.width), p.name);
+        ports[p.name] = w;
+        if (p.direction == "INPUT") {
+          port_in(p.name, w);
+        } else if (p.direction == "OUTPUT") {
+          port_out(p.name, w);
+        } else {
+          port_inout(p.name, w);
+        }
+      }
+    }
+  };
+  auto* top = new ImportedTop(out.system.get(), *top_def, out.ports);
+  out.top = top;
+
+  Importer importer(doc);
+  importer.elaborate(*top_def, top, out.ports);
+  return out;
+}
+
+}  // namespace jhdl::netlist

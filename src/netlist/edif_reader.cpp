@@ -1,0 +1,248 @@
+#include "netlist/edif_reader.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace jhdl::netlist {
+namespace {
+
+class SexpParser {
+ public:
+  explicit SexpParser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<Sexp> parse() {
+    skip_ws();
+    auto root = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error("sexp parse error at offset " +
+                             std::to_string(pos_) + ": " + msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::unique_ptr<Sexp> value() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    if (text_[pos_] == '(') return list();
+    return atom();
+  }
+
+  std::unique_ptr<Sexp> list() {
+    ++pos_;  // consume '('
+    auto node = std::make_unique<Sexp>();
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size()) fail("unbalanced '('");
+      if (text_[pos_] == ')') {
+        ++pos_;
+        return node;
+      }
+      node->items.push_back(value());
+    }
+  }
+
+  std::unique_ptr<Sexp> atom() {
+    auto node = std::make_unique<Sexp>();
+    node->is_atom = true;
+    if (text_[pos_] == '"') {
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        node->atom.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) fail("unterminated string");
+      ++pos_;  // closing quote
+      return node;
+    }
+    while (pos_ < text_.size() && text_[pos_] != '(' && text_[pos_] != ')' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      node->atom.push_back(text_[pos_++]);
+    }
+    if (node->atom.empty()) fail("empty token");
+    return node;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Name of an EDIF object that may be plain or (rename <id> "<name>").
+std::string object_name(const Sexp& list, std::size_t index) {
+  if (index >= list.items.size()) return "";
+  const Sexp& item = *list.items[index];
+  if (item.is_atom) return item.atom;
+  if (item.keyword() == "rename" && item.items.size() >= 2 &&
+      item.items[1]->is_atom) {
+    return item.items[1]->atom;
+  }
+  return "";
+}
+
+EdifPort extract_port(const Sexp& port_sexp) {
+  EdifPort port;
+  if (port_sexp.items.size() < 2) {
+    throw std::runtime_error("EDIF: malformed (port ...)");
+  }
+  // (port NAME (direction D)) or (port (array (rename N "N") W) (dir ...))
+  const Sexp& name_item = *port_sexp.items[1];
+  if (name_item.is_atom) {
+    port.name = name_item.atom;
+  } else if (name_item.keyword() == "array") {
+    port.name = object_name(name_item, 1);
+    if (name_item.items.size() >= 3 && name_item.items[2]->is_atom) {
+      port.width = std::stoi(name_item.items[2]->atom);
+    }
+  } else if (name_item.keyword() == "rename") {
+    port.name = object_name(port_sexp, 1);
+  }
+  if (const Sexp* dir = port_sexp.find("direction")) {
+    if (dir->items.size() >= 2 && dir->items[1]->is_atom) {
+      port.direction = dir->items[1]->atom;
+    }
+  }
+  return port;
+}
+
+EdifPortRef extract_port_ref(const Sexp& ref_sexp) {
+  EdifPortRef ref;
+  if (ref_sexp.items.size() < 2) {
+    throw std::runtime_error("EDIF: malformed (portRef ...)");
+  }
+  const Sexp& target = *ref_sexp.items[1];
+  if (target.is_atom) {
+    ref.port = target.atom;
+  } else if (target.keyword() == "member") {
+    ref.port = object_name(target, 1);
+    if (target.items.size() >= 3 && target.items[2]->is_atom) {
+      ref.member = std::stoi(target.items[2]->atom);
+    }
+  }
+  if (const Sexp* inst = ref_sexp.find("instanceRef")) {
+    ref.instance = object_name(*inst, 1);
+  }
+  return ref;
+}
+
+EdifInstance extract_instance(const Sexp& inst_sexp) {
+  EdifInstance inst;
+  inst.name = object_name(inst_sexp, 1);
+  if (const Sexp* view_ref = inst_sexp.find("viewRef")) {
+    if (const Sexp* cell_ref = view_ref->find("cellRef")) {
+      inst.cell_ref = object_name(*cell_ref, 1);
+      if (const Sexp* lib_ref = cell_ref->find("libraryRef")) {
+        inst.library_ref = object_name(*lib_ref, 1);
+      }
+    }
+  }
+  for (const Sexp* prop : inst_sexp.find_all("property")) {
+    std::string key = object_name(*prop, 1);
+    if (const Sexp* str = prop->find("string")) {
+      if (str->items.size() >= 2 && str->items[1]->is_atom) {
+        inst.properties[key] = str->items[1]->atom;
+      }
+    }
+  }
+  return inst;
+}
+
+EdifCell extract_cell(const Sexp& cell_sexp) {
+  EdifCell cell;
+  cell.name = object_name(cell_sexp, 1);
+  const Sexp* view = cell_sexp.find("view");
+  if (view == nullptr) return cell;
+  if (const Sexp* iface = view->find("interface")) {
+    for (const Sexp* port : iface->find_all("port")) {
+      cell.ports.push_back(extract_port(*port));
+    }
+  }
+  if (const Sexp* contents = view->find("contents")) {
+    cell.has_contents = true;
+    for (const Sexp* inst : contents->find_all("instance")) {
+      cell.instances.push_back(extract_instance(*inst));
+    }
+    for (const Sexp* net_sexp : contents->find_all("net")) {
+      EdifNet net;
+      net.name = object_name(*net_sexp, 1);
+      if (const Sexp* joined = net_sexp->find("joined")) {
+        for (const Sexp* ref : joined->find_all("portRef")) {
+          net.joined.push_back(extract_port_ref(*ref));
+        }
+      }
+      cell.nets.push_back(std::move(net));
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+const std::string& Sexp::keyword() const {
+  static const std::string empty;
+  if (is_atom || items.empty() || !items[0]->is_atom) return empty;
+  return items[0]->atom;
+}
+
+std::vector<const Sexp*> Sexp::find_all(const std::string& kw) const {
+  std::vector<const Sexp*> out;
+  for (const auto& item : items) {
+    if (!item->is_atom && item->keyword() == kw) out.push_back(item.get());
+  }
+  return out;
+}
+
+const Sexp* Sexp::find(const std::string& kw) const {
+  for (const auto& item : items) {
+    if (!item->is_atom && item->keyword() == kw) return item.get();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Sexp> parse_sexp(const std::string& text) {
+  return SexpParser(text).parse();
+}
+
+const EdifCell* EdifDoc::find_cell(const std::string& name) const {
+  for (const EdifLibrary& lib : libraries) {
+    for (const EdifCell& cell : lib.cells) {
+      if (cell.name == name) return &cell;
+    }
+  }
+  return nullptr;
+}
+
+EdifDoc read_edif(const std::string& text) {
+  std::unique_ptr<Sexp> root = parse_sexp(text);
+  if (root->keyword() != "edif") {
+    throw std::runtime_error("not an EDIF document");
+  }
+  EdifDoc doc;
+  doc.design_name = object_name(*root, 1);
+  for (const Sexp* lib_sexp : root->find_all("library")) {
+    EdifLibrary lib;
+    lib.name = object_name(*lib_sexp, 1);
+    for (const Sexp* cell_sexp : lib_sexp->find_all("cell")) {
+      lib.cells.push_back(extract_cell(*cell_sexp));
+    }
+    doc.libraries.push_back(std::move(lib));
+  }
+  if (const Sexp* design = root->find("design")) {
+    if (const Sexp* cell_ref = design->find("cellRef")) {
+      doc.top_cell = object_name(*cell_ref, 1);
+    }
+  }
+  if (doc.top_cell.empty()) {
+    throw std::runtime_error("EDIF document has no (design ... (cellRef ...))");
+  }
+  return doc;
+}
+
+}  // namespace jhdl::netlist

@@ -1,0 +1,87 @@
+// EDIF 2.0.0 reader: parses the netlists produced by write_edif() (and
+// EDIF from other tools with the same NETLIST-view structure) back into a
+// document model. Used by round-trip tests and by customers' tool flows
+// that want to re-import delivered IP.
+//
+// The reader is a generic s-expression parser plus an extractor for the
+// subset of EDIF that carries structure: libraries, cells, interfaces
+// (scalar and array ports), instances (with properties), and joined nets.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jhdl::netlist {
+
+/// A parsed s-expression: an atom or a list.
+struct Sexp {
+  bool is_atom = false;
+  std::string atom;                         // valid when is_atom
+  std::vector<std::unique_ptr<Sexp>> items;  // valid when !is_atom
+
+  /// First atom of a list (the keyword), or "" for atoms/empty lists.
+  const std::string& keyword() const;
+  /// All sub-lists whose keyword is `kw`.
+  std::vector<const Sexp*> find_all(const std::string& kw) const;
+  /// First sub-list with keyword `kw`, or nullptr.
+  const Sexp* find(const std::string& kw) const;
+};
+
+/// Parse one s-expression from text. Throws std::runtime_error with an
+/// offset on malformed input (unbalanced parens, bad tokens).
+std::unique_ptr<Sexp> parse_sexp(const std::string& text);
+
+// --- extracted EDIF document ---
+
+struct EdifPortRef {
+  std::string port;
+  int member = -1;        // -1 = scalar reference
+  std::string instance;   // "" = the cell's own port
+};
+
+struct EdifNet {
+  std::string name;
+  std::vector<EdifPortRef> joined;
+};
+
+struct EdifInstance {
+  std::string name;
+  std::string cell_ref;
+  std::string library_ref;
+  std::map<std::string, std::string> properties;
+};
+
+struct EdifPort {
+  std::string name;
+  std::string direction;  // "INPUT" / "OUTPUT" / "INOUT"
+  int width = 1;          // >1 for array ports
+};
+
+struct EdifCell {
+  std::string name;
+  std::vector<EdifPort> ports;
+  std::vector<EdifInstance> instances;
+  std::vector<EdifNet> nets;
+  bool has_contents = false;  // leaf library cells have interface only
+};
+
+struct EdifLibrary {
+  std::string name;
+  std::vector<EdifCell> cells;
+};
+
+struct EdifDoc {
+  std::string design_name;
+  std::string top_cell;
+  std::vector<EdifLibrary> libraries;
+
+  const EdifCell* find_cell(const std::string& name) const;
+};
+
+/// Parse EDIF text into the document model. Throws std::runtime_error on
+/// structural problems (missing design, malformed cells).
+EdifDoc read_edif(const std::string& text);
+
+}  // namespace jhdl::netlist

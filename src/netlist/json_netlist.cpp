@@ -1,0 +1,130 @@
+#include "netlist/json_netlist.h"
+
+#include <stdexcept>
+
+#include "netlist/netlist.h"
+#include "util/json.h"
+
+namespace jhdl::netlist {
+
+std::string write_json(const Cell& top, const NetlistOptions& options) {
+  Design design(top, options);
+  Json root = Json::object();
+  root.set("format", "jhdl-netlist");
+  root.set("version", 1);
+  root.set("top", design.top_def().name);
+
+  Json defs = Json::array();
+  for (const auto& def : design.defs()) {
+    Json jd = Json::object();
+    jd.set("name", def->name);
+    jd.set("leaf", def->is_leaf);
+
+    Json ports = Json::array();
+    for (const PortDecl& p : def->ports) {
+      Json jp = Json::object();
+      jp.set("name", p.name);
+      jp.set("dir", std::string(port_dir_name(p.dir)));
+      jp.set("width", p.width);
+      ports.push(std::move(jp));
+    }
+    jd.set("ports", std::move(ports));
+
+    Json nets = Json::array();
+    for (const std::string& n : def->internal_nets) nets.push(n);
+    jd.set("nets", std::move(nets));
+
+    Json insts = Json::array();
+    for (const InstanceInfo& inst : def->instances) {
+      Json ji = Json::object();
+      ji.set("name", inst.inst_name);
+      ji.set("def", inst.def_name);
+      ji.set("leaf", inst.is_primitive);
+      if (!inst.cell->properties().empty()) {
+        Json props = Json::object();
+        for (const auto& [k, v] : inst.cell->properties()) props.set(k, v);
+        ji.set("properties", std::move(props));
+      }
+      Json conns = Json::array();
+      for (const PortConn& conn : inst.conns) {
+        Json jc = Json::object();
+        jc.set("port", conn.name);
+        Json bits = Json::array();
+        for (const BitRef& b : conn.bits) {
+          Json jb = Json::object();
+          jb.set("base", b.base);
+          if (b.width > 1) jb.set("index", b.index);
+          bits.push(std::move(jb));
+        }
+        jc.set("bits", std::move(bits));
+        conns.push(std::move(jc));
+      }
+      ji.set("conns", std::move(conns));
+      insts.push(std::move(ji));
+    }
+    jd.set("instances", std::move(insts));
+    defs.push(std::move(jd));
+  }
+  root.set("definitions", std::move(defs));
+  return root.dump(1);
+}
+
+const JsonDef* JsonNetlist::find_def(const std::string& name) const {
+  for (const JsonDef& d : definitions) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+JsonNetlist read_json(const std::string& text) {
+  Json root = Json::parse(text);
+  if (!root.has("format") || root.at("format").as_string() != "jhdl-netlist") {
+    throw std::runtime_error("not a jhdl-netlist document");
+  }
+  JsonNetlist doc;
+  doc.top = root.at("top").as_string();
+  for (const Json& jd : root.at("definitions").items()) {
+    JsonDef def;
+    def.name = jd.at("name").as_string();
+    def.leaf = jd.at("leaf").as_bool();
+    for (const Json& jp : jd.at("ports").items()) {
+      JsonPort p;
+      p.name = jp.at("name").as_string();
+      p.dir = jp.at("dir").as_string();
+      p.width = static_cast<std::size_t>(jp.at("width").as_int());
+      def.ports.push_back(std::move(p));
+    }
+    for (const Json& jn : jd.at("nets").items()) {
+      def.nets.push_back(jn.as_string());
+    }
+    for (const Json& ji : jd.at("instances").items()) {
+      JsonInstance inst;
+      inst.name = ji.at("name").as_string();
+      inst.def = ji.at("def").as_string();
+      inst.leaf = ji.at("leaf").as_bool();
+      if (ji.has("properties")) {
+        for (const auto& [k, v] : ji.at("properties").fields()) {
+          inst.properties[k] = v.as_string();
+        }
+      }
+      for (const Json& jc : ji.at("conns").items()) {
+        JsonConn conn;
+        conn.port = jc.at("port").as_string();
+        for (const Json& jb : jc.at("bits").items()) {
+          JsonBitRef b;
+          b.base = jb.at("base").as_string();
+          b.index = jb.has("index")
+                        ? static_cast<int>(jb.at("index").as_int())
+                        : -1;
+          conn.bits.push_back(std::move(b));
+        }
+        inst.conns.push_back(std::move(conn));
+      }
+      def.instances.push_back(std::move(inst));
+    }
+    doc.definitions.push_back(std::move(def));
+  }
+  return doc;
+}
+
+}  // namespace jhdl::netlist

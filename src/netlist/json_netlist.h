@@ -1,0 +1,60 @@
+// JSON interchange netlist: writer plus a reader that parses the format
+// back into a document model. This exercises the paper's claim that the
+// netlister API supports "user-defined textual or binary interchange
+// formats", and gives the test suite an exact round-trip check.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/design.h"
+
+namespace jhdl::netlist {
+
+/// Parsed form of one instance connection bit.
+struct JsonBitRef {
+  std::string base;
+  int index = -1;  // -1 = scalar
+};
+
+struct JsonConn {
+  std::string port;
+  std::vector<JsonBitRef> bits;
+};
+
+struct JsonInstance {
+  std::string name;
+  std::string def;
+  bool leaf = false;
+  std::map<std::string, std::string> properties;
+  std::vector<JsonConn> conns;
+};
+
+struct JsonPort {
+  std::string name;
+  std::string dir;  // "in" / "out" / "inout"
+  std::size_t width = 1;
+};
+
+struct JsonDef {
+  std::string name;
+  bool leaf = false;
+  std::vector<JsonPort> ports;
+  std::vector<std::string> nets;
+  std::vector<JsonInstance> instances;
+};
+
+/// A parsed JSON netlist document.
+struct JsonNetlist {
+  std::string top;
+  std::vector<JsonDef> definitions;
+
+  const JsonDef* find_def(const std::string& name) const;
+};
+
+/// Parse text produced by write_json(). Throws std::runtime_error on
+/// malformed input.
+JsonNetlist read_json(const std::string& text);
+
+}  // namespace jhdl::netlist

@@ -1,0 +1,39 @@
+// Netlist generation - the paper's "Circuit Netlister" (Section 2.2).
+//
+// JHDL exposes circuit structure through an API and regenerates it in one
+// of several interchange formats; this module provides the same four
+// outputs the paper names or implies:
+//   EDIF 2.0.0        write_edif()
+//   structural VHDL   write_vhdl()
+//   structural Verilog write_verilog()
+//   user-defined text  write_json() / read_json() (the "user-defined
+//                      textual interchange format" path, round-trippable)
+//
+// Instance properties (LUT INIT values, constants) are carried as real
+// properties in EDIF and JSON; the VHDL and Verilog writers emit them as
+// trailing comments to stay tool-agnostic.
+#pragma once
+
+#include <string>
+
+#include "netlist/design.h"
+#include "netlist/json_netlist.h"
+
+namespace jhdl::netlist {
+
+/// EDIF 2.0.0 netlist text for `top` and everything below it.
+std::string write_edif(const Cell& top, const NetlistOptions& options = {});
+
+/// Structural VHDL (one entity/architecture per definition, component
+/// declarations for library primitives).
+std::string write_vhdl(const Cell& top, const NetlistOptions& options = {});
+
+/// Structural Verilog (one module per definition; leaf primitives are
+/// emitted as empty port-list stubs so the output is self-contained).
+std::string write_verilog(const Cell& top, const NetlistOptions& options = {});
+
+/// JSON interchange netlist (full fidelity, machine-readable; see
+/// json_netlist.h for the reader).
+std::string write_json(const Cell& top, const NetlistOptions& options = {});
+
+}  // namespace jhdl::netlist

@@ -1,0 +1,158 @@
+#include "sim/simulator.h"
+
+#include <unordered_map>
+
+#include "hdl/error.h"
+#include "hdl/visitor.h"
+
+namespace jhdl {
+
+Simulator::Simulator(HWSystem& system) : system_(system) { elaborate(); }
+
+void Simulator::elaborate() {
+  std::vector<Primitive*> prims = collect_primitives(system_);
+  std::vector<Primitive*> comb;
+  for (Primitive* p : prims) {
+    if (p->sequential()) sequential_.push_back(p);
+    // Primitives with a combinational input->output path take part in
+    // settling; this includes async-read RAMs, which are also clocked.
+    if (p->has_comb_path()) comb.push_back(p);
+  }
+
+  // Kahn levelization of the combinational subgraph. Edges run from a net's
+  // driving primitive to each combinational sink; in-degrees and adjacency
+  // are built from the same sink lists so the counts always agree.
+  std::unordered_map<Primitive*, std::size_t> indegree;
+  indegree.reserve(comb.size());
+  for (Primitive* p : comb) indegree[p] = 0;
+
+  for (Primitive* q : comb) {
+    for (Net* n : q->output_nets()) {
+      for (Primitive* sink : n->sinks()) {
+        auto it = indegree.find(sink);
+        if (it != indegree.end()) ++it->second;
+      }
+    }
+  }
+
+  std::vector<Primitive*> ready;
+  for (Primitive* p : comb) {
+    if (indegree[p] == 0) ready.push_back(p);
+  }
+  comb_order_.reserve(comb.size());
+  while (!ready.empty()) {
+    Primitive* q = ready.back();
+    ready.pop_back();
+    comb_order_.push_back(q);
+    for (Net* n : q->output_nets()) {
+      for (Primitive* sink : n->sinks()) {
+        auto it = indegree.find(sink);
+        if (it != indegree.end() && --it->second == 0) {
+          ready.push_back(sink);
+        }
+      }
+    }
+  }
+  if (comb_order_.size() != comb.size()) {
+    has_comb_cycle_ = true;
+    for (Primitive* p : comb) {
+      if (indegree[p] != 0) comb_cyclic_.push_back(p);
+    }
+  }
+  dirty_ = true;
+}
+
+void Simulator::settle() {
+  if (!has_comb_cycle_) {
+    for (Primitive* p : comb_order_) {
+      p->propagate();
+    }
+    eval_count_ += comb_order_.size();
+    dirty_ = false;
+    return;
+  }
+  // Combinational cycle present: iterate every combinational primitive to a
+  // fixpoint. Bounded by the primitive count (longest possible dependency
+  // chain) plus slack; non-convergence means an oscillating loop.
+  const std::size_t max_passes = comb_order_.size() + comb_cyclic_.size() + 2;
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    auto eval = [&](Primitive* p) {
+      // Compare output values around the evaluation to detect change.
+      const auto& outs = p->output_nets();
+      std::vector<Logic4> before;
+      before.reserve(outs.size());
+      for (Net* n : outs) before.push_back(n->value());
+      p->propagate();
+      ++eval_count_;
+      for (std::size_t i = 0; i < outs.size(); ++i) {
+        if (outs[i]->value() != before[i]) changed = true;
+      }
+    };
+    for (Primitive* p : comb_order_) eval(p);
+    for (Primitive* p : comb_cyclic_) eval(p);
+    if (!changed) {
+      dirty_ = false;
+      return;
+    }
+  }
+  throw SimError("combinational loop did not settle (oscillation)");
+}
+
+void Simulator::put(Wire* wire, const BitVector& value) {
+  if (wire == nullptr) throw HdlError("put on null wire");
+  if (value.width() != wire->width()) {
+    throw HdlError("put width mismatch on wire '" + wire->name() + "': wire " +
+                   std::to_string(wire->width()) + " bits, value " +
+                   std::to_string(value.width()) + " bits");
+  }
+  for (std::size_t i = 0; i < wire->width(); ++i) {
+    Net* n = wire->net(i);
+    if (n->driver_kind() != DriverKind::External) n->bind_external();
+    n->set_value(value.get(i));
+  }
+  dirty_ = true;
+}
+
+void Simulator::put(Wire* wire, std::uint64_t value) {
+  put(wire, BitVector::from_uint(wire->width(), value));
+}
+
+void Simulator::put_signed(Wire* wire, std::int64_t value) {
+  put(wire, BitVector::from_int(wire->width(), value));
+}
+
+BitVector Simulator::get(Wire* wire) {
+  if (wire == nullptr) throw HdlError("get on null wire");
+  if (dirty_) settle();
+  return wire->value();
+}
+
+void Simulator::propagate() {
+  if (dirty_) settle();
+}
+
+void Simulator::cycle(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dirty_) settle();
+    for (Primitive* p : sequential_) p->pre_clock();
+    for (Primitive* p : sequential_) p->post_clock();
+    eval_count_ += 2 * sequential_.size();
+    dirty_ = true;
+    settle();
+    ++cycle_count_;
+    for (auto& fn : observers_) fn(cycle_count_);
+  }
+}
+
+void Simulator::reset() {
+  for (Primitive* p : sequential_) p->reset();
+  dirty_ = true;
+  settle();
+}
+
+void Simulator::add_cycle_observer(std::function<void(std::size_t)> fn) {
+  observers_.push_back(std::move(fn));
+}
+
+}  // namespace jhdl

@@ -1,0 +1,94 @@
+// The JHDL-style cycle simulator.
+//
+// Model (matching JHDL's built-in simulator as described in the paper):
+// a single implicit clock; combinational logic settles between edges;
+// Simulator::cycle() advances one clock. Sequential primitives use a
+// two-phase sample/commit protocol so evaluation order never matters.
+//
+// Combinational evaluation is levelized once at elaboration: primitives
+// are topologically sorted over the net graph, so one pass settles the
+// logic. If the design contains a combinational cycle the simulator falls
+// back to bounded fixpoint iteration and throws SimError if the cycle does
+// not converge (e.g. a ring oscillator).
+//
+// Typical use:
+//
+//   Simulator sim(hw);
+//   sim.put(a, 1);
+//   sim.put(b, 0);
+//   sim.cycle();
+//   std::uint64_t s = sim.get(sum).to_uint();
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "hdl/hwsystem.h"
+#include "hdl/primitive.h"
+#include "util/bitvector.h"
+
+namespace jhdl {
+
+/// Cycle-based simulator over an HWSystem.
+class Simulator {
+ public:
+  /// Elaborates immediately: collects primitives, levelizes combinational
+  /// logic, applies power-on values. The circuit must not change after
+  /// the simulator is constructed.
+  explicit Simulator(HWSystem& system);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Drive a wire from the testbench (claims external driver slots on
+  /// first use; throws HdlError if a primitive drives it). Values wider
+  /// than the wire throw; narrower BitVectors are not accepted.
+  void put(Wire* wire, const BitVector& value);
+  /// Convenience: drive from the low bits of an unsigned integer.
+  void put(Wire* wire, std::uint64_t value);
+  /// Drive from a signed value (two's complement at the wire's width).
+  void put_signed(Wire* wire, std::int64_t value);
+
+  /// Read a wire's settled value (propagates pending changes first).
+  BitVector get(Wire* wire);
+
+  /// Settle combinational logic without advancing the clock.
+  void propagate();
+
+  /// Advance `n` clock cycles.
+  void cycle(std::size_t n = 1);
+
+  /// Restore all sequential state to power-on values and re-settle.
+  void reset();
+
+  std::size_t cycle_count() const { return cycle_count_; }
+
+  /// Number of primitive evaluations performed so far (perf metric used by
+  /// the benchmarks).
+  std::size_t eval_count() const { return eval_count_; }
+
+  /// Observers run after every cycle() step (waveform recorders hook here).
+  void add_cycle_observer(std::function<void(std::size_t)> fn);
+
+  HWSystem& system() { return system_; }
+
+  /// True if elaboration found a combinational cycle (iterative fallback).
+  bool has_comb_cycle() const { return has_comb_cycle_; }
+
+ private:
+  void elaborate();
+  void settle();
+
+  HWSystem& system_;
+  std::vector<Primitive*> comb_order_;   // levelized combinational prims
+  std::vector<Primitive*> comb_cyclic_;  // prims in comb cycles (fixpoint)
+  std::vector<Primitive*> sequential_;
+  std::vector<std::function<void(std::size_t)>> observers_;
+  std::size_t cycle_count_ = 0;
+  std::size_t eval_count_ = 0;
+  bool dirty_ = true;
+  bool has_comb_cycle_ = false;
+};
+
+}  // namespace jhdl

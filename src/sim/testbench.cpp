@@ -1,0 +1,36 @@
+#include "sim/testbench.h"
+
+#include "hdl/error.h"
+
+namespace jhdl {
+
+void Testbench::fail(Wire* w, const std::string& got, const std::string& want,
+                     const std::string& context) {
+  ++failures_;
+  if (!soft_) {
+    std::string msg = "expect failed on wire '" + w->name() + "': got " + got +
+                      ", want " + want;
+    if (!context.empty()) msg += " (" + context + ")";
+    throw SimError(msg);
+  }
+}
+
+Testbench& Testbench::expect(Wire* w, std::uint64_t expected,
+                             const std::string& context) {
+  BitVector v = sim_.get(w);
+  if (!v.is_fully_defined() || v.to_uint() != expected) {
+    fail(w, v.to_string(), std::to_string(expected), context);
+  }
+  return *this;
+}
+
+Testbench& Testbench::expect_signed(Wire* w, std::int64_t expected,
+                                    const std::string& context) {
+  BitVector v = sim_.get(w);
+  if (!v.is_fully_defined() || v.to_int() != expected) {
+    fail(w, v.to_string(), std::to_string(expected), context);
+  }
+  return *this;
+}
+
+}  // namespace jhdl

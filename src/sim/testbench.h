@@ -1,0 +1,64 @@
+// Testbench helper: a thin convenience layer over the simulator for
+// stimulus/expect loops, used by unit tests, examples, and the applet
+// framework's interactive simulation feature.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace jhdl {
+
+/// Drives inputs and checks outputs with informative failure messages.
+class Testbench {
+ public:
+  explicit Testbench(Simulator& sim) : sim_(sim) {}
+
+  Testbench& put(Wire* w, std::uint64_t v) {
+    sim_.put(w, v);
+    return *this;
+  }
+
+  Testbench& put_signed(Wire* w, std::int64_t v) {
+    sim_.put_signed(w, v);
+    return *this;
+  }
+
+  Testbench& cycle(std::size_t n = 1) {
+    sim_.cycle(n);
+    return *this;
+  }
+
+  Testbench& propagate() {
+    sim_.propagate();
+    return *this;
+  }
+
+  std::uint64_t peek(Wire* w) { return sim_.get(w).to_uint(); }
+  std::int64_t peek_signed(Wire* w) { return sim_.get(w).to_int(); }
+
+  /// Throws SimError with a detailed message if the wire does not carry
+  /// `expected`.
+  Testbench& expect(Wire* w, std::uint64_t expected,
+                    const std::string& context = "");
+
+  /// Signed variant.
+  Testbench& expect_signed(Wire* w, std::int64_t expected,
+                           const std::string& context = "");
+
+  std::size_t failures() const { return failures_; }
+
+  /// When false (default), expect() throws on mismatch; when true it
+  /// counts failures instead (soft-check mode for sweeps).
+  void set_soft(bool soft) { soft_ = soft; }
+
+ private:
+  void fail(Wire* w, const std::string& got, const std::string& want,
+            const std::string& context);
+  Simulator& sim_;
+  bool soft_ = false;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace jhdl

@@ -1,0 +1,53 @@
+#include "sim/vcd.h"
+
+#include "util/strings.h"
+
+namespace jhdl {
+namespace {
+
+// VCD identifier codes: printable ASCII 33..126, multi-char when needed.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+void write_value(std::ostream& os, const BitVector& v, const std::string& id) {
+  if (v.width() == 1) {
+    os << logic_char(v.get(0)) << id << "\n";
+  } else {
+    os << "b";
+    for (std::size_t i = v.width(); i-- > 0;) os << logic_char(v.get(i));
+    os << " " << id << "\n";
+  }
+}
+
+}  // namespace
+
+void write_vcd(std::ostream& os, const WaveformRecorder& rec,
+               const std::string& module_name) {
+  os << "$timescale 1ns $end\n";
+  os << "$scope module " << sanitize_identifier(module_name) << " $end\n";
+  const auto& traces = rec.traces();
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    os << "$var wire " << traces[i].wire->width() << " " << vcd_id(i) << " "
+       << sanitize_identifier(traces[i].label) << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  for (std::size_t t = 0; t < rec.num_samples(); ++t) {
+    os << "#" << t << "\n";
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      // Emit only changes after the first sample, like standard VCD.
+      if (t == 0 || traces[i].samples[t] != traces[i].samples[t - 1]) {
+        write_value(os, traces[i].samples[t], vcd_id(i));
+      }
+    }
+  }
+  os << "#" << rec.num_samples() << "\n";
+}
+
+}  // namespace jhdl

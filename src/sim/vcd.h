@@ -1,0 +1,18 @@
+// VCD (Value Change Dump) export of recorded waveforms, so traces recorded
+// by the built-in simulator can be inspected in standard external viewers -
+// the "interfacing with a user's own simulation tools" path of the paper.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "sim/waveform.h"
+
+namespace jhdl {
+
+/// Write all traces in `rec` as a VCD file. One timestep per cycle; the
+/// timescale is nominal (1 ns per cycle).
+void write_vcd(std::ostream& os, const WaveformRecorder& rec,
+               const std::string& module_name = "jhdl");
+
+}  // namespace jhdl

@@ -1,0 +1,25 @@
+#include "sim/waveform.h"
+
+namespace jhdl {
+
+WaveformRecorder::WaveformRecorder(Simulator& sim) : sim_(sim) {
+  sim.add_cycle_observer([this](std::size_t) { sample(); });
+}
+
+void WaveformRecorder::watch(Wire* wire, std::string label) {
+  Trace t;
+  t.label = label.empty() ? wire->name() : std::move(label);
+  t.wire = wire;
+  // Backfill missing samples with X so all traces stay aligned.
+  t.samples.assign(num_samples_, BitVector(wire->width(), Logic4::X));
+  traces_.push_back(std::move(t));
+}
+
+void WaveformRecorder::sample() {
+  for (Trace& t : traces_) {
+    t.samples.push_back(sim_.get(t.wire));
+  }
+  ++num_samples_;
+}
+
+}  // namespace jhdl

@@ -1,0 +1,46 @@
+// Waveform recording - the data behind JHDL's waveform viewer.
+//
+// A WaveformRecorder watches a set of wires and samples them after every
+// simulator cycle. The recorded history can be rendered as ASCII art
+// (viewer module) or exported to a VCD file for external viewers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hdl/wire.h"
+#include "sim/simulator.h"
+#include "util/bitvector.h"
+
+namespace jhdl {
+
+/// History of one wire: a label plus one BitVector sample per cycle.
+struct Trace {
+  std::string label;
+  Wire* wire;
+  std::vector<BitVector> samples;
+};
+
+/// Records wire values each cycle. Attach to a simulator before running.
+class WaveformRecorder {
+ public:
+  /// Registers a cycle observer on `sim`; the recorder must outlive it.
+  explicit WaveformRecorder(Simulator& sim);
+
+  /// Watch a wire. Label defaults to the wire's name.
+  void watch(Wire* wire, std::string label = "");
+
+  /// Take a sample immediately (also called automatically per cycle).
+  void sample();
+
+  std::size_t num_samples() const { return num_samples_; }
+  const std::vector<Trace>& traces() const { return traces_; }
+
+ private:
+  Simulator& sim_;
+  std::vector<Trace> traces_;
+  std::size_t num_samples_ = 0;
+};
+
+}  // namespace jhdl

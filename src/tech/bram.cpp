@@ -1,0 +1,94 @@
+#include "tech/bram.h"
+
+#include "hdl/error.h"
+#include "tech/timing.h"
+
+namespace jhdl::tech {
+
+RamB4S8::RamB4S8(Cell* parent, Wire* addr, Wire* din, Wire* we, Wire* en,
+                 Wire* dout, std::vector<std::uint8_t> init)
+    : Primitive(parent, "ramb4_s8"), init_(std::move(init)) {
+  if (addr->width() != 9 || din->width() != 8 || dout->width() != 8 ||
+      we->width() != 1 || en->width() != 1) {
+    throw HdlError("RamB4S8 pin width error: " + full_name());
+  }
+  if (init_.size() > 512) {
+    throw HdlError("RamB4S8 init longer than 512 bytes: " + full_name());
+  }
+  set_type_name("ramb4_s8");
+  in("a", addr);   // inputs 0..8
+  in("d", din);    // inputs 9..16
+  in("we", we);    // input 17
+  in("en", en);    // input 18
+  out("o", dout);
+  init_.resize(512, 0);
+  mem_ = init_;
+  // Synchronous read port: output register powers up undefined until the
+  // first enabled clock.
+  for (std::size_t i = 0; i < 8; ++i) ov(i, Logic4::X);
+}
+
+void RamB4S8::pre_clock() {
+  en_pending_ = false;
+  Logic4 en = iv(18);
+  if (en == Logic4::Zero || !is_binary(en)) return;
+  en_pending_ = true;
+
+  addr_valid_ = true;
+  addr_pending_ = 0;
+  for (std::size_t i = 0; i < 9; ++i) {
+    Logic4 v = iv(i);
+    if (!is_binary(v)) {
+      addr_valid_ = false;
+      break;
+    }
+    if (to_bool(v)) addr_pending_ |= 1u << i;
+  }
+
+  Logic4 we = iv(17);
+  we_pending_ = (we == Logic4::One);
+
+  din_valid_ = true;
+  din_pending_ = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    Logic4 v = iv(9 + i);
+    if (!is_binary(v)) {
+      din_valid_ = false;
+      break;
+    }
+    if (to_bool(v)) din_pending_ |= static_cast<std::uint8_t>(1u << i);
+  }
+}
+
+void RamB4S8::post_clock() {
+  if (!en_pending_) return;
+  if (!addr_valid_) {
+    out_valid_ = false;
+    for (std::size_t i = 0; i < 8; ++i) ov(i, Logic4::X);
+    return;
+  }
+  if (we_pending_) {
+    // Write-first behaviour (the Virtex default): the new data appears on
+    // the read port. X data writes store 0 (documented simplification).
+    mem_[addr_pending_] = din_valid_ ? din_pending_ : 0;
+  }
+  out_ = mem_[addr_pending_];
+  out_valid_ = we_pending_ ? din_valid_ : true;
+  for (std::size_t i = 0; i < 8; ++i) {
+    ov(i, out_valid_ ? to_logic((out_ >> i) & 1) : Logic4::X);
+  }
+}
+
+void RamB4S8::reset() {
+  mem_ = init_;
+  out_valid_ = false;
+  en_pending_ = false;
+  for (std::size_t i = 0; i < 8; ++i) ov(i, Logic4::X);
+}
+
+Resources RamB4S8::resources() const {
+  return {.luts = 0, .ffs = 0, .carries = 0, .brams = 1,
+          .delay_ns = timing::kFfClkToQNs};
+}
+
+}  // namespace jhdl::tech

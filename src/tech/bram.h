@@ -1,0 +1,43 @@
+// Block RAM: Virtex RAMB4-class 4-kbit synchronous memory, organized
+// 512x8 (the S8 port aspect). Both read and write are registered on the
+// clock, matching the silicon's synchronous port.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hdl/primitive.h"
+
+namespace jhdl::tech {
+
+/// 512x8 synchronous block RAM.
+class RamB4S8 final : public Primitive {
+ public:
+  /// addr: 9 bits, din/dout: 8 bits, we/en: 1 bit. `init` may be shorter
+  /// than 512 bytes (rest zero-filled).
+  RamB4S8(Cell* parent, Wire* addr, Wire* din, Wire* we, Wire* en,
+          Wire* dout, std::vector<std::uint8_t> init = {});
+
+  bool sequential() const override { return true; }
+  void pre_clock() override;
+  void post_clock() override;
+  void reset() override;
+  Resources resources() const override;
+
+  const std::vector<std::uint8_t>& contents() const { return mem_; }
+
+ private:
+  std::vector<std::uint8_t> init_;
+  std::vector<std::uint8_t> mem_;
+  // Sampled at the clock edge.
+  bool en_pending_ = false;
+  bool we_pending_ = false;
+  bool addr_valid_ = false;
+  std::uint32_t addr_pending_ = 0;
+  std::uint8_t din_pending_ = 0;
+  bool din_valid_ = false;
+  bool out_valid_ = false;
+  std::uint8_t out_ = 0;
+};
+
+}  // namespace jhdl::tech

@@ -1,0 +1,81 @@
+#include "tech/carry.h"
+
+#include "hdl/error.h"
+#include "tech/timing.h"
+
+namespace jhdl::tech {
+namespace {
+void check_1bit(const Primitive& p, const Wire* w) {
+  if (w == nullptr || w->width() != 1) {
+    throw HdlError("carry primitive pins must be 1 bit: " + p.full_name());
+  }
+}
+
+Logic4 mux(Logic4 a, Logic4 b, Logic4 s) {
+  if (!is_binary(s)) {
+    return (a == b && is_binary(a)) ? a : Logic4::X;
+  }
+  return to_bool(s) ? b : a;
+}
+}  // namespace
+
+MuxCY::MuxCY(Cell* parent, Wire* di, Wire* ci, Wire* s, Wire* o)
+    : Primitive(parent, "muxcy") {
+  set_type_name("muxcy");
+  check_1bit(*this, di);
+  check_1bit(*this, ci);
+  check_1bit(*this, s);
+  check_1bit(*this, o);
+  in("di", di);
+  in("ci", ci);
+  in("s", s);
+  out("o", o);
+}
+
+void MuxCY::propagate() {
+  // o = s ? ci : di
+  ov(0, mux(iv(0), iv(1), iv(2)));
+}
+
+Resources MuxCY::resources() const {
+  return {.luts = 0, .ffs = 0, .carries = 1,
+          .delay_ns = timing::kCarryMuxDelayNs};
+}
+
+XorCY::XorCY(Cell* parent, Wire* li, Wire* ci, Wire* o)
+    : Primitive(parent, "xorcy") {
+  set_type_name("xorcy");
+  check_1bit(*this, li);
+  check_1bit(*this, ci);
+  check_1bit(*this, o);
+  in("li", li);
+  in("ci", ci);
+  out("o", o);
+}
+
+void XorCY::propagate() { ov(0, logic_xor(iv(0), iv(1))); }
+
+Resources XorCY::resources() const {
+  return {.luts = 0, .ffs = 0, .carries = 0, .delay_ns = timing::kXorCyDelayNs};
+}
+
+MuxF5::MuxF5(Cell* parent, Wire* i0, Wire* i1, Wire* s, Wire* o)
+    : Primitive(parent, "muxf5") {
+  set_type_name("muxf5");
+  check_1bit(*this, i0);
+  check_1bit(*this, i1);
+  check_1bit(*this, s);
+  check_1bit(*this, o);
+  in("i0", i0);
+  in("i1", i1);
+  in("s", s);
+  out("o", o);
+}
+
+void MuxF5::propagate() { ov(0, mux(iv(0), iv(1), iv(2))); }
+
+Resources MuxF5::resources() const {
+  return {.luts = 0, .ffs = 0, .carries = 0, .delay_ns = timing::kMuxF5DelayNs};
+}
+
+}  // namespace jhdl::tech

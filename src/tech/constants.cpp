@@ -1,0 +1,41 @@
+#include "tech/constants.h"
+
+#include "hdl/error.h"
+#include "util/strings.h"
+
+namespace jhdl::tech {
+
+Gnd::Gnd(Cell* parent, Wire* o) : Primitive(parent, "gnd") {
+  set_type_name("gnd");
+  if (o->width() != 1) throw HdlError("Gnd output must be 1 bit");
+  out("o", o);
+  ov(0, Logic4::Zero);
+}
+
+void Gnd::propagate() { ov(0, Logic4::Zero); }
+
+Vcc::Vcc(Cell* parent, Wire* o) : Primitive(parent, "vcc") {
+  set_type_name("vcc");
+  if (o->width() != 1) throw HdlError("Vcc output must be 1 bit");
+  out("o", o);
+  ov(0, Logic4::One);
+}
+
+void Vcc::propagate() { ov(0, Logic4::One); }
+
+Constant::Constant(Cell* parent, Wire* o, std::uint64_t value)
+    : Primitive(parent, "const"), value_(value) {
+  set_type_name("const" + std::to_string(o->width()));
+  if (o->width() > 64) throw HdlError("Constant wider than 64 bits");
+  out("o", o);
+  set_property("VALUE", format("%llu", static_cast<unsigned long long>(value)));
+  propagate();
+}
+
+void Constant::propagate() {
+  for (std::size_t i = 0; i < num_outputs(); ++i) {
+    ov(i, to_logic((value_ >> i) & 1));
+  }
+}
+
+}  // namespace jhdl::tech

@@ -1,0 +1,40 @@
+// Constant drivers: GND and VCC, plus a convenience multi-bit constant.
+#pragma once
+
+#include <cstdint>
+
+#include "hdl/primitive.h"
+
+namespace jhdl::tech {
+
+/// Drives a 1-bit wire to logic 0.
+class Gnd final : public Primitive {
+ public:
+  Gnd(Cell* parent, Wire* o);
+  void propagate() override;
+  Resources resources() const override { return {}; }
+};
+
+/// Drives a 1-bit wire to logic 1.
+class Vcc final : public Primitive {
+ public:
+  Vcc(Cell* parent, Wire* o);
+  void propagate() override;
+  Resources resources() const override { return {}; }
+};
+
+/// Drives an arbitrary-width wire to a constant (one Gnd/Vcc per bit is the
+/// netlist view; simulation drives all bits in one primitive).
+class Constant final : public Primitive {
+ public:
+  Constant(Cell* parent, Wire* o, std::uint64_t value);
+  void propagate() override;
+  Resources resources() const override { return {}; }
+
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_;
+};
+
+}  // namespace jhdl::tech

@@ -1,0 +1,77 @@
+#include "tech/ff.h"
+
+#include "hdl/error.h"
+#include "tech/timing.h"
+
+namespace jhdl::tech {
+
+FlipFlop::FlipFlop(Cell* parent, const std::string& type, Wire* d, Wire* q,
+                   Wire* ce, Wire* clr, bool init_one,
+                   const char* clr_pin_name)
+    : Primitive(parent, type),
+      init_(init_one ? Logic4::One : Logic4::Zero),
+      state_(init_) {
+  set_type_name(type);
+  if (d->width() != 1 || q->width() != 1) {
+    throw HdlError("flip-flop pins must be 1 bit: " + full_name());
+  }
+  in("d", d);
+  d_pin_ = 0;
+  int next_pin = 1;
+  if (ce != nullptr) {
+    in("ce", ce);
+    ce_pin_ = next_pin++;
+  }
+  if (clr != nullptr) {
+    in(clr_pin_name, clr);
+    clr_pin_ = next_pin++;
+  }
+  out("q", q);
+  set_property("INIT", init_one ? "1" : "0");
+  // Drive the power-on value so downstream logic sees it before any clock.
+  ov(0, state_);
+}
+
+void FlipFlop::pre_clock() {
+  // Clear dominates; clock-enable gates the data load.
+  if (clr_pin_ >= 0) {
+    Logic4 clr = iv(static_cast<std::size_t>(clr_pin_));
+    if (clr == Logic4::One) {
+      next_ = Logic4::Zero;
+      return;
+    }
+    if (!is_binary(clr)) {
+      next_ = Logic4::X;
+      return;
+    }
+  }
+  if (ce_pin_ >= 0) {
+    Logic4 ce = iv(static_cast<std::size_t>(ce_pin_));
+    if (ce == Logic4::Zero) {
+      next_ = state_;  // hold
+      return;
+    }
+    if (!is_binary(ce)) {
+      next_ = Logic4::X;
+      return;
+    }
+  }
+  next_ = iv(static_cast<std::size_t>(d_pin_));
+}
+
+void FlipFlop::post_clock() {
+  state_ = next_;
+  ov(0, state_);
+}
+
+void FlipFlop::reset() {
+  state_ = init_;
+  next_ = init_;
+  ov(0, state_);
+}
+
+Resources FlipFlop::resources() const {
+  return {.luts = 0, .ffs = 1, .carries = 0, .delay_ns = timing::kFfClkToQNs};
+}
+
+}  // namespace jhdl::tech

@@ -1,0 +1,77 @@
+// Flip-flop primitives: FD (plain D-FF), FDC (with clear), FDCE (clock
+// enable + clear), FDRE (clock enable + synchronous reset).
+//
+// The simulator is cycle-based with a single implicit clock (JHDL's model):
+// Simulator::cycle() samples every flip-flop's inputs, then commits all
+// outputs, then re-propagates combinational logic. Clear/reset inputs are
+// sampled at the clock edge (a documented simplification of Virtex's
+// asynchronous CLR; at cycle granularity the observable behaviour matches).
+//
+// Power-on state follows Virtex GSR semantics: all flip-flops start at the
+// INIT value (0 by default) rather than X; Simulator::reset() restores it.
+#pragma once
+
+#include "hdl/primitive.h"
+
+namespace jhdl::tech {
+
+/// Base for single-bit D flip-flops with optional enable and clear pins.
+class FlipFlop : public Primitive {
+ public:
+  bool sequential() const final { return true; }
+  void pre_clock() final;
+  void post_clock() final;
+  void reset() final;
+  Resources resources() const final;
+
+  Logic4 state() const { return state_; }
+
+ protected:
+  /// `ce` and/or `clr` may be null when the variant lacks the pin.
+  /// `clr_pin_name` is the library pin name ("clr" for FDC/FDCE, "r" for
+  /// FDRE's synchronous reset).
+  FlipFlop(Cell* parent, const std::string& type, Wire* d, Wire* q, Wire* ce,
+           Wire* clr, bool init_one, const char* clr_pin_name = "clr");
+
+ private:
+  int d_pin_ = 0;
+  int ce_pin_ = -1;
+  int clr_pin_ = -1;
+  Logic4 init_;
+  Logic4 state_;
+  Logic4 next_ = Logic4::X;
+};
+
+/// Plain D flip-flop.
+class FD final : public FlipFlop {
+ public:
+  FD(Cell* parent, Wire* d, Wire* q, bool init_one = false)
+      : FlipFlop(parent, "fd", d, q, nullptr, nullptr, init_one) {}
+};
+
+/// D flip-flop with clear (sampled at the clock edge).
+class FDC final : public FlipFlop {
+ public:
+  FDC(Cell* parent, Wire* d, Wire* q, Wire* clr, bool init_one = false)
+      : FlipFlop(parent, "fdc", d, q, nullptr, clr, init_one) {}
+};
+
+/// D flip-flop with clock enable and clear.
+class FDCE final : public FlipFlop {
+ public:
+  FDCE(Cell* parent, Wire* d, Wire* q, Wire* ce, Wire* clr,
+       bool init_one = false)
+      : FlipFlop(parent, "fdce", d, q, ce, clr, init_one) {}
+};
+
+/// D flip-flop with clock enable and synchronous reset (same cycle-level
+/// behaviour as FDCE in this simulator; kept as a distinct library cell so
+/// netlists carry the intended primitive).
+class FDRE final : public FlipFlop {
+ public:
+  FDRE(Cell* parent, Wire* d, Wire* q, Wire* ce, Wire* r,
+       bool init_one = false)
+      : FlipFlop(parent, "fdre", d, q, ce, r, init_one, "r") {}
+};
+
+}  // namespace jhdl::tech

@@ -1,0 +1,98 @@
+#include "tech/gates.h"
+
+#include "hdl/error.h"
+#include "tech/timing.h"
+
+namespace jhdl::tech {
+
+NaryGate::NaryGate(Cell* parent, Op op, const std::string& type,
+                   std::vector<Wire*> ins, Wire* out)
+    : Primitive(parent, type), op_(op) {
+  set_type_name(type);
+  static const char* const kPinNames[] = {"i0", "i1", "i2", "i3"};
+  if (ins.size() > 4) {
+    throw HdlError("NaryGate supports at most 4 inputs");
+  }
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    if (ins[i]->width() != 1) {
+      throw HdlError("gate input must be 1 bit wide: " + full_name());
+    }
+    in(kPinNames[i], ins[i]);
+  }
+  if (out->width() != 1) {
+    throw HdlError("gate output must be 1 bit wide: " + full_name());
+  }
+  this->out("o", out);
+}
+
+void NaryGate::propagate() {
+  Logic4 acc = iv(0);
+  switch (op_) {
+    case Op::And:
+    case Op::Nand:
+      for (std::size_t i = 1; i < num_inputs(); ++i) acc = logic_and(acc, iv(i));
+      break;
+    case Op::Or:
+    case Op::Nor:
+      for (std::size_t i = 1; i < num_inputs(); ++i) acc = logic_or(acc, iv(i));
+      break;
+    case Op::Xor:
+      for (std::size_t i = 1; i < num_inputs(); ++i) acc = logic_xor(acc, iv(i));
+      break;
+  }
+  if (op_ == Op::Nand || op_ == Op::Nor) acc = logic_not(acc);
+  ov(0, acc);
+}
+
+Resources NaryGate::resources() const {
+  return {.luts = 1, .ffs = 0, .carries = 0, .delay_ns = timing::kLutDelayNs};
+}
+
+Inv::Inv(Cell* parent, Wire* a, Wire* o) : Primitive(parent, "inv") {
+  set_type_name("inv");
+  in("i0", a);
+  out("o", o);
+}
+
+void Inv::propagate() { ov(0, logic_not(iv(0))); }
+
+Resources Inv::resources() const {
+  return {.luts = 1, .ffs = 0, .carries = 0, .delay_ns = timing::kLutDelayNs};
+}
+
+Buf::Buf(Cell* parent, Wire* a, Wire* o) : Primitive(parent, "buf") {
+  set_type_name("buf");
+  in("i0", a);
+  out("o", o);
+}
+
+void Buf::propagate() { ov(0, iv(0)); }
+
+Resources Buf::resources() const {
+  return {.luts = 0, .ffs = 0, .carries = 0, .delay_ns = timing::kRouteDelayNs};
+}
+
+Mux2::Mux2(Cell* parent, Wire* a, Wire* b, Wire* sel, Wire* o)
+    : Primitive(parent, "mux2") {
+  set_type_name("mux2");
+  in("i0", a);
+  in("i1", b);
+  in("sel", sel);
+  out("o", o);
+}
+
+void Mux2::propagate() {
+  Logic4 sel = iv(2);
+  if (!is_binary(sel)) {
+    // X on select: output is X unless both data inputs agree.
+    ov(0, iv(0) == iv(1) && is_binary(iv(0)) ? iv(0) : Logic4::X);
+    return;
+  }
+  ov(0, to_bool(sel) ? iv(1) : iv(0));
+}
+
+Resources Mux2::resources() const {
+  return {.luts = 1, .ffs = 0, .carries = 0, .delay_ns = timing::kLutDelayNs};
+}
+
+}  // namespace jhdl::tech

@@ -1,0 +1,117 @@
+// Basic combinational gate primitives of the Virtex-class technology
+// library: the and2/or3/xor3/... cells the paper's full-adder listing
+// instances. All gate pins are single-bit.
+//
+// Resource model: every gate up to four inputs maps to one 4-input LUT
+// (that is how a technology mapper implements it on Virtex); Buf is a
+// route-through costing no logic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hdl/primitive.h"
+
+namespace jhdl::tech {
+
+/// Shared implementation for simple n-ary gates.
+class NaryGate : public Primitive {
+ public:
+  enum class Op { And, Or, Xor, Nand, Nor };
+
+  void propagate() override;
+  Resources resources() const override;
+
+ protected:
+  NaryGate(Cell* parent, Op op, const std::string& type,
+           std::vector<Wire*> ins, Wire* out);
+
+ private:
+  Op op_;
+};
+
+class And2 final : public NaryGate {
+ public:
+  And2(Cell* parent, Wire* a, Wire* b, Wire* o)
+      : NaryGate(parent, Op::And, "and2", {a, b}, o) {}
+};
+
+class And3 final : public NaryGate {
+ public:
+  And3(Cell* parent, Wire* a, Wire* b, Wire* c, Wire* o)
+      : NaryGate(parent, Op::And, "and3", {a, b, c}, o) {}
+};
+
+class And4 final : public NaryGate {
+ public:
+  And4(Cell* parent, Wire* a, Wire* b, Wire* c, Wire* d, Wire* o)
+      : NaryGate(parent, Op::And, "and4", {a, b, c, d}, o) {}
+};
+
+class Or2 final : public NaryGate {
+ public:
+  Or2(Cell* parent, Wire* a, Wire* b, Wire* o)
+      : NaryGate(parent, Op::Or, "or2", {a, b}, o) {}
+};
+
+class Or3 final : public NaryGate {
+ public:
+  Or3(Cell* parent, Wire* a, Wire* b, Wire* c, Wire* o)
+      : NaryGate(parent, Op::Or, "or3", {a, b, c}, o) {}
+};
+
+class Or4 final : public NaryGate {
+ public:
+  Or4(Cell* parent, Wire* a, Wire* b, Wire* c, Wire* d, Wire* o)
+      : NaryGate(parent, Op::Or, "or4", {a, b, c, d}, o) {}
+};
+
+class Xor2 final : public NaryGate {
+ public:
+  Xor2(Cell* parent, Wire* a, Wire* b, Wire* o)
+      : NaryGate(parent, Op::Xor, "xor2", {a, b}, o) {}
+};
+
+class Xor3 final : public NaryGate {
+ public:
+  Xor3(Cell* parent, Wire* a, Wire* b, Wire* c, Wire* o)
+      : NaryGate(parent, Op::Xor, "xor3", {a, b, c}, o) {}
+};
+
+class Nand2 final : public NaryGate {
+ public:
+  Nand2(Cell* parent, Wire* a, Wire* b, Wire* o)
+      : NaryGate(parent, Op::Nand, "nand2", {a, b}, o) {}
+};
+
+class Nor2 final : public NaryGate {
+ public:
+  Nor2(Cell* parent, Wire* a, Wire* b, Wire* o)
+      : NaryGate(parent, Op::Nor, "nor2", {a, b}, o) {}
+};
+
+/// Inverter (one LUT).
+class Inv final : public Primitive {
+ public:
+  Inv(Cell* parent, Wire* a, Wire* o);
+  void propagate() override;
+  Resources resources() const override;
+};
+
+/// Non-inverting buffer; a route-through with no logic cost.
+class Buf final : public Primitive {
+ public:
+  Buf(Cell* parent, Wire* a, Wire* o);
+  void propagate() override;
+  Resources resources() const override;
+};
+
+/// 2:1 multiplexer: o = sel ? b : a.
+class Mux2 final : public Primitive {
+ public:
+  Mux2(Cell* parent, Wire* a, Wire* b, Wire* sel, Wire* o);
+  void propagate() override;
+  Resources resources() const override;
+};
+
+}  // namespace jhdl::tech

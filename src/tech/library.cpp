@@ -1,0 +1,102 @@
+#include "tech/library.h"
+
+#include <stdexcept>
+
+#include "util/bytestream.h"
+
+namespace jhdl::tech {
+
+const std::vector<PrimitiveDesc>& virtex_library() {
+  static const std::vector<PrimitiveDesc> lib = {
+      {"buf", {"i0"}, {"o"}, false, "non-inverting buffer (route-through)"},
+      {"inv", {"i0"}, {"o"}, false, "inverter"},
+      {"and2", {"i0", "i1"}, {"o"}, false, "2-input AND"},
+      {"and3", {"i0", "i1", "i2"}, {"o"}, false, "3-input AND"},
+      {"and4", {"i0", "i1", "i2", "i3"}, {"o"}, false, "4-input AND"},
+      {"or2", {"i0", "i1"}, {"o"}, false, "2-input OR"},
+      {"or3", {"i0", "i1", "i2"}, {"o"}, false, "3-input OR"},
+      {"or4", {"i0", "i1", "i2", "i3"}, {"o"}, false, "4-input OR"},
+      {"xor2", {"i0", "i1"}, {"o"}, false, "2-input XOR"},
+      {"xor3", {"i0", "i1", "i2"}, {"o"}, false, "3-input XOR"},
+      {"nand2", {"i0", "i1"}, {"o"}, false, "2-input NAND"},
+      {"nor2", {"i0", "i1"}, {"o"}, false, "2-input NOR"},
+      {"mux2", {"i0", "i1", "sel"}, {"o"}, false, "2:1 multiplexer"},
+      {"lut1", {"i0"}, {"o"}, false, "1-input LUT with INIT"},
+      {"lut2", {"i0", "i1"}, {"o"}, false, "2-input LUT with INIT"},
+      {"lut3", {"i0", "i1", "i2"}, {"o"}, false, "3-input LUT with INIT"},
+      {"lut4", {"i0", "i1", "i2", "i3"}, {"o"}, false, "4-input LUT with INIT"},
+      {"muxcy", {"di", "ci", "s"}, {"o"}, false, "carry-chain mux"},
+      {"xorcy", {"li", "ci"}, {"o"}, false, "carry-chain xor"},
+      {"muxf5", {"i0", "i1", "s"}, {"o"}, false, "F5 combiner mux"},
+      {"fd", {"d"}, {"q"}, true, "D flip-flop"},
+      {"fdc", {"d", "clr"}, {"q"}, true, "D flip-flop with clear"},
+      {"fdce", {"d", "ce", "clr"}, {"q"}, true, "D flip-flop with CE + clear"},
+      {"fdre", {"d", "ce", "r"}, {"q"}, true, "D flip-flop with CE + sync reset"},
+      {"rom16", {"a[3:0]"}, {"d"}, false, "16-entry LUT ROM (one LUT per output bit)"},
+      {"ram16x1s", {"a[3:0]", "d", "we"}, {"o"}, true, "16x1 distributed RAM"},
+      {"gnd", {}, {"o"}, false, "constant 0 driver"},
+      {"vcc", {}, {"o"}, false, "constant 1 driver"},
+      {"srl16", {"d", "a[3:0]"}, {"q"}, true,
+       "16-stage shift register LUT with dynamic tap"},
+      {"srl16e", {"d", "a[3:0]", "ce"}, {"q"}, true,
+       "16-stage shift register LUT with clock enable"},
+      {"ramb4_s8", {"a[8:0]", "d[7:0]", "we", "en"}, {"o[7:0]"}, true,
+       "512x8 synchronous block RAM"},
+      {"ibuf", {"pad"}, {"o"}, false, "input pad buffer"},
+      {"obuf", {"i"}, {"pad"}, false, "output pad buffer"},
+  };
+  return lib;
+}
+
+std::vector<std::uint8_t> serialize_virtex_library() {
+  ByteWriter w;
+  const auto& lib = virtex_library();
+  w.u32(0x56544C42);  // "VTLB"
+  w.varint(lib.size());
+  for (const auto& p : lib) {
+    w.str(p.name);
+    w.u8(p.sequential ? 1 : 0);
+    w.varint(p.inputs.size());
+    for (const auto& pin : p.inputs) w.str(pin);
+    w.varint(p.outputs.size());
+    for (const auto& pin : p.outputs) w.str(pin);
+    w.str(p.doc);
+    // Truth tables for combinational cells up to 4 inputs: the "compiled
+    // simulation model" part of the payload. 16 entries regardless of
+    // arity keeps the format simple.
+    if (!p.sequential) {
+      for (std::uint32_t a = 0; a < 16; ++a) {
+        w.u8(static_cast<std::uint8_t>(a & 1));  // placeholder row tag
+      }
+    }
+  }
+  return w.take();
+}
+
+std::vector<PrimitiveDesc> parse_virtex_library(
+    const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  if (r.u32() != 0x56544C42) {
+    throw std::runtime_error("virtex library payload: bad magic");
+  }
+  std::size_t n = r.varint();
+  std::vector<PrimitiveDesc> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PrimitiveDesc d;
+    d.name = r.str();
+    d.sequential = r.u8() != 0;
+    std::size_t ni = r.varint();
+    for (std::size_t k = 0; k < ni; ++k) d.inputs.push_back(r.str());
+    std::size_t no = r.varint();
+    for (std::size_t k = 0; k < no; ++k) d.outputs.push_back(r.str());
+    d.doc = r.str();
+    if (!d.sequential) {
+      for (int k = 0; k < 16; ++k) r.u8();
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace jhdl::tech

@@ -1,0 +1,35 @@
+// Technology library metadata: a machine-readable catalog of every Virtex
+// primitive this library provides. The packaging system serializes this
+// catalog (plus simulation tables) into the "Virtex" archive - the
+// equivalent of Virtex.jar in Table 1 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jhdl::tech {
+
+/// Description of one library primitive.
+struct PrimitiveDesc {
+  std::string name;                   ///< cell type, e.g. "and2"
+  std::vector<std::string> inputs;    ///< input pin names
+  std::vector<std::string> outputs;   ///< output pin names
+  bool sequential = false;
+  std::string doc;                    ///< one-line description
+};
+
+/// The full Virtex-class catalog, in a stable order.
+const std::vector<PrimitiveDesc>& virtex_library();
+
+/// Serialize the catalog (including generated truth tables for the
+/// combinational cells, standing in for compiled simulation models) into a
+/// byte payload suitable for packaging.
+std::vector<std::uint8_t> serialize_virtex_library();
+
+/// Parse a payload produced by serialize_virtex_library (round-trip test
+/// support and applet-side library loading).
+std::vector<PrimitiveDesc> parse_virtex_library(
+    const std::vector<std::uint8_t>& payload);
+
+}  // namespace jhdl::tech

@@ -1,0 +1,54 @@
+#include "tech/lut.h"
+
+#include "hdl/error.h"
+#include "tech/timing.h"
+#include "util/strings.h"
+
+namespace jhdl::tech {
+
+Lut::Lut(Cell* parent, std::vector<Wire*> inputs, Wire* out,
+         std::uint16_t init)
+    : Primitive(parent, "lut" + std::to_string(inputs.size())), init_(init) {
+  if (inputs.empty() || inputs.size() > 4) {
+    throw HdlError("Lut supports 1..4 inputs");
+  }
+  set_type_name("lut" + std::to_string(inputs.size()));
+  static const char* const kPinNames[] = {"i0", "i1", "i2", "i3"};
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i]->width() != 1) {
+      throw HdlError("LUT input must be 1 bit: " + full_name());
+    }
+    in(kPinNames[i], inputs[i]);
+  }
+  if (out->width() != 1) {
+    throw HdlError("LUT output must be 1 bit: " + full_name());
+  }
+  this->out("o", out);
+  const unsigned table_bits = 1u << inputs.size();
+  if (table_bits < 16 && (init >> table_bits) != 0) {
+    throw HdlError("INIT wider than truth table on " + full_name());
+  }
+  set_property("INIT", format("%04X", init));
+}
+
+Logic4 Lut::eval(std::size_t bit, std::uint32_t addr) const {
+  if (bit == num_inputs()) {
+    return to_logic(((init_ >> addr) & 1) != 0);
+  }
+  Logic4 v = iv(bit);
+  if (is_binary(v)) {
+    return eval(bit + 1, addr | (to_bool(v) ? (1u << bit) : 0u));
+  }
+  // Undefined select bit: output defined only if both halves agree.
+  Logic4 lo = eval(bit + 1, addr);
+  Logic4 hi = eval(bit + 1, addr | (1u << bit));
+  return lo == hi ? lo : Logic4::X;
+}
+
+void Lut::propagate() { ov(0, eval(0, 0)); }
+
+Resources Lut::resources() const {
+  return {.luts = 1, .ffs = 0, .carries = 0, .delay_ns = timing::kLutDelayNs};
+}
+
+}  // namespace jhdl::tech

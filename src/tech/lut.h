@@ -1,0 +1,62 @@
+// Generic LUT primitives with an INIT truth table, like Xilinx LUT1-LUT4.
+//
+// The INIT value encodes the output for each input combination: output =
+// INIT bit at index {i3,i2,i1,i0} (i0 is the least significant address
+// bit). INIT is stored as a property ("INIT", hex) so netlisters emit it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hdl/primitive.h"
+
+namespace jhdl::tech {
+
+/// k-input lookup table, 1 <= k <= 4. Output is X if any *selecting* input
+/// is non-binary and the two candidate truth-table halves disagree.
+class Lut : public Primitive {
+ public:
+  /// `inputs` are 1-bit wires i0..i{k-1}; `init` is the truth table in the
+  /// low 2^k bits.
+  Lut(Cell* parent, std::vector<Wire*> inputs, Wire* out, std::uint16_t init);
+
+  void propagate() override;
+  Resources resources() const override;
+
+  std::uint16_t init() const { return init_; }
+
+ private:
+  /// Evaluates the truth table over a partial assignment; returns X when
+  /// undefined inputs make the output ambiguous.
+  Logic4 eval(std::size_t bit, std::uint32_t addr) const;
+
+  std::uint16_t init_;
+};
+
+class Lut1 final : public Lut {
+ public:
+  Lut1(Cell* parent, Wire* i0, Wire* o, std::uint16_t init)
+      : Lut(parent, {i0}, o, init) {}
+};
+
+class Lut2 final : public Lut {
+ public:
+  Lut2(Cell* parent, Wire* i0, Wire* i1, Wire* o, std::uint16_t init)
+      : Lut(parent, {i0, i1}, o, init) {}
+};
+
+class Lut3 final : public Lut {
+ public:
+  Lut3(Cell* parent, Wire* i0, Wire* i1, Wire* i2, Wire* o,
+       std::uint16_t init)
+      : Lut(parent, {i0, i1, i2}, o, init) {}
+};
+
+class Lut4 final : public Lut {
+ public:
+  Lut4(Cell* parent, Wire* i0, Wire* i1, Wire* i2, Wire* i3, Wire* o,
+       std::uint16_t init)
+      : Lut(parent, {i0, i1, i2, i3}, o, init) {}
+};
+
+}  // namespace jhdl::tech

@@ -1,0 +1,152 @@
+#include "tech/memory.h"
+
+#include "hdl/error.h"
+#include "tech/timing.h"
+#include "util/strings.h"
+
+namespace jhdl::tech {
+
+Rom16::Rom16(Cell* parent, Wire* addr, Wire* data,
+             const std::array<std::uint64_t, 16>& contents)
+    : Primitive(parent, "rom16x" + std::to_string(data->width())),
+      contents_(contents) {
+  if (addr->width() != 4) {
+    throw HdlError("Rom16 address must be 4 bits: " + full_name());
+  }
+  if (data->width() == 0 || data->width() > 64) {
+    throw HdlError("Rom16 data width must be 1..64: " + full_name());
+  }
+  set_type_name("rom16x" + std::to_string(data->width()));
+  in("a", addr);
+  out("d", data);
+  refresh_init_properties();
+}
+
+void Rom16::refresh_init_properties() {
+  // Record per-output-bit INIT strings, as a netlist would for each LUT.
+  for (std::size_t bit = 0; bit < num_outputs(); ++bit) {
+    std::uint16_t table = 0;
+    for (std::uint32_t a = 0; a < 16; ++a) {
+      if ((contents_[a] >> bit) & 1) table |= static_cast<std::uint16_t>(1u << a);
+    }
+    set_property("INIT_" + std::to_string(bit), format("%04X", table));
+  }
+}
+
+void Rom16::set_entry(unsigned addr, std::uint64_t value) {
+  if (addr >= 16) throw HdlError("Rom16::set_entry: address out of range");
+  contents_[addr] = value;
+  refresh_init_properties();
+}
+
+void Rom16::propagate() {
+  std::uint32_t addr = 0;
+  bool defined = true;
+  for (std::size_t i = 0; i < 4; ++i) {
+    Logic4 v = iv(i);
+    if (!is_binary(v)) {
+      defined = false;
+      break;
+    }
+    if (to_bool(v)) addr |= 1u << i;
+  }
+  for (std::size_t bit = 0; bit < num_outputs(); ++bit) {
+    if (!defined) {
+      ov(bit, Logic4::X);
+    } else {
+      ov(bit, to_logic((contents_[addr] >> bit) & 1));
+    }
+  }
+}
+
+Resources Rom16::resources() const {
+  return {.luts = static_cast<int>(num_outputs()), .ffs = 0, .carries = 0,
+          .delay_ns = timing::kRomDelayNs};
+}
+
+Ram16x1s::Ram16x1s(Cell* parent, Wire* addr, Wire* din, Wire* we, Wire* dout,
+                   std::uint16_t init)
+    : Primitive(parent, "ram16x1s"), init_(init), state_(init) {
+  if (addr->width() != 4 || din->width() != 1 || we->width() != 1 ||
+      dout->width() != 1) {
+    throw HdlError("Ram16x1s pin width error: " + full_name());
+  }
+  set_type_name("ram16x1s");
+  in("a", addr);   // inputs 0..3
+  in("d", din);    // input 4
+  in("we", we);    // input 5
+  out("o", dout);
+  set_property("INIT", format("%04X", init));
+}
+
+std::uint32_t Ram16x1s::sample_addr(bool& defined) const {
+  std::uint32_t addr = 0;
+  defined = true;
+  for (std::size_t i = 0; i < 4; ++i) {
+    Logic4 v = iv(i);
+    if (!is_binary(v)) {
+      defined = false;
+      return 0;
+    }
+    if (to_bool(v)) addr |= 1u << i;
+  }
+  return addr;
+}
+
+void Ram16x1s::propagate() {
+  bool defined = false;
+  std::uint32_t addr = sample_addr(defined);
+  if (!defined) {
+    ov(0, Logic4::X);
+  } else {
+    ov(0, to_logic((state_ >> addr) & 1));
+  }
+}
+
+void Ram16x1s::pre_clock() {
+  write_pending_ = false;
+  Logic4 we = iv(5);
+  if (we == Logic4::Zero) return;
+  bool defined = false;
+  std::uint32_t addr = sample_addr(defined);
+  if (!is_binary(we) || !defined) {
+    // Unknown write enable or address: conservatively X the whole array by
+    // writing X to the addressed bit if known, else leave state (documented
+    // simplification: full-array corruption is not modeled).
+    if (defined) {
+      write_pending_ = true;
+      write_addr_ = addr;
+      write_data_ = Logic4::X;
+    }
+    return;
+  }
+  write_pending_ = true;
+  write_addr_ = addr;
+  write_data_ = iv(4);
+}
+
+void Ram16x1s::post_clock() {
+  if (!write_pending_) return;
+  // X data writes are stored as 0 with the limitation documented above;
+  // fully-defined designs never hit this path.
+  bool bit = is_binary(write_data_) && to_bool(write_data_);
+  if (bit) {
+    state_ = static_cast<std::uint16_t>(state_ | (1u << write_addr_));
+  } else {
+    state_ = static_cast<std::uint16_t>(state_ & ~(1u << write_addr_));
+  }
+  write_pending_ = false;
+  propagate();
+}
+
+void Ram16x1s::reset() {
+  state_ = init_;
+  write_pending_ = false;
+  propagate();
+}
+
+Resources Ram16x1s::resources() const {
+  return {.luts = 1, .ffs = 0, .carries = 0, .delay_ns = timing::kRamAccessNs};
+}
+
+}  // namespace jhdl::tech

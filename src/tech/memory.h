@@ -1,0 +1,68 @@
+// LUT-based memory primitives: ROM16xW (the partial-product tables of the
+// KCM multiplier) and RAM16x1S (single-port distributed RAM).
+//
+// A ROM16xW is W LUT4s sharing a 4-bit address; each output bit has its own
+// 16-bit truth table. This is exactly how the paper's constant-coefficient
+// multiplier stores constant*digit partial products on Virtex.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hdl/primitive.h"
+
+namespace jhdl::tech {
+
+/// 16-entry ROM with a W-bit data output (W LUTs).
+class Rom16 final : public Primitive {
+ public:
+  /// `addr` must be 4 bits; `data` is W bits; `contents[i]` is the value
+  /// read when addr == i (low `data->width()` bits are used).
+  Rom16(Cell* parent, Wire* addr, Wire* data,
+        const std::array<std::uint64_t, 16>& contents);
+
+  void propagate() override;
+  Resources resources() const override;
+
+  const std::array<std::uint64_t, 16>& contents() const { return contents_; }
+
+  /// Rewrite one table entry (watermarking hook; see core/protect.h).
+  /// Updates the INIT_* properties to match.
+  void set_entry(unsigned addr, std::uint64_t value);
+
+ private:
+  void refresh_init_properties();
+  std::array<std::uint64_t, 16> contents_;
+};
+
+/// 16x1 single-port synchronous-write distributed RAM (asynchronous read,
+/// like Virtex RAM16X1S): read data appears combinationally from the
+/// address; writes latch on the clock edge when we=1.
+class Ram16x1s final : public Primitive {
+ public:
+  Ram16x1s(Cell* parent, Wire* addr, Wire* din, Wire* we, Wire* dout,
+           std::uint16_t init = 0);
+
+  void propagate() override;
+  bool sequential() const override { return true; }
+  /// Asynchronous read: dout follows the address combinationally.
+  bool has_comb_path() const override { return true; }
+  void pre_clock() override;
+  void post_clock() override;
+  void reset() override;
+  Resources resources() const override;
+
+  std::uint16_t state() const { return state_; }
+
+ private:
+  std::uint32_t sample_addr(bool& defined) const;
+  std::uint16_t init_;
+  std::uint16_t state_;
+  // Pending write captured in pre_clock.
+  bool write_pending_ = false;
+  std::uint32_t write_addr_ = 0;
+  Logic4 write_data_ = Logic4::X;
+};
+
+}  // namespace jhdl::tech

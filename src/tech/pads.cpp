@@ -1,0 +1,43 @@
+#include "tech/pads.h"
+
+#include "hdl/error.h"
+#include "tech/timing.h"
+
+namespace jhdl::tech {
+namespace {
+constexpr double kPadDelayNs = 1.2;  // pad + input/output buffer
+}
+
+Ibuf::Ibuf(Cell* parent, Wire* pad, Wire* o) : Primitive(parent, "ibuf") {
+  set_type_name("ibuf");
+  if (pad->width() != 1 || o->width() != 1) {
+    throw HdlError("Ibuf pins must be 1 bit: " + full_name());
+  }
+  in("pad", pad);
+  out("o", o);
+}
+
+void Ibuf::propagate() { ov(0, iv(0)); }
+
+Resources Ibuf::resources() const {
+  return {.luts = 0, .ffs = 0, .carries = 0, .brams = 0,
+          .delay_ns = kPadDelayNs};
+}
+
+Obuf::Obuf(Cell* parent, Wire* i, Wire* pad) : Primitive(parent, "obuf") {
+  set_type_name("obuf");
+  if (pad->width() != 1 || i->width() != 1) {
+    throw HdlError("Obuf pins must be 1 bit: " + full_name());
+  }
+  in("i", i);
+  out("pad", pad);
+}
+
+void Obuf::propagate() { ov(0, iv(0)); }
+
+Resources Obuf::resources() const {
+  return {.luts = 0, .ffs = 0, .carries = 0, .brams = 0,
+          .delay_ns = kPadDelayNs};
+}
+
+}  // namespace jhdl::tech

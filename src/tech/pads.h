@@ -1,0 +1,26 @@
+// I/O pad primitives (IBUF/OBUF): electrically they are buffers, but
+// netlists must carry them explicitly so downstream tools know which nets
+// reach package pins.
+#pragma once
+
+#include "hdl/primitive.h"
+
+namespace jhdl::tech {
+
+/// Input pad buffer.
+class Ibuf final : public Primitive {
+ public:
+  Ibuf(Cell* parent, Wire* pad, Wire* o);
+  void propagate() override;
+  Resources resources() const override;
+};
+
+/// Output pad buffer.
+class Obuf final : public Primitive {
+ public:
+  Obuf(Cell* parent, Wire* i, Wire* pad);
+  void propagate() override;
+  Resources resources() const override;
+};
+
+}  // namespace jhdl::tech

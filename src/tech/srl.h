@@ -1,0 +1,40 @@
+// SRL16: the Virtex LUT configured as a 16-stage shift register with a
+// dynamically addressable tap - the area trick that lets a 16-deep delay
+// line cost one LUT instead of 16 flip-flops.
+//
+//   q = stage[addr]   (combinational from addr, like the silicon)
+//   on each enabled clock: stages shift, stage[0] <= d
+#pragma once
+
+#include <cstdint>
+
+#include "hdl/primitive.h"
+
+namespace jhdl::tech {
+
+/// 16-stage shift register LUT with dynamic tap address.
+class Srl16 final : public Primitive {
+ public:
+  /// `addr` is 4 bits (tap select: 0 = newest), `ce` may be null.
+  Srl16(Cell* parent, Wire* d, Wire* addr, Wire* q, Wire* ce = nullptr,
+        std::uint16_t init = 0);
+
+  void propagate() override;
+  bool sequential() const override { return true; }
+  bool has_comb_path() const override { return true; }  // addr -> q
+  void pre_clock() override;
+  void post_clock() override;
+  void reset() override;
+  Resources resources() const override;
+
+  std::uint16_t state() const { return state_; }
+
+ private:
+  std::uint16_t init_;
+  std::uint16_t state_;
+  int ce_pin_ = -1;
+  bool shift_pending_ = false;
+  Logic4 shift_in_ = Logic4::X;
+};
+
+}  // namespace jhdl::tech

@@ -1,0 +1,20 @@
+// Timing constants of the Virtex-class delay model.
+//
+// Values are representative of a Xilinx Virtex -6 speed grade (public
+// datasheet magnitudes). Benchmarks depend only on the *relative* shape of
+// these numbers (LUT >> carry mux), not on absolute fidelity.
+#pragma once
+
+namespace jhdl::tech::timing {
+
+inline constexpr double kLutDelayNs = 0.5;     ///< LUT4 pin-to-pin
+inline constexpr double kRouteDelayNs = 0.1;   ///< route-through buffer
+inline constexpr double kCarryMuxDelayNs = 0.06;  ///< MUXCY along the chain
+inline constexpr double kXorCyDelayNs = 0.3;   ///< XORCY sum output
+inline constexpr double kMuxF5DelayNs = 0.2;   ///< F5 combiner mux
+inline constexpr double kFfClkToQNs = 0.6;     ///< flip-flop clock-to-out
+inline constexpr double kFfSetupNs = 0.4;      ///< flip-flop setup time
+inline constexpr double kRomDelayNs = 0.5;     ///< LUT-ROM access (one LUT)
+inline constexpr double kRamAccessNs = 0.5;    ///< LUT-RAM read access
+
+}  // namespace jhdl::tech::timing

@@ -1,0 +1,14 @@
+// Umbrella header for the Virtex-class technology library.
+#pragma once
+
+#include "tech/bram.h"
+#include "tech/carry.h"
+#include "tech/constants.h"
+#include "tech/ff.h"
+#include "tech/gates.h"
+#include "tech/library.h"
+#include "tech/lut.h"
+#include "tech/memory.h"
+#include "tech/pads.h"
+#include "tech/srl.h"
+#include "tech/timing.h"

@@ -1,0 +1,95 @@
+#include "util/bitvector.h"
+
+#include <stdexcept>
+
+namespace jhdl {
+
+BitVector::BitVector(std::size_t width, Logic4 fill) : bits_(width, fill) {}
+
+BitVector BitVector::from_uint(std::size_t width, std::uint64_t value) {
+  BitVector v(width, Logic4::Zero);
+  for (std::size_t i = 0; i < width && i < 64; ++i) {
+    v.bits_[i] = to_logic((value >> i) & 1);
+  }
+  return v;
+}
+
+BitVector BitVector::from_int(std::size_t width, std::int64_t value) {
+  return from_uint(width, static_cast<std::uint64_t>(value));
+}
+
+BitVector BitVector::from_string(const std::string& bits) {
+  BitVector v(bits.size(), Logic4::X);
+  // String is MSB-first; bit 0 is the last character.
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    v.bits_[bits.size() - 1 - i] = logic_from_char(bits[i]);
+  }
+  return v;
+}
+
+Logic4 BitVector::get(std::size_t i) const {
+  if (i >= bits_.size()) throw std::out_of_range("BitVector::get");
+  return bits_[i];
+}
+
+void BitVector::set(std::size_t i, Logic4 v) {
+  if (i >= bits_.size()) throw std::out_of_range("BitVector::set");
+  bits_[i] = v;
+}
+
+bool BitVector::is_fully_defined() const {
+  for (Logic4 b : bits_) {
+    if (!is_binary(b)) return false;
+  }
+  return true;
+}
+
+std::uint64_t BitVector::to_uint() const {
+  std::uint64_t value = 0;
+  const std::size_t n = bits_.size() < 64 ? bits_.size() : 64;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_binary(bits_[i])) {
+      throw std::logic_error("BitVector::to_uint on undefined bits: " +
+                             to_string());
+    }
+    if (to_bool(bits_[i])) value |= (std::uint64_t{1} << i);
+  }
+  return value;
+}
+
+std::int64_t BitVector::to_int() const {
+  if (bits_.empty()) throw std::logic_error("BitVector::to_int on empty");
+  std::uint64_t raw = to_uint();
+  const std::size_t w = bits_.size() < 64 ? bits_.size() : 64;
+  if (w < 64 && to_bool(bits_[w - 1])) {
+    raw |= ~((std::uint64_t{1} << w) - 1);  // sign extend
+  }
+  return static_cast<std::int64_t>(raw);
+}
+
+std::string BitVector::to_string() const {
+  std::string s;
+  s.reserve(bits_.size());
+  for (std::size_t i = bits_.size(); i-- > 0;) {
+    s.push_back(logic_char(bits_[i]));
+  }
+  return s;
+}
+
+BitVector BitVector::slice(std::size_t lo, std::size_t count) const {
+  if (lo + count > bits_.size()) throw std::out_of_range("BitVector::slice");
+  BitVector v(count, Logic4::X);
+  for (std::size_t i = 0; i < count; ++i) v.bits_[i] = bits_[lo + i];
+  return v;
+}
+
+BitVector BitVector::concat_msb(const BitVector& other) const {
+  BitVector v(bits_.size() + other.bits_.size(), Logic4::X);
+  for (std::size_t i = 0; i < bits_.size(); ++i) v.bits_[i] = bits_[i];
+  for (std::size_t i = 0; i < other.bits_.size(); ++i) {
+    v.bits_[bits_.size() + i] = other.bits_[i];
+  }
+  return v;
+}
+
+}  // namespace jhdl

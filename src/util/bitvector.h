@@ -1,0 +1,67 @@
+// BitVector: an arbitrary-width vector of four-state logic values.
+//
+// Used throughout the library for wire values wider than one bit: testbench
+// stimulus, simulator port values, LUT/ROM initialization contents, and the
+// black-box co-simulation protocol. Bit 0 is the least significant bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logic.h"
+
+namespace jhdl {
+
+/// A fixed-width vector of Logic4 values. Width is set at construction and
+/// preserved by all operations; arithmetic helpers interpret the contents as
+/// an unsigned or two's-complement integer when all bits are binary.
+class BitVector {
+ public:
+  /// Zero-width vector (useful as a placeholder).
+  BitVector() = default;
+
+  /// `width` bits, all initialized to `fill`.
+  explicit BitVector(std::size_t width, Logic4 fill = Logic4::X);
+
+  /// `width` bits taken from the low bits of `value` (zero-extended).
+  static BitVector from_uint(std::size_t width, std::uint64_t value);
+
+  /// `width` bits from a signed value (two's-complement, sign-extended).
+  static BitVector from_int(std::size_t width, std::int64_t value);
+
+  /// Parse a string like "10x1" (MSB first). Width = string length.
+  static BitVector from_string(const std::string& bits);
+
+  std::size_t width() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  Logic4 get(std::size_t i) const;
+  void set(std::size_t i, Logic4 v);
+
+  /// True when every bit is a driven 0 or 1.
+  bool is_fully_defined() const;
+
+  /// Unsigned integer value of the low min(width, 64) bits.
+  /// Precondition: those bits are fully defined.
+  std::uint64_t to_uint() const;
+
+  /// Signed (two's-complement) value. Precondition: fully defined, width>=1.
+  std::int64_t to_int() const;
+
+  /// MSB-first string form, e.g. "0110" or "xx10".
+  std::string to_string() const;
+
+  /// Sub-vector [lo, lo+count). Throws std::out_of_range on overflow.
+  BitVector slice(std::size_t lo, std::size_t count) const;
+
+  /// Concatenate: result has `other` in the high bits, *this in the low bits.
+  BitVector concat_msb(const BitVector& other) const;
+
+  bool operator==(const BitVector& rhs) const = default;
+
+ private:
+  std::vector<Logic4> bits_;
+};
+
+}  // namespace jhdl

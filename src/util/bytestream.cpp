@@ -1,0 +1,108 @@
+#include "util/bytestream.h"
+
+#include <stdexcept>
+
+namespace jhdl {
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::svarint(std::int64_t v) {
+  varint((static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63));
+}
+
+void ByteWriter::str(const std::string& s) {
+  varint(s.size());
+  raw(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void ByteWriter::raw(const std::uint8_t* data, std::size_t size) {
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+void ByteWriter::raw(const std::vector<std::uint8_t>& data) {
+  raw(data.data(), data.size());
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (pos_ + n > size_) throw std::runtime_error("ByteReader: truncated input");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  std::uint16_t lo = u8();
+  std::uint16_t hi = u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  std::uint32_t lo = u16();
+  std::uint32_t hi = u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t lo = u32();
+  std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+std::uint64_t ByteReader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    std::uint8_t b = u8();
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) throw std::runtime_error("ByteReader: varint overflow");
+  }
+  return v;
+}
+
+std::int64_t ByteReader::svarint() {
+  std::uint64_t raw = varint();
+  return static_cast<std::int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+}
+
+std::string ByteReader::str() {
+  std::size_t n = varint();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::uint8_t> ByteReader::raw(std::size_t size) {
+  need(size);
+  std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + size);
+  pos_ += size;
+  return out;
+}
+
+}  // namespace jhdl

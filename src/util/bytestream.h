@@ -1,0 +1,64 @@
+// Byte-oriented serialization streams.
+//
+// Used by the packaging system (archive entries), the black-box simulation
+// wire protocol, and netlist interchange. Integers are encoded LEB128-style
+// (unsigned varint) so small values stay small; fixed-width encodings are
+// available where the protocol requires them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jhdl {
+
+/// Append-only byte buffer with varint/fixed-width primitive encoders.
+class ByteWriter {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);  ///< little-endian fixed width
+  void u32(std::uint32_t v);  ///< little-endian fixed width
+  void u64(std::uint64_t v);  ///< little-endian fixed width
+  void varint(std::uint64_t v);
+  void svarint(std::int64_t v);  ///< zigzag-encoded
+  void str(const std::string& s);  ///< varint length + bytes
+  void raw(const std::uint8_t* data, std::size_t size);
+  void raw(const std::vector<std::uint8_t>& data);
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential reader over a byte buffer. Throws std::runtime_error on
+/// truncated input so protocol errors surface as exceptions, not UB.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& data)
+      : data_(data.data()), size_(data.size()) {}
+
+  bool done() const { return pos_ >= size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t varint();
+  std::int64_t svarint();
+  std::string str();
+  std::vector<std::uint8_t> raw(std::size_t size);
+
+ private:
+  void need(std::size_t n) const;
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace jhdl

@@ -1,0 +1,167 @@
+#include "util/cipher.h"
+
+#include <stdexcept>
+
+namespace jhdl {
+namespace {
+
+std::uint32_t ror(std::uint32_t x, int r) { return (x >> r) | (x << (32 - r)); }
+std::uint32_t rol(std::uint32_t x, int r) { return (x << r) | (x >> (32 - r)); }
+
+void speck_round(std::uint32_t& x, std::uint32_t& y, std::uint32_t k) {
+  x = ror(x, 8);
+  x += y;
+  x ^= k;
+  y = rol(y, 3);
+  y ^= x;
+}
+
+void speck_unround(std::uint32_t& x, std::uint32_t& y, std::uint32_t k) {
+  y ^= x;
+  y = ror(y, 3);
+  x ^= k;
+  x -= y;
+  x = rol(x, 8);
+}
+
+/// MAC subkey: the data key with a domain-separation constant mixed in.
+Speck64::Key mac_key(const Speck64::Key& key) {
+  Speck64::Key mk = key;
+  mk[0] ^= 0x4D41434Bu;  // "MACK"
+  mk[3] ^= 0xA5A5A5A5u;
+  return mk;
+}
+
+std::uint64_t load64(const std::uint8_t* p, std::size_t available) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::uint8_t b = i < available ? p[i] : 0;
+    v |= static_cast<std::uint64_t>(b) << (8 * i);
+  }
+  return v;
+}
+
+void store64(std::uint8_t* p, std::uint64_t v) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint64_t encrypt64(const Speck64& cipher, std::uint64_t block) {
+  auto x = static_cast<std::uint32_t>(block >> 32);
+  auto y = static_cast<std::uint32_t>(block);
+  cipher.encrypt_block(x, y);
+  return (static_cast<std::uint64_t>(x) << 32) | y;
+}
+
+/// CBC-MAC over the buffer (length-prefixed to resist extension).
+std::uint64_t cbc_mac(const Speck64& cipher,
+                      const std::vector<std::uint8_t>& data) {
+  std::uint64_t state = encrypt64(cipher, data.size());
+  for (std::size_t off = 0; off < data.size(); off += 8) {
+    std::uint64_t block = load64(data.data() + off, data.size() - off);
+    state = encrypt64(cipher, state ^ block);
+  }
+  return state;
+}
+
+}  // namespace
+
+Speck64::Speck64(const Key& key) {
+  // Key schedule: l[] and k[] sequences per the Speck specification.
+  std::uint32_t k = key[0];
+  std::uint32_t l[3] = {key[1], key[2], key[3]};
+  for (int i = 0; i < kRounds; ++i) {
+    round_keys_[static_cast<std::size_t>(i)] = k;
+    std::uint32_t& li = l[i % 3];
+    li = (ror(li, 8) + k) ^ static_cast<std::uint32_t>(i);
+    k = rol(k, 3) ^ li;
+  }
+}
+
+void Speck64::encrypt_block(std::uint32_t& x, std::uint32_t& y) const {
+  for (int i = 0; i < kRounds; ++i) {
+    speck_round(x, y, round_keys_[static_cast<std::size_t>(i)]);
+  }
+}
+
+void Speck64::decrypt_block(std::uint32_t& x, std::uint32_t& y) const {
+  for (int i = kRounds - 1; i >= 0; --i) {
+    speck_unround(x, y, round_keys_[static_cast<std::size_t>(i)]);
+  }
+}
+
+Speck64::Key derive_key(const std::string& passphrase,
+                        const std::string& salt) {
+  // Absorb passphrase and salt into the key state through repeated
+  // encryption (sponge-like; deterministic across platforms).
+  Speck64::Key key = {0x6A687064u, 0x6C707021u, 0x6B657921u, 0x2E2E2E2Eu};
+  std::string material = salt + "\x01" + passphrase;
+  for (int iter = 0; iter < 8; ++iter) {
+    Speck64 cipher(key);
+    std::uint64_t state = encrypt64(cipher, material.size() + iter);
+    for (std::size_t off = 0; off < material.size(); off += 8) {
+      std::uint64_t block =
+          load64(reinterpret_cast<const std::uint8_t*>(material.data()) + off,
+                 material.size() - off);
+      state = encrypt64(cipher, state ^ block);
+      key[(off / 8) % 4] ^= static_cast<std::uint32_t>(state);
+      key[(off / 8 + 1) % 4] ^= static_cast<std::uint32_t>(state >> 32);
+    }
+    key[iter % 4] ^= static_cast<std::uint32_t>(state);
+  }
+  return key;
+}
+
+std::vector<std::uint8_t> seal(const std::vector<std::uint8_t>& plaintext,
+                               const Speck64::Key& key, std::uint64_t nonce) {
+  Speck64 data_cipher(key);
+  std::vector<std::uint8_t> out(16 + plaintext.size());
+  store64(out.data(), nonce);
+
+  // CTR keystream: E(nonce ^ counter).
+  for (std::size_t off = 0; off < plaintext.size(); off += 8) {
+    std::uint64_t ks = encrypt64(data_cipher, nonce ^ (off / 8 + 1));
+    for (std::size_t i = 0; i < 8 && off + i < plaintext.size(); ++i) {
+      out[16 + off + i] = plaintext[off + i] ^
+                          static_cast<std::uint8_t>(ks >> (8 * i));
+    }
+  }
+
+  // Tag over nonce || ciphertext under the MAC subkey.
+  Speck64 tag_cipher(mac_key(key));
+  std::vector<std::uint8_t> tagged(out.begin(), out.begin() + 8);
+  tagged.insert(tagged.end(), out.begin() + 16, out.end());
+  store64(out.data() + 8, cbc_mac(tag_cipher, tagged));
+  return out;
+}
+
+std::vector<std::uint8_t> open(const std::vector<std::uint8_t>& sealed,
+                               const Speck64::Key& key) {
+  if (sealed.size() < 16) {
+    throw std::runtime_error("sealed buffer truncated");
+  }
+  std::uint64_t nonce = load64(sealed.data(), 8);
+  std::uint64_t claimed_tag = load64(sealed.data() + 8, 8);
+
+  Speck64 tag_cipher(mac_key(key));
+  std::vector<std::uint8_t> tagged(sealed.begin(), sealed.begin() + 8);
+  tagged.insert(tagged.end(), sealed.begin() + 16, sealed.end());
+  if (cbc_mac(tag_cipher, tagged) != claimed_tag) {
+    throw std::runtime_error(
+        "authentication failed: wrong key or tampered payload");
+  }
+
+  Speck64 data_cipher(key);
+  std::vector<std::uint8_t> plain(sealed.size() - 16);
+  for (std::size_t off = 0; off < plain.size(); off += 8) {
+    std::uint64_t ks = encrypt64(data_cipher, nonce ^ (off / 8 + 1));
+    for (std::size_t i = 0; i < 8 && off + i < plain.size(); ++i) {
+      plain[off + i] = sealed[16 + off + i] ^
+                       static_cast<std::uint8_t>(ks >> (8 * i));
+    }
+  }
+  return plain;
+}
+
+}  // namespace jhdl

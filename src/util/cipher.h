@@ -1,0 +1,56 @@
+// Lightweight block cipher (Speck64/128) with CTR-mode encryption and a
+// CBC-MAC tag, implemented from scratch for the secure-delivery channel
+// (the paper's future work: "investigating more secure delivery
+// techniques", Section 5; class encryption, Section 4.3).
+//
+// Speck (Beaulieu et al., NSA 2013) is chosen for its tiny, easily
+// audited ARX round function. This is a faithful Speck64/128
+// implementation, but the construction here (CTR + CBC-MAC with related
+// keys) is demonstration-grade plumbing for the reproduction - a
+// production system would use an AEAD like AES-GCM or ChaCha20-Poly1305.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jhdl {
+
+/// Speck64/128: 64-bit block, 128-bit key, 27 rounds.
+class Speck64 {
+ public:
+  using Key = std::array<std::uint32_t, 4>;
+
+  explicit Speck64(const Key& key);
+
+  /// Encrypt one block (x = high word, y = low word).
+  void encrypt_block(std::uint32_t& x, std::uint32_t& y) const;
+  /// Decrypt one block.
+  void decrypt_block(std::uint32_t& x, std::uint32_t& y) const;
+
+  static constexpr int kRounds = 27;
+
+ private:
+  std::array<std::uint32_t, kRounds> round_keys_{};
+};
+
+/// Derive a 128-bit key from a passphrase (iterated Speck-based mixing;
+/// deterministic, salt-separated).
+Speck64::Key derive_key(const std::string& passphrase,
+                        const std::string& salt);
+
+/// Authenticated encryption: CTR keystream + 64-bit CBC-MAC tag over the
+/// ciphertext (encrypt-then-MAC, MAC under a derived subkey).
+/// Output layout: nonce(8) || tag(8) || ciphertext.
+std::vector<std::uint8_t> seal(const std::vector<std::uint8_t>& plaintext,
+                               const Speck64::Key& key,
+                               std::uint64_t nonce);
+
+/// Verify and decrypt a buffer produced by seal(). Throws
+/// std::runtime_error on truncation or tag mismatch (wrong key or
+/// tampering).
+std::vector<std::uint8_t> open(const std::vector<std::uint8_t>& sealed,
+                               const Speck64::Key& key);
+
+}  // namespace jhdl

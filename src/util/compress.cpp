@@ -1,0 +1,138 @@
+#include "util/compress.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/bytestream.h"
+
+namespace jhdl {
+namespace {
+
+constexpr std::size_t kWindow = 32 * 1024;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 258;
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+constexpr std::uint32_t kMagic = 0x4C5A5331;  // "LZS1"
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lzss_compress(
+    const std::vector<std::uint8_t>& input) {
+  ByteWriter out;
+  out.u32(kMagic);
+  out.varint(input.size());
+
+  // Token stream: flag byte describing the next 8 tokens (bit set = match),
+  // then for each token either one literal byte or varint(length-kMinMatch)
+  // + varint(distance).
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(input.size(), -1);
+
+  std::vector<std::uint8_t> pending_flags;
+  std::uint8_t flags = 0;
+  int flag_count = 0;
+  ByteWriter tokens;
+
+  auto flush_group = [&](ByteWriter& dst) {
+    dst.u8(flags);
+    dst.raw(tokens.bytes());
+    flags = 0;
+    flag_count = 0;
+    tokens = ByteWriter();
+  };
+
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (pos + kMinMatch <= input.size()) {
+      std::uint32_t h = hash4(&input[pos]);
+      std::int64_t cand = head[h];
+      int chain = 64;  // bounded chain walk keeps compression O(n)
+      while (cand >= 0 && chain-- > 0 &&
+             pos - static_cast<std::size_t>(cand) <= kWindow) {
+        const std::uint8_t* a = &input[pos];
+        const std::uint8_t* b = &input[static_cast<std::size_t>(cand)];
+        std::size_t limit = input.size() - pos;
+        if (limit > kMaxMatch) limit = kMaxMatch;
+        std::size_t len = 0;
+        while (len < limit && a[len] == b[len]) ++len;
+        if (len >= kMinMatch && len > best_len) {
+          best_len = len;
+          best_dist = pos - static_cast<std::size_t>(cand);
+          if (len == kMaxMatch) break;
+        }
+        cand = prev[static_cast<std::size_t>(cand)];
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      flags |= static_cast<std::uint8_t>(1u << flag_count);
+      tokens.varint(best_len - kMinMatch);
+      tokens.varint(best_dist);
+      // Insert all covered positions into the hash chains.
+      for (std::size_t i = 0; i < best_len && pos + i + 4 <= input.size();
+           ++i) {
+        std::uint32_t h = hash4(&input[pos + i]);
+        prev[pos + i] = head[h];
+        head[h] = static_cast<std::int64_t>(pos + i);
+      }
+      pos += best_len;
+    } else {
+      tokens.u8(input[pos]);
+      if (pos + 4 <= input.size()) {
+        std::uint32_t h = hash4(&input[pos]);
+        prev[pos] = head[h];
+        head[h] = static_cast<std::int64_t>(pos);
+      }
+      ++pos;
+    }
+    ++flag_count;
+    if (flag_count == 8) flush_group(out);
+  }
+  if (flag_count > 0) flush_group(out);
+  return out.take();
+}
+
+std::vector<std::uint8_t> lzss_decompress(
+    const std::vector<std::uint8_t>& input) {
+  ByteReader in(input);
+  if (in.u32() != kMagic) {
+    throw std::runtime_error("lzss: bad magic");
+  }
+  std::size_t expected = in.varint();
+  std::vector<std::uint8_t> out;
+  out.reserve(expected);
+
+  while (out.size() < expected) {
+    std::uint8_t flags = in.u8();
+    for (int i = 0; i < 8 && out.size() < expected; ++i) {
+      if (flags & (1u << i)) {
+        std::size_t len = in.varint() + kMinMatch;
+        std::size_t dist = in.varint();
+        if (dist == 0 || dist > out.size()) {
+          throw std::runtime_error("lzss: bad back-reference");
+        }
+        std::size_t from = out.size() - dist;
+        for (std::size_t k = 0; k < len; ++k) {
+          out.push_back(out[from + k]);  // overlapping copies are legal
+        }
+      } else {
+        out.push_back(in.u8());
+      }
+    }
+  }
+  if (out.size() != expected) {
+    throw std::runtime_error("lzss: size mismatch");
+  }
+  return out;
+}
+
+}  // namespace jhdl

@@ -1,0 +1,26 @@
+// LZSS compression, standing in for the DEFLATE compression inside JAR
+// archives (Table 1 of the paper reports compressed JAR sizes).
+//
+// Implemented from scratch: a 32 KiB sliding window with hash-chain match
+// finding, emitting a token stream of literals and (length, distance)
+// back-references. The format is self-describing and round-trips exactly;
+// compression ratio on text/netlist payloads is comparable to DEFLATE's
+// LZ77 stage, which is sufficient for reproducing the *relative* archive
+// sizes in Table 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace jhdl {
+
+/// Compress `input` into the LZSS token format. Always succeeds; worst case
+/// output is ~9/8 of the input plus a small header.
+std::vector<std::uint8_t> lzss_compress(const std::vector<std::uint8_t>& input);
+
+/// Decompress a buffer produced by lzss_compress. Throws std::runtime_error
+/// on malformed input.
+std::vector<std::uint8_t> lzss_decompress(
+    const std::vector<std::uint8_t>& input);
+
+}  // namespace jhdl

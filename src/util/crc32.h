@@ -1,0 +1,18 @@
+// CRC-32 (ISO 3309 / zlib polynomial) for archive entry integrity checks,
+// matching the checksum role CRC-32 plays inside JAR/ZIP archives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jhdl {
+
+/// CRC-32 of a byte buffer (polynomial 0xEDB88320, init/final xor 0xFFFFFFFF).
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+std::uint32_t crc32(const std::vector<std::uint8_t>& data);
+std::uint32_t crc32(const std::string& data);
+
+}  // namespace jhdl

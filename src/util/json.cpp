@@ -1,0 +1,389 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace jhdl {
+namespace {
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  throw std::runtime_error(std::string("json: expected ") + want +
+                           ", got type " + std::to_string(static_cast<int>(got)));
+}
+
+void escape_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Json value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return Json(string());
+      case 't':
+        keyword("true");
+        return Json(true);
+      case 'f':
+        keyword("false");
+        return Json(false);
+      case 'n':
+        keyword("null");
+        return Json();
+      default:
+        return number();
+    }
+  }
+
+  void keyword(const char* kw) {
+    for (const char* p = kw; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad keyword");
+      ++pos_;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad hex digit");
+              }
+            }
+            // Encode as UTF-8 (basic multilingual plane only).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Json number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    try {
+      return Json(std::stod(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push(value());
+      skip_ws();
+      char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return arr;
+  }
+
+  Json object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      obj.set(key, value());
+      skip_ws();
+      char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return obj;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::Bool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::Number) type_error("number", type_);
+  return num_;
+}
+
+std::int64_t Json::as_int() const {
+  if (type_ != Type::Number) type_error("number", type_);
+  return static_cast<std::int64_t>(std::llround(num_));
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::String) type_error("string", type_);
+  return str_;
+}
+
+const std::vector<Json>& Json::items() const {
+  if (type_ != Type::Array) type_error("array", type_);
+  return arr_;
+}
+
+const std::map<std::string, Json>& Json::fields() const {
+  if (type_ != Type::Object) type_error("object", type_);
+  return obj_;
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (type_ != Type::Object) type_error("object", type_);
+  auto it = obj_.find(key);
+  if (it == obj_.end()) {
+    throw std::runtime_error("json: missing key '" + key + "'");
+  }
+  return it->second;
+}
+
+bool Json::has(const std::string& key) const {
+  return type_ == Type::Object && obj_.count(key) > 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (type_ != Type::Array) type_error("array", type_);
+  if (index >= arr_.size()) {
+    throw std::runtime_error("json: index out of range");
+  }
+  return arr_[index];
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::Array) return arr_.size();
+  if (type_ == Type::Object) return obj_.size();
+  type_error("array or object", type_);
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (type_ != Type::Object) type_error("object", type_);
+  obj_[key] = std::move(value);
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (type_ != Type::Array) type_error("array", type_);
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::Null:
+      out += "null";
+      break;
+    case Type::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::Number: {
+      double rounded = std::round(num_);
+      if (rounded == num_ && std::fabs(num_) < 9e15) {
+        out += std::to_string(static_cast<std::int64_t>(rounded));
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", num_);
+        out += buf;
+      }
+      break;
+    }
+    case Type::String:
+      escape_string(out, str_);
+      break;
+    case Type::Array: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& v : arr_) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::Object: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        escape_string(out, k);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace jhdl

@@ -1,0 +1,88 @@
+// Minimal JSON document model with parser and serializer.
+//
+// Used for the JSON netlist interchange format (the paper notes JHDL's
+// netlister API lets users define custom textual interchange formats) and
+// for applet specification files. Supports the full JSON grammar except
+// that numbers are stored as double (plus an integer fast path).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jhdl {
+
+/// A JSON value: null, bool, number, string, array, or object.
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}                 // NOLINT
+  Json(double d) : type_(Type::Number), num_(d) {}              // NOLINT
+  Json(int i) : type_(Type::Number), num_(i) {}                 // NOLINT
+  Json(std::int64_t i)                                          // NOLINT
+      : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(std::size_t i)                                           // NOLINT
+      : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}         // NOLINT
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}  // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_object() const { return type_ == Type::Object; }
+  bool is_array() const { return type_ == Type::Array; }
+
+  // --- accessors (throw std::runtime_error on type mismatch) ---
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;
+  const std::map<std::string, Json>& fields() const;
+
+  /// Object member access; throws if not an object or key missing.
+  const Json& at(const std::string& key) const;
+  /// True if this is an object containing `key`.
+  bool has(const std::string& key) const;
+  /// Array element access.
+  const Json& at(std::size_t index) const;
+  std::size_t size() const;
+
+  // --- builders ---
+  /// Object member assignment (creates/overwrites); *this must be object.
+  Json& set(const std::string& key, Json value);
+  /// Array append; *this must be an array.
+  Json& push(Json value);
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 0) const;
+
+  /// Parse a JSON text; throws std::runtime_error with offset on error.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace jhdl

@@ -1,0 +1,60 @@
+#include "util/logic.h"
+
+#include <stdexcept>
+
+namespace jhdl {
+
+Logic4 logic_and(Logic4 a, Logic4 b) {
+  if (a == Logic4::Zero || b == Logic4::Zero) return Logic4::Zero;
+  if (a == Logic4::One && b == Logic4::One) return Logic4::One;
+  return Logic4::X;
+}
+
+Logic4 logic_or(Logic4 a, Logic4 b) {
+  if (a == Logic4::One || b == Logic4::One) return Logic4::One;
+  if (a == Logic4::Zero && b == Logic4::Zero) return Logic4::Zero;
+  return Logic4::X;
+}
+
+Logic4 logic_xor(Logic4 a, Logic4 b) {
+  if (!is_binary(a) || !is_binary(b)) return Logic4::X;
+  return to_logic(to_bool(a) != to_bool(b));
+}
+
+Logic4 logic_not(Logic4 a) {
+  if (!is_binary(a)) return Logic4::X;
+  return to_logic(!to_bool(a));
+}
+
+char logic_char(Logic4 v) {
+  switch (v) {
+    case Logic4::Zero:
+      return '0';
+    case Logic4::One:
+      return '1';
+    case Logic4::X:
+      return 'x';
+    case Logic4::Z:
+      return 'z';
+  }
+  return '?';
+}
+
+Logic4 logic_from_char(char c) {
+  switch (c) {
+    case '0':
+      return Logic4::Zero;
+    case '1':
+      return Logic4::One;
+    case 'x':
+    case 'X':
+      return Logic4::X;
+    case 'z':
+    case 'Z':
+      return Logic4::Z;
+    default:
+      throw std::invalid_argument(std::string("not a logic character: ") + c);
+  }
+}
+
+}  // namespace jhdl

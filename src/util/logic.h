@@ -1,0 +1,54 @@
+// Four-state logic values and truth-table operations.
+//
+// The simulation kernel models each net bit as one of four states, matching
+// the semantics JHDL inherits from digital simulation practice:
+//   Zero / One - driven binary values
+//   X          - unknown (uninitialized or conflicting)
+//   Z          - high impedance (undriven)
+//
+// Combinational operators follow the usual pessimistic rules: any X or Z on
+// an input that can affect the output yields X, except for dominating inputs
+// (e.g. AND with a Zero input is Zero regardless of the other input).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jhdl {
+
+/// One bit of four-state logic.
+enum class Logic4 : std::uint8_t {
+  Zero = 0,
+  One = 1,
+  X = 2,  ///< unknown
+  Z = 3,  ///< high impedance (treated as X by logic operators)
+};
+
+/// True if the value is a driven binary 0 or 1.
+constexpr bool is_binary(Logic4 v) {
+  return v == Logic4::Zero || v == Logic4::One;
+}
+
+/// Convert a bool to a Logic4.
+constexpr Logic4 to_logic(bool b) { return b ? Logic4::One : Logic4::Zero; }
+
+/// Convert to bool; X and Z read as false. Use is_binary() first when the
+/// distinction matters.
+constexpr bool to_bool(Logic4 v) { return v == Logic4::One; }
+
+/// Logical AND with X-pessimism (0 dominates).
+Logic4 logic_and(Logic4 a, Logic4 b);
+/// Logical OR with X-pessimism (1 dominates).
+Logic4 logic_or(Logic4 a, Logic4 b);
+/// Logical XOR; any non-binary input yields X.
+Logic4 logic_xor(Logic4 a, Logic4 b);
+/// Logical NOT; non-binary input yields X.
+Logic4 logic_not(Logic4 a);
+
+/// Single-character display form: '0', '1', 'x', 'z'.
+char logic_char(Logic4 v);
+
+/// Parse '0'/'1'/'x'/'X'/'z'/'Z'. Throws std::invalid_argument otherwise.
+Logic4 logic_from_char(char c);
+
+}  // namespace jhdl

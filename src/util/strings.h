@@ -1,0 +1,27 @@
+// Small string helpers shared across the netlisters and viewers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace jhdl {
+
+/// Sanitize an arbitrary hierarchical name into an identifier legal in
+/// EDIF/VHDL/Verilog: [A-Za-z_][A-Za-z0-9_]*. Illegal characters become '_';
+/// a leading digit gets an 'n' prefix; empty input becomes "_".
+std::string sanitize_identifier(const std::string& name);
+
+/// Join parts with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Human-readable byte size, e.g. "795.2 kB".
+std::string human_bytes(std::size_t bytes);
+
+}  // namespace jhdl

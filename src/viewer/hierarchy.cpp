@@ -1,0 +1,59 @@
+#include "viewer/hierarchy.h"
+
+#include <sstream>
+
+#include "hdl/primitive.h"
+#include "util/strings.h"
+
+namespace jhdl::viewer {
+namespace {
+
+void walk(const Cell& cell, int depth, int max_depth, std::ostringstream& os) {
+  os << std::string(static_cast<std::size_t>(depth) * 2, ' ');
+  os << cell.name();
+  if (!cell.type_name().empty() && cell.type_name() != cell.name()) {
+    os << " : " << cell.type_name();
+  }
+  if (cell.is_primitive()) {
+    const auto& prim = static_cast<const Primitive&>(cell);
+    Resources r = prim.resources();
+    std::vector<std::string> notes;
+    if (r.luts > 0) notes.push_back(format("%d LUT", r.luts));
+    if (r.ffs > 0) notes.push_back(format("%d FF", r.ffs));
+    if (r.carries > 0) notes.push_back(format("%d CY", r.carries));
+    if (!notes.empty()) os << "  [" << join(notes, ", ") << "]";
+  } else if (!cell.children().empty()) {
+    os << "  (" << cell.children().size() << " children)";
+  }
+  if (cell.rloc()) {
+    os << "  @R" << cell.rloc()->row << "C" << cell.rloc()->col;
+  }
+  os << "\n";
+  if (max_depth >= 0 && depth >= max_depth) return;
+  for (const Cell* child : cell.children()) {
+    walk(*child, depth + 1, max_depth, os);
+  }
+}
+
+}  // namespace
+
+std::string hierarchy_tree(const Cell& root, int max_depth) {
+  std::ostringstream os;
+  walk(root, 0, max_depth, os);
+  return os.str();
+}
+
+std::string interface_summary(const Cell& cell) {
+  std::ostringstream os;
+  os << cell.name();
+  if (!cell.type_name().empty()) os << " (" << cell.type_name() << ")";
+  os << "\n";
+  for (const Port& p : cell.ports()) {
+    os << "  " << port_dir_name(p.dir) << " " << p.name << " ["
+       << p.wire->width() << " bit" << (p.wire->width() == 1 ? "" : "s")
+       << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace jhdl::viewer

@@ -1,0 +1,22 @@
+// Hierarchy browser: the textual form of JHDL's circuit hierarchy viewer.
+// Used by the applet framework's "structural circuit viewer" feature to
+// let a customer "browse the hierarchy and structure of a generated
+// design" (paper, Section 3.2).
+#pragma once
+
+#include <string>
+
+#include "hdl/cell.h"
+
+namespace jhdl::viewer {
+
+/// Render the subtree as an indented tree, one cell per line, with type,
+/// port summary and (for primitives) resource notes. `max_depth` < 0 means
+/// unlimited.
+std::string hierarchy_tree(const Cell& root, int max_depth = -1);
+
+/// One-paragraph interface summary of a cell: name, type, ports with
+/// directions and widths.
+std::string interface_summary(const Cell& cell);
+
+}  // namespace jhdl::viewer

@@ -1,0 +1,76 @@
+#include "viewer/layout_view.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace jhdl::viewer {
+
+std::string text_layout(const Cell& root) {
+  estimate::LayoutEstimate est = estimate::estimate_layout(root);
+  std::ostringstream os;
+  os << "layout of " << root.full_name() << ": ";
+  if (!est.placed) {
+    os << "unplaced\n";
+    return os.str();
+  }
+  os << est.width() << "x" << est.height() << " slices, "
+     << est.placed_primitives << " placed primitives, density "
+     << format("%.2f", est.density()) << "\n";
+  for (int row = est.max_row; row >= est.min_row; --row) {
+    os << format("%4d |", row);
+    for (int col = est.min_col; col <= est.max_col; ++col) {
+      auto it = est.occupancy.find({row, col});
+      if (it == est.occupancy.end()) {
+        os << '.';
+      } else if (it->second > 9) {
+        os << '#';
+      } else {
+        os << static_cast<char>('0' + it->second);
+      }
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+std::string svg_layout(const Cell& root) {
+  estimate::LayoutEstimate est = estimate::estimate_layout(root);
+  constexpr int kCell = 14;
+  const int cols = est.placed ? est.width() : 1;
+  const int rows = est.placed ? est.height() : 1;
+  const int width = 40 + cols * kCell;
+  const int height = 50 + rows * kCell;
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\">\n";
+  os << "<text x=\"10\" y=\"16\" font-family=\"monospace\" font-size=\"12\">"
+     << root.full_name() << " layout</text>\n";
+  if (est.placed) {
+    std::size_t max_occ = 1;
+    for (const auto& [loc, n] : est.occupancy) max_occ = std::max(max_occ, n);
+    for (int row = est.min_row; row <= est.max_row; ++row) {
+      for (int col = est.min_col; col <= est.max_col; ++col) {
+        auto it = est.occupancy.find({row, col});
+        const int x = 20 + (col - est.min_col) * kCell;
+        const int y = 30 + (est.max_row - row) * kCell;
+        std::string fill = "#ffffff";
+        if (it != est.occupancy.end()) {
+          // Darker blue for denser slices.
+          int shade = 230 - static_cast<int>(160 * it->second / max_occ);
+          fill = format("#%02x%02xff", shade, shade);
+        }
+        os << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << kCell
+           << "\" height=\"" << kCell << "\" fill=\"" << fill
+           << "\" stroke=\"#aaa\" stroke-width=\"0.5\"/>\n";
+      }
+    }
+  } else {
+    os << "<text x=\"20\" y=\"40\" font-family=\"monospace\" font-size=\"11\""
+          " fill=\"#a00\">unplaced</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace jhdl::viewer

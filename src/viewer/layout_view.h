@@ -1,0 +1,20 @@
+// Layout view: renders the RLOC placement footprint of a macro, the
+// paper's "view of the layout for pre-placed FPGA macros ... without
+// seeing the underlying circuit structure or netlist" (Section 3.2).
+#pragma once
+
+#include <string>
+
+#include "estimate/layout.h"
+#include "hdl/cell.h"
+
+namespace jhdl::viewer {
+
+/// ASCII occupancy grid: rows of the slice grid, '.' for empty slices,
+/// digits (9+ shown as '#') for occupied slice counts.
+std::string text_layout(const Cell& root);
+
+/// SVG slice-grid rendering with occupancy shading.
+std::string svg_layout(const Cell& root);
+
+}  // namespace jhdl::viewer

@@ -1,0 +1,54 @@
+#include "viewer/memview.h"
+
+#include <sstream>
+
+#include "hdl/visitor.h"
+#include "tech/bram.h"
+#include "tech/memory.h"
+#include "tech/srl.h"
+#include "util/strings.h"
+
+namespace jhdl::viewer {
+
+std::string memory_contents(const Cell& root) {
+  std::ostringstream os;
+  bool any = false;
+  for (Primitive* p : collect_primitives(const_cast<Cell&>(root))) {
+    if (auto* rom = dynamic_cast<tech::Rom16*>(p)) {
+      any = true;
+      os << rom->full_name() << " (rom16x" << rom->num_outputs() << "):\n ";
+      for (unsigned a = 0; a < 16; ++a) {
+        os << format(" %0*llx", static_cast<int>((rom->num_outputs() + 3) / 4),
+                     static_cast<unsigned long long>(rom->contents()[a]));
+      }
+      os << "\n";
+    } else if (auto* ram = dynamic_cast<tech::Ram16x1s*>(p)) {
+      any = true;
+      os << ram->full_name() << " (ram16x1s): " << format("%04X", ram->state())
+         << "\n";
+    } else if (auto* srl = dynamic_cast<tech::Srl16*>(p)) {
+      any = true;
+      os << srl->full_name() << " (srl16): " << format("%04X", srl->state())
+         << "\n";
+    } else if (auto* bram = dynamic_cast<tech::RamB4S8*>(p)) {
+      any = true;
+      os << bram->full_name() << " (ramb4_s8, 512x8):\n";
+      const auto& mem = bram->contents();
+      for (std::size_t row = 0; row < 512; row += 32) {
+        // Skip all-zero rows to keep dumps readable.
+        bool nonzero = false;
+        for (std::size_t i = 0; i < 32; ++i) nonzero |= (mem[row + i] != 0);
+        if (!nonzero) continue;
+        os << format("  %03zx:", row);
+        for (std::size_t i = 0; i < 32; ++i) {
+          os << format(" %02x", mem[row + i]);
+        }
+        os << "\n";
+      }
+    }
+  }
+  if (!any) return "(no memories)\n";
+  return os.str();
+}
+
+}  // namespace jhdl::viewer

@@ -1,0 +1,15 @@
+// Memory contents viewer - the paper's "other tools are available for
+// viewing memory contents" (Section 2.1). Dumps every memory primitive
+// (ROM16, RAM16x1S, SRL16, RAMB4) under a cell as hex tables.
+#pragma once
+
+#include <string>
+
+#include "hdl/cell.h"
+
+namespace jhdl::viewer {
+
+/// Hex dump of all memories under `root`; "(no memories)" when none.
+std::string memory_contents(const Cell& root);
+
+}  // namespace jhdl::viewer

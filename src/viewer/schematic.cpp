@@ -1,0 +1,174 @@
+#include "viewer/schematic.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "hdl/net.h"
+#include "util/strings.h"
+
+namespace jhdl::viewer {
+namespace {
+
+struct Sheet {
+  std::vector<const Cell*> insts;
+  std::map<const Cell*, int> level;
+  int max_level = 0;
+};
+
+/// Levelize one hierarchy level: an instance sits one column right of the
+/// deepest instance driving any of its input ports. Feedback edges (from
+/// sequential loops) are ignored by the bounded relaxation.
+Sheet levelize(const Cell& cell) {
+  Sheet sheet;
+  std::map<const Net*, const Cell*> driven_by;
+  for (const Cell* child : cell.children()) {
+    sheet.insts.push_back(child);
+    sheet.level[child] = 0;
+    for (const Port& p : child->ports()) {
+      if (p.dir != PortDir::In) {
+        for (Net* n : p.wire->nets()) driven_by[n] = child;
+      }
+    }
+  }
+  // Bounded relaxation: N passes suffice for a DAG of N instances.
+  for (std::size_t pass = 0; pass < sheet.insts.size(); ++pass) {
+    bool changed = false;
+    for (const Cell* child : sheet.insts) {
+      int lvl = 0;
+      for (const Port& p : child->ports()) {
+        if (p.dir != PortDir::In) continue;
+        for (Net* n : p.wire->nets()) {
+          auto it = driven_by.find(n);
+          if (it != driven_by.end() && it->second != child) {
+            lvl = std::max(lvl, sheet.level[it->second] + 1);
+          }
+        }
+      }
+      // Cap to instance count to terminate on combinational-ish loops.
+      lvl = std::min<int>(lvl, static_cast<int>(sheet.insts.size()));
+      if (lvl > sheet.level[child]) {
+        sheet.level[child] = lvl;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  for (const Cell* child : sheet.insts) {
+    sheet.max_level = std::max(sheet.max_level, sheet.level[child]);
+  }
+  return sheet;
+}
+
+std::string conn_summary(const Cell& inst) {
+  std::vector<std::string> ins;
+  std::vector<std::string> outs;
+  for (const Port& p : inst.ports()) {
+    std::string item = p.name + "=" + p.wire->name();
+    if (p.dir == PortDir::In) {
+      ins.push_back(item);
+    } else {
+      outs.push_back(item);
+    }
+  }
+  std::string out;
+  if (!ins.empty()) out += "in: " + join(ins, ", ");
+  if (!outs.empty()) {
+    if (!out.empty()) out += "  ";
+    out += "out: " + join(outs, ", ");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string text_schematic(const Cell& cell) {
+  Sheet sheet = levelize(cell);
+  std::ostringstream os;
+  os << "schematic of " << cell.full_name() << " (" << sheet.insts.size()
+     << " instances)\n";
+  for (int lvl = 0; lvl <= sheet.max_level; ++lvl) {
+    bool header = false;
+    for (const Cell* inst : sheet.insts) {
+      if (sheet.level.at(inst) != lvl) continue;
+      if (!header) {
+        os << " column " << lvl << ":\n";
+        header = true;
+      }
+      os << "  " << inst->name();
+      if (!inst->type_name().empty()) os << " (" << inst->type_name() << ")";
+      os << "  " << conn_summary(*inst) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string svg_schematic(const Cell& cell) {
+  Sheet sheet = levelize(cell);
+  // Grid geometry.
+  constexpr int kBoxW = 120, kBoxH = 40, kGapX = 60, kGapY = 16;
+  std::map<int, int> row_in_level;
+  std::map<const Cell*, std::pair<int, int>> pos;  // top-left x, y
+  int max_rows = 0;
+  for (const Cell* inst : sheet.insts) {
+    int lvl = sheet.level.at(inst);
+    int row = row_in_level[lvl]++;
+    max_rows = std::max(max_rows, row + 1);
+    pos[inst] = {20 + lvl * (kBoxW + kGapX), 30 + row * (kBoxH + kGapY)};
+  }
+  const int width = 40 + (sheet.max_level + 1) * (kBoxW + kGapX);
+  const int height = 60 + max_rows * (kBoxH + kGapY);
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\">\n";
+  os << "<text x=\"20\" y=\"18\" font-family=\"monospace\" font-size=\"13\">"
+     << cell.full_name() << "</text>\n";
+
+  // Nets: a line from each driver pin to each sink pin.
+  std::map<const Net*, std::pair<int, int>> source;  // net -> (x, y)
+  for (const Cell* inst : sheet.insts) {
+    auto [x, y] = pos.at(inst);
+    for (const Port& p : inst->ports()) {
+      if (p.dir == PortDir::In) continue;
+      for (Net* n : p.wire->nets()) {
+        source[n] = {x + kBoxW, y + kBoxH / 2};
+      }
+    }
+  }
+  for (const Cell* inst : sheet.insts) {
+    auto [x, y] = pos.at(inst);
+    for (const Port& p : inst->ports()) {
+      if (p.dir != PortDir::In) continue;
+      for (Net* n : p.wire->nets()) {
+        auto it = source.find(n);
+        if (it == source.end()) continue;
+        os << "<line x1=\"" << it->second.first << "\" y1=\""
+           << it->second.second << "\" x2=\"" << x << "\" y2=\""
+           << y + kBoxH / 2
+           << "\" stroke=\"#888\" stroke-width=\"1\"/>\n";
+      }
+    }
+  }
+
+  // Instance boxes on top of the wires.
+  for (const Cell* inst : sheet.insts) {
+    auto [x, y] = pos.at(inst);
+    os << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << kBoxW
+       << "\" height=\"" << kBoxH
+       << "\" fill=\"#eef\" stroke=\"#336\" stroke-width=\"1\"/>\n";
+    os << "<text x=\"" << x + 6 << "\" y=\"" << y + 16
+       << "\" font-family=\"monospace\" font-size=\"11\">" << inst->name()
+       << "</text>\n";
+    if (!inst->type_name().empty()) {
+      os << "<text x=\"" << x + 6 << "\" y=\"" << y + 31
+         << "\" font-family=\"monospace\" font-size=\"10\" fill=\"#555\">"
+         << inst->type_name() << "</text>\n";
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace jhdl::viewer

@@ -1,0 +1,24 @@
+// Schematic rendering: text and SVG forms of JHDL's schematic viewer.
+//
+// The text schematic lists each instance of one hierarchy level with its
+// pin-to-net connections, levelized left to right (sources first), which
+// is the information content of a schematic sheet. The SVG renderer draws
+// levelized instance boxes with simple orthogonal net routing - enough to
+// "interactively explore the structure ... of the created circuit"
+// (paper, Section 4.1) in a browser.
+#pragma once
+
+#include <string>
+
+#include "hdl/cell.h"
+
+namespace jhdl::viewer {
+
+/// One-level text schematic of `cell`: its child instances in levelized
+/// order with their connections.
+std::string text_schematic(const Cell& cell);
+
+/// One-level SVG schematic of `cell`.
+std::string svg_schematic(const Cell& cell);
+
+}  // namespace jhdl::viewer

@@ -1,0 +1,137 @@
+#include "viewer/waveview.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace jhdl::viewer {
+namespace {
+
+std::string hex_value(const BitVector& v) {
+  if (!v.is_fully_defined()) return "x";
+  return format("%llx", static_cast<unsigned long long>(v.to_uint()));
+}
+
+}  // namespace
+
+std::string text_waves(const WaveformRecorder& rec, std::size_t first,
+                       std::size_t count) {
+  const std::size_t total = rec.num_samples();
+  std::size_t last = count == 0 ? total : std::min(total, first + count);
+  if (first >= last) return "(no samples)\n";
+
+  std::size_t label_w = 0;
+  for (const Trace& t : rec.traces()) {
+    label_w = std::max(label_w, t.label.size());
+  }
+
+  std::ostringstream os;
+  // Cycle ruler every 5 cycles.
+  os << std::string(label_w + 2, ' ');
+  for (std::size_t c = first; c < last; ++c) {
+    if (c % 5 == 0) {
+      std::string num = std::to_string(c);
+      os << num;
+      // Each cycle is one column for 1-bit traces; pad the ruler.
+      for (std::size_t k = num.size(); k < 5 && c + k < last; ++k) os << ' ';
+      c += std::min<std::size_t>(4, last - c - 1);
+    }
+  }
+  os << "\n";
+
+  for (const Trace& t : rec.traces()) {
+    os << format("%-*s  ", static_cast<int>(label_w), t.label.c_str());
+    if (t.wire->width() == 1) {
+      for (std::size_t c = first; c < last; ++c) {
+        Logic4 v = t.samples[c].get(0);
+        switch (v) {
+          case Logic4::Zero:
+            os << '_';
+            break;
+          case Logic4::One:
+            os << '-';
+            break;
+          default:
+            os << 'x';
+        }
+      }
+    } else {
+      // Value annotations at changes: |val
+      std::string prev;
+      for (std::size_t c = first; c < last; ++c) {
+        std::string v = hex_value(t.samples[c]);
+        if (c == first || v != prev) {
+          os << '|' << v;
+        } else {
+          os << '.';
+        }
+        prev = v;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string svg_waves(const WaveformRecorder& rec) {
+  constexpr int kStep = 24;     // px per cycle
+  constexpr int kRow = 34;      // px per trace row
+  constexpr int kHigh = 6, kLow = 26;
+  constexpr int kLabelW = 110;
+  const std::size_t n = rec.num_samples();
+  const int width = kLabelW + static_cast<int>(n) * kStep + 20;
+  const int height = 30 + static_cast<int>(rec.traces().size()) * kRow;
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" font-family=\"monospace\">\n";
+  // Cycle grid.
+  for (std::size_t c = 0; c <= n; ++c) {
+    int x = kLabelW + static_cast<int>(c) * kStep;
+    os << "<line x1=\"" << x << "\" y1=\"20\" x2=\"" << x << "\" y2=\""
+       << height << "\" stroke=\"#eee\"/>\n";
+    if (c % 5 == 0 && c < n) {
+      os << "<text x=\"" << x + 2 << "\" y=\"14\" font-size=\"9\" "
+            "fill=\"#888\">" << c << "</text>\n";
+    }
+  }
+  int row = 0;
+  for (const Trace& t : rec.traces()) {
+    const int y0 = 26 + row * kRow;
+    os << "<text x=\"4\" y=\"" << y0 + 18
+       << "\" font-size=\"11\">" << t.label << "</text>\n";
+    if (t.wire->width() == 1) {
+      // Rail polyline.
+      os << "<polyline fill=\"none\" stroke=\"#27c\" stroke-width=\"1.5\" "
+            "points=\"";
+      for (std::size_t c = 0; c < n; ++c) {
+        Logic4 v = t.samples[c].get(0);
+        int y = y0 + (v == Logic4::One ? kHigh : kLow);
+        int x = kLabelW + static_cast<int>(c) * kStep;
+        os << x << "," << y << " " << x + kStep << "," << y << " ";
+      }
+      os << "\"/>\n";
+    } else {
+      // Bus: one box per run of equal values.
+      std::size_t start = 0;
+      for (std::size_t c = 1; c <= n; ++c) {
+        if (c < n && t.samples[c] == t.samples[start]) continue;
+        int x = kLabelW + static_cast<int>(start) * kStep;
+        int w = static_cast<int>(c - start) * kStep;
+        os << "<rect x=\"" << x + 1 << "\" y=\"" << y0 + kHigh
+           << "\" width=\"" << w - 2 << "\" height=\"" << kLow - kHigh
+           << "\" fill=\"#f5f9ff\" stroke=\"#27c\"/>\n";
+        os << "<text x=\"" << x + 4 << "\" y=\"" << y0 + kLow - 6
+           << "\" font-size=\"10\">" << hex_value(t.samples[start])
+           << "</text>\n";
+        start = c;
+      }
+    }
+    ++row;
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace jhdl::viewer

@@ -1,0 +1,22 @@
+// ASCII waveform view over a WaveformRecorder - the textual form of
+// JHDL's waveform viewer ("the history of the circuit state can be
+// recorded and viewed using the JHDL waveform viewer", Section 4.1).
+#pragma once
+
+#include <string>
+
+#include "sim/waveform.h"
+
+namespace jhdl::viewer {
+
+/// Render recorded traces as ASCII waveforms. Single-bit traces use
+/// _/¯ style rails; multi-bit traces print hex values at each change.
+/// `first`/`count` select a cycle window (count 0 = to the end).
+std::string text_waves(const WaveformRecorder& rec, std::size_t first = 0,
+                       std::size_t count = 0);
+
+/// SVG rendering of the same traces: rails for single-bit signals, bus
+/// lozenges with hex values for multi-bit ones.
+std::string svg_waves(const WaveformRecorder& rec);
+
+}  // namespace jhdl::viewer

@@ -1,0 +1,261 @@
+// Tests for the extended core features: the Speck cipher and sealed
+// archives (secure delivery), the IP catalog and multi-IP applets,
+// license expiry, and the audit trail.
+#include <gtest/gtest.h>
+
+#include "core/applet.h"
+#include "core/catalog.h"
+#include "core/generators.h"
+#include "core/secure.h"
+#include "util/cipher.h"
+#include "util/rng.h"
+
+namespace jhdl {
+namespace {
+
+using namespace jhdl::core;
+
+// ---------------------------------------------------------------- cipher
+
+TEST(SpeckTest, KnownTestVector) {
+  // Speck64/128 published test vector (Beaulieu et al., appendix):
+  // key = 1b1a1918 13121110 0b0a0908 03020100, pt = 3b726574 7475432d,
+  // ct = 8c6fa548 454e028b.
+  Speck64::Key key = {0x03020100, 0x0b0a0908, 0x13121110, 0x1b1a1918};
+  Speck64 cipher(key);
+  std::uint32_t x = 0x3b726574, y = 0x7475432d;
+  cipher.encrypt_block(x, y);
+  EXPECT_EQ(x, 0x8c6fa548u);
+  EXPECT_EQ(y, 0x454e028bu);
+  cipher.decrypt_block(x, y);
+  EXPECT_EQ(x, 0x3b726574u);
+  EXPECT_EQ(y, 0x7475432du);
+}
+
+TEST(SpeckTest, EncryptDecryptRandomBlocks) {
+  Speck64::Key key = derive_key("secret", "salt");
+  Speck64 cipher(key);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint32_t x = static_cast<std::uint32_t>(rng.next());
+    std::uint32_t y = static_cast<std::uint32_t>(rng.next());
+    std::uint32_t ex = x, ey = y;
+    cipher.encrypt_block(ex, ey);
+    EXPECT_TRUE(ex != x || ey != y);
+    cipher.decrypt_block(ex, ey);
+    EXPECT_EQ(ex, x);
+    EXPECT_EQ(ey, y);
+  }
+}
+
+TEST(SealTest, RoundTripAndSizes) {
+  Speck64::Key key = derive_key("customer-1 license", "vendor");
+  Rng rng(4);
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 1000u}) {
+    std::vector<std::uint8_t> plain(len);
+    for (auto& b : plain) b = static_cast<std::uint8_t>(rng.next());
+    auto sealed = seal(plain, key, 42);
+    EXPECT_EQ(sealed.size(), len + 16);
+    EXPECT_EQ(open(sealed, key), plain);
+  }
+}
+
+TEST(SealTest, WrongKeyRejected) {
+  auto k1 = derive_key("alice", "vendor");
+  auto k2 = derive_key("bob", "vendor");
+  std::vector<std::uint8_t> plain = {1, 2, 3, 4, 5};
+  auto sealed = seal(plain, k1, 7);
+  EXPECT_THROW(open(sealed, k2), std::runtime_error);
+}
+
+TEST(SealTest, TamperDetected) {
+  auto key = derive_key("alice", "vendor");
+  std::vector<std::uint8_t> plain(100, 0xAA);
+  auto sealed = seal(plain, key, 7);
+  for (std::size_t pos :
+       {std::size_t{0}, std::size_t{8}, std::size_t{16}, std::size_t{50},
+        sealed.size() - 1}) {
+    auto bad = sealed;
+    bad[pos] ^= 0x01;
+    EXPECT_THROW(open(bad, key), std::runtime_error) << "pos=" << pos;
+  }
+  EXPECT_THROW(open({1, 2, 3}, key), std::runtime_error);
+}
+
+TEST(SealTest, DifferentNoncesDifferentCiphertexts) {
+  auto key = derive_key("alice", "vendor");
+  std::vector<std::uint8_t> plain(64, 0x55);
+  auto s1 = seal(plain, key, 1);
+  auto s2 = seal(plain, key, 2);
+  EXPECT_NE(std::vector<std::uint8_t>(s1.begin() + 16, s1.end()),
+            std::vector<std::uint8_t>(s2.begin() + 16, s2.end()));
+}
+
+// -------------------------------------------------------- secure channel
+
+TEST(SecureChannelTest, ArchiveRoundTrip) {
+  Archive a("demo");
+  a.add_text("ip.txt", "the crown jewels");
+  SecureChannel vendor("license-key-123");
+  SealedArchive sealed = vendor.seal_archive(a, 1);
+  EXPECT_EQ(sealed.name, "demo");
+
+  SecureChannel customer("license-key-123");
+  Archive back = customer.open_archive(sealed);
+  ASSERT_EQ(back.entries().size(), 1u);
+  EXPECT_EQ(std::string(back.entries()[0].data.begin(),
+                        back.entries()[0].data.end()),
+            "the crown jewels");
+
+  SecureChannel attacker("license-key-guess");
+  EXPECT_THROW(attacker.open_archive(sealed), std::runtime_error);
+}
+
+TEST(SecureChannelTest, SealedPackagingPipeline) {
+  // Full vendor flow: build the applet payload, seal every archive,
+  // unpack on the customer side, verify integrity end to end.
+  Packager packager;
+  KcmGenerator gen;
+  auto archives = packager.archives_for(
+      LicensePolicy::features_for(LicenseTier::Licensed), &gen);
+  SecureChannel channel("acme-2002-license");
+  std::uint64_t nonce = 1;
+  for (const Archive& a : archives) {
+    SealedArchive sealed = channel.seal_archive(a, nonce++);
+    Archive back = channel.open_archive(sealed);
+    EXPECT_EQ(back.name(), a.name());
+    EXPECT_EQ(back.entries().size(), a.entries().size());
+    EXPECT_EQ(back.raw_size(), a.raw_size());
+  }
+}
+
+// ----------------------------------------------------------- IP catalog
+
+TEST(CatalogTest, RegistrationAndListing) {
+  IpCatalog catalog;
+  catalog.add(std::make_shared<KcmGenerator>());
+  catalog.add(std::make_shared<AdderGenerator>());
+  catalog.add(std::make_shared<FirGenerator>());
+  EXPECT_EQ(catalog.size(), 3u);
+  EXPECT_NE(catalog.find("kcm-multiplier"), nullptr);
+  EXPECT_EQ(catalog.find("nonexistent"), nullptr);
+  EXPECT_THROW(catalog.add(std::make_shared<KcmGenerator>()),
+               std::invalid_argument);
+  std::string listing = catalog.listing();
+  EXPECT_NE(listing.find("kcm-multiplier"), std::string::npos);
+  EXPECT_NE(listing.find("fir4-filter"), std::string::npos);
+}
+
+TEST(CatalogTest, SingleIpAppletFromCatalog) {
+  IpCatalog catalog;
+  catalog.add(std::make_shared<AdderGenerator>());
+  Applet applet = catalog.make_applet(
+      "carry-adder", LicensePolicy::make("c", LicenseTier::Licensed));
+  applet.build(ParamMap().set("width", std::int64_t{8}));
+  applet.sim_put("a", 3);
+  applet.sim_put("b", 4);
+  EXPECT_EQ(applet.sim_get("s").to_uint(), 7u);
+  EXPECT_THROW(catalog.make_applet("nope", LicensePolicy{}),
+               std::out_of_range);
+}
+
+TEST(CatalogTest, MultiIpAppletSessions) {
+  IpCatalog catalog;
+  catalog.add(std::make_shared<KcmGenerator>());
+  catalog.add(std::make_shared<AdderGenerator>());
+  catalog.add(std::make_shared<FirGenerator>());
+
+  MultiIpApplet bundle(catalog,
+                       LicensePolicy::make("acme", LicenseTier::Licensed));
+  EXPECT_EQ(bundle.size(), 3u);
+
+  // Independent sessions per IP.
+  Applet& kcm = bundle.select("kcm-multiplier");
+  kcm.build(ParamMap()
+                .set("input_width", std::int64_t{8})
+                .set("constant", std::int64_t{10}));
+  kcm.sim_put("multiplicand", 7);
+  EXPECT_EQ(kcm.sim_get("product").to_uint(), 70u);
+
+  Applet& adder = bundle.select("carry-adder");
+  adder.build(ParamMap().set("width", std::int64_t{4}));
+  adder.sim_put("a", 2);
+  adder.sim_put("b", 3);
+  EXPECT_EQ(adder.sim_get("s").to_uint(), 5u);
+
+  EXPECT_THROW(bundle.select("nope"), std::out_of_range);
+}
+
+TEST(CatalogTest, MultiIpPayloadSharesFramework) {
+  IpCatalog catalog;
+  catalog.add(std::make_shared<KcmGenerator>());
+  catalog.add(std::make_shared<AdderGenerator>());
+
+  MultiIpApplet bundle(catalog,
+                       LicensePolicy::make("acme", LicenseTier::Licensed));
+  auto multi = bundle.download_report();
+
+  Applet single =
+      catalog.make_applet("kcm-multiplier",
+                          LicensePolicy::make("acme", LicenseTier::Licensed));
+  auto one = single.download_report();
+
+  // The bundle ships one extra applet archive, NOT a second framework.
+  EXPECT_EQ(multi.rows.size(), one.rows.size() + 1);
+  EXPECT_LT(multi.total_compressed - one.total_compressed,
+            one.total_compressed / 2);
+}
+
+// --------------------------------------------------- expiry & audit trail
+
+TEST(LicenseTest, ExpiryBlocksOperations) {
+  auto gen = std::make_shared<KcmGenerator>();
+  LicensePolicy license =
+      LicensePolicy::make("shortterm", LicenseTier::Licensed, /*expires=*/100);
+
+  // Assembled before expiry: everything works.
+  Applet fresh = AppletBuilder()
+                     .generator(gen)
+                     .license(license)
+                     .assembled_on(99)
+                     .build_applet();
+  fresh.build(ParamMap().set("constant", std::int64_t{3}));
+  EXPECT_NO_THROW(fresh.area());
+
+  // Assembled after expiry: every gated operation refuses.
+  Applet stale = AppletBuilder()
+                     .generator(gen)
+                     .license(license)
+                     .assembled_on(101)
+                     .build_applet();
+  try {
+    stale.build(ParamMap().set("constant", std::int64_t{3}));
+    FAIL() << "expected AppletSecurityError";
+  } catch (const AppletSecurityError& e) {
+    EXPECT_NE(std::string(e.what()).find("expired"), std::string::npos);
+  }
+}
+
+TEST(AuditTest, TrailRecordsGrantsAndDenials) {
+  Applet applet = AppletBuilder()
+                      .generator(std::make_shared<KcmGenerator>())
+                      .license(LicensePolicy::make("c",
+                                                   LicenseTier::Anonymous))
+                      .build_applet();
+  applet.build(ParamMap().set("constant", std::int64_t{5}));
+  (void)applet.area();
+  EXPECT_THROW((void)applet.netlist(NetlistFormat::Edif),
+               AppletSecurityError);
+
+  const auto& log = applet.audit_log();
+  ASSERT_GE(log.size(), 3u);
+  EXPECT_NE(log[0].find("build granted"), std::string::npos);
+  bool saw_denial = false;
+  for (const std::string& line : log) {
+    saw_denial |= line.find("netlist export DENIED") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_denial);
+}
+
+}  // namespace
+}  // namespace jhdl

@@ -1,0 +1,456 @@
+// Tests for the applet framework: parameter schemas, license gating
+// (the capability matrix of Figure 2), the end-to-end applet session of
+// Figure 3, black-box models, packaging (Table 1 machinery), and the
+// protection measures of Section 4.3.
+#include <gtest/gtest.h>
+
+#include "core/applet.h"
+#include "core/generators.h"
+#include "core/packaging.h"
+#include "core/protect.h"
+#include "modgen/modgen.h"
+#include "netlist/netlist.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace jhdl {
+namespace {
+
+using namespace jhdl::core;
+
+ParamMap kcm_params() {
+  return ParamMap()
+      .set("input_width", std::int64_t{8})
+      .set("product_width", std::int64_t{12})
+      .set("constant", std::int64_t{-56})
+      .set("signed_mode", true)
+      .set("pipelined_mode", true);
+}
+
+Applet make_applet(LicenseTier tier) {
+  return AppletBuilder()
+      .title("KCM Multiplier Evaluation")
+      .generator(std::make_shared<KcmGenerator>())
+      .license(LicensePolicy::make("acme", tier))
+      .build_applet();
+}
+
+// ------------------------------------------------------------ parameters
+
+TEST(ParamTest, DefaultsAndValidation) {
+  KcmGenerator gen;
+  ParamMap empty;
+  ParamMap resolved = empty.resolved(gen.params());
+  EXPECT_EQ(resolved.get("input_width"), 8);
+  EXPECT_EQ(resolved.get("constant"), 1);
+
+  EXPECT_THROW(ParamMap().set("nope", std::int64_t{1}).resolved(gen.params()),
+               ParamError);
+  EXPECT_THROW(
+      ParamMap().set("input_width", std::int64_t{99}).resolved(gen.params()),
+      ParamError);
+  EXPECT_THROW(
+      ParamMap().set("signed_mode", std::int64_t{7}).resolved(gen.params()),
+      ParamError);
+}
+
+TEST(ParamTest, SchemaDescription) {
+  KcmGenerator gen;
+  std::string help = describe_schema(gen.params());
+  EXPECT_NE(help.find("input_width"), std::string::npos);
+  EXPECT_NE(help.find("constant"), std::string::npos);
+  EXPECT_NE(help.find("default"), std::string::npos);
+}
+
+// -------------------------------------------------------------- features
+
+TEST(FeatureTest, SetOperations) {
+  FeatureSet fs{Feature::Estimator};
+  EXPECT_TRUE(fs.has(Feature::Estimator));
+  EXPECT_FALSE(fs.has(Feature::Netlister));
+  fs.add(Feature::Netlister);
+  EXPECT_TRUE(fs.has(Feature::Netlister));
+  fs.remove(Feature::Netlister);
+  EXPECT_FALSE(fs.has(Feature::Netlister));
+  EXPECT_EQ(FeatureSet::all().list().size(), 8u);
+  EXPECT_NE(fs.to_string().find("estimator"), std::string::npos);
+}
+
+TEST(LicenseTest, TierGrants) {
+  FeatureSet anon = LicensePolicy::features_for(LicenseTier::Anonymous);
+  EXPECT_TRUE(anon.has(Feature::Estimator));
+  EXPECT_FALSE(anon.has(Feature::Simulator));
+  EXPECT_FALSE(anon.has(Feature::Netlister));
+
+  FeatureSet eval = LicensePolicy::features_for(LicenseTier::Evaluation);
+  EXPECT_TRUE(eval.has(Feature::Simulator));
+  EXPECT_TRUE(eval.has(Feature::BlackBoxSim));
+  EXPECT_FALSE(eval.has(Feature::Netlister));
+
+  FeatureSet lic = LicensePolicy::features_for(LicenseTier::Licensed);
+  EXPECT_TRUE(lic.has(Feature::Netlister));
+}
+
+// ------------------------------------------------------- applet sessions
+
+TEST(AppletTest, Figure3LicensedSession) {
+  Applet applet = make_applet(LicenseTier::Licensed);
+  std::string banner = applet.describe();
+  EXPECT_NE(banner.find("KCM"), std::string::npos);
+
+  applet.build(kcm_params());
+  ASSERT_TRUE(applet.built());
+
+  auto area = applet.area();
+  EXPECT_GT(area.luts, 0u);
+  auto timing = applet.timing();
+  EXPECT_GT(timing.fmax_mhz, 0.0);
+
+  std::string tree = applet.hierarchy();
+  EXPECT_NE(tree.find("kcm"), std::string::npos);
+  EXPECT_FALSE(applet.schematic_svg().empty());
+  EXPECT_NE(applet.layout_text().find("slices"), std::string::npos);
+
+  // Simulate: -56 * 100 = -5600; top 12 of 15 bits.
+  applet.sim_put_signed("multiplicand", 100);
+  applet.sim_cycle(applet.latency());
+  std::uint64_t expected =
+      (static_cast<std::uint64_t>(-5600) & 0x7FFF) >> 3;
+  EXPECT_EQ(applet.sim_get("product").to_uint(), expected);
+
+  std::string edif = applet.netlist(NetlistFormat::Edif);
+  EXPECT_NE(edif.find("(edif"), std::string::npos);
+  EXPECT_EQ(applet.meter().netlists(), 1u);
+  EXPECT_EQ(applet.meter().builds(), 1u);
+}
+
+TEST(AppletTest, Figure2CapabilityMatrix) {
+  struct Row {
+    LicenseTier tier;
+    bool estimator, viewer, simulator, netlister;
+  };
+  const Row rows[] = {
+      {LicenseTier::Anonymous, true, false, false, false},
+      {LicenseTier::Evaluation, true, true, true, false},
+      {LicenseTier::Licensed, true, true, true, true},
+  };
+  for (const Row& row : rows) {
+    Applet applet = make_applet(row.tier);
+    applet.build(kcm_params());
+    SCOPED_TRACE(license_tier_name(row.tier));
+
+    if (row.estimator) {
+      EXPECT_NO_THROW(applet.area());
+    } else {
+      EXPECT_THROW(applet.area(), AppletSecurityError);
+    }
+    if (row.viewer) {
+      EXPECT_NO_THROW(applet.hierarchy());
+    } else {
+      EXPECT_THROW(applet.hierarchy(), AppletSecurityError);
+      EXPECT_THROW(applet.layout_text(), AppletSecurityError);
+    }
+    if (row.simulator) {
+      EXPECT_NO_THROW(applet.sim_cycle());
+    } else {
+      EXPECT_THROW(applet.sim_put("multiplicand", 1), AppletSecurityError);
+    }
+    if (row.netlister) {
+      EXPECT_NO_THROW(applet.netlist(NetlistFormat::Json));
+    } else {
+      EXPECT_THROW(applet.netlist(NetlistFormat::Edif), AppletSecurityError);
+    }
+  }
+}
+
+TEST(AppletTest, SecurityErrorNamesMissingFeature) {
+  Applet applet = make_applet(LicenseTier::Anonymous);
+  applet.build(kcm_params());
+  try {
+    applet.netlist(NetlistFormat::Edif);
+    FAIL() << "expected AppletSecurityError";
+  } catch (const AppletSecurityError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("netlister"), std::string::npos);
+    EXPECT_NE(what.find("anonymous"), std::string::npos);
+    EXPECT_NE(what.find("acme"), std::string::npos);
+  }
+}
+
+TEST(AppletTest, BuildRequiredBeforeTools) {
+  Applet applet = make_applet(LicenseTier::Licensed);
+  EXPECT_THROW(applet.area(), std::logic_error);
+  EXPECT_THROW(applet.sim_cycle(), std::logic_error);
+}
+
+TEST(AppletTest, RebuildReplacesInstance) {
+  Applet applet = make_applet(LicenseTier::Licensed);
+  applet.build(kcm_params());
+  auto area1 = applet.area();
+  applet.build(ParamMap()
+                   .set("input_width", std::int64_t{16})
+                   .set("constant", std::int64_t{12345}));
+  auto area2 = applet.area();
+  EXPECT_GT(area2.luts, area1.luts);
+  EXPECT_EQ(applet.meter().builds(), 2u);
+}
+
+TEST(AppletTest, WavesAndVcd) {
+  Applet applet = make_applet(LicenseTier::Evaluation);
+  applet.build(kcm_params());
+  applet.watch("multiplicand");
+  applet.watch("product");
+  applet.sim_put_signed("multiplicand", 3);
+  applet.sim_cycle(4);
+  std::string waves = applet.waves();
+  EXPECT_NE(waves.find("product"), std::string::npos);
+  std::string vcd = applet.vcd();
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+}
+
+TEST(AppletTest, NetlistQuotaEnforced) {
+  Applet applet = AppletBuilder()
+                      .generator(std::make_shared<KcmGenerator>())
+                      .license(LicensePolicy::make("evalco",
+                                                   LicenseTier::Licensed))
+                      .netlist_quota(2)
+                      .build_applet();
+  applet.build(kcm_params());
+  applet.netlist(NetlistFormat::Edif);
+  applet.netlist(NetlistFormat::Vhdl);
+  EXPECT_THROW(applet.netlist(NetlistFormat::Verilog), std::runtime_error);
+  EXPECT_EQ(applet.meter().netlists(), 2u);
+}
+
+TEST(AppletTest, AdderAndFirGenerators) {
+  Applet adder = AppletBuilder()
+                     .generator(std::make_shared<AdderGenerator>())
+                     .license(LicensePolicy::make("x", LicenseTier::Licensed))
+                     .build_applet();
+  adder.build(ParamMap().set("width", std::int64_t{12}));
+  adder.sim_put("a", 1000);
+  adder.sim_put("b", 234);
+  EXPECT_EQ(adder.sim_get("s").to_uint(), 1234u);
+
+  Applet fir = AppletBuilder()
+                   .generator(std::make_shared<FirGenerator>())
+                   .license(LicensePolicy::make("x", LicenseTier::Licensed))
+                   .build_applet();
+  fir.build(ParamMap()
+                .set("c0", std::int64_t{2})
+                .set("c1", std::int64_t{-3})
+                .set("c2", std::int64_t{5})
+                .set("c3", std::int64_t{7}));
+  fir.sim_put_signed("x", 1);  // impulse
+  EXPECT_EQ(fir.sim_get("y").to_int(), 2);
+  fir.sim_cycle();
+  fir.sim_put_signed("x", 0);
+  EXPECT_EQ(fir.sim_get("y").to_int(), -3);
+}
+
+// ------------------------------------------------------------- black box
+
+TEST(BlackBoxTest, HidesStructureExposesBehaviour) {
+  Applet applet = make_applet(LicenseTier::Evaluation);
+  applet.build(kcm_params());
+  auto bb = applet.make_black_box();
+  ASSERT_NE(bb, nullptr);
+  EXPECT_EQ(bb->ip_name(), "kcm-multiplier");
+  auto ports = bb->ports();
+  EXPECT_EQ(ports.size(), 2u);
+  bb->set_input("multiplicand", BitVector::from_int(8, -100));
+  bb->cycle(bb->latency());
+  std::uint64_t expected =
+      (static_cast<std::uint64_t>(std::int64_t{-56} * -100) & 0x7FFF) >> 3;
+  EXPECT_EQ(bb->get_output("product").to_uint(), expected);
+  // Interface descriptor.
+  Json iface = bb->interface_json();
+  EXPECT_EQ(iface.at("ip").as_string(), "kcm-multiplier");
+  EXPECT_EQ(iface.at("ports").size(), 2u);
+  EXPECT_THROW(bb->set_input("no_such", 1), std::out_of_range);
+}
+
+// ------------------------------------------------------------- packaging
+
+TEST(PackagingTest, ArchiveRoundTripAndIntegrity) {
+  Archive a("demo");
+  a.add_text("readme.txt", "hello archive");
+  std::vector<std::uint8_t> blob(3000);
+  Rng rng(3);
+  for (auto& b : blob) b = static_cast<std::uint8_t>(rng.next());
+  a.add("data.bin", blob);
+
+  std::vector<std::uint8_t> bytes = a.serialize();
+  Archive back = Archive::deserialize(bytes);
+  EXPECT_EQ(back.name(), "demo");
+  ASSERT_EQ(back.entries().size(), 2u);
+  EXPECT_EQ(back.entries()[1].data, blob);
+
+  // Corrupt a byte in the middle -> integrity failure.
+  bytes[bytes.size() / 2] ^= 0xFF;
+  EXPECT_THROW(Archive::deserialize(bytes), std::runtime_error);
+}
+
+TEST(PackagingTest, StandardPartitionsNonEmpty) {
+  Packager packager;
+  Archive base = packager.base_archive();
+  Archive virtex = packager.virtex_archive();
+  Archive viewer = packager.viewer_archive();
+  KcmGenerator gen;
+  Archive applet = packager.applet_archive(gen);
+  EXPECT_GT(base.entries().size(), 10u);
+  EXPECT_GT(virtex.entries().size(), 5u);
+  EXPECT_GT(viewer.entries().size(), 4u);
+  EXPECT_GE(applet.entries().size(), 2u);
+  // The Table 1 shape: Base > Virtex > Applet; Applet is the smallest.
+  EXPECT_GT(base.compressed_size(), virtex.compressed_size());
+  EXPECT_GT(virtex.compressed_size(), applet.compressed_size());
+  EXPECT_GT(viewer.compressed_size(), applet.compressed_size());
+}
+
+TEST(PackagingTest, FeatureClosure) {
+  Packager packager;
+  KcmGenerator gen;
+  // Estimator-only applet skips the viewer archive.
+  auto minimal = packager.archives_for(
+      LicensePolicy::features_for(LicenseTier::Anonymous), &gen);
+  bool has_viewer = false;
+  for (const Archive& a : minimal) has_viewer |= (a.name() == "Viewer");
+  EXPECT_FALSE(has_viewer);
+
+  auto full = packager.archives_for(
+      LicensePolicy::features_for(LicenseTier::Licensed), &gen);
+  has_viewer = false;
+  for (const Archive& a : full) has_viewer |= (a.name() == "Viewer");
+  EXPECT_TRUE(has_viewer);
+  EXPECT_GT(full.size(), minimal.size());
+}
+
+TEST(PackagingTest, DownloadMath) {
+  // 795 kB at 1 Mbps ~ 6.5 seconds.
+  double secs = Packager::download_seconds(795 * 1024, 1e6);
+  EXPECT_NEAR(secs, 6.51, 0.1);
+}
+
+// ------------------------------------------------------------ protection
+
+TEST(ProtectTest, ObfuscationPreservesFunction) {
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 8, "m");
+  Wire* p = new Wire(&hw, 16, "p");
+  auto* kcm = new modgen::VirtexKCMMultiplier(&hw, m, p, false, false, 201);
+  // Snapshot behaviour before.
+  Simulator sim(hw);
+  std::vector<std::uint64_t> before;
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    sim.put(m, x);
+    before.push_back(sim.get(p).to_uint());
+  }
+  ObfuscationReport report = obfuscate(*kcm, 42);
+  EXPECT_GT(report.cells_renamed, 10u);
+  EXPECT_GT(report.nets_renamed, 10u);
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    sim.put(m, x);
+    EXPECT_EQ(sim.get(p).to_uint(), before[x]);
+  }
+  // Instance names are gone from the netlist (library cell *types* remain
+  // visible, as with Java obfuscation: JVM/library symbols stay).
+  std::string edif = netlist::write_edif(*kcm);
+  EXPECT_EQ(edif.find("(instance rom16"), std::string::npos);
+  EXPECT_EQ(edif.find("(instance add"), std::string::npos);
+  EXPECT_NE(edif.find("(instance u"), std::string::npos);
+}
+
+TEST(ProtectTest, ObfuscationKeepsInterface) {
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 8, "m");
+  Wire* p = new Wire(&hw, 15, "p");  // full product: 8 + 7 bits
+  auto* kcm = new modgen::VirtexKCMMultiplier(&hw, m, p, false, false, 77);
+  obfuscate(*kcm, 7);
+  // Port names survive.
+  EXPECT_NE(kcm->find_port("multiplicand"), nullptr);
+  EXPECT_NE(kcm->find_port("product"), nullptr);
+}
+
+TEST(ProtectTest, WatermarkEmbedExtract) {
+  // 6-bit input: top digit has 2 bits -> ROM entries 4..15 are carriers.
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 6, "m");
+  Wire* p = new Wire(&hw, 14, "p");
+  auto* kcm = new modgen::VirtexKCMMultiplier(&hw, m, p, false, false, 201);
+
+  Simulator sim(hw);
+  std::vector<std::uint64_t> before;
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    sim.put(m, x);
+    before.push_back(sim.get(p).to_uint());
+  }
+
+  Watermarker marker("BYU Configurable Computing Lab");
+  std::size_t carriers = marker.embed(*kcm, {});
+  EXPECT_GT(carriers, 0u);
+
+  // Function unchanged on all reachable inputs.
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    sim.put(m, x);
+    EXPECT_EQ(sim.get(p).to_uint(), before[x]);
+  }
+
+  auto extraction = marker.extract(*kcm, {});
+  EXPECT_TRUE(extraction.verified());
+  EXPECT_EQ(extraction.carriers, carriers);
+
+  // A different owner's extraction fails.
+  Watermarker thief("Someone Else");
+  EXPECT_FALSE(thief.extract(*kcm, {}).verified());
+}
+
+TEST(ProtectTest, WatermarkSurvivesNetlist) {
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 6, "m");
+  Wire* p = new Wire(&hw, 13, "p");  // full product: 6 + 7 bits
+  auto* kcm = new modgen::VirtexKCMMultiplier(&hw, m, p, false, false, 99);
+  Watermarker marker("vendor-77");
+  ASSERT_GT(marker.embed(*kcm, {}), 0u);
+  // The watermark rides in the INIT properties of the EDIF output.
+  std::string edif = netlist::write_edif(*kcm);
+  auto extraction = marker.extract(*kcm, {});
+  EXPECT_TRUE(extraction.verified());
+  EXPECT_NE(edif.find("INIT_0"), std::string::npos);
+}
+
+TEST(ProtectTest, MeterReportAndQuota) {
+  Meter meter(1);
+  meter.record_build();
+  meter.record_simulation_cycles(100);
+  meter.record_netlist();
+  EXPECT_THROW(meter.record_netlist(), std::runtime_error);
+  std::string report = meter.report();
+  EXPECT_NE(report.find("builds=1"), std::string::npos);
+  EXPECT_NE(report.find("netlists=1/1"), std::string::npos);
+}
+
+TEST(ProtectTest, ObfuscatedAppletStillSimulates) {
+  Applet applet = AppletBuilder()
+                      .generator(std::make_shared<KcmGenerator>())
+                      .license(LicensePolicy::make("c", LicenseTier::Licensed))
+                      .obfuscated(123)
+                      .watermark("vendor-1")
+                      .build_applet();
+  applet.build(ParamMap()
+                   .set("input_width", std::int64_t{6})
+                   .set("constant", std::int64_t{11}));
+  applet.sim_put("multiplicand", 30);
+  EXPECT_EQ(applet.sim_get("product").to_uint(), 330u);
+  std::string tree = applet.hierarchy();
+  // Below the root line (the IP's public name), instance and macro names
+  // are opaque; only library cell types remain visible.
+  std::string below_root = tree.substr(tree.find('\n') + 1);
+  EXPECT_EQ(below_root.find("kcm_"), std::string::npos)
+      << "obfuscated hierarchy should not leak generator naming";
+  EXPECT_EQ(below_root.find(": add"), std::string::npos)
+      << "macro definition names should be opaque";
+}
+
+}  // namespace
+}  // namespace jhdl

@@ -1,0 +1,156 @@
+// Tests for the DDS generator, the DDS applet, the memory-contents
+// viewer, and the Verilog/PLI co-simulation stub generator.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/applet.h"
+#include "core/generators.h"
+#include "hdl/error.h"
+#include "hdl/hwsystem.h"
+#include "modgen/dds.h"
+#include "net/cosim_stub.h"
+#include "sim/simulator.h"
+#include "tech/virtex.h"
+#include "viewer/memview.h"
+
+namespace jhdl {
+namespace {
+
+TEST(DdsTest, SineTableProperties) {
+  auto table = modgen::DdsGenerator::sine_table();
+  ASSERT_EQ(table.size(), 512u);
+  EXPECT_EQ(table[0], 0x80);           // sin(0) = 0 -> midscale
+  EXPECT_EQ(table[128], 0xFF);         // sin(pi/2) = +1
+  EXPECT_EQ(table[384], 0x01);         // sin(3pi/2) = -1
+  // Half-wave symmetry: sin(x) = -sin(x + pi).
+  for (std::size_t i = 0; i < 256; ++i) {
+    int a = static_cast<int>(table[i]) - 128;
+    int b = static_cast<int>(table[i + 256]) - 128;
+    EXPECT_NEAR(a, -b, 1) << "i=" << i;
+  }
+}
+
+TEST(DdsTest, OutputMatchesReference) {
+  HWSystem hw;
+  Wire* out = new Wire(&hw, 8, "out");
+  auto* dds = new modgen::DdsGenerator(&hw, out, 16, 2048);
+  Simulator sim(hw);
+  EXPECT_FALSE(sim.get(out).is_fully_defined()) << "sync read: X at power-on";
+  for (std::uint64_t k = 1; k <= 200; ++k) {
+    sim.cycle();
+    EXPECT_EQ(sim.get(out).to_uint(), dds->expected_output(k)) << "k=" << k;
+  }
+}
+
+TEST(DdsTest, ClockEnableFreezes) {
+  HWSystem hw;
+  Wire* out = new Wire(&hw, 8, "out");
+  Wire* ce = new Wire(&hw, 1, "ce");
+  new modgen::DdsGenerator(&hw, out, 16, 3000, ce);
+  Simulator sim(hw);
+  sim.put(ce, 1);
+  sim.cycle(5);
+  std::uint64_t frozen = sim.get(out).to_uint();
+  sim.put(ce, 0);
+  sim.cycle(10);
+  EXPECT_EQ(sim.get(out).to_uint(), frozen);
+  sim.put(ce, 1);
+  sim.cycle();
+  EXPECT_NE(sim.get(out).to_uint(), frozen);
+}
+
+TEST(DdsTest, ParameterValidation) {
+  HWSystem hw;
+  Wire* out = new Wire(&hw, 8, "out");
+  EXPECT_THROW(new modgen::DdsGenerator(&hw, out, 8, 1), HdlError);
+  Wire* out2 = new Wire(&hw, 8, "out2");
+  EXPECT_THROW(new modgen::DdsGenerator(&hw, out2, 16, 0), HdlError);
+  Wire* out3 = new Wire(&hw, 4, "out3");
+  EXPECT_THROW(new modgen::DdsGenerator(&hw, out3, 16, 5), HdlError);
+}
+
+TEST(DdsAppletTest, DeliveredThroughApplet) {
+  using namespace jhdl::core;
+  Applet applet = AppletBuilder()
+                      .generator(std::make_shared<DdsIpGenerator>())
+                      .license(LicensePolicy::make("c", LicenseTier::Licensed))
+                      .build_applet();
+  applet.build(ParamMap()
+                   .set("phase_width", std::int64_t{16})
+                   .set("tuning", std::int64_t{1024}));
+  auto area = applet.area();
+  EXPECT_EQ(area.brams, 1u);
+  EXPECT_GT(area.ffs, 0u);
+  applet.sim_cycle(4);
+  EXPECT_TRUE(applet.sim_get("out").is_fully_defined());
+  // Tuning out of range rejected at the parameter interface.
+  EXPECT_THROW(applet.build(ParamMap()
+                                .set("phase_width", std::int64_t{10})
+                                .set("tuning", std::int64_t{5000})),
+               ParamError);
+}
+
+TEST(MemViewTest, DumpsAllMemoryKinds) {
+  HWSystem hw;
+  // A ROM.
+  Wire* addr = new Wire(&hw, 4, "addr");
+  Wire* data = new Wire(&hw, 8, "data");
+  std::array<std::uint64_t, 16> contents{};
+  contents[3] = 0xAB;
+  new tech::Rom16(&hw, addr, data, contents);
+  // A distributed RAM.
+  Wire* a2 = new Wire(&hw, 4, "a2");
+  Wire* d2 = new Wire(&hw, 1, "d2");
+  Wire* we = new Wire(&hw, 1, "we");
+  Wire* o2 = new Wire(&hw, 1, "o2");
+  new tech::Ram16x1s(&hw, a2, d2, we, o2, 0x1234);
+  // A block RAM with nonzero init.
+  Wire* a3 = new Wire(&hw, 9, "a3");
+  Wire* d3 = new Wire(&hw, 8, "d3");
+  Wire* we3 = new Wire(&hw, 1, "we3");
+  Wire* en3 = new Wire(&hw, 1, "en3");
+  Wire* o3 = new Wire(&hw, 8, "o3");
+  new tech::RamB4S8(&hw, a3, d3, we3, en3, o3, {0xDE, 0xAD});
+
+  std::string dump = viewer::memory_contents(hw);
+  EXPECT_NE(dump.find("rom16x8"), std::string::npos);
+  EXPECT_NE(dump.find("ab"), std::string::npos);
+  EXPECT_NE(dump.find("1234"), std::string::npos);
+  EXPECT_NE(dump.find("ramb4_s8"), std::string::npos);
+  EXPECT_NE(dump.find("de ad"), std::string::npos);
+}
+
+TEST(MemViewTest, NoMemories) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* o = new Wire(&hw, 1, "o");
+  new tech::Inv(&hw, a, o);
+  EXPECT_EQ(viewer::memory_contents(hw), "(no memories)\n");
+}
+
+TEST(CosimStubTest, VerilogWrapperStructure) {
+  using namespace jhdl::core;
+  KcmGenerator gen;
+  ParamMap params = ParamMap()
+                        .set("input_width", std::int64_t{8})
+                        .set("constant", std::int64_t{-56})
+                        .resolved(gen.params());
+  BlackBoxModel model(gen.build(params), gen.name());
+  std::string verilog = net::verilog_pli_wrapper(model, 9000);
+  EXPECT_NE(verilog.find("module kcm_multiplier_bb"), std::string::npos);
+  EXPECT_NE(verilog.find("input [7:0] multiplicand;"), std::string::npos);
+  EXPECT_NE(verilog.find("output reg [14:0] product;"), std::string::npos);
+  EXPECT_NE(verilog.find("$jhdl_bb_connect(\"127.0.0.1\", 9000);"),
+            std::string::npos);
+  EXPECT_NE(verilog.find("$jhdl_bb_set(\"multiplicand\""), std::string::npos);
+  EXPECT_NE(verilog.find("$jhdl_bb_get(\"product\""), std::string::npos);
+  EXPECT_NE(verilog.find("endmodule"), std::string::npos);
+
+  std::string c = net::pli_c_skeleton(model, 9000);
+  EXPECT_NE(c.find("u32le length"), std::string::npos);
+  EXPECT_NE(c.find("jhdl_bb_cycle_call"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jhdl

@@ -1,0 +1,206 @@
+// Tests for the estimator module: area aggregation and slice packing,
+// critical-path timing, and RLOC layout footprints.
+#include <gtest/gtest.h>
+
+#include "estimate/area.h"
+#include "estimate/layout.h"
+#include "estimate/timing.h"
+#include "hdl/error.h"
+#include "hdl/hwsystem.h"
+#include "modgen/modgen.h"
+#include "tech/virtex.h"
+
+namespace jhdl {
+namespace {
+
+using estimate::estimate_area;
+using estimate::estimate_layout;
+using estimate::estimate_timing;
+
+TEST(AreaTest, GateCounts) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* b = new Wire(&hw, 1, "b");
+  Wire* o1 = new Wire(&hw, 1, "o1");
+  Wire* o2 = new Wire(&hw, 1, "o2");
+  Wire* q = new Wire(&hw, 1, "q");
+  new tech::And2(&hw, a, b, o1);
+  new tech::Or2(&hw, a, b, o2);
+  new tech::FD(&hw, o1, q);
+  auto est = estimate_area(hw);
+  EXPECT_EQ(est.luts, 2u);
+  EXPECT_EQ(est.ffs, 1u);
+  EXPECT_EQ(est.primitives, 3u);
+  EXPECT_EQ(est.slices, 1u);  // 2 LUTs fit one slice
+}
+
+TEST(AreaTest, AdderUsesCarryChain) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 8, "a");
+  Wire* b = new Wire(&hw, 8, "b");
+  Wire* s = new Wire(&hw, 8, "s");
+  new modgen::CarryChainAdder(&hw, a, b, s);
+  auto est = estimate_area(hw);
+  EXPECT_EQ(est.luts, 8u);     // one half-sum LUT per bit
+  EXPECT_EQ(est.carries, 7u);  // no final carry-out mux
+  EXPECT_EQ(est.slices, 4u);
+}
+
+TEST(AreaTest, KcmGrowsWithWidth) {
+  std::size_t prev = 0;
+  for (std::size_t w : {4u, 8u, 16u, 32u}) {
+    HWSystem hw;
+    Wire* m = new Wire(&hw, w, "m");
+    Wire* p = new Wire(&hw, w + 8, "p");
+    new modgen::VirtexKCMMultiplier(&hw, m, p, false, false, 200);
+    auto est = estimate_area(hw);
+    EXPECT_GT(est.luts, prev) << "width " << w;
+    prev = est.luts;
+  }
+}
+
+TEST(AreaTest, KcmSmallerThanGenericMultiplier) {
+  // The headline claim of the KCM module generator (paper ref [9]).
+  for (std::size_t w : {8u, 16u, 24u}) {
+    HWSystem hw1;
+    Wire* m = new Wire(&hw1, w, "m");
+    Wire* p = new Wire(&hw1, 2 * w, "p");
+    new modgen::VirtexKCMMultiplier(&hw1, m, p, false, false,
+                                    static_cast<int>((1u << w) - 1));
+    auto kcm = estimate_area(hw1);
+
+    HWSystem hw2;
+    Wire* a = new Wire(&hw2, w, "a");
+    Wire* b = new Wire(&hw2, w, "b");
+    Wire* q = new Wire(&hw2, 2 * w, "q");
+    new modgen::ArrayMultiplier(&hw2, a, b, q);
+    auto gen = estimate_area(hw2);
+
+    EXPECT_LT(kcm.luts, gen.luts) << "width " << w;
+  }
+}
+
+TEST(TimingTest, SingleGate) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* b = new Wire(&hw, 1, "b");
+  Wire* o = new Wire(&hw, 1, "o");
+  new tech::And2(&hw, a, b, o);
+  auto est = estimate_timing(hw);
+  EXPECT_DOUBLE_EQ(est.comb_delay_ns, tech::timing::kLutDelayNs);
+  EXPECT_EQ(est.levels, 1u);
+  EXPECT_EQ(est.path.size(), 1u);
+}
+
+TEST(TimingTest, ChainAccumulates) {
+  HWSystem hw;
+  Wire* w0 = new Wire(&hw, 1, "w0");
+  Wire* w1 = new Wire(&hw, 1, "w1");
+  Wire* w2 = new Wire(&hw, 1, "w2");
+  Wire* w3 = new Wire(&hw, 1, "w3");
+  new tech::Inv(&hw, w0, w1);
+  new tech::Inv(&hw, w1, w2);
+  new tech::Inv(&hw, w2, w3);
+  auto est = estimate_timing(hw);
+  EXPECT_DOUBLE_EQ(est.comb_delay_ns, 3 * tech::timing::kLutDelayNs);
+  EXPECT_EQ(est.levels, 3u);
+}
+
+TEST(TimingTest, CarryChainFasterThanRipple) {
+  HWSystem hw1;
+  {
+    Wire* a = new Wire(&hw1, 16, "a");
+    Wire* b = new Wire(&hw1, 16, "b");
+    Wire* s = new Wire(&hw1, 16, "s");
+    new modgen::CarryChainAdder(&hw1, a, b, s);
+  }
+  HWSystem hw2;
+  {
+    Wire* a = new Wire(&hw2, 16, "a");
+    Wire* b = new Wire(&hw2, 16, "b");
+    Wire* s = new Wire(&hw2, 16, "s");
+    new modgen::RippleAdder(&hw2, a, b, s);
+  }
+  auto cc = estimate_timing(hw1);
+  auto rp = estimate_timing(hw2);
+  EXPECT_LT(cc.comb_delay_ns, rp.comb_delay_ns);
+}
+
+TEST(TimingTest, PipeliningShortensCriticalPath) {
+  HWSystem hw1;
+  {
+    Wire* m = new Wire(&hw1, 16, "m");
+    Wire* p = new Wire(&hw1, 24, "p");
+    new modgen::VirtexKCMMultiplier(&hw1, m, p, false, false, 12345);
+  }
+  HWSystem hw2;
+  {
+    Wire* m = new Wire(&hw2, 16, "m");
+    Wire* p = new Wire(&hw2, 24, "p");
+    new modgen::VirtexKCMMultiplier(&hw2, m, p, false, true, 12345);
+  }
+  auto comb = estimate_timing(hw1);
+  auto piped = estimate_timing(hw2);
+  EXPECT_LT(piped.comb_delay_ns, comb.comb_delay_ns);
+  EXPECT_GT(piped.fmax_mhz, comb.fmax_mhz);
+}
+
+TEST(TimingTest, CombCycleThrows) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* b = new Wire(&hw, 1, "b");
+  new tech::Inv(&hw, a, b);
+  new tech::Inv(&hw, b, a);
+  EXPECT_THROW(estimate_timing(hw), HdlError);
+}
+
+TEST(TimingTest, ReportIsReadable) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 4, "a");
+  Wire* b = new Wire(&hw, 4, "b");
+  Wire* s = new Wire(&hw, 4, "s");
+  new modgen::CarryChainAdder(&hw, a, b, s);
+  auto est = estimate_timing(hw);
+  std::string report = estimate::timing_report(est);
+  EXPECT_NE(report.find("critical path"), std::string::npos);
+  EXPECT_NE(report.find("ns"), std::string::npos);
+}
+
+TEST(LayoutTest, UnplacedCircuit) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* o = new Wire(&hw, 1, "o");
+  new tech::Inv(&hw, a, o);
+  auto est = estimate_layout(hw);
+  EXPECT_FALSE(est.placed);
+  EXPECT_EQ(est.width(), 0);
+  EXPECT_DOUBLE_EQ(est.density(), 0.0);
+}
+
+TEST(LayoutTest, AdderColumn) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 8, "a");
+  Wire* b = new Wire(&hw, 8, "b");
+  Wire* s = new Wire(&hw, 8, "s");
+  new modgen::CarryChainAdder(&hw, a, b, s);
+  auto est = estimate_layout(hw);
+  EXPECT_TRUE(est.placed);
+  EXPECT_EQ(est.width(), 1);   // single column
+  EXPECT_EQ(est.height(), 4);  // 8 bits, 2 per slice
+  EXPECT_GT(est.density(), 0.9);
+}
+
+TEST(LayoutTest, KcmFootprint) {
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 16, "m");
+  Wire* p = new Wire(&hw, 24, "p");
+  new modgen::VirtexKCMMultiplier(&hw, m, p, false, false, 213);
+  auto est = estimate_layout(hw);
+  EXPECT_TRUE(est.placed);
+  EXPECT_GT(est.width(), 1);
+  EXPECT_GT(est.height(), 1);
+  EXPECT_GT(est.placed_primitives, 10u);
+}
+
+}  // namespace
+}  // namespace jhdl

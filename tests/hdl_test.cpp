@@ -1,0 +1,248 @@
+// Unit tests for the HDL kernel: cells, wires, nets, ports, hierarchy,
+// placement, and structural error checking.
+#include <gtest/gtest.h>
+
+#include "hdl/error.h"
+#include "hdl/hwsystem.h"
+#include "hdl/visitor.h"
+#include "tech/virtex.h"
+
+namespace jhdl {
+namespace {
+
+TEST(WireTest, ConstructionAndNaming) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* bus = new Wire(&hw, 8, "data");
+  EXPECT_EQ(a->width(), 1u);
+  EXPECT_EQ(bus->width(), 8u);
+  EXPECT_EQ(a->net(0)->name(), "a");
+  EXPECT_EQ(bus->net(3)->name(), "data[3]");
+  EXPECT_EQ(hw.net_count(), 9u);
+}
+
+TEST(WireTest, AutoNamedWires) {
+  HWSystem hw;
+  Wire* w = new Wire(&hw, 2);
+  EXPECT_FALSE(w->name().empty());
+}
+
+TEST(WireTest, ZeroWidthRejected) {
+  HWSystem hw;
+  EXPECT_THROW(new Wire(&hw, 0), HdlError);
+}
+
+TEST(WireTest, BitSelectSharesNets) {
+  HWSystem hw;
+  Wire* bus = new Wire(&hw, 8, "bus");
+  Wire* b3 = bus->gw(3);
+  EXPECT_EQ(b3->width(), 1u);
+  EXPECT_EQ(b3->net(0), bus->net(3));
+}
+
+TEST(WireTest, RangeAndConcat) {
+  HWSystem hw;
+  Wire* bus = new Wire(&hw, 8, "bus");
+  Wire* lo = bus->range(3, 0);
+  Wire* hi = bus->range(7, 4);
+  EXPECT_EQ(lo->width(), 4u);
+  EXPECT_EQ(hi->width(), 4u);
+  Wire* cat = hi->concat(lo);
+  EXPECT_EQ(cat->width(), 8u);
+  // concat: low wire supplies LSBs.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(cat->net(i), bus->net(i));
+  }
+  EXPECT_THROW(bus->range(8, 0), HdlError);
+  EXPECT_THROW(bus->range(2, 3), HdlError);
+}
+
+TEST(CellTest, HierarchyAndNames) {
+  HWSystem hw("top");
+  Cell* a = new Cell(&hw, "block");
+  Cell* b = new Cell(a, "inner");
+  EXPECT_EQ(b->full_name(), "top/block/inner");
+  EXPECT_EQ(b->system(), &hw);
+  EXPECT_EQ(a->parent(), &hw);
+}
+
+TEST(CellTest, SiblingNameCollisionGetsSuffix) {
+  HWSystem hw;
+  Cell* a = new Cell(&hw, "x");
+  Cell* b = new Cell(&hw, "x");
+  Cell* c = new Cell(&hw, "x");
+  EXPECT_EQ(a->name(), "x");
+  EXPECT_EQ(b->name(), "x_1");
+  EXPECT_EQ(c->name(), "x_2");
+}
+
+TEST(CellTest, NullParentRejected) {
+  EXPECT_THROW(new Cell(nullptr, "orphan"), HdlError);
+}
+
+TEST(CellTest, Properties) {
+  HWSystem hw;
+  Cell* c = new Cell(&hw, "c");
+  EXPECT_EQ(c->property("k"), nullptr);
+  c->set_property("k", "v");
+  ASSERT_NE(c->property("k"), nullptr);
+  EXPECT_EQ(*c->property("k"), "v");
+}
+
+TEST(CellTest, RlocAccumulates) {
+  HWSystem hw;
+  Cell* macro = new Cell(&hw, "macro");
+  macro->set_rloc({2, 3});
+  Cell* sub = new Cell(macro, "sub");
+  sub->set_rloc({1, 1});
+  Cell* leaf = new Cell(sub, "leaf");
+  RLoc abs = leaf->absolute_loc();
+  EXPECT_EQ(abs.row, 3);
+  EXPECT_EQ(abs.col, 4);
+}
+
+TEST(NetTest, DoubleDriverRejected) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* b = new Wire(&hw, 1, "b");
+  Wire* o = new Wire(&hw, 1, "o");
+  new tech::And2(&hw, a, b, o);
+  EXPECT_THROW(new tech::Or2(&hw, a, b, o), HdlError);
+}
+
+TEST(NetTest, SinksRecorded) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* b = new Wire(&hw, 1, "b");
+  Wire* o1 = new Wire(&hw, 1, "o1");
+  Wire* o2 = new Wire(&hw, 1, "o2");
+  new tech::And2(&hw, a, b, o1);
+  new tech::Or2(&hw, a, b, o2);
+  EXPECT_EQ(a->net(0)->sinks().size(), 2u);
+  EXPECT_EQ(o1->net(0)->driver_kind(), DriverKind::Primitive);
+}
+
+TEST(PortTest, PrimitivePinsAndPorts) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* b = new Wire(&hw, 1, "b");
+  Wire* o = new Wire(&hw, 1, "o");
+  auto* g = new tech::And2(&hw, a, b, o);
+  EXPECT_EQ(g->pins().size(), 3u);
+  EXPECT_EQ(g->ports().size(), 3u);
+  EXPECT_EQ(g->type_name(), "and2");
+  const Port* p = g->find_port("i0");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->dir, PortDir::In);
+  EXPECT_EQ(p->wire, a);
+}
+
+// The paper's full-adder example, translated line-for-line.
+class FullAdder : public Cell {
+ public:
+  FullAdder(Node* parent, Wire* a, Wire* b, Wire* ci, Wire* s, Wire* co)
+      : Cell(parent, "fulladder") {
+    set_type_name("fulladder");
+    port_in("a", a);
+    port_in("b", b);
+    port_in("ci", ci);
+    port_out("s", s);
+    port_out("co", co);
+    Wire* t1 = new Wire(this, 1);
+    Wire* t2 = new Wire(this, 1);
+    Wire* t3 = new Wire(this, 1);
+    new tech::And2(this, a, b, t1);
+    new tech::And2(this, a, ci, t2);
+    new tech::And2(this, b, ci, t3);
+    new tech::Or3(this, t1, t2, t3, co);
+    new tech::Xor3(this, a, b, ci, s);
+  }
+};
+
+TEST(HierarchyTest, FullAdderStructure) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* b = new Wire(&hw, 1, "b");
+  Wire* ci = new Wire(&hw, 1, "ci");
+  Wire* s = new Wire(&hw, 1, "s");
+  Wire* co = new Wire(&hw, 1, "co");
+  auto* fa = new FullAdder(&hw, a, b, ci, s, co);
+
+  auto prims = collect_primitives(*fa);
+  EXPECT_EQ(prims.size(), 5u);
+
+  HierarchyStats stats = hierarchy_stats(hw);
+  EXPECT_EQ(stats.cells, 7u);  // system + fulladder + 5 gates
+  EXPECT_EQ(stats.primitives, 5u);
+  EXPECT_EQ(stats.max_depth, 2u);
+}
+
+TEST(HierarchyTest, VisitorPreorder) {
+  HWSystem hw;
+  Cell* a = new Cell(&hw, "a");
+  new Cell(a, "a1");
+  new Cell(&hw, "b");
+  std::vector<std::string> order;
+  for_each_cell(hw, [&](Cell& c) { order.push_back(c.name()); });
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "system");
+  EXPECT_EQ(order[1], "a");
+  EXPECT_EQ(order[2], "a1");
+  EXPECT_EQ(order[3], "b");
+}
+
+TEST(HierarchyTest, ExceptionDuringConstructionUnregisters) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* wide = new Wire(&hw, 2, "wide");
+  // Gate with a 2-bit pin throws after the base Cell registered.
+  EXPECT_THROW(new tech::And2(&hw, a, wide, a), HdlError);
+  // The half-constructed child must not remain in the tree.
+  for (Cell* c : hw.children()) {
+    EXPECT_EQ(c->children().size(), 0u);
+  }
+  HierarchyStats stats = hierarchy_stats(hw);
+  EXPECT_EQ(stats.cells, 1u);
+}
+
+TEST(TechTest, LutInitValidation) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* o = new Wire(&hw, 1, "o");
+  // LUT1 truth table has 2 bits; INIT 0x4 overflows it.
+  EXPECT_THROW(new tech::Lut1(&hw, a, o, 0x4), HdlError);
+  Wire* o2 = new Wire(&hw, 1, "o2");
+  auto* l = new tech::Lut1(&hw, a, o2, 0x2);
+  ASSERT_NE(l->property("INIT"), nullptr);
+  EXPECT_EQ(*l->property("INIT"), "0002");
+}
+
+TEST(TechTest, LibraryCatalogRoundTrip) {
+  const auto& lib = tech::virtex_library();
+  EXPECT_GE(lib.size(), 25u);
+  auto payload = tech::serialize_virtex_library();
+  EXPECT_GT(payload.size(), 500u);
+  auto parsed = tech::parse_virtex_library(payload);
+  ASSERT_EQ(parsed.size(), lib.size());
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, lib[i].name);
+    EXPECT_EQ(parsed[i].inputs, lib[i].inputs);
+    EXPECT_EQ(parsed[i].sequential, lib[i].sequential);
+  }
+}
+
+TEST(TechTest, ResourcesModel) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* b = new Wire(&hw, 1, "b");
+  Wire* o = new Wire(&hw, 1, "o");
+  auto* g = new tech::And2(&hw, a, b, o);
+  EXPECT_EQ(g->resources().luts, 1);
+  Wire* q = new Wire(&hw, 1, "q");
+  auto* ff = new tech::FD(&hw, o, q);
+  EXPECT_EQ(ff->resources().ffs, 1);
+  EXPECT_TRUE(ff->sequential());
+}
+
+}  // namespace
+}  // namespace jhdl

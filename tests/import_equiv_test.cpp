@@ -1,0 +1,246 @@
+// Netlist-equivalence tests: a circuit exported to flat EDIF and
+// re-imported must behave identically to the original - combinational
+// and sequential, across module generators and random circuits. Plus
+// KCM exhaustive small-parameter cross products, SVG waveform rendering,
+// and the applet web page.
+#include <gtest/gtest.h>
+
+#include "core/generators.h"
+#include "core/webpage.h"
+#include "hdl/hwsystem.h"
+#include "hdl/visitor.h"
+#include "modgen/modgen.h"
+#include "netlist/edif_import.h"
+#include "netlist/netlist.h"
+#include "sim/simulator.h"
+#include "tech/virtex.h"
+#include "util/rng.h"
+#include "viewer/waveview.h"
+
+namespace jhdl {
+namespace {
+
+using netlist::import_edif;
+using netlist::ImportedCircuit;
+
+// ------------------------------------------------- EDIF import equivalence
+
+TEST(ImportTest, KcmCombinationalEquivalence) {
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 8, "m");
+  Wire* p = new Wire(&hw, 15, "p");
+  new modgen::VirtexKCMMultiplier(&hw, m, p, true, false, -56);
+  std::string edif =
+      netlist::write_edif(*hw.children().front(), {.flatten = true});
+
+  ImportedCircuit imported = import_edif(edif);
+  ASSERT_EQ(imported.ports.count("multiplicand"), 1u);
+  ASSERT_EQ(imported.ports.count("product"), 1u);
+
+  Simulator orig(hw);
+  Simulator copy(*imported.system);
+  for (std::int64_t x = -128; x < 128; ++x) {
+    orig.put_signed(m, x);
+    copy.put_signed(imported.ports["multiplicand"], x);
+    EXPECT_EQ(copy.get(imported.ports["product"]).to_uint(),
+              orig.get(p).to_uint())
+        << "x=" << x;
+  }
+}
+
+TEST(ImportTest, SequentialEquivalencePipelinedKcm) {
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 8, "m");
+  Wire* p = new Wire(&hw, 12, "p");
+  auto* kcm = new modgen::VirtexKCMMultiplier(&hw, m, p, false, true, 201);
+  std::string edif = netlist::write_edif(*kcm, {.flatten = true});
+
+  ImportedCircuit imported = import_edif(edif);
+  Simulator orig(hw);
+  Simulator copy(*imported.system);
+  Rng rng(2);
+  for (int t = 0; t < 100; ++t) {
+    std::uint64_t x = rng.next() & 0xFF;
+    orig.put(m, x);
+    copy.put(imported.ports["multiplicand"], x);
+    orig.cycle();
+    copy.cycle();
+    EXPECT_EQ(copy.get(imported.ports["product"]).to_string(),
+              orig.get(p).to_string())
+        << "t=" << t;
+  }
+}
+
+TEST(ImportTest, CounterWithLutsAndFfs) {
+  HWSystem hw;
+  Wire* q = new Wire(&hw, 6, "q");
+  Wire* ce = new Wire(&hw, 1, "ce");
+  new modgen::Counter(&hw, q, ce);
+  // Netlist the counter cell itself (it owns ports).
+  std::string edif =
+      netlist::write_edif(*hw.children().front(), {.flatten = true});
+  ImportedCircuit imported = import_edif(edif);
+  Simulator orig(hw);
+  Simulator copy(*imported.system);
+  orig.put(ce, 1);
+  copy.put(imported.ports["ce"], 1);
+  for (int t = 0; t < 80; ++t) {
+    orig.cycle();
+    copy.cycle();
+    EXPECT_EQ(copy.get(imported.ports["q"]).to_uint(),
+              orig.get(q).to_uint());
+  }
+}
+
+TEST(ImportTest, Srl16ShiftRegisterEquivalence) {
+  HWSystem hw;
+  Wire* in = new Wire(&hw, 2, "in");
+  Wire* out = new Wire(&hw, 2, "out");
+  new modgen::ShiftRegister(&hw, in, out, 21,
+                            modgen::ShiftRegister::Style::SRL16);
+  std::string edif =
+      netlist::write_edif(*hw.children().front(), {.flatten = true});
+  ImportedCircuit imported = import_edif(edif);
+  Simulator orig(hw);
+  Simulator copy(*imported.system);
+  Rng rng(5);
+  for (int t = 0; t < 60; ++t) {
+    std::uint64_t v = rng.next() & 3;
+    orig.put(in, v);
+    copy.put(imported.ports["in"], v);
+    orig.cycle();
+    copy.cycle();
+    EXPECT_EQ(copy.get(imported.ports["out"]).to_string(),
+              orig.get(out).to_string());
+  }
+}
+
+TEST(ImportTest, HierarchicalEquivalenceAndStructure) {
+  HWSystem hw;
+  // 8-bit input -> two digits -> the KCM contains composite adder cells.
+  Wire* m = new Wire(&hw, 8, "m");
+  Wire* p = new Wire(&hw, 12, "p");
+  auto* kcm = new modgen::VirtexKCMMultiplier(&hw, m, p, false, false, 9);
+  std::string hier = netlist::write_edif(*kcm);  // NOT flattened
+
+  ImportedCircuit imported = import_edif(hier);
+  // The hierarchy survives: the imported top has composite children.
+  bool has_composite = false;
+  for (const Cell* child : imported.top->children()) {
+    has_composite |= !child->is_primitive() && !child->children().empty();
+  }
+  EXPECT_TRUE(has_composite);
+  // Same primitive count as the original.
+  EXPECT_EQ(collect_primitives(*imported.top).size(),
+            collect_primitives(*kcm).size());
+
+  Simulator orig(hw);
+  Simulator copy(*imported.system);
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    orig.put(m, x);
+    copy.put(imported.ports["multiplicand"], x);
+    EXPECT_EQ(copy.get(imported.ports["product"]).to_uint(),
+              orig.get(p).to_uint())
+        << "x=" << x;
+  }
+}
+
+TEST(ImportTest, RejectsUnknownAndEmpty) {
+  EXPECT_THROW(import_edif("(edif x (design x (cellRef x)))"),
+               std::runtime_error);
+  EXPECT_THROW(import_edif("garbage"), std::runtime_error);
+}
+
+// ------------------------------------------ KCM exhaustive cross product
+
+struct SmallKcm {
+  std::size_t width;
+  int constant;
+};
+
+class KcmExhaustiveTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool, bool>> {};
+
+TEST_P(KcmExhaustiveTest, AllConstantsAllInputs) {
+  auto [width, sign, pipe] = GetParam();
+  for (int constant = -8; constant <= 8; ++constant) {
+    HWSystem hw;
+    Wire* m = new Wire(&hw, width, "m");
+    const std::size_t full =
+        width + modgen::VirtexKCMMultiplier::width_of_constant(constant);
+    Wire* p = new Wire(&hw, full, "p");
+    auto* kcm = new modgen::VirtexKCMMultiplier(&hw, m, p, sign, pipe,
+                                                constant);
+    Simulator sim(hw);
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << width); ++x) {
+      sim.put(m, x);
+      if (kcm->latency() > 0) sim.cycle(kcm->latency());
+      ASSERT_EQ(sim.get(p).to_uint(), kcm->expected_product(x))
+          << "w=" << width << " c=" << constant << " s=" << sign
+          << " p=" << pipe << " x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CrossProduct, KcmExhaustiveTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 4, 5, 6),
+                       ::testing::Bool(), ::testing::Bool()));
+
+// ------------------------------------------------------- SVG waves & page
+
+TEST(SvgWavesTest, RendersRailsAndBuses) {
+  HWSystem hw;
+  Wire* q = new Wire(&hw, 4, "q");
+  new modgen::Counter(&hw, q);
+  Wire* bit = new Wire(&hw, 1, "bit");
+  new tech::Buf(&hw, q->gw(0), bit);
+  Simulator sim(hw);
+  WaveformRecorder rec(sim);
+  rec.watch(q, "count");
+  rec.watch(bit, "lsb");
+  sim.cycle(8);
+  std::string svg = viewer::svg_waves(rec);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);  // 1-bit rail
+  EXPECT_NE(svg.find("<rect"), std::string::npos);      // bus lozenge
+  EXPECT_NE(svg.find("count"), std::string::npos);
+}
+
+TEST(WebPageTest, LicensedPageHasAllSections) {
+  using namespace jhdl::core;
+  Applet applet = AppletBuilder()
+                      .title("KCM page")
+                      .generator(std::make_shared<KcmGenerator>())
+                      .license(LicensePolicy::make("acme",
+                                                   LicenseTier::Licensed))
+                      .build_applet();
+  applet.build(ParamMap()
+                   .set("input_width", std::int64_t{6})
+                   .set("constant", std::int64_t{11}));
+  std::string html = render_applet_page(applet);
+  EXPECT_NE(html.find("<h1>KCM page</h1>"), std::string::npos);
+  EXPECT_NE(html.find("fmax"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("rom16"), std::string::npos);  // memories section
+  EXPECT_NE(html.find("JHDLBase.jar"), std::string::npos);
+  EXPECT_EQ(html.find("not licensed"), std::string::npos);
+}
+
+TEST(WebPageTest, AnonymousPageHidesGatedSections) {
+  using namespace jhdl::core;
+  Applet applet = AppletBuilder()
+                      .title("teaser")
+                      .generator(std::make_shared<KcmGenerator>())
+                      .license(LicensePolicy::make("visitor",
+                                                   LicenseTier::Anonymous))
+                      .build_applet();
+  applet.build(ParamMap().set("constant", std::int64_t{3}));
+  std::string html = render_applet_page(applet);
+  EXPECT_NE(html.find("fmax"), std::string::npos) << "estimator is granted";
+  EXPECT_NE(html.find("not licensed"), std::string::npos);
+  EXPECT_EQ(html.find("<svg"), std::string::npos) << "no structural views";
+}
+
+}  // namespace
+}  // namespace jhdl

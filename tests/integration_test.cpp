@@ -1,0 +1,210 @@
+// Cross-module integration scenarios and X-propagation property sweeps:
+// end-to-end flows that touch several subsystems at once, and checks that
+// unknown values behave pessimistically-but-not-infectiously through the
+// primitive library.
+#include <gtest/gtest.h>
+
+#include "core/applet.h"
+#include "core/catalog.h"
+#include "core/generators.h"
+#include "core/secure.h"
+#include "core/shell.h"
+#include "hdl/hwsystem.h"
+#include "modgen/modgen.h"
+#include "net/sim_client.h"
+#include "net/sim_server.h"
+#include "netlist/edif_import.h"
+#include "netlist/netlist.h"
+#include "sim/simulator.h"
+#include "tech/virtex.h"
+#include "util/rng.h"
+
+namespace jhdl {
+namespace {
+
+using namespace jhdl::core;
+
+// ---------------------------------------------------------- integration
+
+// Vendor -> customer -> tool-flow round trip: applet netlists the IP,
+// the customer re-imports the EDIF and co-simulates the imported copy
+// against a black-box served over a socket. Three delivery forms of the
+// same instance must agree bit-for-bit.
+TEST(IntegrationTest, NetlistImportVsBlackBoxVsApplet) {
+  auto gen = std::make_shared<KcmGenerator>();
+  ParamMap params = ParamMap()
+                        .set("input_width", std::int64_t{8})
+                        .set("constant", std::int64_t{-77})
+                        .set("signed_mode", true);
+  Applet applet = AppletBuilder()
+                      .generator(gen)
+                      .license(LicensePolicy::make("x", LicenseTier::Licensed))
+                      .build_applet();
+  applet.build(params);
+
+  // Form 1: EDIF -> import.
+  std::string edif = applet.netlist(NetlistFormat::Edif);
+  netlist::ImportedCircuit imported = netlist::import_edif(edif);
+  Simulator import_sim(*imported.system);
+
+  // Form 2: black box over a socket.
+  net::SimServer server(applet.make_black_box());
+  net::SimClient remote(server.start());
+
+  Rng rng(88);
+  for (int t = 0; t < 40; ++t) {
+    std::int64_t x = rng.range(-128, 127);
+    // Applet's own simulator.
+    applet.sim_put_signed("multiplicand", x);
+    std::uint64_t v_applet = applet.sim_get("product").to_uint();
+    // Imported netlist.
+    import_sim.put_signed(imported.ports["multiplicand"], x);
+    std::uint64_t v_import =
+        import_sim.get(imported.ports["product"]).to_uint();
+    // Remote black box.
+    std::map<std::string, BitVector> in;
+    in["multiplicand"] = BitVector::from_int(8, x);
+    std::uint64_t v_remote = remote.eval(in, 0).at("product").to_uint();
+
+    EXPECT_EQ(v_applet, v_import) << "x=" << x;
+    EXPECT_EQ(v_applet, v_remote) << "x=" << x;
+  }
+  remote.bye();
+}
+
+// Sealed multi-IP delivery: every archive of a bundle survives the
+// vendor->customer secure channel, and the unpacked payload carries the
+// generator schema the shell needs.
+TEST(IntegrationTest, SealedBundleCarriesSchemas) {
+  IpCatalog catalog;
+  catalog.add(std::make_shared<KcmGenerator>());
+  catalog.add(std::make_shared<DdsIpGenerator>());
+  Packager packager;
+  SecureChannel channel("bundle-license");
+  std::uint64_t nonce = 1;
+  for (const auto& gen : catalog.entries()) {
+    Archive a = packager.applet_archive(*gen);
+    Archive back = channel.open_archive(channel.seal_archive(a, nonce++));
+    bool has_schema = false;
+    for (const ArchiveEntry& e : back.entries()) {
+      has_schema |= (e.name == "schema.txt");
+    }
+    EXPECT_TRUE(has_schema) << gen->name();
+  }
+}
+
+// The shell drives a FIR IP through an entire filter design session.
+TEST(IntegrationTest, ShellDrivesFirSession) {
+  Applet applet = AppletBuilder()
+                      .generator(std::make_shared<FirGenerator>())
+                      .license(LicensePolicy::make("x", LicenseTier::Licensed))
+                      .build_applet();
+  AppletShell shell(applet);
+  std::string out = shell.run_script(
+      "build c0=1 c1=2 c2=2 c3=1 input_width=8\n"
+      "put x 10\n"
+      "get y\n"   // 1*10
+      "cycle\n"
+      "put x 0\n"
+      "get y\n"); // 2*10
+  EXPECT_NE(out.find("signed 10)"), std::string::npos) << out;
+  EXPECT_NE(out.find("signed 20)"), std::string::npos) << out;
+}
+
+// ------------------------------------------------------- X-propagation
+
+TEST(XPropTest, GatesAreOnlyAsPessimisticAsNeeded) {
+  HWSystem hw;
+  Wire* x = new Wire(&hw, 1, "x");  // stays undriven -> X
+  Wire* zero = new Wire(&hw, 1, "zero");
+  Wire* one = new Wire(&hw, 1, "one");
+  Wire* and_out = new Wire(&hw, 1, "and_out");
+  Wire* or_out = new Wire(&hw, 1, "or_out");
+  Wire* xor_out = new Wire(&hw, 1, "xor_out");
+  new tech::And2(&hw, x, zero, and_out);
+  new tech::Or2(&hw, x, one, or_out);
+  new tech::Xor2(&hw, x, zero, xor_out);
+  Simulator sim(hw);
+  sim.put(zero, 0);
+  sim.put(one, 1);
+  // Dominating inputs defeat the X...
+  EXPECT_EQ(sim.get(and_out).to_uint(), 0u);
+  EXPECT_EQ(sim.get(or_out).to_uint(), 1u);
+  // ...but XOR cannot.
+  EXPECT_FALSE(sim.get(xor_out).is_fully_defined());
+}
+
+TEST(XPropTest, LutHalvesAgreeDespiteUnknownSelect) {
+  HWSystem hw;
+  Wire* sel = new Wire(&hw, 1, "sel");  // undriven
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* o1 = new Wire(&hw, 1, "o1");
+  Wire* o2 = new Wire(&hw, 1, "o2");
+  // LUT2 0xC: out = i1 -> i0 is a don't-care; X on i0 must not leak.
+  new tech::Lut2(&hw, sel, a, o1, 0xC);
+  // LUT2 0x8: out = i0 & i1 -> X on i0 with i1=1 is unknown.
+  new tech::Lut2(&hw, sel, a, o2, 0x8);
+  Simulator sim(hw);
+  sim.put(a, 1);
+  EXPECT_EQ(sim.get(o1).to_uint(), 1u) << "don't-care input must not X out";
+  EXPECT_FALSE(sim.get(o2).is_fully_defined());
+  sim.put(a, 0);
+  EXPECT_EQ(sim.get(o2).to_uint(), 0u) << "0 & X = 0";
+}
+
+TEST(XPropTest, KcmRecoversAfterUndrivenPhase) {
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 8, "m");
+  Wire* p = new Wire(&hw, 16, "p");
+  auto* kcm = new modgen::VirtexKCMMultiplier(&hw, m, p, false, false, 201);
+  Simulator sim(hw);
+  EXPECT_FALSE(sim.get(p).is_fully_defined());
+  sim.put(m, 17);
+  EXPECT_EQ(sim.get(p).to_uint(), kcm->expected_product(17));
+  // Partial X: drive only the low nibble -> the low partial product is
+  // defined but the sum is not.
+  HWSystem hw2;
+  Wire* m2 = new Wire(&hw2, 8, "m2");
+  Wire* p2 = new Wire(&hw2, 16, "p2");
+  new modgen::VirtexKCMMultiplier(&hw2, m2, p2, false, false, 201);
+  Simulator sim2(hw2);
+  Wire* low = m2->range(3, 0);
+  sim2.put(low, 5);
+  EXPECT_FALSE(sim2.get(p2).is_fully_defined());
+}
+
+TEST(XPropTest, FlipFlopCapturesX) {
+  HWSystem hw;
+  Wire* d = new Wire(&hw, 1, "d");  // undriven
+  Wire* q = new Wire(&hw, 1, "q");
+  new tech::FD(&hw, d, q);
+  Simulator sim(hw);
+  EXPECT_EQ(sim.get(q).to_uint(), 0u) << "power-on value defined";
+  sim.cycle();
+  EXPECT_FALSE(sim.get(q).is_fully_defined()) << "X data captured";
+  sim.put(d, 1);
+  sim.cycle();
+  EXPECT_EQ(sim.get(q).to_uint(), 1u) << "recovers once driven";
+}
+
+TEST(XPropTest, XSurvivesTheWireProtocol) {
+  // An X produced by the IP must reach the remote co-simulation client
+  // unchanged (the paper's black-box integration must not launder
+  // unknowns into 0/1).
+  KcmGenerator gen;
+  ParamMap params =
+      ParamMap().set("input_width", std::int64_t{8}).resolved(gen.params());
+  net::SimServer server(
+      std::make_unique<BlackBoxModel>(gen.build(params), gen.name()));
+  net::SimClient client(server.start());
+  BitVector half_defined(8, Logic4::X);
+  for (std::size_t i = 0; i < 4; ++i) half_defined.set(i, Logic4::One);
+  client.set_input("multiplicand", half_defined);
+  BitVector out = client.get_output("product");
+  EXPECT_FALSE(out.is_fully_defined());
+  EXPECT_NE(out.to_string().find('x'), std::string::npos);
+  client.bye();
+}
+
+}  // namespace
+}  // namespace jhdl

@@ -1,0 +1,274 @@
+// Tests for the extended module generators: MAC, barrel shifter, LFSR,
+// priority encoder, one-hot decoder, Gray code converters/counter,
+// Hamming(7,4) ECC, and SRL16-mapped shift registers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hdl/error.h"
+#include "hdl/hwsystem.h"
+#include "estimate/area.h"
+#include "modgen/modgen.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace jhdl {
+namespace {
+
+using namespace jhdl::modgen;
+
+// ------------------------------------------------------------------- MAC
+
+TEST(MacTest, AccumulatesProducts) {
+  HWSystem hw;
+  Wire* x = new Wire(&hw, 8, "x");
+  const std::size_t aw = MacUnit::acc_width(8, -3);
+  Wire* acc = new Wire(&hw, aw, "acc");
+  Wire* clr = new Wire(&hw, 1, "clr");
+  new MacUnit(&hw, x, acc, clr, -3);
+  Simulator sim(hw);
+  sim.put(clr, 0);
+  std::int64_t expected = 0;
+  Rng rng(3);
+  for (int t = 0; t < 50; ++t) {
+    std::int64_t xt = rng.range(-128, 127);
+    sim.put_signed(x, xt);
+    sim.cycle();
+    expected += -3 * xt;
+    EXPECT_EQ(sim.get(acc).to_int(), expected) << "t=" << t;
+  }
+  // Synchronous clear.
+  sim.put(clr, 1);
+  sim.cycle();
+  EXPECT_EQ(sim.get(acc).to_int(), 0);
+}
+
+TEST(MacTest, AccWidthValidation) {
+  HWSystem hw;
+  Wire* x = new Wire(&hw, 8, "x");
+  Wire* acc = new Wire(&hw, 4, "acc");
+  Wire* clr = new Wire(&hw, 1, "clr");
+  EXPECT_THROW(new MacUnit(&hw, x, acc, clr, 5), HdlError);
+}
+
+// --------------------------------------------------------- barrel shifter
+
+class ShifterTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ShifterTest, MatchesReference) {
+  const bool left = GetParam();
+  HWSystem hw;
+  Wire* in = new Wire(&hw, 16, "in");
+  Wire* amount = new Wire(&hw, 5, "amt");
+  Wire* out = new Wire(&hw, 16, "out");
+  new BarrelShifter(&hw, in, amount, out,
+                    left ? BarrelShifter::Direction::Left
+                         : BarrelShifter::Direction::RightLogical);
+  Simulator sim(hw);
+  Rng rng(left ? 1 : 2);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::uint64_t v = rng.next() & 0xFFFF;
+    std::uint64_t amt = rng.below(32);
+    sim.put(in, v);
+    sim.put(amount, amt);
+    std::uint64_t want =
+        amt >= 16 ? 0 : (left ? (v << amt) & 0xFFFF : v >> amt);
+    EXPECT_EQ(sim.get(out).to_uint(), want)
+        << "v=" << v << " amt=" << amt << " left=" << left;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Directions, ShifterTest, ::testing::Bool());
+
+// ------------------------------------------------------------------ LFSR
+
+TEST(LfsrTest, FollowsReferenceSequence) {
+  const std::vector<std::size_t> taps = {7, 5, 4, 3};  // maximal for w=8
+  HWSystem hw;
+  Wire* q = new Wire(&hw, 8, "q");
+  new Lfsr(&hw, q, taps, 0xA5);
+  Simulator sim(hw);
+  std::uint64_t state = 0xA5;
+  EXPECT_EQ(sim.get(q).to_uint(), state);
+  for (int t = 0; t < 200; ++t) {
+    sim.cycle();
+    state = Lfsr::next_state(state, 8, taps);
+    EXPECT_EQ(sim.get(q).to_uint(), state) << "t=" << t;
+  }
+}
+
+TEST(LfsrTest, MaximalLengthPeriod) {
+  const std::vector<std::size_t> taps = {7, 5, 4, 3};
+  HWSystem hw;
+  Wire* q = new Wire(&hw, 8, "q");
+  new Lfsr(&hw, q, taps, 1);
+  Simulator sim(hw);
+  std::set<std::uint64_t> seen;
+  for (int t = 0; t < 255; ++t) {
+    EXPECT_TRUE(seen.insert(sim.get(q).to_uint()).second)
+        << "state repeated early at t=" << t;
+    sim.cycle();
+  }
+  EXPECT_EQ(sim.get(q).to_uint(), 1u) << "period must be 2^8-1";
+}
+
+TEST(LfsrTest, Validation) {
+  HWSystem hw;
+  Wire* q = new Wire(&hw, 8, "q");
+  EXPECT_THROW(new Lfsr(&hw, q, {}, 1), HdlError);
+  Wire* q2 = new Wire(&hw, 8, "q2");
+  EXPECT_THROW(new Lfsr(&hw, q2, {9}, 1), HdlError);
+  Wire* q3 = new Wire(&hw, 8, "q3");
+  EXPECT_THROW(new Lfsr(&hw, q3, {7}, 0), HdlError);
+}
+
+// -------------------------------------------------------------- encoders
+
+TEST(PriorityEncoderTest, Exhaustive8) {
+  HWSystem hw;
+  Wire* in = new Wire(&hw, 8, "in");
+  Wire* idx = new Wire(&hw, 3, "idx");
+  Wire* valid = new Wire(&hw, 1, "valid");
+  new PriorityEncoder(&hw, in, idx, valid);
+  Simulator sim(hw);
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    sim.put(in, v);
+    if (v == 0) {
+      EXPECT_EQ(sim.get(valid).to_uint(), 0u);
+    } else {
+      std::uint64_t top = 63 - static_cast<std::uint64_t>(__builtin_clzll(v));
+      EXPECT_EQ(sim.get(valid).to_uint(), 1u);
+      EXPECT_EQ(sim.get(idx).to_uint(), top) << "v=" << v;
+    }
+  }
+}
+
+TEST(OneHotDecoderTest, Exhaustive4to16) {
+  HWSystem hw;
+  Wire* in = new Wire(&hw, 4, "in");
+  Wire* out = new Wire(&hw, 16, "out");
+  Wire* en = new Wire(&hw, 1, "en");
+  new OneHotDecoder(&hw, in, out, en);
+  Simulator sim(hw);
+  sim.put(en, 1);
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    sim.put(in, v);
+    EXPECT_EQ(sim.get(out).to_uint(), std::uint64_t{1} << v);
+  }
+  sim.put(en, 0);
+  EXPECT_EQ(sim.get(out).to_uint(), 0u);
+}
+
+TEST(GrayTest, ConversionRoundTrip) {
+  HWSystem hw;
+  Wire* b = new Wire(&hw, 6, "b");
+  Wire* g = new Wire(&hw, 6, "g");
+  Wire* b2 = new Wire(&hw, 6, "b2");
+  new BinaryToGray(&hw, b, g);
+  new GrayToBinary(&hw, g, b2);
+  Simulator sim(hw);
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    sim.put(b, v);
+    EXPECT_EQ(sim.get(g).to_uint(), v ^ (v >> 1));
+    EXPECT_EQ(sim.get(b2).to_uint(), v) << "round trip";
+  }
+}
+
+TEST(GrayCounterTest, OneBitChangesPerStep) {
+  HWSystem hw;
+  Wire* q = new Wire(&hw, 5, "q");
+  new GrayCounter(&hw, q);
+  Simulator sim(hw);
+  std::uint64_t prev = sim.get(q).to_uint();
+  for (int t = 0; t < 64; ++t) {
+    sim.cycle();
+    std::uint64_t cur = sim.get(q).to_uint();
+    EXPECT_EQ(__builtin_popcountll(prev ^ cur), 1) << "t=" << t;
+    prev = cur;
+  }
+}
+
+// ----------------------------------------------------------------- ECC
+
+TEST(HammingTest, SoftwareReferenceProperties) {
+  for (std::uint32_t d = 0; d < 16; ++d) {
+    bool corrected = true;
+    std::uint32_t code = HammingEncoder::encode(d);
+    EXPECT_EQ(HammingDecoder::decode(code, &corrected), d);
+    EXPECT_FALSE(corrected);
+    // Every single-bit error is corrected.
+    for (int bit = 0; bit < 7; ++bit) {
+      std::uint32_t bad = code ^ (1u << bit);
+      EXPECT_EQ(HammingDecoder::decode(bad, &corrected), d)
+          << "d=" << d << " bit=" << bit;
+      EXPECT_TRUE(corrected);
+    }
+  }
+}
+
+TEST(HammingTest, HardwareMatchesReference) {
+  HWSystem hw;
+  Wire* data = new Wire(&hw, 4, "data");
+  Wire* code = new Wire(&hw, 7, "code");
+  new HammingEncoder(&hw, data, code);
+
+  Wire* rx = new Wire(&hw, 7, "rx");
+  Wire* out = new Wire(&hw, 4, "out");
+  Wire* corrected = new Wire(&hw, 1, "corrected");
+  new HammingDecoder(&hw, rx, out, corrected);
+
+  Simulator sim(hw);
+  for (std::uint64_t d = 0; d < 16; ++d) {
+    sim.put(data, d);
+    std::uint64_t c = sim.get(code).to_uint();
+    EXPECT_EQ(c, HammingEncoder::encode(static_cast<std::uint32_t>(d)));
+    // Clean and every 1-bit-corrupted word through the decoder.
+    for (int bit = -1; bit < 7; ++bit) {
+      std::uint64_t word = bit < 0 ? c : (c ^ (1ull << bit));
+      sim.put(rx, word);
+      EXPECT_EQ(sim.get(out).to_uint(), d) << "d=" << d << " bit=" << bit;
+      EXPECT_EQ(sim.get(corrected).to_uint(), bit < 0 ? 0u : 1u);
+    }
+  }
+}
+
+// ------------------------------------------------------ SRL16 shift style
+
+TEST(Srl16StyleTest, MatchesFfStyle) {
+  for (std::size_t depth : {1u, 7u, 16u, 17u, 35u}) {
+    HWSystem hw;
+    Wire* in = new Wire(&hw, 2, "in");
+    Wire* out_ff = new Wire(&hw, 2, "out_ff");
+    Wire* out_srl = new Wire(&hw, 2, "out_srl");
+    new ShiftRegister(&hw, in, out_ff, depth, ShiftRegister::Style::FF);
+    new ShiftRegister(&hw, in, out_srl, depth, ShiftRegister::Style::SRL16);
+    Simulator sim(hw);
+    Rng rng(depth);
+    for (std::size_t t = 0; t < depth + 20; ++t) {
+      sim.put(in, rng.next() & 3);
+      sim.cycle();
+      if (t >= depth) {
+        EXPECT_EQ(sim.get(out_srl).to_uint(), sim.get(out_ff).to_uint())
+            << "depth=" << depth << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(Srl16StyleTest, Srl16UsesFewerResources) {
+  HWSystem hw1, hw2;
+  Wire* in1 = new Wire(&hw1, 8, "in");
+  Wire* out1 = new Wire(&hw1, 8, "out");
+  new ShiftRegister(&hw1, in1, out1, 16, ShiftRegister::Style::FF);
+  Wire* in2 = new Wire(&hw2, 8, "in");
+  Wire* out2 = new Wire(&hw2, 8, "out");
+  new ShiftRegister(&hw2, in2, out2, 16, ShiftRegister::Style::SRL16);
+  auto ff = estimate::estimate_area(hw1);
+  auto srl = estimate::estimate_area(hw2);
+  EXPECT_EQ(ff.ffs, 8u * 16u);
+  EXPECT_EQ(srl.luts, 8u);  // one SRL16 per bit
+  EXPECT_LT(srl.slices, ff.slices);
+}
+
+}  // namespace
+}  // namespace jhdl

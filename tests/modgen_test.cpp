@@ -1,0 +1,499 @@
+// Tests for the module generators: adders, registers, counters,
+// comparators, the KCM constant multiplier (exhaustive and randomized
+// property sweeps across parameters), the generic array multiplier, and
+// the FIR filter.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hdl/error.h"
+#include "hdl/hwsystem.h"
+#include "modgen/modgen.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace jhdl {
+namespace {
+
+using modgen::ArrayMultiplier;
+using modgen::CarryChainAdder;
+using modgen::ConstComparator;
+using modgen::Counter;
+using modgen::EqComparator;
+using modgen::FIRFilter;
+using modgen::RegisterBank;
+using modgen::RippleAdder;
+using modgen::ShiftRegister;
+using modgen::Subtractor;
+using modgen::VirtexKCMMultiplier;
+
+std::uint64_t mask(std::size_t w) {
+  return w >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << w) - 1;
+}
+
+// ---------------------------------------------------------------- adders
+
+class AdderWidthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdderWidthTest, CarryChainAdderRandomized) {
+  const std::size_t w = GetParam();
+  HWSystem hw;
+  Wire* a = new Wire(&hw, w, "a");
+  Wire* b = new Wire(&hw, w, "b");
+  Wire* s = new Wire(&hw, w, "s");
+  Wire* cin = new Wire(&hw, 1, "cin");
+  Wire* cout = new Wire(&hw, 1, "cout");
+  new CarryChainAdder(&hw, a, b, s, cin, cout);
+  Simulator sim(hw);
+  Rng rng(w * 7919);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::uint64_t x = rng.next() & mask(w);
+    std::uint64_t y = rng.next() & mask(w);
+    std::uint64_t c = rng.next() & 1;
+    sim.put(a, x);
+    sim.put(b, y);
+    sim.put(cin, c);
+    unsigned __int128 full =
+        static_cast<unsigned __int128>(x) + y + c;
+    EXPECT_EQ(sim.get(s).to_uint(),
+              static_cast<std::uint64_t>(full) & mask(w));
+    EXPECT_EQ(sim.get(cout).to_uint(),
+              static_cast<std::uint64_t>(full >> w) & 1);
+  }
+}
+
+TEST_P(AdderWidthTest, RippleAdderMatchesCarryChain) {
+  const std::size_t w = GetParam();
+  HWSystem hw;
+  Wire* a = new Wire(&hw, w, "a");
+  Wire* b = new Wire(&hw, w, "b");
+  Wire* s1 = new Wire(&hw, w, "s1");
+  Wire* s2 = new Wire(&hw, w, "s2");
+  new CarryChainAdder(&hw, a, b, s1);
+  new RippleAdder(&hw, a, b, s2);
+  Simulator sim(hw);
+  Rng rng(w);
+  for (int iter = 0; iter < 100; ++iter) {
+    sim.put(a, rng.next() & mask(w));
+    sim.put(b, rng.next() & mask(w));
+    EXPECT_EQ(sim.get(s1).to_uint(), sim.get(s2).to_uint());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidthTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 13, 16, 24, 32));
+
+TEST(AdderTest, WidthMismatchThrows) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 4, "a");
+  Wire* b = new Wire(&hw, 5, "b");
+  Wire* s = new Wire(&hw, 4, "s");
+  EXPECT_THROW(new CarryChainAdder(&hw, a, b, s), HdlError);
+}
+
+TEST(SubtractorTest, Exhaustive4Bit) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 4, "a");
+  Wire* b = new Wire(&hw, 4, "b");
+  Wire* s = new Wire(&hw, 4, "s");
+  new Subtractor(&hw, a, b, s);
+  Simulator sim(hw);
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    for (std::uint64_t y = 0; y < 16; ++y) {
+      sim.put(a, x);
+      sim.put(b, y);
+      EXPECT_EQ(sim.get(s).to_uint(), (x - y) & 0xF);
+    }
+  }
+}
+
+// ------------------------------------------------------------- registers
+
+TEST(RegisterTest, BankDelaysOneCycle) {
+  HWSystem hw;
+  Wire* d = new Wire(&hw, 8, "d");
+  Wire* q = new Wire(&hw, 8, "q");
+  new RegisterBank(&hw, d, q);
+  Simulator sim(hw);
+  sim.put(d, 0xAB);
+  sim.cycle();
+  EXPECT_EQ(sim.get(q).to_uint(), 0xABu);
+  sim.put(d, 0x12);
+  EXPECT_EQ(sim.get(q).to_uint(), 0xABu);
+  sim.cycle();
+  EXPECT_EQ(sim.get(q).to_uint(), 0x12u);
+}
+
+TEST(RegisterTest, EnableHolds) {
+  HWSystem hw;
+  Wire* d = new Wire(&hw, 4, "d");
+  Wire* q = new Wire(&hw, 4, "q");
+  Wire* ce = new Wire(&hw, 1, "ce");
+  new RegisterBank(&hw, d, q, ce);
+  Simulator sim(hw);
+  sim.put(d, 7);
+  sim.put(ce, 1);
+  sim.cycle();
+  EXPECT_EQ(sim.get(q).to_uint(), 7u);
+  sim.put(d, 3);
+  sim.put(ce, 0);
+  sim.cycle(5);
+  EXPECT_EQ(sim.get(q).to_uint(), 7u);
+}
+
+TEST(ShiftRegisterTest, DepthNDelaysN) {
+  for (std::size_t depth : {1u, 2u, 5u, 9u}) {
+    HWSystem hw;
+    Wire* in = new Wire(&hw, 4, "in");
+    Wire* out = new Wire(&hw, 4, "out");
+    new ShiftRegister(&hw, in, out, depth);
+    Simulator sim(hw);
+    // Feed a recognizable sequence.
+    // Value (t+1) is driven before cycle t+1; after k cycles the output
+    // shows the value driven before cycle k-depth+1, i.e. k-depth+1.
+    for (std::size_t t = 0; t < depth + 4; ++t) {
+      sim.put(in, (t + 1) & 0xF);
+      sim.cycle();
+      if (t + 1 >= depth) {
+        EXPECT_EQ(sim.get(out).to_uint(), (t + 2 - depth) & 0xF)
+            << "depth=" << depth << " t=" << t;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- counter
+
+TEST(CounterTest, CountsAndWraps) {
+  HWSystem hw;
+  Wire* q = new Wire(&hw, 3, "q");
+  new Counter(&hw, q);
+  Simulator sim(hw);
+  for (std::uint64_t t = 1; t <= 20; ++t) {
+    sim.cycle();
+    EXPECT_EQ(sim.get(q).to_uint(), t & 0x7);
+  }
+}
+
+TEST(CounterTest, EnableAndClear) {
+  HWSystem hw;
+  Wire* q = new Wire(&hw, 4, "q");
+  Wire* ce = new Wire(&hw, 1, "ce");
+  Wire* clr = new Wire(&hw, 1, "clr");
+  new Counter(&hw, q, ce, clr);
+  Simulator sim(hw);
+  sim.put(ce, 1);
+  sim.put(clr, 0);
+  sim.cycle(5);
+  EXPECT_EQ(sim.get(q).to_uint(), 5u);
+  sim.put(ce, 0);
+  sim.cycle(3);
+  EXPECT_EQ(sim.get(q).to_uint(), 5u);
+  sim.put(clr, 1);
+  sim.cycle();
+  EXPECT_EQ(sim.get(q).to_uint(), 0u);
+}
+
+// ------------------------------------------------------------ comparators
+
+TEST(ComparatorTest, EqExhaustive) {
+  for (std::size_t w : {1u, 2u, 4u, 5u}) {
+    HWSystem hw;
+    Wire* a = new Wire(&hw, w, "a");
+    Wire* b = new Wire(&hw, w, "b");
+    Wire* eq = new Wire(&hw, 1, "eq");
+    new EqComparator(&hw, a, b, eq);
+    Simulator sim(hw);
+    const std::uint64_t n = std::uint64_t{1} << w;
+    for (std::uint64_t x = 0; x < n; ++x) {
+      for (std::uint64_t y = 0; y < n; ++y) {
+        sim.put(a, x);
+        sim.put(b, y);
+        EXPECT_EQ(sim.get(eq).to_uint(), x == y ? 1u : 0u)
+            << "w=" << w << " x=" << x << " y=" << y;
+      }
+    }
+  }
+}
+
+TEST(ComparatorTest, ConstComparator) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 8, "a");
+  Wire* eq = new Wire(&hw, 1, "eq");
+  new ConstComparator(&hw, a, 0x5C, eq);
+  Simulator sim(hw);
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    sim.put(a, x);
+    EXPECT_EQ(sim.get(eq).to_uint(), x == 0x5C ? 1u : 0u);
+  }
+}
+
+// ------------------------------------------------------------------- KCM
+
+TEST(KcmTest, ConstantWidths) {
+  EXPECT_EQ(VirtexKCMMultiplier::width_of_constant(0), 1u);
+  EXPECT_EQ(VirtexKCMMultiplier::width_of_constant(1), 1u);
+  EXPECT_EQ(VirtexKCMMultiplier::width_of_constant(2), 2u);
+  EXPECT_EQ(VirtexKCMMultiplier::width_of_constant(255), 8u);
+  EXPECT_EQ(VirtexKCMMultiplier::width_of_constant(-1), 1u);
+  EXPECT_EQ(VirtexKCMMultiplier::width_of_constant(-56), 7u);
+  EXPECT_EQ(VirtexKCMMultiplier::width_of_constant(-64), 7u);
+  EXPECT_EQ(VirtexKCMMultiplier::width_of_constant(-65), 8u);
+}
+
+// The paper's running example: 8-bit input, constant -56, signed,
+// pipelined, 12-bit (truncated) product.
+TEST(KcmTest, PaperExample) {
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 8, "m");
+  Wire* p = new Wire(&hw, 12, "p");
+  auto* kcm = new VirtexKCMMultiplier(&hw, m, p, /*signed_mode=*/true,
+                                      /*pipelined_mode=*/true, -56);
+  EXPECT_EQ(kcm->full_width(), 15u);  // 8 + 7
+  EXPECT_GT(kcm->latency(), 0u);
+  Simulator sim(hw);
+  for (std::int64_t x = -128; x < 128; ++x) {
+    sim.put_signed(m, x);
+    sim.cycle(kcm->latency());
+    EXPECT_EQ(sim.get(p).to_uint(),
+              kcm->expected_product(static_cast<std::uint64_t>(x)))
+        << "x=" << x;
+  }
+}
+
+struct KcmParam {
+  std::size_t width;
+  int constant;
+  bool sign;
+  bool pipe;
+};
+
+class KcmSweepTest : public ::testing::TestWithParam<KcmParam> {};
+
+TEST_P(KcmSweepTest, MatchesReference) {
+  const KcmParam prm = GetParam();
+  HWSystem hw;
+  Wire* m = new Wire(&hw, prm.width, "m");
+  const std::size_t full =
+      prm.width + VirtexKCMMultiplier::width_of_constant(prm.constant);
+  Wire* p = new Wire(&hw, full, "p");
+  auto* kcm =
+      new VirtexKCMMultiplier(&hw, m, p, prm.sign, prm.pipe, prm.constant);
+  Simulator sim(hw);
+  const std::uint64_t n = std::uint64_t{1} << std::min<std::size_t>(prm.width, 10);
+  Rng rng(1234);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t x = prm.width <= 10 ? i : (rng.next() & mask(prm.width));
+    sim.put(m, x);
+    if (kcm->latency() > 0) {
+      sim.cycle(kcm->latency());
+    }
+    EXPECT_EQ(sim.get(p).to_uint(), kcm->expected_product(x))
+        << "w=" << prm.width << " c=" << prm.constant << " s=" << prm.sign
+        << " p=" << prm.pipe << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KcmSweepTest,
+    ::testing::Values(
+        KcmParam{4, 5, false, false}, KcmParam{4, 5, true, false},
+        KcmParam{3, 7, false, false}, KcmParam{5, -3, true, false},
+        KcmParam{8, 100, false, false}, KcmParam{8, -56, true, false},
+        KcmParam{8, -56, true, true}, KcmParam{8, 255, false, true},
+        KcmParam{9, 73, true, false}, KcmParam{12, -2048, true, true},
+        KcmParam{16, 12345, false, false}, KcmParam{16, -9876, true, true},
+        KcmParam{24, 999983, true, true}, KcmParam{32, -777777, true, false},
+        KcmParam{8, 0, false, false}, KcmParam{8, 0, true, true},
+        KcmParam{8, 1, true, false}, KcmParam{8, -1, true, false},
+        KcmParam{1, 3, false, false}, KcmParam{2, -2, true, true}));
+
+TEST(KcmTest, TruncatedProductWidths) {
+  // 8x8 unsigned with product widths from 1 to full.
+  for (std::size_t pw = 1; pw <= 16; ++pw) {
+    HWSystem hw;
+    Wire* m = new Wire(&hw, 8, "m");
+    Wire* p = new Wire(&hw, pw, "p");
+    auto* kcm = new VirtexKCMMultiplier(&hw, m, p, false, false, 255);
+    Simulator sim(hw);
+    Rng rng(pw);
+    for (int iter = 0; iter < 64; ++iter) {
+      std::uint64_t x = rng.next() & 0xFF;
+      sim.put(m, x);
+      EXPECT_EQ(sim.get(p).to_uint(), kcm->expected_product(x))
+          << "pw=" << pw << " x=" << x;
+    }
+  }
+}
+
+TEST(KcmTest, ProductTooWideThrows) {
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 8, "m");
+  Wire* p = new Wire(&hw, 17, "p");
+  EXPECT_THROW(new VirtexKCMMultiplier(&hw, m, p, false, false, 255),
+               HdlError);
+}
+
+TEST(KcmTest, PipelineLatencyThroughput) {
+  // A pipelined KCM accepts a new input every cycle; check a streamed
+  // sequence arrives shifted by the latency.
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 16, "m");
+  Wire* p = new Wire(&hw, 30, "p");
+  auto* kcm = new VirtexKCMMultiplier(&hw, m, p, false, true, 12345);
+  Simulator sim(hw);
+  const std::size_t lat = kcm->latency();
+  ASSERT_GT(lat, 1u);
+  std::vector<std::uint64_t> inputs;
+  Rng rng(99);
+  for (int t = 0; t < 50; ++t) {
+    inputs.push_back(rng.next() & 0xFFFF);
+  }
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    sim.put(m, inputs[t]);
+    sim.cycle();
+    if (t + 1 > lat) {
+      EXPECT_EQ(sim.get(p).to_uint(),
+                kcm->expected_product(inputs[t + 1 - lat]))
+          << "t=" << t;
+    }
+  }
+}
+
+// ------------------------------------------------------- array multiplier
+
+class MultTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(MultTest, MatchesReference) {
+  auto [na, nb] = GetParam();
+  HWSystem hw;
+  Wire* a = new Wire(&hw, na, "a");
+  Wire* b = new Wire(&hw, nb, "b");
+  Wire* p = new Wire(&hw, na + nb, "p");
+  new ArrayMultiplier(&hw, a, b, p);
+  Simulator sim(hw);
+  Rng rng(na * 131 + nb);
+  const bool exhaustive = na + nb <= 12;
+  const std::uint64_t xs = exhaustive ? (std::uint64_t{1} << na) : 64;
+  const std::uint64_t ys = exhaustive ? (std::uint64_t{1} << nb) : 64;
+  for (std::uint64_t i = 0; i < xs; ++i) {
+    for (std::uint64_t j = 0; j < ys; ++j) {
+      std::uint64_t x = exhaustive ? i : (rng.next() & mask(na));
+      std::uint64_t y = exhaustive ? j : (rng.next() & mask(nb));
+      sim.put(a, x);
+      sim.put(b, y);
+      EXPECT_EQ(sim.get(p).to_uint(), x * y)
+          << na << "x" << nb << ": " << x << "*" << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MultTest,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                                           std::pair<std::size_t, std::size_t>{4, 1},
+                                           std::pair<std::size_t, std::size_t>{1, 4},
+                                           std::pair<std::size_t, std::size_t>{4, 4},
+                                           std::pair<std::size_t, std::size_t>{6, 6},
+                                           std::pair<std::size_t, std::size_t>{8, 8},
+                                           std::pair<std::size_t, std::size_t>{12, 12},
+                                           std::pair<std::size_t, std::size_t>{16, 16}));
+
+TEST(MultTest, PipelinedStream) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 8, "a");
+  Wire* b = new Wire(&hw, 8, "b");
+  Wire* p = new Wire(&hw, 16, "p");
+  auto* mult = new ArrayMultiplier(&hw, a, b, p, /*pipelined=*/true);
+  Simulator sim(hw);
+  // Operands held constant while the pipeline drains (systolic model).
+  sim.put(a, 123);
+  sim.put(b, 231);
+  sim.cycle(mult->latency());
+  EXPECT_EQ(sim.get(p).to_uint(), 123u * 231u);
+}
+
+// -------------------------------------------------------------------- FIR
+
+TEST(FirTest, ImpulseResponseIsCoefficients) {
+  const std::vector<int> coeffs = {3, -5, 7, 11};
+  HWSystem hw;
+  Wire* x = new Wire(&hw, 8, "x");
+  const std::size_t yw = FIRFilter::required_output_width(8, coeffs);
+  Wire* y = new Wire(&hw, yw, "y");
+  auto* fir = new FIRFilter(&hw, x, y, coeffs, /*pipelined=*/false);
+  EXPECT_EQ(fir->latency(), 0u);
+  Simulator sim(hw);
+  // Drive an impulse: x = 1 for one cycle, then 0.
+  sim.put_signed(x, 1);
+  EXPECT_EQ(sim.get(y).to_int(), 3);
+  sim.cycle();
+  sim.put_signed(x, 0);
+  EXPECT_EQ(sim.get(y).to_int(), -5);
+  sim.cycle();
+  EXPECT_EQ(sim.get(y).to_int(), 7);
+  sim.cycle();
+  EXPECT_EQ(sim.get(y).to_int(), 11);
+  sim.cycle();
+  EXPECT_EQ(sim.get(y).to_int(), 0);
+}
+
+TEST(FirTest, RandomSequenceMatchesReference) {
+  const std::vector<int> coeffs = {-7, 13, 0, 25, -1};
+  HWSystem hw;
+  Wire* x = new Wire(&hw, 10, "x");
+  const std::size_t yw = FIRFilter::required_output_width(10, coeffs);
+  Wire* y = new Wire(&hw, yw, "y");
+  new FIRFilter(&hw, x, y, coeffs, /*pipelined=*/false);
+  Simulator sim(hw);
+  Rng rng(5);
+  std::vector<std::int64_t> history;
+  for (int t = 0; t < 100; ++t) {
+    std::int64_t xt = rng.range(-512, 511);
+    history.push_back(xt);
+    sim.put_signed(x, xt);
+    std::int64_t want = 0;
+    for (std::size_t k = 0; k < coeffs.size(); ++k) {
+      if (history.size() > k) {
+        want += coeffs[k] * history[history.size() - 1 - k];
+      }
+    }
+    EXPECT_EQ(sim.get(y).to_int(), want) << "t=" << t;
+    sim.cycle();
+  }
+}
+
+TEST(FirTest, PipelinedMatchesUnpipelined) {
+  const std::vector<int> coeffs = {4, -9, 2};
+  HWSystem hw;
+  Wire* x = new Wire(&hw, 8, "x");
+  const std::size_t yw = FIRFilter::required_output_width(8, coeffs);
+  Wire* y1 = new Wire(&hw, yw, "y1");
+  Wire* y2 = new Wire(&hw, yw, "y2");
+  new FIRFilter(&hw, x, y1, coeffs, false);
+  auto* fp = new FIRFilter(&hw, x, y2, coeffs, true);
+  ASSERT_GT(fp->latency(), 0u);
+  Simulator sim(hw);
+  Rng rng(17);
+  std::vector<std::int64_t> unpiped;
+  for (int t = 0; t < 60; ++t) {
+    sim.put_signed(x, rng.range(-128, 127));
+    unpiped.push_back(sim.get(y1).to_int());
+    sim.cycle();
+    if (static_cast<std::size_t>(t) + 1 > fp->latency()) {
+      EXPECT_EQ(sim.get(y2).to_int(), unpiped[t + 1 - fp->latency()])
+          << "t=" << t;
+    }
+  }
+}
+
+TEST(FirTest, OutputWidthValidation) {
+  HWSystem hw;
+  Wire* x = new Wire(&hw, 8, "x");
+  Wire* y = new Wire(&hw, 4, "y");
+  EXPECT_THROW(new FIRFilter(&hw, x, y, {1, 2, 3}, false), HdlError);
+  EXPECT_THROW(new FIRFilter(&hw, x, y, {}, false), HdlError);
+}
+
+}  // namespace
+}  // namespace jhdl

@@ -1,0 +1,229 @@
+// Tests for the co-simulation network stack: protocol encode/decode,
+// framed sockets, the black-box SimServer/SimClient pair (Figure 4), and
+// the Web-CAD / JavaCAD baseline runners.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "baselines/remote_eval.h"
+#include "core/applet.h"
+#include "core/generators.h"
+#include "net/protocol.h"
+#include "net/sim_client.h"
+#include "net/sim_server.h"
+#include "util/rng.h"
+
+namespace jhdl {
+namespace {
+
+using namespace jhdl::core;
+using namespace jhdl::net;
+
+std::unique_ptr<BlackBoxModel> make_kcm_blackbox(int constant = -56) {
+  KcmGenerator gen;
+  ParamMap params = ParamMap()
+                        .set("input_width", std::int64_t{8})
+                        .set("constant", std::int64_t{constant})
+                        .set("signed_mode", true)
+                        .resolved(gen.params());
+  return std::make_unique<BlackBoxModel>(gen.build(params), gen.name());
+}
+
+TEST(ProtocolTest, EncodeDecodeAllTypes) {
+  Message set;
+  set.type = MsgType::SetInput;
+  set.name = "multiplicand";
+  set.value = BitVector::from_uint(8, 0x5A);
+  Message back = decode(encode(set));
+  EXPECT_EQ(back.type, MsgType::SetInput);
+  EXPECT_EQ(back.name, "multiplicand");
+  EXPECT_EQ(back.value.to_uint(), 0x5Au);
+
+  Message cyc;
+  cyc.type = MsgType::Cycle;
+  cyc.count = 12345;
+  EXPECT_EQ(decode(encode(cyc)).count, 12345u);
+
+  Message eval;
+  eval.type = MsgType::Eval;
+  eval.values["a"] = BitVector::from_uint(4, 7);
+  eval.values["b"] = BitVector::from_string("10x1");
+  eval.count = 2;
+  Message eback = decode(encode(eval));
+  EXPECT_EQ(eback.values.size(), 2u);
+  EXPECT_EQ(eback.values["a"].to_uint(), 7u);
+  EXPECT_EQ(eback.values["b"].to_string(), "10x1");  // X survives the wire
+  EXPECT_EQ(eback.count, 2u);
+
+  Message err;
+  err.type = MsgType::Error;
+  err.text = "boom";
+  EXPECT_EQ(decode(encode(err)).text, "boom");
+}
+
+TEST(ProtocolTest, MalformedPayloadThrows) {
+  std::vector<std::uint8_t> junk = {99};
+  EXPECT_THROW(decode(junk), std::runtime_error);
+}
+
+TEST(SocketTest, FrameRoundTrip) {
+  TcpListener listener;
+  std::vector<std::uint8_t> got;
+  std::thread server([&] {
+    TcpStream s = listener.accept();
+    got = s.recv_frame();
+    s.send_frame({9, 8, 7});
+  });
+  TcpStream c = TcpStream::connect(listener.port());
+  c.send_frame({1, 2, 3, 4});
+  auto reply = c.recv_frame();
+  server.join();
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(reply, (std::vector<std::uint8_t>{9, 8, 7}));
+}
+
+TEST(SocketTest, ConnectFailureThrows) {
+  // A port with nothing listening (we just closed it).
+  std::uint16_t dead_port;
+  {
+    TcpListener listener;
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(TcpStream::connect(dead_port), NetError);
+}
+
+TEST(SimServerTest, HandshakeAndOperations) {
+  SimServer server(make_kcm_blackbox());
+  std::uint16_t port = server.start();
+  SimClient client(port);
+  EXPECT_EQ(client.ip_name(), "kcm-multiplier");
+  EXPECT_EQ(client.latency(), 0u);
+
+  client.set_input("multiplicand", BitVector::from_int(8, -100));
+  EXPECT_EQ(client.get_output("product").to_uint(),
+            static_cast<std::uint64_t>(-56 * -100) & 0x7FFF);
+  client.cycle(3);
+  client.reset();
+  EXPECT_GE(client.round_trips(), 5u);
+  client.bye();
+  server.stop();
+  EXPECT_GE(server.requests_served(), 5u);
+}
+
+TEST(SimServerTest, RemoteErrorsPropagate) {
+  SimServer server(make_kcm_blackbox());
+  SimClient client(server.start());
+  EXPECT_THROW(client.get_output("nonexistent"), std::runtime_error);
+  // The session survives an error reply.
+  client.set_input("multiplicand", BitVector::from_uint(8, 3));
+  EXPECT_EQ(client.get_output("product").to_uint(),
+            static_cast<std::uint64_t>(-56 * 3) & 0x7FFF);
+  client.bye();
+}
+
+TEST(SimServerTest, EvalTransaction) {
+  SimServer server(make_kcm_blackbox());
+  SimClient client(server.start());
+  std::map<std::string, BitVector> inputs;
+  inputs["multiplicand"] = BitVector::from_int(8, 25);
+  auto outputs = client.eval(inputs, 0);
+  ASSERT_EQ(outputs.count("product"), 1u);
+  EXPECT_EQ(outputs["product"].to_uint(),
+            static_cast<std::uint64_t>(-56 * 25) & 0x7FFF);
+  EXPECT_EQ(client.round_trips(), 2u);  // hello + eval
+  client.bye();
+}
+
+// Figure 4: a system simulator integrates two black-box IP applets over
+// sockets and cross-checks against a monolithic local simulation.
+TEST(Figure4Test, TwoBlackBoxesMatchLocal) {
+  SimServer server1(make_kcm_blackbox(-56));
+  SimServer server2(make_kcm_blackbox(91));
+  SimClient ip1(server1.start());
+  SimClient ip2(server2.start());
+
+  Rng rng(2024);
+  for (int t = 0; t < 50; ++t) {
+    std::int64_t x = rng.range(-128, 127);
+    // System simulator drives both IPs with the same stimulus and sums
+    // their responses (a toy system model).
+    std::map<std::string, BitVector> in;
+    in["multiplicand"] = BitVector::from_int(8, x);
+    auto o1 = ip1.eval(in, 0);
+    auto o2 = ip2.eval(in, 0);
+    std::int64_t sum = o1["product"].to_int() + o2["product"].to_int();
+    std::int64_t want = -56 * x + 91 * x;
+    EXPECT_EQ(sum, want) << "x=" << x;
+  }
+  ip1.bye();
+  ip2.bye();
+}
+
+TEST(BaselineTest, AllStylesAgreeOnOutputs) {
+  // The same workload must produce identical outputs through every
+  // delivery style.
+  std::vector<baselines::Vector> workload;
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    baselines::Vector v;
+    v.inputs["multiplicand"] = BitVector::from_int(8, rng.range(-128, 127));
+    v.cycles = 0;
+    workload.push_back(std::move(v));
+  }
+
+  auto local_model = make_kcm_blackbox();
+  auto local = baselines::run_applet_local(*local_model, workload);
+
+  SimServer server(make_kcm_blackbox());
+  std::uint16_t port = server.start();
+  SimClient webcad_client(port);
+  auto webcad = baselines::run_webcad(webcad_client, workload);
+  webcad_client.bye();
+
+  // A fresh session for the JavaCAD-style run (independent model state).
+  SimServer server2(make_kcm_blackbox());
+  SimClient javacad_client(server2.start());
+  auto javacad = baselines::run_javacad(javacad_client, workload);
+  javacad_client.bye();
+
+  ASSERT_EQ(local.outputs.size(), workload.size());
+  ASSERT_EQ(webcad.outputs.size(), workload.size());
+  ASSERT_EQ(javacad.outputs.size(), workload.size());
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    EXPECT_EQ(local.outputs[i].at("product").to_uint(),
+              webcad.outputs[i].at("product").to_uint());
+    EXPECT_EQ(local.outputs[i].at("product").to_uint(),
+              javacad.outputs[i].at("product").to_uint());
+  }
+
+  // Round-trip accounting: local uses none; JavaCAD one per vector;
+  // Web-CAD one per event (set + outputs; cycles=0 skips the clock call).
+  EXPECT_EQ(local.round_trips, 0u);
+  EXPECT_EQ(javacad.round_trips, workload.size());
+  EXPECT_EQ(webcad.round_trips, workload.size() * 2);
+}
+
+TEST(BaselineTest, InjectedLatencyDominatesRemoteStyles) {
+  std::vector<baselines::Vector> workload;
+  for (int i = 0; i < 5; ++i) {
+    baselines::Vector v;
+    v.inputs["multiplicand"] = BitVector::from_int(8, i * 3);
+    v.cycles = 0;
+    workload.push_back(std::move(v));
+  }
+  SimServer server(make_kcm_blackbox());
+  // 5 ms synthetic RTT: 5 vectors * 2 round trips * 5 ms >= 50 ms.
+  SimClient client(server.start(), 5.0);
+  auto webcad = baselines::run_webcad(client, workload);
+  EXPECT_GE(webcad.wall_seconds, 0.045);
+  client.bye();
+
+  auto local_model = make_kcm_blackbox();
+  auto local = baselines::run_applet_local(*local_model, workload);
+  EXPECT_LT(local.wall_seconds, webcad.wall_seconds);
+  // The analytic model agrees on ordering at any RTT.
+  EXPECT_LT(local.modeled_seconds(50.0), webcad.modeled_seconds(50.0));
+}
+
+}  // namespace
+}  // namespace jhdl

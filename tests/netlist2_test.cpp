@@ -1,0 +1,177 @@
+// Tests for the EDIF reader: s-expression parsing and full round trips
+// through write_edif() -> read_edif() with connectivity checks.
+#include <gtest/gtest.h>
+
+#include "hdl/hwsystem.h"
+#include "hdl/visitor.h"
+#include "modgen/modgen.h"
+#include "netlist/edif_reader.h"
+#include "netlist/netlist.h"
+#include "tech/virtex.h"
+
+namespace jhdl {
+namespace {
+
+using namespace jhdl::netlist;
+
+TEST(SexpTest, ParsesAtomsListsStrings) {
+  auto root = parse_sexp("(a b (c \"quoted string\") 42)");
+  ASSERT_FALSE(root->is_atom);
+  EXPECT_EQ(root->keyword(), "a");
+  ASSERT_EQ(root->items.size(), 4u);
+  EXPECT_EQ(root->items[1]->atom, "b");
+  const Sexp* c = root->find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->items[1]->atom, "quoted string");
+  EXPECT_EQ(root->items[3]->atom, "42");
+}
+
+TEST(SexpTest, MalformedInputThrows) {
+  EXPECT_THROW(parse_sexp("(unbalanced"), std::runtime_error);
+  EXPECT_THROW(parse_sexp("(a) trailing"), std::runtime_error);
+  EXPECT_THROW(parse_sexp("(\"unterminated)"), std::runtime_error);
+}
+
+class FullAdder : public Cell {
+ public:
+  FullAdder(Node* parent, Wire* a, Wire* b, Wire* ci, Wire* s, Wire* co)
+      : Cell(parent, "fulladder") {
+    set_type_name("fulladder");
+    port_in("a", a);
+    port_in("b", b);
+    port_in("ci", ci);
+    port_out("s", s);
+    port_out("co", co);
+    Wire* t1 = new Wire(this, 1, "t1");
+    Wire* t2 = new Wire(this, 1, "t2");
+    Wire* t3 = new Wire(this, 1, "t3");
+    new tech::And2(this, a, b, t1);
+    new tech::And2(this, a, ci, t2);
+    new tech::And2(this, b, ci, t3);
+    new tech::Or3(this, t1, t2, t3, co);
+    new tech::Xor3(this, a, b, ci, s);
+  }
+};
+
+TEST(EdifReaderTest, FullAdderRoundTrip) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* b = new Wire(&hw, 1, "b");
+  Wire* ci = new Wire(&hw, 1, "ci");
+  Wire* s = new Wire(&hw, 1, "s");
+  Wire* co = new Wire(&hw, 1, "co");
+  auto* fa = new FullAdder(&hw, a, b, ci, s, co);
+
+  EdifDoc doc = read_edif(write_edif(*fa));
+  EXPECT_EQ(doc.design_name, "fulladder");
+  EXPECT_EQ(doc.top_cell, "fulladder");
+  ASSERT_EQ(doc.libraries.size(), 2u);
+  EXPECT_EQ(doc.libraries[0].name, "virtex");
+  EXPECT_EQ(doc.libraries[1].name, "work");
+
+  const EdifCell* top = doc.find_cell("fulladder");
+  ASSERT_NE(top, nullptr);
+  EXPECT_TRUE(top->has_contents);
+  EXPECT_EQ(top->ports.size(), 5u);
+  EXPECT_EQ(top->instances.size(), 5u);
+  // 5 ports + 3 internal nets.
+  EXPECT_EQ(top->nets.size(), 8u);
+
+  const EdifCell* and2 = doc.find_cell("and2");
+  ASSERT_NE(and2, nullptr);
+  EXPECT_FALSE(and2->has_contents);
+  EXPECT_EQ(and2->ports.size(), 3u);
+
+  // Connectivity: net t1 joins the or3's input and one and2's output.
+  const EdifNet* t1 = nullptr;
+  for (const EdifNet& net : top->nets) {
+    if (net.name == "t1") t1 = &net;
+  }
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(t1->joined.size(), 2u);
+  // Every port ref on every net resolves to a known instance + port.
+  for (const EdifNet& net : top->nets) {
+    for (const EdifPortRef& ref : net.joined) {
+      if (ref.instance.empty()) {
+        bool is_top_port = false;
+        for (const EdifPort& p : top->ports) {
+          is_top_port |= (p.name == ref.port);
+        }
+        EXPECT_TRUE(is_top_port) << net.name << " -> " << ref.port;
+      } else {
+        const EdifInstance* inst = nullptr;
+        for (const EdifInstance& i : top->instances) {
+          if (i.name == ref.instance) inst = &i;
+        }
+        ASSERT_NE(inst, nullptr) << ref.instance;
+        const EdifCell* def = doc.find_cell(inst->cell_ref);
+        ASSERT_NE(def, nullptr);
+        bool has_port = false;
+        for (const EdifPort& p : def->ports) has_port |= (p.name == ref.port);
+        EXPECT_TRUE(has_port) << inst->cell_ref << "." << ref.port;
+      }
+    }
+  }
+}
+
+TEST(EdifReaderTest, KcmRoundTripWithArraysAndProperties) {
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 8, "m");
+  Wire* p = new Wire(&hw, 12, "p");
+  auto* kcm = new modgen::VirtexKCMMultiplier(&hw, m, p, true, false, -56);
+
+  EdifDoc doc = read_edif(write_edif(*kcm));
+  const EdifCell* top = doc.find_cell(doc.top_cell);
+  ASSERT_NE(top, nullptr);
+  // Array ports with widths.
+  bool found_mult = false;
+  for (const EdifPort& port : top->ports) {
+    if (port.name == "multiplicand") {
+      found_mult = true;
+      EXPECT_EQ(port.width, 8);
+      EXPECT_EQ(port.direction, "INPUT");
+    }
+  }
+  EXPECT_TRUE(found_mult);
+  // ROM instances carry INIT properties through the round trip.
+  bool found_init = false;
+  for (const EdifLibrary& lib : doc.libraries) {
+    for (const EdifCell& cell : lib.cells) {
+      for (const EdifInstance& inst : cell.instances) {
+        if (inst.cell_ref.rfind("rom16", 0) == 0) {
+          found_init |= inst.properties.count("INIT_0") > 0;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found_init);
+  // Member references parse with indices.
+  bool found_member = false;
+  for (const EdifNet& net : top->nets) {
+    for (const EdifPortRef& ref : net.joined) {
+      found_member |= (ref.member >= 0);
+    }
+  }
+  EXPECT_TRUE(found_member);
+}
+
+TEST(EdifReaderTest, FlattenedRoundTripCountsPrimitives) {
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 8, "m");
+  Wire* p = new Wire(&hw, 15, "p");
+  auto* kcm = new modgen::VirtexKCMMultiplier(&hw, m, p, false, false, 77);
+  const auto prims = collect_primitives(*kcm).size();
+
+  EdifDoc doc = read_edif(write_edif(*kcm, {.flatten = true}));
+  const EdifCell* top = doc.find_cell(doc.top_cell);
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->instances.size(), prims);
+}
+
+TEST(EdifReaderTest, RejectsNonEdif) {
+  EXPECT_THROW(read_edif("(notedif x)"), std::runtime_error);
+  EXPECT_THROW(read_edif("(edif x)"), std::runtime_error);  // no design
+}
+
+}  // namespace
+}  // namespace jhdl

@@ -1,0 +1,278 @@
+// Tests for the netlist module: scoped design construction, EDIF / VHDL /
+// Verilog text generation, JSON round-trip, flattening, and hierarchy
+// violation detection.
+#include <gtest/gtest.h>
+
+#include "hdl/error.h"
+#include "hdl/hwsystem.h"
+#include "modgen/modgen.h"
+#include "netlist/netlist.h"
+#include "tech/virtex.h"
+
+namespace jhdl {
+namespace {
+
+using netlist::Design;
+using netlist::JsonNetlist;
+using netlist::NetlistOptions;
+
+// The paper's full adder as a reusable cell.
+class FullAdder : public Cell {
+ public:
+  FullAdder(Node* parent, Wire* a, Wire* b, Wire* ci, Wire* s, Wire* co)
+      : Cell(parent, "fulladder") {
+    set_type_name("fulladder");
+    port_in("a", a);
+    port_in("b", b);
+    port_in("ci", ci);
+    port_out("s", s);
+    port_out("co", co);
+    Wire* t1 = new Wire(this, 1, "t1");
+    Wire* t2 = new Wire(this, 1, "t2");
+    Wire* t3 = new Wire(this, 1, "t3");
+    new tech::And2(this, a, b, t1);
+    new tech::And2(this, a, ci, t2);
+    new tech::And2(this, b, ci, t3);
+    new tech::Or3(this, t1, t2, t3, co);
+    new tech::Xor3(this, a, b, ci, s);
+  }
+};
+
+struct FaFixture {
+  HWSystem hw;
+  FullAdder* fa;
+  FaFixture() {
+    Wire* a = new Wire(&hw, 1, "a");
+    Wire* b = new Wire(&hw, 1, "b");
+    Wire* ci = new Wire(&hw, 1, "ci");
+    Wire* s = new Wire(&hw, 1, "s");
+    Wire* co = new Wire(&hw, 1, "co");
+    fa = new FullAdder(&hw, a, b, ci, s, co);
+  }
+};
+
+TEST(DesignTest, FullAdderScoping) {
+  FaFixture f;
+  Design design(*f.fa, {});
+  const auto& top = design.top_def();
+  EXPECT_EQ(top.name, "fulladder");
+  EXPECT_EQ(top.ports.size(), 5u);
+  EXPECT_EQ(top.instances.size(), 5u);
+  EXPECT_EQ(top.internal_nets.size(), 3u);  // t1 t2 t3
+  auto stats = design.stats();
+  EXPECT_EQ(stats.leaf_definitions, 3u);  // and2, or3, xor3
+  EXPECT_EQ(stats.definitions, 4u);
+}
+
+TEST(DesignTest, LeafDefsShared) {
+  FaFixture f;
+  Design design(*f.fa, {});
+  // Three and2 instances share one leaf definition.
+  std::size_t and2_defs = 0;
+  for (const auto& def : design.defs()) {
+    if (def->name == "and2") ++and2_defs;
+  }
+  EXPECT_EQ(and2_defs, 1u);
+}
+
+TEST(DesignTest, HierarchyViolationDetected) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* o1 = new Wire(&hw, 1, "o1");
+  Cell* blockA = new Cell(&hw, "blockA");
+  Cell* blockB = new Cell(&hw, "blockB");
+  Wire* hidden = new Wire(blockA, 1, "hidden");
+  new tech::Inv(blockA, a, hidden);
+  // blockB reads `hidden` although neither block exposes it via a port.
+  new tech::Buf(blockB, hidden, o1);
+  // Building the hierarchical design must fail with a diagnostic.
+  EXPECT_THROW(
+      {
+        HWSystem& root = hw;
+        Design design(root, {});
+      },
+      HdlError);
+}
+
+TEST(DesignTest, FlattenProducesSingleDef) {
+  FaFixture f;
+  Design design(*f.fa, {.flatten = true, .top_name = ""});
+  auto stats = design.stats();
+  // Leaf defs + exactly one composite (the flat top).
+  EXPECT_EQ(stats.definitions - stats.leaf_definitions, 1u);
+  EXPECT_EQ(design.top_def().instances.size(), 5u);
+}
+
+TEST(DesignTest, TopNameOverride) {
+  FaFixture f;
+  Design design(*f.fa, {.flatten = false, .top_name = "my top!"});
+  EXPECT_EQ(design.top_def().name, "my_top_");
+}
+
+TEST(EdifTest, StructureAndProperties) {
+  FaFixture f;
+  std::string edif = netlist::write_edif(*f.fa);
+  EXPECT_NE(edif.find("(edif fulladder"), std::string::npos);
+  EXPECT_NE(edif.find("(edifVersion 2 0 0)"), std::string::npos);
+  EXPECT_NE(edif.find("(library virtex"), std::string::npos);
+  EXPECT_NE(edif.find("(cell and2"), std::string::npos);
+  EXPECT_NE(edif.find("(instance"), std::string::npos);
+  EXPECT_NE(edif.find("(net"), std::string::npos);
+  EXPECT_NE(edif.find("(design fulladder"), std::string::npos);
+  // Balanced parentheses.
+  int depth = 0;
+  for (char c : edif) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(EdifTest, LutInitPropertyEmitted) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* b = new Wire(&hw, 1, "b");
+  Wire* o = new Wire(&hw, 1, "o");
+  Cell* wrap = new Cell(&hw, "wrap");
+  // Build inside a composite cell with ports so hierarchy is legal.
+  class LutWrap : public Cell {
+   public:
+    LutWrap(Node* p, Wire* a, Wire* b, Wire* o) : Cell(p, "lutwrap") {
+      port_in("a", a);
+      port_in("b", b);
+      port_out("o", o);
+      new tech::Lut2(this, a, b, o, 0x8);
+    }
+  };
+  auto* lw = new LutWrap(wrap, a, b, o);
+  std::string edif = netlist::write_edif(*lw);
+  EXPECT_NE(edif.find("(property INIT (string \"0008\"))"), std::string::npos);
+}
+
+TEST(VhdlTest, EntitiesAndComponents) {
+  FaFixture f;
+  std::string vhdl = netlist::write_vhdl(*f.fa);
+  EXPECT_NE(vhdl.find("entity fulladder is"), std::string::npos);
+  EXPECT_NE(vhdl.find("architecture structural of fulladder"),
+            std::string::npos);
+  EXPECT_NE(vhdl.find("component and2"), std::string::npos);
+  EXPECT_NE(vhdl.find("signal t1 : std_logic;"), std::string::npos);
+  EXPECT_NE(vhdl.find("port map"), std::string::npos);
+  // Leaf cells must not get entities (they come from the vendor library).
+  EXPECT_EQ(vhdl.find("entity and2"), std::string::npos);
+}
+
+TEST(VhdlTest, ReservedWordsRenamed) {
+  HWSystem hw;
+  class BadNames : public Cell {
+   public:
+    BadNames(Node* p, Wire* in_w, Wire* out_w) : Cell(p, "signal") {
+      set_type_name("signal");
+      port_in("in", in_w);
+      port_out("out", out_w);
+      new tech::Inv(this, in_w, out_w);
+    }
+  };
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* o = new Wire(&hw, 1, "o");
+  auto* cell = new BadNames(&hw, a, o);
+  std::string vhdl = netlist::write_vhdl(*cell);
+  EXPECT_NE(vhdl.find("entity signal_v is"), std::string::npos);
+  EXPECT_NE(vhdl.find("in_v : in std_logic"), std::string::npos);
+  EXPECT_NE(vhdl.find("out_v : out std_logic"), std::string::npos);
+}
+
+TEST(VerilogTest, ModulesAndInstances) {
+  FaFixture f;
+  std::string v = netlist::write_verilog(*f.fa);
+  EXPECT_NE(v.find("module fulladder ("), std::string::npos);
+  EXPECT_NE(v.find("module and2 ("), std::string::npos);  // leaf stub
+  EXPECT_NE(v.find("wire t1;"), std::string::npos);
+  EXPECT_NE(v.find(".i0("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(VerilogTest, VectorPortsAndConcat) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 4, "a");
+  Wire* b = new Wire(&hw, 4, "b");
+  Wire* s = new Wire(&hw, 4, "s");
+  auto* add = new modgen::CarryChainAdder(&hw, a, b, s);
+  std::string v = netlist::write_verilog(*add);
+  EXPECT_NE(v.find("input [3:0] a;"), std::string::npos);
+  EXPECT_NE(v.find("output [3:0] s;"), std::string::npos);
+  EXPECT_NE(v.find("a[0]"), std::string::npos);
+}
+
+TEST(JsonNetlistTest, RoundTrip) {
+  FaFixture f;
+  std::string text = netlist::write_json(*f.fa);
+  JsonNetlist doc = netlist::read_json(text);
+  EXPECT_EQ(doc.top, "fulladder");
+  const netlist::JsonDef* top = doc.find_def("fulladder");
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->ports.size(), 5u);
+  EXPECT_EQ(top->instances.size(), 5u);
+  EXPECT_EQ(top->nets.size(), 3u);
+  const netlist::JsonDef* and2 = doc.find_def("and2");
+  ASSERT_NE(and2, nullptr);
+  EXPECT_TRUE(and2->leaf);
+  // Every instance connection resolves to a port or an internal net.
+  for (const auto& inst : top->instances) {
+    for (const auto& conn : inst.conns) {
+      for (const auto& bit : conn.bits) {
+        bool is_port = false;
+        for (const auto& p : top->ports) is_port |= (p.name == bit.base);
+        bool is_net = false;
+        for (const auto& n : top->nets) is_net |= (n == bit.base);
+        EXPECT_TRUE(is_port || is_net) << bit.base;
+      }
+    }
+  }
+}
+
+TEST(JsonNetlistTest, RejectsForeignDocuments) {
+  EXPECT_THROW(netlist::read_json("{\"format\":\"other\"}"),
+               std::runtime_error);
+  EXPECT_THROW(netlist::read_json("not json at all"), std::runtime_error);
+}
+
+TEST(JsonNetlistTest, KcmCarriesRomInitProperties) {
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 8, "m");
+  Wire* p = new Wire(&hw, 12, "p");
+  auto* kcm = new modgen::VirtexKCMMultiplier(&hw, m, p, true, false, -56);
+  JsonNetlist doc = netlist::read_json(netlist::write_json(*kcm));
+  // Find a ROM instance and check it carries INIT_* properties.
+  bool found_rom_init = false;
+  for (const auto& def : doc.definitions) {
+    for (const auto& inst : def.instances) {
+      if (inst.def.find("rom16") == 0) {
+        found_rom_init |= inst.properties.count("INIT_0") > 0;
+      }
+    }
+  }
+  EXPECT_TRUE(found_rom_init);
+}
+
+TEST(NetlistScaleTest, KcmNetlistsAllFormats) {
+  HWSystem hw;
+  Wire* m = new Wire(&hw, 16, "m");
+  Wire* p = new Wire(&hw, 24, "p");
+  auto* kcm = new modgen::VirtexKCMMultiplier(&hw, m, p, true, true, 12345);
+  std::string edif = netlist::write_edif(*kcm);
+  std::string vhdl = netlist::write_vhdl(*kcm);
+  std::string verilog = netlist::write_verilog(*kcm);
+  std::string json = netlist::write_json(*kcm);
+  EXPECT_GT(edif.size(), 10000u);
+  EXPECT_GT(vhdl.size(), 5000u);
+  EXPECT_GT(verilog.size(), 5000u);
+  EXPECT_GT(json.size(), 10000u);
+  // Flattened EDIF has the same leaf instances, one level.
+  std::string flat = netlist::write_edif(*kcm, {.flatten = true});
+  EXPECT_GT(flat.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace jhdl

@@ -1,0 +1,104 @@
+// Tests for the AppletShell command interface: full scripted sessions,
+// license gating through the shell, and robust error handling for
+// malformed input.
+#include <gtest/gtest.h>
+
+#include "core/generators.h"
+#include "core/shell.h"
+#include "util/strings.h"
+
+namespace jhdl {
+namespace {
+
+using namespace jhdl::core;
+
+Applet make(LicenseTier tier) {
+  return AppletBuilder()
+      .generator(std::make_shared<KcmGenerator>())
+      .license(LicensePolicy::make("cli-user", tier))
+      .build_applet();
+}
+
+TEST(ShellTest, Figure3ScriptedSession) {
+  Applet applet = make(LicenseTier::Licensed);
+  AppletShell shell(applet);
+  std::string out = shell.run_script(
+      "# the paper's example instance\n"
+      "build input_width=8 product_width=12 constant=-56 signed_mode=true "
+      "pipelined_mode=true\n"
+      "area\n"
+      "put multiplicand 100\n"
+      "cycle 2\n"
+      "get product\n");
+  EXPECT_NE(out.find("built:"), std::string::npos);
+  EXPECT_NE(out.find("LUTs"), std::string::npos);
+  EXPECT_NE(out.find("cycled 2"), std::string::npos);
+  // -56*100 = -5600; top 12 of 15 bits of the two's complement.
+  std::uint64_t expected = (static_cast<std::uint64_t>(-5600) & 0x7FFF) >> 3;
+  EXPECT_NE(out.find(format("unsigned %llu",
+                            static_cast<unsigned long long>(expected))),
+            std::string::npos)
+      << out;
+}
+
+TEST(ShellTest, NetlistThroughShell) {
+  Applet applet = make(LicenseTier::Licensed);
+  AppletShell shell(applet);
+  shell.execute("build constant=9 input_width=4");
+  std::string edif = shell.execute("netlist edif");
+  EXPECT_NE(edif.find("(edif"), std::string::npos);
+  EXPECT_NE(shell.execute("netlist nonsense").find("error:"),
+            std::string::npos);
+}
+
+TEST(ShellTest, LicenseGatingSurfacesAsErrors) {
+  Applet applet = make(LicenseTier::Anonymous);
+  AppletShell shell(applet);
+  shell.execute("build constant=5");
+  EXPECT_NE(shell.execute("area").find("LUTs"), std::string::npos);
+  std::string denied = shell.execute("netlist edif");
+  EXPECT_NE(denied.find("error:"), std::string::npos);
+  EXPECT_NE(denied.find("netlister"), std::string::npos);
+  EXPECT_NE(shell.execute("hierarchy").find("error:"), std::string::npos);
+}
+
+TEST(ShellTest, MalformedInputNeverThrows) {
+  Applet applet = make(LicenseTier::Licensed);
+  AppletShell shell(applet);
+  for (const char* bad :
+       {"", "   ", "bogus", "build ===", "build width", "build x=notanum",
+        "put", "put onlyport", "put p notanum", "get", "cycle abc",
+        "area" /* before build */, "netlist"}) {
+    EXPECT_NO_THROW((void)shell.execute(bad)) << bad;
+  }
+  EXPECT_NE(shell.execute("bogus").find("unknown command"),
+            std::string::npos);
+  EXPECT_NE(shell.execute("area").find("error:"), std::string::npos);
+}
+
+TEST(ShellTest, WavesAndAudit) {
+  Applet applet = make(LicenseTier::Licensed);
+  AppletShell shell(applet);
+  std::string out = shell.run_script(
+      "build constant=3 input_width=4\n"
+      "watch product\n"
+      "put multiplicand 2\n"
+      "cycle 3\n"
+      "waves\n"
+      "meter\n"
+      "audit\n");
+  EXPECT_NE(out.find("watching product"), std::string::npos);
+  EXPECT_NE(out.find("product"), std::string::npos);
+  EXPECT_NE(out.find("sim_cycles=3"), std::string::npos);
+  EXPECT_NE(out.find("build granted"), std::string::npos);
+}
+
+TEST(ShellTest, HelpListsCommands) {
+  std::string help = AppletShell::help();
+  for (const char* cmd : {"build", "area", "netlist", "cycle", "watch"}) {
+    EXPECT_NE(help.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+}  // namespace
+}  // namespace jhdl

@@ -1,0 +1,206 @@
+// Unit tests for the util module: logic values, bit vectors, byte streams,
+// CRC32, compression, and string helpers.
+#include <gtest/gtest.h>
+
+#include "util/bitvector.h"
+#include "util/bytestream.h"
+#include "util/compress.h"
+#include "util/crc32.h"
+#include "util/logic.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace jhdl {
+namespace {
+
+TEST(Logic4Test, AndTruthTable) {
+  EXPECT_EQ(logic_and(Logic4::Zero, Logic4::Zero), Logic4::Zero);
+  EXPECT_EQ(logic_and(Logic4::Zero, Logic4::One), Logic4::Zero);
+  EXPECT_EQ(logic_and(Logic4::One, Logic4::One), Logic4::One);
+  // 0 dominates even against X/Z.
+  EXPECT_EQ(logic_and(Logic4::Zero, Logic4::X), Logic4::Zero);
+  EXPECT_EQ(logic_and(Logic4::Zero, Logic4::Z), Logic4::Zero);
+  EXPECT_EQ(logic_and(Logic4::One, Logic4::X), Logic4::X);
+  EXPECT_EQ(logic_and(Logic4::X, Logic4::X), Logic4::X);
+}
+
+TEST(Logic4Test, OrTruthTable) {
+  EXPECT_EQ(logic_or(Logic4::Zero, Logic4::Zero), Logic4::Zero);
+  EXPECT_EQ(logic_or(Logic4::One, Logic4::Zero), Logic4::One);
+  // 1 dominates even against X/Z.
+  EXPECT_EQ(logic_or(Logic4::One, Logic4::X), Logic4::One);
+  EXPECT_EQ(logic_or(Logic4::Zero, Logic4::X), Logic4::X);
+}
+
+TEST(Logic4Test, XorPropagatesX) {
+  EXPECT_EQ(logic_xor(Logic4::One, Logic4::Zero), Logic4::One);
+  EXPECT_EQ(logic_xor(Logic4::One, Logic4::One), Logic4::Zero);
+  EXPECT_EQ(logic_xor(Logic4::One, Logic4::X), Logic4::X);
+  EXPECT_EQ(logic_xor(Logic4::Z, Logic4::Zero), Logic4::X);
+}
+
+TEST(Logic4Test, NotAndChars) {
+  EXPECT_EQ(logic_not(Logic4::Zero), Logic4::One);
+  EXPECT_EQ(logic_not(Logic4::One), Logic4::Zero);
+  EXPECT_EQ(logic_not(Logic4::X), Logic4::X);
+  EXPECT_EQ(logic_char(Logic4::Zero), '0');
+  EXPECT_EQ(logic_char(Logic4::Z), 'z');
+  EXPECT_EQ(logic_from_char('1'), Logic4::One);
+  EXPECT_EQ(logic_from_char('X'), Logic4::X);
+  EXPECT_THROW(logic_from_char('q'), std::invalid_argument);
+}
+
+TEST(BitVectorTest, FromUintRoundTrip) {
+  BitVector v = BitVector::from_uint(8, 0xA5);
+  EXPECT_EQ(v.width(), 8u);
+  EXPECT_TRUE(v.is_fully_defined());
+  EXPECT_EQ(v.to_uint(), 0xA5u);
+  EXPECT_EQ(v.to_string(), "10100101");
+}
+
+TEST(BitVectorTest, SignedRoundTrip) {
+  BitVector v = BitVector::from_int(8, -56);
+  EXPECT_EQ(v.to_int(), -56);
+  EXPECT_EQ(v.to_uint(), 200u);  // two's complement at width 8
+  BitVector w = BitVector::from_int(12, -1);
+  EXPECT_EQ(w.to_int(), -1);
+}
+
+TEST(BitVectorTest, FromStringMsbFirst) {
+  BitVector v = BitVector::from_string("10x1");
+  EXPECT_EQ(v.get(0), Logic4::One);
+  EXPECT_EQ(v.get(1), Logic4::X);
+  EXPECT_EQ(v.get(2), Logic4::Zero);
+  EXPECT_EQ(v.get(3), Logic4::One);
+  EXPECT_FALSE(v.is_fully_defined());
+  EXPECT_THROW(v.to_uint(), std::logic_error);
+}
+
+TEST(BitVectorTest, SliceAndConcat) {
+  BitVector v = BitVector::from_uint(8, 0b10110100);
+  BitVector lo = v.slice(0, 4);
+  EXPECT_EQ(lo.to_uint(), 0b0100u);
+  BitVector hi = v.slice(4, 4);
+  EXPECT_EQ(hi.to_uint(), 0b1011u);
+  BitVector cat = lo.concat_msb(hi);
+  EXPECT_EQ(cat.to_uint(), 0b10110100u);
+  EXPECT_THROW(v.slice(6, 4), std::out_of_range);
+}
+
+TEST(BitVectorTest, OutOfRangeAccess) {
+  BitVector v(4);
+  EXPECT_THROW(v.get(4), std::out_of_range);
+  EXPECT_THROW(v.set(9, Logic4::One), std::out_of_range);
+}
+
+TEST(ByteStreamTest, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789ABCDE);
+  w.u64(0x0123456789ABCDEFull);
+  w.varint(0);
+  w.varint(127);
+  w.varint(128);
+  w.varint(0xFFFFFFFFFFFFFFFFull);
+  w.svarint(-1);
+  w.svarint(1);
+  w.svarint(-123456789);
+  w.str("hello jhdl");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0x12);
+  EXPECT_EQ(r.u16(), 0x3456);
+  EXPECT_EQ(r.u32(), 0x789ABCDEu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_EQ(r.varint(), 127u);
+  EXPECT_EQ(r.varint(), 128u);
+  EXPECT_EQ(r.varint(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(r.svarint(), -1);
+  EXPECT_EQ(r.svarint(), 1);
+  EXPECT_EQ(r.svarint(), -123456789);
+  EXPECT_EQ(r.str(), "hello jhdl");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteStreamTest, TruncatedInputThrows) {
+  ByteWriter w;
+  w.u32(42);
+  ByteReader r(w.bytes());
+  r.u16();
+  EXPECT_THROW(r.u32(), std::runtime_error);
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard zlib check value for "123456789".
+  EXPECT_EQ(crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string("")), 0x00000000u);
+}
+
+TEST(CompressTest, RoundTripText) {
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "the quick brown fox jumps over the lazy dog ";
+  }
+  std::vector<std::uint8_t> input(text.begin(), text.end());
+  auto compressed = lzss_compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 4)
+      << "repetitive text should compress well";
+  auto restored = lzss_decompress(compressed);
+  EXPECT_EQ(restored, input);
+}
+
+TEST(CompressTest, RoundTripRandomBytes) {
+  Rng rng(7);
+  std::vector<std::uint8_t> input(5000);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.next());
+  auto compressed = lzss_compress(input);
+  auto restored = lzss_decompress(compressed);
+  EXPECT_EQ(restored, input);
+}
+
+TEST(CompressTest, EmptyInput) {
+  std::vector<std::uint8_t> input;
+  auto restored = lzss_decompress(lzss_compress(input));
+  EXPECT_TRUE(restored.empty());
+}
+
+TEST(CompressTest, MalformedInputThrows) {
+  std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW(lzss_decompress(junk), std::runtime_error);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, RangeBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(StringsTest, SanitizeIdentifier) {
+  EXPECT_EQ(sanitize_identifier("foo/bar[3]"), "foo_bar_3_");
+  EXPECT_EQ(sanitize_identifier("3net"), "n3net");
+  EXPECT_EQ(sanitize_identifier(""), "_");
+  EXPECT_EQ(sanitize_identifier("ok_name"), "ok_name");
+}
+
+TEST(StringsTest, JoinFormatHumanBytes) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(795 * 1024), "795.0 kB");
+}
+
+}  // namespace
+}  // namespace jhdl

@@ -1,0 +1,165 @@
+// Tests for the viewer module: hierarchy tree, text/SVG schematics,
+// layout views, and ASCII waveforms.
+#include <gtest/gtest.h>
+
+#include "hdl/hwsystem.h"
+#include "modgen/modgen.h"
+#include "sim/simulator.h"
+#include "sim/waveform.h"
+#include "tech/virtex.h"
+#include "viewer/hierarchy.h"
+#include "viewer/layout_view.h"
+#include "viewer/schematic.h"
+#include "viewer/waveview.h"
+
+namespace jhdl {
+namespace {
+
+struct KcmFixture {
+  HWSystem hw;
+  modgen::VirtexKCMMultiplier* kcm;
+  Wire* m;
+  Wire* p;
+  KcmFixture() {
+    m = new Wire(&hw, 8, "m");
+    p = new Wire(&hw, 12, "p");
+    kcm = new modgen::VirtexKCMMultiplier(&hw, m, p, true, false, -56);
+  }
+};
+
+TEST(HierarchyViewTest, TreeShowsStructure) {
+  KcmFixture f;
+  std::string tree = viewer::hierarchy_tree(*f.kcm);
+  EXPECT_NE(tree.find("kcm_8x7"), std::string::npos);
+  EXPECT_NE(tree.find("rom16"), std::string::npos);
+  EXPECT_NE(tree.find("add"), std::string::npos);
+  EXPECT_NE(tree.find("LUT"), std::string::npos);  // resource annotations
+  // Indentation marks depth.
+  EXPECT_NE(tree.find("\n  "), std::string::npos);
+}
+
+TEST(HierarchyViewTest, DepthLimit) {
+  KcmFixture f;
+  std::string shallow = viewer::hierarchy_tree(*f.kcm, 0);
+  EXPECT_EQ(std::count(shallow.begin(), shallow.end(), '\n'), 1);
+  std::string one = viewer::hierarchy_tree(*f.kcm, 1);
+  EXPECT_GT(std::count(one.begin(), one.end(), '\n'), 2);
+}
+
+TEST(HierarchyViewTest, InterfaceSummary) {
+  KcmFixture f;
+  std::string iface = viewer::interface_summary(*f.kcm);
+  EXPECT_NE(iface.find("in multiplicand [8 bits]"), std::string::npos);
+  EXPECT_NE(iface.find("out product [12 bits]"), std::string::npos);
+}
+
+TEST(SchematicTest, TextListsInstancesLevelized) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* b = new Wire(&hw, 1, "b");
+  Wire* t = new Wire(&hw, 1, "t");
+  Wire* o = new Wire(&hw, 1, "o");
+  new tech::And2(&hw, a, b, t);
+  new tech::Inv(&hw, t, o);
+  std::string sch = viewer::text_schematic(hw);
+  EXPECT_NE(sch.find("2 instances"), std::string::npos);
+  EXPECT_NE(sch.find("column 0"), std::string::npos);
+  EXPECT_NE(sch.find("column 1"), std::string::npos);
+  // The inverter reads the AND's output, so it sits one column right.
+  std::size_t and_pos = sch.find("and2");
+  std::size_t inv_pos = sch.find("inv");
+  EXPECT_LT(and_pos, inv_pos);
+}
+
+TEST(SchematicTest, SvgWellFormed) {
+  KcmFixture f;
+  std::string svg = viewer::svg_schematic(*f.kcm);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+  // Every instance gets a box.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, f.kcm->children().size());
+}
+
+TEST(LayoutViewTest, TextGrid) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 8, "a");
+  Wire* b = new Wire(&hw, 8, "b");
+  Wire* s = new Wire(&hw, 8, "s");
+  new modgen::CarryChainAdder(&hw, a, b, s);
+  std::string text = viewer::text_layout(hw);
+  EXPECT_NE(text.find("1x4 slices"), std::string::npos);
+  // Each slice holds the LUT+XORCY(+MUXCY) of two bits.
+  EXPECT_NE(text.find("|"), std::string::npos);
+}
+
+TEST(LayoutViewTest, UnplacedHandled) {
+  HWSystem hw;
+  Wire* a = new Wire(&hw, 1, "a");
+  Wire* o = new Wire(&hw, 1, "o");
+  new tech::Inv(&hw, a, o);
+  EXPECT_NE(viewer::text_layout(hw).find("unplaced"), std::string::npos);
+  EXPECT_NE(viewer::svg_layout(hw).find("unplaced"), std::string::npos);
+}
+
+TEST(LayoutViewTest, SvgGrid) {
+  KcmFixture f;
+  std::string svg = viewer::svg_layout(*f.kcm);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+}
+
+TEST(WaveViewTest, SingleBitRails) {
+  HWSystem hw;
+  Wire* d = new Wire(&hw, 1, "d");
+  Wire* q = new Wire(&hw, 1, "q");
+  new tech::FD(&hw, d, q);
+  Simulator sim(hw);
+  WaveformRecorder rec(sim);
+  rec.watch(q, "q");
+  sim.put(d, 1);
+  sim.cycle(2);
+  sim.put(d, 0);
+  sim.cycle(2);
+  std::string waves = viewer::text_waves(rec);
+  // q: one cycle delay -> 1 1 0 0 pattern --__ after the first cycle.
+  EXPECT_NE(waves.find("q"), std::string::npos);
+  EXPECT_NE(waves.find("--"), std::string::npos);
+  EXPECT_NE(waves.find("_"), std::string::npos);
+}
+
+TEST(WaveViewTest, MultiBitValues) {
+  HWSystem hw;
+  Wire* q = new Wire(&hw, 8, "count");
+  new modgen::Counter(&hw, q);
+  Simulator sim(hw);
+  WaveformRecorder rec(sim);
+  rec.watch(q, "count");
+  sim.cycle(5);
+  std::string waves = viewer::text_waves(rec);
+  EXPECT_NE(waves.find("|1"), std::string::npos);
+  EXPECT_NE(waves.find("|5"), std::string::npos);
+}
+
+TEST(WaveViewTest, WindowSelection) {
+  HWSystem hw;
+  Wire* q = new Wire(&hw, 4, "q");
+  new modgen::Counter(&hw, q);
+  Simulator sim(hw);
+  WaveformRecorder rec(sim);
+  rec.watch(q, "q");
+  sim.cycle(10);
+  std::string tail = viewer::text_waves(rec, 8, 2);
+  EXPECT_NE(tail.find("|9"), std::string::npos);
+  EXPECT_EQ(tail.find("|3"), std::string::npos);
+  EXPECT_EQ(viewer::text_waves(rec, 20, 5), "(no samples)\n");
+}
+
+}  // namespace
+}  // namespace jhdl
