@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_kcm_executable.cpp" "bench/CMakeFiles/bench_fig1_kcm_executable.dir/bench_fig1_kcm_executable.cpp.o" "gcc" "bench/CMakeFiles/bench_fig1_kcm_executable.dir/bench_fig1_kcm_executable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/modgen/CMakeFiles/jhdl_modgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/jhdl_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jhdl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/jhdl_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/jhdl_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jhdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_kcm_executable.dir/bench_fig1_kcm_executable.cpp.o"
+  "CMakeFiles/bench_fig1_kcm_executable.dir/bench_fig1_kcm_executable.cpp.o.d"
+  "bench_fig1_kcm_executable"
+  "bench_fig1_kcm_executable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_kcm_executable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_configurations.dir/bench_fig2_configurations.cpp.o"
+  "CMakeFiles/bench_fig2_configurations.dir/bench_fig2_configurations.cpp.o.d"
+  "bench_fig2_configurations"
+  "bench_fig2_configurations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_configurations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

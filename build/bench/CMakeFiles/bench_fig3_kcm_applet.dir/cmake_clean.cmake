@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_kcm_applet.dir/bench_fig3_kcm_applet.cpp.o"
+  "CMakeFiles/bench_fig3_kcm_applet.dir/bench_fig3_kcm_applet.cpp.o.d"
+  "bench_fig3_kcm_applet"
+  "bench_fig3_kcm_applet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_kcm_applet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kcm_vs_generic.dir/bench_kcm_vs_generic.cpp.o"
+  "CMakeFiles/bench_kcm_vs_generic.dir/bench_kcm_vs_generic.cpp.o.d"
+  "bench_kcm_vs_generic"
+  "bench_kcm_vs_generic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kcm_vs_generic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_kcm_vs_generic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_archives.dir/bench_table1_archives.cpp.o"
+  "CMakeFiles/bench_table1_archives.dir/bench_table1_archives.cpp.o.d"
+  "bench_table1_archives"
+  "bench_table1_archives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_archives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackbox_system_sim.dir/blackbox_system_sim.cpp.o"
+  "CMakeFiles/blackbox_system_sim.dir/blackbox_system_sim.cpp.o.d"
+  "blackbox_system_sim"
+  "blackbox_system_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackbox_system_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_designer.dir/fir_designer.cpp.o"
+  "CMakeFiles/fir_designer.dir/fir_designer.cpp.o.d"
+  "fir_designer"
+  "fir_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_catalog.dir/ip_catalog.cpp.o"
+  "CMakeFiles/ip_catalog.dir/ip_catalog.cpp.o.d"
+  "ip_catalog"
+  "ip_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcm_applet.dir/kcm_applet.cpp.o"
+  "CMakeFiles/kcm_applet.dir/kcm_applet.cpp.o.d"
+  "kcm_applet"
+  "kcm_applet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcm_applet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vendor_portal.dir/vendor_portal.cpp.o"
+  "CMakeFiles/vendor_portal.dir/vendor_portal.cpp.o.d"
+  "vendor_portal"
+  "vendor_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vendor_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

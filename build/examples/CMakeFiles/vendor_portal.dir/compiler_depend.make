@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vendor_portal.
+# This may be replaced when dependencies are built.

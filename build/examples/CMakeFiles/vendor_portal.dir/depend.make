@@ -1,0 +1,2 @@
+# Empty dependencies file for vendor_portal.
+# This may be replaced when dependencies are built.

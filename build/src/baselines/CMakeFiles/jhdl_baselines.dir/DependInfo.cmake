@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/remote_eval.cpp" "src/baselines/CMakeFiles/jhdl_baselines.dir/remote_eval.cpp.o" "gcc" "src/baselines/CMakeFiles/jhdl_baselines.dir/remote_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/jhdl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jhdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/jhdl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/modgen/CMakeFiles/jhdl_modgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/viewer/CMakeFiles/jhdl_viewer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jhdl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/jhdl_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/jhdl_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/jhdl_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jhdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhdl_baselines.dir/remote_eval.cpp.o"
+  "CMakeFiles/jhdl_baselines.dir/remote_eval.cpp.o.d"
+  "libjhdl_baselines.a"
+  "libjhdl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhdl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/applet.cpp" "src/core/CMakeFiles/jhdl_core.dir/applet.cpp.o" "gcc" "src/core/CMakeFiles/jhdl_core.dir/applet.cpp.o.d"
+  "/root/repo/src/core/blackbox.cpp" "src/core/CMakeFiles/jhdl_core.dir/blackbox.cpp.o" "gcc" "src/core/CMakeFiles/jhdl_core.dir/blackbox.cpp.o.d"
+  "/root/repo/src/core/catalog.cpp" "src/core/CMakeFiles/jhdl_core.dir/catalog.cpp.o" "gcc" "src/core/CMakeFiles/jhdl_core.dir/catalog.cpp.o.d"
+  "/root/repo/src/core/feature.cpp" "src/core/CMakeFiles/jhdl_core.dir/feature.cpp.o" "gcc" "src/core/CMakeFiles/jhdl_core.dir/feature.cpp.o.d"
+  "/root/repo/src/core/generators.cpp" "src/core/CMakeFiles/jhdl_core.dir/generators.cpp.o" "gcc" "src/core/CMakeFiles/jhdl_core.dir/generators.cpp.o.d"
+  "/root/repo/src/core/license.cpp" "src/core/CMakeFiles/jhdl_core.dir/license.cpp.o" "gcc" "src/core/CMakeFiles/jhdl_core.dir/license.cpp.o.d"
+  "/root/repo/src/core/packaging.cpp" "src/core/CMakeFiles/jhdl_core.dir/packaging.cpp.o" "gcc" "src/core/CMakeFiles/jhdl_core.dir/packaging.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/jhdl_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/jhdl_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/protect.cpp" "src/core/CMakeFiles/jhdl_core.dir/protect.cpp.o" "gcc" "src/core/CMakeFiles/jhdl_core.dir/protect.cpp.o.d"
+  "/root/repo/src/core/secure.cpp" "src/core/CMakeFiles/jhdl_core.dir/secure.cpp.o" "gcc" "src/core/CMakeFiles/jhdl_core.dir/secure.cpp.o.d"
+  "/root/repo/src/core/shell.cpp" "src/core/CMakeFiles/jhdl_core.dir/shell.cpp.o" "gcc" "src/core/CMakeFiles/jhdl_core.dir/shell.cpp.o.d"
+  "/root/repo/src/core/webpage.cpp" "src/core/CMakeFiles/jhdl_core.dir/webpage.cpp.o" "gcc" "src/core/CMakeFiles/jhdl_core.dir/webpage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdl/CMakeFiles/jhdl_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/jhdl_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jhdl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/jhdl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/jhdl_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/modgen/CMakeFiles/jhdl_modgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/viewer/CMakeFiles/jhdl_viewer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jhdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

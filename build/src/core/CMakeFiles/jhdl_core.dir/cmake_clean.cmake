@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhdl_core.dir/applet.cpp.o"
+  "CMakeFiles/jhdl_core.dir/applet.cpp.o.d"
+  "CMakeFiles/jhdl_core.dir/blackbox.cpp.o"
+  "CMakeFiles/jhdl_core.dir/blackbox.cpp.o.d"
+  "CMakeFiles/jhdl_core.dir/catalog.cpp.o"
+  "CMakeFiles/jhdl_core.dir/catalog.cpp.o.d"
+  "CMakeFiles/jhdl_core.dir/feature.cpp.o"
+  "CMakeFiles/jhdl_core.dir/feature.cpp.o.d"
+  "CMakeFiles/jhdl_core.dir/generators.cpp.o"
+  "CMakeFiles/jhdl_core.dir/generators.cpp.o.d"
+  "CMakeFiles/jhdl_core.dir/license.cpp.o"
+  "CMakeFiles/jhdl_core.dir/license.cpp.o.d"
+  "CMakeFiles/jhdl_core.dir/packaging.cpp.o"
+  "CMakeFiles/jhdl_core.dir/packaging.cpp.o.d"
+  "CMakeFiles/jhdl_core.dir/params.cpp.o"
+  "CMakeFiles/jhdl_core.dir/params.cpp.o.d"
+  "CMakeFiles/jhdl_core.dir/protect.cpp.o"
+  "CMakeFiles/jhdl_core.dir/protect.cpp.o.d"
+  "CMakeFiles/jhdl_core.dir/secure.cpp.o"
+  "CMakeFiles/jhdl_core.dir/secure.cpp.o.d"
+  "CMakeFiles/jhdl_core.dir/shell.cpp.o"
+  "CMakeFiles/jhdl_core.dir/shell.cpp.o.d"
+  "CMakeFiles/jhdl_core.dir/webpage.cpp.o"
+  "CMakeFiles/jhdl_core.dir/webpage.cpp.o.d"
+  "libjhdl_core.a"
+  "libjhdl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhdl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhdl_estimate.dir/area.cpp.o"
+  "CMakeFiles/jhdl_estimate.dir/area.cpp.o.d"
+  "CMakeFiles/jhdl_estimate.dir/layout.cpp.o"
+  "CMakeFiles/jhdl_estimate.dir/layout.cpp.o.d"
+  "CMakeFiles/jhdl_estimate.dir/timing.cpp.o"
+  "CMakeFiles/jhdl_estimate.dir/timing.cpp.o.d"
+  "libjhdl_estimate.a"
+  "libjhdl_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhdl_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdl/cell.cpp" "src/hdl/CMakeFiles/jhdl_hdl.dir/cell.cpp.o" "gcc" "src/hdl/CMakeFiles/jhdl_hdl.dir/cell.cpp.o.d"
+  "/root/repo/src/hdl/hwsystem.cpp" "src/hdl/CMakeFiles/jhdl_hdl.dir/hwsystem.cpp.o" "gcc" "src/hdl/CMakeFiles/jhdl_hdl.dir/hwsystem.cpp.o.d"
+  "/root/repo/src/hdl/primitive.cpp" "src/hdl/CMakeFiles/jhdl_hdl.dir/primitive.cpp.o" "gcc" "src/hdl/CMakeFiles/jhdl_hdl.dir/primitive.cpp.o.d"
+  "/root/repo/src/hdl/visitor.cpp" "src/hdl/CMakeFiles/jhdl_hdl.dir/visitor.cpp.o" "gcc" "src/hdl/CMakeFiles/jhdl_hdl.dir/visitor.cpp.o.d"
+  "/root/repo/src/hdl/wire.cpp" "src/hdl/CMakeFiles/jhdl_hdl.dir/wire.cpp.o" "gcc" "src/hdl/CMakeFiles/jhdl_hdl.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jhdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhdl_hdl.dir/cell.cpp.o"
+  "CMakeFiles/jhdl_hdl.dir/cell.cpp.o.d"
+  "CMakeFiles/jhdl_hdl.dir/hwsystem.cpp.o"
+  "CMakeFiles/jhdl_hdl.dir/hwsystem.cpp.o.d"
+  "CMakeFiles/jhdl_hdl.dir/primitive.cpp.o"
+  "CMakeFiles/jhdl_hdl.dir/primitive.cpp.o.d"
+  "CMakeFiles/jhdl_hdl.dir/visitor.cpp.o"
+  "CMakeFiles/jhdl_hdl.dir/visitor.cpp.o.d"
+  "CMakeFiles/jhdl_hdl.dir/wire.cpp.o"
+  "CMakeFiles/jhdl_hdl.dir/wire.cpp.o.d"
+  "libjhdl_hdl.a"
+  "libjhdl_hdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhdl_hdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

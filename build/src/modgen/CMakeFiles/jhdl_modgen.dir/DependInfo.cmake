@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modgen/adder.cpp" "src/modgen/CMakeFiles/jhdl_modgen.dir/adder.cpp.o" "gcc" "src/modgen/CMakeFiles/jhdl_modgen.dir/adder.cpp.o.d"
+  "/root/repo/src/modgen/counter.cpp" "src/modgen/CMakeFiles/jhdl_modgen.dir/counter.cpp.o" "gcc" "src/modgen/CMakeFiles/jhdl_modgen.dir/counter.cpp.o.d"
+  "/root/repo/src/modgen/dds.cpp" "src/modgen/CMakeFiles/jhdl_modgen.dir/dds.cpp.o" "gcc" "src/modgen/CMakeFiles/jhdl_modgen.dir/dds.cpp.o.d"
+  "/root/repo/src/modgen/ecc.cpp" "src/modgen/CMakeFiles/jhdl_modgen.dir/ecc.cpp.o" "gcc" "src/modgen/CMakeFiles/jhdl_modgen.dir/ecc.cpp.o.d"
+  "/root/repo/src/modgen/encode.cpp" "src/modgen/CMakeFiles/jhdl_modgen.dir/encode.cpp.o" "gcc" "src/modgen/CMakeFiles/jhdl_modgen.dir/encode.cpp.o.d"
+  "/root/repo/src/modgen/fir.cpp" "src/modgen/CMakeFiles/jhdl_modgen.dir/fir.cpp.o" "gcc" "src/modgen/CMakeFiles/jhdl_modgen.dir/fir.cpp.o.d"
+  "/root/repo/src/modgen/kcm.cpp" "src/modgen/CMakeFiles/jhdl_modgen.dir/kcm.cpp.o" "gcc" "src/modgen/CMakeFiles/jhdl_modgen.dir/kcm.cpp.o.d"
+  "/root/repo/src/modgen/lfsr.cpp" "src/modgen/CMakeFiles/jhdl_modgen.dir/lfsr.cpp.o" "gcc" "src/modgen/CMakeFiles/jhdl_modgen.dir/lfsr.cpp.o.d"
+  "/root/repo/src/modgen/mac.cpp" "src/modgen/CMakeFiles/jhdl_modgen.dir/mac.cpp.o" "gcc" "src/modgen/CMakeFiles/jhdl_modgen.dir/mac.cpp.o.d"
+  "/root/repo/src/modgen/mult.cpp" "src/modgen/CMakeFiles/jhdl_modgen.dir/mult.cpp.o" "gcc" "src/modgen/CMakeFiles/jhdl_modgen.dir/mult.cpp.o.d"
+  "/root/repo/src/modgen/register.cpp" "src/modgen/CMakeFiles/jhdl_modgen.dir/register.cpp.o" "gcc" "src/modgen/CMakeFiles/jhdl_modgen.dir/register.cpp.o.d"
+  "/root/repo/src/modgen/shifter.cpp" "src/modgen/CMakeFiles/jhdl_modgen.dir/shifter.cpp.o" "gcc" "src/modgen/CMakeFiles/jhdl_modgen.dir/shifter.cpp.o.d"
+  "/root/repo/src/modgen/wires.cpp" "src/modgen/CMakeFiles/jhdl_modgen.dir/wires.cpp.o" "gcc" "src/modgen/CMakeFiles/jhdl_modgen.dir/wires.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdl/CMakeFiles/jhdl_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/jhdl_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jhdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhdl_modgen.dir/adder.cpp.o"
+  "CMakeFiles/jhdl_modgen.dir/adder.cpp.o.d"
+  "CMakeFiles/jhdl_modgen.dir/counter.cpp.o"
+  "CMakeFiles/jhdl_modgen.dir/counter.cpp.o.d"
+  "CMakeFiles/jhdl_modgen.dir/dds.cpp.o"
+  "CMakeFiles/jhdl_modgen.dir/dds.cpp.o.d"
+  "CMakeFiles/jhdl_modgen.dir/ecc.cpp.o"
+  "CMakeFiles/jhdl_modgen.dir/ecc.cpp.o.d"
+  "CMakeFiles/jhdl_modgen.dir/encode.cpp.o"
+  "CMakeFiles/jhdl_modgen.dir/encode.cpp.o.d"
+  "CMakeFiles/jhdl_modgen.dir/fir.cpp.o"
+  "CMakeFiles/jhdl_modgen.dir/fir.cpp.o.d"
+  "CMakeFiles/jhdl_modgen.dir/kcm.cpp.o"
+  "CMakeFiles/jhdl_modgen.dir/kcm.cpp.o.d"
+  "CMakeFiles/jhdl_modgen.dir/lfsr.cpp.o"
+  "CMakeFiles/jhdl_modgen.dir/lfsr.cpp.o.d"
+  "CMakeFiles/jhdl_modgen.dir/mac.cpp.o"
+  "CMakeFiles/jhdl_modgen.dir/mac.cpp.o.d"
+  "CMakeFiles/jhdl_modgen.dir/mult.cpp.o"
+  "CMakeFiles/jhdl_modgen.dir/mult.cpp.o.d"
+  "CMakeFiles/jhdl_modgen.dir/register.cpp.o"
+  "CMakeFiles/jhdl_modgen.dir/register.cpp.o.d"
+  "CMakeFiles/jhdl_modgen.dir/shifter.cpp.o"
+  "CMakeFiles/jhdl_modgen.dir/shifter.cpp.o.d"
+  "CMakeFiles/jhdl_modgen.dir/wires.cpp.o"
+  "CMakeFiles/jhdl_modgen.dir/wires.cpp.o.d"
+  "libjhdl_modgen.a"
+  "libjhdl_modgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhdl_modgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

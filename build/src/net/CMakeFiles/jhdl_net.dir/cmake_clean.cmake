@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhdl_net.dir/cosim_stub.cpp.o"
+  "CMakeFiles/jhdl_net.dir/cosim_stub.cpp.o.d"
+  "CMakeFiles/jhdl_net.dir/protocol.cpp.o"
+  "CMakeFiles/jhdl_net.dir/protocol.cpp.o.d"
+  "CMakeFiles/jhdl_net.dir/sim_client.cpp.o"
+  "CMakeFiles/jhdl_net.dir/sim_client.cpp.o.d"
+  "CMakeFiles/jhdl_net.dir/sim_server.cpp.o"
+  "CMakeFiles/jhdl_net.dir/sim_server.cpp.o.d"
+  "CMakeFiles/jhdl_net.dir/socket.cpp.o"
+  "CMakeFiles/jhdl_net.dir/socket.cpp.o.d"
+  "libjhdl_net.a"
+  "libjhdl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhdl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjhdl_net.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/design.cpp" "src/netlist/CMakeFiles/jhdl_netlist.dir/design.cpp.o" "gcc" "src/netlist/CMakeFiles/jhdl_netlist.dir/design.cpp.o.d"
+  "/root/repo/src/netlist/edif.cpp" "src/netlist/CMakeFiles/jhdl_netlist.dir/edif.cpp.o" "gcc" "src/netlist/CMakeFiles/jhdl_netlist.dir/edif.cpp.o.d"
+  "/root/repo/src/netlist/edif_import.cpp" "src/netlist/CMakeFiles/jhdl_netlist.dir/edif_import.cpp.o" "gcc" "src/netlist/CMakeFiles/jhdl_netlist.dir/edif_import.cpp.o.d"
+  "/root/repo/src/netlist/edif_reader.cpp" "src/netlist/CMakeFiles/jhdl_netlist.dir/edif_reader.cpp.o" "gcc" "src/netlist/CMakeFiles/jhdl_netlist.dir/edif_reader.cpp.o.d"
+  "/root/repo/src/netlist/json_netlist.cpp" "src/netlist/CMakeFiles/jhdl_netlist.dir/json_netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/jhdl_netlist.dir/json_netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/jhdl_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/jhdl_netlist.dir/verilog.cpp.o.d"
+  "/root/repo/src/netlist/vhdl.cpp" "src/netlist/CMakeFiles/jhdl_netlist.dir/vhdl.cpp.o" "gcc" "src/netlist/CMakeFiles/jhdl_netlist.dir/vhdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdl/CMakeFiles/jhdl_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/jhdl_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jhdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhdl_netlist.dir/design.cpp.o"
+  "CMakeFiles/jhdl_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/jhdl_netlist.dir/edif.cpp.o"
+  "CMakeFiles/jhdl_netlist.dir/edif.cpp.o.d"
+  "CMakeFiles/jhdl_netlist.dir/edif_import.cpp.o"
+  "CMakeFiles/jhdl_netlist.dir/edif_import.cpp.o.d"
+  "CMakeFiles/jhdl_netlist.dir/edif_reader.cpp.o"
+  "CMakeFiles/jhdl_netlist.dir/edif_reader.cpp.o.d"
+  "CMakeFiles/jhdl_netlist.dir/json_netlist.cpp.o"
+  "CMakeFiles/jhdl_netlist.dir/json_netlist.cpp.o.d"
+  "CMakeFiles/jhdl_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/jhdl_netlist.dir/verilog.cpp.o.d"
+  "CMakeFiles/jhdl_netlist.dir/vhdl.cpp.o"
+  "CMakeFiles/jhdl_netlist.dir/vhdl.cpp.o.d"
+  "libjhdl_netlist.a"
+  "libjhdl_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhdl_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhdl_sim.dir/simulator.cpp.o"
+  "CMakeFiles/jhdl_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/jhdl_sim.dir/testbench.cpp.o"
+  "CMakeFiles/jhdl_sim.dir/testbench.cpp.o.d"
+  "CMakeFiles/jhdl_sim.dir/vcd.cpp.o"
+  "CMakeFiles/jhdl_sim.dir/vcd.cpp.o.d"
+  "CMakeFiles/jhdl_sim.dir/waveform.cpp.o"
+  "CMakeFiles/jhdl_sim.dir/waveform.cpp.o.d"
+  "libjhdl_sim.a"
+  "libjhdl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhdl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

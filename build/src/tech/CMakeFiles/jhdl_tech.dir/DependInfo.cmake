@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/bram.cpp" "src/tech/CMakeFiles/jhdl_tech.dir/bram.cpp.o" "gcc" "src/tech/CMakeFiles/jhdl_tech.dir/bram.cpp.o.d"
+  "/root/repo/src/tech/carry.cpp" "src/tech/CMakeFiles/jhdl_tech.dir/carry.cpp.o" "gcc" "src/tech/CMakeFiles/jhdl_tech.dir/carry.cpp.o.d"
+  "/root/repo/src/tech/constants.cpp" "src/tech/CMakeFiles/jhdl_tech.dir/constants.cpp.o" "gcc" "src/tech/CMakeFiles/jhdl_tech.dir/constants.cpp.o.d"
+  "/root/repo/src/tech/ff.cpp" "src/tech/CMakeFiles/jhdl_tech.dir/ff.cpp.o" "gcc" "src/tech/CMakeFiles/jhdl_tech.dir/ff.cpp.o.d"
+  "/root/repo/src/tech/gates.cpp" "src/tech/CMakeFiles/jhdl_tech.dir/gates.cpp.o" "gcc" "src/tech/CMakeFiles/jhdl_tech.dir/gates.cpp.o.d"
+  "/root/repo/src/tech/library.cpp" "src/tech/CMakeFiles/jhdl_tech.dir/library.cpp.o" "gcc" "src/tech/CMakeFiles/jhdl_tech.dir/library.cpp.o.d"
+  "/root/repo/src/tech/lut.cpp" "src/tech/CMakeFiles/jhdl_tech.dir/lut.cpp.o" "gcc" "src/tech/CMakeFiles/jhdl_tech.dir/lut.cpp.o.d"
+  "/root/repo/src/tech/memory.cpp" "src/tech/CMakeFiles/jhdl_tech.dir/memory.cpp.o" "gcc" "src/tech/CMakeFiles/jhdl_tech.dir/memory.cpp.o.d"
+  "/root/repo/src/tech/pads.cpp" "src/tech/CMakeFiles/jhdl_tech.dir/pads.cpp.o" "gcc" "src/tech/CMakeFiles/jhdl_tech.dir/pads.cpp.o.d"
+  "/root/repo/src/tech/srl.cpp" "src/tech/CMakeFiles/jhdl_tech.dir/srl.cpp.o" "gcc" "src/tech/CMakeFiles/jhdl_tech.dir/srl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdl/CMakeFiles/jhdl_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jhdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

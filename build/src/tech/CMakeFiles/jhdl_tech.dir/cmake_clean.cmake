@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhdl_tech.dir/bram.cpp.o"
+  "CMakeFiles/jhdl_tech.dir/bram.cpp.o.d"
+  "CMakeFiles/jhdl_tech.dir/carry.cpp.o"
+  "CMakeFiles/jhdl_tech.dir/carry.cpp.o.d"
+  "CMakeFiles/jhdl_tech.dir/constants.cpp.o"
+  "CMakeFiles/jhdl_tech.dir/constants.cpp.o.d"
+  "CMakeFiles/jhdl_tech.dir/ff.cpp.o"
+  "CMakeFiles/jhdl_tech.dir/ff.cpp.o.d"
+  "CMakeFiles/jhdl_tech.dir/gates.cpp.o"
+  "CMakeFiles/jhdl_tech.dir/gates.cpp.o.d"
+  "CMakeFiles/jhdl_tech.dir/library.cpp.o"
+  "CMakeFiles/jhdl_tech.dir/library.cpp.o.d"
+  "CMakeFiles/jhdl_tech.dir/lut.cpp.o"
+  "CMakeFiles/jhdl_tech.dir/lut.cpp.o.d"
+  "CMakeFiles/jhdl_tech.dir/memory.cpp.o"
+  "CMakeFiles/jhdl_tech.dir/memory.cpp.o.d"
+  "CMakeFiles/jhdl_tech.dir/pads.cpp.o"
+  "CMakeFiles/jhdl_tech.dir/pads.cpp.o.d"
+  "CMakeFiles/jhdl_tech.dir/srl.cpp.o"
+  "CMakeFiles/jhdl_tech.dir/srl.cpp.o.d"
+  "libjhdl_tech.a"
+  "libjhdl_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhdl_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bitvector.cpp" "src/util/CMakeFiles/jhdl_util.dir/bitvector.cpp.o" "gcc" "src/util/CMakeFiles/jhdl_util.dir/bitvector.cpp.o.d"
+  "/root/repo/src/util/bytestream.cpp" "src/util/CMakeFiles/jhdl_util.dir/bytestream.cpp.o" "gcc" "src/util/CMakeFiles/jhdl_util.dir/bytestream.cpp.o.d"
+  "/root/repo/src/util/cipher.cpp" "src/util/CMakeFiles/jhdl_util.dir/cipher.cpp.o" "gcc" "src/util/CMakeFiles/jhdl_util.dir/cipher.cpp.o.d"
+  "/root/repo/src/util/compress.cpp" "src/util/CMakeFiles/jhdl_util.dir/compress.cpp.o" "gcc" "src/util/CMakeFiles/jhdl_util.dir/compress.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "src/util/CMakeFiles/jhdl_util.dir/crc32.cpp.o" "gcc" "src/util/CMakeFiles/jhdl_util.dir/crc32.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/util/CMakeFiles/jhdl_util.dir/json.cpp.o" "gcc" "src/util/CMakeFiles/jhdl_util.dir/json.cpp.o.d"
+  "/root/repo/src/util/logic.cpp" "src/util/CMakeFiles/jhdl_util.dir/logic.cpp.o" "gcc" "src/util/CMakeFiles/jhdl_util.dir/logic.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/jhdl_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/jhdl_util.dir/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

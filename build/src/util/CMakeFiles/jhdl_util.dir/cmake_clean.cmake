@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhdl_util.dir/bitvector.cpp.o"
+  "CMakeFiles/jhdl_util.dir/bitvector.cpp.o.d"
+  "CMakeFiles/jhdl_util.dir/bytestream.cpp.o"
+  "CMakeFiles/jhdl_util.dir/bytestream.cpp.o.d"
+  "CMakeFiles/jhdl_util.dir/cipher.cpp.o"
+  "CMakeFiles/jhdl_util.dir/cipher.cpp.o.d"
+  "CMakeFiles/jhdl_util.dir/compress.cpp.o"
+  "CMakeFiles/jhdl_util.dir/compress.cpp.o.d"
+  "CMakeFiles/jhdl_util.dir/crc32.cpp.o"
+  "CMakeFiles/jhdl_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/jhdl_util.dir/json.cpp.o"
+  "CMakeFiles/jhdl_util.dir/json.cpp.o.d"
+  "CMakeFiles/jhdl_util.dir/logic.cpp.o"
+  "CMakeFiles/jhdl_util.dir/logic.cpp.o.d"
+  "CMakeFiles/jhdl_util.dir/strings.cpp.o"
+  "CMakeFiles/jhdl_util.dir/strings.cpp.o.d"
+  "libjhdl_util.a"
+  "libjhdl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhdl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

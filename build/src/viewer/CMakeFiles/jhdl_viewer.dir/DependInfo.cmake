@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viewer/hierarchy.cpp" "src/viewer/CMakeFiles/jhdl_viewer.dir/hierarchy.cpp.o" "gcc" "src/viewer/CMakeFiles/jhdl_viewer.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/viewer/layout_view.cpp" "src/viewer/CMakeFiles/jhdl_viewer.dir/layout_view.cpp.o" "gcc" "src/viewer/CMakeFiles/jhdl_viewer.dir/layout_view.cpp.o.d"
+  "/root/repo/src/viewer/memview.cpp" "src/viewer/CMakeFiles/jhdl_viewer.dir/memview.cpp.o" "gcc" "src/viewer/CMakeFiles/jhdl_viewer.dir/memview.cpp.o.d"
+  "/root/repo/src/viewer/schematic.cpp" "src/viewer/CMakeFiles/jhdl_viewer.dir/schematic.cpp.o" "gcc" "src/viewer/CMakeFiles/jhdl_viewer.dir/schematic.cpp.o.d"
+  "/root/repo/src/viewer/waveview.cpp" "src/viewer/CMakeFiles/jhdl_viewer.dir/waveview.cpp.o" "gcc" "src/viewer/CMakeFiles/jhdl_viewer.dir/waveview.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdl/CMakeFiles/jhdl_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/jhdl_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jhdl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/jhdl_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jhdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhdl_viewer.dir/hierarchy.cpp.o"
+  "CMakeFiles/jhdl_viewer.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/jhdl_viewer.dir/layout_view.cpp.o"
+  "CMakeFiles/jhdl_viewer.dir/layout_view.cpp.o.d"
+  "CMakeFiles/jhdl_viewer.dir/memview.cpp.o"
+  "CMakeFiles/jhdl_viewer.dir/memview.cpp.o.d"
+  "CMakeFiles/jhdl_viewer.dir/schematic.cpp.o"
+  "CMakeFiles/jhdl_viewer.dir/schematic.cpp.o.d"
+  "CMakeFiles/jhdl_viewer.dir/waveview.cpp.o"
+  "CMakeFiles/jhdl_viewer.dir/waveview.cpp.o.d"
+  "libjhdl_viewer.a"
+  "libjhdl_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhdl_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_cosim_test.dir/dds_cosim_test.cpp.o"
+  "CMakeFiles/dds_cosim_test.dir/dds_cosim_test.cpp.o.d"
+  "dds_cosim_test"
+  "dds_cosim_test.pdb"
+  "dds_cosim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_cosim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

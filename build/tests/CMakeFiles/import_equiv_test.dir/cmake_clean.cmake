@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/import_equiv_test.dir/import_equiv_test.cpp.o"
+  "CMakeFiles/import_equiv_test.dir/import_equiv_test.cpp.o.d"
+  "import_equiv_test"
+  "import_equiv_test.pdb"
+  "import_equiv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/import_equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modgen2_test.dir/modgen2_test.cpp.o"
+  "CMakeFiles/modgen2_test.dir/modgen2_test.cpp.o.d"
+  "modgen2_test"
+  "modgen2_test.pdb"
+  "modgen2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modgen2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modgen_test.dir/modgen_test.cpp.o"
+  "CMakeFiles/modgen_test.dir/modgen_test.cpp.o.d"
+  "modgen_test"
+  "modgen_test.pdb"
+  "modgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

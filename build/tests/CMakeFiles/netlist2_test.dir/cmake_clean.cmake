@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist2_test.dir/netlist2_test.cpp.o"
+  "CMakeFiles/netlist2_test.dir/netlist2_test.cpp.o.d"
+  "netlist2_test"
+  "netlist2_test.pdb"
+  "netlist2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech2_test.dir/tech2_test.cpp.o"
+  "CMakeFiles/tech2_test.dir/tech2_test.cpp.o.d"
+  "tech2_test"
+  "tech2_test.pdb"
+  "tech2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewer_test.dir/viewer_test.cpp.o"
+  "CMakeFiles/viewer_test.dir/viewer_test.cpp.o.d"
+  "viewer_test"
+  "viewer_test.pdb"
+  "viewer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

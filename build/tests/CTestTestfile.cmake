@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/hdl_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/modgen_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/estimate_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/viewer_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/modgen2_test[1]_include.cmake")
+include("/root/repo/build/tests/tech2_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist2_test[1]_include.cmake")
+include("/root/repo/build/tests/core2_test[1]_include.cmake")
+include("/root/repo/build/tests/dds_cosim_test[1]_include.cmake")
+include("/root/repo/build/tests/random_circuit_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/import_equiv_test[1]_include.cmake")
+include("/root/repo/build/tests/shell_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
