@@ -1,0 +1,138 @@
+// Concurrency scaling of the multi-tenant DeliveryService: one service,
+// a fixed worker pool, and an increasing number of concurrent customers
+// each driving its own black-box session.
+//
+// Two sweeps:
+//   loopback   raw wall time on loopback TCP. On a multi-core host the
+//              aggregate eval throughput scales with the worker pool
+//              (the acceptance target: >= 2x single-client at 8 clients);
+//              on a single core it merely must not collapse.
+//   rtt2ms     every client pays a 2 ms injected one-way think/latency
+//              per request. Sessions overlap their waits, so aggregate
+//              throughput scales with concurrency even on one core -
+//              the server-side multiplexing win the JavaCAD-style
+//              vendor service exists for.
+//
+// Emits BENCH_delivery.json with both sweeps plus the service's own
+// ServerStats counters (p50/p95 request latency, session accounting).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/generators.h"
+#include "net/sim_client.h"
+#include "server/delivery_service.h"
+#include "util/json.h"
+
+using namespace jhdl;
+using namespace jhdl::core;
+using namespace jhdl::net;
+using namespace jhdl::server;
+
+namespace {
+
+constexpr std::size_t kWorkers = 8;
+constexpr int kEvalsPerClient = 150;
+
+double run_sweep_point(std::uint16_t port, int clients, double rtt_ms) {
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back([&, i] {
+      ConnectSpec spec;
+      spec.customer = "cust" + std::to_string(i);
+      spec.module = "carry-adder";
+      spec.params["width"] = 16;
+      spec.injected_rtt_ms = rtt_ms;
+      SimClient client(port, spec);
+      std::map<std::string, BitVector> inputs;
+      for (int k = 0; k < kEvalsPerClient; ++k) {
+        inputs["a"] = BitVector::from_uint(16, 1000u + k);
+        inputs["b"] = BitVector::from_uint(16, 77u * i + k);
+        client.eval(inputs, 0);
+      }
+      client.bye();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return clients * kEvalsPerClient / seconds;  // aggregate evals/sec
+}
+
+Json sweep(std::uint16_t port, double rtt_ms, const char* label,
+           double* speedup8) {
+  Json points = Json::array();
+  double single = 0.0;
+  std::printf("%s sweep (%d evals/client, %zu workers):\n", label,
+              kEvalsPerClient, kWorkers);
+  std::printf("  %8s %16s %10s\n", "clients", "agg evals/sec", "speedup");
+  for (int clients : {1, 2, 4, 8}) {
+    double throughput = run_sweep_point(port, clients, rtt_ms);
+    if (clients == 1) single = throughput;
+    const double speedup = throughput / single;
+    if (clients == 8 && speedup8 != nullptr) *speedup8 = speedup;
+    std::printf("  %8d %16.0f %9.2fx\n", clients, throughput, speedup);
+    Json point = Json::object();
+    point.set("clients", clients);
+    point.set("evals_per_sec", throughput);
+    point.set("speedup_vs_1", speedup);
+    points.push(point);
+  }
+  std::printf("\n");
+  return points;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Delivery service concurrency scaling ===\n\n");
+
+  IpCatalog catalog;
+  catalog.add(std::make_shared<AdderGenerator>());
+  catalog.add(std::make_shared<KcmGenerator>());
+  DeliveryConfig config;
+  config.workers = kWorkers;
+  config.queue_capacity = 2 * kWorkers;
+  DeliveryService service(std::move(catalog), config);
+  for (int i = 0; i < 8; ++i) {
+    service.add_license(LicensePolicy::make("cust" + std::to_string(i),
+                                            LicenseTier::Evaluation));
+  }
+  std::uint16_t port = service.start();
+
+  double loopback_speedup8 = 0.0;
+  double rtt_speedup8 = 0.0;
+  Json loopback = sweep(port, 0.0, "loopback", &loopback_speedup8);
+  Json rtt = sweep(port, 2.0, "rtt2ms", &rtt_speedup8);
+
+  ServerStats::Snapshot stats = service.stats().snapshot();
+  service.stop();
+
+  std::printf("hardware threads: %u\n",
+              std::thread::hardware_concurrency());
+  std::printf("sessions served: %llu, requests: %llu, p50 %0.0f us, "
+              "p95 %0.0f us\n",
+              static_cast<unsigned long long>(stats.sessions_opened),
+              static_cast<unsigned long long>(stats.requests),
+              stats.p50_request_us, stats.p95_request_us);
+
+  Json out = Json::object();
+  out.set("bench", "delivery_concurrency");
+  out.set("workers", kWorkers);
+  out.set("evals_per_client", kEvalsPerClient);
+  out.set("hardware_threads",
+          static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  out.set("loopback", std::move(loopback));
+  out.set("rtt2ms", std::move(rtt));
+  out.set("loopback_speedup_8v1", loopback_speedup8);
+  out.set("rtt2ms_speedup_8v1", rtt_speedup8);
+  out.set("stats", stats.to_json());
+  std::ofstream("BENCH_delivery.json") << out.dump(2) << "\n";
+  std::printf("wrote BENCH_delivery.json\n");
+  return 0;
+}

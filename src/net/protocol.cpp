@@ -18,8 +18,19 @@ std::vector<std::uint8_t> encode(const Message& msg) {
   w.u8(static_cast<std::uint8_t>(msg.type));
   switch (msg.type) {
     case MsgType::Hello:
+      w.u32(kHelloMagic);
+      w.u16(kProtocolVersion);
+      w.str(msg.customer);
+      w.str(msg.name);  // requested module ("" = whatever the server has)
+      w.varint(msg.params.size());
+      for (const auto& [name, value] : msg.params) {
+        w.str(name);
+        w.svarint(value);
+      }
+      break;
     case MsgType::Reset:
     case MsgType::Bye:
+    case MsgType::Stats:
       break;
     case MsgType::SetInput:
       w.str(msg.name);
@@ -41,6 +52,7 @@ std::vector<std::uint8_t> encode(const Message& msg) {
       break;
     case MsgType::Iface:
     case MsgType::Error:
+    case MsgType::StatsReply:
       w.str(msg.text);
       break;
     case MsgType::Ok:
@@ -66,8 +78,31 @@ Message decode(const std::vector<std::uint8_t>& payload) {
   msg.type = static_cast<MsgType>(r.u8());
   switch (msg.type) {
     case MsgType::Hello:
+      if (r.done()) {
+        // Legacy v1 Hello: bare type byte. Decodes cleanly so servers can
+        // answer with a version-mismatch Error instead of a parse failure.
+        msg.version = 1;
+        break;
+      }
+      if (r.u32() != kHelloMagic) {
+        throw std::runtime_error("protocol: bad Hello magic");
+      }
+      msg.version = r.u16();
+      if (msg.version == kProtocolVersion) {
+        msg.customer = r.str();
+        msg.name = r.str();
+        std::size_t n = r.varint();
+        for (std::size_t i = 0; i < n; ++i) {
+          std::string name = r.str();
+          msg.params.emplace(std::move(name), r.svarint());
+        }
+      }
+      // Unknown future versions: keep only the version; the server
+      // replies Error before trusting any field.
+      break;
     case MsgType::Reset:
     case MsgType::Bye:
+    case MsgType::Stats:
       break;
     case MsgType::SetInput:
       msg.name = r.str();
@@ -90,6 +125,7 @@ Message decode(const std::vector<std::uint8_t>& payload) {
     }
     case MsgType::Iface:
     case MsgType::Error:
+    case MsgType::StatsReply:
       msg.text = r.str();
       break;
     case MsgType::Ok:

@@ -8,7 +8,14 @@
 // ("10x1", MSB first), which keeps X-propagation visible across the wire.
 //
 // Requests (client -> server):
-//   Hello                          expects IFACE
+//   Hello     magic, version,      expects Iface (or Error on version /
+//             customer, module,      license mismatch). customer/module/
+//             params                 params select a catalog entry when
+//                                    talking to a DeliveryService; a
+//                                    single-model SimServer ignores them.
+//                                    A legacy v1 Hello (empty payload)
+//                                    decodes with version = 1 and is
+//                                    answered with a clear Error.
 //   SetInput  name, value          expects Ok
 //   GetOutput name                 expects Value
 //   Cycle     n                    expects Ok
@@ -16,14 +23,21 @@
 //   Eval      {name,value}*, n     expects Values   (one-round-trip RMI
 //                                   style: set all inputs, cycle n, read
 //                                   all outputs - the JavaCAD baseline)
+//   Stats                          expects StatsReply (admin query; the
+//                                   delivery service answers with its
+//                                   ServerStats counters as JSON)
 //   Bye                            closes the session
 //
 // Replies (server -> client):
-//   Iface  json text               interface descriptor
-//   Ok     cycle_count
-//   Value  bits
-//   Values {name,bits}*
-//   Error  message
+//   Iface      json text           interface descriptor
+//   Ok         cycle_count
+//   Value      bits
+//   Values     {name,bits}*
+//   Error      message
+//   StatsReply json text           server counters
+//
+// A server sends an unsolicited Bye before closing during shutdown, so a
+// client blocked on a reply fails fast instead of waiting for TCP teardown.
 #pragma once
 
 #include <cstdint>
@@ -43,21 +57,39 @@ enum class MsgType : std::uint8_t {
   Reset = 5,
   Eval = 6,
   Bye = 7,
+  Stats = 8,
   Iface = 64,
   Ok = 65,
   Value = 66,
   Values = 67,
   Error = 68,
+  StatsReply = 69,
 };
+
+/// Wire protocol version spoken by this build. Version 1 is the original
+/// bare Hello (no magic, no fields); version 2 adds the magic-prefixed
+/// Hello with customer/module/params and the Stats admin query.
+inline constexpr std::uint16_t kProtocolVersion = 2;
+
+/// Magic prefix of a v2+ Hello payload ("JHDL", little-endian on the wire).
+inline constexpr std::uint32_t kHelloMagic = 0x4C44484Au;
+
+/// Version negotiated by this implementation (accessor form for callers
+/// that want a function rather than the constant).
+inline std::uint16_t protocol_version() { return kProtocolVersion; }
 
 /// A decoded protocol message. Fields are used per type (see above).
 struct Message {
   MsgType type = MsgType::Bye;
-  std::string text;                       // Iface json / Error message
-  std::string name;                       // SetInput / GetOutput
+  std::string text;                       // Iface json / Error / StatsReply
+  std::string name;                       // SetInput / GetOutput / Hello module
   BitVector value;                        // SetInput / Value
   std::uint64_t count = 0;                // Cycle n / Ok cycle_count
   std::map<std::string, BitVector> values;  // Eval inputs / Values outputs
+  // --- Hello only ---
+  std::uint16_t version = kProtocolVersion;  // decoded wire version (1 = legacy)
+  std::string customer;                      // customer id for license lookup
+  std::map<std::string, std::int64_t> params;  // generator parameters
 };
 
 /// Encode a message payload (without the length frame).

@@ -6,10 +6,26 @@
 
 namespace jhdl::net {
 
+namespace {
+
+ConnectSpec rtt_only(double injected_rtt_ms) {
+  ConnectSpec spec;
+  spec.injected_rtt_ms = injected_rtt_ms;
+  return spec;
+}
+
+}  // namespace
+
 SimClient::SimClient(std::uint16_t port, double injected_rtt_ms)
-    : stream_(TcpStream::connect(port)), injected_rtt_ms_(injected_rtt_ms) {
+    : SimClient(port, rtt_only(injected_rtt_ms)) {}
+
+SimClient::SimClient(std::uint16_t port, const ConnectSpec& spec)
+    : stream_(TcpStream::connect(port)), injected_rtt_ms_(spec.injected_rtt_ms) {
   Message hello;
   hello.type = MsgType::Hello;
+  hello.customer = spec.customer;
+  hello.name = spec.module;
+  hello.params = spec.params;
   Message reply = request(hello);
   if (reply.type != MsgType::Iface) {
     throw NetError("handshake failed: unexpected reply");
@@ -29,6 +45,12 @@ Message SimClient::request(const Message& msg) {
   Message reply = decode(stream_.recv_frame());
   if (reply.type == MsgType::Error) {
     throw std::runtime_error("remote error: " + reply.text);
+  }
+  if (reply.type == MsgType::Bye) {
+    // The server's farewell handshake: it is shutting down (or evicted
+    // this session) and will not answer the request.
+    stream_.close();
+    throw NetError("server closed the session");
   }
   return reply;
 }

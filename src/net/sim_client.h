@@ -19,12 +19,35 @@
 
 namespace jhdl::net {
 
+/// Everything a client states in the v2 Hello when opening a session
+/// against a multi-tenant DeliveryService: who it is (license lookup),
+/// which catalog module it wants, and the generator parameters. All
+/// fields may stay empty against a single-model SimServer.
+struct ConnectSpec {
+  std::string customer;
+  std::string module;
+  std::map<std::string, std::int64_t> params;
+  /// Synthetic network round-trip time added to every request
+  /// (0 = raw loopback).
+  double injected_rtt_ms = 0.0;
+};
+
 /// Client handle to a remote black-box simulation.
 class SimClient {
  public:
   /// Connect and handshake. `injected_rtt_ms` adds a synthetic network
   /// round-trip time to every request (0 = raw loopback).
-  SimClient(std::uint16_t port, double injected_rtt_ms = 0.0);
+  explicit SimClient(std::uint16_t port, double injected_rtt_ms = 0.0);
+
+  /// Connect-with-params: open a session for `spec.customer` on
+  /// `spec.module` built with `spec.params` (the delivery-service
+  /// handshake). Throws std::runtime_error carrying the server's Error
+  /// text on license/version/catalog rejection.
+  SimClient(std::uint16_t port, const ConnectSpec& spec);
+
+  /// Wire protocol version this client speaks (and negotiated in the
+  /// handshake - the server would have rejected a mismatch).
+  std::uint16_t protocol_version() const { return kProtocolVersion; }
 
   /// Parsed interface descriptor from the handshake.
   const Json& interface() const { return iface_; }

@@ -2,6 +2,49 @@
 
 namespace jhdl::net {
 
+Message dispatch_request(core::BlackBoxModel& model, const Message& request) {
+  Message reply;
+  switch (request.type) {
+    case MsgType::SetInput:
+      model.set_input(request.name, request.value);
+      reply.type = MsgType::Ok;
+      reply.count = model.cycle_count();
+      break;
+    case MsgType::GetOutput:
+      reply.type = MsgType::Value;
+      reply.value = model.get_output(request.name);
+      break;
+    case MsgType::Cycle:
+      model.cycle(request.count);
+      reply.type = MsgType::Ok;
+      reply.count = model.cycle_count();
+      break;
+    case MsgType::Reset:
+      model.reset();
+      reply.type = MsgType::Ok;
+      reply.count = model.cycle_count();
+      break;
+    case MsgType::Eval: {
+      // RMI-style transaction: set all inputs, advance, read all outputs.
+      for (const auto& [name, value] : request.values) {
+        model.set_input(name, value);
+      }
+      if (request.count > 0) model.cycle(request.count);
+      reply.type = MsgType::Values;
+      for (const core::BlackBoxPort& p : model.ports()) {
+        if (!p.is_input) {
+          reply.values.emplace(p.name, model.get_output(p.name));
+        }
+      }
+      break;
+    }
+    default:
+      reply.type = MsgType::Error;
+      reply.text = "unexpected message type";
+  }
+  return reply;
+}
+
 SimServer::SimServer(std::unique_ptr<core::BlackBoxModel> model)
     : model_(std::move(model)) {}
 
@@ -29,13 +72,41 @@ void SimServer::stop() {
   if (listener_ != nullptr) {
     listener_->close();  // unblocks accept()
   }
+  {
+    // Final handshake on a live session: a Bye frame tells a blocked
+    // client the server is going away; the shutdown then fails any
+    // in-flight recv on both sides immediately.
+    std::lock_guard<std::mutex> session_lock(session_mutex_);
+    if (session_.valid()) {
+      try {
+        Message bye;
+        bye.type = MsgType::Bye;
+        std::lock_guard<std::mutex> send_lock(send_mutex_);
+        session_.send_frame(encode(bye));
+      } catch (const NetError&) {
+        // Peer already gone; shutdown below still unblocks our thread.
+      }
+      session_.shutdown();
+    }
+  }
   if (thread_.joinable()) thread_.join();
 }
 
 void SimServer::serve_session(TcpStream stream) {
+  {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    session_ = std::move(stream);
+  }
   while (true) {
-    Message request = decode(stream.recv_frame());
-    if (request.type == MsgType::Bye) return;
+    Message request;
+    try {
+      request = decode(session_.recv_frame());
+    } catch (const std::exception&) {
+      // Peer closed, stop() shut us down, or the frame was malformed;
+      // the session is over either way.
+      break;
+    }
+    if (request.type == MsgType::Bye) break;
     ++requests_;
     Message reply;
     try {
@@ -44,53 +115,38 @@ void SimServer::serve_session(TcpStream stream) {
       reply.type = MsgType::Error;
       reply.text = e.what();
     }
-    stream.send_frame(encode(reply));
+    try {
+      send_reply(reply);
+    } catch (const NetError&) {
+      break;
+    }
   }
+  std::lock_guard<std::mutex> lock(session_mutex_);
+  session_.close();
+}
+
+void SimServer::send_reply(const Message& reply) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  session_.send_frame(encode(reply));
 }
 
 Message SimServer::handle(const Message& request) {
   Message reply;
   switch (request.type) {
     case MsgType::Hello:
+      if (request.version != kProtocolVersion) {
+        reply.type = MsgType::Error;
+        reply.text = "protocol version mismatch: server speaks v" +
+                     std::to_string(kProtocolVersion) + ", client sent v" +
+                     std::to_string(request.version) +
+                     " (old-format Hello); upgrade the client";
+        break;
+      }
       reply.type = MsgType::Iface;
       reply.text = model_->interface_json().dump();
       break;
-    case MsgType::SetInput:
-      model_->set_input(request.name, request.value);
-      reply.type = MsgType::Ok;
-      reply.count = model_->cycle_count();
-      break;
-    case MsgType::GetOutput:
-      reply.type = MsgType::Value;
-      reply.value = model_->get_output(request.name);
-      break;
-    case MsgType::Cycle:
-      model_->cycle(request.count);
-      reply.type = MsgType::Ok;
-      reply.count = model_->cycle_count();
-      break;
-    case MsgType::Reset:
-      model_->reset();
-      reply.type = MsgType::Ok;
-      reply.count = model_->cycle_count();
-      break;
-    case MsgType::Eval: {
-      // RMI-style transaction: set all inputs, advance, read all outputs.
-      for (const auto& [name, value] : request.values) {
-        model_->set_input(name, value);
-      }
-      if (request.count > 0) model_->cycle(request.count);
-      reply.type = MsgType::Values;
-      for (const core::BlackBoxPort& p : model_->ports()) {
-        if (!p.is_input) {
-          reply.values.emplace(p.name, model_->get_output(p.name));
-        }
-      }
-      break;
-    }
     default:
-      reply.type = MsgType::Error;
-      reply.text = "unexpected message type";
+      reply = dispatch_request(*model_, request);
   }
   return reply;
 }

@@ -1,10 +1,15 @@
 // SimServer: serves a BlackBoxModel over the co-simulation protocol -
 // the applet side of Figure 4. One thread services one session; the
 // model's internals never cross the wire, only port values.
+//
+// For the vendor-side service that multiplexes many concurrent sessions
+// over one port (catalog + licenses + worker pool), see
+// server/delivery_service.h.
 #pragma once
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "core/blackbox.h"
@@ -12,6 +17,12 @@
 #include "net/socket.h"
 
 namespace jhdl::net {
+
+/// Translate one in-session request (SetInput/GetOutput/Cycle/Reset/Eval)
+/// into a reply against `model`. Hello/Bye/Stats are session-level and not
+/// handled here. Shared by SimServer and the delivery service. Exceptions
+/// from the model propagate; callers turn them into Error replies.
+Message dispatch_request(core::BlackBoxModel& model, const Message& request);
 
 /// Serves one black-box model to one client session.
 class SimServer {
@@ -26,7 +37,9 @@ class SimServer {
   /// Returns the port to connect to.
   std::uint16_t start();
 
-  /// Stop the server and join the thread. Idempotent.
+  /// Stop the server and join the thread. Sends a final Bye on any open
+  /// session and shuts its socket down, so a client blocked on a reply
+  /// fails fast instead of hanging until TCP teardown. Idempotent.
   void stop();
 
   /// Requests handled so far (protocol round trips).
@@ -38,12 +51,18 @@ class SimServer {
 
  private:
   Message handle(const Message& request);
+  void send_reply(const Message& reply);
 
   std::unique_ptr<core::BlackBoxModel> model_;
   std::unique_ptr<TcpListener> listener_;
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::size_t> requests_{0};
+  // The live session's stream, shared between the service thread (recv /
+  // replies) and stop() (the farewell Bye). send_mutex_ serializes writes.
+  std::mutex session_mutex_;
+  std::mutex send_mutex_;
+  TcpStream session_;
 };
 
 }  // namespace jhdl::net

@@ -46,6 +46,20 @@ void TcpStream::close() {
   }
 }
 
+void TcpStream::shutdown() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void TcpStream::set_recv_timeout(int ms) {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
 TcpStream TcpStream::connect(std::uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) raise_errno("socket");
@@ -112,7 +126,7 @@ std::vector<std::uint8_t> TcpStream::recv_frame() {
   return payload;
 }
 
-TcpListener::TcpListener() {
+TcpListener::TcpListener(int backlog) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) raise_errno("socket");
   int one = 1;
@@ -124,7 +138,7 @@ TcpListener::TcpListener() {
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     raise_errno("bind");
   }
-  if (::listen(fd_, 4) != 0) raise_errno("listen");
+  if (::listen(fd_, backlog) != 0) raise_errno("listen");
   socklen_t len = sizeof addr;
   if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
     raise_errno("getsockname");
@@ -132,19 +146,26 @@ TcpListener::TcpListener() {
   port_ = ntohs(addr.sin_port);
 }
 
-TcpListener::~TcpListener() { close(); }
-
-void TcpListener::close() {
+TcpListener::~TcpListener() {
+  close();
   if (fd_ >= 0) {
-    // shutdown() first: closing alone does not wake a thread blocked in
-    // accept() on Linux, which would deadlock SimServer::stop().
-    ::shutdown(fd_, SHUT_RDWR);
     ::close(fd_);
     fd_ = -1;
   }
 }
 
+void TcpListener::close() {
+  // shutdown() rather than ::close(): it wakes a thread blocked in
+  // accept() on Linux (closing alone would not, deadlocking stop()), and
+  // it leaves fd_ untouched so a concurrent accept() never races on the
+  // descriptor or accidentally targets a recycled fd number.
+  if (fd_ >= 0 && !closed_.exchange(true)) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
 TcpStream TcpListener::accept() {
+  if (closed_.load()) throw NetError("listener closed");
   int fd = ::accept(fd_, nullptr, nullptr);
   if (fd < 0) raise_errno("accept");
   set_nodelay(fd);

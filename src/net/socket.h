@@ -2,6 +2,7 @@
 // message transport for the co-simulation protocol.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -32,6 +33,17 @@ class TcpStream {
   bool valid() const { return fd_ >= 0; }
   void close();
 
+  /// Shut down both directions without releasing the descriptor. Unlike
+  /// close(), this is safe to call from another thread while this stream
+  /// is blocked in recv_frame()/send_frame(): the blocked call fails with
+  /// NetError instead of hanging. Used for session eviction and shutdown.
+  void shutdown();
+
+  /// Bound every subsequent recv to `ms` milliseconds; a timed-out
+  /// recv_frame throws NetError (0 = block forever again). Used for
+  /// bounded reads on the accept path.
+  void set_recv_timeout(int ms);
+
   /// Send one length-framed payload. Throws NetError on failure.
   void send_frame(const std::vector<std::uint8_t>& payload);
   /// Receive one frame. Throws NetError on failure or orderly close.
@@ -46,7 +58,10 @@ class TcpStream {
 /// A listening socket on 127.0.0.1 with a kernel-chosen port.
 class TcpListener {
  public:
-  TcpListener();
+  /// `backlog` sizes the kernel pending-connection queue; the delivery
+  /// service raises it so connection bursts reach the application-level
+  /// accept queue instead of being dropped by the kernel.
+  explicit TcpListener(int backlog = 8);
   ~TcpListener();
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
@@ -54,11 +69,16 @@ class TcpListener {
   std::uint16_t port() const { return port_; }
   /// Accept one connection (blocking). Throws NetError on failure.
   TcpStream accept();
+  /// Stop accepting: shuts the socket down so a thread blocked in
+  /// accept() fails with NetError. Safe to call from any thread; the
+  /// descriptor itself is released in the destructor, once no thread can
+  /// still be inside accept().
   void close();
 
  private:
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace jhdl::net

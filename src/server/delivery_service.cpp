@@ -1,0 +1,338 @@
+#include "server/delivery_service.h"
+
+#include <algorithm>
+
+#include "core/feature.h"
+#include "core/params.h"
+#include "net/sim_server.h"
+
+namespace jhdl::server {
+
+using net::decode;
+using net::encode;
+using net::Message;
+using net::MsgType;
+
+DeliveryService::DeliveryService(core::IpCatalog catalog,
+                                 DeliveryConfig config)
+    : catalog_(std::move(catalog)), config_(config) {
+  if (config_.workers == 0) config_.workers = 1;
+}
+
+DeliveryService::~DeliveryService() { stop(); }
+
+void DeliveryService::add_license(core::LicensePolicy policy) {
+  std::lock_guard<std::mutex> lock(license_mutex_);
+  licenses_[policy.customer] = std::move(policy);
+}
+
+std::uint16_t DeliveryService::start() {
+  listener_ = std::make_unique<net::TcpListener>(config_.listen_backlog);
+  std::uint16_t port = listener_->port();
+  running_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  if (config_.idle_timeout.count() > 0) {
+    reaper_ = std::thread([this] { reaper_loop(); });
+  }
+  return port;
+}
+
+void DeliveryService::stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  if (listener_ != nullptr) listener_->close();  // unblocks accept()
+  // Turn away connections still waiting for a worker.
+  std::deque<net::TcpStream> orphans;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    orphans.swap(queue_);
+  }
+  for (net::TcpStream& stream : orphans) {
+    stats_.record_dequeue();
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    send_error(stream, "server shutting down");
+  }
+  queue_cv_.notify_all();
+  reaper_cv_.notify_all();
+  // Fail workers blocked in a handshake recv (accepted connections whose
+  // client never sent Hello).
+  {
+    std::lock_guard<std::mutex> lock(handshake_mutex_);
+    for (net::TcpStream* stream : handshaking_) stream->shutdown();
+  }
+  // Fail the blocked recv of every live session; its worker then runs
+  // the ordinary close path and exits.
+  sessions_.shutdown_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  if (reaper_.joinable()) reaper_.join();
+}
+
+void DeliveryService::accept_loop() {
+  while (running_) {
+    net::TcpStream stream;
+    try {
+      stream = listener_->accept();
+    } catch (const net::NetError&) {
+      continue;  // listener closed during stop(), or transient error
+    }
+    const std::size_t capacity = config_.workers + config_.queue_capacity;
+    // Reserve a slot; the (capacity+1)-th simultaneous connection gets an
+    // immediate protocol Error instead of unbounded queueing.
+    if (in_flight_.fetch_add(1, std::memory_order_relaxed) >= capacity) {
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      stats_.record_rejection();
+      send_error(stream,
+                 "server saturated: " + std::to_string(capacity) +
+                     " sessions in flight; retry later");
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      queue_.push_back(std::move(stream));
+    }
+    stats_.record_enqueue();
+    queue_cv_.notify_one();
+  }
+}
+
+void DeliveryService::worker_loop() {
+  while (true) {
+    net::TcpStream stream;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return !running_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (!running_) return;
+        continue;
+      }
+      stream = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    stats_.record_dequeue();
+    serve_connection(std::move(stream));
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DeliveryService::reaper_loop() {
+  // Wake a few times per timeout so eviction lag stays well under one
+  // extra timeout period.
+  const auto period =
+      std::max<std::chrono::milliseconds>(config_.idle_timeout / 4,
+                                          std::chrono::milliseconds(5));
+  std::unique_lock<std::mutex> lock(reaper_mutex_);
+  while (running_) {
+    reaper_cv_.wait_for(lock, period, [this] { return !running_.load(); });
+    if (!running_) return;
+    sessions_.evict_idle(config_.idle_timeout);
+  }
+}
+
+void DeliveryService::serve_connection(net::TcpStream stream) {
+  if (!register_handshake(&stream)) return;  // already stopping
+  Message first;
+  bool handshake_ok = true;
+  try {
+    first = decode(stream.recv_frame());
+  } catch (const std::exception&) {
+    handshake_ok = false;  // malformed or vanished before the handshake
+  }
+  unregister_handshake(&stream);
+  if (!handshake_ok) return;
+  if (first.type == MsgType::Stats) {
+    // Bare admin query: answer and close.
+    Message reply;
+    reply.type = MsgType::StatsReply;
+    reply.text = stats_.to_json().dump();
+    try {
+      stream.send_frame(encode(reply));
+    } catch (const net::NetError&) {
+    }
+    return;
+  }
+  if (first.type != MsgType::Hello) {
+    send_error(stream, "expected Hello to open a session");
+    return;
+  }
+  std::shared_ptr<Session> session;
+  Message reply = open_session(first, stream, session);
+  if (session == nullptr) {
+    try {
+      stream.send_frame(encode(reply));
+    } catch (const net::NetError&) {
+    }
+    return;
+  }
+  try {
+    session->stream.send_frame(encode(reply));
+  } catch (const net::NetError&) {
+    sessions_.close(session);
+    return;
+  }
+  serve_session(session);
+  sessions_.close(session);
+}
+
+Message DeliveryService::open_session(const Message& hello,
+                                      net::TcpStream& stream,
+                                      std::shared_ptr<Session>& session) {
+  Message error;
+  error.type = MsgType::Error;
+  if (hello.version != net::kProtocolVersion) {
+    error.text = "protocol version mismatch: server speaks v" +
+                 std::to_string(net::kProtocolVersion) + ", client sent v" +
+                 std::to_string(hello.version) +
+                 (hello.version == 1 ? " (old-format Hello)" : "") +
+                 "; upgrade the client";
+    stats_.record_denial();
+    return error;
+  }
+  core::LicensePolicy license;
+  {
+    std::lock_guard<std::mutex> lock(license_mutex_);
+    auto it = licenses_.find(hello.customer);
+    if (it == licenses_.end()) {
+      error.text = "unknown customer '" + hello.customer +
+                   "': no license on file";
+      stats_.record_denial();
+      return error;
+    }
+    license = it->second;
+  }
+  if (!license.features.has(core::Feature::BlackBoxSim)) {
+    error.text = "license for '" + hello.customer + "' (" +
+                 core::license_tier_name(license.tier) +
+                 " tier) does not grant black-box simulation";
+    stats_.record_denial();
+    return error;
+  }
+  if (!license.valid_on(config_.today)) {
+    error.text = "license for '" + hello.customer + "' expired on day " +
+                 std::to_string(license.expires_day);
+    stats_.record_denial();
+    return error;
+  }
+  auto generator = catalog_.find(hello.name);
+  if (generator == nullptr) {
+    error.text = "catalog has no IP named '" + hello.name + "'";
+    stats_.record_denial();
+    return error;
+  }
+  std::unique_ptr<core::BlackBoxModel> model;
+  try {
+    core::ParamMap params;
+    for (const auto& [name, value] : hello.params) params.set(name, value);
+    model = std::make_unique<core::BlackBoxModel>(
+        generator->build(params.resolved(generator->params())),
+        generator->name());
+  } catch (const std::exception& e) {
+    error.text = std::string("build failed: ") + e.what();
+    stats_.record_denial();
+    return error;
+  }
+  session = sessions_.open(hello.customer, hello.name, std::move(model),
+                           std::move(stream));
+  Json iface = session->model->interface_json();
+  iface.set("customer", session->customer);
+  iface.set("session", session->id);
+  iface.set("protocol", std::size_t{net::kProtocolVersion});
+  Message reply;
+  reply.type = MsgType::Iface;
+  reply.text = iface.dump();
+  return reply;
+}
+
+void DeliveryService::serve_session(const std::shared_ptr<Session>& session) {
+  while (running_ && !session->evicted.load(std::memory_order_relaxed)) {
+    Message request;
+    try {
+      request = decode(session->stream.recv_frame());
+    } catch (const std::exception&) {
+      return;  // peer closed, evicted mid-recv, or malformed frame
+    }
+    if (request.type == MsgType::Bye) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    Message reply;
+    if (request.type == MsgType::Stats) {
+      // Admin counters are also queryable mid-session.
+      reply.type = MsgType::StatsReply;
+      reply.text = stats_.to_json().dump();
+    } else {
+      try {
+        reply = net::dispatch_request(*session->model, request);
+      } catch (const std::exception& e) {
+        reply.type = MsgType::Error;
+        reply.text = e.what();
+      }
+    }
+    const auto micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    stats_.record_request(static_cast<std::uint64_t>(micros));
+    session->touch();
+    try {
+      session->stream.send_frame(encode(reply));
+    } catch (const net::NetError&) {
+      return;
+    }
+  }
+}
+
+bool DeliveryService::register_handshake(net::TcpStream* stream) {
+  std::lock_guard<std::mutex> lock(handshake_mutex_);
+  if (!running_) return false;
+  handshaking_.push_back(stream);
+  return true;
+}
+
+void DeliveryService::unregister_handshake(net::TcpStream* stream) {
+  std::lock_guard<std::mutex> lock(handshake_mutex_);
+  std::erase(handshaking_, stream);
+}
+
+void DeliveryService::send_error(net::TcpStream& stream,
+                                 const std::string& text) {
+  // Consume the request the client (almost certainly) already sent,
+  // bounded so a silent peer cannot stall the accept thread. Closing
+  // with unread data in the receive buffer would RST the connection and
+  // discard the very Error we are about to send.
+  stream.set_recv_timeout(100);
+  try {
+    stream.recv_frame();
+  } catch (const net::NetError&) {
+    // Nothing arrived in time, or the peer is gone; reply regardless.
+  }
+  Message reply;
+  reply.type = MsgType::Error;
+  reply.text = text;
+  try {
+    stream.send_frame(encode(reply));
+  } catch (const net::NetError&) {
+    // Peer is already gone; nothing to tell it.
+  }
+  stream.shutdown();
+}
+
+Json query_stats(std::uint16_t port) {
+  net::TcpStream stream = net::TcpStream::connect(port);
+  Message query;
+  query.type = MsgType::Stats;
+  stream.send_frame(encode(query));
+  Message reply = decode(stream.recv_frame());
+  if (reply.type != MsgType::StatsReply) {
+    throw net::NetError("stats query failed: unexpected reply");
+  }
+  return Json::parse(reply.text);
+}
+
+}  // namespace jhdl::server

@@ -1,0 +1,148 @@
+// DeliveryService: the vendor-side multi-tenant IP delivery server.
+//
+// The paper's black-box scenario (Section 4.2) pairs one applet process
+// with one customer. This subsystem is the JavaCAD-style vendor service
+// that the ROADMAP's production north star needs instead: ONE port, the
+// WHOLE core::IpCatalog behind it, and many concurrent co-simulation
+// sessions multiplexed over a fixed worker pool.
+//
+//   DeliveryService service(catalog, {.workers = 8, .queue_capacity = 16});
+//   service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+//   std::uint16_t port = service.start();
+//   ...
+//   SimClient client(port, ConnectSpec{.customer = "acme",
+//                                      .module = "kcm-multiplier",
+//                                      .params = {{"constant", -56}}});
+//
+// Lifecycle of a connection:
+//   accept thread    accepts; rejects with a protocol Error when
+//                    in-flight connections reach workers + queue_capacity
+//                    (backpressure instead of unbounded queueing);
+//   worker thread    pops the connection, validates the v2 Hello
+//                    (protocol version, customer license incl. the
+//                    BlackBoxSim feature and expiry, catalog lookup,
+//                    parameter resolution), builds a PRIVATE
+//                    BlackBoxModel for the session, replies Iface, then
+//                    serves requests until Bye / disconnect / eviction;
+//   reaper thread    evicts sessions idle past config.idle_timeout;
+//   admin            Stats query (first message instead of Hello, or
+//                    mid-session) returns the ServerStats counters as
+//                    JSON; query_stats() is the client-side helper.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/license.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "server/session.h"
+#include "server/stats.h"
+#include "util/json.h"
+
+namespace jhdl::server {
+
+/// Sizing and policy knobs for one DeliveryService.
+struct DeliveryConfig {
+  /// Worker threads; also the number of sessions served concurrently.
+  std::size_t workers = 4;
+  /// Accepted connections allowed to wait for a free worker beyond the
+  /// pool; the (workers + queue_capacity + 1)-th simultaneous connection
+  /// is rejected with a protocol Error.
+  std::size_t queue_capacity = 8;
+  /// Sessions idle longer than this are evicted (0 = never).
+  std::chrono::milliseconds idle_timeout{0};
+  /// Vendor calendar day used for license-expiry checks.
+  int today = 0;
+  /// Kernel listen() backlog.
+  int listen_backlog = 64;
+};
+
+/// Serves many concurrent black-box sessions from one catalog.
+class DeliveryService {
+ public:
+  /// Takes the catalog by value: the service owns its own storefront.
+  explicit DeliveryService(core::IpCatalog catalog,
+                           DeliveryConfig config = {});
+  ~DeliveryService();
+  DeliveryService(const DeliveryService&) = delete;
+  DeliveryService& operator=(const DeliveryService&) = delete;
+
+  /// Register (or replace) a customer license. Sessions opened by
+  /// unknown customers, or by licenses lacking the BlackBoxSim feature,
+  /// are refused at the handshake.
+  void add_license(core::LicensePolicy policy);
+
+  /// Bind, spin up the accept/worker/reaper threads, return the port.
+  std::uint16_t start();
+
+  /// Stop everything: reject queued connections, shut down live
+  /// sessions, join all threads. Idempotent.
+  void stop();
+
+  const DeliveryConfig& config() const { return config_; }
+  const core::IpCatalog& catalog() const { return catalog_; }
+  const ServerStats& stats() const { return stats_; }
+  SessionManager& sessions() { return sessions_; }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void reaper_loop();
+  void serve_connection(net::TcpStream stream);
+  /// Validate the Hello; on success fill `session` and return the Iface
+  /// reply, else return the Error reply (and count the denial).
+  net::Message open_session(const net::Message& hello,
+                            net::TcpStream& stream,
+                            std::shared_ptr<Session>& session);
+  void serve_session(const std::shared_ptr<Session>& session);
+  static void send_error(net::TcpStream& stream, const std::string& text);
+  /// Track a connection that is between accept and session open, so
+  /// stop() can fail its blocked handshake recv. Returns false when the
+  /// service is already stopping (caller should drop the connection).
+  bool register_handshake(net::TcpStream* stream);
+  void unregister_handshake(net::TcpStream* stream);
+
+  core::IpCatalog catalog_;
+  DeliveryConfig config_;
+  ServerStats stats_;
+  SessionManager sessions_{stats_};
+
+  std::mutex license_mutex_;
+  std::map<std::string, core::LicensePolicy> licenses_;
+
+  std::unique_ptr<net::TcpListener> listener_;
+  std::atomic<bool> running_{false};
+  /// Accepted connections not yet finished: queued + in service.
+  std::atomic<std::size_t> in_flight_{0};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<net::TcpStream> queue_;
+
+  std::mutex handshake_mutex_;
+  std::vector<net::TcpStream*> handshaking_;
+
+  std::mutex reaper_mutex_;
+  std::condition_variable reaper_cv_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::thread reaper_;
+};
+
+/// Admin helper: connect to a running service, issue the Stats query,
+/// return the parsed counters.
+Json query_stats(std::uint16_t port);
+
+}  // namespace jhdl::server

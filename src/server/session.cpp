@@ -1,0 +1,91 @@
+#include "server/session.h"
+
+namespace jhdl::server {
+
+std::shared_ptr<Session> SessionManager::open(
+    std::string customer, std::string module,
+    std::unique_ptr<core::BlackBoxModel> model, net::TcpStream stream) {
+  auto session = std::make_shared<Session>();
+  session->customer = std::move(customer);
+  session->module = std::move(module);
+  session->model = std::move(model);
+  session->stream = std::move(stream);
+  session->touch();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    session->id = next_id_++;
+    sessions_.emplace(session->id, session);
+  }
+  stats_.record_open();
+  return session;
+}
+
+void SessionManager::close(const std::shared_ptr<Session>& session) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sessions_.erase(session->id) == 0) return;  // already closed
+  }
+  // No explicit stream.close() here: a concurrent evictor may still be
+  // inside stream.shutdown(). The fd closes in the Session destructor,
+  // once every holder (worker, map, evictor) has dropped its reference.
+  stats_.record_close(session->evicted.load(std::memory_order_relaxed));
+}
+
+std::vector<SessionManager::Info> SessionManager::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Info> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    out.push_back({id, session->customer, session->module});
+  }
+  return out;
+}
+
+std::size_t SessionManager::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+bool SessionManager::evict(std::uint64_t id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return false;
+    session = it->second;
+  }
+  session->evicted.store(true, std::memory_order_relaxed);
+  session->stream.shutdown();
+  return true;
+}
+
+std::size_t SessionManager::evict_idle(std::chrono::nanoseconds older_than) {
+  const std::int64_t now =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  std::vector<std::shared_ptr<Session>> stale;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, session] : sessions_) {
+      const std::int64_t last =
+          session->last_active_ns.load(std::memory_order_relaxed);
+      if (now - last > older_than.count()) stale.push_back(session);
+    }
+  }
+  for (const auto& session : stale) {
+    session->evicted.store(true, std::memory_order_relaxed);
+    session->stream.shutdown();
+  }
+  return stale.size();
+}
+
+void SessionManager::shutdown_all() {
+  std::vector<std::shared_ptr<Session>> live;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) live.push_back(session);
+  }
+  for (const auto& session : live) session->stream.shutdown();
+}
+
+}  // namespace jhdl::server

@@ -1,0 +1,88 @@
+// Session bookkeeping for the multi-tenant delivery service.
+//
+// One Session = one customer connection bound to one freshly built
+// BlackBoxModel. The worker that owns the connection is the only thread
+// that touches the model; other threads (the idle reaper, admin eviction,
+// service shutdown) interact with a session exclusively through its
+// atomic activity stamp and TcpStream::shutdown(), which fails the
+// worker's blocked recv and makes it run the ordinary close path.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/blackbox.h"
+#include "net/socket.h"
+#include "server/stats.h"
+
+namespace jhdl::server {
+
+/// One live co-simulation session.
+struct Session {
+  std::uint64_t id = 0;
+  std::string customer;
+  std::string module;
+  std::unique_ptr<core::BlackBoxModel> model;
+  net::TcpStream stream;
+  /// steady_clock time of the last serviced request, as nanosecond ticks.
+  std::atomic<std::int64_t> last_active_ns{0};
+  /// Set by the reaper / admin before shutting the stream down, so the
+  /// worker can tell an eviction from an ordinary peer close.
+  std::atomic<bool> evicted{false};
+
+  void touch() {
+    last_active_ns.store(
+        std::chrono::steady_clock::now().time_since_epoch().count(),
+        std::memory_order_relaxed);
+  }
+};
+
+/// Owns all live sessions of one DeliveryService; thread-safe.
+class SessionManager {
+ public:
+  explicit SessionManager(ServerStats& stats) : stats_(stats) {}
+
+  /// Register a new session (assigns the id, stamps activity, counts it).
+  std::shared_ptr<Session> open(std::string customer, std::string module,
+                                std::unique_ptr<core::BlackBoxModel> model,
+                                net::TcpStream stream);
+
+  /// Unregister; counts evicted vs closed from session->evicted. Called
+  /// by the owning worker once its serve loop ends. Idempotent.
+  void close(const std::shared_ptr<Session>& session);
+
+  /// Admin view of one live session.
+  struct Info {
+    std::uint64_t id;
+    std::string customer;
+    std::string module;
+  };
+  std::vector<Info> list() const;
+  std::size_t active() const;
+
+  /// Explicit admin eviction. Marks the session and shuts its stream
+  /// down; the owning worker then closes it. False if the id is gone.
+  bool evict(std::uint64_t id);
+
+  /// Evict every session idle longer than `older_than`. Returns how many
+  /// were marked. Called by the service's reaper thread.
+  std::size_t evict_idle(std::chrono::nanoseconds older_than);
+
+  /// Shut down every live session's stream (service stop). Sessions are
+  /// not marked evicted: shutdown closures count as ordinary closes.
+  void shutdown_all();
+
+ private:
+  ServerStats& stats_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace jhdl::server

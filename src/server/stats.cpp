@@ -1,0 +1,70 @@
+#include "server/stats.h"
+
+#include <bit>
+
+namespace jhdl::server {
+namespace {
+
+// Percentile over the log2 histogram: the upper bound (2^b µs) of the
+// bucket where the cumulative count crosses `fraction` of the total.
+double percentile_us(const std::array<std::uint64_t, 40>& buckets,
+                     std::uint64_t total, double fraction) {
+  if (total == 0) return 0.0;
+  const double threshold = fraction * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= threshold) {
+      return static_cast<double>(std::uint64_t{1} << b);
+    }
+  }
+  return static_cast<double>(std::uint64_t{1} << (buckets.size() - 1));
+}
+
+}  // namespace
+
+void ServerStats::record_request(std::uint64_t micros) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t bucket = static_cast<std::size_t>(std::bit_width(micros));
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  latency_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+ServerStats::Snapshot ServerStats::snapshot() const {
+  Snapshot s;
+  s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  s.sessions_active = sessions_active_.load(std::memory_order_relaxed);
+  s.sessions_evicted = sessions_evicted_.load(std::memory_order_relaxed);
+  s.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  s.queued = queued_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.rejections = rejections_.load(std::memory_order_relaxed);
+  s.denials = denials_.load(std::memory_order_relaxed);
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    buckets[b] = latency_buckets_[b].load(std::memory_order_relaxed);
+    total += buckets[b];
+  }
+  s.p50_request_us = percentile_us(buckets, total, 0.50);
+  s.p95_request_us = percentile_us(buckets, total, 0.95);
+  return s;
+}
+
+Json ServerStats::Snapshot::to_json() const {
+  Json j = Json::object();
+  j.set("sessions_opened", sessions_opened);
+  j.set("sessions_active", sessions_active);
+  j.set("sessions_evicted", sessions_evicted);
+  j.set("sessions_closed", sessions_closed);
+  j.set("queued", queued);
+  j.set("requests", requests);
+  j.set("rejections", rejections);
+  j.set("denials", denials);
+  j.set("p50_request_us", p50_request_us);
+  j.set("p95_request_us", p95_request_us);
+  return j;
+}
+
+}  // namespace jhdl::server

@@ -1,0 +1,77 @@
+// ServerStats: lock-free counters for the multi-tenant delivery service.
+//
+// Every mutation is a relaxed atomic so the hot request path never takes
+// a lock; request latencies go into power-of-two microsecond buckets from
+// which p50/p95 are read back as bucket upper bounds (exact enough for
+// capacity planning, immune to unbounded memory growth).
+//
+// The counters are exposed two ways: in-process via snapshot(), and over
+// the wire as JSON through the Stats admin query (bench/ dumps that JSON
+// as BENCH_delivery.json).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "util/json.h"
+
+namespace jhdl::server {
+
+/// Counters block for one DeliveryService instance.
+class ServerStats {
+ public:
+  /// Plain-value copy of all counters at one instant.
+  struct Snapshot {
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t sessions_active = 0;   // gauge
+    std::uint64_t sessions_evicted = 0;  // idle-timeout or admin eviction
+    std::uint64_t sessions_closed = 0;   // orderly Bye / peer close
+    std::uint64_t queued = 0;            // gauge: accepted, awaiting worker
+    std::uint64_t requests = 0;
+    std::uint64_t rejections = 0;  // saturation: accept queue full
+    std::uint64_t denials = 0;     // license / version / catalog refusals
+    double p50_request_us = 0.0;
+    double p95_request_us = 0.0;
+
+    Json to_json() const;
+  };
+
+  void record_open() {
+    sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+    sessions_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_close(bool evicted) {
+    sessions_active_.fetch_sub(1, std::memory_order_relaxed);
+    (evicted ? sessions_evicted_ : sessions_closed_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_enqueue() { queued_.fetch_add(1, std::memory_order_relaxed); }
+  void record_dequeue() { queued_.fetch_sub(1, std::memory_order_relaxed); }
+  void record_rejection() {
+    rejections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_denial() { denials_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Count one serviced request taking `micros` µs end to end.
+  void record_request(std::uint64_t micros);
+
+  Snapshot snapshot() const;
+  Json to_json() const { return snapshot().to_json(); }
+
+ private:
+  // Bucket b holds latencies in [2^(b-1), 2^b) µs; bucket 0 holds < 1 µs.
+  static constexpr std::size_t kBuckets = 40;
+
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint64_t> sessions_active_{0};
+  std::atomic<std::uint64_t> sessions_evicted_{0};
+  std::atomic<std::uint64_t> sessions_closed_{0};
+  std::atomic<std::uint64_t> queued_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> rejections_{0};
+  std::atomic<std::uint64_t> denials_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> latency_buckets_{};
+};
+
+}  // namespace jhdl::server

@@ -1,0 +1,433 @@
+// Tests for the multi-tenant delivery service (src/server): concurrent
+// session isolation, saturation backpressure, idle-timeout and explicit
+// eviction, license gating at session open, protocol version negotiation,
+// the ServerStats counters / admin query, and the SimServer farewell
+// handshake on stop().
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/generators.h"
+#include "net/protocol.h"
+#include "net/sim_client.h"
+#include "net/sim_server.h"
+#include "server/delivery_service.h"
+
+namespace jhdl {
+namespace {
+
+using namespace jhdl::core;
+using namespace jhdl::net;
+using namespace jhdl::server;
+using namespace std::chrono_literals;
+
+IpCatalog make_catalog() {
+  IpCatalog catalog;
+  catalog.add(std::make_shared<AdderGenerator>());
+  catalog.add(std::make_shared<KcmGenerator>());
+  return catalog;
+}
+
+/// Spin until `pred` holds or ~2 s elapse. Returns the final value.
+bool eventually(const std::function<bool()>& pred) {
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+TEST(ProtocolV2Test, HelloCarriesVersionCustomerModuleParams) {
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.customer = "acme";
+  hello.name = "kcm-multiplier";
+  hello.params["constant"] = -56;
+  hello.params["input_width"] = 8;
+  Message back = decode(encode(hello));
+  EXPECT_EQ(back.type, MsgType::Hello);
+  EXPECT_EQ(back.version, kProtocolVersion);
+  EXPECT_EQ(back.customer, "acme");
+  EXPECT_EQ(back.name, "kcm-multiplier");
+  ASSERT_EQ(back.params.size(), 2u);
+  EXPECT_EQ(back.params.at("constant"), -56);
+  EXPECT_EQ(back.params.at("input_width"), 8);
+}
+
+TEST(ProtocolV2Test, LegacyHelloDecodesAsVersionOne) {
+  // A v1 Hello is the bare type byte; it must decode (not throw) so the
+  // server can answer with a clear version-mismatch Error.
+  Message legacy = decode({static_cast<std::uint8_t>(MsgType::Hello)});
+  EXPECT_EQ(legacy.type, MsgType::Hello);
+  EXPECT_EQ(legacy.version, 1u);
+  EXPECT_EQ(protocol_version(), kProtocolVersion);
+}
+
+TEST(ProtocolV2Test, StatsRoundTrip) {
+  Message query;
+  query.type = MsgType::Stats;
+  EXPECT_EQ(decode(encode(query)).type, MsgType::Stats);
+  Message reply;
+  reply.type = MsgType::StatsReply;
+  reply.text = "{\"requests\": 7}";
+  Message back = decode(encode(reply));
+  EXPECT_EQ(back.type, MsgType::StatsReply);
+  EXPECT_EQ(back.text, "{\"requests\": 7}");
+}
+
+// The acceptance-criteria workhorse: >= 8 concurrent sessions against one
+// service, alternating between two catalog entries with PER-SESSION
+// parameters, each asserting its own arithmetic - any cross-talk in
+// port values or model state fails the expectations.
+TEST(DeliveryServiceTest, ConcurrentSessionsAreIsolated) {
+  constexpr int kClients = 8;
+  constexpr int kEvalsPerClient = 25;
+  DeliveryConfig config;
+  config.workers = kClients;
+  config.queue_capacity = kClients;
+  DeliveryService service(make_catalog(), config);
+  for (int i = 0; i < kClients; ++i) {
+    service.add_license(LicensePolicy::make("cust" + std::to_string(i),
+                                            LicenseTier::Evaluation));
+  }
+  std::uint16_t port = service.start();
+
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      try {
+        ConnectSpec spec;
+        spec.customer = "cust" + std::to_string(i);
+        if (i % 2 == 0) {
+          spec.module = "carry-adder";
+          spec.params["width"] = 16;
+        } else {
+          spec.module = "kcm-multiplier";
+          spec.params["input_width"] = 8;
+          spec.params["constant"] = 3 + i;  // distinct per session
+          spec.params["signed_mode"] = 1;
+        }
+        SimClient client(port, spec);
+        for (int k = 0; k < kEvalsPerClient; ++k) {
+          std::map<std::string, BitVector> inputs;
+          if (i % 2 == 0) {
+            const std::uint64_t a = 1000 + 97 * i + k;
+            const std::uint64_t b = 13 * i + 7 * k;
+            inputs["a"] = BitVector::from_uint(16, a);
+            inputs["b"] = BitVector::from_uint(16, b);
+            auto out = client.eval(inputs, 0);
+            const std::uint64_t want = (a + b) & 0xFFFF;
+            if (out.at("s").to_uint() != want) {
+              failures[i] = "adder cross-talk at k=" + std::to_string(k);
+              return;
+            }
+          } else {
+            const std::int64_t x = -100 + 8 * k + i;
+            inputs["multiplicand"] = BitVector::from_int(8, x);
+            auto out = client.eval(inputs, 0);
+            // Full-width signed product: exact, whatever the width the
+            // session's constant produced.
+            if (out.at("product").to_int() != (3 + i) * x) {
+              failures[i] = "kcm cross-talk at k=" + std::to_string(k);
+              return;
+            }
+          }
+        }
+        client.bye();
+      } catch (const std::exception& e) {
+        failures[i] = e.what();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(failures[i], "") << "client " << i;
+  }
+
+  EXPECT_TRUE(eventually(
+      [&] { return service.stats().snapshot().sessions_active == 0; }));
+  service.stop();
+  ServerStats::Snapshot s = service.stats().snapshot();
+  EXPECT_EQ(s.sessions_opened, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(s.sessions_active, 0u);
+  EXPECT_EQ(s.sessions_closed, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(s.sessions_evicted, 0u);
+  EXPECT_EQ(s.rejections, 0u);
+  EXPECT_EQ(s.requests,
+            static_cast<std::uint64_t>(kClients * kEvalsPerClient));
+  EXPECT_GE(s.p95_request_us, s.p50_request_us);
+}
+
+TEST(DeliveryServiceTest, SaturationRejectsWithProtocolError) {
+  DeliveryConfig config;
+  config.workers = 2;
+  config.queue_capacity = 1;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "carry-adder";
+  spec.params["width"] = 8;
+
+  // Fill the worker pool: two live sessions.
+  SimClient held1(port, spec);
+  SimClient held2(port, spec);
+  ASSERT_TRUE(eventually(
+      [&] { return service.stats().snapshot().sessions_active == 2; }));
+
+  // Fill the accept queue: a connection whose Hello cannot be serviced
+  // while both workers are occupied.
+  TcpStream queued = TcpStream::connect(port);
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.customer = "acme";
+  hello.name = "carry-adder";
+  queued.send_frame(encode(hello));
+  ASSERT_TRUE(
+      eventually([&] { return service.stats().snapshot().queued == 1; }));
+
+  // The (workers + queue + 1)-th simultaneous session: rejected with a
+  // protocol Error, not a hang.
+  try {
+    SimClient rejected(port, spec);
+    FAIL() << "expected saturation rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("saturated"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(service.stats().snapshot().rejections, 1u);
+
+  // Backpressure drains: close one held session and the queued
+  // connection gets its Iface.
+  held1.bye();
+  Message iface = decode(queued.recv_frame());
+  EXPECT_EQ(iface.type, MsgType::Iface);
+
+  held2.bye();
+  service.stop();
+}
+
+TEST(DeliveryServiceTest, IdleSessionsAreEvicted) {
+  DeliveryConfig config;
+  config.workers = 2;
+  config.idle_timeout = 40ms;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "carry-adder";
+  spec.params["width"] = 8;
+  SimClient client(port, spec);
+  std::map<std::string, BitVector> inputs;
+  inputs["a"] = BitVector::from_uint(8, 3);
+  inputs["b"] = BitVector::from_uint(8, 4);
+  EXPECT_EQ(client.eval(inputs, 0).at("s").to_uint(), 7u);
+
+  // Stay idle past the timeout; the reaper evicts the session.
+  EXPECT_TRUE(eventually(
+      [&] { return service.stats().snapshot().sessions_evicted == 1; }));
+  EXPECT_TRUE(eventually(
+      [&] { return service.stats().snapshot().sessions_active == 0; }));
+  EXPECT_THROW(client.eval(inputs, 0), std::exception);
+  service.stop();
+}
+
+TEST(DeliveryServiceTest, ExplicitEviction) {
+  DeliveryService service(make_catalog());
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "carry-adder";
+  SimClient client(port, spec);
+  ASSERT_TRUE(eventually([&] { return service.sessions().active() == 1; }));
+
+  auto live = service.sessions().list();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].customer, "acme");
+  EXPECT_EQ(live[0].module, "carry-adder");
+
+  EXPECT_TRUE(service.sessions().evict(live[0].id));
+  EXPECT_TRUE(eventually([&] { return service.sessions().active() == 0; }));
+  EXPECT_FALSE(service.sessions().evict(live[0].id));
+  EXPECT_EQ(service.stats().snapshot().sessions_evicted, 1u);
+
+  std::map<std::string, BitVector> inputs;
+  inputs["a"] = BitVector::from_uint(16, 1);
+  inputs["b"] = BitVector::from_uint(16, 2);
+  EXPECT_THROW(client.eval(inputs, 0), std::exception);
+  service.stop();
+}
+
+TEST(DeliveryServiceTest, LicenseGatesSessionOpen) {
+  DeliveryConfig config;
+  config.today = 20;
+  DeliveryService service(make_catalog(), config);
+  // Anonymous tier has no BlackBoxSim feature; "expired"'s license ended
+  // on day 10 and the service runs on day 20.
+  service.add_license(LicensePolicy::make("anon", LicenseTier::Anonymous));
+  service.add_license(
+      LicensePolicy::make("expired", LicenseTier::Evaluation, 10));
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  auto open_as = [&](const std::string& customer, const std::string& module) {
+    ConnectSpec spec;
+    spec.customer = customer;
+    spec.module = module;
+    return SimClient(port, spec);
+  };
+  auto expect_denied = [&](const std::string& customer,
+                           const std::string& module,
+                           const std::string& needle) {
+    try {
+      open_as(customer, module);
+      FAIL() << customer << " should have been denied";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_denied("anon", "carry-adder", "does not grant black-box");
+  expect_denied("stranger", "carry-adder", "no license");
+  expect_denied("expired", "carry-adder", "expired");
+  expect_denied("acme", "no-such-ip", "no IP named");
+  EXPECT_EQ(service.stats().snapshot().denials, 4u);
+
+  // The properly licensed customer sails through.
+  SimClient ok = open_as("acme", "carry-adder");
+  EXPECT_EQ(ok.ip_name(), "carry-adder");
+  ok.bye();
+  service.stop();
+  EXPECT_EQ(service.stats().snapshot().sessions_opened, 1u);
+}
+
+TEST(DeliveryServiceTest, OldFormatHelloGetsVersionError) {
+  DeliveryService service(make_catalog());
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  TcpStream legacy = TcpStream::connect(port);
+  legacy.send_frame({static_cast<std::uint8_t>(MsgType::Hello)});
+  Message reply = decode(legacy.recv_frame());
+  EXPECT_EQ(reply.type, MsgType::Error);
+  EXPECT_NE(reply.text.find("version"), std::string::npos) << reply.text;
+  EXPECT_EQ(service.stats().snapshot().denials, 1u);
+  service.stop();
+}
+
+TEST(DeliveryServiceTest, StatsQueryOverTheWire) {
+  DeliveryService service(make_catalog());
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "carry-adder";
+  spec.params["width"] = 8;
+  SimClient a(port, spec);
+  SimClient b(port, spec);
+  std::map<std::string, BitVector> inputs;
+  inputs["a"] = BitVector::from_uint(8, 1);
+  inputs["b"] = BitVector::from_uint(8, 2);
+  for (int k = 0; k < 3; ++k) a.eval(inputs, 0);
+  for (int k = 0; k < 2; ++k) b.eval(inputs, 0);
+
+  Json stats = query_stats(port);
+  EXPECT_EQ(stats.at("sessions_opened").as_int(), 2);
+  EXPECT_EQ(stats.at("sessions_active").as_int(), 2);
+  EXPECT_EQ(stats.at("requests").as_int(), 5);
+  EXPECT_EQ(stats.at("rejections").as_int(), 0);
+  EXPECT_GE(stats.at("p95_request_us").as_number(),
+            stats.at("p50_request_us").as_number());
+  EXPECT_GE(stats.at("p50_request_us").as_number(), 1.0);
+
+  a.bye();
+  b.bye();
+  service.stop();
+}
+
+TEST(SimServerTest, VersionMismatchGetsClearError) {
+  KcmGenerator gen;
+  ParamMap params = ParamMap()
+                        .set("input_width", std::int64_t{8})
+                        .set("constant", std::int64_t{-56})
+                        .set("signed_mode", true)
+                        .resolved(gen.params());
+  SimServer server(
+      std::make_unique<BlackBoxModel>(gen.build(params), gen.name()));
+  std::uint16_t port = server.start();
+
+  TcpStream legacy = TcpStream::connect(port);
+  legacy.send_frame({static_cast<std::uint8_t>(MsgType::Hello)});
+  Message reply = decode(legacy.recv_frame());
+  EXPECT_EQ(reply.type, MsgType::Error);
+  EXPECT_NE(reply.text.find("version"), std::string::npos) << reply.text;
+  server.stop();
+}
+
+TEST(SimServerTest, StopSendsByeToBlockedClient) {
+  AdderGenerator gen;
+  ParamMap params =
+      ParamMap().set("width", std::int64_t{8}).resolved(gen.params());
+  SimServer server(
+      std::make_unique<BlackBoxModel>(gen.build(params), gen.name()));
+  std::uint16_t port = server.start();
+
+  // Handshake by hand, then block in a read with no request pending -
+  // the worst case for shutdown, since nothing will ever be sent.
+  TcpStream stream = TcpStream::connect(port);
+  Message hello;
+  hello.type = MsgType::Hello;
+  stream.send_frame(encode(hello));
+  ASSERT_EQ(decode(stream.recv_frame()).type, MsgType::Iface);
+
+  Message farewell;
+  bool got_frame = false;
+  std::thread blocked([&] {
+    try {
+      farewell = decode(stream.recv_frame());
+      got_frame = true;
+    } catch (const NetError&) {
+      // Acceptable alternative: the shutdown raced ahead of the frame.
+    }
+  });
+  std::this_thread::sleep_for(50ms);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.stop();
+  blocked.join();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Fail-fast: the blocked read ended with the farewell Bye, within the
+  // stop() call rather than some TCP timeout later.
+  EXPECT_LT(elapsed, 2s);
+  ASSERT_TRUE(got_frame);
+  EXPECT_EQ(farewell.type, MsgType::Bye);
+
+  server.stop();  // idempotent
+}
+
+TEST(SimServerTest, ClientRequestAfterStopFailsFast) {
+  AdderGenerator gen;
+  ParamMap params =
+      ParamMap().set("width", std::int64_t{8}).resolved(gen.params());
+  SimServer server(
+      std::make_unique<BlackBoxModel>(gen.build(params), gen.name()));
+  SimClient client(server.start());
+  server.stop();
+  EXPECT_THROW(client.cycle(1), NetError);
+}
+
+}  // namespace
+}  // namespace jhdl
