@@ -1,0 +1,145 @@
+// Fault-recovery overhead of the resilient co-simulation transport: a
+// SimServer + resilient SimClient pair driven through a FaultyStream at
+// increasing per-frame fault rates.
+//
+// For each rate the harness runs a fixed batch of sequential sessions
+// (Hello -> evals -> Bye) with a shared random FaultPlan on the client
+// side of the wire, asserts every eval bit-exact, and reports aggregate
+// eval throughput plus the recovery counters (retries, reconnects,
+// server-side resumes / idempotent replays / malformed frames). The
+// rate-0 row is the baseline; the delta is the price of riding out the
+// fault rate.
+//
+// Emits BENCH_fault.json.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "core/generators.h"
+#include "net/fault_injection.h"
+#include "net/sim_client.h"
+#include "net/sim_server.h"
+#include "util/json.h"
+
+using namespace jhdl;
+using namespace jhdl::core;
+using namespace jhdl::net;
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr int kSessions = 40;
+constexpr int kEvalsPerSession = 25;
+constexpr int kKcmConstant = -56;
+
+std::unique_ptr<BlackBoxModel> make_kcm() {
+  KcmGenerator gen;
+  ParamMap params = ParamMap()
+                        .set("input_width", std::int64_t{8})
+                        .set("constant", std::int64_t{kKcmConstant})
+                        .set("signed_mode", true)
+                        .resolved(gen.params());
+  return std::make_unique<BlackBoxModel>(gen.build(params), gen.name());
+}
+
+struct RatePoint {
+  double rate = 0.0;
+  double evals_per_sec = 0.0;
+  std::size_t injected = 0;
+  std::size_t retries = 0;
+  std::size_t reconnects = 0;
+  std::size_t resumes = 0;
+  std::size_t replays = 0;
+  std::size_t malformed = 0;
+  int mismatches = 0;
+};
+
+RatePoint run_rate(double rate, std::uint64_t seed) {
+  RatePoint point;
+  point.rate = rate;
+  SimServer server(make_kcm());
+  auto plan = std::make_shared<FaultPlan>(seed, rate);
+  const std::uint16_t port = server.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < kSessions; ++s) {
+    ConnectSpec spec;
+    spec.retry.max_attempts = 10;
+    spec.retry.backoff_base = 1ms;
+    spec.retry.backoff_max = 8ms;
+    spec.retry.request_timeout = 2000ms;
+    spec.fault_plan = plan;
+    SimClient client(port, spec);
+    for (int k = 0; k < kEvalsPerSession; ++k) {
+      const int x = (s * kEvalsPerSession + k) % 160 - 80;
+      auto out =
+          client.eval({{"multiplicand", BitVector::from_int(8, x)}}, 0);
+      const std::uint64_t want =
+          static_cast<std::uint64_t>(std::int64_t{kKcmConstant} * x) &
+          0x7FFF;
+      if (out.at("product").to_uint() != want) ++point.mismatches;
+    }
+    point.retries += client.retries();
+    point.reconnects += client.reconnects();
+    client.bye();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  point.evals_per_sec = kSessions * kEvalsPerSession / seconds;
+  point.injected = plan->injected();
+  point.resumes = server.resumes();
+  point.replays = server.replays();
+  point.malformed = server.malformed_frames();
+  server.stop();
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fault-recovery overhead (resilient SimClient) ===\n\n");
+  std::printf("%d sessions x %d evals, client-side random FaultPlan\n\n",
+              kSessions, kEvalsPerSession);
+  std::printf("  %6s %12s %9s %8s %10s %8s %8s %10s %6s\n", "rate",
+              "evals/sec", "injected", "retries", "reconnects", "resumes",
+              "replays", "malformed", "exact");
+
+  Json points = Json::array();
+  double baseline = 0.0;
+  bool all_exact = true;
+  for (double rate : {0.0, 0.01, 0.05, 0.10}) {
+    RatePoint p = run_rate(rate, 0xFA01u);
+    if (rate == 0.0) baseline = p.evals_per_sec;
+    const bool exact = p.mismatches == 0;
+    all_exact = all_exact && exact;
+    std::printf("  %6.2f %12.0f %9zu %8zu %10zu %8zu %8zu %10zu %6s\n",
+                p.rate, p.evals_per_sec, p.injected, p.retries,
+                p.reconnects, p.resumes, p.replays, p.malformed,
+                exact ? "yes" : "NO");
+    Json row = Json::object();
+    row.set("rate", p.rate);
+    row.set("evals_per_sec", p.evals_per_sec);
+    row.set("throughput_vs_clean",
+            baseline > 0.0 ? p.evals_per_sec / baseline : 1.0);
+    row.set("injected_faults", p.injected);
+    row.set("client_retries", p.retries);
+    row.set("client_reconnects", p.reconnects);
+    row.set("server_resumes", p.resumes);
+    row.set("server_replays", p.replays);
+    row.set("server_malformed_frames", p.malformed);
+    row.set("bit_exact", exact);
+    points.push(row);
+  }
+
+  Json doc = Json::object();
+  doc.set("benchmark", std::string("fault_recovery"));
+  doc.set("sessions", kSessions);
+  doc.set("evals_per_session", kEvalsPerSession);
+  doc.set("max_attempts", 10);
+  doc.set("rates", points);
+  doc.set("all_bit_exact", all_exact);
+  std::ofstream("BENCH_fault.json") << doc.dump() << "\n";
+  std::printf("\nwrote BENCH_fault.json\n");
+  return all_exact ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI pipeline: plain build with the full test suite, then ASan and TSan
+# builds running the protocol-robustness battery (everything labelled
+# `net-fault`: net_test, server_test, fuzz_test, fault_test).
+#
+# Usage: scripts/ci.sh [--fast]
+#   --fast  skip the sanitizer builds (plain build + full suite only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== plain build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "CI OK (fast: sanitizers skipped)"
+  exit 0
+fi
+
+for SAN in address thread; do
+  echo "== ${SAN} sanitizer: net-fault battery =="
+  cmake -B "build-${SAN}" -S . -DJHDL_SANITIZE="${SAN}" >/dev/null
+  cmake --build "build-${SAN}" -j "${JOBS}"
+  ctest --test-dir "build-${SAN}" -L net-fault --output-on-failure
+done
+
+echo "CI OK"

@@ -1,0 +1,205 @@
+#include "net/fault_injection.h"
+
+#include <thread>
+
+namespace jhdl::net {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::None:
+      return "none";
+    case FaultKind::Drop:
+      return "drop";
+    case FaultKind::Truncate:
+      return "truncate";
+    case FaultKind::BitFlip:
+      return "bitflip";
+    case FaultKind::Duplicate:
+      return "duplicate";
+    case FaultKind::Delay:
+      return "delay";
+    case FaultKind::ShortWrite:
+      return "shortwrite";
+  }
+  return "?";
+}
+
+void FaultPlan::script_send(std::size_t index, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scripted_send_[index] = spec;
+}
+
+void FaultPlan::script_recv(std::size_t index, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scripted_recv_[index] = spec;
+}
+
+FaultSpec FaultPlan::next(std::map<std::size_t, FaultSpec>& scripted,
+                          std::size_t& counter, std::size_t frame_bytes) {
+  const std::size_t index = counter++;
+  auto it = scripted.find(index);
+  if (it != scripted.end()) {
+    ++injected_;
+    return it->second;
+  }
+  if (rate_ > 0.0 && rng_.uniform() < rate_) {
+    FaultSpec spec;
+    // Uniform over the kinds that keep recovery bounded in time: Delay
+    // stays small so a random plan cannot stall a request longer than
+    // one client retry period.
+    switch (rng_.below(5)) {
+      case 0:
+        spec.kind = FaultKind::Drop;
+        break;
+      case 1:
+        spec.kind = FaultKind::Truncate;
+        break;
+      case 2:
+        spec.kind = FaultKind::BitFlip;
+        break;
+      case 3:
+        spec.kind = FaultKind::Duplicate;
+        break;
+      default:
+        spec.kind = FaultKind::Delay;
+        break;
+    }
+    spec.offset = static_cast<std::size_t>(rng_.next());
+    spec.delay = std::chrono::milliseconds(1 + rng_.below(5));
+    if (frame_bytes == 0) spec.kind = FaultKind::Delay;
+    ++injected_;
+    return spec;
+  }
+  return FaultSpec{};
+}
+
+FaultSpec FaultPlan::next_send(std::size_t frame_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next(scripted_send_, sends_, frame_bytes);
+}
+
+FaultSpec FaultPlan::next_recv(std::size_t frame_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next(scripted_recv_, recvs_, frame_bytes);
+}
+
+std::size_t FaultPlan::sends() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sends_;
+}
+
+std::size_t FaultPlan::recvs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recvs_;
+}
+
+std::size_t FaultPlan::injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+namespace {
+
+/// Flip one bit inside the CRC/payload region [4, raw.size()): the
+/// length field stays intact so the peer reads a frame of the right
+/// size and fails its checksum, instead of desynchronizing forever.
+void flip_bit(std::vector<std::uint8_t>& raw, std::size_t bit_seed) {
+  const std::size_t bits = (raw.size() - 4) * 8;
+  const std::size_t bit = bit_seed % bits;
+  raw[4 + bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+}  // namespace
+
+void FaultyStream::send_frame(const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> raw = frame_wrap(payload);
+  const FaultSpec spec = plan_->next_send(raw.size());
+  switch (spec.kind) {
+    case FaultKind::None:
+      inner_.send_bytes(raw);
+      return;
+    case FaultKind::Delay:
+      std::this_thread::sleep_for(spec.delay);
+      inner_.send_bytes(raw);
+      return;
+    case FaultKind::BitFlip:
+      flip_bit(raw, spec.offset);
+      inner_.send_bytes(raw);
+      return;
+    case FaultKind::Duplicate:
+      inner_.send_bytes(raw);
+      inner_.send_bytes(raw);
+      return;
+    case FaultKind::ShortWrite: {
+      const std::size_t split = 1 + spec.offset % (raw.size() - 1);
+      inner_.send_bytes({raw.begin(), raw.begin() + split});
+      std::this_thread::sleep_for(spec.delay);
+      inner_.send_bytes({raw.begin() + split, raw.end()});
+      return;
+    }
+    case FaultKind::Drop: {
+      // Forward a prefix, then kill the connection: the peer sees a
+      // frame that never completes, we see a dead stream.
+      const std::size_t sent = spec.offset % raw.size();
+      inner_.send_bytes({raw.begin(), raw.begin() + sent});
+      inner_.shutdown();
+      throw NetError("injected fault: connection dropped after " +
+                     std::to_string(sent) + " bytes");
+    }
+    case FaultKind::Truncate: {
+      const std::size_t cut = 1 + spec.offset % raw.size();
+      inner_.send_bytes({raw.begin(), raw.end() - cut});
+      inner_.shutdown();
+      throw NetError("injected fault: frame truncated by " +
+                     std::to_string(cut) + " bytes");
+    }
+  }
+}
+
+std::vector<std::uint8_t> FaultyStream::recv_frame() {
+  if (has_pending_dup_) {
+    has_pending_dup_ = false;
+    return frame_unwrap(pending_dup_);
+  }
+  // Ask the plan first so recv-side Drop can fire without waiting for
+  // bytes that a dead peer will never send.
+  const FaultSpec spec = plan_->next_recv(kFrameHeaderBytes);
+  switch (spec.kind) {
+    case FaultKind::Drop:
+      inner_.shutdown();
+      throw NetError("injected fault: connection dropped before recv");
+    case FaultKind::Delay:
+    case FaultKind::ShortWrite:
+      std::this_thread::sleep_for(spec.delay);
+      break;
+    default:
+      break;
+  }
+  std::vector<std::uint8_t> raw = inner_.recv_frame_bytes();
+  switch (spec.kind) {
+    case FaultKind::BitFlip:
+      flip_bit(raw, spec.offset);
+      break;
+    case FaultKind::Truncate:
+      raw.resize(raw.size() - (1 + spec.offset % raw.size()));
+      break;
+    case FaultKind::Duplicate:
+      pending_dup_ = raw;
+      has_pending_dup_ = true;
+      break;
+    default:
+      break;
+  }
+  return frame_unwrap(raw);  // FrameError on injected corruption
+}
+
+std::unique_ptr<Stream> wrap_stream(TcpStream stream,
+                                    std::shared_ptr<FaultPlan> plan) {
+  if (plan != nullptr) {
+    return std::make_unique<FaultyStream>(std::move(stream),
+                                          std::move(plan));
+  }
+  return std::make_unique<TcpStream>(std::move(stream));
+}
+
+}  // namespace jhdl::net

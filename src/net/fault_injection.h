@@ -1,0 +1,134 @@
+// Deterministic fault injection for the co-simulation transport.
+//
+// FaultyStream wraps a TcpStream and perturbs frames at the raw-byte
+// level — below the CRC framing of socket.h — so injected corruption is
+// indistinguishable from a hostile or lossy network: checksums fail,
+// connections die mid-frame, frames arrive twice or late. A FaultPlan
+// decides which operation gets which fault; plans are either scripted
+// (fault exactly the k-th send/recv — replayable by construction) or
+// random with a fixed seed and per-frame rate (replayable by reseeding).
+//
+// Both servers and the client accept a shared FaultPlan
+// (DeliveryConfig::fault_plan, SimServer::set_fault_plan,
+// ConnectSpec::fault_plan), so the whole protocol stack can be exercised
+// under injected faults by tests/fault_test.cpp and
+// bench/bench_fault_recovery.cpp.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "net/socket.h"
+#include "util/rng.h"
+
+namespace jhdl::net {
+
+/// What to do to one frame.
+enum class FaultKind : std::uint8_t {
+  None = 0,
+  /// Forward only the first `offset % frame_size` raw bytes, then kill
+  /// the connection ("drop after N bytes").
+  Drop,
+  /// Chop bytes off the end of the frame. On send the connection dies
+  /// after the partial frame (a truncated frame desynchronizes the
+  /// stream); on recv the truncation is detected locally as FrameError.
+  Truncate,
+  /// Flip one bit in the CRC/payload region. The framing stays aligned,
+  /// so the receiver sees a checksum mismatch (FrameError), not chaos.
+  BitFlip,
+  /// Deliver the frame twice.
+  Duplicate,
+  /// Deliver the frame after `delay`.
+  Delay,
+  /// Send the frame in two bursts with `delay` between them, exercising
+  /// the receiver's partial-read reassembly.
+  ShortWrite,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One injected fault. `offset` seeds the position (bytes for
+/// Drop/Truncate, bit index for BitFlip); it is taken modulo the legal
+/// range, so any value is safe.
+struct FaultSpec {
+  FaultKind kind = FaultKind::None;
+  std::size_t offset = 0;
+  std::chrono::milliseconds delay{0};
+};
+
+/// Decides the fault for each frame operation. Thread-safe: one plan may
+/// be shared by every stream of a service. Deterministic: scripted
+/// entries fire on exact operation indices; random mode draws from a
+/// seeded xoshiro stream, so a failing run replays from its seed.
+class FaultPlan {
+ public:
+  /// No faults (script entries may be added).
+  FaultPlan() : rng_(0) {}
+
+  /// Random mode: each frame operation independently suffers a fault
+  /// with probability `per_frame_rate`; kind and parameters are drawn
+  /// from `seed`.
+  FaultPlan(std::uint64_t seed, double per_frame_rate)
+      : rng_(seed), rate_(per_frame_rate) {}
+
+  /// Script a fault for the `index`-th (0-based) sent / received frame,
+  /// counted across every stream sharing this plan.
+  void script_send(std::size_t index, FaultSpec spec);
+  void script_recv(std::size_t index, FaultSpec spec);
+
+  /// Called by FaultyStream once per operation; returns the fault to
+  /// apply (kind None = pass through).
+  FaultSpec next_send(std::size_t frame_bytes);
+  FaultSpec next_recv(std::size_t frame_bytes);
+
+  std::size_t sends() const;
+  std::size_t recvs() const;
+  /// Operations that actually had a fault applied.
+  std::size_t injected() const;
+
+ private:
+  FaultSpec next(std::map<std::size_t, FaultSpec>& scripted,
+                 std::size_t& counter, std::size_t frame_bytes);
+
+  mutable std::mutex mutex_;
+  Rng rng_;
+  double rate_ = 0.0;
+  std::map<std::size_t, FaultSpec> scripted_send_;
+  std::map<std::size_t, FaultSpec> scripted_recv_;
+  std::size_t sends_ = 0;
+  std::size_t recvs_ = 0;
+  std::size_t injected_ = 0;
+};
+
+/// A Stream that forwards frames through an inner TcpStream, applying
+/// the plan's faults at the raw-byte level.
+class FaultyStream : public Stream {
+ public:
+  FaultyStream(TcpStream inner, std::shared_ptr<FaultPlan> plan)
+      : inner_(std::move(inner)), plan_(std::move(plan)) {}
+
+  bool valid() const override { return inner_.valid(); }
+  void close() override { inner_.close(); }
+  void shutdown() override { inner_.shutdown(); }
+  void set_recv_timeout(int ms) override { inner_.set_recv_timeout(ms); }
+
+  void send_frame(const std::vector<std::uint8_t>& payload) override;
+  std::vector<std::uint8_t> recv_frame() override;
+
+ private:
+  TcpStream inner_;
+  std::shared_ptr<FaultPlan> plan_;
+  /// Duplicate-on-recv: the second copy, delivered by the next recv.
+  std::vector<std::uint8_t> pending_dup_;
+  bool has_pending_dup_ = false;
+};
+
+/// Wrap an accepted/connected TcpStream: FaultyStream when `plan` is
+/// set, the bare TcpStream otherwise.
+std::unique_ptr<Stream> wrap_stream(TcpStream stream,
+                                    std::shared_ptr<FaultPlan> plan);
+
+}  // namespace jhdl::net

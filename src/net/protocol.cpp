@@ -11,7 +11,39 @@ void put_value(ByteWriter& w, const BitVector& v) { w.str(v.to_string()); }
 
 BitVector get_value(ByteReader& r) { return BitVector::from_string(r.str()); }
 
+/// Read a collection count and sanity-check it against the bytes that are
+/// actually left: every entry needs at least two bytes (an empty string
+/// plus an empty value), so a huge count from a hostile frame is rejected
+/// before any per-entry work, not discovered one allocation at a time.
+std::size_t get_count(ByteReader& r) {
+  const std::uint64_t n = r.varint();
+  if (n > r.remaining()) {
+    throw std::runtime_error("protocol: collection count " +
+                             std::to_string(n) + " exceeds payload size");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+/// Optional trailing sequence number (v3). v2 encoders simply end the
+/// payload here, so absence decodes as seq 0 (unnumbered).
+std::uint64_t get_seq(ByteReader& r) { return r.done() ? 0 : r.varint(); }
+
+void put_seq(ByteWriter& w, std::uint64_t seq) {
+  if (seq != 0) w.varint(seq);
+}
+
 }  // namespace
+
+bool error_retryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Saturated:
+    case ErrorCode::MalformedFrame:
+    case ErrorCode::ShuttingDown:
+      return true;
+    default:
+      return false;
+  }
+}
 
 std::vector<std::uint8_t> encode(const Message& msg) {
   ByteWriter w;
@@ -50,10 +82,17 @@ std::vector<std::uint8_t> encode(const Message& msg) {
       }
       w.varint(msg.count);
       break;
+    case MsgType::Resume:
+      w.str(msg.text);     // session token
+      w.varint(msg.count);  // last-acked cycle count
+      break;
     case MsgType::Iface:
-    case MsgType::Error:
     case MsgType::StatsReply:
       w.str(msg.text);
+      break;
+    case MsgType::Error:
+      w.str(msg.text);
+      w.u8(static_cast<std::uint8_t>(msg.code));
       break;
     case MsgType::Ok:
       w.varint(msg.count);
@@ -69,6 +108,7 @@ std::vector<std::uint8_t> encode(const Message& msg) {
       }
       break;
   }
+  put_seq(w, msg.seq);
   return w.take();
 }
 
@@ -88,14 +128,17 @@ Message decode(const std::vector<std::uint8_t>& payload) {
         throw std::runtime_error("protocol: bad Hello magic");
       }
       msg.version = r.u16();
-      if (msg.version == kProtocolVersion) {
+      if (msg.version >= kMinProtocolVersion &&
+          msg.version <= kProtocolVersion) {
+        // v2 and v3 share the Hello layout; v3 may append a seq.
         msg.customer = r.str();
         msg.name = r.str();
-        std::size_t n = r.varint();
+        std::size_t n = get_count(r);
         for (std::size_t i = 0; i < n; ++i) {
           std::string name = r.str();
           msg.params.emplace(std::move(name), r.svarint());
         }
+        msg.seq = get_seq(r);
       }
       // Unknown future versions: keep only the version; the server
       // replies Error before trusting any field.
@@ -103,43 +146,70 @@ Message decode(const std::vector<std::uint8_t>& payload) {
     case MsgType::Reset:
     case MsgType::Bye:
     case MsgType::Stats:
+      msg.seq = get_seq(r);
       break;
     case MsgType::SetInput:
       msg.name = r.str();
       msg.value = get_value(r);
+      msg.seq = get_seq(r);
       break;
     case MsgType::GetOutput:
       msg.name = r.str();
+      msg.seq = get_seq(r);
       break;
     case MsgType::Cycle:
       msg.count = r.varint();
+      msg.seq = get_seq(r);
       break;
     case MsgType::Eval: {
-      std::size_t n = r.varint();
+      std::size_t n = get_count(r);
       for (std::size_t i = 0; i < n; ++i) {
         std::string name = r.str();
         msg.values.emplace(std::move(name), get_value(r));
       }
       msg.count = r.varint();
+      msg.seq = get_seq(r);
       break;
     }
+    case MsgType::Resume:
+      msg.text = r.str();
+      msg.count = r.varint();
+      msg.seq = get_seq(r);
+      break;
     case MsgType::Iface:
-    case MsgType::Error:
     case MsgType::StatsReply:
       msg.text = r.str();
+      msg.seq = get_seq(r);
+      break;
+    case MsgType::Error:
+      msg.text = r.str();
+      // v2 Errors end after the text; v3 appends a code byte (and maybe
+      // a seq).
+      if (!r.done()) {
+        const std::uint8_t code = r.u8();
+        if (code > static_cast<std::uint8_t>(ErrorCode::UnknownSession)) {
+          throw std::runtime_error("protocol: unknown error code " +
+                                   std::to_string(code));
+        }
+        msg.code = static_cast<ErrorCode>(code);
+      }
+      msg.seq = get_seq(r);
       break;
     case MsgType::Ok:
       msg.count = r.varint();
+      msg.seq = get_seq(r);
       break;
     case MsgType::Value:
       msg.value = get_value(r);
+      msg.seq = get_seq(r);
       break;
     case MsgType::Values: {
-      std::size_t n = r.varint();
+      std::size_t n = get_count(r);
       for (std::size_t i = 0; i < n; ++i) {
         std::string name = r.str();
         msg.values.emplace(std::move(name), get_value(r));
       }
+      msg.seq = get_seq(r);
       break;
     }
     default:

@@ -2,10 +2,11 @@
 // events are exchanged over network sockets and a custom communication
 // protocol").
 //
-// Framing: u32 little-endian payload length, then the payload. The first
-// payload byte is the message type; the rest is message-specific and
-// encoded with ByteWriter primitives. Values travel as BitVector strings
-// ("10x1", MSB first), which keeps X-propagation visible across the wire.
+// Framing: u32 little-endian payload length, u32 little-endian CRC-32 of
+// the payload, then the payload (see net/socket.h). The first payload
+// byte is the message type; the rest is message-specific and encoded with
+// ByteWriter primitives. Values travel as BitVector strings ("10x1", MSB
+// first), which keeps X-propagation visible across the wire.
 //
 // Requests (client -> server):
 //   Hello     magic, version,      expects Iface (or Error on version /
@@ -26,15 +27,26 @@
 //   Stats                          expects StatsReply (admin query; the
 //                                   delivery service answers with its
 //                                   ServerStats counters as JSON)
+//   Resume    token, last-acked    expects Iface (resumed session) or a
+//             cycle count            typed Error; reattaches a client to
+//                                    the session the token was issued for
+//                                    after a transport failure (v3)
 //   Bye                            closes the session
 //
 // Replies (server -> client):
-//   Iface      json text           interface descriptor
+//   Iface      json text           interface descriptor (carries the
+//                                  server-issued resume "token")
 //   Ok         cycle_count
 //   Value      bits
 //   Values     {name,bits}*
-//   Error      message
+//   Error      message, code       code classifies Retryable vs Fatal
 //   StatsReply json text           server counters
+//
+// Since v3 every message may carry a trailing varint sequence number
+// (`seq`, 0 = unnumbered). Requests are numbered by the client; replies
+// echo the request's seq, which lets a client discard duplicated replies
+// and lets a server serve a retried request idempotently from its
+// last-reply cache. v2 peers simply omit (and ignore) the field.
 //
 // A server sends an unsolicited Bye before closing during shutdown, so a
 // client blocked on a reply fails fast instead of waiting for TCP teardown.
@@ -58,6 +70,7 @@ enum class MsgType : std::uint8_t {
   Eval = 6,
   Bye = 7,
   Stats = 8,
+  Resume = 9,
   Iface = 64,
   Ok = 65,
   Value = 66,
@@ -68,8 +81,14 @@ enum class MsgType : std::uint8_t {
 
 /// Wire protocol version spoken by this build. Version 1 is the original
 /// bare Hello (no magic, no fields); version 2 adds the magic-prefixed
-/// Hello with customer/module/params and the Stats admin query.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+/// Hello with customer/module/params and the Stats admin query; version 3
+/// adds CRC-checked framing, Resume (session tokens + idempotent replay),
+/// request sequence numbers, and typed Error codes.
+inline constexpr std::uint16_t kProtocolVersion = 3;
+
+/// Oldest client Hello this build still serves (v2: same Hello layout,
+/// no seq/Resume — see the back-compat table in DESIGN.md §8).
+inline constexpr std::uint16_t kMinProtocolVersion = 2;
 
 /// Magic prefix of a v2+ Hello payload ("JHDL", little-endian on the wire).
 inline constexpr std::uint32_t kHelloMagic = 0x4C44484Au;
@@ -78,18 +97,39 @@ inline constexpr std::uint32_t kHelloMagic = 0x4C44484Au;
 /// that want a function rather than the constant).
 inline std::uint16_t protocol_version() { return kProtocolVersion; }
 
+/// Machine-readable classification of an Error reply (v3). Decides
+/// whether a resilient client may retry. v2 Errors decode as Generic.
+enum class ErrorCode : std::uint8_t {
+  Generic = 0,         // unclassified (includes all v2 errors): fatal
+  Saturated = 1,       // accept queue full: retryable with backoff
+  VersionMismatch = 2,  // fatal: upgrade the client
+  LicenseDenied = 3,   // fatal: customer/feature/expiry refusal
+  BadRequest = 4,      // fatal: request was well-formed but impossible
+  MalformedFrame = 5,  // retryable in place: resend the frame
+  ShuttingDown = 6,    // retryable: reconnect elsewhere/later
+  UnknownSession = 7,  // fatal: resume token matched nothing
+};
+
+/// True when a client may reasonably retry after this Error.
+bool error_retryable(ErrorCode code);
+
 /// A decoded protocol message. Fields are used per type (see above).
 struct Message {
   MsgType type = MsgType::Bye;
   std::string text;                       // Iface json / Error / StatsReply
+                                          //   / Resume token
   std::string name;                       // SetInput / GetOutput / Hello module
   BitVector value;                        // SetInput / Value
-  std::uint64_t count = 0;                // Cycle n / Ok cycle_count
+  std::uint64_t count = 0;                // Cycle n / Ok cycle_count /
+                                          //   Resume last-acked cycles
   std::map<std::string, BitVector> values;  // Eval inputs / Values outputs
   // --- Hello only ---
   std::uint16_t version = kProtocolVersion;  // decoded wire version (1 = legacy)
   std::string customer;                      // customer id for license lookup
   std::map<std::string, std::int64_t> params;  // generator parameters
+  // --- v3 ---
+  ErrorCode code = ErrorCode::Generic;  // Error only
+  std::uint64_t seq = 0;                // request number / echoed in reply
 };
 
 /// Encode a message payload (without the length frame).

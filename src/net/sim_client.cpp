@@ -1,6 +1,6 @@
 #include "net/sim_client.h"
 
-#include <chrono>
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 
@@ -20,39 +20,155 @@ SimClient::SimClient(std::uint16_t port, double injected_rtt_ms)
     : SimClient(port, rtt_only(injected_rtt_ms)) {}
 
 SimClient::SimClient(std::uint16_t port, const ConnectSpec& spec)
-    : stream_(TcpStream::connect(port)), injected_rtt_ms_(spec.injected_rtt_ms) {
-  Message hello;
-  hello.type = MsgType::Hello;
-  hello.customer = spec.customer;
-  hello.name = spec.module;
-  hello.params = spec.params;
-  Message reply = request(hello);
-  if (reply.type != MsgType::Iface) {
-    throw NetError("handshake failed: unexpected reply");
+    : port_(port),
+      customer_(spec.customer),
+      module_(spec.module),
+      params_(spec.params),
+      policy_(spec.retry),
+      fault_plan_(spec.fault_plan),
+      injected_rtt_ms_(spec.injected_rtt_ms),
+      jitter_rng_(spec.retry.jitter_seed) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      connect_and_handshake();
+      return;
+    } catch (const NetError& e) {
+      if (!e.retryable() || attempt + 1 >= policy_.max_attempts) throw;
+      ++retries_;
+      backoff(attempt);
+    }
   }
-  iface_ = Json::parse(reply.text);
 }
 
-Message SimClient::request(const Message& msg) {
+void SimClient::connect_and_handshake() {
+  connected_ = false;
+  TcpStream raw = TcpStream::connect(port_);
+  if (policy_.request_timeout.count() > 0) {
+    raw.set_recv_timeout(static_cast<int>(policy_.request_timeout.count()));
+  }
+  stream_ = wrap_stream(std::move(raw), fault_plan_);
+  Message handshake;
+  const bool resuming = !token_.empty();
+  if (resuming) {
+    // Transport died mid-session: reattach to the server-side session
+    // instead of opening a fresh one, so model state (and the
+    // idempotent-replay cache) survives the reconnect.
+    handshake.type = MsgType::Resume;
+    handshake.text = token_;
+    handshake.count = last_acked_cycles_;
+  } else {
+    handshake.type = MsgType::Hello;
+    handshake.customer = customer_;
+    handshake.name = module_;
+    handshake.params = params_;
+  }
+  handshake.seq = ++seq_;
+  Message reply = transact(handshake);
+  if (reply.type == MsgType::Error) {
+    throw NetError("remote error: " + reply.text,
+                   error_retryable(reply.code) ? NetError::Kind::Retryable
+                                               : NetError::Kind::Fatal);
+  }
+  if (reply.type != MsgType::Iface) {
+    throw NetError("handshake failed: unexpected reply",
+                   NetError::Kind::Fatal);
+  }
+  iface_ = Json::parse(reply.text);
+  if (iface_.has("token")) token_ = iface_.at("token").as_string();
+  connected_ = true;
+  if (ever_connected_) ++reconnects_;
+  ever_connected_ = true;
+  ++round_trips_;
+}
+
+Message SimClient::transact(const Message& msg) {
   if (injected_rtt_ms_ > 0.0) {
     // One synthetic RTT per request: the wire itself is loopback, so the
     // sleep stands in for propagation delay both ways.
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(injected_rtt_ms_));
   }
-  stream_.send_frame(encode(msg));
-  ++round_trips_;
-  Message reply = decode(stream_.recv_frame());
-  if (reply.type == MsgType::Error) {
-    throw std::runtime_error("remote error: " + reply.text);
+  stream_->send_frame(encode(msg));
+  while (true) {
+    Message reply = decode(stream_->recv_frame());
+    if (reply.type == MsgType::Bye) {
+      // The server's farewell handshake: it is shutting down (or evicted
+      // this session) and will not answer the request.
+      stream_->close();
+      connected_ = false;
+      throw NetError("server closed the session", NetError::Kind::Fatal);
+    }
+    if (reply.seq != 0 && msg.seq != 0 && reply.seq != msg.seq) {
+      // A duplicated or stale reply for some other seq (frame-level
+      // duplication, or a reply that raced a retry); the one we are
+      // waiting for is still in flight. An exact match is required:
+      // a reconnect handshake consumes a HIGHER seq than the request
+      // being retried, so `<` alone would let a duplicated Iface reply
+      // masquerade as the request's answer.
+      continue;
+    }
+    return reply;
   }
-  if (reply.type == MsgType::Bye) {
-    // The server's farewell handshake: it is shutting down (or evicted
-    // this session) and will not answer the request.
-    stream_.close();
-    throw NetError("server closed the session");
+}
+
+void SimClient::backoff(int attempt) {
+  const int shift = std::min(attempt, 20);
+  auto delay = std::min(policy_.backoff_max, policy_.backoff_base * (1 << shift));
+  if (policy_.jitter > 0.0) {
+    const double scale = 1.0 - policy_.jitter * jitter_rng_.uniform();
+    delay = std::chrono::milliseconds(
+        static_cast<std::int64_t>(delay.count() * scale));
   }
-  return reply;
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+}
+
+Message SimClient::request(Message msg) {
+  msg.seq = ++seq_;
+  for (int attempt = 0;; ++attempt) {
+    const bool last_attempt = attempt + 1 >= policy_.max_attempts;
+    try {
+      if (!connected_) connect_and_handshake();
+      Message reply = transact(msg);
+      if (reply.type == MsgType::Error) {
+        if (!error_retryable(reply.code) || last_attempt) {
+          throw NetError("remote error: " + reply.text,
+                         error_retryable(reply.code)
+                             ? NetError::Kind::Retryable
+                             : NetError::Kind::Fatal);
+        }
+        // Retryable remote error. MalformedFrame means only the frame
+        // was damaged - the connection is still aligned, resend in
+        // place; anything else (saturation, shutdown) warrants a fresh
+        // connection.
+        if (reply.code != ErrorCode::MalformedFrame) {
+          stream_->close();
+          connected_ = false;
+        }
+        ++retries_;
+        backoff(attempt);
+        continue;
+      }
+      ++round_trips_;
+      if (reply.type == MsgType::Ok) last_acked_cycles_ = reply.count;
+      return reply;
+    } catch (const FrameError&) {
+      // A corrupt reply frame: the stream is still aligned, so resend
+      // the same seq on the same connection; the server's idempotency
+      // cache answers without re-executing.
+      if (last_attempt) throw;
+      ++retries_;
+      backoff(attempt);
+    } catch (const NetError& e) {
+      if (!e.retryable() || last_attempt) throw;
+      if (connected_ && stream_ != nullptr) {
+        stream_->close();
+        connected_ = false;
+      }
+      ++retries_;
+      backoff(attempt);
+    }
+  }
 }
 
 void SimClient::set_input(const std::string& name, const BitVector& value) {
@@ -93,11 +209,17 @@ std::map<std::string, BitVector> SimClient::eval(
 }
 
 void SimClient::bye() {
-  if (!stream_.valid()) return;
+  if (stream_ == nullptr || !stream_->valid()) return;
   Message msg;
   msg.type = MsgType::Bye;
-  stream_.send_frame(encode(msg));
-  stream_.close();
+  try {
+    stream_->send_frame(encode(msg));
+  } catch (const NetError&) {
+    // Farewell is best effort; the server reaps the session either way.
+  }
+  stream_->close();
+  connected_ = false;
+  token_.clear();
 }
 
 }  // namespace jhdl::net

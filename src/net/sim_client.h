@@ -7,19 +7,52 @@
 // approach simulates locally. The `eval` call is the coarse-grained
 // RMI-style transaction (one round trip per vector); the fine-grained
 // set/cycle/get calls model per-event traffic.
+//
+// Resilience (protocol v3): with a RetryPolicy of more than one attempt,
+// the client survives a hostile transport. Every request carries a
+// sequence number; on a transport failure the client reconnects, replays
+// the handshake as a Resume carrying the server-issued session token and
+// its last-acked cycle count, and resends the pending request — which the
+// server answers idempotently from its last-reply cache. Retries back off
+// exponentially with deterministic jitter; errors split into Retryable
+// (transport faults, saturation, malformed frames) and Fatal (license /
+// version / protocol refusals, the server's farewell Bye) via
+// NetError::kind().
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "net/fault_injection.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "util/json.h"
+#include "util/rng.h"
 
 namespace jhdl::net {
 
-/// Everything a client states in the v2 Hello when opening a session
+/// Retry/timeout policy for one SimClient. The default (one attempt, no
+/// timeout) reproduces the classic fail-on-first-error behaviour;
+/// resilient callers raise max_attempts and set a request timeout.
+struct RetryPolicy {
+  /// Total tries per request (1 = no retries).
+  int max_attempts = 1;
+  /// Backoff before retry k is min(base << k, max), jittered.
+  std::chrono::milliseconds backoff_base{10};
+  std::chrono::milliseconds backoff_max{500};
+  /// Fraction of each backoff randomized away (0 = none, deterministic
+  /// for a given seed either way).
+  double jitter = 0.5;
+  std::uint64_t jitter_seed = 1;
+  /// Bound on each blocking recv (0 = wait forever). A timed-out request
+  /// counts as a transport failure: reconnect + resume + resend.
+  std::chrono::milliseconds request_timeout{0};
+};
+
+/// Everything a client states in the v2+ Hello when opening a session
 /// against a multi-tenant DeliveryService: who it is (license lookup),
 /// which catalog module it wants, and the generator parameters. All
 /// fields may stay empty against a single-model SimServer.
@@ -30,6 +63,11 @@ struct ConnectSpec {
   /// Synthetic network round-trip time added to every request
   /// (0 = raw loopback).
   double injected_rtt_ms = 0.0;
+  /// Retry/timeout policy (default: single attempt, like v2).
+  RetryPolicy retry;
+  /// When set, the connection runs through a FaultyStream driven by this
+  /// plan (tests/bench inject faults on the client side of the wire).
+  std::shared_ptr<FaultPlan> fault_plan;
 };
 
 /// Client handle to a remote black-box simulation.
@@ -41,7 +79,7 @@ class SimClient {
 
   /// Connect-with-params: open a session for `spec.customer` on
   /// `spec.module` built with `spec.params` (the delivery-service
-  /// handshake). Throws std::runtime_error carrying the server's Error
+  /// handshake). Throws NetError (Fatal) carrying the server's Error
   /// text on license/version/catalog rejection.
   SimClient(std::uint16_t port, const ConnectSpec& spec);
 
@@ -67,20 +105,50 @@ class SimClient {
   std::map<std::string, BitVector> eval(
       const std::map<std::string, BitVector>& inputs, std::size_t n);
 
-  /// Round trips performed so far.
+  /// Successful round trips performed so far (handshakes included).
   std::size_t round_trips() const { return round_trips_; }
+  /// Failed attempts that were retried.
+  std::size_t retries() const { return retries_; }
+  /// Reconnect + Resume handshakes performed after transport failures.
+  std::size_t reconnects() const { return reconnects_; }
+  /// Server-issued resume token ("" when the server predates v3).
+  const std::string& session_token() const { return token_; }
+  /// Cycle count acknowledged by the server's most recent Ok reply
+  /// (what a Resume reports back as the reattach point).
+  std::uint64_t last_acked_cycles() const { return last_acked_cycles_; }
   double injected_rtt_ms() const { return injected_rtt_ms_; }
 
-  /// Close the session politely.
+  /// Close the session politely (best effort - never throws).
   void bye();
 
  private:
-  Message request(const Message& msg);
+  /// Open (or re-open) the connection and run the Hello or Resume
+  /// handshake. One attempt; throws on failure.
+  void connect_and_handshake();
+  /// One send/recv attempt of `msg`, matching replies by seq.
+  Message transact(const Message& msg);
+  /// Resilient request: numbers the message, retries per policy.
+  Message request(Message msg);
+  void backoff(int attempt);
 
-  TcpStream stream_;
+  std::uint16_t port_ = 0;
+  std::string customer_;
+  std::string module_;
+  std::map<std::string, std::int64_t> params_;
+  RetryPolicy policy_;
+  std::shared_ptr<FaultPlan> fault_plan_;
+  std::unique_ptr<Stream> stream_;
+  bool connected_ = false;
+  bool ever_connected_ = false;
   Json iface_;
-  double injected_rtt_ms_;
+  std::string token_;
+  double injected_rtt_ms_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t last_acked_cycles_ = 0;
   std::size_t round_trips_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t reconnects_ = 0;
+  Rng jitter_rng_;
 };
 
 }  // namespace jhdl::net

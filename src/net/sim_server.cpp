@@ -1,6 +1,23 @@
 #include "net/sim_server.h"
 
+#include <random>
+
 namespace jhdl::net {
+namespace {
+
+std::string make_token() {
+  // Tokens only need to be unguessable enough that one customer cannot
+  // stumble into another's session; 64 random bits from the OS suffice.
+  std::random_device rd;
+  const std::uint64_t word =
+      (static_cast<std::uint64_t>(rd()) << 32) | rd();
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(word));
+  return std::string(buf);
+}
+
+}  // namespace
 
 Message dispatch_request(core::BlackBoxModel& model, const Message& request) {
   Message reply;
@@ -41,12 +58,13 @@ Message dispatch_request(core::BlackBoxModel& model, const Message& request) {
     default:
       reply.type = MsgType::Error;
       reply.text = "unexpected message type";
+      reply.code = ErrorCode::BadRequest;
   }
   return reply;
 }
 
 SimServer::SimServer(std::unique_ptr<core::BlackBoxModel> model)
-    : model_(std::move(model)) {}
+    : model_(std::move(model)), token_(make_token()) {}
 
 SimServer::~SimServer() { stop(); }
 
@@ -77,16 +95,16 @@ void SimServer::stop() {
     // client the server is going away; the shutdown then fails any
     // in-flight recv on both sides immediately.
     std::lock_guard<std::mutex> session_lock(session_mutex_);
-    if (session_.valid()) {
+    if (session_ != nullptr && session_->valid()) {
       try {
         Message bye;
         bye.type = MsgType::Bye;
         std::lock_guard<std::mutex> send_lock(send_mutex_);
-        session_.send_frame(encode(bye));
+        session_->send_frame(encode(bye));
       } catch (const NetError&) {
         // Peer already gone; shutdown below still unblocks our thread.
       }
-      session_.shutdown();
+      session_->shutdown();
     }
   }
   if (thread_.joinable()) thread_.join();
@@ -95,55 +113,145 @@ void SimServer::stop() {
 void SimServer::serve_session(TcpStream stream) {
   {
     std::lock_guard<std::mutex> lock(session_mutex_);
-    session_ = std::move(stream);
+    session_ = wrap_stream(std::move(stream), fault_plan_);
   }
   while (true) {
     Message request;
     try {
-      request = decode(session_.recv_frame());
-    } catch (const std::exception&) {
-      // Peer closed, stop() shut us down, or the frame was malformed;
+      request = decode(session_->recv_frame());
+    } catch (const FrameError&) {
+      // The frame arrived but was corrupt (bad CRC / impossible length);
+      // the byte stream is still aligned, so report it and keep the
+      // session.
+      if (!report_malformed()) break;
+      continue;
+    } catch (const NetError&) {
+      // Peer closed, stop() shut us down, or an oversized length prefix;
       // the session is over either way.
       break;
+    } catch (const std::exception&) {
+      // The frame passed its integrity check but the payload does not
+      // decode (hostile or buggy peer). The stream is aligned, so answer
+      // with a typed Error instead of closing.
+      if (!report_malformed()) break;
+      continue;
     }
     if (request.type == MsgType::Bye) break;
     ++requests_;
+    // Handshakes live outside the idempotency cache: a fresh Hello's low
+    // seq must not look stale against the previous session, and a
+    // reconnect's Resume must not displace the pending request it is
+    // about to replay (the client numbers the Resume AFTER that request).
+    const bool handshake = request.type == MsgType::Hello ||
+                           request.type == MsgType::Resume;
+    // Idempotent replay: a numbered request the session already executed
+    // (the client retried because our reply was lost or damaged) is
+    // answered from the cache without touching the model.
+    if (!handshake && request.seq != 0 && request.seq == last_seq_ &&
+        !last_reply_.empty()) {
+      ++replays_;
+      try {
+        send_reply(last_reply_);
+        continue;
+      } catch (const NetError&) {
+        break;
+      }
+    }
     Message reply;
-    try {
-      reply = handle(request);
-    } catch (const std::exception& e) {
+    if (!handshake && request.seq != 0 && request.seq < last_seq_) {
+      // A duplicated older request; the client has already moved on and
+      // will discard this reply by its seq.
       reply.type = MsgType::Error;
-      reply.text = e.what();
+      reply.text = "stale request";
+      reply.code = ErrorCode::BadRequest;
+    } else {
+      try {
+        reply = handle(request);
+      } catch (const std::exception& e) {
+        reply.type = MsgType::Error;
+        reply.text = e.what();
+        reply.code = ErrorCode::BadRequest;
+      }
+    }
+    reply.seq = request.seq;
+    std::vector<std::uint8_t> payload = encode(reply);
+    if (!handshake && request.seq != 0 && request.seq > last_seq_) {
+      last_seq_ = request.seq;
+      last_reply_ = payload;
     }
     try {
-      send_reply(reply);
+      send_reply(payload);
     } catch (const NetError&) {
       break;
     }
   }
   std::lock_guard<std::mutex> lock(session_mutex_);
-  session_.close();
+  session_->close();
 }
 
-void SimServer::send_reply(const Message& reply) {
+void SimServer::send_reply(const std::vector<std::uint8_t>& payload) {
   std::lock_guard<std::mutex> lock(send_mutex_);
-  session_.send_frame(encode(reply));
+  session_->send_frame(payload);
+}
+
+bool SimServer::report_malformed() {
+  ++malformed_frames_;
+  Message err;
+  err.type = MsgType::Error;
+  err.text = "malformed frame";
+  err.code = ErrorCode::MalformedFrame;
+  try {
+    send_reply(encode(err));
+    return true;
+  } catch (const NetError&) {
+    return false;
+  }
 }
 
 Message SimServer::handle(const Message& request) {
   Message reply;
   switch (request.type) {
     case MsgType::Hello:
-      if (request.version != kProtocolVersion) {
+      if (request.version < kMinProtocolVersion ||
+          request.version > kProtocolVersion) {
         reply.type = MsgType::Error;
         reply.text = "protocol version mismatch: server speaks v" +
                      std::to_string(kProtocolVersion) + ", client sent v" +
                      std::to_string(request.version) +
                      " (old-format Hello); upgrade the client";
+        reply.code = ErrorCode::VersionMismatch;
         break;
       }
       reply.type = MsgType::Iface;
-      reply.text = model_->interface_json().dump();
+      {
+        Json iface = model_->interface_json();
+        iface.set("token", token_);
+        reply.text = iface.dump();
+      }
+      // A Hello opens a FRESH session: its client numbers requests from 1
+      // again, so the previous session's idempotency cache must not make
+      // them look stale (or worse, replay an old reply). Only Resume
+      // carries the cache across connections.
+      last_seq_ = 0;
+      last_reply_.clear();
+      break;
+    case MsgType::Resume:
+      if (request.text != token_) {
+        reply.type = MsgType::Error;
+        reply.text = "no resumable session for token";
+        reply.code = ErrorCode::UnknownSession;
+        break;
+      }
+      ++resumes_;
+      reply.type = MsgType::Iface;
+      {
+        Json iface = model_->interface_json();
+        iface.set("token", token_);
+        iface.set("resumed", true);
+        iface.set("cycles", model_->cycle_count());
+        iface.set("last_seq", std::size_t{last_seq_});
+        reply.text = iface.dump();
+      }
       break;
     default:
       reply = dispatch_request(*model_, request);

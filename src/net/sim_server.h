@@ -2,6 +2,14 @@
 // the applet side of Figure 4. One thread services one session; the
 // model's internals never cross the wire, only port values.
 //
+// Hardened against a hostile transport (protocol v3): malformed frames
+// are answered with a typed protocol Error instead of killing the
+// session, requests carry sequence numbers that are served idempotently
+// from a last-reply cache, and a client whose connection died can
+// reconnect and Resume with the server-issued session token (the model
+// persists across connections, so resume restores exactly where the
+// session left off).
+//
 // For the vendor-side service that multiplexes many concurrent sessions
 // over one port (catalog + licenses + worker pool), see
 // server/delivery_service.h.
@@ -13,15 +21,17 @@
 #include <thread>
 
 #include "core/blackbox.h"
+#include "net/fault_injection.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 
 namespace jhdl::net {
 
 /// Translate one in-session request (SetInput/GetOutput/Cycle/Reset/Eval)
-/// into a reply against `model`. Hello/Bye/Stats are session-level and not
-/// handled here. Shared by SimServer and the delivery service. Exceptions
-/// from the model propagate; callers turn them into Error replies.
+/// into a reply against `model`. Hello/Bye/Stats/Resume are session-level
+/// and not handled here. Shared by SimServer and the delivery service.
+/// Exceptions from the model propagate; callers turn them into Error
+/// replies.
 Message dispatch_request(core::BlackBoxModel& model, const Message& request);
 
 /// Serves one black-box model to one client session.
@@ -32,6 +42,13 @@ class SimServer {
   ~SimServer();
   SimServer(const SimServer&) = delete;
   SimServer& operator=(const SimServer&) = delete;
+
+  /// Route every session through a FaultyStream driven by `plan`
+  /// (tests/bench inject faults on the server side of the wire). Call
+  /// before start().
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+  }
 
   /// Start listening and servicing sessions on a background thread.
   /// Returns the port to connect to.
@@ -44,6 +61,12 @@ class SimServer {
 
   /// Requests handled so far (protocol round trips).
   std::size_t requests_served() const { return requests_.load(); }
+  /// Successful Resume handshakes.
+  std::size_t resumes() const { return resumes_.load(); }
+  /// Requests answered from the idempotency cache (client retries).
+  std::size_t replays() const { return replays_.load(); }
+  /// Frames that failed decode or integrity checks.
+  std::size_t malformed_frames() const { return malformed_frames_.load(); }
 
   /// Service a single already-accepted session (blocking). Exposed for
   /// in-process tests without the background thread.
@@ -51,18 +74,32 @@ class SimServer {
 
  private:
   Message handle(const Message& request);
-  void send_reply(const Message& reply);
+  void send_reply(const std::vector<std::uint8_t>& payload);
+  /// Count a malformed frame and answer Error(MalformedFrame); false if
+  /// even the Error could not be sent (session over).
+  bool report_malformed();
 
   std::unique_ptr<core::BlackBoxModel> model_;
   std::unique_ptr<TcpListener> listener_;
+  std::shared_ptr<FaultPlan> fault_plan_;
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::size_t> requests_{0};
+  std::atomic<std::size_t> resumes_{0};
+  std::atomic<std::size_t> replays_{0};
+  std::atomic<std::size_t> malformed_frames_{0};
+  /// Resume token issued in every Iface; constant for the server's
+  /// lifetime since there is exactly one session's worth of state.
+  std::string token_;
+  /// Idempotency cache: highest executed request seq and its encoded
+  /// reply. Only the session thread touches these.
+  std::uint64_t last_seq_ = 0;
+  std::vector<std::uint8_t> last_reply_;
   // The live session's stream, shared between the service thread (recv /
   // replies) and stop() (the farewell Bye). send_mutex_ serializes writes.
   std::mutex session_mutex_;
   std::mutex send_mutex_;
-  TcpStream session_;
+  std::unique_ptr<Stream> session_;
 };
 
 }  // namespace jhdl::net

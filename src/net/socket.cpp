@@ -10,6 +10,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/crc32.h"
+
 namespace jhdl::net {
 namespace {
 
@@ -22,7 +24,49 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
+void put_u32le(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32le(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
 }  // namespace
+
+std::vector<std::uint8_t> frame_wrap(
+    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> raw(kFrameHeaderBytes + payload.size());
+  put_u32le(raw.data(), static_cast<std::uint32_t>(payload.size()));
+  put_u32le(raw.data() + 4, crc32(payload));
+  std::memcpy(raw.data() + kFrameHeaderBytes, payload.data(), payload.size());
+  return raw;
+}
+
+std::vector<std::uint8_t> frame_unwrap(const std::vector<std::uint8_t>& raw) {
+  if (raw.size() < kFrameHeaderBytes) {
+    throw FrameError("frame truncated: header incomplete");
+  }
+  const std::uint32_t len = get_u32le(raw.data());
+  if (len > kMaxFrameBytes) throw NetError("frame too large");
+  if (raw.size() != kFrameHeaderBytes + len) {
+    throw FrameError("frame truncated: " +
+                     std::to_string(raw.size() - kFrameHeaderBytes) + " of " +
+                     std::to_string(len) + " payload bytes");
+  }
+  std::vector<std::uint8_t> payload(raw.begin() + kFrameHeaderBytes,
+                                    raw.end());
+  if (crc32(payload) != get_u32le(raw.data() + 4)) {
+    throw FrameError("frame checksum mismatch");
+  }
+  return payload;
+}
 
 TcpStream::~TcpStream() { close(); }
 
@@ -101,29 +145,30 @@ void TcpStream::recv_all(std::uint8_t* data, std::size_t size) {
 }
 
 void TcpStream::send_frame(const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFrameBytes) throw NetError("frame too large");
+  send_bytes(frame_wrap(payload));
+}
+
+void TcpStream::send_bytes(const std::vector<std::uint8_t>& raw) {
   if (!valid()) throw NetError("send on closed stream");
-  std::uint8_t header[4];
-  const auto len = static_cast<std::uint32_t>(payload.size());
-  header[0] = static_cast<std::uint8_t>(len);
-  header[1] = static_cast<std::uint8_t>(len >> 8);
-  header[2] = static_cast<std::uint8_t>(len >> 16);
-  header[3] = static_cast<std::uint8_t>(len >> 24);
-  send_all(header, 4);
-  if (!payload.empty()) send_all(payload.data(), payload.size());
+  if (!raw.empty()) send_all(raw.data(), raw.size());
+}
+
+std::vector<std::uint8_t> TcpStream::recv_frame_bytes() {
+  if (!valid()) throw NetError("recv on closed stream");
+  std::vector<std::uint8_t> raw(kFrameHeaderBytes);
+  recv_all(raw.data(), kFrameHeaderBytes);
+  const std::uint32_t len = get_u32le(raw.data());
+  // Reject before resizing: a hostile length prefix must not drive the
+  // allocator (and could not be trusted even if it did fit).
+  if (len > kMaxFrameBytes) throw NetError("frame too large");
+  raw.resize(kFrameHeaderBytes + len);
+  if (len > 0) recv_all(raw.data() + kFrameHeaderBytes, len);
+  return raw;
 }
 
 std::vector<std::uint8_t> TcpStream::recv_frame() {
-  if (!valid()) throw NetError("recv on closed stream");
-  std::uint8_t header[4];
-  recv_all(header, 4);
-  std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
-                      (static_cast<std::uint32_t>(header[1]) << 8) |
-                      (static_cast<std::uint32_t>(header[2]) << 16) |
-                      (static_cast<std::uint32_t>(header[3]) << 24);
-  if (len > (64u << 20)) throw NetError("frame too large");
-  std::vector<std::uint8_t> payload(len);
-  if (len > 0) recv_all(payload.data(), len);
-  return payload;
+  return frame_unwrap(recv_frame_bytes());
 }
 
 TcpListener::TcpListener(int backlog) {

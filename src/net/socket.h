@@ -1,5 +1,14 @@
 // Minimal RAII TCP sockets over the loopback interface, plus length-framed
 // message transport for the co-simulation protocol.
+//
+// Framing (since protocol v3): every frame is
+//   u32le payload length | u32le CRC-32 of the payload | payload
+// The checksum turns wire corruption (a hostile or lossy transport, or an
+// injected fault from net/fault_injection.h) into a detectable FrameError
+// instead of a silently different message. Because the receiver always
+// consumes exactly the advertised length, a bad checksum leaves the byte
+// stream aligned: servers can answer with a protocol Error and keep the
+// session, rather than tearing the connection down.
 #pragma once
 
 #include <atomic>
@@ -11,17 +20,78 @@
 namespace jhdl::net {
 
 /// Raised on socket-level failures (connect/bind/IO errors, peer close).
+/// Carries a coarse taxonomy for retry logic: Retryable errors are
+/// transport-level conditions a reconnect (or resend) may cure; Fatal
+/// errors are terminal for the session (protocol violations, license
+/// denials, the server's farewell Bye).
 class NetError : public std::runtime_error {
  public:
-  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+  enum class Kind { Retryable, Fatal };
+  explicit NetError(const std::string& what, Kind kind = Kind::Retryable)
+      : std::runtime_error(what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+  bool retryable() const { return kind_ == Kind::Retryable; }
+
+ private:
+  Kind kind_;
+};
+
+/// A frame arrived with the right length but failed its integrity check
+/// (or was structurally impossible). The byte stream is still aligned, so
+/// the connection remains usable: the receiver may report the corruption
+/// and keep reading. Always Retryable.
+class FrameError : public NetError {
+ public:
+  explicit FrameError(const std::string& what)
+      : NetError(what, Kind::Retryable) {}
+};
+
+/// Frames larger than this are rejected BEFORE the payload is allocated,
+/// so a hostile length prefix (e.g. 4 GiB) cannot drive the server into
+/// an allocation it will regret.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Bytes of frame header preceding the payload (length + CRC-32).
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Build the raw wire bytes for one frame: header (length + CRC) followed
+/// by the payload.
+std::vector<std::uint8_t> frame_wrap(const std::vector<std::uint8_t>& payload);
+
+/// Validate raw frame bytes (as produced by frame_wrap) and return the
+/// payload. Throws FrameError on length/CRC mismatch.
+std::vector<std::uint8_t> frame_unwrap(const std::vector<std::uint8_t>& raw);
+
+/// A framed, bidirectional byte stream: the transport seam of the
+/// co-simulation protocol. TcpStream is the real implementation;
+/// FaultyStream (net/fault_injection.h) wraps one to inject faults.
+/// SimServer, SimClient, and the DeliveryService are all built against
+/// this interface, so any session can run over a faulted transport.
+class Stream {
+ public:
+  virtual ~Stream() = default;
+  virtual bool valid() const = 0;
+  virtual void close() = 0;
+  /// Shut down both directions without releasing the descriptor; safe to
+  /// call from another thread while this stream is blocked in
+  /// recv_frame()/send_frame() (the blocked call fails with NetError).
+  virtual void shutdown() = 0;
+  /// Bound every subsequent recv to `ms` milliseconds; a timed-out
+  /// recv_frame throws NetError (0 = block forever again).
+  virtual void set_recv_timeout(int ms) = 0;
+  /// Send one length-framed payload. Throws NetError on failure.
+  virtual void send_frame(const std::vector<std::uint8_t>& payload) = 0;
+  /// Receive one frame. Throws NetError on failure or orderly close, and
+  /// FrameError when the frame arrived but failed its integrity check.
+  virtual std::vector<std::uint8_t> recv_frame() = 0;
 };
 
 /// A connected TCP stream. Move-only; closes on destruction.
-class TcpStream {
+class TcpStream : public Stream {
  public:
   TcpStream() = default;
   explicit TcpStream(int fd) : fd_(fd) {}
-  ~TcpStream();
+  ~TcpStream() override;
   TcpStream(TcpStream&& rhs) noexcept;
   TcpStream& operator=(TcpStream&& rhs) noexcept;
   TcpStream(const TcpStream&) = delete;
@@ -30,24 +100,20 @@ class TcpStream {
   /// Connect to 127.0.0.1:port. Throws NetError on failure.
   static TcpStream connect(std::uint16_t port);
 
-  bool valid() const { return fd_ >= 0; }
-  void close();
+  bool valid() const override { return fd_ >= 0; }
+  void close() override;
+  void shutdown() override;
+  void set_recv_timeout(int ms) override;
 
-  /// Shut down both directions without releasing the descriptor. Unlike
-  /// close(), this is safe to call from another thread while this stream
-  /// is blocked in recv_frame()/send_frame(): the blocked call fails with
-  /// NetError instead of hanging. Used for session eviction and shutdown.
-  void shutdown();
+  void send_frame(const std::vector<std::uint8_t>& payload) override;
+  std::vector<std::uint8_t> recv_frame() override;
 
-  /// Bound every subsequent recv to `ms` milliseconds; a timed-out
-  /// recv_frame throws NetError (0 = block forever again). Used for
-  /// bounded reads on the accept path.
-  void set_recv_timeout(int ms);
-
-  /// Send one length-framed payload. Throws NetError on failure.
-  void send_frame(const std::vector<std::uint8_t>& payload);
-  /// Receive one frame. Throws NetError on failure or orderly close.
-  std::vector<std::uint8_t> recv_frame();
+  /// Raw-byte escape hatches for the fault-injection layer (and tests
+  /// that need to place malformed bytes on the wire): send bytes exactly
+  /// as given, or receive one frame's raw bytes (header included) with
+  /// the length cap enforced but WITHOUT the CRC check.
+  void send_bytes(const std::vector<std::uint8_t>& raw);
+  std::vector<std::uint8_t> recv_frame_bytes();
 
  private:
   void send_all(const std::uint8_t* data, std::size_t size);

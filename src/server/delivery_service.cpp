@@ -10,6 +10,7 @@ namespace jhdl::server {
 
 using net::decode;
 using net::encode;
+using net::ErrorCode;
 using net::Message;
 using net::MsgType;
 
@@ -35,7 +36,7 @@ std::uint16_t DeliveryService::start() {
   for (std::size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
-  if (config_.idle_timeout.count() > 0) {
+  if (config_.idle_timeout.count() > 0 || config_.resume_window.count() > 0) {
     reaper_ = std::thread([this] { reaper_loop(); });
   }
   return port;
@@ -55,7 +56,7 @@ void DeliveryService::stop() {
   for (net::TcpStream& stream : orphans) {
     stats_.record_dequeue();
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    send_error(stream, "server shutting down");
+    send_error(stream, "server shutting down", ErrorCode::ShuttingDown);
   }
   queue_cv_.notify_all();
   reaper_cv_.notify_all();
@@ -63,7 +64,7 @@ void DeliveryService::stop() {
   // client never sent Hello).
   {
     std::lock_guard<std::mutex> lock(handshake_mutex_);
-    for (net::TcpStream* stream : handshaking_) stream->shutdown();
+    for (net::Stream* stream : handshaking_) stream->shutdown();
   }
   // Fail the blocked recv of every live session; its worker then runs
   // the ordinary close path and exits.
@@ -74,6 +75,9 @@ void DeliveryService::stop() {
   }
   workers_.clear();
   if (reaper_.joinable()) reaper_.join();
+  // Parked sessions have no worker and no transport; sweep them all once
+  // every thread that could detach one has been joined.
+  sessions_.purge_detached(std::chrono::nanoseconds(0));
 }
 
 void DeliveryService::accept_loop() {
@@ -92,7 +96,8 @@ void DeliveryService::accept_loop() {
       stats_.record_rejection();
       send_error(stream,
                  "server saturated: " + std::to_string(capacity) +
-                     " sessions in flight; retry later");
+                     " sessions in flight; retry later",
+                 ErrorCode::Saturated);
       continue;
     }
     {
@@ -124,75 +129,128 @@ void DeliveryService::worker_loop() {
 }
 
 void DeliveryService::reaper_loop() {
-  // Wake a few times per timeout so eviction lag stays well under one
-  // extra timeout period.
+  // Wake a few times per timeout so eviction/purge lag stays well under
+  // one extra period.
+  auto shortest = std::chrono::milliseconds::max();
+  if (config_.idle_timeout.count() > 0) {
+    shortest = std::min(shortest, config_.idle_timeout);
+  }
+  if (config_.resume_window.count() > 0) {
+    shortest = std::min(shortest, config_.resume_window);
+  }
   const auto period =
-      std::max<std::chrono::milliseconds>(config_.idle_timeout / 4,
+      std::max<std::chrono::milliseconds>(shortest / 4,
                                           std::chrono::milliseconds(5));
   std::unique_lock<std::mutex> lock(reaper_mutex_);
   while (running_) {
     reaper_cv_.wait_for(lock, period, [this] { return !running_.load(); });
     if (!running_) return;
-    sessions_.evict_idle(config_.idle_timeout);
+    if (config_.idle_timeout.count() > 0) {
+      sessions_.evict_idle(config_.idle_timeout);
+    }
+    if (config_.resume_window.count() > 0) {
+      sessions_.purge_detached(config_.resume_window);
+    }
   }
 }
 
-void DeliveryService::serve_connection(net::TcpStream stream) {
-  if (!register_handshake(&stream)) return;  // already stopping
+void DeliveryService::serve_connection(net::TcpStream raw) {
+  std::unique_ptr<net::Stream> stream =
+      net::wrap_stream(std::move(raw), config_.fault_plan);
+  if (!register_handshake(stream.get())) return;  // already stopping
   Message first;
-  bool handshake_ok = true;
-  try {
-    first = decode(stream.recv_frame());
-  } catch (const std::exception&) {
-    handshake_ok = false;  // malformed or vanished before the handshake
+  bool handshake_ok = false;
+  // A corrupt frame leaves the byte stream aligned, so the handshake is
+  // retryable in place - report it and read again (bounded, so a peer
+  // spewing garbage cannot pin a worker).
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    bool malformed = false;
+    try {
+      first = decode(stream->recv_frame());
+      handshake_ok = true;
+      break;
+    } catch (const net::FrameError&) {
+      malformed = true;  // corrupt frame: stream aligned, retryable
+    } catch (const net::NetError&) {
+      break;  // vanished (or shut down) before the handshake
+    } catch (const std::exception&) {
+      malformed = true;  // undecodable payload: also retryable
+    }
+    if (malformed) {
+      stats_.record_malformed();
+      Message err;
+      err.type = MsgType::Error;
+      err.text = "malformed frame";
+      err.code = ErrorCode::MalformedFrame;
+      try {
+        stream->send_frame(encode(err));
+      } catch (const net::NetError&) {
+        break;
+      }
+    }
   }
-  unregister_handshake(&stream);
+  unregister_handshake(stream.get());
   if (!handshake_ok) return;
   if (first.type == MsgType::Stats) {
     // Bare admin query: answer and close.
     Message reply;
     reply.type = MsgType::StatsReply;
     reply.text = stats_.to_json().dump();
+    reply.seq = first.seq;
     try {
-      stream.send_frame(encode(reply));
+      stream->send_frame(encode(reply));
     } catch (const net::NetError&) {
     }
     return;
   }
+  if (first.type == MsgType::Resume) {
+    std::shared_ptr<Session> session = resume_session(first, stream);
+    if (session == nullptr) return;  // Error already sent
+    finish_session(session, serve_session(session));
+    return;
+  }
   if (first.type != MsgType::Hello) {
-    send_error(stream, "expected Hello to open a session");
+    send_error(*stream, "expected Hello to open a session",
+               ErrorCode::BadRequest);
     return;
   }
   std::shared_ptr<Session> session;
   Message reply = open_session(first, stream, session);
+  reply.seq = first.seq;
   if (session == nullptr) {
     try {
-      stream.send_frame(encode(reply));
+      stream->send_frame(encode(reply));
     } catch (const net::NetError&) {
     }
     return;
   }
   try {
-    session->stream.send_frame(encode(reply));
+    session->stream->send_frame(encode(reply));
   } catch (const net::NetError&) {
-    sessions_.close(session);
+    // The Iface never arrived; the client will reconnect and Resume (or
+    // Hello afresh), so treat it like any other transport death.
+    finish_session(session, end_reason(session));
     return;
   }
-  serve_session(session);
-  sessions_.close(session);
+  finish_session(session, serve_session(session));
 }
 
 Message DeliveryService::open_session(const Message& hello,
-                                      net::TcpStream& stream,
+                                      std::unique_ptr<net::Stream>& stream,
                                       std::shared_ptr<Session>& session) {
   Message error;
   error.type = MsgType::Error;
-  if (hello.version != net::kProtocolVersion) {
+  error.code = ErrorCode::BadRequest;
+  if (hello.version < net::kMinProtocolVersion ||
+      hello.version > net::kProtocolVersion) {
     error.text = "protocol version mismatch: server speaks v" +
-                 std::to_string(net::kProtocolVersion) + ", client sent v" +
+                 std::to_string(net::kProtocolVersion) + " (v" +
+                 std::to_string(net::kMinProtocolVersion) +
+                 " tolerated), client sent v" +
                  std::to_string(hello.version) +
                  (hello.version == 1 ? " (old-format Hello)" : "") +
                  "; upgrade the client";
+    error.code = ErrorCode::VersionMismatch;
     stats_.record_denial();
     return error;
   }
@@ -203,6 +261,7 @@ Message DeliveryService::open_session(const Message& hello,
     if (it == licenses_.end()) {
       error.text = "unknown customer '" + hello.customer +
                    "': no license on file";
+      error.code = ErrorCode::LicenseDenied;
       stats_.record_denial();
       return error;
     }
@@ -212,12 +271,14 @@ Message DeliveryService::open_session(const Message& hello,
     error.text = "license for '" + hello.customer + "' (" +
                  core::license_tier_name(license.tier) +
                  " tier) does not grant black-box simulation";
+    error.code = ErrorCode::LicenseDenied;
     stats_.record_denial();
     return error;
   }
   if (!license.valid_on(config_.today)) {
     error.text = "license for '" + hello.customer + "' expired on day " +
                  std::to_string(license.expires_day);
+    error.code = ErrorCode::LicenseDenied;
     stats_.record_denial();
     return error;
   }
@@ -245,24 +306,107 @@ Message DeliveryService::open_session(const Message& hello,
   iface.set("customer", session->customer);
   iface.set("session", session->id);
   iface.set("protocol", std::size_t{net::kProtocolVersion});
+  iface.set("token", session->token);
   Message reply;
   reply.type = MsgType::Iface;
   reply.text = iface.dump();
   return reply;
 }
 
-void DeliveryService::serve_session(const std::shared_ptr<Session>& session) {
+std::shared_ptr<Session> DeliveryService::resume_session(
+    const Message& resume, std::unique_ptr<net::Stream>& stream) {
+  if (config_.resume_window.count() == 0) {
+    send_error(*stream, "this server does not keep detached sessions",
+               ErrorCode::UnknownSession);
+    return nullptr;
+  }
+  std::shared_ptr<Session> session = sessions_.resume(resume.text);
+  if (session == nullptr) {
+    send_error(*stream,
+               "no resumable session for token (expired, evicted, or "
+               "never issued)",
+               ErrorCode::UnknownSession);
+    return nullptr;
+  }
+  sessions_.attach(session, std::move(stream));
+  stats_.record_resume();
+  Json iface = session->model->interface_json();
+  iface.set("customer", session->customer);
+  iface.set("session", session->id);
+  iface.set("protocol", std::size_t{net::kProtocolVersion});
+  iface.set("token", session->token);
+  iface.set("resumed", true);
+  iface.set("cycles", session->model->cycle_count());
+  iface.set("last_seq", std::size_t{session->last_seq});
+  Message reply;
+  reply.type = MsgType::Iface;
+  reply.text = iface.dump();
+  reply.seq = resume.seq;
+  try {
+    session->stream->send_frame(encode(reply));
+  } catch (const net::NetError&) {
+    finish_session(session, end_reason(session));
+    return nullptr;
+  }
+  return session;
+}
+
+DeliveryService::EndReason DeliveryService::serve_session(
+    const std::shared_ptr<Session>& session) {
   while (running_ && !session->evicted.load(std::memory_order_relaxed)) {
     Message request;
+    bool malformed = false;
     try {
-      request = decode(session->stream.recv_frame());
+      request = decode(session->stream->recv_frame());
+    } catch (const net::FrameError&) {
+      // The frame arrived but was corrupt (bad CRC / impossible length);
+      // the byte stream is still aligned, so report it and keep the
+      // session.
+      malformed = true;
+    } catch (const net::NetError&) {
+      return end_reason(session);  // peer closed, evicted, or stopping
     } catch (const std::exception&) {
-      return;  // peer closed, evicted mid-recv, or malformed frame
+      // Integrity check passed but the payload does not decode: answer
+      // with a typed Error instead of closing (the stream is aligned).
+      malformed = true;
     }
-    if (request.type == MsgType::Bye) return;
+    if (malformed) {
+      stats_.record_malformed();
+      Message err;
+      err.type = MsgType::Error;
+      err.text = "malformed frame";
+      err.code = ErrorCode::MalformedFrame;
+      try {
+        session->stream->send_frame(encode(err));
+        continue;
+      } catch (const net::NetError&) {
+        return end_reason(session);
+      }
+    }
+    if (request.type == MsgType::Bye) return EndReason::Bye;
+    // Idempotent replay: a numbered request this session has already
+    // executed (the client retried because our reply was lost) is
+    // answered from the cache without touching the model.
+    if (request.seq != 0 && request.seq == session->last_seq &&
+        !session->last_reply.empty()) {
+      stats_.record_replay();
+      session->touch();
+      try {
+        session->stream->send_frame(session->last_reply);
+        continue;
+      } catch (const net::NetError&) {
+        return end_reason(session);
+      }
+    }
     const auto t0 = std::chrono::steady_clock::now();
     Message reply;
-    if (request.type == MsgType::Stats) {
+    if (request.seq != 0 && request.seq < session->last_seq) {
+      // A frame-level duplicate of an older request; the client has
+      // moved on and will discard this reply by its seq.
+      reply.type = MsgType::Error;
+      reply.text = "stale request";
+      reply.code = ErrorCode::BadRequest;
+    } else if (request.type == MsgType::Stats) {
       // Admin counters are also queryable mid-session.
       reply.type = MsgType::StatsReply;
       reply.text = stats_.to_json().dump();
@@ -272,6 +416,7 @@ void DeliveryService::serve_session(const std::shared_ptr<Session>& session) {
       } catch (const std::exception& e) {
         reply.type = MsgType::Error;
         reply.text = e.what();
+        reply.code = ErrorCode::BadRequest;
       }
     }
     const auto micros =
@@ -280,28 +425,55 @@ void DeliveryService::serve_session(const std::shared_ptr<Session>& session) {
             .count();
     stats_.record_request(static_cast<std::uint64_t>(micros));
     session->touch();
+    reply.seq = request.seq;
+    std::vector<std::uint8_t> payload = encode(reply);
+    if (request.seq != 0 && request.seq > session->last_seq) {
+      session->last_seq = request.seq;
+      session->last_reply = payload;
+    }
     try {
-      session->stream.send_frame(encode(reply));
+      session->stream->send_frame(payload);
     } catch (const net::NetError&) {
-      return;
+      return end_reason(session);
     }
   }
+  return end_reason(session);
 }
 
-bool DeliveryService::register_handshake(net::TcpStream* stream) {
+DeliveryService::EndReason DeliveryService::end_reason(
+    const std::shared_ptr<Session>& session) const {
+  if (!running_.load(std::memory_order_relaxed)) return EndReason::Stopping;
+  if (session->evicted.load(std::memory_order_relaxed)) {
+    return EndReason::Evicted;
+  }
+  return EndReason::Transport;
+}
+
+void DeliveryService::finish_session(const std::shared_ptr<Session>& session,
+                                     EndReason reason) {
+  if (reason == EndReason::Transport && config_.resume_window.count() > 0) {
+    // The transport died under a healthy session: park it for the client
+    // to reclaim with Resume(token) instead of throwing the model away.
+    sessions_.detach(session);
+    return;
+  }
+  sessions_.close(session);
+}
+
+bool DeliveryService::register_handshake(net::Stream* stream) {
   std::lock_guard<std::mutex> lock(handshake_mutex_);
   if (!running_) return false;
   handshaking_.push_back(stream);
   return true;
 }
 
-void DeliveryService::unregister_handshake(net::TcpStream* stream) {
+void DeliveryService::unregister_handshake(net::Stream* stream) {
   std::lock_guard<std::mutex> lock(handshake_mutex_);
   std::erase(handshaking_, stream);
 }
 
-void DeliveryService::send_error(net::TcpStream& stream,
-                                 const std::string& text) {
+void DeliveryService::send_error(net::Stream& stream, const std::string& text,
+                                 net::ErrorCode code) {
   // Consume the request the client (almost certainly) already sent,
   // bounded so a silent peer cannot stall the accept thread. Closing
   // with unread data in the receive buffer would RST the connection and
@@ -315,6 +487,7 @@ void DeliveryService::send_error(net::TcpStream& stream,
   Message reply;
   reply.type = MsgType::Error;
   reply.text = text;
+  reply.code = code;
   try {
     stream.send_frame(encode(reply));
   } catch (const net::NetError&) {

@@ -18,16 +18,26 @@
 //   accept thread    accepts; rejects with a protocol Error when
 //                    in-flight connections reach workers + queue_capacity
 //                    (backpressure instead of unbounded queueing);
-//   worker thread    pops the connection, validates the v2 Hello
-//                    (protocol version, customer license incl. the
+//   worker thread    pops the connection, validates the Hello (protocol
+//                    version v2..v3, customer license incl. the
 //                    BlackBoxSim feature and expiry, catalog lookup,
 //                    parameter resolution), builds a PRIVATE
 //                    BlackBoxModel for the session, replies Iface, then
 //                    serves requests until Bye / disconnect / eviction;
-//   reaper thread    evicts sessions idle past config.idle_timeout;
+//   reaper thread    evicts sessions idle past config.idle_timeout and
+//                    purges detached sessions past config.resume_window;
 //   admin            Stats query (first message instead of Hello, or
 //                    mid-session) returns the ServerStats counters as
 //                    JSON; query_stats() is the client-side helper.
+//
+// Protocol-v3 hardening: frames are CRC-checked and a corrupt one is
+// answered with Error(MalformedFrame) on the still-aligned stream instead
+// of killing the session; numbered requests are served idempotently from
+// a per-session replay cache; and with a nonzero resume_window a session
+// whose transport dies is PARKED, to be reclaimed by a client
+// reconnecting with Resume(token) - model state, cycle count and replay
+// cache intact. config.fault_plan routes every connection through a
+// FaultyStream for tests and benchmarks.
 #pragma once
 
 #include <atomic>
@@ -44,6 +54,7 @@
 
 #include "core/catalog.h"
 #include "core/license.h"
+#include "net/fault_injection.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "server/session.h"
@@ -62,10 +73,16 @@ struct DeliveryConfig {
   std::size_t queue_capacity = 8;
   /// Sessions idle longer than this are evicted (0 = never).
   std::chrono::milliseconds idle_timeout{0};
+  /// How long a session whose transport died stays resumable via its
+  /// token (0 = resume disabled, transport death closes the session).
+  std::chrono::milliseconds resume_window{0};
   /// Vendor calendar day used for license-expiry checks.
   int today = 0;
   /// Kernel listen() backlog.
   int listen_backlog = 64;
+  /// When set, every connection runs through a FaultyStream driven by
+  /// this plan (tests/bench inject faults on the server side).
+  std::shared_ptr<net::FaultPlan> fault_plan;
 };
 
 /// Serves many concurrent black-box sessions from one catalog.
@@ -87,7 +104,7 @@ class DeliveryService {
   std::uint16_t start();
 
   /// Stop everything: reject queued connections, shut down live
-  /// sessions, join all threads. Idempotent.
+  /// sessions, purge parked ones, join all threads. Idempotent.
   void stop();
 
   const DeliveryConfig& config() const { return config_; }
@@ -96,22 +113,36 @@ class DeliveryService {
   SessionManager& sessions() { return sessions_; }
 
  private:
+  /// Why a serve loop ended - decides detach (resumable) vs close.
+  enum class EndReason { Bye, Transport, Evicted, Stopping };
+
   void accept_loop();
   void worker_loop();
   void reaper_loop();
-  void serve_connection(net::TcpStream stream);
-  /// Validate the Hello; on success fill `session` and return the Iface
-  /// reply, else return the Error reply (and count the denial).
+  void serve_connection(net::TcpStream raw);
+  /// Validate the Hello; on success fill `session` (taking the stream)
+  /// and return the Iface reply, else return the Error reply (and count
+  /// the denial).
   net::Message open_session(const net::Message& hello,
-                            net::TcpStream& stream,
+                            std::unique_ptr<net::Stream>& stream,
                             std::shared_ptr<Session>& session);
-  void serve_session(const std::shared_ptr<Session>& session);
-  static void send_error(net::TcpStream& stream, const std::string& text);
+  /// The Resume handshake: claim the parked session, bind the stream,
+  /// and return it ready to serve (null => an Error was already sent).
+  std::shared_ptr<Session> resume_session(
+      const net::Message& resume, std::unique_ptr<net::Stream>& stream);
+  EndReason serve_session(const std::shared_ptr<Session>& session);
+  /// Detach-or-close after a serve loop ends.
+  void finish_session(const std::shared_ptr<Session>& session,
+                      EndReason reason);
+  EndReason end_reason(const std::shared_ptr<Session>& session) const;
+  static void send_error(
+      net::Stream& stream, const std::string& text,
+      net::ErrorCode code = net::ErrorCode::Generic);
   /// Track a connection that is between accept and session open, so
   /// stop() can fail its blocked handshake recv. Returns false when the
   /// service is already stopping (caller should drop the connection).
-  bool register_handshake(net::TcpStream* stream);
-  void unregister_handshake(net::TcpStream* stream);
+  bool register_handshake(net::Stream* stream);
+  void unregister_handshake(net::Stream* stream);
 
   core::IpCatalog catalog_;
   DeliveryConfig config_;
@@ -131,7 +162,7 @@ class DeliveryService {
   std::deque<net::TcpStream> queue_;
 
   std::mutex handshake_mutex_;
-  std::vector<net::TcpStream*> handshaking_;
+  std::vector<net::Stream*> handshaking_;
 
   std::mutex reaper_mutex_;
   std::condition_variable reaper_cv_;

@@ -1,10 +1,32 @@
 #include "server/session.h"
 
+#include <cstdio>
+#include <random>
+#include <thread>
+
 namespace jhdl::server {
+namespace {
+
+std::string make_token(std::uint64_t id) {
+  // Unguessable enough that one customer cannot claim another's detached
+  // session: 64 random bits from the OS, plus the id for uniqueness even
+  // if the entropy source misbehaves.
+  std::random_device rd;
+  const std::uint64_t word =
+      (static_cast<std::uint64_t>(rd()) << 32) | rd();
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "s%llu-%016llx",
+                static_cast<unsigned long long>(id),
+                static_cast<unsigned long long>(word));
+  return std::string(buf);
+}
+
+}  // namespace
 
 std::shared_ptr<Session> SessionManager::open(
     std::string customer, std::string module,
-    std::unique_ptr<core::BlackBoxModel> model, net::TcpStream stream) {
+    std::unique_ptr<core::BlackBoxModel> model,
+    std::unique_ptr<net::Stream> stream) {
   auto session = std::make_shared<Session>();
   session->customer = std::move(customer);
   session->module = std::move(module);
@@ -14,6 +36,7 @@ std::shared_ptr<Session> SessionManager::open(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     session->id = next_id_++;
+    session->token = make_token(session->id);
     sessions_.emplace(session->id, session);
   }
   stats_.record_open();
@@ -25,10 +48,96 @@ void SessionManager::close(const std::shared_ptr<Session>& session) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (sessions_.erase(session->id) == 0) return;  // already closed
   }
-  // No explicit stream.close() here: a concurrent evictor may still be
-  // inside stream.shutdown(). The fd closes in the Session destructor,
+  // No explicit stream close here: a concurrent evictor may still be
+  // inside Stream::shutdown(). The fd closes in the Session destructor,
   // once every holder (worker, map, evictor) has dropped its reference.
   stats_.record_close(session->evicted.load(std::memory_order_relaxed));
+}
+
+void SessionManager::detach(const std::shared_ptr<Session>& session) {
+  {
+    std::lock_guard<std::mutex> lock(session->stream_mutex);
+    session->stream.reset();  // the transport is dead; drop it now
+  }
+  session->detached_at_ns.store(
+      std::chrono::steady_clock::now().time_since_epoch().count(),
+      std::memory_order_relaxed);
+  // The detached flag is the ownership handover: once it is true, a
+  // resume() claim may bind a new stream and a new worker takes over, so
+  // it must be the LAST thing the old worker does to the session.
+  session->detached.store(true, std::memory_order_release);
+}
+
+std::shared_ptr<Session> SessionManager::resume(
+    const std::string& token, std::chrono::milliseconds force_wait) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, candidate] : sessions_) {
+      if (candidate->token == token) {
+        session = candidate;
+        break;
+      }
+    }
+    if (session == nullptr) return nullptr;
+    if (session->evicted.load(std::memory_order_relaxed)) return nullptr;
+    if (session->detached.load(std::memory_order_acquire)) {
+      session->detached.store(false, std::memory_order_relaxed);  // claimed
+      return session;
+    }
+  }
+  // The server still believes the old transport is alive (the client gave
+  // up first, e.g. on a request timeout). Kill it and wait - bounded -
+  // for the owning worker to notice and park the session.
+  {
+    std::lock_guard<std::mutex> lock(session->stream_mutex);
+    if (session->stream != nullptr) session->stream->shutdown();
+  }
+  const auto deadline = std::chrono::steady_clock::now() + force_wait;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sessions_.find(session->id) == sessions_.end()) return nullptr;
+    if (session->detached.load(std::memory_order_acquire)) {
+      session->detached.store(false, std::memory_order_relaxed);
+      return session;
+    }
+  }
+  return nullptr;  // old worker never let go; the client must start over
+}
+
+void SessionManager::attach(const std::shared_ptr<Session>& session,
+                            std::unique_ptr<net::Stream> stream) {
+  std::lock_guard<std::mutex> lock(session->stream_mutex);
+  session->stream = std::move(stream);
+  session->touch();
+}
+
+std::size_t SessionManager::purge_detached(std::chrono::nanoseconds older_than) {
+  const std::int64_t now =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  std::vector<std::shared_ptr<Session>> stale;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, session] : sessions_) {
+      if (!session->detached.load(std::memory_order_acquire)) continue;
+      const std::int64_t parked =
+          session->detached_at_ns.load(std::memory_order_relaxed);
+      if (now - parked >= older_than.count()) stale.push_back(session);
+    }
+  }
+  for (const auto& session : stale) {
+    // A resume() may have claimed the session between the scan and here;
+    // re-check under the claim discipline (manager lock) before closing.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!session->detached.load(std::memory_order_acquire)) continue;
+      session->detached.store(false, std::memory_order_relaxed);
+    }
+    session->evicted.store(true, std::memory_order_relaxed);
+    close(session);
+  }
+  return stale.size();
 }
 
 std::vector<SessionManager::Info> SessionManager::list() const {
@@ -48,14 +157,26 @@ std::size_t SessionManager::active() const {
 
 bool SessionManager::evict(std::uint64_t id) {
   std::shared_ptr<Session> session;
+  bool close_now = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = sessions_.find(id);
     if (it == sessions_.end()) return false;
     session = it->second;
+    session->evicted.store(true, std::memory_order_relaxed);
+    if (session->detached.load(std::memory_order_acquire)) {
+      // No worker owns a detached session; claim and close it ourselves.
+      session->detached.store(false, std::memory_order_relaxed);
+      close_now = true;
+    }
   }
-  session->evicted.store(true, std::memory_order_relaxed);
-  session->stream.shutdown();
+  if (close_now) {
+    close(session);
+  } else {
+    // The owning worker closes it once its blocked recv fails.
+    std::lock_guard<std::mutex> lock(session->stream_mutex);
+    if (session->stream != nullptr) session->stream->shutdown();
+  }
   return true;
 }
 
@@ -66,6 +187,7 @@ std::size_t SessionManager::evict_idle(std::chrono::nanoseconds older_than) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& [id, session] : sessions_) {
+      if (session->detached.load(std::memory_order_acquire)) continue;
       const std::int64_t last =
           session->last_active_ns.load(std::memory_order_relaxed);
       if (now - last > older_than.count()) stale.push_back(session);
@@ -73,7 +195,8 @@ std::size_t SessionManager::evict_idle(std::chrono::nanoseconds older_than) {
   }
   for (const auto& session : stale) {
     session->evicted.store(true, std::memory_order_relaxed);
-    session->stream.shutdown();
+    std::lock_guard<std::mutex> lock(session->stream_mutex);
+    if (session->stream != nullptr) session->stream->shutdown();
   }
   return stale.size();
 }
@@ -85,7 +208,10 @@ void SessionManager::shutdown_all() {
     live.reserve(sessions_.size());
     for (const auto& [id, session] : sessions_) live.push_back(session);
   }
-  for (const auto& session : live) session->stream.shutdown();
+  for (const auto& session : live) {
+    std::lock_guard<std::mutex> lock(session->stream_mutex);
+    if (session->stream != nullptr) session->stream->shutdown();
+  }
 }
 
 }  // namespace jhdl::server

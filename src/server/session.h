@@ -4,8 +4,15 @@
 // BlackBoxModel. The worker that owns the connection is the only thread
 // that touches the model; other threads (the idle reaper, admin eviction,
 // service shutdown) interact with a session exclusively through its
-// atomic activity stamp and TcpStream::shutdown(), which fails the
-// worker's blocked recv and makes it run the ordinary close path.
+// atomic activity stamp and Stream::shutdown(), which fails the worker's
+// blocked recv and makes it run the ordinary close path.
+//
+// Protocol v3 adds DETACHED sessions: when a transport dies under a
+// session and the service has a resume window, the worker parks the
+// session (model, seq cache and all) instead of closing it. A client
+// reconnecting with the session's token claims it back via
+// SessionManager::resume(); the reaper purges parked sessions that
+// outlive the window.
 #pragma once
 
 #include <atomic>
@@ -23,18 +30,34 @@
 
 namespace jhdl::server {
 
-/// One live co-simulation session.
+/// One live (or detached) co-simulation session.
 struct Session {
   std::uint64_t id = 0;
   std::string customer;
   std::string module;
+  /// Unguessable resume credential, issued in the Iface handshake reply.
+  std::string token;
   std::unique_ptr<core::BlackBoxModel> model;
-  net::TcpStream stream;
+  /// The transport currently bound to the session; null while detached.
+  /// Guarded by stream_mutex for replacement/shutdown; the owning worker
+  /// reads it without the lock (it is replaced only between workers).
+  std::unique_ptr<net::Stream> stream;
+  std::mutex stream_mutex;
+  /// Idempotent-replay cache: highest executed request seq + its encoded
+  /// reply. Only the worker currently attached to the session touches it,
+  /// and it survives detach/resume - that is the whole point.
+  std::uint64_t last_seq = 0;
+  std::vector<std::uint8_t> last_reply;
   /// steady_clock time of the last serviced request, as nanosecond ticks.
   std::atomic<std::int64_t> last_active_ns{0};
   /// Set by the reaper / admin before shutting the stream down, so the
   /// worker can tell an eviction from an ordinary peer close.
   std::atomic<bool> evicted{false};
+  /// True while parked awaiting a Resume; set by detach(), cleared by
+  /// resume() when a reconnecting client claims the session.
+  std::atomic<bool> detached{false};
+  /// When the session was parked, for the resume-window purge.
+  std::atomic<std::int64_t> detached_at_ns{0};
 
   void touch() {
     last_active_ns.store(
@@ -48,14 +71,38 @@ class SessionManager {
  public:
   explicit SessionManager(ServerStats& stats) : stats_(stats) {}
 
-  /// Register a new session (assigns the id, stamps activity, counts it).
+  /// Register a new session (assigns id + resume token, stamps activity,
+  /// counts it).
   std::shared_ptr<Session> open(std::string customer, std::string module,
                                 std::unique_ptr<core::BlackBoxModel> model,
-                                net::TcpStream stream);
+                                std::unique_ptr<net::Stream> stream);
 
   /// Unregister; counts evicted vs closed from session->evicted. Called
   /// by the owning worker once its serve loop ends. Idempotent.
   void close(const std::shared_ptr<Session>& session);
+
+  /// Park the session after a transport death: drops the dead stream and
+  /// marks it resumable. Called by the owning worker, which must not
+  /// touch the session afterwards.
+  void detach(const std::shared_ptr<Session>& session);
+
+  /// Claim the detached session with this token for a reconnecting
+  /// client. If the session is still attached (the client gave up before
+  /// the server noticed the dead transport), its old stream is shut down
+  /// and the claim waits up to `force_wait` for the owning worker to
+  /// park it. Returns null if no session matches or the claim times out;
+  /// on success the caller must bind a new stream via attach().
+  std::shared_ptr<Session> resume(
+      const std::string& token,
+      std::chrono::milliseconds force_wait = std::chrono::milliseconds(500));
+
+  /// Bind a fresh transport to a session claimed by resume().
+  void attach(const std::shared_ptr<Session>& session,
+              std::unique_ptr<net::Stream> stream);
+
+  /// Close every session detached for longer than `older_than` (pass 0
+  /// to sweep them all, e.g. at service stop). Returns how many.
+  std::size_t purge_detached(std::chrono::nanoseconds older_than);
 
   /// Admin view of one live session.
   struct Info {
@@ -67,11 +114,13 @@ class SessionManager {
   std::size_t active() const;
 
   /// Explicit admin eviction. Marks the session and shuts its stream
-  /// down; the owning worker then closes it. False if the id is gone.
+  /// down; the owning worker then closes it. A detached session is
+  /// closed on the spot. False if the id is gone.
   bool evict(std::uint64_t id);
 
-  /// Evict every session idle longer than `older_than`. Returns how many
-  /// were marked. Called by the service's reaper thread.
+  /// Evict every ATTACHED session idle longer than `older_than`. Returns
+  /// how many were marked. Called by the service's reaper thread.
+  /// (Detached sessions age out via purge_detached instead.)
   std::size_t evict_idle(std::chrono::nanoseconds older_than);
 
   /// Shut down every live session's stream (service stop). Sessions are

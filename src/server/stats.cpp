@@ -40,6 +40,9 @@ ServerStats::Snapshot ServerStats::snapshot() const {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.rejections = rejections_.load(std::memory_order_relaxed);
   s.denials = denials_.load(std::memory_order_relaxed);
+  s.resumes = resumes_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
 
   std::array<std::uint64_t, kBuckets> buckets{};
   std::uint64_t total = 0;
@@ -62,6 +65,9 @@ Json ServerStats::Snapshot::to_json() const {
   j.set("requests", requests);
   j.set("rejections", rejections);
   j.set("denials", denials);
+  j.set("resumes", resumes);
+  j.set("retries", retries);
+  j.set("malformed_frames", malformed_frames);
   j.set("p50_request_us", p50_request_us);
   j.set("p95_request_us", p95_request_us);
   return j;

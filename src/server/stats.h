@@ -31,6 +31,9 @@ class ServerStats {
     std::uint64_t requests = 0;
     std::uint64_t rejections = 0;  // saturation: accept queue full
     std::uint64_t denials = 0;     // license / version / catalog refusals
+    std::uint64_t resumes = 0;     // sessions reattached via Resume
+    std::uint64_t retries = 0;     // requests served from the replay cache
+    std::uint64_t malformed_frames = 0;  // frames failing CRC / decode
     double p50_request_us = 0.0;
     double p95_request_us = 0.0;
 
@@ -52,6 +55,11 @@ class ServerStats {
     rejections_.fetch_add(1, std::memory_order_relaxed);
   }
   void record_denial() { denials_.fetch_add(1, std::memory_order_relaxed); }
+  void record_resume() { resumes_.fetch_add(1, std::memory_order_relaxed); }
+  void record_replay() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void record_malformed() {
+    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Count one serviced request taking `micros` µs end to end.
   void record_request(std::uint64_t micros);
@@ -71,6 +79,9 @@ class ServerStats {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> rejections_{0};
   std::atomic<std::uint64_t> denials_{0};
+  std::atomic<std::uint64_t> resumes_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> malformed_frames_{0};
   std::array<std::atomic<std::uint64_t>, kBuckets> latency_buckets_{};
 };
 

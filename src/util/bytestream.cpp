@@ -46,7 +46,13 @@ void ByteWriter::raw(const std::vector<std::uint8_t>& data) {
 }
 
 void ByteReader::need(std::size_t n) const {
-  if (pos_ + n > size_) throw std::runtime_error("ByteReader: truncated input");
+  // Compare against the space left, never `pos_ + n`: a hostile length
+  // (e.g. a varint decoding to ~SIZE_MAX) would overflow the addition,
+  // pass the check, and turn the subsequent read into a wild allocation
+  // or out-of-bounds copy.
+  if (n > size_ - pos_) {
+    throw std::runtime_error("ByteReader: truncated input");
+  }
 }
 
 std::uint8_t ByteReader::u8() {

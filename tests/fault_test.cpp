@@ -1,0 +1,573 @@
+// Protocol-robustness battery: every fault kind from
+// net/fault_injection.h, on either side of the wire, at handshake and
+// mid-session, against the resilient SimClient / hardened SimServer pair.
+//
+// The invariant under test (ISSUE acceptance): a session subjected to
+// injected transport faults either completes BIT-EXACT after retries, or
+// surfaces a typed Fatal NetError - it never hangs and never returns a
+// silently wrong value. The acceptance test at the bottom runs 100
+// sequential Eval sessions at a 5% per-frame fault rate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/generators.h"
+#include "net/fault_injection.h"
+#include "net/protocol.h"
+#include "net/sim_client.h"
+#include "net/sim_server.h"
+#include "util/bytestream.h"
+
+namespace jhdl {
+namespace {
+
+using namespace jhdl::core;
+using namespace jhdl::net;
+using namespace std::chrono_literals;
+
+std::unique_ptr<BlackBoxModel> make_kcm_blackbox(int constant = -56) {
+  KcmGenerator gen;
+  ParamMap params = ParamMap()
+                        .set("input_width", std::int64_t{8})
+                        .set("constant", std::int64_t{constant})
+                        .set("signed_mode", true)
+                        .resolved(gen.params());
+  return std::make_unique<BlackBoxModel>(gen.build(params), gen.name());
+}
+
+// product = (constant * x) masked to the KCM's 15-bit output.
+std::uint64_t expected_product(int x) {
+  return static_cast<std::uint64_t>(std::int64_t{-56} * x) & 0x7FFF;
+}
+
+std::map<std::string, BitVector> kcm_inputs(int x) {
+  return {{"multiplicand", BitVector::from_int(8, x)}};
+}
+
+// A client policy aggressive enough to ride out scripted faults while
+// keeping the whole battery fast: millisecond backoffs, a 2 s recv bound
+// so nothing can hang, and enough attempts to survive a burst.
+ConnectSpec resilient_spec(std::shared_ptr<FaultPlan> plan,
+                           int max_attempts = 6) {
+  ConnectSpec spec;
+  spec.retry.max_attempts = max_attempts;
+  spec.retry.backoff_base = 1ms;
+  spec.retry.backoff_max = 8ms;
+  spec.retry.request_timeout = 2000ms;
+  spec.fault_plan = std::move(plan);
+  return spec;
+}
+
+// A connected loopback TcpStream pair for raw FaultyStream mechanics.
+struct StreamPair {
+  TcpStream a;  // accepted side
+  TcpStream b;  // connecting side
+};
+
+StreamPair make_pair_over(TcpListener& listener) {
+  StreamPair pair;
+  std::thread accepter([&] { pair.a = listener.accept(); });
+  pair.b = TcpStream::connect(listener.port());
+  accepter.join();
+  return pair;
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan unit behaviour.
+// ---------------------------------------------------------------------
+
+TEST(FaultPlanTest, ScriptedFaultFiresAtExactIndex) {
+  FaultPlan plan;
+  plan.script_send(2, {FaultKind::BitFlip, 11, 0ms});
+  EXPECT_EQ(plan.next_send(100).kind, FaultKind::None);  // op 0
+  EXPECT_EQ(plan.next_send(100).kind, FaultKind::None);  // op 1
+  FaultSpec hit = plan.next_send(100);                   // op 2
+  EXPECT_EQ(hit.kind, FaultKind::BitFlip);
+  EXPECT_EQ(hit.offset, 11u);
+  EXPECT_EQ(plan.next_send(100).kind, FaultKind::None);  // op 3
+  EXPECT_EQ(plan.sends(), 4u);
+  EXPECT_EQ(plan.injected(), 1u);
+  // recv counter is independent of the send counter.
+  plan.script_recv(0, {FaultKind::Drop, 5, 0ms});
+  EXPECT_EQ(plan.next_recv(100).kind, FaultKind::Drop);
+  EXPECT_EQ(plan.recvs(), 1u);
+  EXPECT_EQ(plan.injected(), 2u);
+}
+
+TEST(FaultPlanTest, RandomPlanIsDeterministicForASeed) {
+  FaultPlan first(42, 1.0);
+  FaultPlan second(42, 1.0);
+  for (int i = 0; i < 50; ++i) {
+    FaultSpec x = first.next_send(64);
+    FaultSpec y = second.next_send(64);
+    EXPECT_EQ(x.kind, y.kind) << "op " << i;
+    EXPECT_EQ(x.offset, y.offset) << "op " << i;
+    EXPECT_EQ(x.delay.count(), y.delay.count()) << "op " << i;
+    EXPECT_NE(x.kind, FaultKind::None) << "rate 1.0 must always fault";
+  }
+  // A different seed diverges somewhere in 50 draws.
+  FaultPlan third(43, 1.0);
+  FaultPlan fourth(42, 1.0);
+  bool diverged = false;
+  for (int i = 0; i < 50; ++i) {
+    FaultSpec x = fourth.next_send(64);
+    FaultSpec y = third.next_send(64);
+    if (x.kind != y.kind || x.offset != y.offset) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultPlanTest, KindNamesAreDistinct) {
+  const FaultKind kinds[] = {FaultKind::None,      FaultKind::Drop,
+                             FaultKind::Truncate,  FaultKind::BitFlip,
+                             FaultKind::Duplicate, FaultKind::Delay,
+                             FaultKind::ShortWrite};
+  std::vector<std::string> names;
+  for (FaultKind k : kinds) {
+    std::string name = fault_kind_name(k);
+    EXPECT_FALSE(name.empty());
+    for (const std::string& prior : names) EXPECT_NE(name, prior);
+    names.push_back(name);
+  }
+}
+
+// ---------------------------------------------------------------------
+// FaultyStream mechanics over a raw socket pair.
+// ---------------------------------------------------------------------
+
+TEST(FaultyStreamTest, BitFlipSurfacesAsFrameErrorAtReceiver) {
+  TcpListener listener;
+  StreamPair pair = make_pair_over(listener);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->script_send(0, {FaultKind::BitFlip, 1234, 0ms});
+  FaultyStream sender(std::move(pair.b), plan);
+  sender.send_frame({1, 2, 3, 4, 5});
+  EXPECT_THROW(pair.a.recv_frame(), FrameError);
+  // The corrupt frame consumed exactly its advertised length: the stream
+  // is still aligned and the next frame arrives intact.
+  sender.send_frame({6, 7});
+  EXPECT_EQ(pair.a.recv_frame(), (std::vector<std::uint8_t>{6, 7}));
+}
+
+TEST(FaultyStreamTest, TruncateKillsTheConnection) {
+  TcpListener listener;
+  StreamPair pair = make_pair_over(listener);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->script_send(0, {FaultKind::Truncate, 3, 0ms});
+  FaultyStream sender(std::move(pair.b), plan);
+  EXPECT_THROW(sender.send_frame({1, 2, 3, 4, 5, 6, 7, 8}), NetError);
+  // The receiver sees a partial frame then EOF.
+  EXPECT_THROW(pair.a.recv_frame(), NetError);
+}
+
+TEST(FaultyStreamTest, DropForwardsPrefixThenKills) {
+  TcpListener listener;
+  StreamPair pair = make_pair_over(listener);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->script_send(0, {FaultKind::Drop, 2, 0ms});
+  FaultyStream sender(std::move(pair.b), plan);
+  EXPECT_THROW(sender.send_frame({1, 2, 3, 4}), NetError);
+  EXPECT_THROW(pair.a.recv_frame(), NetError);
+  EXPECT_EQ(plan->injected(), 1u);
+}
+
+TEST(FaultyStreamTest, DuplicateDeliversTwice) {
+  TcpListener listener;
+  StreamPair pair = make_pair_over(listener);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->script_send(0, {FaultKind::Duplicate, 0, 0ms});
+  FaultyStream sender(std::move(pair.b), plan);
+  sender.send_frame({42, 43});
+  EXPECT_EQ(pair.a.recv_frame(), (std::vector<std::uint8_t>{42, 43}));
+  EXPECT_EQ(pair.a.recv_frame(), (std::vector<std::uint8_t>{42, 43}));
+}
+
+TEST(FaultyStreamTest, ShortWriteReassemblesAtReceiver) {
+  TcpListener listener;
+  StreamPair pair = make_pair_over(listener);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->script_send(0, {FaultKind::ShortWrite, 5, 5ms});
+  FaultyStream sender(std::move(pair.b), plan);
+  std::vector<std::uint8_t> payload(64, 0xAB);
+  sender.send_frame(payload);
+  EXPECT_EQ(pair.a.recv_frame(), payload);
+}
+
+TEST(FaultyStreamTest, DelayDeliversIntact) {
+  TcpListener listener;
+  StreamPair pair = make_pair_over(listener);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->script_send(0, {FaultKind::Delay, 0, 10ms});
+  FaultyStream sender(std::move(pair.b), plan);
+  auto start = std::chrono::steady_clock::now();
+  sender.send_frame({9});
+  EXPECT_EQ(pair.a.recv_frame(), (std::vector<std::uint8_t>{9}));
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 9ms);
+}
+
+TEST(FaultyStreamTest, RecvSideCorruptionKeepsStreamAligned) {
+  TcpListener listener;
+  StreamPair pair = make_pair_over(listener);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->script_recv(0, {FaultKind::BitFlip, 999, 0ms});
+  FaultyStream receiver(std::move(pair.a), plan);
+  pair.b.send_frame({1, 2, 3});
+  pair.b.send_frame({4, 5, 6});
+  EXPECT_THROW(receiver.recv_frame(), FrameError);
+  EXPECT_EQ(receiver.recv_frame(), (std::vector<std::uint8_t>{4, 5, 6}));
+}
+
+TEST(FaultyStreamTest, RecvSideDuplicateBuffersSecondCopy) {
+  TcpListener listener;
+  StreamPair pair = make_pair_over(listener);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->script_recv(0, {FaultKind::Duplicate, 0, 0ms});
+  FaultyStream receiver(std::move(pair.a), plan);
+  pair.b.send_frame({7, 8});
+  pair.b.send_frame({9});
+  EXPECT_EQ(receiver.recv_frame(), (std::vector<std::uint8_t>{7, 8}));
+  EXPECT_EQ(receiver.recv_frame(), (std::vector<std::uint8_t>{7, 8}));
+  EXPECT_EQ(receiver.recv_frame(), (std::vector<std::uint8_t>{9}));
+}
+
+// ---------------------------------------------------------------------
+// The fault matrix: one scripted fault per session, swept over kind,
+// direction (client/server, send/recv), and position (handshake or
+// mid-session). Every session must complete BIT-EXACT.
+// ---------------------------------------------------------------------
+
+struct FaultCase {
+  const char* name;
+  bool server_side;   // whose plan gets the script
+  bool on_send;       // faulted direction, from the plan owner's view
+  std::size_t index;  // 0-based frame-operation index on that side
+  FaultKind kind;
+  std::size_t offset;
+};
+
+// Operation indices, for reading the table below:
+//   client: send#0=Hello  recv#0=Iface  send#1=Eval1  recv#1=reply1 ...
+//   server: recv#0=Hello  send#0=Iface  recv#1=Eval1  send#1=reply1 ...
+const FaultCase kFaultMatrix[] = {
+    // Client-side faults on the handshake.
+    {"ClientHelloDropped", false, true, 0, FaultKind::Drop, 5},
+    {"ClientHelloCorrupted", false, true, 0, FaultKind::BitFlip, 13},
+    {"ClientIfaceDropped", false, false, 0, FaultKind::Drop, 0},
+    {"ClientIfaceCorrupted", false, false, 0, FaultKind::BitFlip, 999},
+    {"ClientIfaceDuplicated", false, false, 0, FaultKind::Duplicate, 0},
+    // Client-side faults on the first Eval request.
+    {"ClientEvalDropped", false, true, 1, FaultKind::Drop, 0},
+    {"ClientEvalTruncated", false, true, 1, FaultKind::Truncate, 3},
+    {"ClientEvalCorrupted", false, true, 1, FaultKind::BitFlip, 12345},
+    {"ClientEvalDuplicated", false, true, 1, FaultKind::Duplicate, 0},
+    {"ClientEvalDelayed", false, true, 1, FaultKind::Delay, 0},
+    {"ClientEvalShortWrite", false, true, 1, FaultKind::ShortWrite, 7},
+    // Client-side faults on the first Eval reply.
+    {"ClientReplyDropped", false, false, 1, FaultKind::Drop, 4},
+    {"ClientReplyTruncated", false, false, 1, FaultKind::Truncate, 1},
+    {"ClientReplyCorrupted", false, false, 1, FaultKind::BitFlip, 7},
+    {"ClientReplyDuplicated", false, false, 1, FaultKind::Duplicate, 0},
+    {"ClientReplyDelayed", false, false, 1, FaultKind::Delay, 0},
+    // Server-side faults.
+    {"ServerHelloRecvCorrupted", true, false, 0, FaultKind::BitFlip, 3},
+    {"ServerIfaceDropped", true, true, 0, FaultKind::Drop, 2},
+    {"ServerEvalRecvTruncated", true, false, 1, FaultKind::Truncate, 2},
+    {"ServerEvalRecvDropped", true, false, 1, FaultKind::Drop, 4},
+    {"ServerReplyDropped", true, true, 1, FaultKind::Drop, 6},
+    {"ServerReplyCorrupted", true, true, 1, FaultKind::BitFlip, 21},
+    {"ServerReplyDuplicated", true, true, 1, FaultKind::Duplicate, 0},
+};
+
+class FaultMatrix : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(FaultMatrix, SessionCompletesBitExact) {
+  const FaultCase& fc = GetParam();
+  SimServer server(make_kcm_blackbox());
+  auto client_plan = std::make_shared<FaultPlan>();
+  auto server_plan = std::make_shared<FaultPlan>();
+  FaultPlan& plan = fc.server_side ? *server_plan : *client_plan;
+  FaultSpec spec{fc.kind, fc.offset, 2ms};
+  if (fc.on_send) {
+    plan.script_send(fc.index, spec);
+  } else {
+    plan.script_recv(fc.index, spec);
+  }
+  server.set_fault_plan(server_plan);
+  std::uint16_t port = server.start();
+  {
+    SimClient client(port, resilient_spec(client_plan));
+    for (int k = 0; k < 3; ++k) {
+      const int x = 3 + 10 * k;
+      auto out = client.eval(kcm_inputs(x), 0);
+      ASSERT_EQ(out.at("product").to_uint(), expected_product(x))
+          << fc.name << " eval " << k;
+    }
+    client.bye();
+  }
+  server.stop();
+  EXPECT_GE(client_plan->injected() + server_plan->injected(), 1u)
+      << "the scripted fault never fired";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, FaultMatrix, ::testing::ValuesIn(kFaultMatrix),
+    [](const ::testing::TestParamInfo<FaultCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// ---------------------------------------------------------------------
+// Recovery semantics: resume, idempotent replay, retry-in-place.
+// ---------------------------------------------------------------------
+
+TEST(FaultRecovery, ResumeRestoresSessionStateAfterDrop) {
+  SimServer server(make_kcm_blackbox());
+  auto plan = std::make_shared<FaultPlan>();
+  // Client ops: send#0=Hello, send#1=Cycle(3), send#2=Cycle(2) <- killed.
+  plan->script_send(2, {FaultKind::Drop, 3, 0ms});
+  std::uint16_t port = server.start();
+  SimClient client(port, resilient_spec(plan));
+  const std::string token = client.session_token();
+  EXPECT_FALSE(token.empty());
+  client.cycle(3);
+  EXPECT_EQ(client.last_acked_cycles(), 3u);
+  client.cycle(2);  // transport dies mid-send; reconnect + Resume + resend
+  EXPECT_EQ(client.reconnects(), 1u);
+  EXPECT_EQ(client.session_token(), token) << "token survives the resume";
+  EXPECT_EQ(server.resumes(), 1u);
+  // The resume Iface reports the server-side state at reattach time: the
+  // dropped Cycle(2) had NOT executed, so the model was still at 3.
+  EXPECT_TRUE(client.interface().has("resumed"));
+  EXPECT_EQ(client.interface().at("cycles").as_int(), 3);
+  // ... and the resent Cycle(2) then executed exactly once.
+  EXPECT_EQ(client.last_acked_cycles(), 5u);
+  auto out = client.eval(kcm_inputs(5), 0);
+  EXPECT_EQ(out.at("product").to_uint(), expected_product(5));
+  client.bye();
+  server.stop();
+}
+
+TEST(FaultRecovery, RetriedRequestExecutesExactlyOnce) {
+  SimServer server(make_kcm_blackbox());
+  auto server_plan = std::make_shared<FaultPlan>();
+  // Server ops: send#0=Iface, send#1=the Ok for Cycle(4) <- corrupted.
+  server_plan->script_send(1, {FaultKind::BitFlip, 77, 0ms});
+  server.set_fault_plan(server_plan);
+  std::uint16_t port = server.start();
+  SimClient client(port, resilient_spec(nullptr));
+  client.cycle(4);  // reply corrupt -> FrameError -> resend same seq
+  EXPECT_EQ(client.retries(), 1u);
+  EXPECT_EQ(client.reconnects(), 0u) << "corrupt reply retries in place";
+  EXPECT_EQ(server.replays(), 1u) << "resend served from the cache";
+  // Had the replay re-executed, the model would sit at 8 cycles.
+  EXPECT_EQ(client.last_acked_cycles(), 4u);
+  client.cycle(0);  // fresh request reads the authoritative count
+  EXPECT_EQ(client.last_acked_cycles(), 4u);
+  client.bye();
+  server.stop();
+}
+
+TEST(FaultRecovery, MalformedRequestIsRetriedInPlaceWithoutReconnect) {
+  SimServer server(make_kcm_blackbox());
+  auto plan = std::make_shared<FaultPlan>();
+  plan->script_send(1, {FaultKind::BitFlip, 31, 0ms});  // first Eval
+  std::uint16_t port = server.start();
+  SimClient client(port, resilient_spec(plan));
+  auto out = client.eval(kcm_inputs(-100), 0);
+  EXPECT_EQ(out.at("product").to_uint(), expected_product(-100));
+  EXPECT_EQ(client.retries(), 1u);
+  EXPECT_EQ(client.reconnects(), 0u)
+      << "Error(MalformedFrame) keeps the connection";
+  EXPECT_EQ(server.malformed_frames(), 1u);
+  client.bye();
+  server.stop();
+}
+
+TEST(FaultRecovery, SilentServerTimesOutInsteadOfHanging) {
+  // A server that accepts and then says nothing: the one fault mode no
+  // checksum or FIN can surface. The per-request recv timeout must turn
+  // it into a bounded, retryable failure.
+  TcpListener listener;
+  std::atomic<bool> done{false};
+  std::vector<TcpStream> held;
+  std::thread silent([&] {
+    try {
+      while (!done) held.push_back(listener.accept());
+    } catch (const NetError&) {
+      // listener closed
+    }
+  });
+  ConnectSpec spec;
+  spec.retry.max_attempts = 2;
+  spec.retry.backoff_base = 1ms;
+  spec.retry.request_timeout = 100ms;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    SimClient client(listener.port(), spec);
+    FAIL() << "handshake against a silent server must not succeed";
+  } catch (const NetError& e) {
+    EXPECT_TRUE(e.retryable());
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
+  done = true;
+  listener.close();
+  silent.join();
+}
+
+TEST(FaultRecovery, DeadPortExhaustsRetriesWithRetryableError) {
+  std::uint16_t dead_port;
+  {
+    TcpListener ephemeral;
+    dead_port = ephemeral.port();
+  }  // closed: nothing listens here now
+  ConnectSpec spec;
+  spec.retry.max_attempts = 3;
+  spec.retry.backoff_base = 1ms;
+  try {
+    SimClient client(dead_port, spec);
+    FAIL() << "connect to a dead port must not succeed";
+  } catch (const NetError& e) {
+    EXPECT_TRUE(e.retryable()) << "exhaustion reports the transport kind";
+  }
+}
+
+TEST(FaultRecovery, ByeIsBestEffortOnDeadTransport) {
+  SimServer server(make_kcm_blackbox());
+  auto plan = std::make_shared<FaultPlan>();
+  plan->script_send(1, {FaultKind::Drop, 0, 0ms});  // the Bye frame
+  std::uint16_t port = server.start();
+  SimClient client(port, resilient_spec(plan));
+  EXPECT_NO_THROW(client.bye());
+  server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Error taxonomy: Retryable vs Fatal classification.
+// ---------------------------------------------------------------------
+
+TEST(FaultTaxonomy, ErrorCodesClassifyRetryability) {
+  EXPECT_FALSE(error_retryable(ErrorCode::Generic));
+  EXPECT_TRUE(error_retryable(ErrorCode::Saturated));
+  EXPECT_FALSE(error_retryable(ErrorCode::VersionMismatch));
+  EXPECT_FALSE(error_retryable(ErrorCode::LicenseDenied));
+  EXPECT_FALSE(error_retryable(ErrorCode::BadRequest));
+  EXPECT_TRUE(error_retryable(ErrorCode::MalformedFrame));
+  EXPECT_TRUE(error_retryable(ErrorCode::ShuttingDown));
+  EXPECT_FALSE(error_retryable(ErrorCode::UnknownSession));
+}
+
+TEST(FaultTaxonomy, FrameErrorIsAlwaysRetryable) {
+  FrameError err("crc mismatch");
+  EXPECT_TRUE(err.retryable());
+  EXPECT_EQ(err.kind(), NetError::Kind::Retryable);
+  NetError fatal("bye", NetError::Kind::Fatal);
+  EXPECT_FALSE(fatal.retryable());
+}
+
+TEST(FaultTaxonomy, ModelErrorsAreFatalAndNotRetried) {
+  SimServer server(make_kcm_blackbox());
+  std::uint16_t port = server.start();
+  SimClient client(port, resilient_spec(nullptr, 5));
+  try {
+    client.get_output("no-such-port");
+    FAIL() << "unknown port must be refused";
+  } catch (const NetError& e) {
+    EXPECT_FALSE(e.retryable()) << "BadRequest is Fatal";
+  }
+  EXPECT_EQ(client.retries(), 0u) << "a Fatal error burns no retries";
+  // The refusal did not poison the session.
+  auto out = client.eval(kcm_inputs(17), 0);
+  EXPECT_EQ(out.at("product").to_uint(), expected_product(17));
+  client.bye();
+  server.stop();
+}
+
+TEST(FaultTaxonomy, UnknownResumeTokenIsFatal) {
+  SimServer server(make_kcm_blackbox());
+  std::uint16_t port = server.start();
+  TcpStream raw = TcpStream::connect(port);
+  Message resume;
+  resume.type = MsgType::Resume;
+  resume.text = "bogus-token";
+  resume.count = 7;
+  raw.send_frame(encode(resume));
+  Message reply = decode(raw.recv_frame());
+  ASSERT_EQ(reply.type, MsgType::Error);
+  EXPECT_EQ(reply.code, ErrorCode::UnknownSession);
+  EXPECT_FALSE(error_retryable(reply.code));
+  raw.close();
+  server.stop();
+}
+
+TEST(FaultTaxonomy, LegacyHelloGetsVersionMismatchCode) {
+  SimServer server(make_kcm_blackbox());
+  std::uint16_t port = server.start();
+  TcpStream raw = TcpStream::connect(port);
+  raw.send_frame({static_cast<std::uint8_t>(MsgType::Hello)});  // bare v1
+  Message reply = decode(raw.recv_frame());
+  ASSERT_EQ(reply.type, MsgType::Error);
+  EXPECT_EQ(reply.code, ErrorCode::VersionMismatch);
+  EXPECT_FALSE(error_retryable(reply.code));
+  raw.close();
+  server.stop();
+}
+
+TEST(FaultTaxonomy, V2HelloIsStillServed) {
+  // A hand-built v2 Hello (no seq field, version 2 on the wire) must be
+  // answered with Iface, and an unnumbered Eval must round-trip - the
+  // back-compat row of DESIGN.md section 8.
+  SimServer server(make_kcm_blackbox());
+  std::uint16_t port = server.start();
+  TcpStream raw = TcpStream::connect(port);
+  ByteWriter hello;
+  hello.u8(static_cast<std::uint8_t>(MsgType::Hello));
+  hello.u32(kHelloMagic);
+  hello.u16(2);     // wire version 2
+  hello.str("");    // customer
+  hello.str("");    // module
+  hello.varint(0);  // param count
+  raw.send_frame(hello.take());
+  Message iface = decode(raw.recv_frame());
+  ASSERT_EQ(iface.type, MsgType::Iface);
+  Message eval;
+  eval.type = MsgType::Eval;
+  eval.values = kcm_inputs(9);
+  eval.count = 0;
+  eval.seq = 0;  // v2 client: unnumbered
+  raw.send_frame(encode(eval));
+  Message values = decode(raw.recv_frame());
+  ASSERT_EQ(values.type, MsgType::Values);
+  EXPECT_EQ(values.values.at("product").to_uint(), expected_product(9));
+  raw.send_frame(encode(Message{}));  // Bye
+  raw.close();
+  server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: 100 sequential Eval sessions at a 5% per-frame fault rate,
+// all bit-exact, no hangs (the suite-wide ctest timeout is the backstop).
+// ---------------------------------------------------------------------
+
+TEST(FaultAcceptance, HundredSessionsAtFivePercentFaultRate) {
+  SimServer server(make_kcm_blackbox());
+  auto plan = std::make_shared<FaultPlan>(0xFA517u, 0.05);
+  std::uint16_t port = server.start();
+  for (int session = 0; session < 100; ++session) {
+    ConnectSpec spec = resilient_spec(plan, 10);
+    SimClient client(port, spec);
+    for (int k = 0; k < 3; ++k) {
+      const int x = (session * 3 + k) % 120 - 60;
+      auto out = client.eval(kcm_inputs(x), 0);
+      ASSERT_EQ(out.at("product").to_uint(), expected_product(x))
+          << "session " << session << " eval " << k;
+    }
+    client.bye();
+  }
+  EXPECT_GT(plan->injected(), 0u) << "5% over ~1000 ops must fire";
+  server.stop();
+}
+
+}  // namespace
+}  // namespace jhdl

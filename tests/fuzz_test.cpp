@@ -4,9 +4,19 @@
 // documents are thrown at: the protocol decoder, archive deserializer,
 // sealed-payload opener, JSON parser, s-expression/EDIF reader, and the
 // JSON netlist reader.
+// The wire-protocol fuzzer at the bottom drives 10k hostile frames at a
+// LIVE SimServer session: the server must answer every single one (with a
+// typed Error or a valid reply) and still serve a correct Eval afterwards.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
+#include "core/generators.h"
 #include "core/packaging.h"
+#include "net/sim_server.h"
+#include "net/socket.h"
+#include "util/bytestream.h"
 #include "hdl/hwsystem.h"
 #include "net/protocol.h"
 #include "netlist/edif_reader.h"
@@ -142,6 +152,178 @@ TEST(FuzzTest, EdifReaderOnMutatedDocument) {
     }
     expect_throw_or_value([&] { (void)netlist::read_edif(bad); });
   }
+}
+
+// ---------------------------------------------------------------------
+// Wire-protocol fuzzing against a live server session (v3 hardening).
+// ---------------------------------------------------------------------
+
+std::unique_ptr<core::BlackBoxModel> make_fuzz_blackbox() {
+  core::KcmGenerator gen;
+  core::ParamMap params = core::ParamMap()
+                              .set("input_width", std::int64_t{8})
+                              .set("constant", std::int64_t{-56})
+                              .set("signed_mode", true)
+                              .resolved(gen.params());
+  return std::make_unique<core::BlackBoxModel>(gen.build(params), gen.name());
+}
+
+TEST(FuzzTest, WireProtocolFuzzAgainstLiveServer) {
+  // 10k hostile payloads - half seeded-random, half mutations of a valid
+  // Eval - each CRC-framed so it reaches the decoder. The server must
+  // answer EVERY frame (decode failures become Error(MalformedFrame))
+  // and the session must still evaluate correctly afterwards. A frame
+  // with no reply would deadlock this loop; the ctest timeout is the
+  // backstop that turns a hang into a failure.
+  net::SimServer server(make_fuzz_blackbox());
+  std::uint16_t port = server.start();
+  net::TcpStream raw = net::TcpStream::connect(port);
+  raw.set_recv_timeout(10000);
+
+  net::Message eval;
+  eval.type = net::MsgType::Eval;
+  eval.values["multiplicand"] = BitVector::from_uint(8, 0x21);
+  eval.count = 0;
+  const std::vector<std::uint8_t> valid = net::encode(eval);
+
+  Rng rng(0xF022);
+  int sent = 0;
+  for (int i = 0; i < 10000; ++i) {
+    std::vector<std::uint8_t> payload;
+    if (i % 2 == 0) {
+      payload = random_bytes(rng, 48);
+    } else {
+      payload = valid;
+      const std::size_t hits = 1 + rng.below(4);
+      for (std::size_t k = 0; k < hits; ++k) {
+        payload[rng.below(payload.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+      }
+    }
+    if (!payload.empty() &&
+        payload[0] == static_cast<std::uint8_t>(net::MsgType::Bye)) {
+      continue;  // a well-formed Bye would (correctly) end the session
+    }
+    raw.send_frame(payload);
+    ++sent;
+    net::Message reply = net::decode(raw.recv_frame());
+    // Any reply type is acceptable; what matters is that one arrived and
+    // that our own framing survived (the reply decodes).
+    (void)reply;
+  }
+  EXPECT_GT(sent, 9000);
+  EXPECT_GT(server.malformed_frames(), 0u)
+      << "the sweep never produced an undecodable payload";
+
+  // The session survived 10k hostile frames and still computes.
+  raw.send_frame(valid);
+  net::Message values = net::decode(raw.recv_frame());
+  ASSERT_EQ(values.type, net::MsgType::Values);
+  EXPECT_EQ(values.values.at("product").to_uint(),
+            static_cast<std::uint64_t>(std::int64_t{-56} * 0x21) & 0x7FFF);
+  raw.close();
+  server.stop();
+}
+
+TEST(FuzzTest, OversizedLengthPrefixRejectedBeforeAllocation) {
+  // A header claiming a ~4 GiB payload must be refused by the length cap
+  // BEFORE any buffer is allocated - the classic memory-exhaustion DoS.
+  net::TcpListener listener;
+  net::TcpStream received;
+  std::thread accepter([&] { received = listener.accept(); });
+  net::TcpStream sender = net::TcpStream::connect(listener.port());
+  accepter.join();
+
+  ByteWriter header;
+  header.u32(0xFFFFFFF0u);  // advertised length, ~4 GiB
+  header.u32(0);            // CRC field (never reached)
+  sender.send_bytes(header.take());
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)received.recv_frame();
+    FAIL() << "oversized frame must be rejected";
+  } catch (const net::NetError& e) {
+    EXPECT_NE(std::string(e.what()).find("too large"), std::string::npos);
+  }
+  // Rejection is immediate: no 4 GiB allocation, no draining the socket.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(2));
+}
+
+TEST(FuzzTest, UnknownMsgTypeGetsErrorNotClose) {
+  net::SimServer server(make_fuzz_blackbox());
+  std::uint16_t port = server.start();
+  net::TcpStream raw = net::TcpStream::connect(port);
+  raw.send_frame({0xC8, 1, 2, 3});  // type 200: not a MsgType
+  net::Message reply = net::decode(raw.recv_frame());
+  ASSERT_EQ(reply.type, net::MsgType::Error);
+  EXPECT_EQ(reply.code, net::ErrorCode::MalformedFrame);
+  // Session is still alive.
+  net::Message eval;
+  eval.type = net::MsgType::Eval;
+  eval.values["multiplicand"] = BitVector::from_uint(8, 2);
+  raw.send_frame(net::encode(eval));
+  EXPECT_EQ(net::decode(raw.recv_frame()).type, net::MsgType::Values);
+  raw.close();
+  server.stop();
+}
+
+TEST(FuzzTest, ByteReaderRejectsHostileLengthsWithoutOverflow) {
+  // Regression for the need() integer overflow: a varint string length
+  // near SIZE_MAX must throw instead of wrapping `pos_ + n` and letting
+  // the reader run off the buffer.
+  {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(net::MsgType::SetInput));
+    for (int i = 0; i < 9; ++i) w.u8(0xFF);  // varint length = huge
+    w.u8(0x01);
+    const auto payload = w.take();
+    EXPECT_THROW((void)net::decode(payload), std::runtime_error);
+  }
+  {
+    std::vector<std::uint8_t> buf = {0xFD, 0xFF, 0xFF, 0xFF, 0xFF,
+                                     0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+    ByteReader r(buf);  // varint() = 0xFFFFFFFFFFFFFFFD, then no bytes
+    EXPECT_THROW((void)r.str(), std::runtime_error);
+  }
+  {
+    std::vector<std::uint8_t> buf = {1, 2, 3};
+    ByteReader r(buf);
+    // pos_ + n would wrap for n near SIZE_MAX; need() must still throw.
+    EXPECT_THROW((void)r.raw(SIZE_MAX - 1), std::runtime_error);
+  }
+}
+
+TEST(FuzzTest, LengthFieldMutationsNeverHangTheServer) {
+  // Mutating the length field itself desynchronizes the stream, so each
+  // probe gets a dedicated connection: the server must either answer or
+  // kill the connection within the recv timeout - never wedge.
+  net::SimServer server(make_fuzz_blackbox());
+  std::uint16_t port = server.start();
+  net::Message eval;
+  eval.type = net::MsgType::Eval;
+  eval.values["multiplicand"] = BitVector::from_uint(8, 1);
+  const std::vector<std::uint8_t> frame = net::frame_wrap(net::encode(eval));
+  Rng rng(0x1E46);
+  for (int i = 0; i < 32; ++i) {
+    std::vector<std::uint8_t> bad = frame;
+    bad[rng.below(4)] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    net::TcpStream raw = net::TcpStream::connect(port);
+    raw.set_recv_timeout(200);
+    try {
+      raw.send_bytes(bad);
+      (void)raw.recv_frame();  // reply, garbage, timeout, or close: all ok
+    } catch (const net::NetError&) {
+      // acceptable: the server tore the connection down or went quiet
+    }
+    raw.close();
+  }
+  // The server itself is still healthy.
+  net::TcpStream raw = net::TcpStream::connect(port);
+  raw.send_frame(net::encode(eval));
+  EXPECT_EQ(net::decode(raw.recv_frame()).type, net::MsgType::Values);
+  raw.close();
+  server.stop();
 }
 
 TEST(FuzzTest, JsonNetlistReaderOnMutatedDocument) {

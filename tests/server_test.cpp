@@ -358,6 +358,244 @@ TEST(DeliveryServiceTest, StatsQueryOverTheWire) {
   service.stop();
 }
 
+// ---------------------------------------------------------------------
+// Reconnect / Resume coverage (protocol v3): a session whose transport
+// dies is parked for config.resume_window and can be reclaimed with the
+// server-issued token - model state, cycle count, and the idempotent
+// replay cache intact.
+// ---------------------------------------------------------------------
+
+TEST(DeliveryServiceTest, ResumeReattachesDetachedSession) {
+  DeliveryConfig config;
+  config.workers = 2;
+  config.resume_window = 2000ms;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  // Oracle: the same three evals over one uninterrupted session.
+  std::vector<std::map<std::string, BitVector>> oracle;
+  {
+    ConnectSpec spec;
+    spec.customer = "acme";
+    spec.module = "carry-adder";
+    spec.params["width"] = 8;
+    SimClient uninterrupted(port, spec);
+    for (int k = 0; k < 3; ++k) {
+      std::map<std::string, BitVector> inputs;
+      inputs["a"] = BitVector::from_uint(8, 10 + k);
+      inputs["b"] = BitVector::from_uint(8, 5 * k);
+      oracle.push_back(uninterrupted.eval(inputs, 1));
+    }
+    uninterrupted.bye();
+  }
+
+  // Raw v3 session: Hello, one Eval, then the transport "dies" (no Bye).
+  TcpStream first = TcpStream::connect(port);
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.customer = "acme";
+  hello.name = "carry-adder";
+  hello.params["width"] = 8;
+  hello.seq = 1;
+  first.send_frame(encode(hello));
+  Message iface = decode(first.recv_frame());
+  ASSERT_EQ(iface.type, MsgType::Iface);
+  const Json ij = Json::parse(iface.text);
+  ASSERT_TRUE(ij.has("token"));
+  const std::string token = ij.at("token").as_string();
+
+  Message eval1;
+  eval1.type = MsgType::Eval;
+  eval1.values["a"] = BitVector::from_uint(8, 10);
+  eval1.values["b"] = BitVector::from_uint(8, 0);
+  eval1.count = 1;
+  eval1.seq = 2;
+  first.send_frame(encode(eval1));
+  Message v1 = decode(first.recv_frame());
+  ASSERT_EQ(v1.type, MsgType::Values);
+  EXPECT_EQ(v1.values.at("s").to_uint(), oracle[0].at("s").to_uint());
+  first.shutdown();
+  first.close();
+
+  // Reconnect and Resume with the token.
+  TcpStream second = TcpStream::connect(port);
+  Message resume;
+  resume.type = MsgType::Resume;
+  resume.text = token;
+  resume.count = 1;  // last-acked cycles
+  resume.seq = 3;
+  second.send_frame(encode(resume));
+  Message back = decode(second.recv_frame());
+  ASSERT_EQ(back.type, MsgType::Iface) << back.text;
+  const Json rj = Json::parse(back.text);
+  EXPECT_TRUE(rj.at("resumed").as_bool());
+  EXPECT_EQ(rj.at("cycles").as_int(), 1) << "cycle count survived";
+  EXPECT_EQ(rj.at("last_seq").as_int(), 2) << "replay cache survived";
+
+  // Replay: resending the already-executed eval must return the SAME
+  // values without advancing the model.
+  second.send_frame(encode(eval1));
+  Message replayed = decode(second.recv_frame());
+  ASSERT_EQ(replayed.type, MsgType::Values);
+  EXPECT_EQ(replayed.values.at("s").to_string(),
+            v1.values.at("s").to_string());
+
+  // The session continues where it left off, bit-exact vs the oracle.
+  for (int k = 1; k < 3; ++k) {
+    Message evalk;
+    evalk.type = MsgType::Eval;
+    evalk.values["a"] = BitVector::from_uint(8, 10 + k);
+    evalk.values["b"] = BitVector::from_uint(8, 5 * k);
+    evalk.count = 1;
+    evalk.seq = static_cast<std::uint64_t>(3 + k);
+    second.send_frame(encode(evalk));
+    Message vk = decode(second.recv_frame());
+    ASSERT_EQ(vk.type, MsgType::Values);
+    for (const auto& [name, bits] : oracle[static_cast<std::size_t>(k)]) {
+      EXPECT_EQ(vk.values.at(name).to_string(), bits.to_string())
+          << "output " << name << " diverged after resume, eval " << k;
+    }
+  }
+
+  Message bye;
+  bye.type = MsgType::Bye;
+  second.send_frame(encode(bye));
+  second.close();
+
+  EXPECT_TRUE(eventually(
+      [&] { return service.stats().snapshot().sessions_active == 0; }));
+  ServerStats::Snapshot s = service.stats().snapshot();
+  EXPECT_EQ(s.resumes, 1u);
+  EXPECT_EQ(s.retries, 1u) << "the replayed eval counts as one retry";
+  service.stop();
+}
+
+TEST(DeliveryServiceTest, ResilientClientResumesThroughDeliveryService) {
+  DeliveryConfig config;
+  config.workers = 2;
+  config.resume_window = 2000ms;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  auto plan = std::make_shared<FaultPlan>();
+  // Client ops: send#0=Hello, send#1=Eval1, send#2=Eval2 <- killed here.
+  plan->script_send(2, {FaultKind::Drop, 3, 0ms});
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "kcm-multiplier";
+  spec.params["input_width"] = 8;
+  spec.params["constant"] = -56;
+  spec.params["signed_mode"] = 1;
+  spec.retry.max_attempts = 6;
+  spec.retry.backoff_base = 1ms;
+  spec.retry.request_timeout = 2000ms;
+  spec.fault_plan = plan;
+  SimClient client(port, spec);
+  for (int k = 0; k < 3; ++k) {
+    const std::int64_t x = -90 + 31 * k;
+    std::map<std::string, BitVector> inputs;
+    inputs["multiplicand"] = BitVector::from_int(8, x);
+    auto out = client.eval(inputs, 0);
+    EXPECT_EQ(out.at("product").to_int(), -56 * x) << "eval " << k;
+  }
+  EXPECT_EQ(client.reconnects(), 1u);
+  client.bye();
+  EXPECT_TRUE(eventually(
+      [&] { return service.stats().snapshot().sessions_active == 0; }));
+  ServerStats::Snapshot s = service.stats().snapshot();
+  EXPECT_EQ(s.resumes, 1u);
+  EXPECT_EQ(s.sessions_opened, 1u) << "resume reuses the session";
+  service.stop();
+}
+
+TEST(DeliveryServiceTest, MalformedFrameGetsTypedErrorAndCountsInStats) {
+  DeliveryService service(make_catalog());
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  TcpStream raw = TcpStream::connect(port);
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.customer = "acme";
+  hello.name = "carry-adder";
+  hello.params["width"] = 8;
+  raw.send_frame(encode(hello));
+  ASSERT_EQ(decode(raw.recv_frame()).type, MsgType::Iface);
+
+  // Corrupt a valid frame's payload on the wire: CRC mismatch.
+  Message cycle;
+  cycle.type = MsgType::Cycle;
+  cycle.count = 1;
+  std::vector<std::uint8_t> frame = frame_wrap(encode(cycle));
+  frame[8] ^= 0xFF;
+  raw.send_bytes(frame);
+  Message err = decode(raw.recv_frame());
+  ASSERT_EQ(err.type, MsgType::Error);
+  EXPECT_EQ(err.code, ErrorCode::MalformedFrame);
+
+  // The session survived the corruption.
+  Message eval;
+  eval.type = MsgType::Eval;
+  eval.values["a"] = BitVector::from_uint(8, 3);
+  eval.values["b"] = BitVector::from_uint(8, 4);
+  raw.send_frame(encode(eval));
+  Message values = decode(raw.recv_frame());
+  ASSERT_EQ(values.type, MsgType::Values);
+  EXPECT_EQ(values.values.at("s").to_uint(), 7u);
+
+  Json stats = query_stats(port);
+  EXPECT_EQ(stats.at("malformed_frames").as_int(), 1);
+  EXPECT_EQ(stats.at("resumes").as_int(), 0);
+  EXPECT_EQ(stats.at("retries").as_int(), 0);
+
+  Message bye;
+  bye.type = MsgType::Bye;
+  raw.send_frame(encode(bye));
+  raw.close();
+  service.stop();
+}
+
+TEST(DeliveryServiceTest, DetachedSessionIsPurgedAfterWindow) {
+  DeliveryConfig config;
+  config.workers = 2;
+  config.resume_window = 50ms;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  TcpStream raw = TcpStream::connect(port);
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.customer = "acme";
+  hello.name = "carry-adder";
+  hello.params["width"] = 8;
+  raw.send_frame(encode(hello));
+  Message iface = decode(raw.recv_frame());
+  ASSERT_EQ(iface.type, MsgType::Iface);
+  const std::string token = Json::parse(iface.text).at("token").as_string();
+  raw.shutdown();
+  raw.close();
+
+  // The reaper purges the detached session once the window lapses.
+  EXPECT_TRUE(eventually([&] { return service.sessions().active() == 0; }));
+  EXPECT_TRUE(eventually(
+      [&] { return service.stats().snapshot().sessions_evicted == 1; }));
+
+  // A late Resume finds nothing.
+  TcpStream late = TcpStream::connect(port);
+  Message resume;
+  resume.type = MsgType::Resume;
+  resume.text = token;
+  late.send_frame(encode(resume));
+  Message err = decode(late.recv_frame());
+  ASSERT_EQ(err.type, MsgType::Error);
+  EXPECT_EQ(err.code, ErrorCode::UnknownSession);
+  late.close();
+  service.stop();
+}
+
 TEST(SimServerTest, VersionMismatchGetsClearError) {
   KcmGenerator gen;
   ParamMap params = ParamMap()
