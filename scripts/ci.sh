@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# CI pipeline: plain build with the full test suite, then ASan and TSan
-# builds running the protocol-robustness battery (everything labelled
-# `net-fault`: net_test, server_test, fuzz_test, fault_test).
+# CI pipeline: plain build with the full test suite plus the simulation
+# kernel smoke benchmark (parity-checked, throughput gate off), then ASan
+# and TSan builds running the protocol-robustness battery (everything
+# labelled `net-fault`: net_test, server_test, fuzz_test, fault_test)
+# and the compiled-kernel battery (`sim-kernel`: unit tests +
+# differential random-circuit parity).
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  skip the sanitizer builds (plain build + full suite only)
@@ -15,16 +18,20 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure
 
+echo "== simulation kernel smoke bench (bit-exactness check) =="
+cmake --build build -j "${JOBS}" --target bench_sim_kernel
+(cd build/bench && ./bench_sim_kernel --smoke)
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "CI OK (fast: sanitizers skipped)"
   exit 0
 fi
 
 for SAN in address thread; do
-  echo "== ${SAN} sanitizer: net-fault battery =="
+  echo "== ${SAN} sanitizer: net-fault + sim-kernel batteries =="
   cmake -B "build-${SAN}" -S . -DJHDL_SANITIZE="${SAN}" >/dev/null
   cmake --build "build-${SAN}" -j "${JOBS}"
-  ctest --test-dir "build-${SAN}" -L net-fault --output-on-failure
+  ctest --test-dir "build-${SAN}" -L 'net-fault|sim-kernel' --output-on-failure
 done
 
 echo "CI OK"

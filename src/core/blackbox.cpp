@@ -4,9 +4,12 @@
 
 namespace jhdl::core {
 
-BlackBoxModel::BlackBoxModel(BuildResult build, std::string ip_name)
+BlackBoxModel::BlackBoxModel(BuildResult build, std::string ip_name,
+                             std::shared_ptr<const CompiledProgram> program)
     : build_(std::move(build)), ip_name_(std::move(ip_name)) {
-  sim_ = std::make_unique<Simulator>(*build_.system);
+  SimOptions options;
+  options.program = std::move(program);
+  sim_ = std::make_unique<Simulator>(*build_.system, options);
 }
 
 std::vector<BlackBoxPort> BlackBoxModel::ports() const {
@@ -50,6 +53,36 @@ BitVector BlackBoxModel::get_output(const std::string& name) {
 }
 
 void BlackBoxModel::cycle(std::size_t n) { sim_->cycle(n); }
+
+std::map<std::string, std::vector<BitVector>> BlackBoxModel::cycle_batch(
+    std::size_t n,
+    const std::map<std::string, std::vector<BitVector>>& stimulus,
+    const std::vector<std::string>& probes) {
+  std::vector<BatchStimulus> streams;
+  streams.reserve(stimulus.size());
+  for (const auto& [name, values] : stimulus) {
+    streams.push_back(BatchStimulus{input_wire(name), values});
+  }
+  std::vector<std::string> probe_names = probes;
+  if (probe_names.empty()) {
+    for (const auto& [name, wire] : build_.outputs) {
+      (void)wire;
+      probe_names.push_back(name);
+    }
+  }
+  std::vector<Wire*> probe_wires;
+  probe_wires.reserve(probe_names.size());
+  for (const std::string& name : probe_names) {
+    probe_wires.push_back(output_wire(name));
+  }
+  std::vector<std::vector<BitVector>> columns =
+      sim_->cycle_batch(n, streams, probe_wires);
+  std::map<std::string, std::vector<BitVector>> out;
+  for (std::size_t i = 0; i < probe_names.size(); ++i) {
+    out[probe_names[i]] = std::move(columns[i]);
+  }
+  return out;
+}
 
 void BlackBoxModel::reset() { sim_->reset(); }
 

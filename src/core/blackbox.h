@@ -9,6 +9,7 @@
 // simulator can co-simulate the IP (Figure 4).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,8 +32,12 @@ struct BlackBoxPort {
 class BlackBoxModel {
  public:
   /// Takes ownership of the build. `ip_name` identifies the IP in
-  /// protocol handshakes.
-  BlackBoxModel(BuildResult build, std::string ip_name);
+  /// protocol handshakes. `program` optionally injects a pre-compiled
+  /// simulation program from an identical earlier build (the delivery
+  /// service's elaboration cache); when null or non-binding, the
+  /// simulator compiles its own.
+  BlackBoxModel(BuildResult build, std::string ip_name,
+                std::shared_ptr<const CompiledProgram> program = nullptr);
 
   const std::string& ip_name() const { return ip_name_; }
   std::vector<BlackBoxPort> ports() const;
@@ -50,6 +55,23 @@ class BlackBoxModel {
   void cycle(std::size_t n = 1);
   void reset();
   std::size_t cycle_count() const { return sim_->cycle_count(); }
+
+  /// Batched evaluation (protocol v4 CycleBatch): per cycle t, apply each
+  /// stimulus stream's t-th value, clock once, sample every probe. An
+  /// empty probe list samples all outputs. Returns one value column per
+  /// probe. Throws std::out_of_range on unknown port names, HdlError on
+  /// stream-length or width mismatches.
+  std::map<std::string, std::vector<BitVector>> cycle_batch(
+      std::size_t n,
+      const std::map<std::string, std::vector<BitVector>>& stimulus,
+      const std::vector<std::string>& probes);
+
+  /// The compiled simulation program backing this model (null when the
+  /// simulator runs interpreted). Shareable across models built from
+  /// identical (module, params).
+  const std::shared_ptr<const CompiledProgram>& compiled_program() const {
+    return sim_->compiled_program();
+  }
 
   /// Interface descriptor for protocol handshakes: name, latency, ports.
   Json interface_json() const;

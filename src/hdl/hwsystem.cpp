@@ -5,7 +5,8 @@ namespace jhdl {
 Net* HWSystem::new_net(const std::string& name) {
   auto id = static_cast<std::uint32_t>(nets_.size());
   std::string net_name = name.empty() ? "n" + std::to_string(id) : name;
-  nets_.push_back(std::make_unique<Net>(id, std::move(net_name)));
+  net_values_.push_back(Logic4::X);
+  nets_.push_back(std::make_unique<Net>(id, std::move(net_name), &net_values_));
   return nets_.back().get();
 }
 

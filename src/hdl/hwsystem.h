@@ -30,8 +30,17 @@ class HWSystem : public Cell {
   std::size_t net_count() const { return nets_.size(); }
   const std::vector<std::unique_ptr<Net>>& nets() const { return nets_; }
 
+  /// Dense net values, indexed by net id (the storage Net::value() reads).
+  /// The compiled simulation kernel evaluates directly over this array, so
+  /// engine writes and Net reads are one and the same byte - no
+  /// write-through pass is needed to keep probes coherent. The kernel may
+  /// extend the array past net_count() with constant scratch slots.
+  std::vector<Logic4>& net_values() { return net_values_; }
+  const std::vector<Logic4>& net_values() const { return net_values_; }
+
  private:
   std::vector<std::unique_ptr<Net>> nets_;
+  std::vector<Logic4> net_values_;
 };
 
 }  // namespace jhdl

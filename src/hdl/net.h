@@ -29,7 +29,14 @@ enum class DriverKind : std::uint8_t {
 /// bind output pins.
 class Net {
  public:
-  Net(std::uint32_t id, std::string name) : id_(id), name_(std::move(name)) {}
+  /// `values` is the owning HWSystem's dense value array (one Logic4 per
+  /// net id). Values live there - not in the Net - so the simulation
+  /// engines can sweep a contiguous byte array instead of scattering
+  /// loads and stores across ~90-byte Net objects, while Wire::value(),
+  /// probes, and testbenches keep reading through this same accessor.
+  /// The vector object itself is a stable address even as it grows.
+  Net(std::uint32_t id, std::string name, std::vector<Logic4>* values)
+      : id_(id), name_(std::move(name)), values_(values) {}
 
   std::uint32_t id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -43,9 +50,9 @@ class Net {
   /// Primitives whose inputs read this net.
   const std::vector<Primitive*>& sinks() const { return sinks_; }
 
-  /// Current simulation value.
-  Logic4 value() const { return value_; }
-  void set_value(Logic4 v) { value_ = v; }
+  /// Current simulation value (reads the system's dense value array).
+  Logic4 value() const { return (*values_)[id_]; }
+  void set_value(Logic4 v) { (*values_)[id_] = v; }
 
   // --- wiring (called by Primitive/Simulator, not by end users) ---
   void bind_driver(Primitive* p, int pin);
@@ -59,7 +66,7 @@ class Net {
   Primitive* driver_ = nullptr;
   int driver_pin_ = -1;
   std::vector<Primitive*> sinks_;
-  Logic4 value_ = Logic4::X;
+  std::vector<Logic4>* values_;  ///< the HWSystem's dense value array
 };
 
 }  // namespace jhdl

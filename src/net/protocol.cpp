@@ -86,6 +86,19 @@ std::vector<std::uint8_t> encode(const Message& msg) {
       w.str(msg.text);     // session token
       w.varint(msg.count);  // last-acked cycle count
       break;
+    case MsgType::CycleBatch:
+      w.varint(msg.count);  // cycles
+      w.varint(msg.series.size());
+      for (const auto& [name, stream] : msg.series) {
+        w.str(name);
+        // Self-describing length: decoders validate it against `count`
+        // rather than trusting it.
+        w.varint(stream.size());
+        for (const BitVector& v : stream) put_value(w, v);
+      }
+      w.varint(msg.probes.size());
+      for (const std::string& name : msg.probes) w.str(name);
+      break;
     case MsgType::Iface:
     case MsgType::StatsReply:
       w.str(msg.text);
@@ -105,6 +118,15 @@ std::vector<std::uint8_t> encode(const Message& msg) {
       for (const auto& [name, value] : msg.values) {
         w.str(name);
         put_value(w, value);
+      }
+      break;
+    case MsgType::BatchValues:
+      w.varint(msg.count);  // cycle_count after the batch
+      w.varint(msg.series.size());
+      for (const auto& [name, stream] : msg.series) {
+        w.str(name);
+        w.varint(stream.size());
+        for (const BitVector& v : stream) put_value(w, v);
       }
       break;
   }
@@ -176,6 +198,22 @@ Message decode(const std::vector<std::uint8_t>& payload) {
       msg.count = r.varint();
       msg.seq = get_seq(r);
       break;
+    case MsgType::CycleBatch: {
+      msg.count = r.varint();
+      const std::size_t streams = get_count(r);
+      for (std::size_t i = 0; i < streams; ++i) {
+        std::string name = r.str();
+        const std::size_t len = get_count(r);
+        std::vector<BitVector> stream;
+        stream.reserve(len);
+        for (std::size_t k = 0; k < len; ++k) stream.push_back(get_value(r));
+        msg.series.emplace(std::move(name), std::move(stream));
+      }
+      const std::size_t probes = get_count(r);
+      for (std::size_t i = 0; i < probes; ++i) msg.probes.push_back(r.str());
+      msg.seq = get_seq(r);
+      break;
+    }
     case MsgType::Iface:
     case MsgType::StatsReply:
       msg.text = r.str();
@@ -208,6 +246,20 @@ Message decode(const std::vector<std::uint8_t>& payload) {
       for (std::size_t i = 0; i < n; ++i) {
         std::string name = r.str();
         msg.values.emplace(std::move(name), get_value(r));
+      }
+      msg.seq = get_seq(r);
+      break;
+    }
+    case MsgType::BatchValues: {
+      msg.count = r.varint();
+      const std::size_t streams = get_count(r);
+      for (std::size_t i = 0; i < streams; ++i) {
+        std::string name = r.str();
+        const std::size_t len = get_count(r);
+        std::vector<BitVector> stream;
+        stream.reserve(len);
+        for (std::size_t k = 0; k < len; ++k) stream.push_back(get_value(r));
+        msg.series.emplace(std::move(name), std::move(stream));
       }
       msg.seq = get_seq(r);
       break;

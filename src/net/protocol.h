@@ -31,14 +31,23 @@
 //             cycle count            typed Error; reattaches a client to
 //                                    the session the token was issued for
 //                                    after a transport failure (v3)
+//   CycleBatch n, {name,stream}*,  expects BatchValues (v4). One round
+//              probe names          trip for n clocked cycles: per cycle
+//                                   apply each stimulus stream's t-th
+//                                   value, clock, sample every probe
+//                                   (empty probe list = all outputs).
+//                                   Amortizes framing over n cycles.
 //   Bye                            closes the session
 //
 // Replies (server -> client):
 //   Iface      json text           interface descriptor (carries the
-//                                  server-issued resume "token")
+//                                  server-issued resume "token" and the
+//                                  negotiated "protocol" version, v4+)
 //   Ok         cycle_count
 //   Value      bits
 //   Values     {name,bits}*
+//   BatchValues cycle_count,       per-probe value columns for one
+//               {name,stream}*      CycleBatch (v4)
 //   Error      message, code       code classifies Retryable vs Fatal
 //   StatsReply json text           server counters
 //
@@ -71,20 +80,25 @@ enum class MsgType : std::uint8_t {
   Bye = 7,
   Stats = 8,
   Resume = 9,
+  CycleBatch = 10,
   Iface = 64,
   Ok = 65,
   Value = 66,
   Values = 67,
   Error = 68,
   StatsReply = 69,
+  BatchValues = 70,
 };
 
 /// Wire protocol version spoken by this build. Version 1 is the original
 /// bare Hello (no magic, no fields); version 2 adds the magic-prefixed
 /// Hello with customer/module/params and the Stats admin query; version 3
 /// adds CRC-checked framing, Resume (session tokens + idempotent replay),
-/// request sequence numbers, and typed Error codes.
-inline constexpr std::uint16_t kProtocolVersion = 3;
+/// request sequence numbers, and typed Error codes; version 4 adds the
+/// CycleBatch/BatchValues pair and advertises the negotiated version in
+/// the Iface JSON ("protocol" = min(server, client Hello) - a client that
+/// reads 3 or finds the field absent must not send CycleBatch).
+inline constexpr std::uint16_t kProtocolVersion = 4;
 
 /// Oldest client Hello this build still serves (v2: same Hello layout,
 /// no seq/Resume — see the back-compat table in DESIGN.md §8).
@@ -92,6 +106,11 @@ inline constexpr std::uint16_t kMinProtocolVersion = 2;
 
 /// Magic prefix of a v2+ Hello payload ("JHDL", little-endian on the wire).
 inline constexpr std::uint32_t kHelloMagic = 0x4C44484Au;
+
+/// Upper bound on CycleBatch cycle counts a server will execute. Enforced
+/// at dispatch (the decoder already bounds per-stream value counts against
+/// the payload size), so a hostile n cannot pin a worker.
+inline constexpr std::uint64_t kMaxCycleBatch = 65536;
 
 /// Version negotiated by this implementation (accessor form for callers
 /// that want a function rather than the constant).
@@ -130,6 +149,11 @@ struct Message {
   // --- v3 ---
   ErrorCode code = ErrorCode::Generic;  // Error only
   std::uint64_t seq = 0;                // request number / echoed in reply
+  // --- v4 ---
+  /// CycleBatch stimulus streams / BatchValues probe columns: one value
+  /// per batched cycle, in cycle order.
+  std::map<std::string, std::vector<BitVector>> series;
+  std::vector<std::string> probes;  // CycleBatch probe names ([] = all)
 };
 
 /// Encode a message payload (without the length frame).

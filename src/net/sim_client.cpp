@@ -150,7 +150,9 @@ Message SimClient::request(Message msg) {
         continue;
       }
       ++round_trips_;
-      if (reply.type == MsgType::Ok) last_acked_cycles_ = reply.count;
+      if (reply.type == MsgType::Ok || reply.type == MsgType::BatchValues) {
+        last_acked_cycles_ = reply.count;
+      }
       return reply;
     } catch (const FrameError&) {
       // A corrupt reply frame: the stream is still aligned, so resend
@@ -206,6 +208,62 @@ std::map<std::string, BitVector> SimClient::eval(
   msg.values = inputs;
   msg.count = n;
   return request(msg).values;
+}
+
+std::uint16_t SimClient::negotiated_protocol() const {
+  if (iface_.has("protocol")) {
+    return static_cast<std::uint16_t>(iface_.at("protocol").as_int());
+  }
+  // Servers up to v3 issue no "protocol" field; they all predate
+  // CycleBatch.
+  return 3;
+}
+
+std::map<std::string, std::vector<BitVector>> SimClient::cycle_batch(
+    std::size_t n,
+    const std::map<std::string, std::vector<BitVector>>& stimulus,
+    const std::vector<std::string>& probes) {
+  for (const auto& [name, values] : stimulus) {
+    if (values.size() != n) {
+      throw NetError("cycle_batch stimulus for '" + name + "' has " +
+                         std::to_string(values.size()) + " values for " +
+                         std::to_string(n) + " cycles",
+                     NetError::Kind::Fatal);
+    }
+  }
+  if (negotiated_protocol() >= 4) {
+    Message msg;
+    msg.type = MsgType::CycleBatch;
+    msg.count = n;
+    msg.series = stimulus;
+    msg.probes = probes;
+    return request(msg).series;
+  }
+  // v3 (or older) server: emulate the batch with one Eval round trip per
+  // cycle. Identical results, pre-v4 cost.
+  std::map<std::string, std::vector<BitVector>> out;
+  for (std::size_t t = 0; t < n; ++t) {
+    std::map<std::string, BitVector> inputs;
+    for (const auto& [name, values] : stimulus) {
+      inputs.emplace(name, values[t]);
+    }
+    std::map<std::string, BitVector> sampled = eval(inputs, 1);
+    if (probes.empty()) {
+      for (auto& [name, value] : sampled) {
+        out[name].push_back(std::move(value));
+      }
+    } else {
+      for (const std::string& name : probes) {
+        auto it = sampled.find(name);
+        if (it == sampled.end()) {
+          throw NetError("server reported no output named '" + name + "'",
+                         NetError::Kind::Fatal);
+        }
+        out[name].push_back(std::move(it->second));
+      }
+    }
+  }
+  return out;
 }
 
 void SimClient::bye() {

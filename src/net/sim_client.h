@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/fault_injection.h"
 #include "net/protocol.h"
@@ -104,6 +105,20 @@ class SimClient {
   /// One round trip total.
   std::map<std::string, BitVector> eval(
       const std::map<std::string, BitVector>& inputs, std::size_t n);
+
+  /// Batched transaction: per cycle t, apply each stimulus stream's t-th
+  /// value, clock once, sample every probe (empty = all outputs). One
+  /// CycleBatch round trip against a v4 server; against a v3 server the
+  /// client transparently falls back to one Eval per cycle (same results,
+  /// per-cycle round trips).
+  std::map<std::string, std::vector<BitVector>> cycle_batch(
+      std::size_t n,
+      const std::map<std::string, std::vector<BitVector>>& stimulus,
+      const std::vector<std::string>& probes = {});
+
+  /// Protocol version negotiated with the server: the Iface "protocol"
+  /// field, or 3 when the server predates it.
+  std::uint16_t negotiated_protocol() const;
 
   /// Successful round trips performed so far (handshakes included).
   std::size_t round_trips() const { return round_trips_; }

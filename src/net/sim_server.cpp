@@ -1,5 +1,6 @@
 #include "net/sim_server.h"
 
+#include <algorithm>
 #include <random>
 
 namespace jhdl::net {
@@ -53,6 +54,25 @@ Message dispatch_request(core::BlackBoxModel& model, const Message& request) {
           reply.values.emplace(p.name, model.get_output(p.name));
         }
       }
+      break;
+    }
+    case MsgType::CycleBatch: {
+      // v4 batched transaction. The cap keeps a hostile cycle count from
+      // pinning the worker; stream lengths are validated by the model
+      // against the cycle count.
+      if (request.count > kMaxCycleBatch) {
+        reply.type = MsgType::Error;
+        reply.text = "cycle batch of " + std::to_string(request.count) +
+                     " exceeds the per-request limit of " +
+                     std::to_string(kMaxCycleBatch);
+        reply.code = ErrorCode::BadRequest;
+        break;
+      }
+      reply.type = MsgType::BatchValues;
+      reply.series = model.cycle_batch(
+          static_cast<std::size_t>(request.count), request.series,
+          request.probes);
+      reply.count = model.cycle_count();
       break;
     }
     default:
@@ -226,6 +246,11 @@ Message SimServer::handle(const Message& request) {
       {
         Json iface = model_->interface_json();
         iface.set("token", token_);
+        // Version negotiation: the session speaks the lower of the two.
+        // A v3 client ignores the field and never sends CycleBatch; a v4
+        // client checks it before batching.
+        iface.set("protocol", std::size_t{std::min(request.version,
+                                                   kProtocolVersion)});
         reply.text = iface.dump();
       }
       // A Hello opens a FRESH session: its client numbers requests from 1

@@ -292,9 +292,31 @@ Message DeliveryService::open_session(const Message& hello,
   try {
     core::ParamMap params;
     for (const auto& [name, value] : hello.params) params.set(name, value);
+    const core::ParamMap resolved = params.resolved(generator->params());
+    // Elaboration cache: sessions with identical (module, params) share
+    // one immutable compiled program; the summary() form is canonical
+    // (sorted, fully resolved), so it doubles as the cache key.
+    const std::string cache_key = hello.name + "|" + resolved.summary();
+    std::shared_ptr<const CompiledProgram> cached;
+    {
+      std::lock_guard<std::mutex> lock(program_mutex_);
+      auto it = program_cache_.find(cache_key);
+      if (it != program_cache_.end()) cached = it->second;
+    }
     model = std::make_unique<core::BlackBoxModel>(
-        generator->build(params.resolved(generator->params())),
-        generator->name());
+        generator->build(resolved), generator->name(), cached);
+    const auto& program = model->compiled_program();
+    if (program != nullptr) {
+      if (program == cached) {
+        stats_.record_program_share();
+      } else {
+        // Miss (or a cached program that failed to bind): publish the
+        // freshly compiled program for subsequent sessions.
+        stats_.record_program_compile();
+        std::lock_guard<std::mutex> lock(program_mutex_);
+        program_cache_[cache_key] = program;
+      }
+    }
   } catch (const std::exception& e) {
     error.text = std::string("build failed: ") + e.what();
     stats_.record_denial();
@@ -302,10 +324,13 @@ Message DeliveryService::open_session(const Message& hello,
   }
   session = sessions_.open(hello.customer, hello.name, std::move(model),
                            std::move(stream));
+  session->protocol = std::min(hello.version, net::kProtocolVersion);
   Json iface = session->model->interface_json();
   iface.set("customer", session->customer);
   iface.set("session", session->id);
-  iface.set("protocol", std::size_t{net::kProtocolVersion});
+  // Version negotiation (v4+): the session speaks the lower of the two
+  // versions; a pre-v4 client never sees nor needs the field.
+  iface.set("protocol", std::size_t{session->protocol});
   iface.set("token", session->token);
   Message reply;
   reply.type = MsgType::Iface;
@@ -333,7 +358,7 @@ std::shared_ptr<Session> DeliveryService::resume_session(
   Json iface = session->model->interface_json();
   iface.set("customer", session->customer);
   iface.set("session", session->id);
-  iface.set("protocol", std::size_t{net::kProtocolVersion});
+  iface.set("protocol", std::size_t{session->protocol});
   iface.set("token", session->token);
   iface.set("resumed", true);
   iface.set("cycles", session->model->cycle_count());

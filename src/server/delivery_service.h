@@ -149,6 +149,15 @@ class DeliveryService {
   ServerStats stats_;
   SessionManager sessions_{stats_};
 
+  /// Elaboration cache: (module, resolved params) -> the immutable
+  /// compiled simulation program, shared across every session built from
+  /// the same configuration (each session keeps its own value/state
+  /// arrays). Generators are deterministic, so a second build binds the
+  /// first build's program; a non-binding entry is simply replaced.
+  std::mutex program_mutex_;
+  std::map<std::string, std::shared_ptr<const CompiledProgram>>
+      program_cache_;
+
   std::mutex license_mutex_;
   std::map<std::string, core::LicensePolicy> licenses_;
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/blackbox.h"
+#include "net/protocol.h"
 #include "net/socket.h"
 #include "server/stats.h"
 
@@ -37,6 +38,9 @@ struct Session {
   std::string module;
   /// Unguessable resume credential, issued in the Iface handshake reply.
   std::string token;
+  /// Negotiated wire version: min(client Hello, kProtocolVersion). Echoed
+  /// in the Iface "protocol" field, including on Resume.
+  std::uint16_t protocol = net::kProtocolVersion;
   std::unique_ptr<core::BlackBoxModel> model;
   /// The transport currently bound to the session; null while detached.
   /// Guarded by stream_mutex for replacement/shutdown; the owning worker

@@ -43,6 +43,8 @@ ServerStats::Snapshot ServerStats::snapshot() const {
   s.resumes = resumes_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);
   s.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
+  s.programs_compiled = programs_compiled_.load(std::memory_order_relaxed);
+  s.program_shares = program_shares_.load(std::memory_order_relaxed);
 
   std::array<std::uint64_t, kBuckets> buckets{};
   std::uint64_t total = 0;
@@ -68,6 +70,8 @@ Json ServerStats::Snapshot::to_json() const {
   j.set("resumes", resumes);
   j.set("retries", retries);
   j.set("malformed_frames", malformed_frames);
+  j.set("programs_compiled", programs_compiled);
+  j.set("program_shares", program_shares);
   j.set("p50_request_us", p50_request_us);
   j.set("p95_request_us", p95_request_us);
   return j;

@@ -34,6 +34,8 @@ class ServerStats {
     std::uint64_t resumes = 0;     // sessions reattached via Resume
     std::uint64_t retries = 0;     // requests served from the replay cache
     std::uint64_t malformed_frames = 0;  // frames failing CRC / decode
+    std::uint64_t programs_compiled = 0;  // elaboration-cache misses
+    std::uint64_t program_shares = 0;     // sessions reusing a cached program
     double p50_request_us = 0.0;
     double p95_request_us = 0.0;
 
@@ -60,6 +62,12 @@ class ServerStats {
   void record_malformed() {
     malformed_frames_.fetch_add(1, std::memory_order_relaxed);
   }
+  void record_program_compile() {
+    programs_compiled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_program_share() {
+    program_shares_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Count one serviced request taking `micros` µs end to end.
   void record_request(std::uint64_t micros);
@@ -82,6 +90,8 @@ class ServerStats {
   std::atomic<std::uint64_t> resumes_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> malformed_frames_{0};
+  std::atomic<std::uint64_t> programs_compiled_{0};
+  std::atomic<std::uint64_t> program_shares_{0};
   std::array<std::atomic<std::uint64_t>, kBuckets> latency_buckets_{};
 };
 

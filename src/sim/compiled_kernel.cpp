@@ -1,0 +1,835 @@
+#include "sim/compiled_kernel.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "hdl/error.h"
+#include "tech/carry.h"
+#include "tech/constants.h"
+#include "tech/ff.h"
+#include "tech/gates.h"
+#include "tech/lut.h"
+#include "tech/memory.h"
+#include "tech/pads.h"
+
+namespace jhdl {
+namespace {
+
+// Four-state truth tables indexed by (a << 2) | b, matching util/logic.cpp
+// exactly (Z behaves as X inside operators). Table lookups replace the
+// out-of-line logic_* calls on the hot path.
+constexpr Logic4 k0 = Logic4::Zero;
+constexpr Logic4 k1 = Logic4::One;
+constexpr Logic4 kX = Logic4::X;
+
+constexpr Logic4 kAndTable[16] = {
+    k0, k0, k0, k0,   // a = 0
+    k0, k1, kX, kX,   // a = 1
+    k0, kX, kX, kX,   // a = X
+    k0, kX, kX, kX};  // a = Z
+constexpr Logic4 kOrTable[16] = {
+    k0, k1, kX, kX,   // a = 0
+    k1, k1, k1, k1,   // a = 1
+    kX, k1, kX, kX,   // a = X
+    kX, k1, kX, kX};  // a = Z
+constexpr Logic4 kXorTable[16] = {
+    k0, k1, kX, kX,   // a = 0
+    k1, k0, kX, kX,   // a = 1
+    kX, kX, kX, kX,   // a = X
+    kX, kX, kX, kX};  // a = Z
+constexpr Logic4 kNotTable[4] = {k1, k0, kX, kX};
+
+inline Logic4 table2(const Logic4* table, Logic4 a, Logic4 b) {
+  return table[(static_cast<std::size_t>(a) << 2) |
+               static_cast<std::size_t>(b)];
+}
+
+/// o = s ? b : a with the Mux2/MuxCY/MuxF5 X rule: an undefined select
+/// yields the data value only when both data inputs agree and are binary.
+/// Precomputed over (s, a, b) because the select branch is a coin flip
+/// under real data - one table load replaces two unpredictable branches.
+constexpr std::array<Logic4, 64> make_mux_table() {
+  std::array<Logic4, 64> t{};
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t a = 0; a < 4; ++a) {
+      for (std::size_t b = 0; b < 4; ++b) {
+        const Logic4 la = static_cast<Logic4>(a);
+        const Logic4 lb = static_cast<Logic4>(b);
+        Logic4 out;
+        if (is_binary(static_cast<Logic4>(s))) {
+          out = s == 1 ? lb : la;
+        } else {
+          out = (la == lb && is_binary(la)) ? la : Logic4::X;
+        }
+        t[(s << 4) | (a << 2) | b] = out;
+      }
+    }
+  }
+  return t;
+}
+constexpr std::array<Logic4, 64> kMuxTable = make_mux_table();
+
+inline Logic4 mux3(Logic4 a, Logic4 b, Logic4 s) {
+  return kMuxTable[(static_cast<std::size_t>(s) << 4) |
+                   (static_cast<std::size_t>(a) << 2) |
+                   static_cast<std::size_t>(b)];
+}
+
+/// Truth-table evaluation with the Lut X-agreement semantics: an undefined
+/// select bit keeps the output defined only when both candidate halves of
+/// the table agree.
+Logic4 lut_eval(std::uint32_t init, const Logic4* in, std::uint8_t k,
+                std::uint8_t bit, std::uint32_t addr) {
+  if (bit == k) {
+    return to_logic(((init >> addr) & 1u) != 0);
+  }
+  const Logic4 v = in[bit];
+  if (is_binary(v)) {
+    return lut_eval(init, in, k, bit + 1,
+                    addr | (to_bool(v) ? (1u << bit) : 0u));
+  }
+  const Logic4 lo = lut_eval(init, in, k, bit + 1, addr);
+  const Logic4 hi = lut_eval(init, in, k, bit + 1, addr | (1u << bit));
+  return lo == hi ? lo : Logic4::X;
+}
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ULL;
+}
+
+/// Flip-flop sample decision over (clr, ce), branchless: 0 = take D,
+/// 1 = hold state, 2 = clear to Zero, 3 = X. Clear dominates enable and
+/// a non-binary control pin poisons the sample (tech/ff.cpp rules).
+constexpr std::array<std::uint8_t, 16> make_ff_sel_table() {
+  std::array<std::uint8_t, 16> t{};
+  for (std::size_t clr = 0; clr < 4; ++clr) {
+    for (std::size_t ce = 0; ce < 4; ++ce) {
+      std::uint8_t sel = 0;
+      if (clr == 1) {
+        sel = 2;
+      } else if (clr >= 2) {
+        sel = 3;
+      } else if (ce == 0) {
+        sel = 1;
+      } else if (ce == 1) {
+        sel = 0;
+      } else {
+        sel = 3;
+      }
+      t[(clr << 2) | ce] = sel;
+    }
+  }
+  return t;
+}
+constexpr std::array<std::uint8_t, 16> kFfSelTable = make_ff_sel_table();
+
+// Pure compute kernels shared by the per-op switch and the specialized
+// run loops. All read the dense value array through local pointers.
+inline Logic4 eval_nary(const Logic4* table, const Logic4* values,
+                        const std::uint32_t* in, std::uint16_t n) {
+  Logic4 acc = values[in[0]];
+  for (std::uint16_t k = 1; k < n; ++k) {
+    acc = table2(table, acc, values[in[k]]);
+  }
+  return acc;
+}
+
+inline Logic4 eval_lut_op(std::uint32_t init, const Logic4* values,
+                          const std::uint32_t* in, std::uint16_t n) {
+  // Branchless address build: bit 0 of the encoding is the binary value,
+  // bit 1 flags X/Z. The address is only consulted when every input was
+  // binary; the X-agreement fallback is the rare path.
+  Logic4 ins[4];
+  std::uint32_t addr = 0;
+  std::uint32_t undef = 0;
+  for (std::uint16_t k = 0; k < n; ++k) {
+    const std::uint32_t u =
+        static_cast<std::uint32_t>(ins[k] = values[in[k]]);
+    addr |= (u & 1u) << k;
+    undef |= u >> 1;
+  }
+  if (undef == 0) return to_logic(((init >> addr) & 1u) != 0);
+  return lut_eval(init, ins, static_cast<std::uint8_t>(n), 0, 0);
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledProgram> compile_program(
+    const HWSystem& system, const std::vector<Primitive*>& all_prims,
+    const std::vector<Primitive*>& comb_order,
+    const std::vector<Primitive*>& comb_cyclic,
+    const std::vector<Primitive*>& sequential) {
+  auto program = std::make_shared<CompiledProgram>();
+  CompiledProgram& p = *program;
+  p.num_nets = system.net_count();
+  p.num_prims = all_prims.size();
+  p.has_comb_cycle = !comb_cyclic.empty();
+  p.num_acyclic = comb_order.size();
+
+  std::unordered_map<const Primitive*, std::uint32_t> ordinal;
+  ordinal.reserve(all_prims.size());
+  for (std::size_t i = 0; i < all_prims.size(); ++i) {
+    ordinal[all_prims[i]] = static_cast<std::uint32_t>(i);
+  }
+
+  // Level of the combinational op driving each net (0 = not comb-driven).
+  std::vector<std::uint32_t> net_level(p.num_nets, 0);
+
+  auto lower = [&](Primitive* prim, bool cyclic) {
+    CompiledOp op;
+    op.in_begin = static_cast<std::uint32_t>(p.inputs.size());
+    op.out_begin = static_cast<std::uint32_t>(p.outputs.size());
+    for (Net* n : prim->input_nets()) p.inputs.push_back(n->id());
+    for (Net* n : prim->output_nets()) p.outputs.push_back(n->id());
+    op.n_in = static_cast<std::uint16_t>(prim->input_nets().size());
+    op.n_out = static_cast<std::uint16_t>(prim->output_nets().size());
+
+    using tech::NaryGate;
+    if (auto* gate = dynamic_cast<NaryGate*>(prim)) {
+      switch (gate->op()) {
+        case NaryGate::Op::And: op.op = SimOp::And; break;
+        case NaryGate::Op::Or: op.op = SimOp::Or; break;
+        case NaryGate::Op::Xor: op.op = SimOp::Xor; break;
+        case NaryGate::Op::Nand: op.op = SimOp::Nand; break;
+        case NaryGate::Op::Nor: op.op = SimOp::Nor; break;
+      }
+    } else if (dynamic_cast<tech::Inv*>(prim) != nullptr) {
+      op.op = SimOp::Not;
+    } else if (dynamic_cast<tech::Buf*>(prim) != nullptr ||
+               dynamic_cast<tech::Ibuf*>(prim) != nullptr ||
+               dynamic_cast<tech::Obuf*>(prim) != nullptr) {
+      op.op = SimOp::Buf;
+    } else if (dynamic_cast<tech::Mux2*>(prim) != nullptr ||
+               dynamic_cast<tech::MuxCY*>(prim) != nullptr ||
+               dynamic_cast<tech::MuxF5*>(prim) != nullptr) {
+      // All three share pin order (i0, i1, select) and X semantics.
+      op.op = SimOp::Mux;
+    } else if (dynamic_cast<tech::XorCY*>(prim) != nullptr) {
+      op.op = SimOp::Xor;
+    } else if (auto* lut = dynamic_cast<tech::Lut*>(prim)) {
+      op.op = SimOp::Lut;
+      op.aux = lut->init();
+    } else if (dynamic_cast<tech::Rom16*>(prim) != nullptr) {
+      // Contents are read through the live primitive so post-elaboration
+      // watermarking (Rom16::set_entry) stays visible.
+      op.op = SimOp::Rom;
+      op.aux = static_cast<std::uint32_t>(p.live_prims.size());
+      p.live_prims.push_back(ordinal.at(prim));
+    } else if (dynamic_cast<tech::Gnd*>(prim) != nullptr) {
+      op.op = SimOp::Const;
+      op.aux = static_cast<std::uint32_t>(p.const_values.size());
+      p.const_values.push_back(0);
+    } else if (dynamic_cast<tech::Vcc*>(prim) != nullptr) {
+      op.op = SimOp::Const;
+      op.aux = static_cast<std::uint32_t>(p.const_values.size());
+      p.const_values.push_back(1);
+    } else if (auto* constant = dynamic_cast<tech::Constant*>(prim)) {
+      op.op = SimOp::Const;
+      op.aux = static_cast<std::uint32_t>(p.const_values.size());
+      p.const_values.push_back(constant->value());
+    } else {
+      op.op = SimOp::Fallback;
+      op.aux = static_cast<std::uint32_t>(p.live_prims.size());
+      p.live_prims.push_back(ordinal.at(prim));
+    }
+
+    if (!cyclic) {
+      std::uint32_t level = 0;
+      for (std::uint32_t k = 0; k < op.n_in; ++k) {
+        level = std::max(level, net_level[p.inputs[op.in_begin + k]]);
+      }
+      if (level > 0xFFFEu) {
+        throw SimError("combinational depth exceeds compiled-kernel limit");
+      }
+      op.level = static_cast<std::uint16_t>(level);
+      p.max_level = std::max(p.max_level, op.level);
+      for (std::uint32_t k = 0; k < op.n_out; ++k) {
+        net_level[p.outputs[op.out_begin + k]] = level + 1;
+      }
+    }
+    if (prim->sequential()) {
+      p.seq_ops.push_back(static_cast<std::uint32_t>(p.ops.size()));
+    }
+    p.ops.push_back(op);
+  };
+
+  for (Primitive* prim : comb_order) lower(prim, /*cyclic=*/false);
+  for (Primitive* prim : comb_cyclic) lower(prim, /*cyclic=*/true);
+
+  // Schedule the acyclic prefix by (level, opcode). A driver's output
+  // level strictly exceeds its own, so equal-level ops are independent
+  // and grouping them by opcode keeps a valid topological order while
+  // turning the sweep's dispatch into long predictable same-opcode runs.
+  // stable_sort keeps the permutation deterministic across builds.
+  {
+    std::vector<std::uint32_t> order(p.ops.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(
+        order.begin(), order.begin() + static_cast<std::ptrdiff_t>(p.num_acyclic),
+        [&](std::uint32_t a, std::uint32_t b) {
+          if (p.ops[a].level != p.ops[b].level) {
+            return p.ops[a].level < p.ops[b].level;
+          }
+          return static_cast<std::uint8_t>(p.ops[a].op) <
+                 static_cast<std::uint8_t>(p.ops[b].op);
+        });
+    std::vector<CompiledOp> sorted(p.ops.size());
+    std::vector<std::uint32_t> new_index(p.ops.size());
+    for (std::uint32_t pos = 0; pos < order.size(); ++pos) {
+      sorted[pos] = p.ops[order[pos]];
+      new_index[order[pos]] = pos;
+    }
+    p.ops = std::move(sorted);
+    for (std::uint32_t& i : p.seq_ops) i = new_index[i];
+  }
+  for (std::uint32_t i = 0; i < p.num_acyclic;) {
+    std::uint32_t j = i + 1;
+    while (j < p.num_acyclic && p.ops[j].op == p.ops[i].op) ++j;
+    p.runs.push_back({p.ops[i].op, i, j});
+    i = j;
+  }
+
+  // Fanout CSR: which ops read each net.
+  std::vector<std::uint32_t> counts(p.num_nets, 0);
+  for (const CompiledOp& op : p.ops) {
+    for (std::uint32_t k = 0; k < op.n_in; ++k) {
+      ++counts[p.inputs[op.in_begin + k]];
+    }
+  }
+  p.fanout_begin.resize(p.num_nets + 1, 0);
+  for (std::size_t i = 0; i < p.num_nets; ++i) {
+    p.fanout_begin[i + 1] = p.fanout_begin[i] + counts[i];
+  }
+  p.fanout.resize(p.fanout_begin[p.num_nets]);
+  std::vector<std::uint32_t> cursor(p.fanout_begin.begin(),
+                                    p.fanout_begin.end() - 1);
+  for (std::size_t i = 0; i < p.ops.size(); ++i) {
+    const CompiledOp& op = p.ops[i];
+    for (std::uint32_t k = 0; k < op.n_in; ++k) {
+      p.fanout[cursor[p.inputs[op.in_begin + k]]++] =
+          static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Pseudo-net slots appended after the real nets in the kernel's value
+  // array: a missing CLR pin reads constant Zero, a missing CE constant
+  // One, keeping the flip-flop sample loop uniform.
+  const std::uint32_t kZeroSlot = static_cast<std::uint32_t>(p.num_nets);
+  const std::uint32_t kOneSlot = kZeroSlot + 1;
+  for (Primitive* prim : sequential) {
+    if (auto* ff = dynamic_cast<tech::FlipFlop*>(prim)) {
+      const auto& ins = ff->input_nets();
+      CompiledFF rec;
+      rec.d = ins[static_cast<std::size_t>(ff->d_pin())]->id();
+      rec.ce = ff->ce_pin() >= 0
+                   ? ins[static_cast<std::size_t>(ff->ce_pin())]->id()
+                   : kOneSlot;
+      rec.clr = ff->clr_pin() >= 0
+                    ? ins[static_cast<std::size_t>(ff->clr_pin())]->id()
+                    : kZeroSlot;
+      rec.q = ff->output_nets()[0]->id();
+      rec.init = ff->init_value();
+      p.ffs.push_back(rec);
+      p.ff_prims.push_back(ordinal.at(prim));
+      continue;
+    }
+    p.seq_prims.push_back(ordinal.at(prim));
+    for (Net* n : prim->output_nets()) p.seq_outputs.push_back(n->id());
+  }
+
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  fnv_mix(h, p.num_nets);
+  fnv_mix(h, p.num_prims);
+  for (const CompiledOp& op : p.ops) {
+    fnv_mix(h, (static_cast<std::uint64_t>(op.op) << 48) |
+                   (static_cast<std::uint64_t>(op.n_in) << 32) | op.aux);
+  }
+  for (std::uint32_t id : p.inputs) fnv_mix(h, id);
+  for (std::uint32_t id : p.outputs) fnv_mix(h, id);
+  for (std::uint64_t v : p.const_values) fnv_mix(h, v);
+  for (const CompiledFF& ff : p.ffs) {
+    fnv_mix(h, (static_cast<std::uint64_t>(ff.d) << 32) | ff.q);
+    fnv_mix(h, (static_cast<std::uint64_t>(ff.ce) << 32) | ff.clr);
+    fnv_mix(h, static_cast<std::uint64_t>(ff.init));
+  }
+  p.fingerprint = h;
+  return program;
+}
+
+CompiledKernel::CompiledKernel(HWSystem& system,
+                               std::shared_ptr<const CompiledProgram> program,
+                               const std::vector<Primitive*>& all_prims)
+    : program_(std::move(program)) {
+  if (program_ == nullptr || !program_->binds(system, all_prims.size())) {
+    throw SimError("compiled program does not bind to this circuit");
+  }
+  // Evaluate in place over the system's dense net-value array - the same
+  // storage Net::value() reads, so no write-through is ever needed. The
+  // two constant pseudo-net slots for flip-flops without a CLR / CE pin
+  // (see compile_program) are appended past the real nets; they are only
+  // ever read by the sample loop.
+  values_ = &system.net_values();
+  values_->resize(program_->num_nets + 2);
+  (*values_)[program_->num_nets] = Logic4::Zero;
+  (*values_)[program_->num_nets + 1] = Logic4::One;
+  live_prims_.reserve(program_->live_prims.size());
+  for (std::uint32_t ord : program_->live_prims) {
+    live_prims_.push_back(all_prims[ord]);
+  }
+  seq_.reserve(program_->seq_prims.size());
+  for (std::uint32_t ord : program_->seq_prims) {
+    seq_.push_back(all_prims[ord]);
+  }
+  ff_prims_.reserve(program_->ff_prims.size());
+  for (std::uint32_t ord : program_->ff_prims) {
+    ff_prims_.push_back(all_prims[ord]);
+  }
+  // Flip-flop ctors drive their power-on value onto the q net, so the
+  // value array already holds every committed state.
+  ff_state_.reserve(program_->ffs.size());
+  for (const CompiledFF& ff : program_->ffs) {
+    ff_state_.push_back((*values_)[ff.q]);
+  }
+  ff_next_.assign(program_->ffs.size(), Logic4::X);
+  std::size_t max_fb_out = 0;
+  for (const CompiledOp& op : program_->ops) {
+    if (op.op == SimOp::Fallback) {
+      max_fb_out = std::max<std::size_t>(max_fb_out, op.n_out);
+    }
+  }
+  fb_old_.assign(max_fb_out, Logic4::X);
+  op_dirty_.assign(program_->ops.size(), 0);
+  // Below this many dirty ops the event-driven scan wins; above it the
+  // flat sweep does. The specialized run loops evaluate an op several
+  // times cheaper than the marking path can track one, so the crossover
+  // sits at a small fraction of the graph.
+  sweep_threshold_ = std::max<std::size_t>(16, program_->num_acyclic / 16);
+  // Power-on parity with the interpreter: the first settle evaluates the
+  // whole combinational graph.
+  if (program_->has_comb_cycle) {
+    dirty_ = !program_->ops.empty();
+  } else if (program_->num_acyclic > 0) {
+    std::fill(op_dirty_.begin(),
+              op_dirty_.begin() +
+                  static_cast<std::ptrdiff_t>(program_->num_acyclic),
+              1);
+    marked_count_ = program_->num_acyclic;
+    dirty_ = true;
+  }
+}
+
+void CompiledKernel::mark_op(std::uint32_t i) {
+  if (program_->has_comb_cycle) {
+    dirty_ = true;
+    return;
+  }
+  dirty_ = true;
+  if (op_dirty_[i] == 0) {
+    op_dirty_[i] = 1;
+    ++marked_count_;
+  }
+}
+
+void CompiledKernel::mark_fanout(std::uint32_t net_id) {
+  const std::uint32_t begin = program_->fanout_begin[net_id];
+  const std::uint32_t end = program_->fanout_begin[net_id + 1];
+  for (std::uint32_t k = begin; k < end; ++k) mark_op(program_->fanout[k]);
+}
+
+void CompiledKernel::write_net(Net* net, Logic4 value) {
+  const std::uint32_t id = net->id();
+  Logic4& slot = (*values_)[id];
+  if (slot == value) return;
+  slot = value;
+  if (program_->has_comb_cycle) {
+    dirty_ = true;
+  } else {
+    mark_fanout(id);
+  }
+}
+
+void CompiledKernel::touch_net(std::uint32_t net_id) {
+  // The writer stored straight into the shared value array, so the value
+  // is already current; conservatively wake the readers (marking an
+  // unchanged net's cone just re-produces the same outputs downstream).
+  if (program_->has_comb_cycle) {
+    dirty_ = true;
+  } else {
+    mark_fanout(net_id);
+  }
+}
+
+struct CompiledKernel::EvalCtx {
+  const CompiledOp* ops;
+  const std::uint32_t* ins;
+  const std::uint32_t* outs;
+  const std::uint64_t* const_vals;
+  Logic4* values;
+  Primitive* const* live;
+};
+
+CompiledKernel::EvalCtx CompiledKernel::make_ctx() {
+  return {program_->ops.data(),          program_->inputs.data(),
+          program_->outputs.data(),      program_->const_values.data(),
+          values_->data(),               live_prims_.data()};
+}
+
+template <bool Mark>
+bool CompiledKernel::eval_one(const EvalCtx& c, std::uint32_t i) {
+  const CompiledOp& op = c.ops[i];
+  const std::uint32_t* in = c.ins + op.in_begin;
+  const std::uint32_t* out = c.outs + op.out_begin;
+  Logic4* values = c.values;
+  Logic4 result = Logic4::X;
+  switch (op.op) {
+    case SimOp::And:
+    case SimOp::Nand: {
+      const Logic4 acc = eval_nary(kAndTable, values, in, op.n_in);
+      result = op.op == SimOp::Nand
+                   ? kNotTable[static_cast<std::size_t>(acc)]
+                   : acc;
+      break;
+    }
+    case SimOp::Or:
+    case SimOp::Nor: {
+      const Logic4 acc = eval_nary(kOrTable, values, in, op.n_in);
+      result =
+          op.op == SimOp::Nor ? kNotTable[static_cast<std::size_t>(acc)] : acc;
+      break;
+    }
+    case SimOp::Xor:
+      result = eval_nary(kXorTable, values, in, op.n_in);
+      break;
+    case SimOp::Not:
+      result = kNotTable[static_cast<std::size_t>(values[in[0]])];
+      break;
+    case SimOp::Buf:
+      result = values[in[0]];
+      break;
+    case SimOp::Mux:
+      result = mux3(values[in[0]], values[in[1]], values[in[2]]);
+      break;
+    case SimOp::Lut:
+      result = eval_lut_op(op.aux, values, in, op.n_in);
+      break;
+    case SimOp::Rom: {
+      auto* rom = static_cast<tech::Rom16*>(c.live[op.aux]);
+      std::uint32_t addr = 0;
+      bool defined = true;
+      for (std::uint16_t k = 0; k < 4; ++k) {
+        const Logic4 v = values[in[k]];
+        if (!is_binary(v)) {
+          defined = false;
+          break;
+        }
+        if (to_bool(v)) addr |= 1u << k;
+      }
+      const std::uint64_t word = defined ? rom->contents()[addr] : 0;
+      bool changed = false;
+      for (std::uint16_t b = 0; b < op.n_out; ++b) {
+        const Logic4 v =
+            defined ? to_logic(((word >> b) & 1u) != 0) : Logic4::X;
+        const std::uint32_t id = out[b];
+        if (values[id] != v) {
+          values[id] = v;
+          changed = true;
+          if constexpr (Mark) mark_fanout(id);
+        }
+      }
+      return changed;
+    }
+    case SimOp::Const: {
+      const std::uint64_t word = c.const_vals[op.aux];
+      bool changed = false;
+      for (std::uint16_t b = 0; b < op.n_out; ++b) {
+        const Logic4 v = to_logic(((word >> b) & 1u) != 0);
+        const std::uint32_t id = out[b];
+        if (values[id] != v) {
+          values[id] = v;
+          changed = true;
+          if constexpr (Mark) mark_fanout(id);
+        }
+      }
+      return changed;
+    }
+    case SimOp::Fallback: {
+      // The primitive reads and writes the shared dense array through its
+      // Net pins; snapshot the outputs first so a change still wakes the
+      // fanout (and still counts for fixpoint convergence).
+      Logic4* old = fb_old_.data();
+      for (std::uint16_t b = 0; b < op.n_out; ++b) old[b] = values[out[b]];
+      c.live[op.aux]->propagate();
+      bool changed = false;
+      for (std::uint16_t b = 0; b < op.n_out; ++b) {
+        const std::uint32_t id = out[b];
+        if (old[b] != values[id]) {
+          changed = true;
+          if constexpr (Mark) mark_fanout(id);
+        }
+      }
+      return changed;
+    }
+  }
+  const std::uint32_t id = out[0];
+  if (values[id] == result) return false;
+  values[id] = result;
+  if constexpr (Mark) mark_fanout(id);
+  return true;
+}
+
+void CompiledKernel::settle() {
+  if (!dirty_) return;
+  if (program_->has_comb_cycle) {
+    settle_fixpoint();
+  } else if (marked_count_ >= sweep_threshold_) {
+    settle_sweep();
+  } else {
+    settle_event_driven();
+  }
+}
+
+void CompiledKernel::settle_event_driven() {
+  // Linear scan of the dirty bytes in topological op order: evaluating a
+  // dirty op can only mark readers ahead of the scan, so one pass settles
+  // the graph. When the cascade crosses the sweep threshold mid-scan, the
+  // remainder is finished flat - every op behind the scan was evaluated
+  // at most once and every op ahead is evaluated exactly once, so the
+  // settle total stays <= num_acyclic, the interpreter's per-settle count.
+  const EvalCtx c = make_ctx();
+  const std::uint32_t n = static_cast<std::uint32_t>(program_->num_acyclic);
+  std::uint8_t* dirty = op_dirty_.data();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (marked_count_ >= sweep_threshold_) {
+      sweep_range(c, i, n);
+      eval_count_ += n - i;
+      std::fill(dirty, dirty + n, 0);
+      marked_count_ = 0;
+      break;
+    }
+    if (dirty[i] != 0) {
+      dirty[i] = 0;
+      --marked_count_;
+      eval_one<true>(c, i);
+      ++eval_count_;
+    }
+  }
+  dirty_ = false;
+}
+
+void CompiledKernel::settle_sweep() {
+  const EvalCtx c = make_ctx();
+  const std::uint32_t n = static_cast<std::uint32_t>(program_->num_acyclic);
+  sweep_range(c, 0, n);
+  eval_count_ += n;
+  if (marked_count_ != 0) {
+    std::fill(op_dirty_.begin(), op_dirty_.end(), 0);
+    marked_count_ = 0;
+  }
+  dirty_ = false;
+}
+
+void CompiledKernel::sweep_range(const EvalCtx& c, std::uint32_t from,
+                                 std::uint32_t to) {
+  const Logic4* values = c.values;
+  // Unconditional commit: under real stimulus roughly half the outputs
+  // change per sweep, so the equality test is an unpredictable branch;
+  // one plain byte store is cheaper than one coin-flip compare.
+  auto commit1 = [&](const CompiledOp& op, Logic4 v) {
+    c.values[c.outs[op.out_begin]] = v;
+  };
+  for (const CompiledProgram::Run& run : program_->runs) {
+    if (run.end <= from) continue;
+    if (run.begin >= to) break;
+    const std::uint32_t b = std::max(run.begin, from);
+    const std::uint32_t e = std::min(run.end, to);
+    switch (run.op) {
+      case SimOp::And:
+        for (std::uint32_t i = b; i < e; ++i) {
+          const CompiledOp& op = c.ops[i];
+          commit1(op, eval_nary(kAndTable, values, c.ins + op.in_begin,
+                                op.n_in));
+        }
+        break;
+      case SimOp::Nand:
+        for (std::uint32_t i = b; i < e; ++i) {
+          const CompiledOp& op = c.ops[i];
+          const Logic4 acc =
+              eval_nary(kAndTable, values, c.ins + op.in_begin, op.n_in);
+          commit1(op, kNotTable[static_cast<std::size_t>(acc)]);
+        }
+        break;
+      case SimOp::Or:
+        for (std::uint32_t i = b; i < e; ++i) {
+          const CompiledOp& op = c.ops[i];
+          commit1(op,
+                  eval_nary(kOrTable, values, c.ins + op.in_begin, op.n_in));
+        }
+        break;
+      case SimOp::Nor:
+        for (std::uint32_t i = b; i < e; ++i) {
+          const CompiledOp& op = c.ops[i];
+          const Logic4 acc =
+              eval_nary(kOrTable, values, c.ins + op.in_begin, op.n_in);
+          commit1(op, kNotTable[static_cast<std::size_t>(acc)]);
+        }
+        break;
+      case SimOp::Xor:
+        for (std::uint32_t i = b; i < e; ++i) {
+          const CompiledOp& op = c.ops[i];
+          commit1(op,
+                  eval_nary(kXorTable, values, c.ins + op.in_begin, op.n_in));
+        }
+        break;
+      case SimOp::Not:
+        for (std::uint32_t i = b; i < e; ++i) {
+          const CompiledOp& op = c.ops[i];
+          commit1(op, kNotTable[static_cast<std::size_t>(
+                          values[c.ins[op.in_begin]])]);
+        }
+        break;
+      case SimOp::Buf:
+        for (std::uint32_t i = b; i < e; ++i) {
+          const CompiledOp& op = c.ops[i];
+          commit1(op, values[c.ins[op.in_begin]]);
+        }
+        break;
+      case SimOp::Mux:
+        for (std::uint32_t i = b; i < e; ++i) {
+          const CompiledOp& op = c.ops[i];
+          const std::uint32_t* in = c.ins + op.in_begin;
+          commit1(op, mux3(values[in[0]], values[in[1]], values[in[2]]));
+        }
+        break;
+      case SimOp::Lut:
+        for (std::uint32_t i = b; i < e; ++i) {
+          const CompiledOp& op = c.ops[i];
+          commit1(op,
+                  eval_lut_op(op.aux, values, c.ins + op.in_begin, op.n_in));
+        }
+        break;
+      default:
+        // Rom / Const / Fallback: multi-output commit via the generic path.
+        for (std::uint32_t i = b; i < e; ++i) {
+          eval_one<false>(c, i);
+        }
+        break;
+    }
+  }
+}
+
+void CompiledKernel::settle_fixpoint() {
+  // Mirror of the interpreter's bounded fixpoint: every op per pass, in
+  // the same order (topo-sorted part, then cycle members), same pass
+  // bound, same oscillation diagnosis - and identical eval counts.
+  const EvalCtx c = make_ctx();
+  const std::uint32_t num_ops = static_cast<std::uint32_t>(program_->ops.size());
+  const std::size_t max_passes = program_->ops.size() + 2;
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    for (std::uint32_t i = 0; i < num_ops; ++i) {
+      if (eval_one<false>(c, i)) changed = true;
+      ++eval_count_;
+    }
+    if (!changed) {
+      dirty_ = false;
+      return;
+    }
+  }
+  throw SimError("combinational loop did not settle (oscillation)");
+}
+
+void CompiledKernel::clock_edge() {
+  // Sample phase: compiled flip-flops read the settled value array with
+  // the interpreter's exact rules (clear dominates, then enable gates,
+  // non-binary control goes X; tech/ff.cpp). Virtual sample/commit runs
+  // between the two compiled passes, which is safe because every sample -
+  // compiled or virtual - happens before any commit.
+  const CompiledFF* ffs = program_->ffs.data();
+  const std::size_t num_ffs = program_->ffs.size();
+  const Logic4* values = values_->data();
+  Logic4* state = ff_state_.data();
+  Logic4* next_state = ff_next_.data();
+  for (std::size_t k = 0; k < num_ffs; ++k) {
+    const CompiledFF& ff = ffs[k];
+    const std::uint8_t sel =
+        kFfSelTable[(static_cast<std::size_t>(values[ff.clr]) << 2) |
+                    static_cast<std::size_t>(values[ff.ce])];
+    // Conditional-move chain (no branches, no local-array store/load).
+    Logic4 next = values[ff.d];
+    next = sel == 1 ? state[k] : next;
+    next = sel == 2 ? Logic4::Zero : next;
+    next = sel == 3 ? Logic4::X : next;
+    next_state[k] = next;
+  }
+  for (Primitive* p : seq_) p->pre_clock();
+  for (Primitive* p : seq_) p->post_clock();
+  // Commit phase: write the flip-flop states into the shared value array
+  // (which IS the nets' storage).
+  {
+    Logic4* wvalues = values_->data();
+    const bool cyclic = program_->has_comb_cycle;
+    if (!cyclic && num_ffs >= 16) {
+      // Wide register bank: commit with unconditional stores and one
+      // aggregated change flag. Any change forces the post-edge settle
+      // to sweep, which is what a wide update needs anyway - marking
+      // each q's cone op-by-op would cost more than the sweep saves.
+      unsigned changed = 0;
+      for (std::size_t k = 0; k < num_ffs; ++k) {
+        const Logic4 next = next_state[k];
+        state[k] = next;
+        const std::uint32_t id = ffs[k].q;
+        changed |= static_cast<unsigned>(wvalues[id] != next);
+        wvalues[id] = next;
+      }
+      if (changed != 0) {
+        dirty_ = true;
+        marked_count_ = std::max(marked_count_, sweep_threshold_);
+      }
+    } else {
+      // Few registers: a changed q wakes just its cone (a byte store per
+      // reader op).
+      for (std::size_t k = 0; k < num_ffs; ++k) {
+        const Logic4 next = next_state[k];
+        state[k] = next;
+        const std::uint32_t id = ffs[k].q;
+        if (wvalues[id] != next) {
+          wvalues[id] = next;
+          dirty_ = true;
+          if (!cyclic) mark_fanout(id);
+        }
+      }
+    }
+  }
+  // Remaining sequential primitives drove their output nets directly via
+  // ov() (same shared storage); wake their cones.
+  for (std::uint32_t id : program_->seq_outputs) touch_net(id);
+  // Comb ops owned by sequential primitives (async-read RAM, SRL taps)
+  // depend on internal state as well as input nets, so a clock edge must
+  // always re-evaluate them.
+  for (std::uint32_t i : program_->seq_ops) mark_op(i);
+  if (program_->has_comb_cycle) {
+    // Parity with the interpreter, which settles unconditionally after an
+    // edge (an extra confirming fixpoint pass even when nothing changed).
+    dirty_ = true;
+  }
+}
+
+void CompiledKernel::reset() {
+  // Flip-flops go through the virtual protocol so the live objects stay
+  // coherent (they are bypassed during normal cycles); their q-net writes
+  // land in the shared value array like any other sequential output.
+  for (Primitive* p : ff_prims_) p->reset();
+  for (Primitive* p : seq_) p->reset();
+  for (std::size_t k = 0; k < program_->ffs.size(); ++k) {
+    ff_state_[k] = program_->ffs[k].init;
+    ff_next_[k] = program_->ffs[k].init;
+    touch_net(program_->ffs[k].q);
+  }
+  for (std::uint32_t id : program_->seq_outputs) touch_net(id);
+  for (std::uint32_t i : program_->seq_ops) mark_op(i);
+  if (program_->has_comb_cycle) dirty_ = true;
+}
+
+}  // namespace jhdl

@@ -1,0 +1,265 @@
+// Compiled simulation kernel: the levelized primitive graph lowered into a
+// flat structure-of-arrays program evaluated by a switch-dispatch loop.
+//
+// Why: the interpreter in simulator.cpp makes one virtual propagate() call
+// per primitive per settle and re-evaluates the whole combinational
+// subgraph even when a single input bit changed. Once the paper's applet
+// has delivered the simulation model to the client, this kernel IS the hot
+// path, so it is lowered once at elaboration:
+//
+//   - a dense Logic4 value array indexed by net id (the HWSystem arena
+//     hands out ids 0..n-1 in construction order, so the array is exact);
+//   - one opcode record per combinational primitive (AND/OR/XOR/NAND/NOR/
+//     NOT/BUF/MUX/LUT/ROM/CONST plus a Fallback opcode that calls the
+//     original virtual propagate() for exotic primitives), with all input
+//     and output net ids in flat side arrays;
+//   - precomputed fanout lists (CSR over net id -> reader op indices) and
+//     per-op levels, so settling is event-driven: only the fan-out cone
+//     of nets that actually changed is re-evaluated. Acyclic ops are
+//     scheduled by (level, opcode) - equal-level ops are independent, so
+//     grouping by opcode keeps a valid topological order while turning
+//     the full-graph sweep into long same-opcode runs with one dispatch
+//     per run instead of one indirect branch per op;
+//   - flip-flops (FD/FDC/FDCE/FDRE) lowered into flat sample/commit
+//     records so a clock edge is two tight array passes instead of two
+//     virtual calls per flip-flop (RAMs, SRLs and BRAMs keep the virtual
+//     two-phase protocol).
+//
+// Settling is adaptive: when only a few ops are dirty a linear scan of
+// the per-op dirty bytes re-evaluates just the changed cone (marking a
+// reader is one idempotent byte store; scan order is the topological op
+// order, so a cascade only ever marks ops ahead of the scan); once the
+// dirty set passes a quarter of the graph - at settle entry or mid-scan -
+// the kernel finishes with the flat opcode-run sweep instead, which is
+// cheaper than bookkeeping a change wave that touches everything (broad
+// random stimulus, clock edges that flip most registers). Either way a
+// settle evaluates each op at most once, so the evaluation count never
+// exceeds the interpreter's full pass.
+//
+// The CompiledProgram is immutable and *shareable*: it references nets and
+// primitives by id/ordinal, never by pointer, so every session elaborated
+// from the same (module, params) pair can reuse one program while keeping
+// its own CompiledKernel (value array + its own primitive instances for
+// sequential state). The DeliveryService's elaboration cache relies on
+// module generators being deterministic: identical parameters produce an
+// identical net/primitive numbering.
+//
+// Net values live in the HWSystem's dense per-id array (hwsystem.h) and
+// Net::value() reads that same storage, so the kernel evaluates *in place*:
+// one byte store updates both the fast path and every Net-level observer
+// (Wire::value(), waveform probes, testbenches) with no write-through pass.
+//
+// Graphs with combinational cycles keep the interpreter's bounded-fixpoint
+// semantics: every op is evaluated per pass (same order, same eval counts,
+// same oscillation diagnosis), just through the opcode dispatch instead of
+// virtual calls.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hdl/hwsystem.h"
+#include "hdl/primitive.h"
+#include "util/logic.h"
+
+namespace jhdl {
+
+/// Opcode of one lowered combinational primitive.
+enum class SimOp : std::uint8_t {
+  And,       ///< n-ary AND, 0 dominates
+  Or,        ///< n-ary OR, 1 dominates
+  Xor,       ///< n-ary XOR, any X/Z input -> X
+  Nand,      ///< n-ary AND then NOT
+  Nor,       ///< n-ary OR then NOT
+  Not,       ///< inverter
+  Buf,       ///< route-through (Buf, Ibuf, Obuf)
+  Mux,       ///< o = s ? i1 : i0 (Mux2, MuxCY, MuxF5 pin orders unified)
+  Lut,       ///< 1..4-input truth table with X-agreement semantics
+  Rom,       ///< Rom16: 4-bit address, W data bits; contents read live
+  Const,     ///< constant driver (Gnd, Vcc, Constant)
+  Fallback,  ///< anything else: call the primitive's virtual propagate()
+};
+
+/// One lowered primitive. Input/output net ids live in the program's flat
+/// `inputs` / `outputs` arrays; `aux` is opcode-specific (Lut: INIT truth
+/// table; Const: index into `const_values`; Rom/Fallback: index into
+/// `live_prims`).
+struct CompiledOp {
+  SimOp op = SimOp::Fallback;
+  std::uint16_t n_in = 0;
+  std::uint16_t n_out = 0;
+  std::uint16_t level = 0;  ///< levelized depth (0 for cyclic-graph ops)
+  std::uint32_t in_begin = 0;
+  std::uint32_t out_begin = 0;
+  std::uint32_t aux = 0;
+};
+
+/// A flip-flop lowered to flat net ids: sampled and committed by the
+/// kernel directly, no virtual dispatch. Variants without a CE / CLR pin
+/// point at the kernel's constant One / Zero pseudo-net slots (indices
+/// num_nets and num_nets + 1), so the sample loop is uniform and
+/// branchless; clear dominates enable, both with the interpreter's X
+/// rules (tech/ff.cpp).
+struct CompiledFF {
+  std::uint32_t d = 0;
+  std::uint32_t ce = 0;
+  std::uint32_t clr = 0;
+  std::uint32_t q = 0;
+  Logic4 init = Logic4::Zero;
+};
+
+/// The immutable, session-shareable compiled form of one elaborated
+/// circuit. Everything is by net id / primitive ordinal so a second
+/// deterministic elaboration of the same generator + params can bind it.
+struct CompiledProgram {
+  std::size_t num_nets = 0;
+  std::size_t num_prims = 0;  ///< collect_primitives() size (bind check)
+  bool has_comb_cycle = false;
+
+  std::vector<CompiledOp> ops;  ///< acyclic prims sorted by (level, opcode)
+                                ///< - a topological order - then cyclic
+  std::size_t num_acyclic = 0;
+  /// Same-opcode spans of the sorted acyclic prefix: the sweep dispatches
+  /// once per run and evaluates each span in a tight specialized loop.
+  struct Run {
+    SimOp op = SimOp::Fallback;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+  std::vector<Run> runs;
+  std::vector<std::uint32_t> inputs;       ///< flat input net ids
+  std::vector<std::uint32_t> outputs;      ///< flat output net ids
+  std::vector<std::uint64_t> const_values; ///< Const opcode payloads
+  /// Primitive ordinals (index into collect_primitives() order) for ops
+  /// that need the live instance at eval time (Rom contents can be
+  /// watermarked after elaboration; Fallback calls virtual propagate()).
+  std::vector<std::uint32_t> live_prims;
+
+  /// Fanout CSR: ops reading net `id` are fanout[fanout_begin[id] ..
+  /// fanout_begin[id+1]).
+  std::vector<std::uint32_t> fanout_begin;
+  std::vector<std::uint32_t> fanout;
+
+  /// Flip-flops lowered to flat records (not in seq_prims/seq_outputs);
+  /// `ff_prims` holds their ordinals for reset(), which still goes through
+  /// the virtual protocol to keep the live objects coherent.
+  std::vector<CompiledFF> ffs;
+  std::vector<std::uint32_t> ff_prims;
+
+  std::vector<std::uint32_t> seq_prims;    ///< ordinals of sequential prims
+                                           ///< kept on the virtual protocol
+  std::vector<std::uint32_t> seq_outputs;  ///< their output net ids (flat)
+  /// Op indices owned by sequential primitives (async-read RAM / SRL tap
+  /// logic): re-marked dirty after every clock edge because their output
+  /// depends on internal state, not only on input nets.
+  std::vector<std::uint32_t> seq_ops;
+
+  std::uint16_t max_level = 0;
+  /// FNV-1a over the structural arrays; equal programs from equal builds.
+  std::uint64_t fingerprint = 0;
+
+  /// True when this program can drive a simulator over `system` (same net
+  /// count and primitive count - the determinism contract's cheap check).
+  bool binds(const HWSystem& system, std::size_t prim_count) const {
+    return num_nets == system.net_count() && num_prims == prim_count;
+  }
+};
+
+/// Lower an elaborated circuit. `comb_order` / `comb_cyclic` / `sequential`
+/// are the Simulator's levelization results; `all_prims` is the full
+/// collect_primitives() order used for primitive ordinals.
+std::shared_ptr<const CompiledProgram> compile_program(
+    const HWSystem& system, const std::vector<Primitive*>& all_prims,
+    const std::vector<Primitive*>& comb_order,
+    const std::vector<Primitive*>& comb_cyclic,
+    const std::vector<Primitive*>& sequential);
+
+/// Per-session executor: evaluates over the HWSystem's dense net-value
+/// array and owns the dirty-op worklist, binding a shared CompiledProgram
+/// to one HWSystem instance.
+class CompiledKernel {
+ public:
+  /// Binds `program` to `system`. `all_prims` must be the system's
+  /// collect_primitives() order (same ordinals the program was compiled
+  /// against). Throws SimError if the program does not fit.
+  CompiledKernel(HWSystem& system,
+                 std::shared_ptr<const CompiledProgram> program,
+                 const std::vector<Primitive*>& all_prims);
+
+  CompiledKernel(const CompiledKernel&) = delete;
+  CompiledKernel& operator=(const CompiledKernel&) = delete;
+
+  const std::shared_ptr<const CompiledProgram>& program() const {
+    return program_;
+  }
+
+  /// External (testbench) write into the shared value array; marks the
+  /// fanout cone dirty when the value actually changed.
+  void write_net(Net* net, Logic4 value);
+
+  /// Event-driven settling (bounded fixpoint when the graph has a
+  /// combinational cycle). Throws SimError on oscillation.
+  void settle();
+
+  /// Two-phase clock edge over the sequential primitives, then marks the
+  /// cones of every sequential output that changed.
+  void clock_edge();
+
+  /// Power-on reset of sequential state + cone marking.
+  void reset();
+
+  bool dirty() const { return dirty_; }
+  /// Combinational evaluations performed so far (event-driven: only ops
+  /// actually re-evaluated; fixpoint: every op per pass, matching the
+  /// interpreter).
+  std::size_t eval_count() const { return eval_count_; }
+
+  Logic4 value(const Net* net) const { return (*values_)[net->id()]; }
+
+ private:
+  /// Raw-pointer snapshot of the program/value arrays. Logic4 stores are
+  /// byte stores, which the compiler must assume can alias the member
+  /// vectors' internals; hoisting the base pointers into locals before a
+  /// settle loop removes per-op reloads of six dependent pointers.
+  struct EvalCtx;
+  EvalCtx make_ctx();
+  /// Evaluate op `i`; returns true when any output net changed. When
+  /// `Mark` is set, changed outputs mark their fanout dirty.
+  template <bool Mark>
+  bool eval_one(const EvalCtx& c, std::uint32_t i);
+  void mark_op(std::uint32_t i);
+  void mark_fanout(std::uint32_t net_id);
+  /// Wake the cone of a net written behind the kernel's back (sequential
+  /// ov() writes land directly in the shared value array, so the new value
+  /// is already visible - only the marking is needed, conservatively).
+  void touch_net(std::uint32_t net_id);
+  /// Linear scan of the dirty bytes in topological op order; escalates to
+  /// sweep_range for the remainder once the marked set crosses the
+  /// threshold mid-scan.
+  void settle_event_driven();
+  /// One flat pass over every acyclic op, event bookkeeping off. Taken
+  /// when the dirty set is too large for marking to pay.
+  void settle_sweep();
+  /// Evaluate acyclic ops [from, to) through the opcode-run table.
+  void sweep_range(const EvalCtx& c, std::uint32_t from, std::uint32_t to);
+  void settle_fixpoint();
+
+  std::shared_ptr<const CompiledProgram> program_;
+  /// The bound HWSystem's dense net-value array (shared with Net::value();
+  /// extended by two constant pseudo-slots for flip-flops missing CLR/CE).
+  std::vector<Logic4>* values_ = nullptr;
+  std::vector<Primitive*> live_prims_;   // per program_->live_prims
+  std::vector<Primitive*> seq_;          // per program_->seq_prims
+  std::vector<Primitive*> ff_prims_;     // per program_->ff_prims (reset)
+  std::vector<Logic4> ff_state_;         // committed flip-flop state
+  std::vector<Logic4> ff_next_;          // sampled next state
+  std::vector<Logic4> fb_old_;           // Fallback output snapshot scratch
+  std::vector<std::uint8_t> op_dirty_;
+  std::size_t eval_count_ = 0;
+  std::size_t marked_count_ = 0;   // ops currently marked dirty
+  std::size_t sweep_threshold_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace jhdl

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <cstdlib>
+#include <string>
 #include <unordered_map>
 
 #include "hdl/error.h"
@@ -7,12 +9,42 @@
 
 namespace jhdl {
 
-Simulator::Simulator(HWSystem& system) : system_(system) { elaborate(); }
+SimMode default_sim_mode() {
+  const char* env = std::getenv("JHDL_SIM_MODE");
+  if (env != nullptr) {
+    const std::string v(env);
+    if (v == "interpreted" || v == "interp" || v == "0") {
+      return SimMode::Interpreted;
+    }
+    if (v == "compiled" || v == "1") return SimMode::Compiled;
+  }
+  return SimMode::Compiled;
+}
+
+Simulator::Simulator(HWSystem& system, SimOptions options)
+    : system_(system), mode_(options.mode) {
+  elaborate();
+  if (mode_ == SimMode::Compiled) {
+    if (options.program != nullptr &&
+        options.program->binds(system_, all_prims_.size())) {
+      program_ = std::move(options.program);
+    } else {
+      // No program supplied, or a cached one that does not fit this
+      // circuit (determinism contract violated): compile fresh.
+      program_ = compile_program(system_, all_prims_, comb_order_,
+                                 comb_cyclic_, sequential_);
+    }
+    kernel_ =
+        std::make_unique<CompiledKernel>(system_, program_, all_prims_);
+  }
+}
+
+Simulator::~Simulator() = default;
 
 void Simulator::elaborate() {
-  std::vector<Primitive*> prims = collect_primitives(system_);
+  all_prims_ = collect_primitives(system_);
   std::vector<Primitive*> comb;
-  for (Primitive* p : prims) {
+  for (Primitive* p : all_prims_) {
     if (p->sequential()) sequential_.push_back(p);
     // Primitives with a combinational input->output path take part in
     // settling; this includes async-read RAMs, which are also clocked.
@@ -63,6 +95,10 @@ void Simulator::elaborate() {
 }
 
 void Simulator::settle() {
+  if (kernel_ != nullptr) {
+    kernel_->settle();
+    return;
+  }
   if (!has_comb_cycle_) {
     for (Primitive* p : comb_order_) {
       p->propagate();
@@ -75,13 +111,13 @@ void Simulator::settle() {
   // fixpoint. Bounded by the primitive count (longest possible dependency
   // chain) plus slack; non-convergence means an oscillating loop.
   const std::size_t max_passes = comb_order_.size() + comb_cyclic_.size() + 2;
+  std::vector<Logic4> before;
   for (std::size_t pass = 0; pass < max_passes; ++pass) {
     bool changed = false;
     auto eval = [&](Primitive* p) {
       // Compare output values around the evaluation to detect change.
       const auto& outs = p->output_nets();
-      std::vector<Logic4> before;
-      before.reserve(outs.size());
+      before.clear();
       for (Net* n : outs) before.push_back(n->value());
       p->propagate();
       ++eval_count_;
@@ -106,12 +142,21 @@ void Simulator::put(Wire* wire, const BitVector& value) {
                    std::to_string(wire->width()) + " bits, value " +
                    std::to_string(value.width()) + " bits");
   }
+  bool changed = false;
   for (std::size_t i = 0; i < wire->width(); ++i) {
     Net* n = wire->net(i);
     if (n->driver_kind() != DriverKind::External) n->bind_external();
-    n->set_value(value.get(i));
+    const Logic4 v = value.get(i);
+    if (kernel_ != nullptr) {
+      kernel_->write_net(n, v);
+    } else if (n->value() != v) {
+      n->set_value(v);
+      changed = true;
+    }
   }
-  dirty_ = true;
+  // Only a value that actually changed requires re-settling; a repeated
+  // put of the same stimulus is a no-op.
+  if (changed) dirty_ = true;
 }
 
 void Simulator::put(Wire* wire, std::uint64_t value) {
@@ -124,31 +169,74 @@ void Simulator::put_signed(Wire* wire, std::int64_t value) {
 
 BitVector Simulator::get(Wire* wire) {
   if (wire == nullptr) throw HdlError("get on null wire");
-  if (dirty_) settle();
+  propagate();
   return wire->value();
 }
 
 void Simulator::propagate() {
+  if (kernel_ != nullptr) {
+    kernel_->settle();
+    return;
+  }
   if (dirty_) settle();
 }
 
 void Simulator::cycle(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
-    if (dirty_) settle();
-    for (Primitive* p : sequential_) p->pre_clock();
-    for (Primitive* p : sequential_) p->post_clock();
-    eval_count_ += 2 * sequential_.size();
-    dirty_ = true;
-    settle();
+    if (kernel_ != nullptr) {
+      kernel_->settle();
+      kernel_->clock_edge();
+      eval_count_ += 2 * sequential_.size();
+      kernel_->settle();
+    } else {
+      if (dirty_) settle();
+      for (Primitive* p : sequential_) p->pre_clock();
+      for (Primitive* p : sequential_) p->post_clock();
+      eval_count_ += 2 * sequential_.size();
+      dirty_ = true;
+      settle();
+    }
     ++cycle_count_;
     for (auto& fn : observers_) fn(cycle_count_);
   }
 }
 
+std::vector<std::vector<BitVector>> Simulator::cycle_batch(
+    std::size_t n, const std::vector<BatchStimulus>& stimulus,
+    const std::vector<Wire*>& probes) {
+  for (const auto& s : stimulus) {
+    if (s.wire == nullptr) throw HdlError("cycle_batch on null wire");
+    if (s.values.size() != n) {
+      throw HdlError("cycle_batch stimulus for wire '" + s.wire->name() +
+                     "' has " + std::to_string(s.values.size()) +
+                     " values for " + std::to_string(n) + " cycles");
+    }
+  }
+  std::vector<std::vector<BitVector>> result(probes.size());
+  for (auto& column : result) column.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (const auto& s : stimulus) put(s.wire, s.values[t]);
+    cycle(1);
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      result[p].push_back(get(probes[p]));
+    }
+  }
+  return result;
+}
+
 void Simulator::reset() {
+  if (kernel_ != nullptr) {
+    kernel_->reset();
+    kernel_->settle();
+    return;
+  }
   for (Primitive* p : sequential_) p->reset();
   dirty_ = true;
   settle();
+}
+
+std::size_t Simulator::eval_count() const {
+  return eval_count_ + (kernel_ != nullptr ? kernel_->eval_count() : 0);
 }
 
 void Simulator::add_cycle_observer(std::function<void(std::size_t)> fn) {

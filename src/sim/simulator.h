@@ -11,6 +11,20 @@
 // back to bounded fixpoint iteration and throws SimError if the cycle does
 // not converge (e.g. a ring oscillator).
 //
+// Two execution engines sit behind the same API:
+//
+//   - SimMode::Compiled (default): the levelized graph is lowered into a
+//     flat opcode program (sim/compiled_kernel.h) and settling is
+//     event-driven - only the fan-out cone of changed nets re-evaluates.
+//     A pre-compiled program can be injected through SimOptions so
+//     sessions elaborated from the same (module, params) share one.
+//   - SimMode::Interpreted: the original one-virtual-call-per-primitive
+//     walk; selectable per instance or globally via JHDL_SIM_MODE
+//     ("interpreted" / "compiled").
+//
+// Both produce bit-exact wire values; eval_count() differs in compiled
+// mode (event-driven skips primitives whose inputs did not change).
+//
 // Typical use:
 //
 //   Simulator sim(hw);
@@ -22,13 +36,40 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "hdl/hwsystem.h"
 #include "hdl/primitive.h"
+#include "sim/compiled_kernel.h"
 #include "util/bitvector.h"
 
 namespace jhdl {
+
+/// Which evaluation engine a Simulator runs.
+enum class SimMode {
+  Interpreted,  ///< virtual propagate() per primitive, full re-settle
+  Compiled,     ///< flat opcode program, event-driven settling
+};
+
+/// Process-wide default mode: JHDL_SIM_MODE env var ("interpreted" /
+/// "compiled"), SimMode::Compiled when unset.
+SimMode default_sim_mode();
+
+/// Construction options for Simulator.
+struct SimOptions {
+  SimMode mode = default_sim_mode();
+  /// Optional pre-compiled program for SimMode::Compiled (the delivery
+  /// service's elaboration cache). Ignored in interpreted mode; if it does
+  /// not bind to the circuit a fresh program is compiled instead.
+  std::shared_ptr<const CompiledProgram> program;
+};
+
+/// Per-wire input stream for Simulator::cycle_batch.
+struct BatchStimulus {
+  Wire* wire = nullptr;
+  std::vector<BitVector> values;  ///< one value per batched cycle
+};
 
 /// Cycle-based simulator over an HWSystem.
 class Simulator {
@@ -36,10 +77,11 @@ class Simulator {
   /// Elaborates immediately: collects primitives, levelizes combinational
   /// logic, applies power-on values. The circuit must not change after
   /// the simulator is constructed.
-  explicit Simulator(HWSystem& system);
+  explicit Simulator(HWSystem& system, SimOptions options = {});
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
 
   /// Drive a wire from the testbench (claims external driver slots on
   /// first use; throws HdlError if a primitive drives it). Values wider
@@ -59,14 +101,23 @@ class Simulator {
   /// Advance `n` clock cycles.
   void cycle(std::size_t n = 1);
 
+  /// Batched evaluation: per cycle t, apply stimulus[...].values[t], clock
+  /// once, sample every probe. Returns one value column per probe wire
+  /// (probes.size() x n). Throws HdlError if any stimulus stream is not
+  /// exactly n values long.
+  std::vector<std::vector<BitVector>> cycle_batch(
+      std::size_t n, const std::vector<BatchStimulus>& stimulus,
+      const std::vector<Wire*>& probes);
+
   /// Restore all sequential state to power-on values and re-settle.
   void reset();
 
   std::size_t cycle_count() const { return cycle_count_; }
 
   /// Number of primitive evaluations performed so far (perf metric used by
-  /// the benchmarks).
-  std::size_t eval_count() const { return eval_count_; }
+  /// the benchmarks). In compiled mode this counts only the ops actually
+  /// re-evaluated by event-driven settling.
+  std::size_t eval_count() const;
 
   /// Observers run after every cycle() step (waveform recorders hook here).
   void add_cycle_observer(std::function<void(std::size_t)> fn);
@@ -76,14 +127,26 @@ class Simulator {
   /// True if elaboration found a combinational cycle (iterative fallback).
   bool has_comb_cycle() const { return has_comb_cycle_; }
 
+  SimMode mode() const { return mode_; }
+
+  /// The compiled program driving this simulator (null in interpreted
+  /// mode). Shareable with other simulators over identical circuits.
+  const std::shared_ptr<const CompiledProgram>& compiled_program() const {
+    return program_;
+  }
+
  private:
   void elaborate();
   void settle();
 
   HWSystem& system_;
+  SimMode mode_;
+  std::vector<Primitive*> all_prims_;    // collect_primitives() order
   std::vector<Primitive*> comb_order_;   // levelized combinational prims
   std::vector<Primitive*> comb_cyclic_;  // prims in comb cycles (fixpoint)
   std::vector<Primitive*> sequential_;
+  std::shared_ptr<const CompiledProgram> program_;
+  std::unique_ptr<CompiledKernel> kernel_;
   std::vector<std::function<void(std::size_t)>> observers_;
   std::size_t cycle_count_ = 0;
   std::size_t eval_count_ = 0;

@@ -26,6 +26,14 @@ class FlipFlop : public Primitive {
 
   Logic4 state() const { return state_; }
 
+  // Pin layout + power-on value, exposed so the compiled simulation kernel
+  // (sim/compiled_kernel.cpp) can lower flip-flops into flat records
+  // instead of paying two virtual calls per primitive per clock edge.
+  int d_pin() const { return d_pin_; }
+  int ce_pin() const { return ce_pin_; }    ///< -1 when the variant lacks CE
+  int clr_pin() const { return clr_pin_; }  ///< -1 when the variant lacks CLR
+  Logic4 init_value() const { return init_; }
+
  protected:
   /// `ce` and/or `clr` may be null when the variant lacks the pin.
   /// `clr_pin_name` is the library pin name ("clr" for FDC/FDCE, "r" for

@@ -22,6 +22,8 @@ class NaryGate : public Primitive {
   void propagate() override;
   Resources resources() const override;
 
+  Op op() const { return op_; }
+
  protected:
   NaryGate(Cell* parent, Op op, const std::string& type,
            std::vector<Wire*> ins, Wire* out);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/protect.h"
+#include "hdl/error.h"
 #include "hdl/hwsystem.h"
 #include "hdl/visitor.h"
 #include "netlist/netlist.h"
@@ -174,6 +175,160 @@ TEST_P(RandomCircuitTest, ObfuscationPreservesBehaviour) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
                                            144, 233));
+
+// ---------------------------------------------------------------------------
+// Differential parity: interpreted vs compiled kernel.
+//
+// Circuit construction is deterministic from the seed, so two RandomCircuit
+// instances are structurally identical (same net ids, same primitive
+// order); one runs the interpreter, one the compiled kernel, and every net
+// of every settled state must agree bit-for-bit - including X propagation.
+// ---------------------------------------------------------------------------
+
+Simulator make_sim(HWSystem& hw, SimMode mode) {
+  SimOptions options;
+  options.mode = mode;
+  return Simulator(hw, options);
+}
+
+/// Compare EVERY net (not just outputs) between the two instances.
+void expect_all_nets_equal(const HWSystem& a, const HWSystem& b,
+                           const char* where) {
+  ASSERT_EQ(a.net_count(), b.net_count());
+  for (std::size_t i = 0; i < a.net_count(); ++i) {
+    EXPECT_EQ(a.nets()[i]->value(), b.nets()[i]->value())
+        << where << ": net " << i << " (" << a.nets()[i]->name() << ")";
+  }
+}
+
+TEST_P(RandomCircuitTest, CompiledKernelMatchesInterpreterBitExact) {
+  RandomCircuit rc_interp(GetParam(), 6, 40);
+  RandomCircuit rc_comp(GetParam(), 6, 40);
+  Simulator interp = make_sim(rc_interp.hw, SimMode::Interpreted);
+  Simulator comp = make_sim(rc_comp.hw, SimMode::Compiled);
+  ASSERT_NE(comp.compiled_program(), nullptr);
+  ASSERT_EQ(interp.compiled_program(), nullptr);
+
+  Rng rng(GetParam() * 97 + 3);
+  for (int iter = 0; iter < 50; ++iter) {
+    // Four-state stimulus: some bits driven X to exercise the X-pessimism
+    // tables, not just the boolean subset.
+    for (std::size_t i = 0; i < rc_interp.inputs.size(); ++i) {
+      const std::uint64_t roll = rng.below(10);
+      const BitVector v = roll == 0 ? BitVector::from_string("x")
+                                    : BitVector::from_uint(1, roll & 1);
+      interp.put(rc_interp.inputs[i], v);
+      comp.put(rc_comp.inputs[i], v);
+    }
+    interp.propagate();
+    comp.propagate();
+    expect_all_nets_equal(rc_interp.hw, rc_comp.hw, "after settle");
+  }
+}
+
+TEST_P(RandomCircuitTest, CompiledEvalCountNeverExceedsInterpreter) {
+  // Event-driven settling only re-evaluates the fan-out cone of changed
+  // nets, so its eval count is a lower bound of the interpreter's
+  // full-graph walk - that asymmetry IS the optimization, and the values
+  // still match (previous test). Equality is not required here by design.
+  RandomCircuit rc_interp(GetParam(), 6, 40);
+  RandomCircuit rc_comp(GetParam(), 6, 40);
+  Simulator interp = make_sim(rc_interp.hw, SimMode::Interpreted);
+  Simulator comp = make_sim(rc_comp.hw, SimMode::Compiled);
+  Rng rng(GetParam() * 13 + 5);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::uint64_t bits = rng.next() & 0x3F;
+    for (std::size_t i = 0; i < rc_interp.inputs.size(); ++i) {
+      interp.put(rc_interp.inputs[i], (bits >> i) & 1);
+      comp.put(rc_comp.inputs[i], (bits >> i) & 1);
+    }
+    interp.propagate();
+    comp.propagate();
+  }
+  EXPECT_LE(comp.eval_count(), interp.eval_count());
+
+  // A repeated identical stimulus is a no-op in BOTH engines (put only
+  // dirties on change), so neither count moves.
+  const std::size_t interp_before = interp.eval_count();
+  const std::size_t comp_before = comp.eval_count();
+  for (std::size_t i = 0; i < rc_interp.inputs.size(); ++i) {
+    const BitVector v = interp.get(rc_interp.inputs[i]);
+    interp.put(rc_interp.inputs[i], v);
+    comp.put(rc_comp.inputs[i], v);
+  }
+  interp.propagate();
+  comp.propagate();
+  EXPECT_EQ(interp.eval_count(), interp_before);
+  EXPECT_EQ(comp.eval_count(), comp_before);
+}
+
+/// A cross-coupled NOR latch plus the random DAG: the combinational cycle
+/// forces both engines onto their fixpoint path, where eval counts must
+/// match EXACTLY (the compiled kernel mirrors the interpreter's
+/// every-op-per-pass iteration, order included).
+struct LatchedCircuit {
+  HWSystem hw;
+  Wire* set;
+  Wire* reset;
+  Wire* q;
+  Wire* qn;
+
+  LatchedCircuit() {
+    set = new Wire(&hw, 1, "set");
+    reset = new Wire(&hw, 1, "reset");
+    q = new Wire(&hw, 1, "q");
+    qn = new Wire(&hw, 1, "qn");
+    new tech::Nor2(&hw, reset, qn, q);
+    new tech::Nor2(&hw, set, q, qn);
+  }
+};
+
+TEST(CombCycleParityTest, FixpointMatchesInterpreterExactly) {
+  LatchedCircuit a;
+  LatchedCircuit b;
+  Simulator interp = make_sim(a.hw, SimMode::Interpreted);
+  Simulator comp = make_sim(b.hw, SimMode::Compiled);
+  ASSERT_TRUE(interp.has_comb_cycle());
+  ASSERT_TRUE(comp.has_comb_cycle());
+
+  // Walk the latch through set / hold / reset / hold and compare every
+  // net and the exact eval counts at each step.
+  const std::uint64_t seq[][2] = {{1, 0}, {0, 0}, {0, 1}, {0, 0}, {1, 0}};
+  for (const auto& sr : seq) {
+    interp.put(a.set, sr[0]);
+    interp.put(a.reset, sr[1]);
+    comp.put(b.set, sr[0]);
+    comp.put(b.reset, sr[1]);
+    interp.propagate();
+    comp.propagate();
+    expect_all_nets_equal(a.hw, b.hw, "latch");
+    EXPECT_EQ(comp.eval_count(), interp.eval_count());
+  }
+  EXPECT_EQ(interp.get(a.q).to_uint(), 1u);
+  EXPECT_EQ(comp.get(b.q).to_uint(), 1u);
+}
+
+TEST(CombCycleParityTest, OscillationThrowsInBothModes) {
+  // An undriven inverter ring settles at the X fixpoint (Not(X) = X), so
+  // binary values must be forced into the loop first: with force=1 the OR
+  // pins the ring at (1, 0); dropping force to 0 turns it into a pure
+  // inverting ring holding binary values, which can never converge.
+  for (const SimMode mode : {SimMode::Interpreted, SimMode::Compiled}) {
+    HWSystem hw;
+    Wire* force = new Wire(&hw, 1, "force");
+    Wire* loop = new Wire(&hw, 1, "loop");
+    Wire* fed = new Wire(&hw, 1, "fed");
+    new tech::Inv(&hw, loop, fed);
+    new tech::Or2(&hw, force, fed, loop);
+    Simulator sim = make_sim(hw, mode);
+    sim.put(force, 1);
+    sim.propagate();
+    EXPECT_EQ(sim.get(loop).to_uint(), 1u);
+    EXPECT_EQ(sim.get(fed).to_uint(), 0u);
+    sim.put(force, 0);
+    EXPECT_THROW(sim.propagate(), SimError);
+  }
+}
 
 }  // namespace
 }  // namespace jhdl

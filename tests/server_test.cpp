@@ -656,6 +656,207 @@ TEST(SimServerTest, StopSendsByeToBlockedClient) {
   server.stop();  // idempotent
 }
 
+// ---------------------------------------------------------------------
+// Protocol v4: elaboration cache, CycleBatch, and v3 compatibility.
+// ---------------------------------------------------------------------
+
+TEST(DeliveryServiceTest, IdenticalSessionsShareOneCompiledProgram) {
+  if (default_sim_mode() != SimMode::Compiled) {
+    GTEST_SKIP() << "elaboration cache only operates in compiled mode";
+  }
+  DeliveryService service(make_catalog());
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "kcm-multiplier";
+  spec.params["input_width"] = 8;
+  spec.params["constant"] = -56;
+  spec.params["signed_mode"] = 1;
+  SimClient a(port, spec);
+  SimClient b(port, spec);  // identical (module, params): must share
+
+  ServerStats::Snapshot s = service.stats().snapshot();
+  EXPECT_EQ(s.programs_compiled, 1u);
+  EXPECT_EQ(s.program_shares, 1u);
+
+  // Sharing must not entangle the sessions' state.
+  std::map<std::string, BitVector> inputs;
+  inputs["multiplicand"] = BitVector::from_int(8, 11);
+  EXPECT_EQ(a.eval(inputs, 0).at("product").to_int(), -56 * 11);
+  inputs["multiplicand"] = BitVector::from_int(8, -3);
+  EXPECT_EQ(b.eval(inputs, 0).at("product").to_int(), -56 * -3);
+  inputs["multiplicand"] = BitVector::from_int(8, 11);
+  EXPECT_EQ(a.eval(inputs, 0).at("product").to_int(), -56 * 11);
+
+  // A different parameter assignment compiles its own program.
+  spec.params["constant"] = 7;
+  SimClient c(port, spec);
+  s = service.stats().snapshot();
+  EXPECT_EQ(s.programs_compiled, 2u);
+  EXPECT_EQ(s.program_shares, 1u);
+
+  a.bye();
+  b.bye();
+  c.bye();
+  service.stop();
+}
+
+TEST(DeliveryServiceTest, CycleBatchRoundTripOverTheWire) {
+  DeliveryService service(make_catalog());
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "kcm-multiplier";
+  spec.params["input_width"] = 8;
+  spec.params["constant"] = 9;
+  spec.params["signed_mode"] = 1;
+  spec.params["pipelined_mode"] = 1;
+  SimClient batch_client(port, spec);
+  SimClient step_client(port, spec);
+  ASSERT_EQ(batch_client.negotiated_protocol(), kProtocolVersion);
+
+  const std::size_t n = 24;
+  std::vector<BitVector> xs;
+  for (std::size_t t = 0; t < n; ++t) {
+    xs.push_back(BitVector::from_int(8, static_cast<std::int64_t>(t) - 12));
+  }
+  const std::size_t before = batch_client.round_trips();
+  auto batch = batch_client.cycle_batch(n, {{"multiplicand", xs}});
+  // The whole batch rode ONE round trip (the point of the message).
+  EXPECT_EQ(batch_client.round_trips(), before + 1);
+  ASSERT_EQ(batch.count("product"), 1u);
+  ASSERT_EQ(batch.at("product").size(), n);
+
+  // Same stimulus through per-cycle Evals on a second session.
+  for (std::size_t t = 0; t < n; ++t) {
+    std::map<std::string, BitVector> inputs;
+    inputs["multiplicand"] = xs[t];
+    auto out = step_client.eval(inputs, 1);
+    EXPECT_EQ(batch.at("product")[t].to_string(),
+              out.at("product").to_string())
+        << "cycle " << t;
+  }
+
+  batch_client.bye();
+  step_client.bye();
+  service.stop();
+}
+
+TEST(DeliveryServiceTest, OversizedCycleBatchGetsTypedError) {
+  DeliveryService service(make_catalog());
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  TcpStream raw = TcpStream::connect(port);
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.customer = "acme";
+  hello.name = "carry-adder";
+  hello.params["width"] = 8;
+  raw.send_frame(encode(hello));
+  ASSERT_EQ(decode(raw.recv_frame()).type, MsgType::Iface);
+
+  Message batch;
+  batch.type = MsgType::CycleBatch;
+  batch.count = kMaxCycleBatch + 1;
+  raw.send_frame(encode(batch));
+  Message err = decode(raw.recv_frame());
+  ASSERT_EQ(err.type, MsgType::Error);
+  EXPECT_EQ(err.code, ErrorCode::BadRequest);
+  EXPECT_NE(err.text.find("batch"), std::string::npos) << err.text;
+
+  // The session survived the refusal; an in-range batch works.
+  batch.count = 2;
+  batch.series["a"] = {BitVector::from_uint(8, 1), BitVector::from_uint(8, 2)};
+  batch.series["b"] = {BitVector::from_uint(8, 5), BitVector::from_uint(8, 6)};
+  raw.send_frame(encode(batch));
+  Message values = decode(raw.recv_frame());
+  ASSERT_EQ(values.type, MsgType::BatchValues);
+  ASSERT_EQ(values.series.at("s").size(), 2u);
+  EXPECT_EQ(values.series.at("s")[0].to_uint(), 6u);
+  EXPECT_EQ(values.series.at("s")[1].to_uint(), 8u);
+
+  Message bye;
+  bye.type = MsgType::Bye;
+  raw.send_frame(encode(bye));
+  raw.close();
+  service.stop();
+}
+
+TEST(DeliveryServiceTest, V3ClientCompletesFullSession) {
+  DeliveryService service(make_catalog());
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  TcpStream raw = TcpStream::connect(port);
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.customer = "acme";
+  hello.name = "carry-adder";
+  hello.params["width"] = 8;
+  // encode() stamps the current version; rewrite the little-endian u16
+  // at payload bytes [5,6] (after type byte + u32 magic) to speak v3.
+  std::vector<std::uint8_t> frame = encode(hello);
+  frame[5] = 3;
+  frame[6] = 0;
+  raw.send_frame(frame);
+  Message iface = decode(raw.recv_frame());
+  ASSERT_EQ(iface.type, MsgType::Iface);
+  // Negotiation: min(client 3, server 4) = 3, echoed in the descriptor.
+  Json desc = Json::parse(iface.text);
+  ASSERT_TRUE(desc.has("protocol"));
+  EXPECT_EQ(desc.at("protocol").as_int(), 3);
+
+  // A complete v3 co-sim session: fine-grained set/cycle/get, then the
+  // coarse Eval transaction, then a polite Bye. No CycleBatch anywhere.
+  Message set;
+  set.type = MsgType::SetInput;
+  set.name = "a";
+  set.value = BitVector::from_uint(8, 200);
+  raw.send_frame(encode(set));
+  ASSERT_EQ(decode(raw.recv_frame()).type, MsgType::Ok);
+  set.name = "b";
+  set.value = BitVector::from_uint(8, 55);
+  raw.send_frame(encode(set));
+  ASSERT_EQ(decode(raw.recv_frame()).type, MsgType::Ok);
+
+  Message cyc;
+  cyc.type = MsgType::Cycle;
+  cyc.count = 1;
+  raw.send_frame(encode(cyc));
+  ASSERT_EQ(decode(raw.recv_frame()).type, MsgType::Ok);
+
+  Message get;
+  get.type = MsgType::GetOutput;
+  get.name = "s";
+  raw.send_frame(encode(get));
+  Message value = decode(raw.recv_frame());
+  ASSERT_EQ(value.type, MsgType::Value);
+  EXPECT_EQ(value.value.to_uint(), 255u);
+
+  Message eval;
+  eval.type = MsgType::Eval;
+  eval.values["a"] = BitVector::from_uint(8, 30);
+  eval.values["b"] = BitVector::from_uint(8, 12);
+  raw.send_frame(encode(eval));
+  Message values = decode(raw.recv_frame());
+  ASSERT_EQ(values.type, MsgType::Values);
+  EXPECT_EQ(values.values.at("s").to_uint(), 42u);
+
+  Message bye;
+  bye.type = MsgType::Bye;
+  raw.send_frame(encode(bye));
+  raw.close();
+  EXPECT_TRUE(eventually(
+      [&] { return service.stats().snapshot().sessions_active == 0; }));
+  service.stop();
+  EXPECT_EQ(service.stats().snapshot().sessions_closed, 1u);
+}
+
 TEST(SimServerTest, ClientRequestAfterStopFailsFast) {
   AdderGenerator gen;
   ParamMap params =
