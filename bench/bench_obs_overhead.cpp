@@ -1,0 +1,201 @@
+// Observability overhead on the simulation hot path: the kcm-32
+// compiled-kernel flagship is clocked with random stimulus under four
+// instrumentation configurations and the harness gates the one that ships
+// enabled by default.
+//
+//   A  baseline        no instrumentation at all
+//   B  obs attached    per-cycle span against a DISABLED tracer plus the
+//                      counter + histogram records the delivery stack
+//                      issues per request; tracing off is the production
+//                      default, so B must stay within 3% of A (the gate)
+//   C  kernel profile  B plus CompiledKernel profiling (per-run sweep
+//                      timings); opt-in, reported for information
+//   D  tracing on      B plus an ENABLED tracer (clock reads + ring
+//                      stores per span); opt-in, reported for information
+//
+// Configurations are interleaved round-robin so drift hits all four
+// equally, best-of-N is reported, and a per-cycle FNV checksum proves the
+// instrumented runs bit-exact against the baseline — observability must
+// observe, never perturb.
+//
+// Emits BENCH_obs.json. `--smoke` shrinks the budget and skips the
+// throughput gate (CI machines are noisy), keeping the parity checks.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/generator.h"
+#include "core/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+using namespace jhdl;
+using namespace jhdl::core;
+
+namespace {
+
+enum class Config { Baseline, ObsOff, KernelProfile, TracingOn };
+
+const char* config_label(Config c) {
+  switch (c) {
+    case Config::Baseline: return "A-baseline";
+    case Config::ObsOff: return "B-obs-tracing-off";
+    case Config::KernelProfile: return "C-kernel-profile";
+    case Config::TracingOn: return "D-tracing-on";
+  }
+  return "?";
+}
+
+struct RunResult {
+  double cycles_per_sec = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+RunResult run(Config config, std::size_t cycles, std::uint64_t seed) {
+  KcmGenerator kcm;
+  ParamMap params = ParamMap()
+                        .set("input_width", std::int64_t{32})
+                        .set("constant", std::int64_t{-20563})
+                        .set("signed_mode", true)
+                        .set("pipelined_mode", true)
+                        .resolved(kcm.params());
+  BuildResult build = kcm.build(params);
+  SimOptions options;
+  options.mode = SimMode::Compiled;
+  Simulator sim(*build.system, options);
+  if (config == Config::KernelProfile) sim.enable_profiling();
+
+  obs::MetricsRegistry registry;
+  obs::Counter& requests = registry.counter("bench.requests");
+  obs::Histogram& request_us = registry.histogram("bench.request_us");
+  obs::Tracer tracer;
+  tracer.set_enabled(config == Config::TracingOn);
+  const std::uint64_t trace_id = obs::TraceContext::mint().id;
+  const bool instrumented = config != Config::Baseline;
+
+  Rng rng(seed);
+  std::vector<std::pair<Wire*, BitVector>> stim;
+  for (const auto& [name, wire] : build.inputs) {
+    stim.emplace_back(wire, BitVector(wire->width(), Logic4::Zero));
+  }
+  std::vector<Wire*> probes;
+  for (const auto& [name, wire] : build.outputs) probes.push_back(wire);
+
+  std::uint64_t checksum = 0xcbf29ce484222325ull;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < cycles; ++t) {
+    {
+      // The per-request instrumentation the delivery stack adds: one
+      // span (a relaxed load when tracing is off) and two relaxed
+      // atomic records. Scoped so the span closes before the probes.
+      obs::ScopedSpan span(tracer, "bench.cycle");
+      if (instrumented) {
+        span.set_trace(trace_id);
+        requests.inc();
+        request_us.record(t & 0x3ff);
+      }
+      for (auto& [wire, bits] : stim) {
+        const std::uint64_t v = rng.next();
+        for (std::size_t i = 0; i < bits.width(); ++i) {
+          bits.set(i, to_logic(((v >> (i & 63)) & 1u) != 0 && i < 64));
+        }
+        sim.put(wire, bits);
+      }
+      sim.cycle();
+      sim.propagate();
+    }
+    for (Wire* wire : probes) {
+      for (std::size_t i = 0; i < wire->width(); ++i) {
+        checksum ^= static_cast<std::uint64_t>(wire->net(i)->value());
+        checksum *= 0x100000001B3ull;  // FNV-1a
+      }
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  RunResult result;
+  result.cycles_per_sec = seconds > 0.0 ? cycles / seconds : 0.0;
+  result.checksum = checksum;
+  if (config == Config::KernelProfile) {
+    // Exercise the whole reporting path so a broken export fails here.
+    sim.export_metrics(registry);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t cycles = smoke ? 300 : 8000;
+  const int rounds = smoke ? 2 : 5;
+  constexpr Config kConfigs[] = {Config::Baseline, Config::ObsOff,
+                                 Config::KernelProfile, Config::TracingOn};
+
+  std::printf("=== Observability overhead: kcm-32 compiled kernel ===\n\n");
+  std::printf("%zu cycles x %d interleaved rounds, best-of reported%s\n\n",
+              cycles, rounds, smoke ? " (smoke)" : "");
+
+  double best[4] = {0.0, 0.0, 0.0, 0.0};
+  std::uint64_t checksums[4] = {0, 0, 0, 0};
+  for (int round = 0; round < rounds; ++round) {
+    for (int c = 0; c < 4; ++c) {
+      const RunResult r = run(kConfigs[c], cycles, 0x5EED);
+      if (r.cycles_per_sec > best[c]) best[c] = r.cycles_per_sec;
+      checksums[c] = r.checksum;
+    }
+  }
+
+  bool all_exact = true;
+  for (int c = 1; c < 4; ++c) {
+    all_exact = all_exact && checksums[c] == checksums[0];
+  }
+  const double overhead_pct =
+      best[0] > 0.0 ? (1.0 - best[1] / best[0]) * 100.0 : 0.0;
+  // Noise can make B land above A; only a positive gap is overhead.
+  const bool gate_ok = smoke || overhead_pct < 3.0;
+
+  std::printf("  %-19s %14s %12s %6s\n", "config", "cycles/s",
+              "vs baseline", "exact");
+  Json rows = Json::array();
+  for (int c = 0; c < 4; ++c) {
+    const double rel = best[0] > 0.0 ? best[c] / best[0] : 0.0;
+    std::printf("  %-19s %14.0f %11.3fx %6s\n", config_label(kConfigs[c]),
+                best[c], rel, checksums[c] == checksums[0] ? "yes" : "NO");
+    Json row = Json::object();
+    row.set("config", std::string(config_label(kConfigs[c])));
+    row.set("cycles_per_sec", best[c]);
+    row.set("relative_to_baseline", rel);
+    row.set("bit_exact", checksums[c] == checksums[0]);
+    rows.push(row);
+  }
+
+  Json doc = Json::object();
+  doc.set("benchmark", std::string("obs_overhead"));
+  doc.set("circuit", std::string("kcm-32"));
+  doc.set("cycles_per_run", cycles);
+  doc.set("rounds", rounds);
+  doc.set("smoke", smoke);
+  doc.set("rows", rows);
+  doc.set("obs_off_overhead_pct", overhead_pct);
+  doc.set("gate_under_3pct", gate_ok);
+  doc.set("all_bit_exact", all_exact);
+  std::ofstream("BENCH_obs.json") << doc.dump() << "\n";
+  std::printf("\nobs-attached, tracing-off overhead: %.2f%% %s\n",
+              overhead_pct,
+              smoke ? "(gate skipped in smoke)" : (gate_ok ? "< 3% OK" : ">= 3% FAIL"));
+  std::printf("wrote BENCH_obs.json\n");
+  if (!all_exact) std::printf("FAIL: instrumented runs not bit-exact\n");
+  return (all_exact && gate_ok) ? 0 : 1;
+}

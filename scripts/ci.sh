@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # CI pipeline: plain build with the full test suite plus the simulation
-# kernel smoke benchmark (parity-checked, throughput gate off), then ASan
-# and TSan builds running the protocol-robustness battery (everything
-# labelled `net-fault`: net_test, server_test, fuzz_test, fault_test)
-# and the compiled-kernel battery (`sim-kernel`: unit tests +
-# differential random-circuit parity).
+# kernel and observability smoke benchmarks (parity-checked, throughput
+# gates off), then ASan and TSan builds running the protocol-robustness
+# battery (everything labelled `net-fault`: net_test, server_test,
+# fuzz_test, fault_test), the compiled-kernel battery (`sim-kernel`:
+# unit tests + differential random-circuit parity), and the
+# observability battery (`obs`: lock-free metrics/trace-ring hammers +
+# trace propagation end-to-end).
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  skip the sanitizer builds (plain build + full suite only)
@@ -22,16 +24,21 @@ echo "== simulation kernel smoke bench (bit-exactness check) =="
 cmake --build build -j "${JOBS}" --target bench_sim_kernel
 (cd build/bench && ./bench_sim_kernel --smoke)
 
+echo "== observability overhead smoke bench (bit-exactness check) =="
+cmake --build build -j "${JOBS}" --target bench_obs_overhead
+(cd build/bench && ./bench_obs_overhead --smoke)
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "CI OK (fast: sanitizers skipped)"
   exit 0
 fi
 
 for SAN in address thread; do
-  echo "== ${SAN} sanitizer: net-fault + sim-kernel batteries =="
+  echo "== ${SAN} sanitizer: net-fault + sim-kernel + obs batteries =="
   cmake -B "build-${SAN}" -S . -DJHDL_SANITIZE="${SAN}" >/dev/null
   cmake --build "build-${SAN}" -j "${JOBS}"
-  ctest --test-dir "build-${SAN}" -L 'net-fault|sim-kernel' --output-on-failure
+  ctest --test-dir "build-${SAN}" -L 'net-fault|sim-kernel|obs' \
+    --output-on-failure
 done
 
 echo "CI OK"

@@ -76,6 +76,12 @@ class BlackBoxModel {
   /// Interface descriptor for protocol handshakes: name, latency, ports.
   Json interface_json() const;
 
+  /// The simulator driving this model: profiling attachment and metrics
+  /// export. Exposes engine internals, not circuit structure, so the
+  /// black-box guarantee holds.
+  Simulator& simulator() { return *sim_; }
+  const Simulator& simulator() const { return *sim_; }
+
  private:
   Wire* input_wire(const std::string& name) const;
   Wire* output_wire(const std::string& name) const;

@@ -24,12 +24,25 @@ std::size_t get_count(ByteReader& r) {
   return static_cast<std::size_t>(n);
 }
 
-/// Optional trailing sequence number (v3). v2 encoders simply end the
-/// payload here, so absence decodes as seq 0 (unnumbered).
-std::uint64_t get_seq(ByteReader& r) { return r.done() ? 0 : r.varint(); }
+/// Optional trailing fields: the v3 sequence number, then the v5 trace
+/// id. v2 encoders simply end the payload before either, so absence
+/// decodes as 0. Order matters: the first trailing varint is ALWAYS the
+/// seq (a v5 encoder with a trace writes the seq explicitly even when 0),
+/// so a v3/v4 decoder reading one varint still gets the right seq and
+/// harmlessly ignores the trace bytes after it.
+void get_tail(ByteReader& r, Message& msg) {
+  if (r.done()) return;
+  msg.seq = r.varint();
+  if (!r.done()) msg.trace = r.varint();
+}
 
-void put_seq(ByteWriter& w, std::uint64_t seq) {
-  if (seq != 0) w.varint(seq);
+void put_tail(ByteWriter& w, const Message& msg) {
+  if (msg.trace != 0) {
+    w.varint(msg.seq);  // explicit even when 0; see get_tail
+    w.varint(msg.trace);
+  } else if (msg.seq != 0) {
+    w.varint(msg.seq);
+  }
 }
 
 }  // namespace
@@ -63,6 +76,8 @@ std::vector<std::uint8_t> encode(const Message& msg) {
     case MsgType::Reset:
     case MsgType::Bye:
     case MsgType::Stats:
+    case MsgType::MetricsDump:
+    case MsgType::TraceDump:
       break;
     case MsgType::SetInput:
       w.str(msg.name);
@@ -101,6 +116,8 @@ std::vector<std::uint8_t> encode(const Message& msg) {
       break;
     case MsgType::Iface:
     case MsgType::StatsReply:
+    case MsgType::MetricsReply:
+    case MsgType::TraceReply:
       w.str(msg.text);
       break;
     case MsgType::Error:
@@ -130,7 +147,7 @@ std::vector<std::uint8_t> encode(const Message& msg) {
       }
       break;
   }
-  put_seq(w, msg.seq);
+  put_tail(w, msg);
   return w.take();
 }
 
@@ -160,7 +177,7 @@ Message decode(const std::vector<std::uint8_t>& payload) {
           std::string name = r.str();
           msg.params.emplace(std::move(name), r.svarint());
         }
-        msg.seq = get_seq(r);
+        get_tail(r, msg);
       }
       // Unknown future versions: keep only the version; the server
       // replies Error before trusting any field.
@@ -168,20 +185,22 @@ Message decode(const std::vector<std::uint8_t>& payload) {
     case MsgType::Reset:
     case MsgType::Bye:
     case MsgType::Stats:
-      msg.seq = get_seq(r);
+    case MsgType::MetricsDump:
+    case MsgType::TraceDump:
+      get_tail(r, msg);
       break;
     case MsgType::SetInput:
       msg.name = r.str();
       msg.value = get_value(r);
-      msg.seq = get_seq(r);
+      get_tail(r, msg);
       break;
     case MsgType::GetOutput:
       msg.name = r.str();
-      msg.seq = get_seq(r);
+      get_tail(r, msg);
       break;
     case MsgType::Cycle:
       msg.count = r.varint();
-      msg.seq = get_seq(r);
+      get_tail(r, msg);
       break;
     case MsgType::Eval: {
       std::size_t n = get_count(r);
@@ -190,13 +209,13 @@ Message decode(const std::vector<std::uint8_t>& payload) {
         msg.values.emplace(std::move(name), get_value(r));
       }
       msg.count = r.varint();
-      msg.seq = get_seq(r);
+      get_tail(r, msg);
       break;
     }
     case MsgType::Resume:
       msg.text = r.str();
       msg.count = r.varint();
-      msg.seq = get_seq(r);
+      get_tail(r, msg);
       break;
     case MsgType::CycleBatch: {
       msg.count = r.varint();
@@ -211,13 +230,15 @@ Message decode(const std::vector<std::uint8_t>& payload) {
       }
       const std::size_t probes = get_count(r);
       for (std::size_t i = 0; i < probes; ++i) msg.probes.push_back(r.str());
-      msg.seq = get_seq(r);
+      get_tail(r, msg);
       break;
     }
     case MsgType::Iface:
     case MsgType::StatsReply:
+    case MsgType::MetricsReply:
+    case MsgType::TraceReply:
       msg.text = r.str();
-      msg.seq = get_seq(r);
+      get_tail(r, msg);
       break;
     case MsgType::Error:
       msg.text = r.str();
@@ -231,15 +252,15 @@ Message decode(const std::vector<std::uint8_t>& payload) {
         }
         msg.code = static_cast<ErrorCode>(code);
       }
-      msg.seq = get_seq(r);
+      get_tail(r, msg);
       break;
     case MsgType::Ok:
       msg.count = r.varint();
-      msg.seq = get_seq(r);
+      get_tail(r, msg);
       break;
     case MsgType::Value:
       msg.value = get_value(r);
-      msg.seq = get_seq(r);
+      get_tail(r, msg);
       break;
     case MsgType::Values: {
       std::size_t n = get_count(r);
@@ -247,7 +268,7 @@ Message decode(const std::vector<std::uint8_t>& payload) {
         std::string name = r.str();
         msg.values.emplace(std::move(name), get_value(r));
       }
-      msg.seq = get_seq(r);
+      get_tail(r, msg);
       break;
     }
     case MsgType::BatchValues: {
@@ -261,7 +282,7 @@ Message decode(const std::vector<std::uint8_t>& payload) {
         for (std::size_t k = 0; k < len; ++k) stream.push_back(get_value(r));
         msg.series.emplace(std::move(name), std::move(stream));
       }
-      msg.seq = get_seq(r);
+      get_tail(r, msg);
       break;
     }
     default:

@@ -27,6 +27,14 @@
 //   Stats                          expects StatsReply (admin query; the
 //                                   delivery service answers with its
 //                                   ServerStats counters as JSON)
+//   MetricsDump                    expects MetricsReply (v5 admin query:
+//                                   the full obs::MetricsRegistry as JSON
+//                                   - counters, gauges, histogram
+//                                   summaries)
+//   TraceDump                      expects TraceReply (v5 admin query:
+//                                   the server's span ring buffers as
+//                                   Chrome trace_event JSON, loadable in
+//                                   chrome://tracing)
 //   Resume    token, last-acked    expects Iface (resumed session) or a
 //             cycle count            typed Error; reattaches a client to
 //                                    the session the token was issued for
@@ -50,12 +58,21 @@
 //               {name,stream}*      CycleBatch (v4)
 //   Error      message, code       code classifies Retryable vs Fatal
 //   StatsReply json text           server counters
+//   MetricsReply json text         metrics registry dump (v5)
+//   TraceReply json text           Chrome trace_event dump (v5)
 //
 // Since v3 every message may carry a trailing varint sequence number
 // (`seq`, 0 = unnumbered). Requests are numbered by the client; replies
 // echo the request's seq, which lets a client discard duplicated replies
 // and lets a server serve a retried request idempotently from its
 // last-reply cache. v2 peers simply omit (and ignore) the field.
+//
+// Since v5 a SECOND trailing varint may follow the seq: the 64-bit trace
+// id correlating this message with distributed trace spans (0 = untraced).
+// When the trace id is present the seq is always written explicitly (even
+// when 0), so the first trailing varint unambiguously stays the seq; v3/v4
+// decoders read it and ignore the extra trailing bytes, which decode()
+// has always tolerated.
 //
 // A server sends an unsolicited Bye before closing during shutdown, so a
 // client blocked on a reply fails fast instead of waiting for TCP teardown.
@@ -81,6 +98,8 @@ enum class MsgType : std::uint8_t {
   Stats = 8,
   Resume = 9,
   CycleBatch = 10,
+  MetricsDump = 11,
+  TraceDump = 12,
   Iface = 64,
   Ok = 65,
   Value = 66,
@@ -88,6 +107,8 @@ enum class MsgType : std::uint8_t {
   Error = 68,
   StatsReply = 69,
   BatchValues = 70,
+  MetricsReply = 71,
+  TraceReply = 72,
 };
 
 /// Wire protocol version spoken by this build. Version 1 is the original
@@ -97,8 +118,10 @@ enum class MsgType : std::uint8_t {
 /// request sequence numbers, and typed Error codes; version 4 adds the
 /// CycleBatch/BatchValues pair and advertises the negotiated version in
 /// the Iface JSON ("protocol" = min(server, client Hello) - a client that
-/// reads 3 or finds the field absent must not send CycleBatch).
-inline constexpr std::uint16_t kProtocolVersion = 4;
+/// reads 3 or finds the field absent must not send CycleBatch); version 5
+/// adds the optional trailing trace id, the MetricsDump/TraceDump admin
+/// queries, and their MetricsReply/TraceReply replies.
+inline constexpr std::uint16_t kProtocolVersion = 5;
 
 /// Oldest client Hello this build still serves (v2: same Hello layout,
 /// no seq/Resume — see the back-compat table in DESIGN.md §8).
@@ -149,6 +172,11 @@ struct Message {
   // --- v3 ---
   ErrorCode code = ErrorCode::Generic;  // Error only
   std::uint64_t seq = 0;                // request number / echoed in reply
+  // --- v5 ---
+  /// Distributed trace id correlating this message's server-side spans
+  /// with the client's (0 = untraced). Encoded as a second trailing
+  /// varint after seq; pre-v5 peers ignore it.
+  std::uint64_t trace = 0;
   // --- v4 ---
   /// CycleBatch stimulus streams / BatchValues probe columns: one value
   /// per batched cycle, in cycle order.

@@ -27,6 +27,9 @@ SimClient::SimClient(std::uint16_t port, const ConnectSpec& spec)
       policy_(spec.retry),
       fault_plan_(spec.fault_plan),
       injected_rtt_ms_(spec.injected_rtt_ms),
+      tracer_(spec.tracer != nullptr ? spec.tracer : &obs::Tracer::global()),
+      trace_id_(spec.trace_id != 0 ? spec.trace_id
+                                   : obs::TraceContext::mint().id),
       jitter_rng_(spec.retry.jitter_seed) {
   if (policy_.max_attempts < 1) policy_.max_attempts = 1;
   for (int attempt = 0;; ++attempt) {
@@ -42,6 +45,8 @@ SimClient::SimClient(std::uint16_t port, const ConnectSpec& spec)
 }
 
 void SimClient::connect_and_handshake() {
+  // Named for what actually happened: a reconnect turns into a Resume.
+  obs::ScopedSpan span(*tracer_, "client.connect", trace_id_);
   connected_ = false;
   TcpStream raw = TcpStream::connect(port_);
   if (policy_.request_timeout.count() > 0) {
@@ -50,6 +55,7 @@ void SimClient::connect_and_handshake() {
   stream_ = wrap_stream(std::move(raw), fault_plan_);
   Message handshake;
   const bool resuming = !token_.empty();
+  span.set_name(resuming ? "client.resume" : "client.hello");
   if (resuming) {
     // Transport died mid-session: reattach to the server-side session
     // instead of opening a fresh one, so model state (and the
@@ -64,6 +70,7 @@ void SimClient::connect_and_handshake() {
     handshake.params = params_;
   }
   handshake.seq = ++seq_;
+  handshake.trace = trace_id_;
   Message reply = transact(handshake);
   if (reply.type == MsgType::Error) {
     throw NetError("remote error: " + reply.text,
@@ -113,6 +120,7 @@ Message SimClient::transact(const Message& msg) {
 }
 
 void SimClient::backoff(int attempt) {
+  obs::ScopedSpan span(*tracer_, "client.backoff", trace_id_);
   const int shift = std::min(attempt, 20);
   auto delay = std::min(policy_.backoff_max, policy_.backoff_base * (1 << shift));
   if (policy_.jitter > 0.0) {
@@ -124,7 +132,9 @@ void SimClient::backoff(int attempt) {
 }
 
 Message SimClient::request(Message msg) {
+  obs::ScopedSpan span(*tracer_, "client.request", trace_id_);
   msg.seq = ++seq_;
+  msg.trace = trace_id_;
   for (int attempt = 0;; ++attempt) {
     const bool last_attempt = attempt + 1 >= policy_.max_attempts;
     try {

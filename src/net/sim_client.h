@@ -30,6 +30,7 @@
 #include "net/fault_injection.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -69,6 +70,13 @@ struct ConnectSpec {
   /// When set, the connection runs through a FaultyStream driven by this
   /// plan (tests/bench inject faults on the client side of the wire).
   std::shared_ptr<FaultPlan> fault_plan;
+  /// Sink for client-side spans (connect/hello/resume/request/backoff).
+  /// Null = obs::Tracer::global(), which records nothing until enabled.
+  obs::Tracer* tracer = nullptr;
+  /// Trace id stamped on every message this client sends (the v5
+  /// trailing field; pre-v5 servers ignore it). 0 = mint a fresh one at
+  /// construction, so every client is traceable by default.
+  std::uint64_t trace_id = 0;
 };
 
 /// Client handle to a remote black-box simulation.
@@ -91,6 +99,8 @@ class SimClient {
   /// Parsed interface descriptor from the handshake.
   const Json& interface() const { return iface_; }
   std::string ip_name() const { return iface_.at("ip").as_string(); }
+  /// The server's full interface descriptor from the handshake.
+  const Json& iface() const { return iface_; }
   std::size_t latency() const {
     return static_cast<std::size_t>(iface_.at("latency").as_int());
   }
@@ -128,6 +138,9 @@ class SimClient {
   std::size_t reconnects() const { return reconnects_; }
   /// Server-issued resume token ("" when the server predates v3).
   const std::string& session_token() const { return token_; }
+  /// The trace id stamped on this client's messages and spans (from
+  /// ConnectSpec::trace_id, or minted at construction).
+  std::uint64_t trace_id() const { return trace_id_; }
   /// Cycle count acknowledged by the server's most recent Ok reply
   /// (what a Resume reports back as the reattach point).
   std::uint64_t last_acked_cycles() const { return last_acked_cycles_; }
@@ -158,6 +171,8 @@ class SimClient {
   Json iface_;
   std::string token_;
   double injected_rtt_ms_ = 0.0;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint64_t trace_id_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t last_acked_cycles_ = 0;
   std::size_t round_trips_ = 0;

@@ -1,0 +1,181 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace jhdl::obs {
+
+void Histogram::record(std::uint64_t sample) {
+  std::size_t bucket = static_cast<std::size_t>(std::bit_width(sample));
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::bucket_counts()
+    const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::percentile_over(
+    const std::array<std::uint64_t, kBuckets>& buckets, std::uint64_t total,
+    double fraction) {
+  if (total == 0) return 0.0;
+  const double threshold = fraction * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const double here = static_cast<double>(buckets[b]);
+    if (cumulative + here >= threshold && here > 0.0) {
+      // Bucket b spans [lo, hi); land proportionally to how far into the
+      // bucket's population the threshold falls.
+      const double lo =
+          b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (b - 1));
+      const double hi = static_cast<double>(std::uint64_t{1} << b);
+      const double into = (threshold - cumulative) / here;
+      return lo + into * (hi - lo);
+    }
+    cumulative += here;
+  }
+  return static_cast<double>(std::uint64_t{1} << (kBuckets - 1));
+}
+
+double Histogram::percentile(double fraction) const {
+  const auto buckets = bucket_counts();
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  return percentile_over(buckets, total, fraction);
+}
+
+Histogram::Summary Histogram::summarize() const {
+  const auto buckets = bucket_counts();
+  Summary s;
+  for (std::uint64_t b : buckets) s.count += b;
+  s.sum = sum();
+  s.p50 = percentile_over(buckets, s.count, 0.50);
+  s.p95 = percentile_over(buckets, s.count, 0.95);
+  s.p99 = percentile_over(buckets, s.count, 0.99);
+  return s;
+}
+
+void MetricsRegistry::check_unclaimed(const std::string& name) const {
+  // Called with mutex_ held, before inserting into one of the maps: the
+  // other two must not already own the name.
+  const int claims = static_cast<int>(counters_.count(name)) +
+                     static_cast<int>(gauges_.count(name)) +
+                     static_cast<int>(histograms_.count(name));
+  if (claims != 0) {
+    throw std::runtime_error("metric '" + name +
+                             "' already registered as a different kind");
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  check_unclaimed(name);
+  return *counters_.emplace(name, std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  check_unclaimed(name);
+  return *gauges_.emplace(name, std::make_unique<Gauge>()).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  check_unclaimed(name);
+  return *histograms_.emplace(name, std::make_unique<Histogram>())
+              .first->second;
+}
+
+Json MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_) counters.set(name, c->value());
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) gauges.set(name, g->value());
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Summary s = h->summarize();
+    Json entry = Json::object();
+    entry.set("count", s.count);
+    entry.set("sum", s.sum);
+    entry.set("p50", s.p50);
+    entry.set("p95", s.p95);
+    entry.set("p99", s.p99);
+    histograms.set(name, entry);
+  }
+  Json doc = Json::object();
+  doc.set("counters", counters);
+  doc.set("gauges", gauges);
+  doc.set("histograms", histograms);
+  return doc;
+}
+
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + std::to_string(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    const auto buckets = h->bucket_counts();
+    std::size_t highest = 0;
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      total += buckets[b];
+      if (buckets[b] != 0) highest = b;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b <= highest; ++b) {
+      cumulative += buckets[b];
+      out += p + "_bucket{le=\"" +
+             std::to_string(std::uint64_t{1} << b) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(total) + "\n";
+    out += p + "_sum " + std::to_string(h->sum()) + "\n";
+    out += p + "_count " + std::to_string(total) + "\n";
+  }
+  return out;
+}
+
+}  // namespace jhdl::obs

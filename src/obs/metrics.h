@@ -1,0 +1,132 @@
+// Metrics registry: named counters, gauges, and histograms shared by every
+// layer of the delivery stack.
+//
+// The discipline is the one ServerStats pioneered — every mutation is a
+// relaxed atomic so hot paths never take a lock, and latency samples go
+// into power-of-two buckets so memory stays bounded no matter how long the
+// service runs. What the registry adds is NAMES: instruments are created
+// once (under a mutex) and then mutated lock-free through stable pointers,
+// so any subsystem can publish a counter without owning a bespoke stats
+// block, and admin tooling can enumerate everything that exists.
+//
+// Exposition comes in two forms:
+//   to_json()  structured snapshot (the MetricsDump wire query);
+//   to_text()  Prometheus-style text ('.' becomes '_', histograms emit
+//              cumulative le-buckets), scrape-ready.
+//
+// Percentiles are interpolated WITHIN the crossing bucket (the old
+// ServerStats read back bucket upper bounds, which overstated the tail by
+// up to 2x at the bucket edges); see Histogram::percentile.
+//
+// Naming convention (DESIGN.md §10): dotted lowercase paths, coarsest
+// subsystem first — server.sessions_opened, server.request_us,
+// sim.kernel.evals. Histograms of microsecond latencies end in _us.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/json.h"
+
+namespace jhdl::obs {
+
+/// Monotonic event count. Mutation is one relaxed fetch_add.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level (may go down): active sessions, queue depth.
+class Gauge {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  void set(std::int64_t n) { v_.store(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Power-of-two-bucket histogram: bucket b counts samples in
+/// [2^(b-1), 2^b); bucket 0 counts samples of value 0 (i.e. < 1).
+/// record() is two relaxed fetch_adds — no lock, bounded memory.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t sample);
+
+  std::uint64_t count() const;
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Interpolated percentile: find the bucket where the cumulative count
+  /// crosses `fraction` of the total, then interpolate linearly between
+  /// the bucket's lower and upper bound by how far into the bucket the
+  /// crossing lands. Exact when samples are uniform within a bucket;
+  /// never off by more than one bucket width either way (the old
+  /// upper-bound readback was always pessimistic by up to the full
+  /// bucket). Returns 0 when empty.
+  double percentile(double fraction) const;
+
+  /// One consistent-enough read of everything a snapshot needs (the
+  /// buckets are loaded once, so p50/p95/p99 agree with each other).
+  struct Summary {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  Summary summarize() const;
+
+  /// Raw bucket loads for exposition (index b = samples in [2^(b-1), 2^b)).
+  std::array<std::uint64_t, kBuckets> bucket_counts() const;
+
+ private:
+  static double percentile_over(
+      const std::array<std::uint64_t, kBuckets>& buckets, std::uint64_t total,
+      double fraction);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Owns every named instrument of one process/service. Creation takes a
+/// mutex and returns a stable reference; callers cache the reference and
+/// mutate lock-free from then on. Re-requesting a name returns the same
+/// instrument; requesting a name already registered as a different kind
+/// throws (one name, one meaning).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Structured snapshot: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, p50, p95, p99}}}.
+  Json to_json() const;
+
+  /// Prometheus-style exposition ('.' -> '_', cumulative le-buckets up to
+  /// the highest non-empty one plus +Inf).
+  std::string to_text() const;
+
+ private:
+  void check_unclaimed(const std::string& name) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace jhdl::obs

@@ -1,0 +1,160 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <unordered_map>
+
+namespace jhdl::obs {
+namespace {
+
+/// Small stable per-thread ordinal for the Chrome "tid" field (raw
+/// std::thread::id values are opaque and ugly in the viewer).
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace
+
+TraceContext TraceContext::mint() {
+  std::random_device rd;
+  std::uint64_t word;
+  do {
+    word = (static_cast<std::uint64_t>(rd()) << 32) | rd();
+  } while (word == 0);
+  return TraceContext{word};
+}
+
+std::string TraceContext::hex(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(id));
+  return std::string(buf);
+}
+
+/// Fixed-capacity single-writer ring. Every slot field is an individual
+/// relaxed atomic: the one writer stores fields then bumps head with
+/// release; a concurrent dump reads head with acquire and the fields
+/// relaxed. A dump racing an overwrite may see one span with mixed
+/// fields — tolerated by design (flight-recorder semantics).
+struct Tracer::Ring {
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> start_us{0};
+    std::atomic<std::uint64_t> dur_us{0};
+  };
+
+  explicit Ring(std::size_t capacity, std::uint32_t tid)
+      : slots(capacity), tid(tid) {}
+
+  void push(const char* name, std::uint64_t trace_id, std::uint64_t start_us,
+            std::uint64_t dur_us) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    Slot& slot = slots[h % slots.size()];
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.trace_id.store(trace_id, std::memory_order_relaxed);
+    slot.start_us.store(start_us, std::memory_order_relaxed);
+    slot.dur_us.store(dur_us, std::memory_order_relaxed);
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  std::vector<Slot> slots;
+  std::atomic<std::uint64_t> head{0};
+  const std::uint32_t tid;
+};
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : capacity_(ring_capacity < 16 ? 16 : ring_capacity) {
+  static std::atomic<std::uint64_t> next_id{1};
+  tracer_id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::~Tracer() = default;
+
+std::uint64_t Tracer::now_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+Tracer::Ring& Tracer::local_ring() {
+  // Cache keyed by the PROCESS-UNIQUE tracer id, not the pointer: a
+  // destroyed tracer's address can be reused, but its id never is, so a
+  // stale cache entry can never alias a new tracer. The ring itself is
+  // owned by rings_ and dies with the tracer.
+  thread_local std::unordered_map<std::uint64_t, Ring*> cache;
+  auto it = cache.find(tracer_id_);
+  if (it != cache.end()) return *it->second;
+  auto ring = std::make_unique<Ring>(capacity_, thread_ordinal());
+  Ring* raw = ring.get();
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings_.push_back(std::move(ring));
+  }
+  cache.emplace(tracer_id_, raw);
+  return *raw;
+}
+
+void Tracer::record(const char* name, std::uint64_t trace_id,
+                    std::uint64_t start_us, std::uint64_t dur_us) {
+  if (!enabled()) return;
+  local_ring().push(name, trace_id, start_us, dur_us);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t n = ring->slots.size();
+    const std::uint64_t first = head > n ? head - n : 0;
+    for (std::uint64_t i = first; i < head; ++i) {
+      const Ring::Slot& slot = ring->slots[i % n];
+      TraceEvent e;
+      e.name = slot.name.load(std::memory_order_relaxed);
+      e.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      e.start_us = slot.start_us.load(std::memory_order_relaxed);
+      e.dur_us = slot.dur_us.load(std::memory_order_relaxed);
+      e.tid = ring->tid;
+      if (e.name != nullptr) out.push_back(e);
+    }
+  }
+  return out;
+}
+
+Json Tracer::to_chrome_json() const {
+  Json events = Json::array();
+  for (const TraceEvent& e : snapshot()) {
+    Json ev = Json::object();
+    ev.set("name", std::string(e.name));
+    ev.set("ph", "X");
+    ev.set("ts", e.start_us);
+    ev.set("dur", e.dur_us);
+    ev.set("pid", 1);
+    ev.set("tid", std::size_t{e.tid});
+    if (e.trace_id != 0) {
+      Json args = Json::object();
+      args.set("trace", TraceContext::hex(e.trace_id));
+      ev.set("args", args);
+    }
+    events.push(ev);
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", events);
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace jhdl::obs

@@ -1,0 +1,153 @@
+// Request-scoped tracing: spans recorded into lock-free per-thread rings,
+// exported as Chrome trace_event JSON (load the TraceDump output straight
+// into chrome://tracing or https://ui.perfetto.dev).
+//
+// Model:
+//   TraceContext  a 64-bit trace id that follows one logical request
+//                 across threads and across the wire. The client mints one
+//                 at connect (or the server mints one at Hello for clients
+//                 that sent none) and every span the request touches
+//                 carries it, so filtering one id in the viewer shows the
+//                 whole journey: client connect -> queue wait -> handshake
+//                 -> license check -> elaborate -> per-request dispatch.
+//   Tracer        owns the rings and the enabled flag. Tracing off is one
+//                 relaxed load per would-be span — no clock read, no
+//                 store. Each writer thread gets its own fixed-capacity
+//                 ring on first use (registration takes a mutex once per
+//                 thread), after which recording is wait-free: slot
+//                 stores, then a release bump of the ring head.
+//   ScopedSpan    RAII: stamps the clock at construction, records one
+//                 complete event ("ph":"X") at destruction. Spans are
+//                 named with STATIC strings (the ring stores the pointer,
+//                 never a copy) — use fixed labels like "req.eval", not
+//                 formatted text.
+//
+// Ring overwrite is deliberate: a long-running service keeps the most
+// recent `capacity` spans per thread and drops the oldest, so TraceDump is
+// a flight recorder, not an unbounded log. A dump that races active
+// writers may catch a slot mid-overwrite; every field is individually
+// atomic, so the worst case is one span with mixed old/new fields — the
+// JSON stays well-formed. Span naming convention (DESIGN.md §10): dotted
+// lowercase, subsystem first — "session.handshake", "client.connect".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace jhdl::obs {
+
+/// The id that follows one logical request end to end.
+struct TraceContext {
+  std::uint64_t id = 0;
+
+  /// 64 random bits from the OS entropy source, never zero (zero means
+  /// "no trace" on the wire).
+  static TraceContext mint();
+
+  /// Canonical textual form (16 hex digits) used in span args and logs.
+  static std::string hex(std::uint64_t id);
+};
+
+/// One completed span, as read back out of a ring.
+struct TraceEvent {
+  const char* name = nullptr;  ///< static-lifetime label
+  std::uint64_t trace_id = 0;  ///< 0 = not tied to one request
+  std::uint64_t start_us = 0;  ///< microseconds since process trace epoch
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;  ///< small per-thread ordinal, stable per thread
+};
+
+/// Span sink. One per service (the DeliveryService owns one and serves it
+/// over TraceDump), plus a process-global instance for clients and tools.
+class Tracer {
+ public:
+  /// `ring_capacity` spans are retained per writer thread (power of two
+  /// recommended; rounded up internally).
+  explicit Tracer(std::size_t ring_capacity = 4096);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Record one completed span (writer thread). `name` must have static
+  /// lifetime. No-op while disabled.
+  void record(const char* name, std::uint64_t trace_id,
+              std::uint64_t start_us, std::uint64_t dur_us);
+
+  /// Microseconds since the process trace epoch (first call).
+  static std::uint64_t now_us();
+
+  /// Spans recorded since construction (including ones since overwritten).
+  std::uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  /// All currently retained spans, every ring, oldest first per thread.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace_event JSON: {"traceEvents": [{"ph": "X", ...}, ...]}.
+  /// Each event carries args.trace (the 16-hex-digit trace id) so the
+  /// viewer can filter one request's journey.
+  Json to_chrome_json() const;
+
+  /// Shared instance for code with no service to hang a tracer on
+  /// (SimClient defaults here; disabled until someone enables it).
+  static Tracer& global();
+
+ private:
+  struct Ring;
+  Ring& local_ring();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::size_t capacity_;
+  std::uint64_t tracer_id_;  ///< process-unique, keys the thread cache
+  mutable std::mutex rings_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII span: stamps the clock now, records at scope exit. Constructing
+/// against a disabled tracer costs one relaxed load and records nothing
+/// (even if tracing is enabled mid-span).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, const char* name, std::uint64_t trace_id = 0)
+      : tracer_(tracer.enabled() ? &tracer : nullptr),
+        name_(name),
+        trace_id_(trace_id) {
+    if (tracer_ != nullptr) start_us_ = Tracer::now_us();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->record(name_, trace_id_, start_us_,
+                      Tracer::now_us() - start_us_);
+    }
+  }
+
+  /// Bind the trace id after construction (the handshake span starts
+  /// before the Hello that carries the id has been decoded).
+  void set_trace(std::uint64_t trace_id) { trace_id_ = trace_id; }
+  /// Rename after construction (elaborate vs cache-hit is only known at
+  /// the end of the span).
+  void set_name(const char* name) { name_ = name; }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  std::uint64_t trace_id_;
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace jhdl::obs

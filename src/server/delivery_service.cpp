@@ -14,10 +14,42 @@ using net::ErrorCode;
 using net::Message;
 using net::MsgType;
 
+namespace {
+
+/// Static span label for one request type (ring buffers store the
+/// pointer, so labels must be literals).
+const char* request_span_name(MsgType type) {
+  switch (type) {
+    case MsgType::SetInput:
+      return "req.set_input";
+    case MsgType::GetOutput:
+      return "req.get_output";
+    case MsgType::Cycle:
+      return "req.cycle";
+    case MsgType::Reset:
+      return "req.reset";
+    case MsgType::Eval:
+      return "req.eval";
+    case MsgType::CycleBatch:
+      return "req.cycle_batch";
+    case MsgType::Stats:
+      return "req.stats";
+    case MsgType::MetricsDump:
+      return "req.metrics_dump";
+    case MsgType::TraceDump:
+      return "req.trace_dump";
+    default:
+      return "req.other";
+  }
+}
+
+}  // namespace
+
 DeliveryService::DeliveryService(core::IpCatalog catalog,
                                  DeliveryConfig config)
     : catalog_(std::move(catalog)), config_(config) {
   if (config_.workers == 0) config_.workers = 1;
+  tracer_.set_enabled(config_.tracing);
 }
 
 DeliveryService::~DeliveryService() { stop(); }
@@ -48,15 +80,16 @@ void DeliveryService::stop() {
   }
   if (listener_ != nullptr) listener_->close();  // unblocks accept()
   // Turn away connections still waiting for a worker.
-  std::deque<net::TcpStream> orphans;
+  std::deque<PendingConn> orphans;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     orphans.swap(queue_);
   }
-  for (net::TcpStream& stream : orphans) {
+  for (PendingConn& pending : orphans) {
     stats_.record_dequeue();
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    send_error(stream, "server shutting down", ErrorCode::ShuttingDown);
+    send_error(pending.stream, "server shutting down",
+               ErrorCode::ShuttingDown);
   }
   queue_cv_.notify_all();
   reaper_cv_.notify_all();
@@ -102,7 +135,7 @@ void DeliveryService::accept_loop() {
     }
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
-      queue_.push_back(std::move(stream));
+      queue_.push_back({std::move(stream), obs::Tracer::now_us()});
     }
     stats_.record_enqueue();
     queue_cv_.notify_one();
@@ -111,7 +144,7 @@ void DeliveryService::accept_loop() {
 
 void DeliveryService::worker_loop() {
   while (true) {
-    net::TcpStream stream;
+    PendingConn pending;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] { return !running_ || !queue_.empty(); });
@@ -119,11 +152,16 @@ void DeliveryService::worker_loop() {
         if (!running_) return;
         continue;
       }
-      stream = std::move(queue_.front());
+      pending = std::move(queue_.front());
       queue_.pop_front();
     }
     stats_.record_dequeue();
-    serve_connection(std::move(stream));
+    if (tracer_.enabled()) {
+      // How long the connection sat between accept and a free worker.
+      tracer_.record("accept.queue", 0, pending.enqueued_us,
+                     obs::Tracer::now_us() - pending.enqueued_us);
+    }
+    serve_connection(std::move(pending.stream));
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
@@ -191,11 +229,20 @@ void DeliveryService::serve_connection(net::TcpStream raw) {
   }
   unregister_handshake(stream.get());
   if (!handshake_ok) return;
-  if (first.type == MsgType::Stats) {
+  if (first.type == MsgType::Stats || first.type == MsgType::MetricsDump ||
+      first.type == MsgType::TraceDump) {
     // Bare admin query: answer and close.
     Message reply;
-    reply.type = MsgType::StatsReply;
-    reply.text = stats_.to_json().dump();
+    if (first.type == MsgType::Stats) {
+      reply.type = MsgType::StatsReply;
+      reply.text = stats_.to_json().dump();
+    } else if (first.type == MsgType::MetricsDump) {
+      reply.type = MsgType::MetricsReply;
+      reply.text = metrics_.to_json().dump();
+    } else {
+      reply.type = MsgType::TraceReply;
+      reply.text = tracer_.to_chrome_json().dump();
+    }
     reply.seq = first.seq;
     try {
       stream->send_frame(encode(reply));
@@ -204,7 +251,12 @@ void DeliveryService::serve_connection(net::TcpStream raw) {
     return;
   }
   if (first.type == MsgType::Resume) {
-    std::shared_ptr<Session> session = resume_session(first, stream);
+    std::shared_ptr<Session> session;
+    {
+      obs::ScopedSpan span(tracer_, "session.resume", first.trace);
+      session = resume_session(first, stream);
+      if (session != nullptr) span.set_trace(session->trace_id);
+    }
     if (session == nullptr) return;  // Error already sent
     finish_session(session, serve_session(session));
     return;
@@ -215,7 +267,13 @@ void DeliveryService::serve_connection(net::TcpStream raw) {
     return;
   }
   std::shared_ptr<Session> session;
-  Message reply = open_session(first, stream, session);
+  Message reply;
+  {
+    obs::ScopedSpan span(tracer_, "session.handshake", first.trace);
+    reply = open_session(first, stream, session);
+    // A client that sent no trace id gets the server-minted one.
+    if (session != nullptr) span.set_trace(session->trace_id);
+  }
   reply.seq = first.seq;
   if (session == nullptr) {
     try {
@@ -254,33 +312,38 @@ Message DeliveryService::open_session(const Message& hello,
     stats_.record_denial();
     return error;
   }
-  core::LicensePolicy license;
   {
-    std::lock_guard<std::mutex> lock(license_mutex_);
-    auto it = licenses_.find(hello.customer);
-    if (it == licenses_.end()) {
-      error.text = "unknown customer '" + hello.customer +
-                   "': no license on file";
+    // Denial paths return from inside the scope, which still records the
+    // span - a refused handshake shows its license-check time too.
+    obs::ScopedSpan span(tracer_, "license.check", hello.trace);
+    core::LicensePolicy license;
+    {
+      std::lock_guard<std::mutex> lock(license_mutex_);
+      auto it = licenses_.find(hello.customer);
+      if (it == licenses_.end()) {
+        error.text = "unknown customer '" + hello.customer +
+                     "': no license on file";
+        error.code = ErrorCode::LicenseDenied;
+        stats_.record_denial();
+        return error;
+      }
+      license = it->second;
+    }
+    if (!license.features.has(core::Feature::BlackBoxSim)) {
+      error.text = "license for '" + hello.customer + "' (" +
+                   core::license_tier_name(license.tier) +
+                   " tier) does not grant black-box simulation";
       error.code = ErrorCode::LicenseDenied;
       stats_.record_denial();
       return error;
     }
-    license = it->second;
-  }
-  if (!license.features.has(core::Feature::BlackBoxSim)) {
-    error.text = "license for '" + hello.customer + "' (" +
-                 core::license_tier_name(license.tier) +
-                 " tier) does not grant black-box simulation";
-    error.code = ErrorCode::LicenseDenied;
-    stats_.record_denial();
-    return error;
-  }
-  if (!license.valid_on(config_.today)) {
-    error.text = "license for '" + hello.customer + "' expired on day " +
-                 std::to_string(license.expires_day);
-    error.code = ErrorCode::LicenseDenied;
-    stats_.record_denial();
-    return error;
+    if (!license.valid_on(config_.today)) {
+      error.text = "license for '" + hello.customer + "' expired on day " +
+                   std::to_string(license.expires_day);
+      error.code = ErrorCode::LicenseDenied;
+      stats_.record_denial();
+      return error;
+    }
   }
   auto generator = catalog_.find(hello.name);
   if (generator == nullptr) {
@@ -290,6 +353,9 @@ Message DeliveryService::open_session(const Message& hello,
   }
   std::unique_ptr<core::BlackBoxModel> model;
   try {
+    // Elaborate vs cache-hit is only known once the model is built, so
+    // the span is renamed at the end.
+    obs::ScopedSpan span(tracer_, "session.elaborate", hello.trace);
     core::ParamMap params;
     for (const auto& [name, value] : hello.params) params.set(name, value);
     const core::ParamMap resolved = params.resolved(generator->params());
@@ -309,6 +375,7 @@ Message DeliveryService::open_session(const Message& hello,
     if (program != nullptr) {
       if (program == cached) {
         stats_.record_program_share();
+        span.set_name("session.cache_hit");
       } else {
         // Miss (or a cached program that failed to bind): publish the
         // freshly compiled program for subsequent sessions.
@@ -325,6 +392,10 @@ Message DeliveryService::open_session(const Message& hello,
   session = sessions_.open(hello.customer, hello.name, std::move(model),
                            std::move(stream));
   session->protocol = std::min(hello.version, net::kProtocolVersion);
+  // The trace id that follows this session's spans: the client's, or a
+  // server-minted one for clients that sent none (pre-v5, or untraced).
+  session->trace_id =
+      hello.trace != 0 ? hello.trace : obs::TraceContext::mint().id;
   Json iface = session->model->interface_json();
   iface.set("customer", session->customer);
   iface.set("session", session->id);
@@ -332,9 +403,15 @@ Message DeliveryService::open_session(const Message& hello,
   // versions; a pre-v4 client never sees nor needs the field.
   iface.set("protocol", std::size_t{session->protocol});
   iface.set("token", session->token);
+  if (session->protocol >= 5) {
+    // v5: tell the client which trace id the server files spans under
+    // (its own, echoed, or the server-minted one).
+    iface.set("trace", obs::TraceContext::hex(session->trace_id));
+  }
   Message reply;
   reply.type = MsgType::Iface;
   reply.text = iface.dump();
+  if (session->protocol >= 5) reply.trace = session->trace_id;
   return reply;
 }
 
@@ -363,10 +440,14 @@ std::shared_ptr<Session> DeliveryService::resume_session(
   iface.set("resumed", true);
   iface.set("cycles", session->model->cycle_count());
   iface.set("last_seq", std::size_t{session->last_seq});
+  if (session->protocol >= 5) {
+    iface.set("trace", obs::TraceContext::hex(session->trace_id));
+  }
   Message reply;
   reply.type = MsgType::Iface;
   reply.text = iface.dump();
   reply.seq = resume.seq;
+  if (session->protocol >= 5) reply.trace = session->trace_id;
   try {
     session->stream->send_frame(encode(reply));
   } catch (const net::NetError&) {
@@ -412,8 +493,13 @@ DeliveryService::EndReason DeliveryService::serve_session(
     // Idempotent replay: a numbered request this session has already
     // executed (the client retried because our reply was lost) is
     // answered from the cache without touching the model.
+    // Spans carry the request's own trace id when the client sent one,
+    // else the session's (covers pre-v5 clients end to end).
+    const std::uint64_t trace =
+        request.trace != 0 ? request.trace : session->trace_id;
     if (request.seq != 0 && request.seq == session->last_seq &&
         !session->last_reply.empty()) {
+      obs::ScopedSpan span(tracer_, "req.replay", trace);
       stats_.record_replay();
       session->touch();
       try {
@@ -425,23 +511,33 @@ DeliveryService::EndReason DeliveryService::serve_session(
     }
     const auto t0 = std::chrono::steady_clock::now();
     Message reply;
-    if (request.seq != 0 && request.seq < session->last_seq) {
-      // A frame-level duplicate of an older request; the client has
-      // moved on and will discard this reply by its seq.
-      reply.type = MsgType::Error;
-      reply.text = "stale request";
-      reply.code = ErrorCode::BadRequest;
-    } else if (request.type == MsgType::Stats) {
-      // Admin counters are also queryable mid-session.
-      reply.type = MsgType::StatsReply;
-      reply.text = stats_.to_json().dump();
-    } else {
-      try {
-        reply = net::dispatch_request(*session->model, request);
-      } catch (const std::exception& e) {
+    {
+      obs::ScopedSpan span(tracer_, request_span_name(request.type), trace);
+      if (request.seq != 0 && request.seq < session->last_seq) {
+        // A frame-level duplicate of an older request; the client has
+        // moved on and will discard this reply by its seq.
+        span.set_name("req.stale");
         reply.type = MsgType::Error;
-        reply.text = e.what();
+        reply.text = "stale request";
         reply.code = ErrorCode::BadRequest;
+      } else if (request.type == MsgType::Stats) {
+        // Admin counters are also queryable mid-session.
+        reply.type = MsgType::StatsReply;
+        reply.text = stats_.to_json().dump();
+      } else if (request.type == MsgType::MetricsDump) {
+        reply.type = MsgType::MetricsReply;
+        reply.text = metrics_.to_json().dump();
+      } else if (request.type == MsgType::TraceDump) {
+        reply.type = MsgType::TraceReply;
+        reply.text = tracer_.to_chrome_json().dump();
+      } else {
+        try {
+          reply = net::dispatch_request(*session->model, request);
+        } catch (const std::exception& e) {
+          reply.type = MsgType::Error;
+          reply.text = e.what();
+          reply.code = ErrorCode::BadRequest;
+        }
       }
     }
     const auto micros =
@@ -451,6 +547,7 @@ DeliveryService::EndReason DeliveryService::serve_session(
     stats_.record_request(static_cast<std::uint64_t>(micros));
     session->touch();
     reply.seq = request.seq;
+    if (session->protocol >= 5) reply.trace = trace;
     std::vector<std::uint8_t> payload = encode(reply);
     if (request.seq != 0 && request.seq > session->last_seq) {
       session->last_seq = request.seq;
@@ -521,16 +618,35 @@ void DeliveryService::send_error(net::Stream& stream, const std::string& text,
   stream.shutdown();
 }
 
-Json query_stats(std::uint16_t port) {
+namespace {
+
+Json query_admin(std::uint16_t port, MsgType query_type, MsgType reply_type,
+                 const char* what) {
   net::TcpStream stream = net::TcpStream::connect(port);
   Message query;
-  query.type = MsgType::Stats;
+  query.type = query_type;
   stream.send_frame(encode(query));
   Message reply = decode(stream.recv_frame());
-  if (reply.type != MsgType::StatsReply) {
-    throw net::NetError("stats query failed: unexpected reply");
+  if (reply.type != reply_type) {
+    throw net::NetError(std::string(what) +
+                        " query failed: unexpected reply");
   }
   return Json::parse(reply.text);
+}
+
+}  // namespace
+
+Json query_stats(std::uint16_t port) {
+  return query_admin(port, MsgType::Stats, MsgType::StatsReply, "stats");
+}
+
+Json query_metrics(std::uint16_t port) {
+  return query_admin(port, MsgType::MetricsDump, MsgType::MetricsReply,
+                     "metrics");
+}
+
+Json query_trace(std::uint16_t port) {
+  return query_admin(port, MsgType::TraceDump, MsgType::TraceReply, "trace");
 }
 
 }  // namespace jhdl::server

@@ -57,6 +57,8 @@
 #include "net/fault_injection.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/session.h"
 #include "server/stats.h"
 #include "util/json.h"
@@ -83,6 +85,10 @@ struct DeliveryConfig {
   /// When set, every connection runs through a FaultyStream driven by
   /// this plan (tests/bench inject faults on the server side).
   std::shared_ptr<net::FaultPlan> fault_plan;
+  /// Start with span recording on (equivalent to tracer().set_enabled
+  /// after start). Off by default: tracing costs clock reads + ring
+  /// stores per span; metrics are always on (relaxed atomics only).
+  bool tracing = false;
 };
 
 /// Serves many concurrent black-box sessions from one catalog.
@@ -111,6 +117,12 @@ class DeliveryService {
   const core::IpCatalog& catalog() const { return catalog_; }
   const ServerStats& stats() const { return stats_; }
   SessionManager& sessions() { return sessions_; }
+  /// Every instrument this service publishes (ServerStats included);
+  /// served over the wire by the MetricsDump query.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Span sink for this service; served by TraceDump as Chrome
+  /// trace_event JSON. Disabled unless config.tracing (or set_enabled).
+  obs::Tracer& tracer() { return tracer_; }
 
  private:
   /// Why a serve loop ended - decides detach (resumable) vs close.
@@ -146,7 +158,11 @@ class DeliveryService {
 
   core::IpCatalog catalog_;
   DeliveryConfig config_;
-  ServerStats stats_;
+  /// Declaration order is load-bearing: stats_ registers into metrics_,
+  /// sessions_ records into stats_.
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+  ServerStats stats_{metrics_};
   SessionManager sessions_{stats_};
 
   /// Elaboration cache: (module, resolved params) -> the immutable
@@ -166,9 +182,16 @@ class DeliveryService {
   /// Accepted connections not yet finished: queued + in service.
   std::atomic<std::size_t> in_flight_{0};
 
+  /// An accepted connection waiting for a worker, stamped at enqueue so
+  /// the popping worker can record the queue-wait span.
+  struct PendingConn {
+    net::TcpStream stream;
+    std::uint64_t enqueued_us = 0;
+  };
+
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<net::TcpStream> queue_;
+  std::deque<PendingConn> queue_;
 
   std::mutex handshake_mutex_;
   std::vector<net::Stream*> handshaking_;
@@ -184,5 +207,14 @@ class DeliveryService {
 /// Admin helper: connect to a running service, issue the Stats query,
 /// return the parsed counters.
 Json query_stats(std::uint16_t port);
+
+/// Admin helper: fetch the full metrics registry (MetricsDump, v5) as
+/// parsed JSON - counters, gauges, histogram summaries.
+Json query_metrics(std::uint16_t port);
+
+/// Admin helper: fetch the service's span rings (TraceDump, v5) as parsed
+/// Chrome trace_event JSON. Save the text form to a file and load it in
+/// chrome://tracing (or ui.perfetto.dev).
+Json query_trace(std::uint16_t port);
 
 }  // namespace jhdl::server

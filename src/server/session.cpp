@@ -51,7 +51,18 @@ void SessionManager::close(const std::shared_ptr<Session>& session) {
   // No explicit stream close here: a concurrent evictor may still be
   // inside Stream::shutdown(). The fd closes in the Session destructor,
   // once every holder (worker, map, evictor) has dropped its reference.
-  stats_.record_close(session->evicted.load(std::memory_order_relaxed));
+  if (session->resume_expired.load(std::memory_order_relaxed)) {
+    stats_.record_resume_expired();
+  } else {
+    stats_.record_close(session->evicted.load(std::memory_order_relaxed));
+  }
+  // The model dies with the session: fold its engine attribution into
+  // the service-wide sim.* counters while the totals are still readable.
+  if (session->model != nullptr) {
+    const Simulator& sim = session->model->simulator();
+    stats_.record_sim(sim.cycle_count(), sim.interp_eval_count(),
+                      sim.kernel_eval_count());
+  }
 }
 
 void SessionManager::detach(const std::shared_ptr<Session>& session) {
@@ -134,7 +145,7 @@ std::size_t SessionManager::purge_detached(std::chrono::nanoseconds older_than) 
       if (!session->detached.load(std::memory_order_acquire)) continue;
       session->detached.store(false, std::memory_order_relaxed);
     }
-    session->evicted.store(true, std::memory_order_relaxed);
+    session->resume_expired.store(true, std::memory_order_relaxed);
     close(session);
   }
   return stale.size();

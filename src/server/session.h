@@ -41,6 +41,10 @@ struct Session {
   /// Negotiated wire version: min(client Hello, kProtocolVersion). Echoed
   /// in the Iface "protocol" field, including on Resume.
   std::uint16_t protocol = net::kProtocolVersion;
+  /// Trace id for this session's spans: the client's (protocol v5 Hello
+  /// carried one) or minted server-side at Hello. Survives detach/resume
+  /// so a reconnect continues the same trace.
+  std::uint64_t trace_id = 0;
   std::unique_ptr<core::BlackBoxModel> model;
   /// The transport currently bound to the session; null while detached.
   /// Guarded by stream_mutex for replacement/shutdown; the owning worker
@@ -57,6 +61,10 @@ struct Session {
   /// Set by the reaper / admin before shutting the stream down, so the
   /// worker can tell an eviction from an ordinary peer close.
   std::atomic<bool> evicted{false};
+  /// Set by purge_detached when a parked session outlives its resume
+  /// window, so close() counts it under resume_expired rather than
+  /// folding it into sessions_evicted.
+  std::atomic<bool> resume_expired{false};
   /// True while parked awaiting a Resume; set by detach(), cleared by
   /// resume() when a reconnecting client claims the session.
   std::atomic<bool> detached{false};

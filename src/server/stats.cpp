@@ -1,59 +1,50 @@
 #include "server/stats.h"
 
-#include <bit>
-
 namespace jhdl::server {
-namespace {
 
-// Percentile over the log2 histogram: the upper bound (2^b µs) of the
-// bucket where the cumulative count crosses `fraction` of the total.
-double percentile_us(const std::array<std::uint64_t, 40>& buckets,
-                     std::uint64_t total, double fraction) {
-  if (total == 0) return 0.0;
-  const double threshold = fraction * static_cast<double>(total);
-  std::uint64_t cumulative = 0;
-  for (std::size_t b = 0; b < buckets.size(); ++b) {
-    cumulative += buckets[b];
-    if (static_cast<double>(cumulative) >= threshold) {
-      return static_cast<double>(std::uint64_t{1} << b);
-    }
-  }
-  return static_cast<double>(std::uint64_t{1} << (buckets.size() - 1));
-}
-
-}  // namespace
-
-void ServerStats::record_request(std::uint64_t micros) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  std::size_t bucket = static_cast<std::size_t>(std::bit_width(micros));
-  if (bucket >= kBuckets) bucket = kBuckets - 1;
-  latency_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-}
+ServerStats::ServerStats(obs::MetricsRegistry& registry)
+    : sessions_opened_(&registry.counter("server.sessions_opened")),
+      sessions_active_(&registry.gauge("server.sessions_active")),
+      sessions_evicted_(&registry.counter("server.sessions_evicted")),
+      sessions_closed_(&registry.counter("server.sessions_closed")),
+      resume_expired_(&registry.counter("server.resume_expired")),
+      queued_(&registry.gauge("server.queued")),
+      requests_(&registry.counter("server.requests")),
+      rejections_(&registry.counter("server.rejections")),
+      denials_(&registry.counter("server.denials")),
+      resumes_(&registry.counter("server.resumes")),
+      retries_(&registry.counter("server.retries")),
+      malformed_frames_(&registry.counter("server.malformed_frames")),
+      programs_compiled_(&registry.counter("server.programs_compiled")),
+      program_shares_(&registry.counter("server.program_shares")),
+      request_us_(&registry.histogram("server.request_us")),
+      sim_cycles_(&registry.counter("sim.cycles")),
+      sim_interp_evals_(&registry.counter("sim.interp.evals")),
+      sim_kernel_evals_(&registry.counter("sim.kernel.evals")) {}
 
 ServerStats::Snapshot ServerStats::snapshot() const {
   Snapshot s;
-  s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
-  s.sessions_active = sessions_active_.load(std::memory_order_relaxed);
-  s.sessions_evicted = sessions_evicted_.load(std::memory_order_relaxed);
-  s.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
-  s.queued = queued_.load(std::memory_order_relaxed);
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.rejections = rejections_.load(std::memory_order_relaxed);
-  s.denials = denials_.load(std::memory_order_relaxed);
-  s.resumes = resumes_.load(std::memory_order_relaxed);
-  s.retries = retries_.load(std::memory_order_relaxed);
-  s.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
-  s.programs_compiled = programs_compiled_.load(std::memory_order_relaxed);
-  s.program_shares = program_shares_.load(std::memory_order_relaxed);
+  s.sessions_opened = sessions_opened_->value();
+  s.sessions_active = static_cast<std::uint64_t>(
+      sessions_active_->value() < 0 ? 0 : sessions_active_->value());
+  s.sessions_evicted = sessions_evicted_->value();
+  s.sessions_closed = sessions_closed_->value();
+  s.resume_expired = resume_expired_->value();
+  s.queued =
+      static_cast<std::uint64_t>(queued_->value() < 0 ? 0 : queued_->value());
+  s.requests = requests_->value();
+  s.rejections = rejections_->value();
+  s.denials = denials_->value();
+  s.resumes = resumes_->value();
+  s.retries = retries_->value();
+  s.malformed_frames = malformed_frames_->value();
+  s.programs_compiled = programs_compiled_->value();
+  s.program_shares = program_shares_->value();
 
-  std::array<std::uint64_t, kBuckets> buckets{};
-  std::uint64_t total = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    buckets[b] = latency_buckets_[b].load(std::memory_order_relaxed);
-    total += buckets[b];
-  }
-  s.p50_request_us = percentile_us(buckets, total, 0.50);
-  s.p95_request_us = percentile_us(buckets, total, 0.95);
+  const obs::Histogram::Summary lat = request_us_->summarize();
+  s.p50_request_us = lat.p50;
+  s.p95_request_us = lat.p95;
+  s.p99_request_us = lat.p99;
   return s;
 }
 
@@ -63,6 +54,7 @@ Json ServerStats::Snapshot::to_json() const {
   j.set("sessions_active", sessions_active);
   j.set("sessions_evicted", sessions_evicted);
   j.set("sessions_closed", sessions_closed);
+  j.set("resume_expired", resume_expired);
   j.set("queued", queued);
   j.set("requests", requests);
   j.set("rejections", rejections);
@@ -74,6 +66,7 @@ Json ServerStats::Snapshot::to_json() const {
   j.set("program_shares", program_shares);
   j.set("p50_request_us", p50_request_us);
   j.set("p95_request_us", p95_request_us);
+  j.set("p99_request_us", p99_request_us);
   return j;
 }
 

@@ -1,32 +1,43 @@
-// ServerStats: lock-free counters for the multi-tenant delivery service.
+// ServerStats: the delivery service's counters, registered into the
+// obs::MetricsRegistry instead of owned as a bespoke atomic block.
 //
-// Every mutation is a relaxed atomic so the hot request path never takes
-// a lock; request latencies go into power-of-two microsecond buckets from
-// which p50/p95 are read back as bucket upper bounds (exact enough for
-// capacity planning, immune to unbounded memory growth).
+// The record_* API and the Stats wire query are unchanged from the
+// pre-registry days (bench/ still dumps the same JSON keys into
+// BENCH_delivery.json), but the storage now lives in named registry
+// instruments — "server.sessions_opened", "server.request_us", ... — so
+// the same numbers are also visible through MetricsDump (JSON) and the
+// Prometheus-style text exposition, alongside whatever other subsystems
+// register. Every mutation is still one relaxed atomic through a cached
+// instrument pointer: registration takes the registry mutex once, in the
+// constructor, never on the request path.
 //
-// The counters are exposed two ways: in-process via snapshot(), and over
-// the wire as JSON through the Stats admin query (bench/ dumps that JSON
-// as BENCH_delivery.json).
+// Request latencies go into the registry histogram's power-of-two
+// microsecond buckets; p50/p95/p99 are interpolated within the crossing
+// bucket (obs::Histogram::percentile) rather than read back as bucket
+// upper bounds.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "util/json.h"
 
 namespace jhdl::server {
 
-/// Counters block for one DeliveryService instance.
+/// Counters block for one DeliveryService instance, backed by `registry`.
 class ServerStats {
  public:
+  /// Registers every instrument under the "server." prefix. The registry
+  /// must outlive this object.
+  explicit ServerStats(obs::MetricsRegistry& registry);
+
   /// Plain-value copy of all counters at one instant.
   struct Snapshot {
     std::uint64_t sessions_opened = 0;
     std::uint64_t sessions_active = 0;   // gauge
     std::uint64_t sessions_evicted = 0;  // idle-timeout or admin eviction
     std::uint64_t sessions_closed = 0;   // orderly Bye / peer close
+    std::uint64_t resume_expired = 0;    // parked past resume_window
     std::uint64_t queued = 0;            // gauge: accepted, awaiting worker
     std::uint64_t requests = 0;
     std::uint64_t rejections = 0;  // saturation: accept queue full
@@ -38,61 +49,75 @@ class ServerStats {
     std::uint64_t program_shares = 0;     // sessions reusing a cached program
     double p50_request_us = 0.0;
     double p95_request_us = 0.0;
+    double p99_request_us = 0.0;
 
     Json to_json() const;
   };
 
   void record_open() {
-    sessions_opened_.fetch_add(1, std::memory_order_relaxed);
-    sessions_active_.fetch_add(1, std::memory_order_relaxed);
+    sessions_opened_->inc();
+    sessions_active_->add();
   }
   void record_close(bool evicted) {
-    sessions_active_.fetch_sub(1, std::memory_order_relaxed);
-    (evicted ? sessions_evicted_ : sessions_closed_)
-        .fetch_add(1, std::memory_order_relaxed);
+    sessions_active_->sub();
+    (evicted ? sessions_evicted_ : sessions_closed_)->inc();
   }
-  void record_enqueue() { queued_.fetch_add(1, std::memory_order_relaxed); }
-  void record_dequeue() { queued_.fetch_sub(1, std::memory_order_relaxed); }
-  void record_rejection() {
-    rejections_.fetch_add(1, std::memory_order_relaxed);
+  /// A parked session aged out of its resume window: closed, but counted
+  /// apart from evictions (the client never misbehaved — it just never
+  /// came back).
+  void record_resume_expired() {
+    sessions_active_->sub();
+    resume_expired_->inc();
   }
-  void record_denial() { denials_.fetch_add(1, std::memory_order_relaxed); }
-  void record_resume() { resumes_.fetch_add(1, std::memory_order_relaxed); }
-  void record_replay() { retries_.fetch_add(1, std::memory_order_relaxed); }
-  void record_malformed() {
-    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void record_program_compile() {
-    programs_compiled_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void record_program_share() {
-    program_shares_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void record_enqueue() { queued_->add(); }
+  void record_dequeue() { queued_->sub(); }
+  void record_rejection() { rejections_->inc(); }
+  void record_denial() { denials_->inc(); }
+  void record_resume() { resumes_->inc(); }
+  void record_replay() { retries_->inc(); }
+  void record_malformed() { malformed_frames_->inc(); }
+  void record_program_compile() { programs_compiled_->inc(); }
+  void record_program_share() { program_shares_->inc(); }
 
   /// Count one serviced request taking `micros` µs end to end.
-  void record_request(std::uint64_t micros);
+  void record_request(std::uint64_t micros) {
+    requests_->inc();
+    request_us_->record(micros);
+  }
+
+  /// Fold a closing session's simulator totals into the service-wide
+  /// engine-attribution counters (sim.cycles / sim.interp.evals /
+  /// sim.kernel.evals). Not part of the Stats snapshot — these live in
+  /// the registry and surface through MetricsDump.
+  void record_sim(std::uint64_t cycles, std::uint64_t interp_evals,
+                  std::uint64_t kernel_evals) {
+    sim_cycles_->inc(cycles);
+    sim_interp_evals_->inc(interp_evals);
+    sim_kernel_evals_->inc(kernel_evals);
+  }
 
   Snapshot snapshot() const;
   Json to_json() const { return snapshot().to_json(); }
 
  private:
-  // Bucket b holds latencies in [2^(b-1), 2^b) µs; bucket 0 holds < 1 µs.
-  static constexpr std::size_t kBuckets = 40;
-
-  std::atomic<std::uint64_t> sessions_opened_{0};
-  std::atomic<std::uint64_t> sessions_active_{0};
-  std::atomic<std::uint64_t> sessions_evicted_{0};
-  std::atomic<std::uint64_t> sessions_closed_{0};
-  std::atomic<std::uint64_t> queued_{0};
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> rejections_{0};
-  std::atomic<std::uint64_t> denials_{0};
-  std::atomic<std::uint64_t> resumes_{0};
-  std::atomic<std::uint64_t> retries_{0};
-  std::atomic<std::uint64_t> malformed_frames_{0};
-  std::atomic<std::uint64_t> programs_compiled_{0};
-  std::atomic<std::uint64_t> program_shares_{0};
-  std::array<std::atomic<std::uint64_t>, kBuckets> latency_buckets_{};
+  obs::Counter* sessions_opened_;
+  obs::Gauge* sessions_active_;
+  obs::Counter* sessions_evicted_;
+  obs::Counter* sessions_closed_;
+  obs::Counter* resume_expired_;
+  obs::Gauge* queued_;
+  obs::Counter* requests_;
+  obs::Counter* rejections_;
+  obs::Counter* denials_;
+  obs::Counter* resumes_;
+  obs::Counter* retries_;
+  obs::Counter* malformed_frames_;
+  obs::Counter* programs_compiled_;
+  obs::Counter* program_shares_;
+  obs::Histogram* request_us_;
+  obs::Counter* sim_cycles_;
+  obs::Counter* sim_interp_evals_;
+  obs::Counter* sim_kernel_evals_;
 };
 
 }  // namespace jhdl::server

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <unordered_map>
 
 #include "hdl/error.h"
@@ -97,6 +98,11 @@ Logic4 lut_eval(std::uint32_t init, const Logic4* in, std::uint8_t k,
 void fnv_mix(std::uint64_t& h, std::uint64_t v) {
   h ^= v;
   h *= 0x100000001b3ULL;
+}
+
+inline std::uint64_t profile_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
 }
 
 /// Flip-flop sample decision over (clr, ce), branchless: 0 = take D,
@@ -420,6 +426,29 @@ CompiledKernel::CompiledKernel(HWSystem& system,
   }
 }
 
+const char* sim_op_name(SimOp op) {
+  switch (op) {
+    case SimOp::And: return "and";
+    case SimOp::Or: return "or";
+    case SimOp::Xor: return "xor";
+    case SimOp::Nand: return "nand";
+    case SimOp::Nor: return "nor";
+    case SimOp::Not: return "not";
+    case SimOp::Buf: return "buf";
+    case SimOp::Mux: return "mux";
+    case SimOp::Lut: return "lut";
+    case SimOp::Rom: return "rom";
+    case SimOp::Const: return "const";
+    case SimOp::Fallback: return "fallback";
+  }
+  return "unknown";
+}
+
+void CompiledKernel::set_profile(KernelProfile* profile) {
+  profile_ = profile;
+  if (profile_ != nullptr) profile_->runs.resize(program_->runs.size());
+}
+
 void CompiledKernel::mark_op(std::uint32_t i) {
   if (program_->has_comb_cycle) {
     dirty_ = true;
@@ -599,9 +628,12 @@ void CompiledKernel::settle_event_driven() {
   // settle total stays <= num_acyclic, the interpreter's per-settle count.
   const EvalCtx c = make_ctx();
   const std::uint32_t n = static_cast<std::uint32_t>(program_->num_acyclic);
+  const std::size_t evals_before = eval_count_;
+  std::uint32_t escalated_at = n;  // n = the scan ran to completion
   std::uint8_t* dirty = op_dirty_.data();
   for (std::uint32_t i = 0; i < n; ++i) {
     if (marked_count_ >= sweep_threshold_) {
+      escalated_at = i;
       sweep_range(c, i, n);
       eval_count_ += n - i;
       std::fill(dirty, dirty + n, 0);
@@ -616,11 +648,21 @@ void CompiledKernel::settle_event_driven() {
     }
   }
   dirty_ = false;
+  if (profile_ != nullptr) {
+    ++profile_->settles_event;
+    std::size_t scanned = eval_count_ - evals_before;
+    if (escalated_at < n) {
+      ++profile_->escalations;
+      scanned -= n - escalated_at;  // the flat remainder counts via runs
+    }
+    profile_->scan_evals += scanned;
+  }
 }
 
 void CompiledKernel::settle_sweep() {
   const EvalCtx c = make_ctx();
   const std::uint32_t n = static_cast<std::uint32_t>(program_->num_acyclic);
+  if (profile_ != nullptr) ++profile_->settles_sweep;
   sweep_range(c, 0, n);
   eval_count_ += n;
   if (marked_count_ != 0) {
@@ -639,11 +681,17 @@ void CompiledKernel::sweep_range(const EvalCtx& c, std::uint32_t from,
   auto commit1 = [&](const CompiledOp& op, Logic4 v) {
     c.values[c.outs[op.out_begin]] = v;
   };
-  for (const CompiledProgram::Run& run : program_->runs) {
+  // Profiling costs one predictable branch (and, attached, two clock
+  // reads) per RUN - the per-op loops below stay untouched.
+  const bool profiled = profile_ != nullptr;
+  const std::size_t num_runs = program_->runs.size();
+  for (std::size_t ri = 0; ri < num_runs; ++ri) {
+    const CompiledProgram::Run& run = program_->runs[ri];
     if (run.end <= from) continue;
     if (run.begin >= to) break;
     const std::uint32_t b = std::max(run.begin, from);
     const std::uint32_t e = std::min(run.end, to);
+    const std::uint64_t t0 = profiled ? profile_now_ns() : 0;
     switch (run.op) {
       case SimOp::And:
         for (std::uint32_t i = b; i < e; ++i) {
@@ -716,6 +764,11 @@ void CompiledKernel::sweep_range(const EvalCtx& c, std::uint32_t from,
         }
         break;
     }
+    if (profiled) {
+      KernelProfile::RunStat& rs = profile_->runs[ri];
+      rs.ns += profile_now_ns() - t0;
+      rs.evals += e - b;
+    }
   }
 }
 
@@ -726,7 +779,9 @@ void CompiledKernel::settle_fixpoint() {
   const EvalCtx c = make_ctx();
   const std::uint32_t num_ops = static_cast<std::uint32_t>(program_->ops.size());
   const std::size_t max_passes = program_->ops.size() + 2;
+  if (profile_ != nullptr) ++profile_->settles_fixpoint;
   for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    if (profile_ != nullptr) ++profile_->fixpoint_passes;
     bool changed = false;
     for (std::uint32_t i = 0; i < num_ops; ++i) {
       if (eval_one<false>(c, i)) changed = true;

@@ -166,6 +166,39 @@ struct CompiledProgram {
   }
 };
 
+/// Opt-in profiling counters for one CompiledKernel. Attach with
+/// CompiledKernel::set_profile; detached (the default) the kernel pays
+/// one nullable-pointer check per settle and per opcode run — never per
+/// op — so the hot loops are untouched. Timings come from one
+/// steady_clock read per run, so they are meaningful for sweeps over
+/// hundreds of ops, not for single-op scans (which is why the scan path
+/// counts evals, not nanoseconds).
+struct KernelProfile {
+  /// Cumulative sweep cost of one (level, opcode) run of the program
+  /// (parallel to CompiledProgram::runs).
+  struct RunStat {
+    std::uint64_t ns = 0;     ///< time spent sweeping this run
+    std::uint64_t evals = 0;  ///< ops evaluated through this run
+  };
+  std::vector<RunStat> runs;
+
+  std::uint64_t settles_event = 0;     ///< event-driven (dirty-scan) settles
+  std::uint64_t settles_sweep = 0;     ///< whole-graph flat-sweep settles
+  std::uint64_t settles_fixpoint = 0;  ///< bounded-fixpoint settles (cyclic)
+  /// Dirty scans whose cascade crossed the sweep threshold mid-scan and
+  /// finished flat. High escalation rates mean the stimulus is broad and
+  /// the sweep threshold is doing its job.
+  std::uint64_t escalations = 0;
+  std::uint64_t fixpoint_passes = 0;  ///< total passes over cyclic graphs
+  /// Ops evaluated one-by-one by the dirty scan (the escalated remainder
+  /// is attributed to `runs` instead).
+  std::uint64_t scan_evals = 0;
+};
+
+/// Lower-case mnemonic for `op` ("and", "mux", "fallback", ...): the
+/// stable label used in profiling metric names (sim.kernel.sweep.<op>.*).
+const char* sim_op_name(SimOp op);
+
 /// Lower an elaborated circuit. `comb_order` / `comb_cyclic` / `sequential`
 /// are the Simulator's levelization results; `all_prims` is the full
 /// collect_primitives() order used for primitive ordinals.
@@ -215,6 +248,13 @@ class CompiledKernel {
   /// interpreter).
   std::size_t eval_count() const { return eval_count_; }
 
+  /// Attach (or detach with nullptr) a profiling sink. The caller owns
+  /// `profile` and must keep it alive while attached; `profile->runs` is
+  /// sized to the program's run table on attach. Counters accumulate
+  /// across calls — zero the struct to restart.
+  void set_profile(KernelProfile* profile);
+  KernelProfile* profile() const { return profile_; }
+
   Logic4 value(const Net* net) const { return (*values_)[net->id()]; }
 
  private:
@@ -260,6 +300,7 @@ class CompiledKernel {
   std::size_t marked_count_ = 0;   // ops currently marked dirty
   std::size_t sweep_threshold_ = 0;
   bool dirty_ = false;
+  KernelProfile* profile_ = nullptr;  // null = profiling off (default)
 };
 
 }  // namespace jhdl

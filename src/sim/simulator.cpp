@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <unordered_map>
@@ -237,6 +238,66 @@ void Simulator::reset() {
 
 std::size_t Simulator::eval_count() const {
   return eval_count_ + (kernel_ != nullptr ? kernel_->eval_count() : 0);
+}
+
+std::size_t Simulator::kernel_eval_count() const {
+  return kernel_ != nullptr ? kernel_->eval_count() : 0;
+}
+
+void Simulator::enable_profiling() {
+  if (profile_ != nullptr) return;
+  profile_ = std::make_unique<KernelProfile>();
+  if (kernel_ != nullptr) kernel_->set_profile(profile_.get());
+}
+
+void Simulator::export_metrics(obs::MetricsRegistry& registry) const {
+  registry.gauge("sim.cycles").set(static_cast<std::int64_t>(cycle_count_));
+  registry.gauge("sim.interp.evals")
+      .set(static_cast<std::int64_t>(eval_count_));
+  registry.gauge("sim.kernel.evals")
+      .set(static_cast<std::int64_t>(kernel_eval_count()));
+  if (profile_ == nullptr) return;
+  const KernelProfile& p = *profile_;
+  registry.gauge("sim.kernel.settles_event")
+      .set(static_cast<std::int64_t>(p.settles_event));
+  registry.gauge("sim.kernel.settles_sweep")
+      .set(static_cast<std::int64_t>(p.settles_sweep));
+  registry.gauge("sim.kernel.settles_fixpoint")
+      .set(static_cast<std::int64_t>(p.settles_fixpoint));
+  registry.gauge("sim.kernel.escalations")
+      .set(static_cast<std::int64_t>(p.escalations));
+  registry.gauge("sim.kernel.fixpoint_passes")
+      .set(static_cast<std::int64_t>(p.fixpoint_passes));
+  registry.gauge("sim.kernel.scan_evals")
+      .set(static_cast<std::int64_t>(p.scan_evals));
+  // Runs of the same opcode at different levels are separate program
+  // entries; the exported view aggregates them per opcode mnemonic.
+  constexpr std::size_t kOps =
+      static_cast<std::size_t>(SimOp::Fallback) + 1;
+  std::uint64_t op_ns[kOps] = {};
+  std::uint64_t op_evals[kOps] = {};
+  std::uint64_t total_ns = 0;
+  if (program_ != nullptr) {
+    const std::size_t n =
+        std::min(p.runs.size(), program_->runs.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto op = static_cast<std::size_t>(program_->runs[i].op);
+      op_ns[op] += p.runs[i].ns;
+      op_evals[op] += p.runs[i].evals;
+      total_ns += p.runs[i].ns;
+    }
+  }
+  registry.gauge("sim.kernel.sweep_ns")
+      .set(static_cast<std::int64_t>(total_ns));
+  for (std::size_t op = 0; op < kOps; ++op) {
+    if (op_ns[op] == 0 && op_evals[op] == 0) continue;
+    const std::string base =
+        std::string("sim.kernel.sweep.") +
+        sim_op_name(static_cast<SimOp>(op));
+    registry.gauge(base + ".ns").set(static_cast<std::int64_t>(op_ns[op]));
+    registry.gauge(base + ".evals")
+        .set(static_cast<std::int64_t>(op_evals[op]));
+  }
 }
 
 void Simulator::add_cycle_observer(std::function<void(std::size_t)> fn) {

@@ -41,6 +41,7 @@
 
 #include "hdl/hwsystem.h"
 #include "hdl/primitive.h"
+#include "obs/metrics.h"
 #include "sim/compiled_kernel.h"
 #include "util/bitvector.h"
 
@@ -119,6 +120,30 @@ class Simulator {
   /// re-evaluated by event-driven settling.
   std::size_t eval_count() const;
 
+  /// Engine attribution of eval_count(): the interpreter share covers the
+  /// virtual sequential protocol (both modes) plus interpreted
+  /// combinational settling; the kernel share is the compiled opcode
+  /// program's event-driven evals (0 in interpreted mode).
+  std::size_t interp_eval_count() const { return eval_count_; }
+  std::size_t kernel_eval_count() const;
+
+  /// Opt-in profiling: attaches a KernelProfile to the compiled kernel
+  /// (per-run sweep timings, settle-strategy and escalation counters).
+  /// Idempotent; harmless in interpreted mode, where the profile stays
+  /// empty but export_metrics still publishes engine attribution.
+  void enable_profiling();
+  /// The attached profile (null until enable_profiling()).
+  const KernelProfile* profile() const { return profile_.get(); }
+
+  /// Publish this simulator's counters into `registry` as sim.* gauges:
+  /// sim.cycles, sim.interp.evals, sim.kernel.evals always; with
+  /// profiling enabled also sim.kernel.settles_{event,sweep,fixpoint},
+  /// sim.kernel.escalations, sim.kernel.fixpoint_passes,
+  /// sim.kernel.scan_evals, sim.kernel.sweep_ns and per-opcode
+  /// sim.kernel.sweep.<op>.{ns,evals} aggregates. Gauges are set(), not
+  /// added, so repeated exports refresh in place.
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
   /// Observers run after every cycle() step (waveform recorders hook here).
   void add_cycle_observer(std::function<void(std::size_t)> fn);
 
@@ -147,6 +172,7 @@ class Simulator {
   std::vector<Primitive*> sequential_;
   std::shared_ptr<const CompiledProgram> program_;
   std::unique_ptr<CompiledKernel> kernel_;
+  std::unique_ptr<KernelProfile> profile_;  // owned; attached to kernel_
   std::vector<std::function<void(std::size_t)>> observers_;
   std::size_t cycle_count_ = 0;
   std::size_t eval_count_ = 0;

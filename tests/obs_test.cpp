@@ -1,0 +1,572 @@
+// Tests for the observability subsystem (src/obs) and its integration
+// with the delivery stack: histogram interpolation, registry concurrency
+// (the TSan target behind the `obs` ctest label), Chrome trace_event
+// export, end-to-end trace-id propagation client -> server spans, the
+// MetricsDump / TraceDump admin queries, backwards compatibility with a
+// hand-built v4 Hello, kernel profiling counters, and the resume_expired
+// accounting split.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/generators.h"
+#include "hdl/hwsystem.h"
+#include "net/protocol.h"
+#include "net/sim_client.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/delivery_service.h"
+#include "sim/simulator.h"
+#include "util/bytestream.h"
+#include "util/json.h"
+
+namespace jhdl {
+namespace {
+
+using namespace jhdl::core;
+using namespace jhdl::net;
+using namespace jhdl::obs;
+using namespace jhdl::server;
+using namespace std::chrono_literals;
+
+IpCatalog make_catalog() {
+  IpCatalog catalog;
+  catalog.add(std::make_shared<AdderGenerator>());
+  catalog.add(std::make_shared<KcmGenerator>());
+  return catalog;
+}
+
+/// Spin until `pred` holds or ~2 s elapse. Returns the final value.
+bool eventually(const std::function<bool()>& pred) {
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+// ---------------------------------------------------------------------
+// Metrics: instruments and interpolation
+// ---------------------------------------------------------------------
+
+TEST(MetricsTest, CounterGaugeBasics) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("t.count");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&reg.counter("t.count"), &c);
+
+  Gauge& g = reg.gauge("t.level");
+  g.add(10);
+  g.sub(3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(-2);
+  EXPECT_EQ(g.value(), -2);
+}
+
+TEST(MetricsTest, NameCollisionAcrossKindsThrows) {
+  MetricsRegistry reg;
+  reg.counter("t.name");
+  EXPECT_THROW(reg.gauge("t.name"), std::runtime_error);
+  EXPECT_THROW(reg.histogram("t.name"), std::runtime_error);
+}
+
+TEST(MetricsTest, HistogramPercentilesInterpolate) {
+  Histogram h;
+  // 100 samples spread uniformly over [64, 128): all land in one bucket,
+  // so the old upper-bound readback would have answered 128 for every
+  // percentile. Interpolation must separate p50 from p95.
+  for (int i = 0; i < 100; ++i) h.record(64 + static_cast<unsigned>(i) % 64);
+  const double p50 = h.percentile(0.50);
+  const double p95 = h.percentile(0.95);
+  const double p99 = h.percentile(0.99);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LT(p50, 128.0);
+  EXPECT_LT(p50, p95);
+  EXPECT_LE(p95, p99);
+  // p50 of a uniform fill should sit near the bucket midpoint, far from
+  // the 128 upper bound.
+  EXPECT_LT(p50, 112.0);
+}
+
+TEST(MetricsTest, HistogramSubMicrosecondSamplesStayBelowOne) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(0);
+  // All-zero samples: interpolation inside bucket 0 must not report the
+  // old floor of 1.0.
+  EXPECT_LT(h.percentile(0.99), 1.0);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(MetricsTest, SummarizeMatchesPercentile) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const Histogram::Summary s = h.summarize();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, 1000u * 1001u / 2);
+  EXPECT_DOUBLE_EQ(s.p50, h.percentile(0.50));
+  EXPECT_DOUBLE_EQ(s.p95, h.percentile(0.95));
+  EXPECT_DOUBLE_EQ(s.p99, h.percentile(0.99));
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+// The TSan workhorse: 8 threads hammer one histogram + counter + gauge
+// through the registry. Run under `ctest -L obs` with TSan in CI; the
+// assertions here check totals, the sanitizer checks the relaxed-atomic
+// claims.
+TEST(MetricsTest, EightThreadConcurrentRecording) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      // Mix registration (mutex path) with recording (lock-free path).
+      Counter& c = reg.counter("hammer.count");
+      Gauge& g = reg.gauge("hammer.level");
+      Histogram& h = reg.histogram("hammer.us");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        g.add();
+        h.record(static_cast<std::uint64_t>(t * kPerThread + i));
+        g.sub();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(reg.counter("hammer.count").value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(reg.gauge("hammer.level").value(), 0);
+  EXPECT_EQ(reg.histogram("hammer.us").count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, JsonAndTextExposition) {
+  MetricsRegistry reg;
+  reg.counter("a.count").inc(3);
+  reg.gauge("a.level").set(-4);
+  reg.histogram("a.us").record(7);
+
+  const Json doc = reg.to_json();
+  EXPECT_EQ(doc.at("counters").at("a.count").as_int(), 3);
+  EXPECT_EQ(doc.at("gauges").at("a.level").as_int(), -4);
+  EXPECT_EQ(doc.at("histograms").at("a.us").at("count").as_int(), 1);
+  // The dump must reparse: it goes over the wire as MetricsReply text.
+  EXPECT_NO_THROW(Json::parse(doc.dump()));
+
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("a_count 3"), std::string::npos);
+  EXPECT_NE(text.find("a_level -4"), std::string::npos);
+  EXPECT_NE(text.find("a_us_count 1"), std::string::npos);
+  EXPECT_NE(text.find("a_us_sum 7"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Tracing: rings, spans, Chrome export
+// ---------------------------------------------------------------------
+
+TEST(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  {
+    ScopedSpan span(tracer, "test.span");
+  }
+  tracer.record("test.raw", 1, 0, 5);
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(TraceTest, SpansCarryTraceIdAndDuration) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const TraceContext ctx = TraceContext::mint();
+  ASSERT_NE(ctx.id, 0u);
+  {
+    ScopedSpan span(tracer, "test.outer");
+    span.set_trace(ctx.id);
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(tracer.recorded(), 1u);
+  const std::vector<TraceEvent> events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.outer");
+  EXPECT_EQ(events[0].trace_id, ctx.id);
+  EXPECT_GE(events[0].dur_us, 500u);
+}
+
+TEST(TraceTest, RingOverwritesOldestSpans) {
+  Tracer tracer(/*ring_capacity=*/16);  // 16 is the internal minimum
+  tracer.set_enabled(true);
+  for (int i = 0; i < 100; ++i) tracer.record("test.span", 0, i, 1);
+  EXPECT_EQ(tracer.recorded(), 100u);
+  const std::vector<TraceEvent> events = tracer.snapshot();
+  EXPECT_LE(events.size(), 16u);
+  EXPECT_FALSE(events.empty());
+  // The retained spans are the most recent ones.
+  for (const TraceEvent& e : events) EXPECT_GE(e.start_us, 84u);
+}
+
+TEST(TraceTest, ChromeJsonIsWellFormed) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const std::uint64_t id = TraceContext::mint().id;
+  tracer.record("test.a", id, 10, 5);
+  tracer.record("test.b", 0, 20, 1);
+
+  const Json doc = tracer.to_chrome_json();
+  // Round-trip through text: this is exactly what chrome://tracing loads.
+  const Json back = Json::parse(doc.dump());
+  ASSERT_TRUE(back.at("traceEvents").is_array());
+  ASSERT_EQ(back.at("traceEvents").size(), 2u);
+  for (const Json& ev : back.at("traceEvents").items()) {
+    EXPECT_EQ(ev.at("ph").as_string(), "X");
+    EXPECT_EQ(ev.at("pid").as_int(), 1);
+    EXPECT_GE(ev.at("dur").as_int(), 0);
+  }
+  const Json& first = back.at("traceEvents").at(std::size_t{0});
+  EXPECT_EQ(first.at("args").at("trace").as_string(), TraceContext::hex(id));
+  EXPECT_EQ(TraceContext::hex(id).size(), 16u);
+}
+
+TEST(TraceTest, ConcurrentWritersKeepRingsIntact) {
+  Tracer tracer(/*ring_capacity=*/64);
+  tracer.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.record("test.hammer", 1, static_cast<std::uint64_t>(i), 1);
+      }
+    });
+  }
+  // Snapshot while writers are live: must stay well-formed (fields may
+  // mix across one overwritten slot, but never crash or tear the ring).
+  for (int i = 0; i < 50; ++i) {
+    const Json doc = tracer.to_chrome_json();
+    EXPECT_TRUE(doc.at("traceEvents").is_array());
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(tracer.recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------------
+// Protocol v5: trailing trace varint
+// ---------------------------------------------------------------------
+
+TEST(ProtocolV5Test, TraceRoundTripsAfterSeq) {
+  Message msg;
+  msg.type = MsgType::Cycle;
+  msg.count = 3;
+  msg.seq = 0;  // untraced requests may still be unnumbered
+  msg.trace = 0xdeadbeefcafe1234u;
+  const Message back = decode(encode(msg));
+  EXPECT_EQ(back.seq, 0u);
+  EXPECT_EQ(back.trace, 0xdeadbeefcafe1234u);
+
+  msg.seq = 41;
+  const Message both = decode(encode(msg));
+  EXPECT_EQ(both.seq, 41u);
+  EXPECT_EQ(both.trace, 0xdeadbeefcafe1234u);
+}
+
+TEST(ProtocolV5Test, OmittedTraceDecodesAsZero) {
+  Message msg;
+  msg.type = MsgType::Cycle;
+  msg.count = 1;
+  msg.seq = 7;
+  const Message back = decode(encode(msg));
+  EXPECT_EQ(back.seq, 7u);
+  EXPECT_EQ(back.trace, 0u);
+}
+
+TEST(ProtocolV5Test, AdminDumpQueriesRoundTrip) {
+  for (MsgType t : {MsgType::MetricsDump, MsgType::TraceDump}) {
+    Message q;
+    q.type = t;
+    EXPECT_EQ(decode(encode(q)).type, t);
+  }
+  Message reply;
+  reply.type = MsgType::MetricsReply;
+  reply.text = "{\"counters\": {}}";
+  EXPECT_EQ(decode(encode(reply)).text, reply.text);
+  reply.type = MsgType::TraceReply;
+  reply.text = "{\"traceEvents\": []}";
+  Message back = decode(encode(reply));
+  EXPECT_EQ(back.type, MsgType::TraceReply);
+  EXPECT_EQ(back.text, reply.text);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: trace propagation, admin queries, v4 compatibility
+// ---------------------------------------------------------------------
+
+TEST(ObsEndToEndTest, ClientTraceIdReachesServerSpans) {
+  DeliveryConfig config;
+  config.tracing = true;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "carry-adder";
+  spec.params["width"] = 8;
+  spec.trace_id = 0x1122334455667788u;
+  SimClient client(port, spec);
+  EXPECT_EQ(client.trace_id(), 0x1122334455667788u);
+  client.set_input("a", BitVector::from_uint(8, 5));
+  client.set_input("b", BitVector::from_uint(8, 9));
+  client.cycle();
+  EXPECT_EQ(client.get_output("s").to_uint(), 14u);
+  client.bye();
+
+  const Json trace = query_trace(port);
+  ASSERT_TRUE(trace.at("traceEvents").is_array());
+  const std::string want = TraceContext::hex(spec.trace_id);
+  bool handshake_traced = false;
+  bool request_traced = false;
+  for (const Json& ev : trace.at("traceEvents").items()) {
+    if (!ev.has("args")) continue;
+    if (ev.at("args").at("trace").as_string() != want) continue;
+    const std::string& name = ev.at("name").as_string();
+    if (name == "session.handshake") handshake_traced = true;
+    if (name.rfind("req.", 0) == 0) request_traced = true;
+  }
+  EXPECT_TRUE(handshake_traced)
+      << "client trace id missing from handshake spans:\n"
+      << trace.dump(2);
+  EXPECT_TRUE(request_traced);
+  service.stop();
+}
+
+TEST(ObsEndToEndTest, ServerMintsTraceIdWhenClientSendsNone) {
+  DeliveryConfig config;
+  config.tracing = true;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+
+  // Hand-built v4 Hello: no trailing trace varint at all, exactly what a
+  // pre-v5 client puts on the wire. The server must serve it and mint its
+  // own trace id for the session's spans.
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Hello));
+  w.u32(kHelloMagic);
+  w.u16(4);  // protocol v4
+  w.str("acme");
+  w.str("carry-adder");
+  w.varint(1);
+  w.str("width");
+  w.svarint(8);
+
+  TcpStream stream = TcpStream::connect(port);
+  stream.send_frame(w.take());
+  const Message iface = decode(stream.recv_frame());
+  ASSERT_EQ(iface.type, MsgType::Iface) << iface.text;
+  // The reply to a v4 client must not carry the v5 trace varint.
+  EXPECT_EQ(iface.trace, 0u);
+  const Json desc = Json::parse(iface.text);
+  EXPECT_FALSE(desc.has("trace"));
+
+  ByteWriter cyc;
+  cyc.u8(static_cast<std::uint8_t>(MsgType::Cycle));
+  cyc.varint(2);
+  stream.send_frame(cyc.take());
+  const Message ok = decode(stream.recv_frame());
+  EXPECT_EQ(ok.type, MsgType::Ok);
+  EXPECT_EQ(ok.count, 2u);
+
+  ByteWriter bye;
+  bye.u8(static_cast<std::uint8_t>(MsgType::Bye));
+  stream.send_frame(bye.take());
+  stream.close();
+
+  ASSERT_TRUE(eventually([&] {
+    return service.stats().snapshot().sessions_closed >= 1;
+  }));
+  // The session's spans exist under a server-minted (nonzero) trace id.
+  bool handshake_traced = false;
+  for (const TraceEvent& e : service.tracer().snapshot()) {
+    if (std::string(e.name) == "session.handshake" && e.trace_id != 0) {
+      handshake_traced = true;
+    }
+  }
+  EXPECT_TRUE(handshake_traced);
+  service.stop();
+}
+
+TEST(ObsEndToEndTest, V5IfaceAdvertisesTraceId) {
+  DeliveryService service(make_catalog());
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "carry-adder";
+  spec.params["width"] = 8;
+  SimClient client(port, spec);
+  // Client minted an id (none supplied) and the server echoed it.
+  EXPECT_NE(client.trace_id(), 0u);
+  EXPECT_EQ(client.iface().at("trace").as_string(),
+            TraceContext::hex(client.trace_id()));
+  client.bye();
+  service.stop();
+}
+
+TEST(ObsEndToEndTest, MetricsDumpServesRegistry) {
+  DeliveryService service(make_catalog());
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "carry-adder";
+  spec.params["width"] = 8;
+  {
+    SimClient client(port, spec);
+    client.set_input("a", BitVector::from_uint(8, 1));
+    client.set_input("b", BitVector::from_uint(8, 2));
+    client.cycle();
+    EXPECT_EQ(client.get_output("s").to_uint(), 3u);
+    client.bye();
+  }
+  ASSERT_TRUE(eventually([&] {
+    return service.stats().snapshot().sessions_closed >= 1;
+  }));
+
+  const Json dump = query_metrics(port);
+  EXPECT_GE(dump.at("counters").at("server.sessions_opened").as_int(), 1);
+  EXPECT_GE(dump.at("counters").at("server.requests").as_int(), 3);
+  EXPECT_GE(dump.at("histograms").at("server.request_us").at("count").as_int(),
+            3);
+  // The closing session folded its simulator totals into sim.*.
+  EXPECT_GE(dump.at("counters").at("sim.cycles").as_int(), 1);
+  // Stats stays wire-compatible: every pre-existing key still present.
+  const Json stats = query_stats(port);
+  for (const char* key :
+       {"sessions_opened", "sessions_active", "sessions_evicted",
+        "sessions_closed", "queued", "requests", "rejections", "denials",
+        "resumes", "retries", "malformed_frames", "programs_compiled",
+        "program_shares", "p50_request_us", "p95_request_us"}) {
+    EXPECT_TRUE(stats.has(key)) << "missing stats key: " << key;
+  }
+  EXPECT_TRUE(stats.has("resume_expired"));
+  EXPECT_TRUE(stats.has("p99_request_us"));
+  service.stop();
+}
+
+TEST(ObsEndToEndTest, ExpiredParkedSessionCountsAsResumeExpired) {
+  DeliveryConfig config;
+  config.resume_window = 50ms;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+
+  // Open a session, then kill the transport without a Bye: the session
+  // parks, and once the window lapses the reaper closes it under the
+  // distinct resume_expired counter.
+  TcpStream raw = TcpStream::connect(port);
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.customer = "acme";
+  hello.name = "carry-adder";
+  hello.params["width"] = 8;
+  raw.send_frame(encode(hello));
+  ASSERT_EQ(decode(raw.recv_frame()).type, MsgType::Iface);
+  raw.shutdown();
+  raw.close();
+
+  ASSERT_TRUE(eventually([&] {
+    return service.stats().snapshot().resume_expired == 1;
+  })) << service.stats().to_json().dump(2);
+  const ServerStats::Snapshot s = service.stats().snapshot();
+  EXPECT_EQ(s.sessions_evicted, 0u);
+  EXPECT_EQ(s.sessions_closed, 0u);
+  service.stop();
+}
+
+// ---------------------------------------------------------------------
+// Kernel profiling
+// ---------------------------------------------------------------------
+
+TEST(KernelProfileTest, ProfiledSimulationPopulatesCounters) {
+  KcmGenerator gen;
+  ParamMap params = ParamMap()
+                        .set("input_width", std::int64_t{16})
+                        .set("constant", std::int64_t{1234})
+                        .set("signed_mode", true)
+                        .resolved(gen.params());
+  BuildResult build = gen.build(params);
+  SimOptions opts;
+  opts.mode = SimMode::Compiled;
+  Simulator sim(*build.system, opts);
+  sim.enable_profiling();
+  ASSERT_NE(sim.profile(), nullptr);
+
+  Wire* x = build.inputs.at("multiplicand");
+  for (int i = 0; i < 50; ++i) {
+    sim.put(x, static_cast<std::uint64_t>(i * 37) & 0xffffu);
+    sim.cycle();
+  }
+
+  const KernelProfile& p = *sim.profile();
+  EXPECT_GT(p.settles_event + p.settles_sweep, 0u);
+  // Attribution totals add up: every kernel eval is either scanned
+  // one-by-one or swept through an opcode run.
+  std::uint64_t run_evals = 0;
+  for (const KernelProfile::RunStat& rs : p.runs) run_evals += rs.evals;
+  EXPECT_EQ(run_evals + p.scan_evals, sim.kernel_eval_count());
+  EXPECT_GT(sim.kernel_eval_count(), 0u);
+
+  MetricsRegistry reg;
+  sim.export_metrics(reg);
+  EXPECT_EQ(reg.gauge("sim.cycles").value(), 50);
+  EXPECT_EQ(reg.gauge("sim.kernel.evals").value(),
+            static_cast<std::int64_t>(sim.kernel_eval_count()));
+  EXPECT_EQ(reg.gauge("sim.interp.evals").value(),
+            static_cast<std::int64_t>(sim.interp_eval_count()));
+  EXPECT_EQ(reg.gauge("sim.kernel.settles_event").value() +
+                reg.gauge("sim.kernel.settles_sweep").value(),
+            static_cast<std::int64_t>(p.settles_event + p.settles_sweep));
+}
+
+TEST(KernelProfileTest, InterpretedModeExportsAttributionOnly) {
+  AdderGenerator gen;
+  ParamMap params =
+      ParamMap().set("width", std::int64_t{8}).resolved(gen.params());
+  BuildResult build = gen.build(params);
+  SimOptions opts;
+  opts.mode = SimMode::Interpreted;
+  Simulator sim(*build.system, opts);
+  sim.enable_profiling();  // harmless without a kernel
+
+  sim.put(build.inputs.at("a"), 3);
+  sim.put(build.inputs.at("b"), 4);
+  sim.cycle(5);
+
+  EXPECT_EQ(sim.kernel_eval_count(), 0u);
+  EXPECT_GT(sim.interp_eval_count(), 0u);
+  MetricsRegistry reg;
+  sim.export_metrics(reg);
+  EXPECT_EQ(reg.gauge("sim.kernel.evals").value(), 0);
+  EXPECT_GT(reg.gauge("sim.interp.evals").value(), 0);
+  EXPECT_EQ(reg.gauge("sim.cycles").value(), 5);
+}
+
+}  // namespace
+}  // namespace jhdl

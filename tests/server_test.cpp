@@ -351,7 +351,11 @@ TEST(DeliveryServiceTest, StatsQueryOverTheWire) {
   EXPECT_EQ(stats.at("rejections").as_int(), 0);
   EXPECT_GE(stats.at("p95_request_us").as_number(),
             stats.at("p50_request_us").as_number());
-  EXPECT_GE(stats.at("p50_request_us").as_number(), 1.0);
+  EXPECT_GE(stats.at("p99_request_us").as_number(),
+            stats.at("p95_request_us").as_number());
+  // Interpolated percentiles can land below 1 µs for sub-microsecond
+  // requests (the old bucket-upper-bound readback never could).
+  EXPECT_GT(stats.at("p50_request_us").as_number(), 0.0);
 
   a.bye();
   b.bye();
@@ -578,10 +582,13 @@ TEST(DeliveryServiceTest, DetachedSessionIsPurgedAfterWindow) {
   raw.shutdown();
   raw.close();
 
-  // The reaper purges the detached session once the window lapses.
+  // The reaper purges the detached session once the window lapses,
+  // counted under resume_expired (the client never misbehaved), not
+  // folded into sessions_evicted.
   EXPECT_TRUE(eventually([&] { return service.sessions().active() == 0; }));
   EXPECT_TRUE(eventually(
-      [&] { return service.stats().snapshot().sessions_evicted == 1; }));
+      [&] { return service.stats().snapshot().resume_expired == 1; }));
+  EXPECT_EQ(service.stats().snapshot().sessions_evicted, 0u);
 
   // A late Resume finds nothing.
   TcpStream late = TcpStream::connect(port);
