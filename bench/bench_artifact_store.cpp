@@ -1,0 +1,187 @@
+// Artifact-store payoff: cold pipeline latency (elaborate + compile +
+// netlist + estimate, exactly what the first consumer of a configuration
+// pays) vs the warm path (content-addressed hit, every view memoized),
+// plus a concurrent-open hammer measuring hit rate and single-flight
+// behaviour. A byte-compare of the warm store's views against an
+// independent cold build proves the cache returns the same artifact it
+// would have built - a speedup bought with stale or divergent views
+// fails the run.
+//
+// Emits BENCH_artifact.json. `--smoke` shrinks iteration counts and
+// skips the throughput gate; the full run requires the kcm-32 warm path
+// to clear 5x over cold.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact_store.h"
+#include "core/generators.h"
+#include "util/json.h"
+
+using namespace jhdl;
+using namespace jhdl::core;
+
+namespace {
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ParamMap kcm_params(std::int64_t width) {
+  return ParamMap()
+      .set("input_width", width)
+      .set("constant", std::int64_t{-20563})
+      .set("signed_mode", true)
+      .set("pipelined_mode", true);
+}
+
+/// Everything the first consumer of a configuration pays: elaboration,
+/// kernel compilation, netlist scoping + rendering, area estimate.
+void touch_all(const IpArtifact& artifact) {
+  (void)artifact.program();
+  (void)artifact.netlist_text(NetlistFormat::Edif);
+  (void)artifact.area();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int cold_iters = smoke ? 2 : 10;
+  const int warm_iters = smoke ? 200 : 5000;
+
+  auto kcm = std::make_shared<KcmGenerator>();
+
+  std::printf("=== Artifact store: cold pipeline vs warm fetch ===\n\n");
+  std::printf("  %-9s %12s %12s %9s %6s\n", "circuit", "cold us", "warm us",
+              "speedup", "exact");
+
+  Json rows = Json::array();
+  bool all_exact = true;
+  bool flagship_fast = true;
+  for (std::int64_t width : {8, 16, 32}) {
+    const std::string label = "kcm-" + std::to_string(width);
+
+    // Cold: a fresh store per iteration, full pipeline.
+    double cold_us = 0.0;
+    for (int i = 0; i < cold_iters; ++i) {
+      ArtifactStore fresh;
+      const double t0 = now_us();
+      auto art = fresh.get_or_build(kcm, kcm_params(width));
+      touch_all(*art);
+      cold_us += now_us() - t0;
+    }
+    cold_us /= cold_iters;
+
+    // Warm: one store, every later consumer reads the memoized snapshot.
+    ArtifactStore store;
+    auto first = store.get_or_build(kcm, kcm_params(width));
+    touch_all(*first);
+    const double t0 = now_us();
+    for (int i = 0; i < warm_iters; ++i) {
+      auto art = store.get_or_build(kcm, kcm_params(width));
+      touch_all(*art);
+    }
+    const double warm_us = (now_us() - t0) / warm_iters;
+
+    // Bit-exactness: the warm snapshot vs an independent cold build.
+    IpArtifact cold_ref(kcm, kcm_params(width).resolved(kcm->params()));
+    const bool exact =
+        cold_ref.netlist_text(NetlistFormat::Edif) ==
+            first->netlist_text(NetlistFormat::Edif) &&
+        cold_ref.netlist_text(NetlistFormat::Json) ==
+            first->netlist_text(NetlistFormat::Json) &&
+        cold_ref.area().luts == first->area().luts;
+    all_exact = all_exact && exact;
+
+    const double speedup = warm_us > 0.0 ? cold_us / warm_us : 0.0;
+    // Acceptance: warm must beat cold by 5x on the flagship instance.
+    // The smoke run still checks exactness but skips the gate.
+    if (width == 32 && !smoke && speedup < 5.0) flagship_fast = false;
+    std::printf("  %-9s %12.1f %12.2f %8.1fx %6s\n", label.c_str(), cold_us,
+                warm_us, speedup, exact ? "yes" : "NO");
+
+    Json row = Json::object();
+    row.set("circuit", label);
+    row.set("cold_us", cold_us);
+    row.set("warm_us", warm_us);
+    row.set("speedup", speedup);
+    row.set("flagship", width == 32);
+    row.set("bit_exact", exact);
+    rows.push(row);
+  }
+
+  // Concurrent session-open hammer: 8 threads race a small set of
+  // configurations; single-flight must hold builds to one per config.
+  const int threads_n = 8;
+  const int opens_per_thread = smoke ? 25 : 250;
+  const std::vector<std::int64_t> widths = {8, 12, 16, 24};
+  ArtifactStore store;
+  std::atomic<int> divergent{0};
+  const double h0 = now_us();
+  std::vector<std::thread> threads;
+  threads.reserve(threads_n);
+  for (int t = 0; t < threads_n; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < opens_per_thread; ++i) {
+        const std::int64_t w =
+            widths[static_cast<std::size_t>(t + i) % widths.size()];
+        auto art = store.get_or_build(kcm, kcm_params(w));
+        if (art->params().values().at("input_width") != w) {
+          divergent.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double hammer_ms = (now_us() - h0) / 1000.0;
+  ArtifactStore::Stats stats = store.stats();
+  const double total = static_cast<double>(stats.hits + stats.misses +
+                                           stats.coalesced);
+  const double hit_rate =
+      total > 0.0
+          ? static_cast<double>(stats.hits + stats.coalesced) / total
+          : 0.0;
+  const bool single_flight = stats.misses == widths.size();
+  all_exact = all_exact && divergent.load() == 0;
+
+  std::printf(
+      "\nconcurrent: %d threads x %d opens over %zu configs in %.1f ms\n"
+      "  builds %llu (want %zu)  hit rate %.4f  coalesced %llu\n",
+      threads_n, opens_per_thread, widths.size(), hammer_ms,
+      static_cast<unsigned long long>(stats.misses), widths.size(), hit_rate,
+      static_cast<unsigned long long>(stats.coalesced));
+
+  Json doc = Json::object();
+  doc.set("benchmark", std::string("artifact_store"));
+  doc.set("smoke", smoke);
+  doc.set("rows", rows);
+  Json conc = Json::object();
+  conc.set("threads", threads_n);
+  conc.set("opens_per_thread", opens_per_thread);
+  conc.set("configs", widths.size());
+  conc.set("builds", stats.misses);
+  conc.set("coalesced", stats.coalesced);
+  conc.set("hit_rate", hit_rate);
+  conc.set("single_flight", single_flight);
+  doc.set("concurrent", conc);
+  doc.set("all_bit_exact", all_exact);
+  doc.set("flagship_reaches_5x", flagship_fast);
+  std::ofstream("BENCH_artifact.json") << doc.dump() << "\n";
+  std::printf("\nwrote BENCH_artifact.json\n");
+  if (!all_exact) std::printf("FAIL: warm views diverge from cold build\n");
+  if (!single_flight) std::printf("FAIL: concurrent builds not coalesced\n");
+  if (!flagship_fast) std::printf("FAIL: kcm-32 warm speedup below 5x\n");
+  return (all_exact && single_flight && flagship_fast) ? 0 : 1;
+}

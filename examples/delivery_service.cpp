@@ -90,6 +90,15 @@ int main() {
   customers.emplace_back([port] { evaluate_kcm(port); });
   for (auto& t : customers) t.join();
 
+  // A second wave with the same configurations: every session now opens
+  // against the shared artifact store's snapshot instead of
+  // re-elaborating (watch artifact.hits below).
+  std::printf("\nsecond wave hits the shared artifact store:\n");
+  customers.clear();
+  customers.emplace_back([port] { evaluate_adder(port); });
+  customers.emplace_back([port] { evaluate_kcm(port); });
+  for (auto& t : customers) t.join();
+
   std::printf("\nwalk-ins are turned away at the handshake:\n");
   for (const char* who : {"initech", "hacker"}) {
     try {
@@ -104,6 +113,24 @@ int main() {
 
   std::printf("\nadmin stats (the Stats wire query):\n%s\n",
               query_stats(port).dump(2).c_str());
+
+  // The artifact store's instruments ride the same MetricsDump wire
+  // query as everything else; one elaboration per configuration, every
+  // later session a hit.
+  const Json metrics = query_metrics(port);
+  const Json& counters = metrics.at("counters");
+  const Json& gauges = metrics.at("gauges");
+  std::printf("artifact store (the MetricsDump wire query):\n");
+  for (const char* key : {"artifact.hits", "artifact.misses",
+                          "artifact.coalesced", "artifact.evictions",
+                          "artifact.pinned_skips"}) {
+    std::printf("  %-22s %lld\n", key,
+                static_cast<long long>(counters.at(key).as_int()));
+  }
+  for (const char* key : {"artifact.entries", "artifact.resident_bytes"}) {
+    std::printf("  %-22s %lld\n", key,
+                static_cast<long long>(gauges.at(key).as_int()));
+  }
   service.stop();
   return 0;
 }

@@ -4,9 +4,10 @@
 # gates off), then ASan and TSan builds running the protocol-robustness
 # battery (everything labelled `net-fault`: net_test, server_test,
 # fuzz_test, fault_test), the compiled-kernel battery (`sim-kernel`:
-# unit tests + differential random-circuit parity), and the
-# observability battery (`obs`: lock-free metrics/trace-ring hammers +
-# trace propagation end-to-end).
+# unit tests + differential random-circuit parity), the observability
+# battery (`obs`: lock-free metrics/trace-ring hammers + trace
+# propagation end-to-end), and the artifact-pipeline battery
+# (`artifact`: single-flight store races + cross-consumer determinism).
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  skip the sanitizer builds (plain build + full suite only)
@@ -28,16 +29,20 @@ echo "== observability overhead smoke bench (bit-exactness check) =="
 cmake --build build -j "${JOBS}" --target bench_obs_overhead
 (cd build/bench && ./bench_obs_overhead --smoke)
 
+echo "== artifact store smoke bench (cold/warm determinism check) =="
+cmake --build build -j "${JOBS}" --target bench_artifact_store
+(cd build/bench && ./bench_artifact_store --smoke)
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "CI OK (fast: sanitizers skipped)"
   exit 0
 fi
 
 for SAN in address thread; do
-  echo "== ${SAN} sanitizer: net-fault + sim-kernel + obs batteries =="
+  echo "== ${SAN} sanitizer: net-fault + sim-kernel + obs + artifact batteries =="
   cmake -B "build-${SAN}" -S . -DJHDL_SANITIZE="${SAN}" >/dev/null
   cmake --build "build-${SAN}" -j "${JOBS}"
-  ctest --test-dir "build-${SAN}" -L 'net-fault|sim-kernel|obs' \
+  ctest --test-dir "build-${SAN}" -L 'net-fault|sim-kernel|obs|artifact' \
     --output-on-failure
 done
 

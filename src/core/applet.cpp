@@ -50,6 +50,23 @@ const BuildResult& Applet::checked_build(const char* operation) const {
   return *build_;
 }
 
+const BuildResult& Applet::ensure_instance(const char* operation) {
+  if (!build_.has_value()) {
+    if (artifact_ == nullptr) {
+      throw std::logic_error(std::string(operation) +
+                             ": no instance built yet; call build() first");
+    }
+    // First simulation touch on the artifact path: elaborate a private
+    // instance (its own value state) and bind the artifact's shared
+    // compiled program so levelization/lowering is not repeated.
+    build_ = spec_.generator->build(params_);
+    SimOptions options;
+    options.program = artifact_->program();
+    sim_ = std::make_unique<Simulator>(*build_->system, options);
+  }
+  return *build_;
+}
+
 std::string Applet::describe() const {
   std::ostringstream os;
   os << "=== " << spec_.title << " ===\n";
@@ -63,6 +80,23 @@ std::string Applet::describe() const {
 
 void Applet::build(const ParamMap& params) {
   require(Feature::ParameterInterface, "build");
+
+  // Shared-snapshot path: no per-customer circuit transform, so every
+  // view can be served from the store's artifact. The simulator instance
+  // (which needs private value state) is elaborated lazily on first use.
+  if (spec_.store != nullptr && spec_.watermark_owner.empty() &&
+      !spec_.obfuscate) {
+    std::shared_ptr<const IpArtifact> artifact =
+        spec_.store->get_or_build(spec_.generator, params);
+    recorder_.reset();
+    sim_.reset();
+    build_.reset();
+    artifact_ = std::move(artifact);
+    params_ = artifact_->params();
+    meter_.record_build();
+    return;
+  }
+
   ParamMap resolved = params.resolved(spec_.generator->params());
   BuildResult result = spec_.generator->build(resolved);
 
@@ -78,6 +112,7 @@ void Applet::build(const ParamMap& params) {
   // pointers into it, so they go first).
   recorder_.reset();
   sim_.reset();
+  artifact_.reset();
   build_ = std::move(result);
   params_ = std::move(resolved);
   sim_ = std::make_unique<Simulator>(*build_->system);
@@ -85,26 +120,30 @@ void Applet::build(const ParamMap& params) {
 }
 
 std::size_t Applet::latency() const {
+  if (artifact_ != nullptr) return artifact_->latency();
   return checked_build("latency").latency;
 }
 
 const ParamMap& Applet::current_params() const {
-  checked_build("current_params");
+  if (artifact_ == nullptr) checked_build("current_params");
   return params_;
 }
 
 estimate::AreaEstimate Applet::area() const {
   require(Feature::Estimator, "area estimate");
+  if (artifact_ != nullptr) return artifact_->area();
   return estimate::estimate_area(*checked_build("area").top);
 }
 
 estimate::TimingEstimate Applet::timing() const {
   require(Feature::Estimator, "timing estimate");
+  if (artifact_ != nullptr) return artifact_->timing();
   return estimate::estimate_timing(*checked_build("timing").top);
 }
 
 std::string Applet::hierarchy() const {
   require(Feature::StructuralViewer, "hierarchy view");
+  if (artifact_ != nullptr) return artifact_->hierarchy_text();
   return viewer::hierarchy_tree(*checked_build("hierarchy").top);
 }
 
@@ -112,31 +151,37 @@ std::string Applet::interface_text() const {
   // Interface visibility is part of the parameter interface: a customer
   // must at least see the ports to integrate the IP.
   require(Feature::ParameterInterface, "interface view");
+  if (artifact_ != nullptr) return artifact_->interface_text();
   return viewer::interface_summary(*checked_build("interface").top);
 }
 
 std::string Applet::schematic_text() const {
   require(Feature::StructuralViewer, "schematic view");
+  if (artifact_ != nullptr) return artifact_->schematic_text();
   return viewer::text_schematic(*checked_build("schematic").top);
 }
 
 std::string Applet::schematic_svg() const {
   require(Feature::StructuralViewer, "schematic view");
+  if (artifact_ != nullptr) return artifact_->schematic_svg();
   return viewer::svg_schematic(*checked_build("schematic").top);
 }
 
 std::string Applet::memories() const {
   require(Feature::StructuralViewer, "memory view");
+  if (artifact_ != nullptr) return artifact_->memories_text();
   return viewer::memory_contents(*checked_build("memories").top);
 }
 
 std::string Applet::layout_text() const {
   require(Feature::LayoutViewer, "layout view");
+  if (artifact_ != nullptr) return artifact_->layout_text();
   return viewer::text_layout(*checked_build("layout").top);
 }
 
 std::string Applet::layout_svg() const {
   require(Feature::LayoutViewer, "layout view");
+  if (artifact_ != nullptr) return artifact_->layout_svg();
   return viewer::svg_layout(*checked_build("layout").top);
 }
 
@@ -152,38 +197,38 @@ Wire* Applet::find_port(const std::map<std::string, Wire*>& map,
 
 void Applet::sim_put(const std::string& input, std::uint64_t value) {
   require(Feature::Simulator, "simulation");
-  checked_build("sim_put");
+  ensure_instance("sim_put");
   sim_->put(find_port(build_->inputs, input, "input"), value);
 }
 
 void Applet::sim_put_signed(const std::string& input, std::int64_t value) {
   require(Feature::Simulator, "simulation");
-  checked_build("sim_put");
+  ensure_instance("sim_put");
   sim_->put_signed(find_port(build_->inputs, input, "input"), value);
 }
 
 void Applet::sim_cycle(std::size_t n) {
   require(Feature::Simulator, "simulation");
-  checked_build("sim_cycle");
+  ensure_instance("sim_cycle");
   sim_->cycle(n);
   meter_.record_simulation_cycles(n);
 }
 
 void Applet::sim_reset() {
   require(Feature::Simulator, "simulation");
-  checked_build("sim_reset");
+  ensure_instance("sim_reset");
   sim_->reset();
 }
 
 BitVector Applet::sim_get(const std::string& output) {
   require(Feature::Simulator, "simulation");
-  checked_build("sim_get");
+  ensure_instance("sim_get");
   return sim_->get(find_port(build_->outputs, output, "output"));
 }
 
 void Applet::watch(const std::string& port) {
   require(Feature::WaveformViewer, "waveform recording");
-  checked_build("watch");
+  ensure_instance("watch");
   if (recorder_ == nullptr) {
     recorder_ = std::make_unique<WaveformRecorder>(*sim_);
   }
@@ -211,6 +256,10 @@ std::string Applet::vcd() const {
 
 std::string Applet::netlist(NetlistFormat fmt) {
   require(Feature::Netlister, "netlist export");
+  if (artifact_ != nullptr) {
+    meter_.record_netlist();
+    return artifact_->netlist_text(fmt);
+  }
   const BuildResult& b = checked_build("netlist");
   meter_.record_netlist();
   switch (fmt) {
@@ -228,6 +277,7 @@ std::string Applet::netlist(NetlistFormat fmt) {
 
 std::unique_ptr<BlackBoxModel> Applet::make_black_box() const {
   require(Feature::BlackBoxSim, "black-box model");
+  if (artifact_ != nullptr) return artifact_->instantiate();
   checked_build("make_black_box");
   // Independent build so the caller cannot alias the applet's instance.
   BuildResult fresh = spec_.generator->build(params_);

@@ -30,6 +30,7 @@
 #include <optional>
 #include <string>
 
+#include "core/artifact_store.h"
 #include "core/blackbox.h"
 #include "core/feature.h"
 #include "core/generator.h"
@@ -50,14 +51,20 @@ class AppletSecurityError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
-/// Netlist output formats offered by the Netlister feature.
-enum class NetlistFormat { Edif, Vhdl, Verilog, Json };
+// NetlistFormat now lives in core/artifact.h (next to the memoized
+// per-format renderings) and is re-exported here unchanged.
 
 /// Everything a vendor decides when assembling an applet.
 struct AppletSpec {
   std::string title;
   std::shared_ptr<const ModuleGenerator> generator;
   LicensePolicy license;
+  /// Shared artifact store (optional). When set - and the applet applies
+  /// no per-customer circuit transform (watermark/obfuscation) - build()
+  /// pins the store's snapshot instead of re-elaborating, so estimates,
+  /// views and netlists are served from the same IpArtifact the delivery
+  /// service and CLI tools read.
+  std::shared_ptr<ArtifactStore> store;
   /// Obfuscate generated circuits before any structural output (names
   /// become opaque; function preserved).
   bool obfuscate = false;
@@ -88,7 +95,12 @@ class Applet {
   /// Elaborate an instance for `params` (validated against the schema).
   /// Replaces any previous instance. Gated by ParameterInterface.
   void build(const ParamMap& params);
-  bool built() const { return build_.has_value(); }
+  bool built() const { return build_.has_value() || artifact_ != nullptr; }
+  /// The pinned store snapshot backing this applet's views (null when the
+  /// applet elaborated privately: no store, watermark, or obfuscation).
+  const std::shared_ptr<const IpArtifact>& artifact() const {
+    return artifact_;
+  }
   /// Latency of the built instance in cycles.
   std::size_t latency() const;
   const ParamMap& current_params() const;
@@ -144,11 +156,15 @@ class Applet {
  private:
   void require(Feature f, const char* operation) const;
   const BuildResult& checked_build(const char* operation) const;
+  /// Sim paths on the artifact path: elaborate the private instance
+  /// (bound to the artifact's shared compiled program) on first use.
+  const BuildResult& ensure_instance(const char* operation);
   Wire* find_port(const std::map<std::string, Wire*>& map,
                   const std::string& name, const char* kind) const;
 
   AppletSpec spec_;
   ParamMap params_;
+  std::shared_ptr<const IpArtifact> artifact_;
   std::optional<BuildResult> build_;
   std::unique_ptr<Simulator> sim_;
   std::unique_ptr<WaveformRecorder> recorder_;
@@ -169,6 +185,11 @@ class AppletBuilder {
   }
   AppletBuilder& license(LicensePolicy policy) {
     spec_.license = std::move(policy);
+    return *this;
+  }
+  /// Serve builds from a shared artifact store (see AppletSpec::store).
+  AppletBuilder& artifact_store(std::shared_ptr<ArtifactStore> store) {
+    spec_.store = std::move(store);
     return *this;
   }
   /// Grant or revoke an individual feature on top of the license tier.

@@ -1,0 +1,161 @@
+#include "core/artifact.h"
+
+#include "core/blackbox.h"
+#include "hdl/visitor.h"
+#include "netlist/netlist.h"
+#include "sim/simulator.h"
+#include "viewer/hierarchy.h"
+#include "viewer/layout_view.h"
+#include "viewer/memview.h"
+#include "viewer/schematic.h"
+
+namespace jhdl::core {
+
+IpArtifact::IpArtifact(std::shared_ptr<const ModuleGenerator> generator,
+                       ParamMap params)
+    : generator_(std::move(generator)),
+      module_(generator_->name()),
+      params_(std::move(params)),
+      param_hash_(params_.content_hash()),
+      build_(generator_->build(params_)),
+      prim_count_(collect_primitives(*build_.top).size()) {}
+
+std::shared_ptr<const CompiledProgram> IpArtifact::program() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (program_ == nullptr) {
+    // Compile off the reference elaboration. The throwaway Simulator
+    // levelizes and lowers; only the immutable program survives. Mode is
+    // forced to Compiled so the artifact can feed compiled-mode sessions
+    // even when this process defaults to the interpreter.
+    SimOptions options;
+    options.mode = SimMode::Compiled;
+    Simulator sim(*build_.system, options);
+    program_ = sim.compiled_program();
+  }
+  return program_;
+}
+
+const netlist::Design& IpArtifact::design() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (design_ == nullptr) {
+    design_ = std::make_unique<netlist::Design>(*build_.top,
+                                                netlist::NetlistOptions{});
+  }
+  return *design_;
+}
+
+const std::string& IpArtifact::netlist_text(NetlistFormat format) const {
+  // design() takes and releases mu_ itself; re-acquire for the memo map.
+  const netlist::Design& design = this->design();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = netlists_.try_emplace(static_cast<int>(format));
+  if (inserted) {
+    switch (format) {
+      case NetlistFormat::Edif:
+        it->second = netlist::write_edif(design);
+        break;
+      case NetlistFormat::Vhdl:
+        it->second = netlist::write_vhdl(design);
+        break;
+      case NetlistFormat::Verilog:
+        it->second = netlist::write_verilog(design);
+        break;
+      case NetlistFormat::Json:
+        it->second = netlist::write_json(design);
+        break;
+    }
+  }
+  return it->second;
+}
+
+const estimate::AreaEstimate& IpArtifact::area() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!area_.has_value()) area_ = estimate::estimate_area(*build_.top);
+  return *area_;
+}
+
+const estimate::TimingEstimate& IpArtifact::timing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A combinational cycle throws out of estimate_timing; deliberately
+  // not memoized, so every caller sees the same HdlError.
+  if (!timing_.has_value()) timing_ = estimate::estimate_timing(*build_.top);
+  return *timing_;
+}
+
+template <typename Fn>
+const std::string& IpArtifact::memo_text(const char* key, Fn&& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = views_.try_emplace(key);
+  if (inserted) it->second = fn();
+  return it->second;
+}
+
+const std::string& IpArtifact::hierarchy_text() const {
+  return memo_text("hierarchy",
+                   [this] { return viewer::hierarchy_tree(*build_.top); });
+}
+
+const std::string& IpArtifact::interface_text() const {
+  return memo_text("interface",
+                   [this] { return viewer::interface_summary(*build_.top); });
+}
+
+const std::string& IpArtifact::schematic_text() const {
+  return memo_text("schematic",
+                   [this] { return viewer::text_schematic(*build_.top); });
+}
+
+const std::string& IpArtifact::schematic_svg() const {
+  return memo_text("schematic_svg",
+                   [this] { return viewer::svg_schematic(*build_.top); });
+}
+
+const std::string& IpArtifact::layout_text() const {
+  return memo_text("layout",
+                   [this] { return viewer::text_layout(*build_.top); });
+}
+
+const std::string& IpArtifact::layout_svg() const {
+  return memo_text("layout_svg",
+                   [this] { return viewer::svg_layout(*build_.top); });
+}
+
+const std::string& IpArtifact::memories_text() const {
+  return memo_text("memories",
+                   [this] { return viewer::memory_contents(*build_.top); });
+}
+
+std::unique_ptr<BlackBoxModel> IpArtifact::instantiate() const {
+  // Fresh elaboration = private value/sequential state; the shared
+  // program carries the levelization and lowering work. Generators are
+  // deterministic, so the program binds (and the Simulator falls back to
+  // compiling its own if it ever did not).
+  return std::make_unique<BlackBoxModel>(generator_->build(params_), module_,
+                                         program());
+}
+
+std::size_t IpArtifact::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Heuristic accounting for the store's byte budget: the point is a
+  // stable, monotonic-with-circuit-size figure, not malloc truth.
+  std::size_t bytes =
+      build_.system->net_count() * 16 + prim_count_ * 96 + sizeof(*this);
+  if (program_ != nullptr) {
+    bytes += program_->ops.size() * sizeof(CompiledOp) +
+             (program_->inputs.size() + program_->outputs.size() +
+              program_->fanout.size() + program_->fanout_begin.size()) *
+                 sizeof(std::uint32_t) +
+             program_->ffs.size() * sizeof(CompiledFF);
+  }
+  if (design_ != nullptr) {
+    for (const auto& def : design_->defs()) {
+      bytes += 160 + def->instances.size() * 96 + def->ports.size() * 48 +
+               def->internal_nets.size() * 40;
+    }
+  }
+  for (const auto& [fmt, text] : netlists_) bytes += text.size();
+  for (const auto& [key, text] : views_) bytes += text.size();
+  return bytes;
+}
+
+}  // namespace jhdl::core

@@ -1,0 +1,144 @@
+// IpArtifact: ONE elaboration of one (module, params) configuration,
+// snapshotted for every consumer of the delivery stack.
+//
+// The paper's applet bundles many views of the same generated circuit -
+// structure, estimates, netlist, simulation (Sections 2.2, 3.2, 4.2). The
+// reproduction used to re-elaborate and re-walk the Cell graph separately
+// for each of those consumers; this object is the staged pipeline that
+// collapses them:
+//
+//   ModuleGenerator::build
+//     -> canonical ParamMap      (defaults filled, name-ordered, stable
+//                                 content hash - params.h)
+//     -> IpArtifact              stage 1: the elaborated HWSystem (eager,
+//                                 built exactly once)
+//         .program()             stage 2: the levelized/compiled
+//                                 KernelProgram sessions bind (lazy)
+//         .design()              stage 3: the format-neutral netlist
+//                                 Design all writers render (lazy)
+//         .netlist_text(fmt)     per-format renderings of stage 3 (lazy)
+//         .area() / .timing()    stage 4: estimates (lazy)
+//         .hierarchy_text() ...  viewer snapshots (lazy)
+//
+// Every lazy stage is computed at most once, memoized inside the
+// artifact, and safe to share across threads (one internal mutex guards
+// stage computation; the returned references are immutable afterwards).
+// The artifact's HWSystem is a REFERENCE elaboration: simulation sessions
+// never drive it - they call instantiate(), which elaborates a private
+// instance and binds the shared compiled program, so value state stays
+// per-session while all structural work is shared.
+//
+// Artifacts are handed out as shared_ptr<const IpArtifact> by the
+// ArtifactStore (core/artifact_store.h); holding the pointer PINS the
+// artifact - store eviction can drop its cache entry but never frees an
+// artifact someone still reads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/generator.h"
+#include "core/params.h"
+#include "estimate/area.h"
+#include "estimate/timing.h"
+#include "netlist/design.h"
+#include "sim/compiled_kernel.h"
+
+namespace jhdl::core {
+
+class BlackBoxModel;
+
+/// Netlist output formats offered by the Netlister feature. (Lives here,
+/// next to the memoized per-format renderings; core/applet.h re-exports
+/// it unchanged.)
+enum class NetlistFormat { Edif, Vhdl, Verilog, Json };
+
+/// Immutable snapshot of one elaborated configuration (see file comment).
+class IpArtifact {
+ public:
+  /// Elaborates stage 1 immediately. `params` MUST already be resolved
+  /// against the generator's schema (the store guarantees this; direct
+  /// constructors should call params.resolved(generator->params())).
+  IpArtifact(std::shared_ptr<const ModuleGenerator> generator,
+             ParamMap params);
+  IpArtifact(const IpArtifact&) = delete;
+  IpArtifact& operator=(const IpArtifact&) = delete;
+
+  const std::string& module() const { return module_; }
+  const ParamMap& params() const { return params_; }
+  /// Canonical content hash of the resolved params (the store key).
+  std::uint64_t param_hash() const { return param_hash_; }
+  const std::shared_ptr<const ModuleGenerator>& generator() const {
+    return generator_;
+  }
+
+  // --- stage 1: the reference elaboration (eager, immutable) ---
+  const BuildResult& build() const { return build_; }
+  const Cell& top() const { return *build_.top; }
+  std::size_t latency() const { return build_.latency; }
+  std::size_t primitive_count() const { return prim_count_; }
+
+  // --- stage 2: compiled simulation program (lazy) ---
+  /// The levelized, compiled kernel program for this configuration.
+  /// Always compiled (independent of JHDL_SIM_MODE) so sessions that run
+  /// the compiled engine can bind it; an interpreted-mode Simulator just
+  /// ignores it.
+  std::shared_ptr<const CompiledProgram> program() const;
+
+  // --- stage 3: format-neutral netlist + renderings (lazy) ---
+  /// The scoped Design every netlist writer renders from. Built once;
+  /// EDIF/VHDL/Verilog/JSON texts all come from this same snapshot.
+  const netlist::Design& design() const;
+  const std::string& netlist_text(NetlistFormat format) const;
+
+  // --- stage 4: estimates (lazy) ---
+  const estimate::AreaEstimate& area() const;
+  /// Throws HdlError (uncached) if the circuit has a combinational cycle.
+  const estimate::TimingEstimate& timing() const;
+
+  // --- viewer snapshots (lazy) ---
+  const std::string& hierarchy_text() const;
+  const std::string& interface_text() const;
+  const std::string& schematic_text() const;
+  const std::string& schematic_svg() const;
+  const std::string& layout_text() const;
+  const std::string& layout_svg() const;
+  const std::string& memories_text() const;
+
+  /// A private simulation instance of this configuration: fresh
+  /// elaboration (its own value state) bound to the shared compiled
+  /// program. What sessions and black-box deliveries use.
+  std::unique_ptr<BlackBoxModel> instantiate() const;
+
+  /// Approximate resident footprint for the store's byte budget: the
+  /// elaborated graph plus whatever stages have been memoized so far.
+  std::size_t resident_bytes() const;
+
+ private:
+  /// Memoize a string view under `key` (computed under mu_).
+  template <typename Fn>
+  const std::string& memo_text(const char* key, Fn&& fn) const;
+
+  std::shared_ptr<const ModuleGenerator> generator_;
+  std::string module_;
+  ParamMap params_;
+  std::uint64_t param_hash_ = 0;
+  BuildResult build_;
+  std::size_t prim_count_ = 0;
+
+  /// Guards computation of every lazy stage below; once a stage is set it
+  /// is never mutated again, so returned references outlive the lock.
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<const CompiledProgram> program_;
+  mutable std::unique_ptr<netlist::Design> design_;
+  mutable std::map<int, std::string> netlists_;  ///< by NetlistFormat
+  mutable std::optional<estimate::AreaEstimate> area_;
+  mutable std::optional<estimate::TimingEstimate> timing_;
+  mutable std::map<std::string, std::string> views_;
+};
+
+}  // namespace jhdl::core

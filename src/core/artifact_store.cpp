@@ -1,0 +1,183 @@
+#include "core/artifact_store.h"
+
+#include <chrono>
+
+namespace jhdl::core {
+
+ArtifactStore::ArtifactStore(Config config, obs::MetricsRegistry* registry)
+    : config_(config) {
+  if (registry != nullptr) {
+    m_hits_ = &registry->counter("artifact.hits");
+    m_misses_ = &registry->counter("artifact.misses");
+    m_coalesced_ = &registry->counter("artifact.coalesced");
+    m_evictions_ = &registry->counter("artifact.evictions");
+    m_pinned_skips_ = &registry->counter("artifact.pinned_skips");
+    m_build_us_ = &registry->histogram("artifact.build_us");
+    m_resident_ = &registry->gauge("artifact.resident_bytes");
+    m_entries_ = &registry->gauge("artifact.entries");
+  }
+}
+
+std::shared_ptr<const IpArtifact> ArtifactStore::get_or_build(
+    std::shared_ptr<const ModuleGenerator> generator, const ParamMap& params,
+    bool* was_hit) {
+  // Canonicalize FIRST: the key must not depend on how the caller spelled
+  // the assignment (explicit defaults, ordering). Validation errors throw
+  // here, before any cache state is touched.
+  ParamMap resolved = params.resolved(generator->params());
+  const Key key{generator->name(), resolved.content_hash()};
+
+  std::shared_future<std::shared_ptr<const IpArtifact>> wait_on;
+  std::promise<std::shared_ptr<const IpArtifact>> promise;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.last_used = ++use_clock_;
+      // Lazy stages may have grown the artifact since the last touch;
+      // refresh the budget accounting while we are here.
+      const std::size_t cost = it->second.artifact->resident_bytes();
+      resident_ += cost - it->second.cost;
+      it->second.cost = cost;
+      enforce_budget_locked();
+      publish_gauges_locked();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (m_hits_ != nullptr) m_hits_->inc();
+      if (was_hit != nullptr) *was_hit = true;
+      return it->second.artifact;
+    }
+    auto fit = in_flight_.find(key);
+    if (fit != in_flight_.end()) {
+      wait_on = fit->second;  // join the build in progress
+    } else {
+      in_flight_.emplace(key, promise.get_future().share());
+    }
+  }
+
+  if (wait_on.valid()) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    if (m_coalesced_ != nullptr) m_coalesced_->inc();
+    if (was_hit != nullptr) *was_hit = true;
+    return wait_on.get();  // rethrows the builder's exception, if any
+  }
+
+  // This thread owns the build for `key`.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (m_misses_ != nullptr) m_misses_->inc();
+  if (was_hit != nullptr) *was_hit = false;
+  std::shared_ptr<const IpArtifact> artifact;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    artifact =
+        std::make_shared<IpArtifact>(std::move(generator), std::move(resolved));
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_.erase(key);
+    throw;
+  }
+  if (m_build_us_ != nullptr) {
+    m_build_us_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+  promise.set_value(artifact);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_.erase(key);
+    Entry entry;
+    entry.artifact = artifact;
+    entry.last_used = ++use_clock_;
+    entry.cost = artifact->resident_bytes();
+    resident_ += entry.cost;
+    entries_.emplace(key, std::move(entry));
+    enforce_budget_locked();
+    publish_gauges_locked();
+  }
+  return artifact;
+}
+
+std::shared_ptr<const IpArtifact> ArtifactStore::lookup(
+    const std::string& module, std::uint64_t param_hash) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(Key{module, param_hash});
+  return it != entries_.end() ? it->second.artifact : nullptr;
+}
+
+std::size_t ArtifactStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.artifact.use_count() == 1) {
+      resident_ -= it->second.cost;
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  publish_gauges_locked();
+  return dropped;
+}
+
+void ArtifactStore::enforce_budget_locked() {
+  if (config_.budget_bytes == 0) return;
+  while (resident_ > config_.budget_bytes) {
+    // O(n) LRU scan: the store holds tens of configurations, not
+    // millions, and eviction runs off the hot (hit) path's tail.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.artifact.use_count() > 1) continue;  // pinned
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) {
+      // Everything resident is pinned by live/parked sessions; running
+      // over budget beats invalidating someone's program mid-replay.
+      pinned_skips_.fetch_add(1, std::memory_order_relaxed);
+      if (m_pinned_skips_ != nullptr) m_pinned_skips_->inc();
+      return;
+    }
+    resident_ -= victim->second.cost;
+    entries_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (m_evictions_ != nullptr) m_evictions_->inc();
+  }
+}
+
+void ArtifactStore::publish_gauges_locked() {
+  if (m_resident_ != nullptr) {
+    m_resident_->set(static_cast<std::int64_t>(resident_));
+  }
+  if (m_entries_ != nullptr) {
+    m_entries_->set(static_cast<std::int64_t>(entries_.size()));
+  }
+}
+
+ArtifactStore::Stats ArtifactStore::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.coalesced = coalesced_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.pinned_skips = pinned_skips_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  out.entries = entries_.size();
+  out.resident_bytes = resident_;
+  return out;
+}
+
+std::size_t ArtifactStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t ArtifactStore::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_;
+}
+
+}  // namespace jhdl::core

@@ -1,0 +1,128 @@
+// ArtifactStore: the content-addressed cache every consumer of elaborated
+// circuits reads from.
+//
+// Keyed by (module, canonical param hash): ParamMap::resolved fills
+// defaults and name-orders the entries, so assignments that differ only
+// in explicit-vs-default values or insertion order address the SAME
+// artifact - the store resolves internally, so callers cannot alias the
+// key by passing a raw assignment.
+//
+// Semantics:
+//   - refcounted: entries hand out shared_ptr<const IpArtifact>; holding
+//     one PINS the artifact. Eviction only drops entries the store alone
+//     owns, so a live session (or a parked, resumable one) can never have
+//     its program freed underneath it.
+//   - LRU with a byte budget: after each insert/hit the store trims
+//     least-recently-used unpinned entries until resident_bytes() fits
+//     config.budget_bytes (0 = unlimited). When everything is pinned the
+//     store runs over budget and counts pinned_skips instead of breaking
+//     anyone.
+//   - single-flight: concurrent get_or_build calls for one missing key
+//     elaborate ONCE - the first caller builds, the rest wait on the
+//     in-flight future and count as coalesced hits. A build that throws
+//     propagates to every waiter and leaves no entry behind.
+//
+// Observability (optional registry): artifact.hits / .misses /
+// .coalesced / .evictions / .pinned_skips counters, artifact.build_us
+// histogram, artifact.resident_bytes + artifact.entries gauges.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/artifact.h"
+#include "obs/metrics.h"
+
+namespace jhdl::core {
+
+/// Shared storefront cache of IpArtifacts (see file comment).
+class ArtifactStore {
+ public:
+  struct Config {
+    /// Resident-byte budget for unpinned entries (0 = unlimited).
+    std::size_t budget_bytes = 64u << 20;
+  };
+
+  /// Plain-value counters snapshot.
+  struct Stats {
+    std::uint64_t hits = 0;        ///< key present (incl. refreshed cost)
+    std::uint64_t misses = 0;      ///< builds started
+    std::uint64_t coalesced = 0;   ///< waiters joined to an in-flight build
+    std::uint64_t evictions = 0;   ///< LRU entries dropped for the budget
+    std::uint64_t pinned_skips = 0;  ///< over budget but everything pinned
+    std::size_t entries = 0;
+    std::size_t resident_bytes = 0;
+  };
+
+  /// `registry` (optional) receives the artifact.* instruments; it must
+  /// outlive the store.
+  explicit ArtifactStore(Config config, obs::MetricsRegistry* registry = nullptr);
+  ArtifactStore() : ArtifactStore(Config{}) {}
+
+  /// THE entry point: canonicalize `params` against the generator's
+  /// schema, then return the cached artifact, join an in-flight build, or
+  /// elaborate (exactly one thread per key). Throws what the generator's
+  /// validation/elaboration throws. `was_hit`, when non-null, reports
+  /// whether the call avoided a build (cache hit or coalesced wait).
+  std::shared_ptr<const IpArtifact> get_or_build(
+      std::shared_ptr<const ModuleGenerator> generator, const ParamMap& params,
+      bool* was_hit = nullptr);
+
+  /// Cache-only probe by canonical key; null on miss (never builds).
+  std::shared_ptr<const IpArtifact> lookup(const std::string& module,
+                                           std::uint64_t param_hash) const;
+
+  /// Drop every entry the store alone owns (pinned artifacts live on with
+  /// their holders). Returns how many were dropped.
+  std::size_t clear();
+
+  Stats stats() const;
+  std::size_t size() const;
+  std::size_t resident_bytes() const;
+  const Config& config() const { return config_; }
+
+ private:
+  using Key = std::pair<std::string, std::uint64_t>;
+
+  struct Entry {
+    std::shared_ptr<const IpArtifact> artifact;
+    std::uint64_t last_used = 0;  ///< LRU stamp (monotonic use counter)
+    std::size_t cost = 0;         ///< resident_bytes at last touch
+  };
+
+  /// Trim LRU unpinned entries until the budget fits. Caller holds mu_.
+  void enforce_budget_locked();
+  void publish_gauges_locked();
+
+  Config config_;
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  std::map<Key, std::shared_future<std::shared_ptr<const IpArtifact>>>
+      in_flight_;
+  std::uint64_t use_clock_ = 0;
+  std::size_t resident_ = 0;  ///< sum of entry costs
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> pinned_skips_{0};
+
+  // Optional registry mirrors (null when no registry was given).
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_coalesced_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_pinned_skips_ = nullptr;
+  obs::Histogram* m_build_us_ = nullptr;
+  obs::Gauge* m_resident_ = nullptr;
+  obs::Gauge* m_entries_ = nullptr;
+};
+
+}  // namespace jhdl::core

@@ -36,13 +36,18 @@ std::string IpCatalog::listing() const {
 }
 
 Applet IpCatalog::make_applet(const std::string& generator_name,
-                              const LicensePolicy& license) const {
+                              const LicensePolicy& license,
+                              std::shared_ptr<ArtifactStore> store) const {
   auto gen = find(generator_name);
   if (gen == nullptr) {
     throw std::out_of_range("catalog has no IP named '" + generator_name +
                             "'");
   }
-  return AppletBuilder().generator(gen).license(license).build_applet();
+  return AppletBuilder()
+      .generator(gen)
+      .license(license)
+      .artifact_store(std::move(store))
+      .build_applet();
 }
 
 MultiIpApplet::MultiIpApplet(const IpCatalog& catalog,

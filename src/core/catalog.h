@@ -33,9 +33,11 @@ class IpCatalog {
   /// Storefront text: one block per IP with description and parameters.
   std::string listing() const;
 
-  /// Assemble a single-IP applet for a customer.
+  /// Assemble a single-IP applet for a customer. `store` (optional)
+  /// shares elaborations with every other consumer of the same store.
   Applet make_applet(const std::string& generator_name,
-                     const LicensePolicy& license) const;
+                     const LicensePolicy& license,
+                     std::shared_ptr<ArtifactStore> store = nullptr) const;
 
  private:
   std::vector<std::shared_ptr<const ModuleGenerator>> entries_;

@@ -5,10 +5,12 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/artifact.h"
 #include "tech/library.h"
 #include "util/bytestream.h"
 #include "util/compress.h"
 #include "util/crc32.h"
+#include "util/strings.h"
 
 #ifndef JHDLPP_SOURCE_DIR
 #define JHDLPP_SOURCE_DIR ""
@@ -219,6 +221,23 @@ Packager::Report Packager::report(const std::vector<Archive>& archives) {
 
 double Packager::download_seconds(std::size_t bytes, double bits_per_second) {
   return static_cast<double>(bytes) * 8.0 / bits_per_second;
+}
+
+Archive Packager::artifact_bundle(const IpArtifact& artifact) {
+  Archive out(artifact.module() + "-delivery");
+  out.add_text("netlist.edif", artifact.netlist_text(NetlistFormat::Edif));
+  out.add_text("netlist.vhd", artifact.netlist_text(NetlistFormat::Vhdl));
+  out.add_text("netlist.v", artifact.netlist_text(NetlistFormat::Verilog));
+  out.add_text("netlist.json", artifact.netlist_text(NetlistFormat::Json));
+  const estimate::AreaEstimate& a = artifact.area();
+  out.add_text("estimates.txt",
+               format("params: %s\nlatency: %zu\nLUTs %zu  FFs %zu  "
+                      "carries %zu  BRAMs %zu  slices %zu\n",
+                      artifact.params().summary().c_str(), artifact.latency(),
+                      a.luts, a.ffs, a.carries, a.brams, a.slices));
+  out.add_text("interface.txt", artifact.interface_text());
+  out.add_text("schematic.txt", artifact.schematic_text());
+  return out;
 }
 
 }  // namespace jhdl::core

@@ -22,6 +22,10 @@
 #include "core/generator.h"
 
 namespace jhdl::core {
+class IpArtifact;  // core/artifact.h
+}
+
+namespace jhdl::core {
 
 /// One named file inside an archive.
 struct ArchiveEntry {
@@ -77,6 +81,13 @@ class Packager {
   Archive viewer_archive() const;
   /// "Applet.jar": the generator-specific code for one IP.
   Archive applet_archive(const ModuleGenerator& generator) const;
+
+  /// "<module>-delivery.jar": every view of one elaborated configuration,
+  /// rendered from the shared artifact snapshot (all four netlist
+  /// formats, area/timing estimates, interface + schematic). The same
+  /// IpArtifact the delivery service and shell read, so the packaged
+  /// bytes are identical to what a live session would see.
+  static Archive artifact_bundle(const IpArtifact& artifact);
 
   /// The archives a feature set actually needs (Table 1's point: an
   /// applet downloads only its closure). `generator` may be null when

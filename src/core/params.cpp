@@ -48,6 +48,25 @@ std::string ParamMap::summary() const {
   return os.str();
 }
 
+std::uint64_t ParamMap::content_hash() const {
+  // FNV-1a over "name=value\n" in map (name) order; the value is hashed
+  // as its 8 little-endian bytes so e.g. -1 and 255 cannot collide the
+  // way a truncated text rendering might.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 0x100000001B3ull;
+  };
+  for (const auto& [name, value] : values_) {
+    for (char c : name) mix(static_cast<unsigned char>(c));
+    mix('=');
+    auto v = static_cast<std::uint64_t>(value);
+    for (int i = 0; i < 8; ++i) mix(static_cast<unsigned char>(v >> (8 * i)));
+    mix('\n');
+  }
+  return h;
+}
+
 std::string describe_schema(const std::vector<ParamSpec>& schema) {
   std::ostringstream os;
   for (const ParamSpec& spec : schema) {

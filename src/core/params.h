@@ -49,11 +49,21 @@ class ParamMap {
 
   /// Validate against a schema: unknown names and out-of-range values
   /// throw ParamError; missing values are filled with defaults. Returns
-  /// the completed map.
+  /// the completed map. The result is CANONICAL: every schema parameter
+  /// is present (explicit-vs-default no longer distinguishable) and the
+  /// underlying map is name-ordered (insertion order no longer matters),
+  /// so two assignments that elaborate the same circuit resolve to maps
+  /// with equal values(), summary() and content_hash().
   ParamMap resolved(const std::vector<ParamSpec>& schema) const;
 
   /// Human-readable "name=value, ..." summary.
   std::string summary() const;
+
+  /// Stable FNV-1a content hash over the (name-ordered) entries. Only a
+  /// resolved() map hashes canonically - hash resolved(schema), never the
+  /// raw user assignment, when the hash is used as a cache key (the
+  /// artifact store's aliasing guarantee).
+  std::uint64_t content_hash() const;
 
  private:
   std::map<std::string, std::int64_t> values_;

@@ -60,6 +60,7 @@ std::string AppletShell::help() {
       "  cycle [n] | reset        clock control\n"
       "  watch <port> | waves     waveform recording\n"
       "  netlist edif|vhdl|verilog|json\n"
+      "  artifact                 shared-snapshot status of the instance\n"
       "  download | meter | audit\n"
       "  help\n";
 }
@@ -144,6 +145,17 @@ std::string AppletShell::execute(const std::string& line) {
         return "error: unknown netlist format '" + tokens[1] + "'\n";
       }
       return applet_.netlist(fmt);
+    }
+    if (cmd == "artifact") {
+      if (!applet_.built()) return "no instance built\n";
+      const auto& art = applet_.artifact();
+      if (art == nullptr) {
+        return "private elaboration (no shared artifact)\n";
+      }
+      return format("shared artifact %s#%016llx  primitives %zu  ~%zu B\n",
+                    art->module().c_str(),
+                    static_cast<unsigned long long>(art->param_hash()),
+                    art->primitive_count(), art->resident_bytes());
     }
     if (cmd == "download") {
       auto report = applet_.download_report();

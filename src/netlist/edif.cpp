@@ -115,7 +115,10 @@ void emit_cell(std::ostream& os, const DefInfo& def, const std::string& lib) {
 }  // namespace
 
 std::string write_edif(const Cell& top, const NetlistOptions& options) {
-  Design design(top, options);
+  return write_edif(Design(top, options));
+}
+
+std::string write_edif(const Design& design) {
   std::ostringstream os;
   const std::string& top_name = design.top_def().name;
   os << "(edif " << top_name << "\n";

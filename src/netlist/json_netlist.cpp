@@ -8,7 +8,10 @@
 namespace jhdl::netlist {
 
 std::string write_json(const Cell& top, const NetlistOptions& options) {
-  Design design(top, options);
+  return write_json(Design(top, options));
+}
+
+std::string write_json(const Design& design) {
   Json root = Json::object();
   root.set("format", "jhdl-netlist");
   root.set("version", 1);

@@ -21,19 +21,29 @@
 
 namespace jhdl::netlist {
 
+// Each writer comes in two forms: the Cell& entry point scopes the
+// circuit itself (one Design per call, the historical behaviour), and the
+// Design& entry point renders a caller-held snapshot - the IP artifact
+// pipeline builds the Design ONCE and feeds the same snapshot to every
+// format, so EDIF/VHDL/Verilog/JSON all describe one scoping pass.
+
 /// EDIF 2.0.0 netlist text for `top` and everything below it.
 std::string write_edif(const Cell& top, const NetlistOptions& options = {});
+std::string write_edif(const Design& design);
 
 /// Structural VHDL (one entity/architecture per definition, component
 /// declarations for library primitives).
 std::string write_vhdl(const Cell& top, const NetlistOptions& options = {});
+std::string write_vhdl(const Design& design);
 
 /// Structural Verilog (one module per definition; leaf primitives are
 /// emitted as empty port-list stubs so the output is self-contained).
 std::string write_verilog(const Cell& top, const NetlistOptions& options = {});
+std::string write_verilog(const Design& design);
 
 /// JSON interchange netlist (full fidelity, machine-readable; see
 /// json_netlist.h for the reader).
 std::string write_json(const Cell& top, const NetlistOptions& options = {});
+std::string write_json(const Design& design);
 
 }  // namespace jhdl::netlist

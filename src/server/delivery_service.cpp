@@ -47,7 +47,10 @@ const char* request_span_name(MsgType type) {
 
 DeliveryService::DeliveryService(core::IpCatalog catalog,
                                  DeliveryConfig config)
-    : catalog_(std::move(catalog)), config_(config) {
+    : catalog_(std::move(catalog)),
+      config_(config),
+      artifacts_(core::ArtifactStore::Config{config.artifact_budget_bytes},
+                 &metrics_) {
   if (config_.workers == 0) config_.workers = 1;
   tracer_.set_enabled(config_.tracing);
 }
@@ -352,38 +355,26 @@ Message DeliveryService::open_session(const Message& hello,
     return error;
   }
   std::unique_ptr<core::BlackBoxModel> model;
+  std::shared_ptr<const core::IpArtifact> artifact;
   try {
-    // Elaborate vs cache-hit is only known once the model is built, so
-    // the span is renamed at the end.
+    // Store hit vs cold build is only known once get_or_build returns,
+    // so the span is renamed at the end. The store canonicalizes the
+    // params itself (defaults filled, name-ordered content hash), so
+    // aliased spellings of one configuration share one artifact, and
+    // concurrent identical Hellos coalesce onto a single elaboration.
     obs::ScopedSpan span(tracer_, "session.elaborate", hello.trace);
     core::ParamMap params;
     for (const auto& [name, value] : hello.params) params.set(name, value);
-    const core::ParamMap resolved = params.resolved(generator->params());
-    // Elaboration cache: sessions with identical (module, params) share
-    // one immutable compiled program; the summary() form is canonical
-    // (sorted, fully resolved), so it doubles as the cache key.
-    const std::string cache_key = hello.name + "|" + resolved.summary();
-    std::shared_ptr<const CompiledProgram> cached;
-    {
-      std::lock_guard<std::mutex> lock(program_mutex_);
-      auto it = program_cache_.find(cache_key);
-      if (it != program_cache_.end()) cached = it->second;
+    bool was_hit = false;
+    artifact = artifacts_.get_or_build(generator, params, &was_hit);
+    if (was_hit) {
+      stats_.record_program_share();
+      span.set_name("session.cache_hit");
+    } else {
+      stats_.record_program_compile();
     }
-    model = std::make_unique<core::BlackBoxModel>(
-        generator->build(resolved), generator->name(), cached);
-    const auto& program = model->compiled_program();
-    if (program != nullptr) {
-      if (program == cached) {
-        stats_.record_program_share();
-        span.set_name("session.cache_hit");
-      } else {
-        // Miss (or a cached program that failed to bind): publish the
-        // freshly compiled program for subsequent sessions.
-        stats_.record_program_compile();
-        std::lock_guard<std::mutex> lock(program_mutex_);
-        program_cache_[cache_key] = program;
-      }
-    }
+    // Private value state bound to the artifact's shared program.
+    model = artifact->instantiate();
   } catch (const std::exception& e) {
     error.text = std::string("build failed: ") + e.what();
     stats_.record_denial();
@@ -391,6 +382,10 @@ Message DeliveryService::open_session(const Message& hello,
   }
   session = sessions_.open(hello.customer, hello.name, std::move(model),
                            std::move(stream));
+  // Pin the artifact for the session's whole life - including parked
+  // (resume_window) time - so store eviction can never free the program
+  // a resumed session will replay against.
+  session->artifact = std::move(artifact);
   session->protocol = std::min(hello.version, net::kProtocolVersion);
   // The trace id that follows this session's spans: the client's, or a
   // server-minted one for clients that sent none (pre-v5, or untraced).

@@ -89,6 +89,10 @@ struct DeliveryConfig {
   /// after start). Off by default: tracing costs clock reads + ring
   /// stores per span; metrics are always on (relaxed atomics only).
   bool tracing = false;
+  /// Byte budget of the shared artifact store (0 = unlimited). Live and
+  /// parked sessions pin their artifact, so eviction can never free a
+  /// program a session might still replay.
+  std::size_t artifact_budget_bytes = 64u << 20;
 };
 
 /// Serves many concurrent black-box sessions from one catalog.
@@ -123,6 +127,9 @@ class DeliveryService {
   /// Span sink for this service; served by TraceDump as Chrome
   /// trace_event JSON. Disabled unless config.tracing (or set_enabled).
   obs::Tracer& tracer() { return tracer_; }
+  /// The shared artifact store every session reads. Exposed so admin
+  /// tooling (and tests) can inspect hit/miss/pin behaviour.
+  core::ArtifactStore& artifacts() { return artifacts_; }
 
  private:
   /// Why a serve loop ended - decides detach (resumable) vs close.
@@ -165,14 +172,13 @@ class DeliveryService {
   ServerStats stats_{metrics_};
   SessionManager sessions_{stats_};
 
-  /// Elaboration cache: (module, resolved params) -> the immutable
-  /// compiled simulation program, shared across every session built from
-  /// the same configuration (each session keeps its own value/state
-  /// arrays). Generators are deterministic, so a second build binds the
-  /// first build's program; a non-binding entry is simply replaced.
-  std::mutex program_mutex_;
-  std::map<std::string, std::shared_ptr<const CompiledProgram>>
-      program_cache_;
+  /// The shared artifact store: one elaboration per (module, canonical
+  /// params), content-addressed, single-flight, LRU under
+  /// config.artifact_budget_bytes. Each session pins its artifact
+  /// (Session::artifact) and instantiates a private model bound to the
+  /// artifact's compiled program, so value state stays per-session while
+  /// all structural work is shared. Replaces the old program_cache_.
+  core::ArtifactStore artifacts_;
 
   std::mutex license_mutex_;
   std::map<std::string, core::LicensePolicy> licenses_;

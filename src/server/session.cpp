@@ -63,6 +63,9 @@ void SessionManager::close(const std::shared_ptr<Session>& session) {
     stats_.record_sim(sim.cycle_count(), sim.interp_eval_count(),
                       sim.kernel_eval_count());
   }
+  // Unpin the artifact only after the session is truly gone; until here a
+  // parked session kept its program safe from store eviction.
+  session->artifact.reset();
 }
 
 void SessionManager::detach(const std::shared_ptr<Session>& session) {

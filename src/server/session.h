@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/artifact.h"
 #include "core/blackbox.h"
 #include "net/protocol.h"
 #include "net/socket.h"
@@ -46,6 +47,12 @@ struct Session {
   /// so a reconnect continues the same trace.
   std::uint64_t trace_id = 0;
   std::unique_ptr<core::BlackBoxModel> model;
+  /// The artifact-store snapshot this session's model was instantiated
+  /// from. Holding it PINS the artifact for the session's whole life -
+  /// attached or parked - so LRU eviction in the store can never free
+  /// the compiled program a resumed session replays against. Released by
+  /// SessionManager::close().
+  std::shared_ptr<const core::IpArtifact> artifact;
   /// The transport currently bound to the session; null while detached.
   /// Guarded by stream_mutex for replacement/shutdown; the owning worker
   /// reads it without the lock (it is replaced only between workers).

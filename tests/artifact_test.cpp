@@ -1,0 +1,277 @@
+// The IP artifact pipeline: canonical param hashing, the
+// content-addressed single-flight store, pin-aware LRU eviction, and the
+// tentpole guarantee that every consumer (netlister, estimator, viewer,
+// simulator) reads byte-identical views from one elaboration.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/artifact.h"
+#include "core/artifact_store.h"
+#include "core/blackbox.h"
+#include "core/generators.h"
+#include "core/packaging.h"
+#include "sim/simulator.h"
+
+namespace jhdl::core {
+namespace {
+
+ParamMap kcm_params() {
+  return ParamMap()
+      .set("input_width", std::int64_t{8})
+      .set("constant", std::int64_t{-56})
+      .set("signed_mode", true);
+}
+
+/// Counts elaborations so tests can assert "exactly one build".
+class CountingKcm final : public ModuleGenerator {
+ public:
+  std::string name() const override { return "kcm-multiplier"; }
+  std::string description() const override { return inner_.description(); }
+  std::vector<ParamSpec> params() const override { return inner_.params(); }
+  BuildResult build(const ParamMap& params) const override {
+    builds.fetch_add(1, std::memory_order_relaxed);
+    return inner_.build(params);
+  }
+  mutable std::atomic<int> builds{0};
+
+ private:
+  KcmGenerator inner_;
+};
+
+/// Always throws: exercises the store's failed-build path.
+class ExplodingGenerator final : public ModuleGenerator {
+ public:
+  std::string name() const override { return "exploder"; }
+  std::string description() const override { return "always fails"; }
+  std::vector<ParamSpec> params() const override { return {}; }
+  BuildResult build(const ParamMap&) const override {
+    throw std::runtime_error("boom");
+  }
+};
+
+// --- satellite 1: cache-key aliasing -------------------------------------
+
+TEST(ParamHashTest, ExplicitDefaultsHashLikeOmittedOnes) {
+  KcmGenerator gen;
+  // The kcm-multiplier regression: product_width and pipelined_mode left
+  // to their defaults...
+  ParamMap implicit_form = kcm_params();
+  // ...must address the same artifact as spelling every default out, in
+  // a scrambled insertion order.
+  ParamMap explicit_form = ParamMap()
+                               .set("pipelined_mode", false)
+                               .set("signed_mode", true)
+                               .set("product_width", std::int64_t{0})
+                               .set("constant", std::int64_t{-56})
+                               .set("input_width", std::int64_t{8});
+  EXPECT_NE(implicit_form.content_hash(), explicit_form.content_hash())
+      << "raw assignments differ - only resolved() maps are canonical";
+  EXPECT_EQ(implicit_form.resolved(gen.params()).content_hash(),
+            explicit_form.resolved(gen.params()).content_hash());
+}
+
+TEST(ParamHashTest, DistinctConfigurationsHashDifferently) {
+  KcmGenerator gen;
+  ParamMap a = kcm_params().resolved(gen.params());
+  ParamMap b = kcm_params().set("constant", std::int64_t{57}).resolved(
+      gen.params());
+  EXPECT_NE(a.content_hash(), b.content_hash());
+}
+
+TEST(ArtifactStoreTest, AliasedSpellingsShareOneArtifact) {
+  auto gen = std::make_shared<CountingKcm>();
+  ArtifactStore store;
+  auto a = store.get_or_build(gen, kcm_params());
+  auto b = store.get_or_build(gen, ParamMap()
+                                       .set("pipelined_mode", false)
+                                       .set("signed_mode", true)
+                                       .set("product_width", std::int64_t{0})
+                                       .set("constant", std::int64_t{-56})
+                                       .set("input_width", std::int64_t{8}));
+  EXPECT_EQ(a.get(), b.get()) << "aliased params must hit the same entry";
+  EXPECT_EQ(gen->builds.load(), 1);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().misses, 1u);
+}
+
+// --- single-flight --------------------------------------------------------
+
+TEST(ArtifactStoreTest, ConcurrentMissesElaborateExactlyOnce) {
+  auto gen = std::make_shared<CountingKcm>();
+  ArtifactStore store;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const IpArtifact>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { got[i] = store.get_or_build(gen, kcm_params()); });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(gen->builds.load(), 1) << "single-flight: one build per key";
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(got[0].get(), got[i].get());
+  ArtifactStore::Stats s = store.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits + s.coalesced, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(ArtifactStoreTest, FailedBuildPropagatesAndLeavesNoEntry) {
+  auto gen = std::make_shared<ExplodingGenerator>();
+  ArtifactStore store;
+  EXPECT_THROW(store.get_or_build(gen, ParamMap()), std::runtime_error);
+  EXPECT_EQ(store.size(), 0u);
+  // The key is not poisoned: the next call builds again (and fails again).
+  EXPECT_THROW(store.get_or_build(gen, ParamMap()), std::runtime_error);
+  EXPECT_EQ(store.stats().misses, 2u);
+}
+
+// --- satellite 2 (store side): pinning vs LRU eviction --------------------
+
+TEST(ArtifactStoreTest, EvictionSkipsPinnedEntries) {
+  auto gen = std::make_shared<CountingKcm>();
+  // A budget of one byte forces an eviction attempt on every insert.
+  ArtifactStore store(ArtifactStore::Config{1});
+
+  auto pinned = store.get_or_build(gen, kcm_params());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_GE(store.stats().pinned_skips, 1u)
+      << "over budget with a live holder: the store must skip, not evict";
+
+  // A second configuration while the first is still pinned: only the
+  // unpinned newcomer is evictable.
+  auto second =
+      store.get_or_build(gen, kcm_params().set("constant", std::int64_t{9}));
+  std::uint64_t hash2 = second->param_hash();
+  second.reset();
+  auto third =
+      store.get_or_build(gen, kcm_params().set("constant", std::int64_t{5}));
+  EXPECT_EQ(store.lookup("kcm-multiplier", hash2), nullptr)
+      << "unpinned LRU entry should have been evicted";
+  EXPECT_NE(store.lookup("kcm-multiplier", pinned->param_hash()), nullptr)
+      << "pinned entry must survive every eviction pass";
+  EXPECT_GE(store.stats().evictions, 1u);
+
+  // Dropping the pin makes it ordinary LRU prey.
+  std::uint64_t hash1 = pinned->param_hash();
+  pinned.reset();
+  third.reset();
+  store.get_or_build(gen, kcm_params().set("constant", std::int64_t{3}));
+  EXPECT_EQ(store.lookup("kcm-multiplier", hash1), nullptr);
+}
+
+TEST(ArtifactStoreTest, ClearKeepsPinnedEntries) {
+  auto gen = std::make_shared<CountingKcm>();
+  ArtifactStore store;
+  auto pinned = store.get_or_build(gen, kcm_params());
+  store.get_or_build(gen, kcm_params().set("constant", std::int64_t{3}));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.clear(), 1u);
+  EXPECT_NE(store.lookup("kcm-multiplier", pinned->param_hash()), nullptr);
+}
+
+// --- satellite 3: cross-consumer determinism ------------------------------
+
+TEST(ArtifactTest, CacheHitViewsAreByteIdenticalToColdBuild) {
+  auto gen = std::make_shared<KcmGenerator>();
+  ParamMap resolved = kcm_params().resolved(gen->params());
+
+  // Cold reference: a private artifact, never shared.
+  IpArtifact cold(gen, resolved);
+
+  ArtifactStore store;
+  store.get_or_build(gen, kcm_params());
+  auto warm = store.get_or_build(gen, kcm_params());  // the cache hit
+  ASSERT_NE(warm, nullptr);
+
+  for (NetlistFormat fmt : {NetlistFormat::Edif, NetlistFormat::Vhdl,
+                            NetlistFormat::Verilog, NetlistFormat::Json}) {
+    EXPECT_EQ(cold.netlist_text(fmt), warm->netlist_text(fmt))
+        << "format " << static_cast<int>(fmt);
+  }
+  EXPECT_EQ(cold.area().luts, warm->area().luts);
+  EXPECT_EQ(cold.area().slices, warm->area().slices);
+  EXPECT_DOUBLE_EQ(cold.timing().comb_delay_ns, warm->timing().comb_delay_ns);
+  EXPECT_EQ(cold.hierarchy_text(), warm->hierarchy_text());
+  EXPECT_EQ(cold.schematic_text(), warm->schematic_text());
+  EXPECT_EQ(cold.interface_text(), warm->interface_text());
+}
+
+TEST(ArtifactTest, EightThreadHammerSeesOneSnapshot) {
+  auto gen = std::make_shared<KcmGenerator>();
+  IpArtifact cold(gen, kcm_params().resolved(gen->params()));
+  const std::string ref_edif = cold.netlist_text(NetlistFormat::Edif);
+  const std::string ref_json = cold.netlist_text(NetlistFormat::Json);
+  const std::size_t ref_luts = cold.area().luts;
+
+  ArtifactStore store;
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      // All threads race get_or_build AND the lazy stage computation.
+      auto art = store.get_or_build(gen, kcm_params());
+      if (art->netlist_text(NetlistFormat::Edif) != ref_edif ||
+          art->netlist_text(NetlistFormat::Json) != ref_json ||
+          art->area().luts != ref_luts ||
+          art->hierarchy_text() != cold.hierarchy_text()) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+      (void)i;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --- instantiate: private state, shared program ---------------------------
+
+TEST(ArtifactTest, InstancesShareTheProgramButNotValueState) {
+  auto gen = std::make_shared<KcmGenerator>();
+  ArtifactStore store;
+  auto art = store.get_or_build(gen, kcm_params());
+
+  auto m1 = art->instantiate();
+  auto m2 = art->instantiate();
+  if (default_sim_mode() == SimMode::Compiled) {
+    EXPECT_EQ(m1->compiled_program().get(), art->program().get())
+        << "instances must bind the artifact's program, not recompile";
+    EXPECT_EQ(m2->compiled_program().get(), art->program().get());
+  }
+
+  // Distinct value state: driving one model must not leak into the other.
+  m1->set_input("multiplicand", 100);
+  m2->set_input("multiplicand", 3);
+  m1->cycle(art->latency() + 1);
+  m2->cycle(art->latency() + 1);
+  EXPECT_EQ(m1->get_output("product").to_int(), -5600);
+  EXPECT_EQ(m2->get_output("product").to_int(), -168);
+}
+
+// --- packaging reads the same snapshot ------------------------------------
+
+TEST(ArtifactTest, DeliveryBundleMatchesArtifactViews) {
+  auto gen = std::make_shared<KcmGenerator>();
+  ArtifactStore store;
+  auto art = store.get_or_build(gen, kcm_params());
+  Archive bundle = Packager::artifact_bundle(*art);
+  EXPECT_EQ(bundle.name(), "kcm-multiplier-delivery");
+  bool saw_edif = false;
+  for (const auto& entry : bundle.entries()) {
+    if (entry.name == "netlist.edif") {
+      std::string text(entry.data.begin(), entry.data.end());
+      EXPECT_EQ(text, art->netlist_text(NetlistFormat::Edif));
+      saw_edif = true;
+    }
+  }
+  EXPECT_TRUE(saw_edif);
+}
+
+}  // namespace
+}  // namespace jhdl::core

@@ -710,6 +710,142 @@ TEST(DeliveryServiceTest, IdenticalSessionsShareOneCompiledProgram) {
   service.stop();
 }
 
+TEST(DeliveryServiceTest, ConcurrentIdenticalHellosCoalesceToOneBuild) {
+  DeliveryConfig config;
+  config.workers = 6;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "kcm-multiplier";
+  spec.params["input_width"] = 8;
+  spec.params["constant"] = -56;
+  spec.params["signed_mode"] = 1;
+
+  // Six clients race the SAME configuration through open_session; the
+  // store's single-flight path must elaborate exactly once.
+  constexpr int kClients = 6;
+  std::vector<std::unique_ptr<SimClient>> clients(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back(
+        [&, i] { clients[i] = std::make_unique<SimClient>(port, spec); });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(service.artifacts().stats().misses, 1u)
+      << "N concurrent identical Hellos must trigger exactly one build";
+  ServerStats::Snapshot s = service.stats().snapshot();
+  EXPECT_EQ(s.programs_compiled, 1u);
+  EXPECT_EQ(s.program_shares, static_cast<std::uint64_t>(kClients - 1));
+
+  // And the coalesced sessions still have independent state.
+  std::map<std::string, BitVector> inputs;
+  inputs["multiplicand"] = BitVector::from_int(8, 3);
+  EXPECT_EQ(clients[0]->eval(inputs, 0).at("product").to_int(), -168);
+  inputs["multiplicand"] = BitVector::from_int(8, -2);
+  EXPECT_EQ(clients[kClients - 1]->eval(inputs, 0).at("product").to_int(),
+            112);
+
+  for (auto& c : clients) c->bye();
+  service.stop();
+}
+
+TEST(DeliveryServiceTest, ParkedSessionArtifactSurvivesStoreChurn) {
+  DeliveryConfig config;
+  config.workers = 2;
+  config.resume_window = 2000ms;
+  // A one-byte budget makes EVERY entry over budget, so the store tries
+  // to evict on each insert - only the session pins keep artifacts alive.
+  config.artifact_budget_bytes = 1;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  std::uint16_t port = service.start();
+
+  // Raw v3 session: Hello, one Eval, then the transport dies (no Bye).
+  TcpStream first = TcpStream::connect(port);
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.customer = "acme";
+  hello.name = "carry-adder";
+  hello.params["width"] = 8;
+  hello.seq = 1;
+  first.send_frame(encode(hello));
+  Message iface = decode(first.recv_frame());
+  ASSERT_EQ(iface.type, MsgType::Iface);
+  const std::string token = Json::parse(iface.text).at("token").as_string();
+
+  Message eval1;
+  eval1.type = MsgType::Eval;
+  eval1.values["a"] = BitVector::from_uint(8, 10);
+  eval1.values["b"] = BitVector::from_uint(8, 7);
+  eval1.count = 1;
+  eval1.seq = 2;
+  first.send_frame(encode(eval1));
+  Message v1 = decode(first.recv_frame());
+  ASSERT_EQ(v1.type, MsgType::Values);
+  first.shutdown();
+  first.close();
+
+  // Churn the store with other configurations while the session is dead
+  // or parked. Its artifact stays pinned the whole time (open -> close),
+  // so its program can never be freed while a Resume might replay.
+  for (int k = 1; k <= 4; ++k) {
+    ConnectSpec spec;
+    spec.customer = "acme";
+    spec.module = "kcm-multiplier";
+    spec.params["input_width"] = 8;
+    spec.params["constant"] = k;
+    SimClient churn(port, spec);
+    churn.bye();
+  }
+  ASSERT_TRUE(eventually(
+      [&] { return service.stats().snapshot().sessions_active == 1; }));
+  core::ArtifactStore::Stats store_stats = service.artifacts().stats();
+  EXPECT_GE(store_stats.pinned_skips, 1u)
+      << "over budget with pinned entries must skip, not evict them";
+
+  // Resume replays against the pinned artifact's program, bit-exact.
+  TcpStream second = TcpStream::connect(port);
+  Message resume;
+  resume.type = MsgType::Resume;
+  resume.text = token;
+  resume.count = 1;
+  resume.seq = 3;
+  second.send_frame(encode(resume));
+  Message back = decode(second.recv_frame());
+  ASSERT_EQ(back.type, MsgType::Iface) << back.text;
+  EXPECT_TRUE(Json::parse(back.text).at("resumed").as_bool());
+
+  second.send_frame(encode(eval1));  // idempotent replay of seq 2
+  Message replayed = decode(second.recv_frame());
+  ASSERT_EQ(replayed.type, MsgType::Values);
+  EXPECT_EQ(replayed.values.at("s").to_string(),
+            v1.values.at("s").to_string());
+
+  Message eval2;
+  eval2.type = MsgType::Eval;
+  eval2.values["a"] = BitVector::from_uint(8, 20);
+  eval2.values["b"] = BitVector::from_uint(8, 30);
+  eval2.count = 1;
+  eval2.seq = 4;
+  second.send_frame(encode(eval2));
+  Message v2 = decode(second.recv_frame());
+  ASSERT_EQ(v2.type, MsgType::Values);
+  EXPECT_EQ(v2.values.at("s").to_uint(), 50u);
+
+  Message bye;
+  bye.type = MsgType::Bye;
+  second.send_frame(encode(bye));
+  second.close();
+  EXPECT_TRUE(eventually(
+      [&] { return service.stats().snapshot().sessions_active == 0; }));
+  service.stop();
+}
+
 TEST(DeliveryServiceTest, CycleBatchRoundTripOverTheWire) {
   DeliveryService service(make_catalog());
   service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
