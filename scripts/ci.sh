@@ -6,8 +6,10 @@
 # fuzz_test, fault_test), the compiled-kernel battery (`sim-kernel`:
 # unit tests + differential random-circuit parity), the observability
 # battery (`obs`: lock-free metrics/trace-ring hammers + trace
-# propagation end-to-end), and the artifact-pipeline battery
-# (`artifact`: single-flight store races + cross-consumer determinism).
+# propagation end-to-end), the artifact-pipeline battery
+# (`artifact`: single-flight store races + cross-consumer determinism),
+# and the extraction-defense battery (`attack`: cone-extractor oracle
+# loop, query-auditor detectors and the audited delivery service).
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  skip the sanitizer builds (plain build + full suite only)
@@ -33,16 +35,20 @@ echo "== artifact store smoke bench (cold/warm determinism check) =="
 cmake --build build -j "${JOBS}" --target bench_artifact_store
 (cd build/bench && ./bench_artifact_store --smoke)
 
+echo "== extraction harness smoke bench (auditor + workload gates) =="
+cmake --build build -j "${JOBS}" --target bench_attack
+(cd build/bench && ./bench_attack --smoke)
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "CI OK (fast: sanitizers skipped)"
   exit 0
 fi
 
 for SAN in address thread; do
-  echo "== ${SAN} sanitizer: net-fault + sim-kernel + obs + artifact batteries =="
+  echo "== ${SAN} sanitizer: net-fault + sim-kernel + obs + artifact + attack batteries =="
   cmake -B "build-${SAN}" -S . -DJHDL_SANITIZE="${SAN}" >/dev/null
   cmake --build "build-${SAN}" -j "${JOBS}"
-  ctest --test-dir "build-${SAN}" -L 'net-fault|sim-kernel|obs|artifact' \
+  ctest --test-dir "build-${SAN}" -L 'net-fault|sim-kernel|obs|artifact|attack' \
     --output-on-failure
 done
 

@@ -1,0 +1,185 @@
+#include "attack/auditor.h"
+
+#include <algorithm>
+
+namespace jhdl::attack {
+namespace {
+
+/// Pack one input image (name-ordered, so the same logical vector always
+/// packs the same way) into 64-bit words, LSB of the first port first.
+void pack_image(const std::map<std::string, BitVector>& inputs,
+                std::vector<std::uint64_t>& words, std::size_t& width) {
+  words.clear();
+  width = 0;
+  std::uint64_t cur = 0;
+  for (const auto& [name, value] : inputs) {
+    for (std::size_t i = 0; i < value.width(); ++i) {
+      // X/Z count as a third state folded onto 1: an attacker probing
+      // with undefined bits still toggles the packed image.
+      if (value.get(i) != Logic4::Zero) cur |= std::uint64_t{1} << (width % 64);
+      ++width;
+      if (width % 64 == 0) {
+        words.push_back(cur);
+        cur = 0;
+      }
+    }
+  }
+  if (width % 64 != 0) words.push_back(cur);
+}
+
+std::uint64_t hash_words(const std::vector<std::uint64_t>& words) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint64_t w : words) {
+    h ^= w;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::size_t popcount_diff(const std::vector<std::uint64_t>& a,
+                          const std::vector<std::uint64_t>& b) {
+  std::size_t bits = 0;
+  const std::size_t n = std::max(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x = (i < a.size() ? a[i] : 0) ^ (i < b.size() ? b[i] : 0);
+    bits += static_cast<std::size_t>(__builtin_popcountll(x));
+  }
+  return bits;
+}
+
+}  // namespace
+
+QueryAuditor::QueryAuditor(AuditorConfig config, obs::MetricsRegistry* metrics)
+    : config_(config) {
+  if (config_.window == 0) config_.window = 1;
+  if (metrics != nullptr) {
+    m_queries_ = &metrics->counter("attack.queries");
+    m_throttled_ = &metrics->counter("attack.throttled");
+    m_trips_ = &metrics->counter("attack.trips");
+    m_parks_ = &metrics->counter("attack.parks");
+    m_suspicion_ = &metrics->gauge("attack.tripped_sessions");
+  }
+}
+
+double QueryAuditor::coverage() const {
+  if (input_bits_ == 0) return 0.0;
+  const std::size_t bits = std::min(input_bits_, config_.coverage_cap_bits);
+  const double space = static_cast<double>(std::uint64_t{1} << bits);
+  return static_cast<double>(seen_.size()) / space;
+}
+
+double QueryAuditor::window_flip_rate() const {
+  if (flips_.empty()) return 0.0;
+  return flip_sum_ / static_cast<double>(flips_.size());
+}
+
+void QueryAuditor::clear() {
+  if (throttle_left_ > 0 && m_suspicion_ != nullptr) m_suspicion_->sub();
+  throttle_left_ = 0;
+  observed_ = 0;
+  seen_.clear();
+  input_bits_ = 0;
+  flips_.clear();
+  flip_sum_ = 0.0;
+  have_prev_ = false;
+  prev_bits_.clear();
+  prev_width_ = 0;
+  stamps_.clear();
+}
+
+void QueryAuditor::trip() {
+  ++trips_;
+  throttle_left_ = config_.throttle_queries;
+  // Re-arm the probing window; coverage is cumulative by design, so a
+  // session that resumes sweeping after its cooldown re-trips at once
+  // and escalates toward Park.
+  flips_.clear();
+  flip_sum_ = 0.0;
+  have_prev_ = false;
+  if (m_trips_ != nullptr) m_trips_->inc();
+  if (m_suspicion_ != nullptr && throttle_left_ > 0) m_suspicion_->add();
+}
+
+Verdict QueryAuditor::refuse() {
+  ++throttled_total_;
+  if (m_throttled_ != nullptr) m_throttled_->inc();
+  if (config_.park_after_trips > 0 && trips_ >= config_.park_after_trips) {
+    if (m_parks_ != nullptr) m_parks_->inc();
+    return Verdict::Park;
+  }
+  return Verdict::Throttle;
+}
+
+Verdict QueryAuditor::observe(const std::map<std::string, BitVector>& inputs,
+                              std::uint64_t now_us) {
+  if (m_queries_ != nullptr) m_queries_->inc();
+
+  // Active cooldown: refuse without updating the detectors (a throttled
+  // query reached no model, so it is not part of the traffic shape).
+  if (throttle_left_ > 0) {
+    --throttle_left_;
+    if (throttle_left_ == 0 && m_suspicion_ != nullptr) m_suspicion_->sub();
+    return refuse();
+  }
+
+  ++observed_;
+
+  // Hard per-session budget.
+  if (config_.max_queries > 0 && observed_ > config_.max_queries) {
+    trip();
+    return refuse();
+  }
+
+  std::vector<std::uint64_t> words;
+  std::size_t width = 0;
+  pack_image(inputs, words, width);
+  input_bits_ = std::max(input_bits_, width);
+
+  // Probing detector: normalized Hamming distance to the previous image.
+  if (have_prev_ && width > 0) {
+    const double dist = static_cast<double>(popcount_diff(words, prev_bits_)) /
+                        static_cast<double>(std::max(width, prev_width_));
+    flips_.push_back(dist);
+    flip_sum_ += dist;
+    if (flips_.size() > config_.window) {
+      flip_sum_ -= flips_.front();
+      flips_.pop_front();
+    }
+  }
+  prev_bits_ = std::move(words);
+  prev_width_ = width;
+  have_prev_ = true;
+
+  // Coverage detector: cumulative distinct vectors vs the (capped) space.
+  seen_.insert(hash_words(prev_bits_));
+
+  // Rate detector (optional; timestamps injected for determinism).
+  if (config_.rate_window_us > 0 && config_.rate_max_queries > 0 &&
+      now_us > 0) {
+    stamps_.push_back(now_us);
+    while (!stamps_.empty() &&
+           stamps_.front() + config_.rate_window_us < now_us) {
+      stamps_.pop_front();
+    }
+    if (stamps_.size() > config_.rate_max_queries) {
+      trip();
+      return refuse();
+    }
+  }
+
+  if (config_.coverage_threshold > 0.0 &&
+      coverage() >= config_.coverage_threshold) {
+    trip();
+    return refuse();
+  }
+  if (config_.flip_low > 0.0 && flips_.size() >= config_.window) {
+    const double rate = window_flip_rate();
+    if (rate >= config_.flip_low && rate <= config_.flip_high) {
+      trip();
+      return refuse();
+    }
+  }
+  return Verdict::Allow;
+}
+
+}  // namespace jhdl::attack

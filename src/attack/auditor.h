@@ -1,0 +1,157 @@
+// QueryAuditor: server-side anomaly detection for black-box extraction
+// attacks (the defense half of the adversarial IP-protection loop).
+//
+// The paper's black box deliberately answers any port-level query - that
+// is what makes co-simulation useful - so a hostile customer can treat
+// the applet or the delivery service as a truth-table oracle (FuncTeller
+// recovers eFPGA functionality exactly this way). The auditor watches the
+// STREAM of input vectors a session evaluates and flags the signatures
+// extraction traffic cannot avoid:
+//
+//   coverage   a cone-learning attack must visit a large fraction of the
+//              input space; normal stimulus (audio samples, ramps with
+//              limited amplitude, protocol traffic) revisits a small
+//              working set. Tracked as distinct-input-vectors versus
+//              2^min(width, coverage_cap_bits), cumulative per session.
+//   probing    random-sampling attacks drive consecutive vectors whose
+//              normalized Hamming distance sits near 1/2 for a whole
+//              window; smooth real-world stimulus concentrates toggles in
+//              the low-order bits (rate well below flip_low).
+//   rate       a sliding window of arrival timestamps; attack harnesses
+//              query as fast as the transport allows, licensed
+//              co-simulation is paced by the surrounding system model.
+//              Off by default (0) because loopback tests and benches run
+//              both kinds of traffic at memory speed.
+//   budget     a hard per-session query ceiling (max_queries), the
+//              blunt instrument behind the statistical detectors.
+//
+// A trip throttles the session for `throttle_queries` observations
+// (each throttled query is answered with a typed protocol Error and
+// recovers nothing, which is precisely what lowers the attacker's
+// bits-per-query protection score). Repeated trips escalate to Park:
+// the delivery service evicts the session. Counters surface through the
+// obs registry under "attack.*" so MetricsDump / Prometheus exposition
+// show extraction pressure in production.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/bitvector.h"
+
+namespace jhdl::attack {
+
+/// Thresholds for one QueryAuditor. Defaults are tuned so the catalog's
+/// licensed co-simulation workloads (see bench_attack) never trip while
+/// exhaustive and random-sampling extraction trips within one window.
+struct AuditorConfig {
+  /// Observations per analysis window (probing detector granularity).
+  std::size_t window = 128;
+  /// Trip when distinct input vectors exceed this fraction of
+  /// 2^min(total input bits, coverage_cap_bits). <= 0 disables.
+  double coverage_threshold = 0.5;
+  /// Interfaces wider than this are treated as 2^coverage_cap_bits for
+  /// the coverage fraction (full coverage of a wide space is impossible;
+  /// visiting 2^20 distinct vectors is already an anomaly).
+  std::size_t coverage_cap_bits = 20;
+  /// Probing band: a full window whose mean normalized Hamming distance
+  /// between consecutive vectors lies in [flip_low, flip_high] trips
+  /// (random probing sits at ~0.5). flip_low <= 0 disables.
+  double flip_low = 0.35;
+  double flip_high = 0.65;
+  /// Queries answered with Throttle after a trip before the detectors
+  /// re-arm.
+  std::size_t throttle_queries = 256;
+  /// Escalate to Park (service evicts the session) once a session has
+  /// tripped this many times. 0 = never park.
+  std::size_t park_after_trips = 4;
+  /// Hard per-session observation ceiling (0 = unlimited). Exceeding it
+  /// trips every time.
+  std::uint64_t max_queries = 0;
+  /// Rate detector: more than rate_max_queries observations inside the
+  /// trailing rate_window_us microseconds trips. Both must be nonzero
+  /// to enable; observe() must then be given timestamps.
+  std::uint64_t rate_window_us = 0;
+  std::size_t rate_max_queries = 0;
+};
+
+/// What the service should do with the query just observed.
+enum class Verdict {
+  Allow,     ///< serve it normally
+  Throttle,  ///< refuse with a retryable Error; the query leaks nothing
+  Park,      ///< refuse and evict the session (escalation)
+};
+
+/// Watches one session's evaluated input vectors. Not thread-safe: a
+/// session's queries are serviced by one worker at a time (the delivery
+/// service guarantees this), so the auditor rides along un-locked.
+class QueryAuditor {
+ public:
+  /// `metrics`, when given, receives the shared "attack.*" instruments
+  /// (several sessions' auditors may share one registry; the counters
+  /// aggregate). The registry must outlive the auditor.
+  explicit QueryAuditor(AuditorConfig config,
+                        obs::MetricsRegistry* metrics = nullptr);
+
+  /// Observe one evaluated input image (every port the query drives).
+  /// `now_us` feeds the rate detector; pass 0 when it is disabled.
+  Verdict observe(const std::map<std::string, BitVector>& inputs,
+                  std::uint64_t now_us = 0);
+
+  /// True while a trip's throttle cooldown is active.
+  bool tripped() const { return throttle_left_ > 0; }
+  /// Total trips so far (drives the Park escalation).
+  std::size_t trips() const { return trips_; }
+  /// Observations accepted / refused.
+  std::uint64_t observed() const { return observed_; }
+  std::uint64_t throttled() const { return throttled_total_; }
+
+  /// Current detector readings (window may be partial).
+  double coverage() const;
+  double window_flip_rate() const;
+
+  /// Admin reset: clears detector state, the hard-budget observation
+  /// count and any active cooldown. Trip and throttle totals are
+  /// preserved (they are history, not state - a reset does not launder
+  /// the session's record, so Park escalation still applies).
+  void clear();
+
+  const AuditorConfig& config() const { return config_; }
+
+ private:
+  void trip();
+  Verdict refuse();
+
+  AuditorConfig config_;
+  std::uint64_t observed_ = 0;
+  std::uint64_t throttled_total_ = 0;
+  std::size_t trips_ = 0;
+  std::size_t throttle_left_ = 0;
+
+  /// Cumulative distinct input vectors (hashes; collisions only ever
+  /// under-count, i.e. favour the attacker, never false-trip).
+  std::unordered_set<std::uint64_t> seen_;
+  /// Total input bits of the widest image observed (coverage denominator).
+  std::size_t input_bits_ = 0;
+  /// Previous packed image + ring of normalized consecutive distances.
+  std::vector<std::uint64_t> prev_bits_;
+  std::size_t prev_width_ = 0;
+  bool have_prev_ = false;
+  std::deque<double> flips_;
+  double flip_sum_ = 0.0;
+  /// Arrival stamps for the rate detector.
+  std::deque<std::uint64_t> stamps_;
+
+  obs::Counter* m_queries_ = nullptr;
+  obs::Counter* m_throttled_ = nullptr;
+  obs::Counter* m_trips_ = nullptr;
+  obs::Counter* m_parks_ = nullptr;
+  obs::Gauge* m_suspicion_ = nullptr;
+};
+
+}  // namespace jhdl::attack

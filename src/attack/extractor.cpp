@@ -1,0 +1,345 @@
+#include "attack/extractor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace jhdl::attack {
+namespace {
+
+/// One input or output bit's coordinates in the flattened interface.
+struct BitRef {
+  std::string port;
+  std::size_t bit;
+};
+
+std::vector<BitRef> flatten(const std::vector<core::BlackBoxPort>& ports,
+                            bool inputs) {
+  std::vector<BitRef> refs;
+  for (const core::BlackBoxPort& p : ports) {
+    if (p.is_input != inputs) continue;
+    for (std::size_t i = 0; i < p.width; ++i) refs.push_back({p.name, i});
+  }
+  return refs;
+}
+
+/// Materialize a full input image from flattened bit values.
+std::map<std::string, BitVector> make_image(
+    const std::vector<core::BlackBoxPort>& ports,
+    const std::vector<BitRef>& in_bits, const std::vector<bool>& values) {
+  std::map<std::string, BitVector> image;
+  for (const core::BlackBoxPort& p : ports) {
+    if (!p.is_input) continue;
+    image.emplace(p.name, BitVector(p.width, Logic4::Zero));
+  }
+  for (std::size_t i = 0; i < in_bits.size(); ++i) {
+    image.at(in_bits[i].port)
+        .set(in_bits[i].bit,
+             i < values.size() && values[i] ? Logic4::One : Logic4::Zero);
+  }
+  return image;
+}
+
+/// Read one flattened output bit from a query result; nullopt when the
+/// model answered X/Z (undefined bits are not learnable payload).
+std::optional<bool> read_bit(const std::map<std::string, BitVector>& outputs,
+                             const BitRef& ref) {
+  auto it = outputs.find(ref.port);
+  if (it == outputs.end() || ref.bit >= it->second.width()) return std::nullopt;
+  switch (it->second.get(ref.bit)) {
+    case Logic4::Zero:
+      return false;
+    case Logic4::One:
+      return true;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Transaction runner shared by both modes: budget first, then query,
+/// refunding the unused unit when an audited transaction is refused
+/// before reaching the (sequential) model. Returns false when the
+/// transaction yielded no outputs (throttled) or the budget is dry
+/// (budget_dry set).
+struct Runner {
+  QueryOracle& oracle;
+  QueryBudget& budget;
+  std::uint64_t unit_cost;
+  bool budget_dry = false;
+
+  bool run(const std::map<std::string, BitVector>& image,
+           std::map<std::string, BitVector>& outputs) {
+    if (!budget.try_spend(unit_cost)) {
+      budget_dry = true;
+      return false;
+    }
+    const std::uint64_t before = oracle.queries();
+    const bool ok = oracle.query(image, outputs);
+    const std::uint64_t actual = oracle.queries() - before;
+    if (actual < unit_cost) budget.refund(unit_cost - actual);
+    return ok;
+  }
+};
+
+double hoeffding_lower(double p_hat, std::size_t n, double delta = 0.05) {
+  if (n == 0) return 0.0;
+  const double slack = std::sqrt(std::log(1.0 / delta) /
+                                 (2.0 * static_cast<double>(n)));
+  return std::max(0.0, p_hat - slack);
+}
+
+}  // namespace
+
+Json ExtractionReport::to_json() const {
+  Json j = Json::object();
+  j.set("module", module);
+  j.set("mode", exhaustive ? "exhaustive" : "sampling");
+  j.set("input_bits", input_bits);
+  j.set("output_bits", output_bits);
+  j.set("queries", queries_spent);
+  j.set("throttled", queries_throttled);
+  j.set("budget_exhausted", budget_exhausted);
+  j.set("recovered_bits", recovered_bits);
+  j.set("total_bits", total_bits);
+  j.set("recovered_fraction", recovered_fraction());
+  j.set("score_per_10k_queries", score_per_10k());
+  Json cone_rows = Json::array();
+  for (const ConeReport& c : cones) {
+    Json row = Json::object();
+    row.set("output", c.output + "[" + std::to_string(c.bit) + "]");
+    row.set("support", c.support.size());
+    row.set("exact", c.exact);
+    row.set("entries", c.table_entries);
+    row.set("confidence", c.confidence);
+    row.set("recovered_bits", c.recovered_bits);
+    cone_rows.push(row);
+  }
+  j.set("cones", cone_rows);
+  return j;
+}
+
+std::optional<bool> ConeExtractor::predict(
+    const ConeReport& cone, const std::map<std::string, BitVector>& inputs) {
+  std::uint64_t key = 0;
+  for (std::size_t k = 0; k < cone.support.size(); ++k) {
+    const auto& [port, bit] = cone.support[k];
+    auto it = inputs.find(port);
+    if (it == inputs.end() || bit >= it->second.width()) return std::nullopt;
+    if (it->second.get(bit) == Logic4::One) key |= std::uint64_t{1} << k;
+  }
+  auto it = cone.table.find(key);
+  if (it == cone.table.end()) return std::nullopt;
+  return it->second;
+}
+
+ExtractionReport ConeExtractor::extract(QueryOracle& oracle,
+                                        QueryBudget& budget,
+                                        const std::string& module_name) const {
+  ExtractionReport report;
+  report.module = module_name;
+  const std::vector<core::BlackBoxPort> ports = oracle.ports();
+  const std::vector<BitRef> in_bits = flatten(ports, true);
+  const std::vector<BitRef> out_bits = flatten(ports, false);
+  report.input_bits = in_bits.size();
+  report.output_bits = out_bits.size();
+  const std::uint64_t q0 = oracle.queries();
+  const std::uint64_t t0 = oracle.throttled();
+  Runner runner{oracle, budget,
+                oracle.latency() > 0 ? std::uint64_t{2} : std::uint64_t{1}};
+
+  const std::size_t W = in_bits.size();
+  const std::size_t O = out_bits.size();
+  report.exhaustive = W <= config_.exhaustive_limit && W < 64;
+
+  if (report.exhaustive) {
+    // ---- exhaustive truth-table sweep ----
+    const std::uint64_t space = std::uint64_t{1} << W;
+    // tables[j][v]: 0 / 1 / 2 = unknown (throttled or undefined).
+    std::vector<std::vector<std::uint8_t>> tables(
+        O, std::vector<std::uint8_t>(space, 2));
+    std::vector<bool> assignment(W, false);
+    for (std::uint64_t v = 0; v < space; ++v) {
+      for (std::size_t i = 0; i < W; ++i) assignment[i] = (v >> i) & 1;
+      std::map<std::string, BitVector> outputs;
+      if (!runner.run(make_image(ports, in_bits, assignment), outputs)) {
+        if (runner.budget_dry) break;
+        continue;  // throttled: entry stays unknown
+      }
+      for (std::size_t j = 0; j < O; ++j) {
+        if (auto b = read_bit(outputs, out_bits[j])) {
+          tables[j][v] = *b ? 1 : 0;
+        }
+      }
+    }
+    report.budget_exhausted = runner.budget_dry;
+
+    for (std::size_t j = 0; j < O; ++j) {
+      ConeReport cone;
+      cone.output = out_bits[j].port;
+      cone.bit = out_bits[j].bit;
+      const std::vector<std::uint8_t>& t = tables[j];
+      std::uint64_t known = 0;
+      for (std::uint64_t v = 0; v < space; ++v) known += t[v] != 2;
+      // Support: input bit i matters iff some known pair differing only
+      // in bit i differs in value.
+      std::vector<std::size_t> support_idx;
+      for (std::size_t i = 0; i < W; ++i) {
+        const std::uint64_t mask = std::uint64_t{1} << i;
+        bool depends = false;
+        for (std::uint64_t v = 0; v < space && !depends; ++v) {
+          if ((v & mask) != 0) continue;
+          depends = t[v] != 2 && t[v | mask] != 2 && t[v] != t[v | mask];
+        }
+        if (depends) {
+          support_idx.push_back(i);
+          cone.support.emplace_back(in_bits[i].port, in_bits[i].bit);
+        }
+      }
+      // Project known entries onto the support. With unknowns the
+      // support may be underestimated, so conflicting projections are
+      // dropped rather than credited.
+      std::map<std::uint64_t, bool> proj;
+      std::vector<std::uint64_t> conflicted;
+      for (std::uint64_t v = 0; v < space; ++v) {
+        if (t[v] == 2) continue;
+        std::uint64_t key = 0;
+        for (std::size_t k = 0; k < support_idx.size(); ++k) {
+          if ((v >> support_idx[k]) & 1) key |= std::uint64_t{1} << k;
+        }
+        const bool value = t[v] == 1;
+        auto [it, fresh] = proj.emplace(key, value);
+        if (!fresh && it->second != value) conflicted.push_back(key);
+      }
+      for (std::uint64_t key : conflicted) proj.erase(key);
+      cone.table = std::move(proj);
+      cone.table_entries = cone.table.size();
+      cone.total_bits =
+          static_cast<double>(std::uint64_t{1} << cone.support.size());
+      cone.exact = known == space &&
+                   cone.table_entries ==
+                       static_cast<std::size_t>(cone.total_bits);
+      cone.confidence =
+          space > 0 ? static_cast<double>(known) / static_cast<double>(space)
+                    : 0.0;
+      // Exhaustively confirmed entries are hard knowledge: every entry
+      // was observed directly, so each counts as one recovered bit.
+      cone.recovered_bits = static_cast<double>(cone.table_entries) *
+                            (cone.exact ? 1.0 : cone.confidence);
+      report.recovered_bits += cone.recovered_bits;
+      report.total_bits += cone.total_bits;
+      report.cones.push_back(std::move(cone));
+    }
+  } else {
+    // ---- sensitivity probing + cone sampling ----
+    Rng rng(config_.seed);
+    auto random_assignment = [&] {
+      std::vector<bool> a(W);
+      for (std::size_t i = 0; i < W; ++i) a[i] = rng.coin();
+      return a;
+    };
+    std::vector<std::vector<bool>> supports(O, std::vector<bool>(W, false));
+    std::vector<bool> first_base;
+    for (std::size_t b = 0; b < config_.probe_bases && !runner.budget_dry;
+         ++b) {
+      std::vector<bool> base = random_assignment();
+      if (first_base.empty()) first_base = base;
+      std::map<std::string, BitVector> base_out;
+      if (!runner.run(make_image(ports, in_bits, base), base_out)) continue;
+      for (std::size_t i = 0; i < W && !runner.budget_dry; ++i) {
+        std::vector<bool> flipped = base;
+        flipped[i] = !flipped[i];
+        std::map<std::string, BitVector> flip_out;
+        if (!runner.run(make_image(ports, in_bits, flipped), flip_out)) {
+          continue;
+        }
+        for (std::size_t j = 0; j < O; ++j) {
+          const auto a = read_bit(base_out, out_bits[j]);
+          const auto c = read_bit(flip_out, out_bits[j]);
+          if (a && c && *a != *c) supports[j][i] = true;
+        }
+      }
+    }
+    if (first_base.empty()) first_base.assign(W, false);
+
+    // Enumerate each approximated cone with the non-support inputs
+    // pinned to the first base image.
+    for (std::size_t j = 0; j < O; ++j) {
+      ConeReport cone;
+      cone.output = out_bits[j].port;
+      cone.bit = out_bits[j].bit;
+      std::vector<std::size_t> support_idx;
+      for (std::size_t i = 0; i < W; ++i) {
+        if (supports[j][i]) {
+          support_idx.push_back(i);
+          cone.support.emplace_back(in_bits[i].port, in_bits[i].bit);
+        }
+      }
+      cone.total_bits =
+          static_cast<double>(std::pow(2.0, static_cast<double>(
+                                                support_idx.size())));
+      if (support_idx.size() <= config_.cone_limit && !runner.budget_dry) {
+        const std::uint64_t cone_space = std::uint64_t{1}
+                                         << support_idx.size();
+        for (std::uint64_t v = 0; v < cone_space && !runner.budget_dry;
+             ++v) {
+          std::vector<bool> assignment = first_base;
+          for (std::size_t k = 0; k < support_idx.size(); ++k) {
+            assignment[support_idx[k]] = (v >> k) & 1;
+          }
+          std::map<std::string, BitVector> outputs;
+          if (!runner.run(make_image(ports, in_bits, assignment), outputs)) {
+            continue;
+          }
+          if (auto bit = read_bit(outputs, out_bits[j])) {
+            cone.table[v] = *bit;
+          }
+        }
+      }
+      cone.table_entries = cone.table.size();
+      report.cones.push_back(std::move(cone));
+    }
+
+    // Validation: fresh random images; each learned cone's prediction is
+    // scored against the oracle, and the credit is discounted by the
+    // Hoeffding lower bound on its agreement rate.
+    std::vector<std::size_t> agree(O, 0), tried(O, 0);
+    for (std::size_t v = 0;
+         v < config_.validation_queries && !runner.budget_dry; ++v) {
+      std::vector<bool> a = random_assignment();
+      std::map<std::string, BitVector> image = make_image(ports, in_bits, a);
+      std::map<std::string, BitVector> outputs;
+      if (!runner.run(image, outputs)) continue;
+      for (std::size_t j = 0; j < O; ++j) {
+        const auto actual = read_bit(outputs, out_bits[j]);
+        const auto predicted = predict(report.cones[j], image);
+        if (actual && predicted) {
+          ++tried[j];
+          if (*actual == *predicted) ++agree[j];
+        }
+      }
+    }
+    report.budget_exhausted = runner.budget_dry;
+    for (std::size_t j = 0; j < O; ++j) {
+      ConeReport& cone = report.cones[j];
+      const double p_hat =
+          tried[j] > 0 ? static_cast<double>(agree[j]) /
+                             static_cast<double>(tried[j])
+                       : 0.0;
+      cone.confidence = p_hat;
+      const double p_lb = hoeffding_lower(p_hat, tried[j]);
+      // Correlation credit: a table agreeing with probability p is worth
+      // (2p - 1) of its entries (p = 1/2 is a coin flip, worth nothing).
+      cone.recovered_bits = static_cast<double>(cone.table_entries) *
+                            std::max(0.0, 2.0 * p_lb - 1.0);
+      report.recovered_bits += cone.recovered_bits;
+      report.total_bits += cone.total_bits;
+    }
+  }
+
+  report.queries_spent = oracle.queries() - q0;
+  report.queries_throttled = oracle.throttled() - t0;
+  return report;
+}
+
+}  // namespace jhdl::attack

@@ -1,0 +1,125 @@
+// ConeExtractor: cone-wise truth-table learning over a black box's port
+// interface - the offense half of the adversarial IP-protection loop.
+//
+// The attack treats each OUTPUT BIT as a boolean function of the input
+// bits (its logic cone) and tries to recover that function from oracle
+// transactions alone, the way FuncTeller recovers eFPGA functionality
+// from I/O queries:
+//
+//   exhaustive  when the total input width W fits the budgeted sweep
+//               (2^W transactions), enumerate every input image. This
+//               yields each cone's EXACT support (the input bits the
+//               function actually depends on) and its full truth table.
+//   sampling    wide interfaces get (a) sensitivity probing - flip one
+//               input bit of a random base image and watch which output
+//               bits react - to approximate each cone's support, then
+//               (b) enumeration of the approximated cone with the other
+//               inputs pinned, and (c) validation on fresh random images
+//               with a Hoeffding lower bound on the agreement rate.
+//
+// The PROTECTION SCORE this produces is deliberately attacker-friendly:
+//   recovered_bits  = truth-table entries the attacker has confirmed
+//                     (exhaustive cones count known entries; sampled
+//                     cones are discounted to (2*p_lb - 1) * entries,
+//                     the correlation credit of a table that agrees with
+//                     the oracle with probability >= p_lb)
+//   score_per_10k   = recovered_bits / queries_spent * 10000
+// Lower is better for the vendor. The same attack run against an
+// audited oracle spends queries on throttled transactions that recover
+// nothing, which is how bench_attack shows the defense raising the
+// attacker's query cost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/oracle.h"
+#include "util/json.h"
+
+namespace jhdl::attack {
+
+/// Attack sizing. Defaults match bench_attack's full run.
+struct ExtractorConfig {
+  /// Exhaustive sweep allowed while total input bits <= this.
+  std::size_t exhaustive_limit = 12;
+  /// Random base images used for sensitivity probing (sampling mode).
+  std::size_t probe_bases = 24;
+  /// Largest approximated cone the sampler will enumerate.
+  std::size_t cone_limit = 10;
+  /// Fresh random images used to validate sampled cones.
+  std::size_t validation_queries = 256;
+  std::uint64_t seed = 0xA77ACC;
+};
+
+/// What the attack learned about one output bit's cone.
+struct ConeReport {
+  std::string output;       ///< port name
+  std::size_t bit = 0;      ///< bit index within the port
+  /// Input bits the cone was found to depend on, as (port, bit).
+  std::vector<std::pair<std::string, std::size_t>> support;
+  bool exact = false;       ///< exhaustively recovered (vs sampled)
+  std::size_t table_entries = 0;  ///< truth-table entries confirmed
+  double confidence = 0.0;  ///< validation agreement (1.0 when exact)
+  double recovered_bits = 0.0;    ///< credited toward the score
+  double total_bits = 0.0;        ///< 2^|support|: what there was to learn
+  /// The learned truth table: projection of the support bits (bit k of
+  /// the key = value of support[k]) -> output bit value.
+  std::map<std::uint64_t, bool> table;
+};
+
+/// One full extraction run against one module.
+struct ExtractionReport {
+  std::string module;
+  std::uint64_t queries_spent = 0;    ///< oracle query units consumed
+  std::uint64_t queries_throttled = 0;
+  bool budget_exhausted = false;
+  bool exhaustive = false;            ///< mode the run used
+  std::size_t input_bits = 0;
+  std::size_t output_bits = 0;
+  double recovered_bits = 0.0;
+  double total_bits = 0.0;
+  std::vector<ConeReport> cones;
+
+  /// Recovered truth-table bits per 10k queries (the protection score;
+  /// lower = better protected).
+  double score_per_10k() const {
+    return queries_spent > 0
+               ? recovered_bits / static_cast<double>(queries_spent) * 10000.0
+               : 0.0;
+  }
+  /// Fraction of the interface function recovered.
+  double recovered_fraction() const {
+    return total_bits > 0.0 ? recovered_bits / total_bits : 0.0;
+  }
+  Json to_json() const;
+};
+
+/// Runs the attack. Stateless between runs; all accounting goes through
+/// the oracle and the budget.
+class ConeExtractor {
+ public:
+  explicit ConeExtractor(ExtractorConfig config = {}) : config_(config) {}
+
+  /// Attack `oracle`, spending at most `budget`. Every oracle
+  /// transaction first reserves budget; when the budget runs dry the
+  /// attack stops and reports what it holds.
+  ExtractionReport extract(QueryOracle& oracle, QueryBudget& budget,
+                           const std::string& module_name) const;
+
+  /// Predict the value the learned cone implies for `inputs`
+  /// (std::nullopt when the table has no confirmed entry at that
+  /// projection). Used by tests to verify exact recovery and by the
+  /// validation stage internally.
+  static std::optional<bool> predict(
+      const ConeReport& cone, const std::map<std::string, BitVector>& inputs);
+
+  const ExtractorConfig& config() const { return config_; }
+
+ private:
+  ExtractorConfig config_;
+};
+
+}  // namespace jhdl::attack

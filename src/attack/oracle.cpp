@@ -1,0 +1,50 @@
+#include "attack/oracle.h"
+
+namespace jhdl::attack {
+
+ModelOracle::ModelOracle(core::BlackBoxModel& model)
+    : model_(model), latency_(model.latency()), ports_(model.ports()) {}
+
+std::vector<core::BlackBoxPort> ModelOracle::ports() const { return ports_; }
+
+bool ModelOracle::query(const std::map<std::string, BitVector>& inputs,
+                        std::map<std::string, BitVector>& outputs) {
+  // Sequential IP: reset so the answer depends only on this image (the
+  // reset is its own protocol round trip, so it costs a query unit).
+  if (latency_ > 0) {
+    model_.reset();
+    ++queries_;
+  }
+  for (const auto& [name, value] : inputs) model_.set_input(name, value);
+  if (latency_ > 0) model_.cycle(latency_);
+  ++queries_;
+  outputs.clear();
+  for (const core::BlackBoxPort& port : ports_) {
+    if (port.is_input) continue;
+    outputs[port.name] = model_.get_output(port.name);
+  }
+  return true;
+}
+
+AuditedOracle::AuditedOracle(QueryOracle& inner, QueryAuditor& auditor)
+    : inner_(inner), auditor_(auditor) {}
+
+std::vector<core::BlackBoxPort> AuditedOracle::ports() const {
+  return inner_.ports();
+}
+
+bool AuditedOracle::query(const std::map<std::string, BitVector>& inputs,
+                          std::map<std::string, BitVector>& outputs) {
+  const Verdict verdict = auditor_.observe(inputs);
+  bool ok = false;
+  if (verdict == Verdict::Allow) {
+    ok = inner_.query(inputs, outputs);
+  } else {
+    // The refused round trip is still traffic the attacker paid for.
+    ++throttled_;
+  }
+  queries_ = inner_.queries() + throttled_;
+  return ok;
+}
+
+}  // namespace jhdl::attack

@@ -1,0 +1,124 @@
+// Query oracles: the attacker's view of a delivered black box.
+//
+// The paper's applet ships a usable port-level simulation model while the
+// netlist stays secret (Section 4.2). Everything an adversary can do is
+// therefore a sequence of oracle transactions: drive the input ports,
+// clock, read the output ports. This header models that surface exactly -
+// ModelOracle is the in-process applet black box, AuditedOracle is the
+// same surface behind the server's QueryAuditor - so the extraction
+// harness measures what actually leaks through the interface the product
+// ships, with per-module query accounting (QueryBudget) shared by every
+// stage of an attack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/auditor.h"
+#include "core/blackbox.h"
+#include "util/bitvector.h"
+
+namespace jhdl::attack {
+
+/// Per-module attack accounting: every oracle transaction (including the
+/// Reset that makes a stateful query reproducible, and every throttled
+/// attempt) spends from one budget, so "bits recovered per N queries"
+/// charges the attacker for all traffic it generated.
+class QueryBudget {
+ public:
+  /// 0 = unlimited.
+  explicit QueryBudget(std::uint64_t limit = 0) : limit_(limit) {}
+
+  /// Spend `n` query units; false (and nothing spent) when the budget
+  /// cannot cover them.
+  bool try_spend(std::uint64_t n = 1) {
+    if (limit_ > 0 && spent_ + n > limit_) return false;
+    spent_ += n;
+    return true;
+  }
+  /// Return units reserved but not actually spent (e.g. a transaction
+  /// budgeted at reset+eval that was refused after one round trip).
+  void refund(std::uint64_t n) { spent_ = n > spent_ ? 0 : spent_ - n; }
+  bool exhausted() const { return limit_ > 0 && spent_ >= limit_; }
+  std::uint64_t spent() const { return spent_; }
+  std::uint64_t limit() const { return limit_; }
+
+ private:
+  std::uint64_t limit_;
+  std::uint64_t spent_ = 0;
+};
+
+/// One port-level transaction surface. Implementations count traffic.
+class QueryOracle {
+ public:
+  virtual ~QueryOracle() = default;
+
+  virtual std::vector<core::BlackBoxPort> ports() const = 0;
+  /// Cycles before outputs reflect inputs (0 = combinational).
+  virtual std::size_t latency() const = 0;
+
+  /// One transaction: present `inputs` (a full input image), settle or
+  /// clock as the module requires, read every output into `outputs`.
+  /// Returns false when the query was refused (throttled/parked) -
+  /// the attempt still counts as traffic but leaks nothing.
+  virtual bool query(const std::map<std::string, BitVector>& inputs,
+                     std::map<std::string, BitVector>& outputs) = 0;
+
+  /// Query units generated so far (refused attempts included).
+  std::uint64_t queries() const { return queries_; }
+  /// Refused attempts.
+  std::uint64_t throttled() const { return throttled_; }
+
+ protected:
+  std::uint64_t queries_ = 0;
+  std::uint64_t throttled_ = 0;
+};
+
+/// Direct oracle over the applet's BlackBoxModel. Each transaction
+/// resets the model, applies the inputs and clocks `latency` cycles (one
+/// settle pass for combinational IP), making the answer a deterministic
+/// function of the single input image even for stateful IP like the FIR.
+/// The reset round trip is charged as a query unit of its own for
+/// sequential modules - an attacker over the wire pays it too.
+class ModelOracle : public QueryOracle {
+ public:
+  /// Borrows the model (caller keeps ownership and must outlive this).
+  explicit ModelOracle(core::BlackBoxModel& model);
+
+  std::vector<core::BlackBoxPort> ports() const override;
+  std::size_t latency() const override { return latency_; }
+  bool query(const std::map<std::string, BitVector>& inputs,
+             std::map<std::string, BitVector>& outputs) override;
+
+ private:
+  core::BlackBoxModel& model_;
+  std::size_t latency_;
+  std::vector<core::BlackBoxPort> ports_;
+};
+
+/// The same surface behind the server's QueryAuditor: every transaction
+/// is shown to the auditor first; Throttle/Park verdicts refuse the
+/// query exactly as the delivery service answers Error(Throttled). Used
+/// by the harness to measure how much a deployed auditor raises the
+/// attacker's query cost without standing up a socket per probe.
+class AuditedOracle : public QueryOracle {
+ public:
+  /// Borrows both; the auditor accumulates trips across the attack.
+  AuditedOracle(QueryOracle& inner, QueryAuditor& auditor);
+
+  std::vector<core::BlackBoxPort> ports() const override;
+  std::size_t latency() const override { return inner_.latency(); }
+  bool query(const std::map<std::string, BitVector>& inputs,
+             std::map<std::string, BitVector>& outputs) override;
+
+  const QueryAuditor& auditor() const { return auditor_; }
+
+ private:
+  QueryOracle& inner_;
+  QueryAuditor& auditor_;
+};
+
+}  // namespace jhdl::attack

@@ -1,0 +1,112 @@
+#include "attack/watermark_eval.h"
+
+#include <memory>
+
+#include "core/protect.h"
+#include "hdl/hwsystem.h"
+#include "hdl/visitor.h"
+#include "modgen/kcm.h"
+#include "tech/memory.h"
+#include "util/rng.h"
+
+namespace jhdl::attack {
+namespace {
+
+/// A watermarked unsigned KCM instance (top-digit ROMs of a narrow top
+/// digit leave unreachable entries - the watermark carriers).
+struct MarkedKcm {
+  std::unique_ptr<HWSystem> hw;
+  modgen::VirtexKCMMultiplier* kcm = nullptr;
+  std::size_t carriers = 0;
+};
+
+MarkedKcm build_marked(std::size_t width, core::Watermarker& marker) {
+  MarkedKcm m;
+  m.hw = std::make_unique<HWSystem>("wm_eval");
+  Wire* in = new Wire(m.hw.get(), width, "m");
+  Wire* out = new Wire(m.hw.get(), width + 8, "p");
+  m.kcm = new modgen::VirtexKCMMultiplier(m.hw.get(), in, out, false, false,
+                                          201);
+  m.carriers = marker.embed(*m.kcm, {});
+  return m;
+}
+
+std::vector<tech::Rom16*> carrier_roms(Cell& root) {
+  std::vector<tech::Rom16*> roms;
+  for (Primitive* prim : collect_primitives(root)) {
+    if (auto* rom = dynamic_cast<tech::Rom16*>(prim)) {
+      if (rom->property("UNUSED_ABOVE") != nullptr) roms.push_back(rom);
+    }
+  }
+  return roms;
+}
+
+}  // namespace
+
+Json SurvivalReport::to_json() const {
+  Json j = Json::object();
+  j.set("circuit", circuit);
+  j.set("carriers", carriers);
+  j.set("survives_obfuscation", survives_obfuscation);
+  Json points = Json::array();
+  for (const SurvivalPoint& p : tamper_points) {
+    Json row = Json::object();
+    row.set("tampered_entries", p.tampered_entries);
+    row.set("trials", p.trials);
+    row.set("fully_verified", p.fully_verified);
+    row.set("survival_rate", p.survival_rate());
+    row.set("mean_carrier_match", p.mean_carrier_match);
+    points.push(row);
+  }
+  j.set("tamper_points", points);
+  return j;
+}
+
+SurvivalReport evaluate_watermark_survival(
+    std::size_t input_width, const std::string& owner_tag,
+    const std::vector<std::size_t>& tamper_levels, std::size_t trials,
+    std::uint64_t seed) {
+  core::Watermarker marker(owner_tag);
+  SurvivalReport report;
+  report.circuit = "kcm-" + std::to_string(input_width) + "-unsigned";
+
+  // Obfuscation must preserve the mark: it renames identifiers but never
+  // rewrites table contents.
+  {
+    MarkedKcm m = build_marked(input_width, marker);
+    report.carriers = m.carriers;
+    core::obfuscate(*m.kcm, seed ^ 0x0BF5CA7E);
+    report.survives_obfuscation = marker.extract(*m.kcm, {}).verified();
+  }
+
+  for (std::size_t level : tamper_levels) {
+    SurvivalPoint point;
+    point.tampered_entries = level;
+    point.trials = trials;
+    double match_sum = 0.0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      MarkedKcm m = build_marked(input_width, marker);
+      Rng rng(seed ^ (level * 0x9E3779B9u) ^ trial);
+      std::vector<tech::Rom16*> roms = carrier_roms(*m.kcm);
+      for (std::size_t k = 0; k < level && !roms.empty(); ++k) {
+        tech::Rom16* rom = roms[rng.below(roms.size())];
+        const unsigned first = static_cast<unsigned>(
+            std::stoul(*rom->property("UNUSED_ABOVE")));
+        const unsigned addr =
+            first + static_cast<unsigned>(rng.below(16 - first));
+        rom->set_entry(addr, rng.next() & 0xFFF);
+      }
+      core::Watermarker::Extraction ex = marker.extract(*m.kcm, {});
+      if (ex.verified()) ++point.fully_verified;
+      match_sum += ex.carriers > 0 ? static_cast<double>(ex.matching) /
+                                         static_cast<double>(ex.carriers)
+                                   : 0.0;
+    }
+    point.mean_carrier_match =
+        trials > 0 ? match_sum / static_cast<double>(trials) : 0.0;
+    report.tamper_points.push_back(point);
+  }
+  return report;
+}
+
+}  // namespace jhdl::attack

@@ -1,0 +1,55 @@
+// Watermark-survival evaluator: does the vendor's ownership mark survive
+// the transforms an adversary (or an innocent resynthesis flow) applies
+// to a delivered circuit?
+//
+// The Watermarker (core/protect.h) hides a CRC-chained signature in
+// unreachable ROM entries. This evaluator re-verifies the mark after the
+// two transforms the delivery pipeline itself can apply - identifier
+// obfuscation, which must NOT disturb the mark (it renames, never
+// rewrites tables) - and after random ROM-entry tampering at increasing
+// intensities, which models an attacker scrubbing tables to destroy the
+// evidence. Reported as survival rates alongside the extraction score,
+// the two halves of the paper's visibility-vs-protection trade-off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace jhdl::attack {
+
+/// One tamper intensity's outcome over `trials` independent circuits.
+struct SurvivalPoint {
+  std::size_t tampered_entries = 0;  ///< carrier entries overwritten
+  std::size_t trials = 0;
+  std::size_t fully_verified = 0;    ///< extract().verified() held
+  double mean_carrier_match = 0.0;   ///< matching / carriers, averaged
+  double survival_rate() const {
+    return trials > 0
+               ? static_cast<double>(fully_verified) /
+                     static_cast<double>(trials)
+               : 0.0;
+  }
+};
+
+/// Full evaluation of one watermarked configuration.
+struct SurvivalReport {
+  std::string circuit;
+  std::size_t carriers = 0;         ///< carrier entries per instance
+  bool survives_obfuscation = false;
+  std::vector<SurvivalPoint> tamper_points;
+  Json to_json() const;
+};
+
+/// Embed a watermark in a freshly built unsigned KCM of `input_width`
+/// bits, verify it survives obfuscation, then tamper `tamper_levels`
+/// carrier entries at random over `trials` instances per level and
+/// report survival. Deterministic for a given seed.
+SurvivalReport evaluate_watermark_survival(
+    std::size_t input_width, const std::string& owner_tag,
+    const std::vector<std::size_t>& tamper_levels, std::size_t trials,
+    std::uint64_t seed);
+
+}  // namespace jhdl::attack

@@ -1,6 +1,8 @@
 #include "core/generators.h"
 
 #include "modgen/modgen.h"
+#include "tech/gates.h"
+#include "util/rng.h"
 
 namespace jhdl::core {
 
@@ -127,6 +129,68 @@ BuildResult FirGenerator::build(const ParamMap& params) const {
   r.inputs["x"] = x;
   r.outputs["y"] = y;
   r.latency = fir->latency();
+  return r;
+}
+
+// ---------------------------------------------------------- gate net
+
+std::vector<ParamSpec> GateNetGenerator::params() const {
+  return {
+      {"input_width", ParamSpec::Kind::Int, 2, 24, 8, "input bus width"},
+      {"output_width", ParamSpec::Kind::Int, 1, 24, 4, "output bus width"},
+      {"depth", ParamSpec::Kind::Int, 1, 8, 3,
+       "gate levels between inputs and outputs"},
+      {"seed", ParamSpec::Kind::Int, 0, (1 << 30), 1,
+       "network shape seed (same seed = same function)"},
+  };
+}
+
+BuildResult GateNetGenerator::build(const ParamMap& params) const {
+  const auto in_w = static_cast<std::size_t>(params.get("input_width"));
+  const auto out_w = static_cast<std::size_t>(params.get("output_width"));
+  const auto depth = static_cast<std::size_t>(params.get("depth"));
+  const auto seed = static_cast<std::uint64_t>(params.get("seed"));
+
+  BuildResult r;
+  r.system = std::make_unique<HWSystem>("gate_net_system");
+  class GateNetIp : public Cell {
+   public:
+    GateNetIp(Node* parent, Wire* in, Wire* out, std::size_t depth,
+              std::uint64_t seed)
+        : Cell(parent, "gate_net_ip") {
+      set_type_name("gate_net_ip");
+      port_in("in", in);
+      port_out("out", out);
+      Rng rng(seed ^ 0x6A7E5E7Du);
+      std::vector<Wire*> level;
+      for (std::size_t i = 0; i < in->width(); ++i) level.push_back(in->gw(i));
+      for (std::size_t d = 0; d < depth; ++d) {
+        const bool last = d + 1 == depth;
+        const std::size_t n =
+            last ? out->width() : std::max(out->width(), in->width());
+        std::vector<Wire*> next;
+        for (std::size_t k = 0; k < n; ++k) {
+          Wire* o = last ? out->gw(k) : new Wire(this, 1);
+          Wire* a = level[rng.below(level.size())];
+          Wire* b = level[rng.below(level.size())];
+          switch (rng.below(4)) {
+            case 0: new tech::And2(this, a, b, o); break;
+            case 1: new tech::Or2(this, a, b, o); break;
+            case 2: new tech::Xor2(this, a, b, o); break;
+            default: new tech::Inv(this, a, o); break;
+          }
+          next.push_back(o);
+        }
+        level = std::move(next);
+      }
+    }
+  };
+  Wire* in = new Wire(r.system.get(), in_w, "in");
+  Wire* out = new Wire(r.system.get(), out_w, "out");
+  r.top = new GateNetIp(r.system.get(), in, out, depth, seed);
+  r.inputs["in"] = in;
+  r.outputs["out"] = out;
+  r.latency = 0;
   return r;
 }
 

@@ -45,6 +45,22 @@ class FirGenerator final : public ModuleGenerator {
   BuildResult build(const ParamMap& params) const override;
 };
 
+/// Seeded random combinational gate network. Parameters: input_width,
+/// output_width, depth, seed. Each output bit is a bounded-depth cone of
+/// 2-input gates over random input bits, so the same seed always yields
+/// the same function - the attack harness's exactly-recoverable target,
+/// and a stand-in for small glue-logic IP.
+class GateNetGenerator final : public ModuleGenerator {
+ public:
+  std::string name() const override { return "gate-net"; }
+  std::string description() const override {
+    return "Seeded random combinational gate network (bounded-depth "
+           "cones of AND/OR/XOR/INV over the input bits)";
+  }
+  std::vector<ParamSpec> params() const override;
+  BuildResult build(const ParamMap& params) const override;
+};
+
 /// Direct digital synthesizer IP (BRAM sine table + phase accumulator).
 /// Parameters: phase_width, tuning.
 class DdsIpGenerator final : public ModuleGenerator {

@@ -4,18 +4,30 @@ namespace jhdl::core {
 
 SecureChannel::SecureChannel(const std::string& license_secret,
                              const std::string& vendor_salt)
-    : key_(derive_key(license_secret, vendor_salt)) {}
+    : secret_(license_secret), salt_(vendor_salt) {}
+
+Speck64::Key SecureChannel::archive_key(const std::string& name,
+                                        std::uint64_t nonce) const {
+  // Context string folds vendor salt, archive name and nonce into the
+  // derivation; "\x02" separators keep ("ab","c") and ("a","bc") apart.
+  std::string context =
+      salt_ + "\x02" + name + "\x02" + std::to_string(nonce);
+  return derive_key(secret_, context);
+}
 
 SealedArchive SecureChannel::seal_archive(const Archive& archive,
                                           std::uint64_t nonce) const {
   SealedArchive out;
   out.name = archive.name();
-  out.payload = seal(archive.serialize(), key_, nonce);
+  out.payload =
+      seal(archive.serialize(), archive_key(archive.name(), nonce), nonce);
   return out;
 }
 
 Archive SecureChannel::open_archive(const SealedArchive& sealed) const {
-  return Archive::deserialize(open(sealed.payload, key_));
+  const std::uint64_t nonce = sealed_nonce(sealed.payload);
+  return Archive::deserialize(
+      open(sealed.payload, archive_key(sealed.name, nonce)));
 }
 
 }  // namespace jhdl::core

@@ -22,24 +22,40 @@ struct SealedArchive {
 };
 
 /// Vendor/customer ends of the secure channel, keyed by license secret.
+///
+/// Keys are SEPARATED per archive: each seal derives a fresh key from
+/// (license secret, vendor salt, archive name, nonce), so no two
+/// downloads are ever encrypted under the same key. This is the IEEE
+/// 1735 lesson - a single shared data key turns every sealed netlist
+/// into one oracle; with per-archive derivation, recovering one
+/// archive's key (or replaying one keystream) unlocks exactly that
+/// archive and nothing else.
 class SecureChannel {
  public:
-  /// Keys are derived from the customer's license secret; the salt binds
-  /// the key to this vendor.
+  /// Both ends hold the customer's license secret; the salt binds the
+  /// derivation to this vendor.
   SecureChannel(const std::string& license_secret,
                 const std::string& vendor_salt = "jhdlpp-ip-delivery");
 
-  /// Seal an archive for download. The nonce must be unique per seal
-  /// (the vendor's download counter).
+  /// The key one specific (archive name, nonce) pair seals under.
+  /// Exposed so tests and external tooling can check separation; never
+  /// equal across distinct names or nonces for a fixed secret.
+  Speck64::Key archive_key(const std::string& name,
+                           std::uint64_t nonce) const;
+
+  /// Seal an archive for download under its own derived key. The nonce
+  /// must be unique per seal (the vendor's download counter).
   SealedArchive seal_archive(const Archive& archive,
                              std::uint64_t nonce) const;
 
-  /// Verify, decrypt and deserialize. Throws std::runtime_error on a
-  /// wrong key, tampering, or a corrupt inner archive.
+  /// Verify, decrypt and deserialize, re-deriving the archive's key from
+  /// its name and the sealed nonce. Throws std::runtime_error on a wrong
+  /// secret, tampering, or a corrupt inner archive.
   Archive open_archive(const SealedArchive& sealed) const;
 
  private:
-  Speck64::Key key_;
+  std::string secret_;
+  std::string salt_;
 };
 
 }  // namespace jhdl::core

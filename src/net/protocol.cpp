@@ -52,6 +52,7 @@ bool error_retryable(ErrorCode code) {
     case ErrorCode::Saturated:
     case ErrorCode::MalformedFrame:
     case ErrorCode::ShuttingDown:
+    case ErrorCode::Throttled:
       return true;
     default:
       return false;
@@ -246,7 +247,7 @@ Message decode(const std::vector<std::uint8_t>& payload) {
       // a seq).
       if (!r.done()) {
         const std::uint8_t code = r.u8();
-        if (code > static_cast<std::uint8_t>(ErrorCode::UnknownSession)) {
+        if (code > static_cast<std::uint8_t>(ErrorCode::Throttled)) {
           throw std::runtime_error("protocol: unknown error code " +
                                    std::to_string(code));
         }

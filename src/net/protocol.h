@@ -150,6 +150,9 @@ enum class ErrorCode : std::uint8_t {
   MalformedFrame = 5,  // retryable in place: resend the frame
   ShuttingDown = 6,    // retryable: reconnect elsewhere/later
   UnknownSession = 7,  // fatal: resume token matched nothing
+  Throttled = 8,       // retryable with backoff: the query auditor judged
+                       //   the session's traffic extraction-like and is
+                       //   refusing queries for a cooldown window (v5)
 };
 
 /// True when a client may reasonably retry after this Error.

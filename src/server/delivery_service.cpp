@@ -387,6 +387,10 @@ Message DeliveryService::open_session(const Message& hello,
   // a resumed session will replay against.
   session->artifact = std::move(artifact);
   session->protocol = std::min(hello.version, net::kProtocolVersion);
+  if (config_.audit) {
+    session->auditor =
+        std::make_unique<attack::QueryAuditor>(config_.auditor, &metrics_);
+  }
   // The trace id that follows this session's spans: the client's, or a
   // server-minted one for clients that sent none (pre-v5, or untraced).
   session->trace_id =
@@ -526,12 +530,45 @@ DeliveryService::EndReason DeliveryService::serve_session(
         reply.type = MsgType::TraceReply;
         reply.text = tracer_.to_chrome_json().dump();
       } else {
-        try {
-          reply = net::dispatch_request(*session->model, request);
-        } catch (const std::exception& e) {
+        // Extraction audit (DeliveryConfig::audit): each evaluation shows
+        // the session's FULL input image to the auditor before it reaches
+        // the model, however the client staged it (Eval carries the image
+        // inline; SetInput only updates it; Cycle/CycleBatch evaluate
+        // whatever was staged - a batch counts as one observation).
+        attack::Verdict verdict = attack::Verdict::Allow;
+        if (session->auditor != nullptr) {
+          if (request.type == MsgType::SetInput) {
+            session->input_image[request.name] = request.value;
+          } else if (request.type == MsgType::Eval ||
+                     request.type == MsgType::Cycle ||
+                     request.type == MsgType::CycleBatch) {
+            for (const auto& [name, value] : request.values) {
+              session->input_image[name] = value;
+            }
+            verdict = session->auditor->observe(session->input_image);
+          }
+        }
+        if (verdict != attack::Verdict::Allow) {
+          span.set_name("req.throttled");
           reply.type = MsgType::Error;
-          reply.text = e.what();
-          reply.code = ErrorCode::BadRequest;
+          reply.code = ErrorCode::Throttled;
+          if (verdict == attack::Verdict::Park) {
+            reply.text =
+                "query auditor: persistent extraction-like traffic; "
+                "session parked";
+            session->evicted.store(true, std::memory_order_relaxed);
+          } else {
+            reply.text =
+                "query auditor: extraction-like traffic; cooling down";
+          }
+        } else {
+          try {
+            reply = net::dispatch_request(*session->model, request);
+          } catch (const std::exception& e) {
+            reply.type = MsgType::Error;
+            reply.text = e.what();
+            reply.code = ErrorCode::BadRequest;
+          }
         }
       }
     }

@@ -52,6 +52,7 @@
 #include <thread>
 #include <vector>
 
+#include "attack/auditor.h"
 #include "core/catalog.h"
 #include "core/license.h"
 #include "net/fault_injection.h"
@@ -93,6 +94,13 @@ struct DeliveryConfig {
   /// parked sessions pin their artifact, so eviction can never free a
   /// program a session might still replay.
   std::size_t artifact_budget_bytes = 64u << 20;
+  /// Run every session's evaluation traffic through a per-session
+  /// attack::QueryAuditor. Suspicious sessions are answered with
+  /// Error(Throttled) for a cooldown window and parked (evicted) after
+  /// repeated trips; auditor counters surface as `attack.*` metrics.
+  bool audit = false;
+  /// Detector thresholds used when `audit` is set.
+  attack::AuditorConfig auditor;
 };
 
 /// Serves many concurrent black-box sessions from one catalog.

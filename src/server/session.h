@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "attack/auditor.h"
 #include "core/artifact.h"
 #include "core/blackbox.h"
 #include "net/protocol.h"
@@ -77,6 +78,14 @@ struct Session {
   std::atomic<bool> detached{false};
   /// When the session was parked, for the resume-window purge.
   std::atomic<std::int64_t> detached_at_ns{0};
+  /// Extraction-attack auditor (null unless DeliveryConfig::audit). Only
+  /// the owning worker touches it; like the replay cache it survives
+  /// detach/resume, so a reconnect cannot launder a tripped session.
+  std::unique_ptr<attack::QueryAuditor> auditor;
+  /// The session's current full input image, maintained across SetInput
+  /// so the auditor can judge each evaluation's complete stimulus vector
+  /// no matter how the client staged it.
+  std::map<std::string, BitVector> input_image;
 
   void touch() {
     last_active_ns.store(

@@ -147,7 +147,11 @@ std::vector<std::uint8_t> open(const std::vector<std::uint8_t>& sealed,
   Speck64 tag_cipher(mac_key(key));
   std::vector<std::uint8_t> tagged(sealed.begin(), sealed.begin() + 8);
   tagged.insert(tagged.end(), sealed.begin() + 16, sealed.end());
-  if (cbc_mac(tag_cipher, tagged) != claimed_tag) {
+  std::uint8_t computed[8];
+  std::uint8_t claimed[8];
+  store64(computed, cbc_mac(tag_cipher, tagged));
+  store64(claimed, claimed_tag);
+  if (!constant_time_equal(computed, claimed, 8)) {
     throw std::runtime_error(
         "authentication failed: wrong key or tampered payload");
   }
@@ -162,6 +166,24 @@ std::vector<std::uint8_t> open(const std::vector<std::uint8_t>& sealed,
     }
   }
   return plain;
+}
+
+std::uint64_t sealed_nonce(const std::vector<std::uint8_t>& sealed) {
+  if (sealed.size() < 16) {
+    throw std::runtime_error("sealed buffer truncated");
+  }
+  return load64(sealed.data(), 8);
+}
+
+bool constant_time_equal(const std::uint8_t* a, const std::uint8_t* b,
+                         std::size_t len) {
+  // volatile keeps the accumulator live so the loop cannot be collapsed
+  // into a short-circuiting compare.
+  volatile std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    diff = static_cast<std::uint8_t>(diff | (a[i] ^ b[i]));
+  }
+  return diff == 0;
 }
 
 }  // namespace jhdl

@@ -49,8 +49,21 @@ std::vector<std::uint8_t> seal(const std::vector<std::uint8_t>& plaintext,
 
 /// Verify and decrypt a buffer produced by seal(). Throws
 /// std::runtime_error on truncation or tag mismatch (wrong key or
-/// tampering).
+/// tampering). Tag verification is constant-time: a wrong key and a
+/// tampered tag fail identically, with no early exit an attacker could
+/// time byte-by-byte.
 std::vector<std::uint8_t> open(const std::vector<std::uint8_t>& sealed,
                                const Speck64::Key& key);
+
+/// The nonce a seal() buffer was sealed under (its first 8 bytes).
+/// Throws std::runtime_error on truncation. Lets a receiver derive a
+/// nonce-bound key before attempting open().
+std::uint64_t sealed_nonce(const std::vector<std::uint8_t>& sealed);
+
+/// Constant-time byte-buffer comparison: XOR-accumulates every byte
+/// pair, so a mismatch in the first byte costs exactly as much as one in
+/// the last.
+bool constant_time_equal(const std::uint8_t* a, const std::uint8_t* b,
+                         std::size_t len);
 
 }  // namespace jhdl

@@ -1,0 +1,473 @@
+// Tests for the adversarial IP-extraction harness and the hardened
+// protection loop (src/attack): exact cone recovery over the black-box
+// port oracle, query-budget accounting, QueryAuditor trip/clear
+// behaviour, the delivery service's audit path (throttle and park over
+// the wire, clean pass-through for licensed workloads), per-archive key
+// separation in the secure channel, and watermark survival.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/auditor.h"
+#include "attack/extractor.h"
+#include "attack/oracle.h"
+#include "attack/watermark_eval.h"
+#include "core/blackbox.h"
+#include "core/catalog.h"
+#include "core/generators.h"
+#include "core/secure.h"
+#include "net/sim_client.h"
+#include "obs/metrics.h"
+#include "server/delivery_service.h"
+#include "util/cipher.h"
+#include "util/rng.h"
+
+namespace jhdl {
+namespace {
+
+using namespace jhdl::attack;
+using namespace jhdl::core;
+
+std::unique_ptr<BlackBoxModel> make_gate_net(std::int64_t in_w,
+                                             std::int64_t out_w,
+                                             std::int64_t depth,
+                                             std::int64_t seed) {
+  GateNetGenerator gen;
+  ParamMap p = ParamMap()
+                   .set("input_width", in_w)
+                   .set("output_width", out_w)
+                   .set("depth", depth)
+                   .set("seed", seed)
+                   .resolved(gen.params());
+  return std::make_unique<BlackBoxModel>(gen.build(p), gen.name());
+}
+
+std::map<std::string, BitVector> image8(std::uint64_t v) {
+  std::map<std::string, BitVector> image;
+  image.emplace("in", BitVector::from_uint(8, v));
+  return image;
+}
+
+// ------------------------------------------------------------ oracle
+
+TEST(QueryBudgetTest, SpendRefundExhaust) {
+  QueryBudget budget(10);
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_TRUE(budget.try_spend(8));
+  EXPECT_FALSE(budget.try_spend(3));  // would exceed; nothing spent
+  EXPECT_EQ(budget.spent(), 8u);
+  EXPECT_TRUE(budget.try_spend(2));
+  EXPECT_TRUE(budget.exhausted());
+  budget.refund(1);
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_EQ(budget.spent(), 9u);
+  QueryBudget unlimited(0);
+  EXPECT_TRUE(unlimited.try_spend(1u << 20));
+  EXPECT_FALSE(unlimited.exhausted());
+}
+
+TEST(ModelOracleTest, CombinationalQueryCostsOneUnit) {
+  auto model = make_gate_net(6, 3, 2, 11);
+  ModelOracle oracle(*model);
+  EXPECT_EQ(oracle.latency(), 0u);
+  std::map<std::string, BitVector> out;
+  std::map<std::string, BitVector> image;
+  image.emplace("in", BitVector::from_uint(6, 5));
+  ASSERT_TRUE(oracle.query(image, out));
+  EXPECT_EQ(oracle.queries(), 1u);
+  ASSERT_TRUE(out.count("out"));
+  EXPECT_EQ(out.at("out").width(), 3u);
+}
+
+TEST(ModelOracleTest, SequentialQueryChargesTheReset) {
+  // A pipelined KCM has nonzero latency; every deterministic query needs
+  // a reset round trip, which the oracle charges as a second unit.
+  KcmGenerator gen;
+  ParamMap p = ParamMap()
+                   .set("input_width", std::int64_t{6})
+                   .set("constant", std::int64_t{9})
+                   .set("pipelined_mode", std::int64_t{1})
+                   .resolved(gen.params());
+  BlackBoxModel model(gen.build(p), gen.name());
+  ASSERT_GT(model.latency(), 0u);
+  ModelOracle oracle(model);
+  std::map<std::string, BitVector> out;
+  std::map<std::string, BitVector> image;
+  image.emplace("multiplicand", BitVector::from_uint(6, 3));
+  ASSERT_TRUE(oracle.query(image, out));
+  EXPECT_EQ(oracle.queries(), 2u);
+  // Same image, same answer: the reset makes queries reproducible.
+  std::map<std::string, BitVector> again;
+  ASSERT_TRUE(oracle.query(image, again));
+  EXPECT_EQ(out, again);
+}
+
+// --------------------------------------------------------- extractor
+
+TEST(ConeExtractorTest, ExactRecoveryOfSmallGateNetwork) {
+  auto model = make_gate_net(8, 4, 3, 7);
+  ModelOracle oracle(*model);
+  QueryBudget budget(0);
+  ExtractionReport report =
+      ConeExtractor().extract(oracle, budget, "gate-net");
+  EXPECT_TRUE(report.exhaustive);
+  EXPECT_EQ(report.queries_spent, 256u);
+  ASSERT_EQ(report.cones.size(), 4u);
+  for (const ConeReport& cone : report.cones) {
+    EXPECT_TRUE(cone.exact) << cone.output << "[" << cone.bit << "]";
+    EXPECT_DOUBLE_EQ(cone.confidence, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(report.recovered_bits, report.total_bits);
+  EXPECT_DOUBLE_EQ(report.recovered_fraction(), 1.0);
+
+  // The learned tables must actually predict the oracle.
+  auto fresh = make_gate_net(8, 4, 3, 7);
+  Rng rng(99);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t v = rng.below(256);
+    for (std::size_t b = 0; b < 4; ++b) {
+      fresh->set_input("in", BitVector::from_uint(8, v));
+      const BitVector out = fresh->get_output("out");
+      auto predicted =
+          ConeExtractor::predict(report.cones[b], image8(v));
+      ASSERT_TRUE(predicted.has_value());
+      EXPECT_EQ(*predicted, out.get(report.cones[b].bit) == Logic4::One)
+          << "cone " << b << " at input " << v;
+    }
+  }
+}
+
+TEST(ConeExtractorTest, BudgetBoundsTheAttack) {
+  auto model = make_gate_net(8, 4, 3, 7);
+  ModelOracle oracle(*model);
+  QueryBudget budget(64);
+  ExtractionReport report =
+      ConeExtractor().extract(oracle, budget, "gate-net");
+  EXPECT_TRUE(report.budget_exhausted);
+  EXPECT_LE(report.queries_spent, 64u);
+  EXPECT_LE(oracle.queries(), 64u);
+  EXPECT_LT(report.recovered_bits, report.total_bits);
+}
+
+TEST(ConeExtractorTest, AuditedOracleLowersTheScore) {
+  ExtractorConfig cfg;
+  auto open_model = make_gate_net(8, 4, 3, 7);
+  ModelOracle open_oracle(*open_model);
+  QueryBudget open_budget(1024);
+  ExtractionReport open_report =
+      ConeExtractor(cfg).extract(open_oracle, open_budget, "open");
+
+  auto audited_model = make_gate_net(8, 4, 3, 7);
+  ModelOracle inner(*audited_model);
+  AuditorConfig acfg;
+  acfg.window = 32;
+  QueryAuditor auditor(acfg);
+  AuditedOracle audited_oracle(inner, auditor);
+  QueryBudget audited_budget(1024);
+  ExtractionReport audited_report =
+      ConeExtractor(cfg).extract(audited_oracle, audited_budget, "audited");
+
+  EXPECT_GT(open_report.score_per_10k(), 0.0);
+  EXPECT_GT(audited_report.queries_throttled, 0u);
+  EXPECT_LT(audited_report.score_per_10k(), open_report.score_per_10k());
+  EXPECT_TRUE(auditor.tripped());
+}
+
+// ----------------------------------------------------------- auditor
+
+AuditorConfig small_auditor() {
+  AuditorConfig cfg;
+  cfg.window = 16;
+  cfg.throttle_queries = 8;
+  cfg.park_after_trips = 3;
+  return cfg;
+}
+
+TEST(QueryAuditorTest, ExhaustiveSweepTripsCoverageDetector) {
+  QueryAuditor auditor(small_auditor());
+  Verdict verdict = Verdict::Allow;
+  std::uint64_t allowed = 0;
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    verdict = auditor.observe(image8(v));
+    if (verdict != Verdict::Allow) break;
+    ++allowed;
+  }
+  EXPECT_EQ(verdict, Verdict::Throttle);
+  // Coverage threshold 0.5 of the 8-bit space: trips at half the sweep.
+  EXPECT_EQ(allowed, 127u);
+  EXPECT_TRUE(auditor.tripped());
+  EXPECT_EQ(auditor.trips(), 1u);
+  // The cooldown refuses the next throttle_queries observations.
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_NE(auditor.observe(image8(1)), Verdict::Allow);
+  }
+  EXPECT_GE(auditor.throttled(), 8u);
+}
+
+TEST(QueryAuditorTest, PersistentSweepEscalatesToPark) {
+  QueryAuditor auditor(small_auditor());
+  Verdict verdict = Verdict::Allow;
+  // Keep sweeping through cooldowns; coverage is cumulative, so every
+  // post-cooldown observation re-trips until the session is parked.
+  for (std::uint64_t v = 0; v < 2048 && verdict != Verdict::Park; ++v) {
+    verdict = auditor.observe(image8(v & 0xFF));
+  }
+  EXPECT_EQ(verdict, Verdict::Park);
+  EXPECT_GE(auditor.trips(), 3u);
+}
+
+TEST(QueryAuditorTest, RandomProbingTripsFlipDetector) {
+  AuditorConfig cfg = small_auditor();
+  cfg.coverage_threshold = 0.0;  // isolate the probing detector
+  QueryAuditor auditor(cfg);
+  Rng rng(5);
+  Verdict verdict = Verdict::Allow;
+  std::size_t queries = 0;
+  double rate_at_trip = 0.0;
+  while (verdict == Verdict::Allow && queries < 512) {
+    // Sample the window just before each observation: trip() re-arms
+    // (clears) the probing window, so the interesting reading is the
+    // one that caused the trip, not the post-trip state.
+    rate_at_trip = auditor.window_flip_rate();
+    verdict = auditor.observe(image8(rng.below(256)));
+    ++queries;
+  }
+  EXPECT_EQ(verdict, Verdict::Throttle);
+  EXPECT_NEAR(rate_at_trip, 0.5, 0.15);
+}
+
+TEST(QueryAuditorTest, CorrelatedWorkloadStaysAllowed) {
+  QueryAuditor auditor(small_auditor());
+  // Triangle wave with unit steps: a licensed customer streaming real
+  // samples. Low coverage, low flip rate - never suspicious.
+  std::uint64_t sample = 100;
+  std::int64_t step = 1;
+  for (int i = 0; i < 4000; ++i) {
+    EXPECT_EQ(auditor.observe(image8(sample)), Verdict::Allow);
+    if (sample >= 160) step = -1;
+    if (sample <= 100) step = 1;
+    sample = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(sample) + step);
+  }
+  EXPECT_EQ(auditor.trips(), 0u);
+  EXPECT_EQ(auditor.throttled(), 0u);
+}
+
+TEST(QueryAuditorTest, HardBudgetAndClear) {
+  AuditorConfig cfg = small_auditor();
+  cfg.max_queries = 10;
+  QueryAuditor auditor(cfg);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(auditor.observe(image8(100)), Verdict::Allow);
+  }
+  EXPECT_NE(auditor.observe(image8(100)), Verdict::Allow);
+  EXPECT_TRUE(auditor.tripped());
+  auditor.clear();
+  // clear() forgives the cooldown and the detectors but not the trip
+  // count - an admin reset does not launder the session's history.
+  EXPECT_EQ(auditor.observe(image8(100)), Verdict::Allow);
+}
+
+TEST(QueryAuditorTest, RateDetectorUsesInjectedTimestamps) {
+  AuditorConfig cfg = small_auditor();
+  cfg.coverage_threshold = 0.0;
+  cfg.flip_low = 0.0;
+  cfg.rate_window_us = 1000;
+  cfg.rate_max_queries = 4;
+  QueryAuditor auditor(cfg);
+  // 5 queries within one 1 ms window: the fifth trips the rate check.
+  std::uint64_t t = 1;
+  Verdict verdict = Verdict::Allow;
+  for (int i = 0; i < 5; ++i) verdict = auditor.observe(image8(7), t += 10);
+  EXPECT_EQ(verdict, Verdict::Throttle);
+}
+
+TEST(QueryAuditorTest, ExportsAttackMetrics) {
+  obs::MetricsRegistry metrics;
+  QueryAuditor auditor(small_auditor(), &metrics);
+  for (std::uint64_t v = 0; v < 200; ++v) auditor.observe(image8(v));
+  EXPECT_GE(metrics.counter("attack.queries").value(), 200u);
+  EXPECT_GE(metrics.counter("attack.trips").value(), 1u);
+  EXPECT_GE(metrics.counter("attack.throttled").value(), 1u);
+}
+
+// ----------------------------------------------- delivery service audit
+
+server::DeliveryConfig audited_config() {
+  server::DeliveryConfig config;
+  config.workers = 2;
+  config.audit = true;
+  config.auditor.window = 16;
+  config.auditor.throttle_queries = 4;
+  config.auditor.park_after_trips = 8;
+  return config;
+}
+
+IpCatalog attack_catalog() {
+  IpCatalog catalog;
+  catalog.add(std::make_shared<GateNetGenerator>());
+  catalog.add(std::make_shared<KcmGenerator>());
+  return catalog;
+}
+
+TEST(DeliveryAuditTest, SweepingSessionGetsThrottledOverTheWire) {
+  server::DeliveryService service(attack_catalog(), audited_config());
+  service.add_license(LicensePolicy::make("mallory", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+  net::ConnectSpec spec;
+  spec.customer = "mallory";
+  spec.module = "gate-net";
+  net::SimClient client(port, spec);
+  std::size_t served = 0;
+  bool throttled = false;
+  std::string error_text;
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    try {
+      client.eval(image8(v), 0);
+      ++served;
+    } catch (const net::NetError& e) {
+      throttled = true;
+      error_text = e.what();
+      EXPECT_TRUE(e.retryable());  // Throttled is retry-with-backoff
+      break;
+    }
+  }
+  EXPECT_TRUE(throttled);
+  EXPECT_EQ(served, 127u);  // coverage trip at half the 8-bit space
+  EXPECT_NE(error_text.find("auditor"), std::string::npos) << error_text;
+  // The trip is visible to admin tooling as attack.* metrics.
+  Json metrics = server::query_metrics(port);
+  client.bye();
+  service.stop();
+  EXPECT_GE(metrics.at("counters").at("attack.trips").as_int(), 1);
+  EXPECT_GE(metrics.at("counters").at("attack.throttled").as_int(), 1);
+}
+
+TEST(DeliveryAuditTest, PersistentOffenderIsParked) {
+  server::DeliveryConfig config = audited_config();
+  config.auditor.throttle_queries = 2;
+  config.auditor.park_after_trips = 1;
+  server::DeliveryService service(attack_catalog(), config);
+  service.add_license(LicensePolicy::make("mallory", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+  net::ConnectSpec spec;
+  spec.customer = "mallory";
+  spec.module = "gate-net";
+  net::SimClient client(port, spec);
+  // Sweep until parked: after the first trip every refusal answers Park,
+  // the session is evicted and the stream dies under the client.
+  bool parked = false;
+  for (std::uint64_t v = 0; v < 1024 && !parked; ++v) {
+    try {
+      client.eval(image8(v & 0xFF), 0);
+    } catch (const net::NetError& e) {
+      parked = std::string(e.what()).find("parked") != std::string::npos ||
+               !e.retryable();
+      if (std::string(e.what()).find("parked") != std::string::npos) break;
+    }
+  }
+  EXPECT_TRUE(parked);
+  service.stop();
+  EXPECT_GE(service.stats().to_json().at("sessions_evicted").as_int(), 1);
+}
+
+TEST(DeliveryAuditTest, LicensedWorkloadPassesUntouched) {
+  server::DeliveryService service(attack_catalog(), audited_config());
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+  net::ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "kcm-multiplier";
+  spec.params = {{"input_width", 8}, {"constant", 201}};
+  net::SimClient client(port, spec);
+
+  // Local golden model of the same configuration.
+  KcmGenerator gen;
+  ParamMap p = ParamMap()
+                   .set("input_width", std::int64_t{8})
+                   .set("constant", std::int64_t{201})
+                   .resolved(gen.params());
+  BlackBoxModel golden(gen.build(p), gen.name());
+
+  std::uint64_t sample = 100;
+  std::int64_t step = 1;
+  for (int i = 0; i < 400; ++i) {
+    std::map<std::string, BitVector> inputs;
+    inputs.emplace("multiplicand", BitVector::from_uint(8, sample));
+    std::map<std::string, BitVector> remote;
+    ASSERT_NO_THROW(remote = client.eval(inputs, 0)) << "sample " << i;
+    golden.set_input("multiplicand", BitVector::from_uint(8, sample));
+    EXPECT_EQ(remote.at("product"), golden.get_output("product"));
+    if (sample >= 160) step = -1;
+    if (sample <= 100) step = 1;
+    sample = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(sample) + step);
+  }
+  Json metrics = server::query_metrics(port);
+  client.bye();
+  service.stop();
+  EXPECT_EQ(metrics.at("counters").at("attack.trips").as_int(), 0);
+  EXPECT_EQ(metrics.at("counters").at("attack.throttled").as_int(), 0);
+}
+
+// ----------------------------------------------------- key separation
+
+TEST(KeySeparationTest, DistinctNamesAndNoncesDeriveDistinctKeys) {
+  SecureChannel channel("customer-secret");
+  const Speck64::Key a = channel.archive_key("tools", 1);
+  const Speck64::Key b = channel.archive_key("tools", 2);
+  const Speck64::Key c = channel.archive_key("docs", 1);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+  // Deterministic: both ends derive the same key independently.
+  EXPECT_EQ(a, SecureChannel("customer-secret").archive_key("tools", 1));
+}
+
+TEST(KeySeparationTest, NonceAKeyCannotOpenArchiveSealedUnderNonceB) {
+  SecureChannel channel("customer-secret");
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::vector<std::uint8_t> sealed_b =
+      seal(payload, channel.archive_key("tools", 2), 2);
+  EXPECT_EQ(sealed_nonce(sealed_b), 2u);
+  // The right key opens it; the sibling download's key does not.
+  EXPECT_EQ(open(sealed_b, channel.archive_key("tools", 2)), payload);
+  EXPECT_THROW(open(sealed_b, channel.archive_key("tools", 1)),
+               std::runtime_error);
+  EXPECT_THROW(open(sealed_b, channel.archive_key("docs", 2)),
+               std::runtime_error);
+}
+
+TEST(KeySeparationTest, ChannelRoundTripStillWorks) {
+  SecureChannel vendor("customer-secret");
+  SecureChannel customer("customer-secret");
+  Archive archive("tools");
+  archive.add_text("readme.txt", "licensed material");
+  SealedArchive sealed = vendor.seal_archive(archive, 42);
+  Archive back = customer.open_archive(sealed);
+  ASSERT_EQ(back.entries().size(), 1u);
+  EXPECT_EQ(back.entries()[0].name, "readme.txt");
+  // A different secret fails authentication, not just decryption.
+  EXPECT_THROW(SecureChannel("wrong").open_archive(sealed),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------- watermark
+
+TEST(WatermarkSurvivalTest, SurvivesObfuscationAndVerifiesUntampered) {
+  SurvivalReport report =
+      evaluate_watermark_survival(6, "acme-vendor", {0, 4}, 5, 0xBEEF);
+  EXPECT_GT(report.carriers, 0u);
+  EXPECT_TRUE(report.survives_obfuscation);
+  ASSERT_EQ(report.tamper_points.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.tamper_points[0].survival_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(report.tamper_points[0].mean_carrier_match, 1.0);
+  // Tampering four carriers must cost carrier matches.
+  EXPECT_LT(report.tamper_points[1].mean_carrier_match, 1.0);
+}
+
+}  // namespace
+}  // namespace jhdl

@@ -82,6 +82,58 @@ TEST(SealTest, TamperDetected) {
   EXPECT_THROW(open({1, 2, 3}, key), std::runtime_error);
 }
 
+TEST(SealTest, WrongKeyAndTamperedTagFailIdentically) {
+  // The tag check is constant-time and deliberately does not say WHICH
+  // check failed: a wrong key and a tampered tag must be
+  // indistinguishable to the caller (same exception type, same message),
+  // so the error path leaks nothing an attacker could use to separate
+  // "my key derivation is wrong" from "my forgery was close".
+  auto key = derive_key("alice", "vendor");
+  std::vector<std::uint8_t> plain(32, 0x5A);
+  auto sealed = seal(plain, key, 7);
+
+  std::string wrong_key_msg;
+  try {
+    open(sealed, derive_key("mallory", "vendor"));
+    FAIL() << "wrong key accepted";
+  } catch (const std::runtime_error& e) {
+    wrong_key_msg = e.what();
+  }
+
+  auto tampered = sealed;
+  tampered[8] ^= 0x80;  // flip one bit of the stored tag
+  std::string tampered_tag_msg;
+  try {
+    open(tampered, key);
+    FAIL() << "tampered tag accepted";
+  } catch (const std::runtime_error& e) {
+    tampered_tag_msg = e.what();
+  }
+
+  EXPECT_FALSE(wrong_key_msg.empty());
+  EXPECT_EQ(wrong_key_msg, tampered_tag_msg);
+}
+
+TEST(SealTest, SealedNonceReadsBackTheNonce) {
+  auto key = derive_key("alice", "vendor");
+  auto sealed = seal({1, 2, 3}, key, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(sealed_nonce(sealed), 0xDEADBEEFCAFEull);
+  EXPECT_THROW(sealed_nonce({1, 2, 3}), std::runtime_error);
+}
+
+TEST(ConstantTimeEqualTest, ComparesEveryByte) {
+  std::uint8_t a[4] = {1, 2, 3, 4};
+  std::uint8_t b[4] = {1, 2, 3, 4};
+  EXPECT_TRUE(constant_time_equal(a, b, 4));
+  b[0] ^= 0xFF;  // mismatch in the first byte
+  EXPECT_FALSE(constant_time_equal(a, b, 4));
+  b[0] = 1;
+  b[3] ^= 0x01;  // mismatch in the last byte
+  EXPECT_FALSE(constant_time_equal(a, b, 4));
+  EXPECT_TRUE(constant_time_equal(a, b, 3));
+  EXPECT_TRUE(constant_time_equal(a, b, 0));
+}
+
 TEST(SealTest, DifferentNoncesDifferentCiphertexts) {
   auto key = derive_key("alice", "vendor");
   std::vector<std::uint8_t> plain(64, 0x55);
