@@ -1,0 +1,214 @@
+// Corpus sweep: every VTR-class generator across a parameter grid, one
+// consolidated BENCH_corpus.json. Per (module, params) point it reports
+//
+//   - elaboration wall time (ModuleGenerator::build),
+//   - compiled-kernel simulation throughput (cycles/sec under random
+//     stimulus on every input port),
+//   - artifact-store warm-hit behaviour (a second fetch of the same
+//     configuration must be a content-addressed hit),
+//   - estimate totals (LUTs, FFs, carry cells, period, fmax).
+//
+// `--smoke` runs the smallest grid point of every module with tiny
+// iteration counts - CI wires that in so the harness itself is exercised
+// on every run. The full run gates on: every point elaborates, every
+// compiled sim makes forward progress, and every warm re-fetch hits.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/artifact_store.h"
+#include "core/catalog.h"
+#include "estimate/area.h"
+#include "estimate/timing.h"
+#include "sim/simulator.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+using namespace jhdl;
+using namespace jhdl::core;
+
+namespace {
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Point {
+  std::string module;
+  std::string label;
+  ParamMap params;
+};
+
+std::vector<Point> corpus_grid(bool smoke) {
+  std::vector<Point> grid;
+  auto add = [&grid](const std::string& module, const std::string& label,
+                     ParamMap params) {
+    grid.push_back({module, label, std::move(params)});
+  };
+
+  add("systolic-array", "2x2x4",
+      ParamMap().set("rows", std::int64_t{2}).set("cols", std::int64_t{2})
+          .set("data_width", std::int64_t{4}).set("guard_bits", std::int64_t{4}));
+  add("hash-pipe", "crc32-k8",
+      ParamMap().set("algo", false).set("data_width", std::int64_t{8}));
+  add("cordic-rotator", "w12-s6-comb",
+      ParamMap().set("width", std::int64_t{12}).set("stages", std::int64_t{6})
+          .set("pipelined", false));
+  add("rf-alu", "r4-w8",
+      ParamMap().set("regs", std::int64_t{4}).set("width", std::int64_t{8}));
+  if (smoke) return grid;  // one (the smallest) point per module
+
+  add("systolic-array", "3x3x4",
+      ParamMap().set("rows", std::int64_t{3}).set("cols", std::int64_t{3})
+          .set("data_width", std::int64_t{4}).set("guard_bits", std::int64_t{4}));
+  add("systolic-array", "4x4x8",
+      ParamMap().set("rows", std::int64_t{4}).set("cols", std::int64_t{4})
+          .set("data_width", std::int64_t{8}).set("guard_bits", std::int64_t{8}));
+  add("hash-pipe", "crc32-k1",
+      ParamMap().set("algo", false).set("data_width", std::int64_t{1}));
+  add("hash-pipe", "sha1",
+      ParamMap().set("algo", true));
+  add("cordic-rotator", "w16-s8-pipe",
+      ParamMap().set("width", std::int64_t{16}).set("stages", std::int64_t{8})
+          .set("pipelined", true));
+  add("cordic-rotator", "w20-s12-pipe",
+      ParamMap().set("width", std::int64_t{20}).set("stages", std::int64_t{12})
+          .set("pipelined", true));
+  add("rf-alu", "r8-w16",
+      ParamMap().set("regs", std::int64_t{8}).set("width", std::int64_t{16}));
+  add("rf-alu", "r16-w32",
+      ParamMap().set("regs", std::int64_t{16}).set("width", std::int64_t{32}));
+  return grid;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int elab_iters = smoke ? 1 : 3;
+  const int sim_cycles = smoke ? 200 : 5000;
+
+  const IpCatalog catalog = standard_catalog();
+  auto store = std::make_shared<ArtifactStore>();
+  const std::vector<Point> grid = corpus_grid(smoke);
+
+  std::printf("=== Corpus sweep: %zu points over 4 modules ===\n\n",
+              grid.size());
+  std::printf("  %-15s %-12s %10s %12s %6s %6s %8s %5s\n", "module", "point",
+              "elab us", "cycles/s", "luts", "ffs", "fmax MHz", "warm");
+
+  Json rows = Json::array();
+  bool all_elaborate = true;
+  bool all_progress = true;
+  bool all_warm = true;
+
+  for (const Point& point : grid) {
+    auto gen = catalog.find(point.module);
+    if (gen == nullptr) {
+      std::printf("FAIL: '%s' missing from the standard catalog\n",
+                  point.module.c_str());
+      return 1;
+    }
+    const ParamMap resolved = point.params.resolved(gen->params());
+
+    // Elaboration wall time (fresh hierarchy every iteration).
+    double elab_us = 0.0;
+    for (int i = 0; i < elab_iters; ++i) {
+      const double t0 = now_us();
+      BuildResult r = gen->build(resolved);
+      elab_us += now_us() - t0;
+      if (r.system == nullptr) all_elaborate = false;
+    }
+    elab_us /= elab_iters;
+
+    // Estimates over one instance; the same instance then feeds the
+    // compiled-kernel throughput run.
+    BuildResult r = gen->build(resolved);
+    const estimate::AreaEstimate area = estimate::estimate_area(*r.top);
+    const estimate::TimingEstimate timing = estimate::estimate_timing(*r.top);
+
+    SimOptions opt;
+    opt.mode = SimMode::Compiled;
+    Simulator sim(*r.system, opt);
+    Rng rng(0xC0FF33 ^ std::hash<std::string>{}(point.module + point.label));
+    const double s0 = now_us();
+    for (int t = 0; t < sim_cycles; ++t) {
+      for (const auto& [name, wire] : r.inputs) {
+        sim.put(wire, BitVector::from_uint(wire->width(), rng.next()));
+      }
+      sim.cycle();
+    }
+    const double sim_us = now_us() - s0;
+    const double cycles_per_sec =
+        sim_us > 0.0 ? sim_cycles / (sim_us / 1e6) : 0.0;
+    if (sim.cycle_count() != static_cast<std::size_t>(sim_cycles)) {
+      all_progress = false;
+    }
+
+    // Artifact store: cold build then a warm re-fetch of the same key.
+    (void)store->get_or_build(gen, resolved);
+    bool warm_hit = false;
+    (void)store->get_or_build(gen, resolved, &warm_hit);
+    all_warm = all_warm && warm_hit;
+
+    std::printf("  %-15s %-12s %10.1f %12.0f %6zu %6zu %8.1f %5s\n",
+                point.module.c_str(), point.label.c_str(), elab_us,
+                cycles_per_sec, area.luts, area.ffs, timing.fmax_mhz,
+                warm_hit ? "hit" : "MISS");
+
+    Json row = Json::object();
+    row.set("module", point.module);
+    row.set("point", point.label);
+    row.set("elab_us", elab_us);
+    row.set("cycles_per_sec", cycles_per_sec);
+    row.set("sim_cycles", sim_cycles);
+    row.set("luts", area.luts);
+    row.set("ffs", area.ffs);
+    row.set("carries", area.carries);
+    row.set("slices", area.slices);
+    row.set("period_ns", timing.period_ns);
+    row.set("fmax_mhz", timing.fmax_mhz);
+    row.set("latency", r.latency);
+    row.set("warm_hit", warm_hit);
+    rows.push(row);
+  }
+
+  const ArtifactStore::Stats stats = store->stats();
+  const double fetches = static_cast<double>(stats.hits + stats.misses);
+  const double hit_ratio =
+      fetches > 0.0 ? static_cast<double>(stats.hits) / fetches : 0.0;
+  std::printf("\nartifact store: %llu builds, %llu hits (ratio %.2f)\n",
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.hits), hit_ratio);
+
+  Json doc = Json::object();
+  doc.set("benchmark", std::string("corpus"));
+  doc.set("smoke", smoke);
+  doc.set("points", grid.size());
+  doc.set("rows", rows);
+  Json store_json = Json::object();
+  store_json.set("builds", stats.misses);
+  store_json.set("hits", stats.hits);
+  store_json.set("hit_ratio", hit_ratio);
+  doc.set("artifact_store", store_json);
+  doc.set("all_elaborate", all_elaborate);
+  doc.set("all_progress", all_progress);
+  doc.set("all_warm_hits", all_warm);
+  std::ofstream("BENCH_corpus.json") << doc.dump() << "\n";
+  std::printf("wrote BENCH_corpus.json\n");
+
+  if (!all_elaborate) std::printf("FAIL: a grid point failed to elaborate\n");
+  if (!all_progress) std::printf("FAIL: a compiled sim made no progress\n");
+  if (!all_warm) std::printf("FAIL: a warm artifact re-fetch missed\n");
+  return (all_elaborate && all_progress && all_warm) ? 0 : 1;
+}

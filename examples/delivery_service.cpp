@@ -60,11 +60,9 @@ void evaluate_kcm(std::uint16_t port) {
 }  // namespace
 
 int main() {
-  // The vendor's storefront: every generator it is willing to serve.
-  IpCatalog catalog;
-  catalog.add(std::make_shared<KcmGenerator>());
-  catalog.add(std::make_shared<AdderGenerator>());
-  catalog.add(std::make_shared<FirGenerator>());
+  // The vendor's storefront: every generator it is willing to serve -
+  // the stock IP plus the VTR-class corpus generators.
+  IpCatalog catalog = standard_catalog();
 
   DeliveryConfig config;
   config.workers = 4;

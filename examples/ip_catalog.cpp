@@ -18,11 +18,9 @@ using namespace jhdl;
 using namespace jhdl::core;
 
 int main() {
-  IpCatalog catalog;
-  catalog.add(std::make_shared<KcmGenerator>());
-  catalog.add(std::make_shared<AdderGenerator>());
-  catalog.add(std::make_shared<FirGenerator>());
-  catalog.add(std::make_shared<DdsIpGenerator>());
+  // The full storefront: the stock generators plus the VTR-class corpus
+  // (systolic-array, hash-pipe, cordic-rotator, rf-alu).
+  IpCatalog catalog = standard_catalog();
 
   std::printf("%s\n", catalog.listing().c_str());
 

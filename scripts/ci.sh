@@ -8,8 +8,10 @@
 # battery (`obs`: lock-free metrics/trace-ring hammers + trace
 # propagation end-to-end), the artifact-pipeline battery
 # (`artifact`: single-flight store races + cross-consumer determinism),
-# and the extraction-defense battery (`attack`: cone-extractor oracle
-# loop, query-auditor detectors and the audited delivery service).
+# the extraction-defense battery (`attack`: cone-extractor oracle
+# loop, query-auditor detectors and the audited delivery service), and
+# the corpus battery (`corpus`: interpreter/compiled/golden-model
+# differential parity over the VTR-class generator corpus).
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  skip the sanitizer builds (plain build + full suite only)
@@ -39,16 +41,21 @@ echo "== extraction harness smoke bench (auditor + workload gates) =="
 cmake --build build -j "${JOBS}" --target bench_attack
 (cd build/bench && ./bench_attack --smoke)
 
+echo "== corpus sweep smoke bench (elaborate + sim + warm-hit gates) =="
+cmake --build build -j "${JOBS}" --target bench_corpus
+(cd build/bench && ./bench_corpus --smoke)
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "CI OK (fast: sanitizers skipped)"
   exit 0
 fi
 
 for SAN in address thread; do
-  echo "== ${SAN} sanitizer: net-fault + sim-kernel + obs + artifact + attack batteries =="
+  echo "== ${SAN} sanitizer: net-fault + sim-kernel + obs + artifact + attack + corpus batteries =="
   cmake -B "build-${SAN}" -S . -DJHDL_SANITIZE="${SAN}" >/dev/null
   cmake --build "build-${SAN}" -j "${JOBS}"
-  ctest --test-dir "build-${SAN}" -L 'net-fault|sim-kernel|obs|artifact|attack' \
+  ctest --test-dir "build-${SAN}" \
+    -L 'net-fault|sim-kernel|obs|artifact|attack|corpus' \
     --output-on-failure
 done
 

@@ -4,6 +4,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/corpus_generators.h"
+#include "core/generators.h"
+
 namespace jhdl::core {
 
 void IpCatalog::add(std::shared_ptr<const ModuleGenerator> generator) {
@@ -48,6 +51,20 @@ Applet IpCatalog::make_applet(const std::string& generator_name,
       .license(license)
       .artifact_store(std::move(store))
       .build_applet();
+}
+
+IpCatalog standard_catalog() {
+  IpCatalog catalog;
+  catalog.add(std::make_shared<KcmGenerator>());
+  catalog.add(std::make_shared<AdderGenerator>());
+  catalog.add(std::make_shared<FirGenerator>());
+  catalog.add(std::make_shared<GateNetGenerator>());
+  catalog.add(std::make_shared<DdsIpGenerator>());
+  catalog.add(std::make_shared<SystolicArrayGenerator>());
+  catalog.add(std::make_shared<HashPipeGenerator>());
+  catalog.add(std::make_shared<CordicGenerator>());
+  catalog.add(std::make_shared<RfAluGenerator>());
+  return catalog;
 }
 
 MultiIpApplet::MultiIpApplet(const IpCatalog& catalog,

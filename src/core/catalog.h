@@ -43,6 +43,12 @@ class IpCatalog {
   std::vector<std::shared_ptr<const ModuleGenerator>> entries_;
 };
 
+/// The full vendor storefront: every stock generator (KCM, adder, FIR,
+/// gate-net, DDS) plus the VTR-class corpus (systolic-array, hash-pipe,
+/// cordic-rotator, rf-alu) registered in one catalog. Examples, benches
+/// and the corpus tests share this so new IP lands everywhere at once.
+IpCatalog standard_catalog();
+
 /// Several IPs delivered in one executable under one license. Each IP
 /// keeps its own instance/simulator state; the sandbox gate is shared.
 class MultiIpApplet {

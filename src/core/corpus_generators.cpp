@@ -1,0 +1,591 @@
+#include "core/corpus_generators.h"
+
+#include <cmath>
+
+#include "hdl/error.h"
+#include "modgen/modgen.h"
+#include "tech/constants.h"
+#include "tech/ff.h"
+#include "tech/gates.h"
+
+namespace jhdl::core {
+
+namespace {
+
+using modgen::CarryChainAdder;
+using modgen::RegisterBank;
+using modgen::constant_wire;
+using modgen::sign_extend;
+using modgen::zero_extend;
+
+/// XOR-reduce `terms` to one bit (balanced pairwise tree). Zero terms is
+/// a constant 0; one term is returned as-is.
+Wire* xor_reduce(Cell* parent, std::vector<Wire*> terms) {
+  if (terms.empty()) return constant_wire(parent, 1, 0);
+  while (terms.size() > 1) {
+    std::vector<Wire*> next;
+    std::size_t i = 0;
+    for (; i + 1 < terms.size(); i += 2) {
+      Wire* o = new Wire(parent, 1);
+      new tech::Xor2(parent, terms[i], terms[i + 1], o);
+      next.push_back(o);
+    }
+    if (i < terms.size()) next.push_back(terms[i]);
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+/// Bus-wide 2:1 mux: out = sel ? b : a.
+Wire* mux_bus(Cell* parent, Wire* a, Wire* b, Wire* sel) {
+  Wire* o = new Wire(parent, a->width());
+  for (std::size_t i = 0; i < a->width(); ++i) {
+    new tech::Mux2(parent, a->gw(i), b->gw(i), sel, o->gw(i));
+  }
+  return o;
+}
+
+/// Rotate-left view (pure routing): result bit i = w bit (i - n mod 32).
+Wire* rotl_view(Wire* w, unsigned n) {
+  const std::size_t width = w->width();
+  n %= width;
+  if (n == 0) return w;
+  // result[width-1 : n] = w[width-1-n : 0] (MSBs), result[n-1:0] =
+  // w[width-1 : width-n] (LSBs).
+  return w->range(width - 1 - n, 0)
+      ->concat(w->range(width - 1, width - n));
+}
+
+/// Arithmetic-shift-right view by `i` (sign bits fill from the MSB net).
+Wire* asr_view(Cell* parent, Wire* w, std::size_t i) {
+  if (i == 0) return w;
+  if (i >= w->width()) {
+    return sign_extend(parent, w->gw(w->width() - 1), w->width());
+  }
+  return sign_extend(parent, w->range(w->width() - 1, i), w->width());
+}
+
+/// s = a + b when the 1-bit `sub` is 0, a - b when 1 (b XOR sub plus
+/// carry-in sub), truncated to the operand width.
+Wire* add_sub(Cell* parent, Wire* a, Wire* b, Wire* sub) {
+  Wire* bx = new Wire(parent, b->width());
+  for (std::size_t i = 0; i < b->width(); ++i) {
+    new tech::Xor2(parent, b->gw(i), sub, bx->gw(i));
+  }
+  Wire* s = new Wire(parent, a->width());
+  new CarryChainAdder(parent, a, bx, s, sub);
+  return s;
+}
+
+/// s = a + b mod 2^width.
+Wire* add_mod(Cell* parent, Wire* a, Wire* b) {
+  Wire* s = new Wire(parent, a->width());
+  new CarryChainAdder(parent, a, b, s);
+  return s;
+}
+
+}  // namespace
+
+// ----------------------------------------------------- systolic array
+
+std::vector<ParamSpec> SystolicArrayGenerator::params() const {
+  return {
+      {"rows", ParamSpec::Kind::Int, 1, 4, 2, "PE grid rows"},
+      {"cols", ParamSpec::Kind::Int, 1, 4, 2, "PE grid columns"},
+      {"data_width", ParamSpec::Kind::Int, 2, 8, 4,
+       "operand width in bits (unsigned)"},
+      {"guard_bits", ParamSpec::Kind::Int, 0, 8, 4,
+       "accumulator guard bits above the full product"},
+  };
+}
+
+namespace {
+
+class SystolicIp : public Cell {
+ public:
+  SystolicIp(Node* parent, Wire* a, Wire* b, Wire* clr, Wire* acc,
+             std::size_t rows, std::size_t cols, std::size_t dw,
+             std::size_t aw)
+      : Cell(parent, "systolic_ip") {
+    set_type_name("systolic_" + std::to_string(rows) + "x" +
+                  std::to_string(cols) + "x" + std::to_string(dw));
+    port_in("a", a);
+    port_in("b", b);
+    port_in("clr", clr);
+    port_out("acc", acc);
+
+    // Registered operand forwarding: a flows west->east, b north->south.
+    std::vector<std::vector<Wire*>> a_q(rows, std::vector<Wire*>(cols));
+    std::vector<std::vector<Wire*>> b_q(rows, std::vector<Wire*>(cols));
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        Wire* a_in = c == 0 ? a->range((r + 1) * dw - 1, r * dw)
+                            : a_q[r][c - 1];
+        Wire* b_in = r == 0 ? b->range((c + 1) * dw - 1, c * dw)
+                            : b_q[r - 1][c];
+        a_q[r][c] = new Wire(this, dw);
+        b_q[r][c] = new Wire(this, dw);
+        new RegisterBank(this, a_in, a_q[r][c]);
+        new RegisterBank(this, b_in, b_q[r][c]);
+
+        Wire* product = new Wire(this, 2 * dw);
+        new modgen::ArrayMultiplier(this, a_in, b_in, product);
+
+        const std::size_t idx = r * cols + c;
+        Wire* acc_q = acc->range((idx + 1) * aw - 1, idx * aw);
+        Wire* sum = new Wire(this, aw);
+        new CarryChainAdder(this, acc_q, zero_extend(this, product, aw),
+                            sum);
+        new RegisterBank(this, sum, acc_q, /*ce=*/nullptr, clr);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+BuildResult SystolicArrayGenerator::build(const ParamMap& params) const {
+  const auto rows = static_cast<std::size_t>(params.get("rows"));
+  const auto cols = static_cast<std::size_t>(params.get("cols"));
+  const auto dw = static_cast<std::size_t>(params.get("data_width"));
+  const auto guard = static_cast<std::size_t>(params.get("guard_bits"));
+  const std::size_t aw = acc_width(dw, guard);
+
+  BuildResult r;
+  r.system = std::make_unique<HWSystem>("systolic_system");
+  Wire* a = new Wire(r.system.get(), rows * dw, "a");
+  Wire* b = new Wire(r.system.get(), cols * dw, "b");
+  Wire* clr = new Wire(r.system.get(), 1, "clr");
+  Wire* acc = new Wire(r.system.get(), rows * cols * aw, "acc");
+  r.top = new SystolicIp(r.system.get(), a, b, clr, acc, rows, cols, dw, aw);
+  r.inputs["a"] = a;
+  r.inputs["b"] = b;
+  r.inputs["clr"] = clr;
+  r.outputs["acc"] = acc;
+  r.latency = rows + cols;  // worst-case operand fill to the far corner
+  return r;
+}
+
+// --------------------------------------------------------- hash pipe
+
+std::vector<ParamSpec> HashPipeGenerator::params() const {
+  return {
+      {"algo", ParamSpec::Kind::Bool, 0, 1, 0,
+       "0 = reflected CRC-32 datapath, 1 = SHA-1 round core"},
+      {"data_width", ParamSpec::Kind::Int, 1, 32, 8,
+       "CRC input bits consumed per cycle (ignored for SHA-1)"},
+      {"poly", ParamSpec::Kind::Int, 1, 4294967295, 3988292384,
+       "reflected CRC polynomial (default 0xEDB88320; ignored for SHA-1)"},
+  };
+}
+
+std::vector<HashPipeGenerator::CrcLin> HashPipeGenerator::crc_next_state(
+    std::uint32_t poly, std::size_t data_width) {
+  // Propagate symbolic basis vectors through the bit-serial reflected
+  // update: per data bit j (LSB first), fb = state[0] ^ d[j], state' =
+  // (state >> 1) ^ (fb ? poly : 0).
+  std::vector<CrcLin> cur(32);
+  for (std::size_t i = 0; i < 32; ++i) cur[i].state_mask = 1u << i;
+  for (std::size_t j = 0; j < data_width; ++j) {
+    CrcLin fb = cur[0];
+    fb.data_mask ^= 1u << j;
+    std::vector<CrcLin> nxt(32);
+    for (std::size_t i = 0; i + 1 < 32; ++i) nxt[i] = cur[i + 1];
+    for (std::size_t i = 0; i < 32; ++i) {
+      if ((poly >> i) & 1u) {
+        nxt[i].state_mask ^= fb.state_mask;
+        nxt[i].data_mask ^= fb.data_mask;
+      }
+    }
+    cur = std::move(nxt);
+  }
+  return cur;
+}
+
+namespace {
+
+class CrcPipeIp : public Cell {
+ public:
+  CrcPipeIp(Node* parent, Wire* d, Wire* crc, std::uint32_t poly)
+      : Cell(parent, "crc_pipe_ip") {
+    set_type_name("crc32_k" + std::to_string(d->width()));
+    port_in("d", d);
+    port_out("crc", crc);
+
+    const auto lin =
+        HashPipeGenerator::crc_next_state(poly, d->width());
+    for (std::size_t i = 0; i < 32; ++i) {
+      std::vector<Wire*> terms;
+      for (std::size_t j = 0; j < 32; ++j) {
+        if ((lin[i].state_mask >> j) & 1u) terms.push_back(crc->gw(j));
+      }
+      for (std::size_t j = 0; j < d->width(); ++j) {
+        if ((lin[i].data_mask >> j) & 1u) terms.push_back(d->gw(j));
+      }
+      Wire* next = xor_reduce(this, std::move(terms));
+      // CRC registers power on to the 0xFFFFFFFF preset.
+      new tech::FD(this, next, crc->gw(i), /*init_one=*/true);
+    }
+  }
+};
+
+class Sha1CoreIp : public Cell {
+ public:
+  Sha1CoreIp(Node* parent, Wire* w_in, Wire* stage, Wire* load_w,
+             Wire* digest)
+      : Cell(parent, "sha1_core_ip") {
+    set_type_name("sha1_core");
+    port_in("w", w_in);
+    port_in("stage", stage);
+    port_in("load_w", load_w);
+    port_out("digest", digest);
+
+    Wire* a = digest->range(159, 128);
+    Wire* b = digest->range(127, 96);
+    Wire* c = digest->range(95, 64);
+    Wire* d = digest->range(63, 32);
+    Wire* e = digest->range(31, 0);
+
+    // 16-word message schedule shift register (sr[0] = newest).
+    std::vector<Wire*> sr(16);
+    for (auto& word : sr) word = new Wire(this, 32);
+    Wire* sched_x = new Wire(this, 32);
+    for (std::size_t i = 0; i < 32; ++i) {
+      Wire* t = new Wire(this, 1);
+      new tech::Xor3(this, sr[2]->gw(i), sr[7]->gw(i), sr[13]->gw(i), t);
+      new tech::Xor2(this, t, sr[15]->gw(i), sched_x->gw(i));
+    }
+    Wire* w_sched = rotl_view(sched_x, 1);
+    Wire* w_cur = mux_bus(this, w_sched, w_in, load_w);
+    for (std::size_t j = 0; j < 16; ++j) {
+      Wire* src = j == 0 ? w_cur : sr[j - 1];
+      for (std::size_t i = 0; i < 32; ++i) {
+        new tech::FD(this, src->gw(i), sr[j]->gw(i));
+      }
+    }
+
+    // Round function f and constant K, selected by the 2-bit stage.
+    Wire* s0 = stage->gw(0);
+    Wire* s1 = stage->gw(1);
+    Wire* f_ch = new Wire(this, 32);
+    Wire* f_par = new Wire(this, 32);
+    Wire* f_maj = new Wire(this, 32);
+    for (std::size_t i = 0; i < 32; ++i) {
+      // Ch(b,c,d) = b ? c : d.
+      new tech::Mux2(this, d->gw(i), c->gw(i), b->gw(i), f_ch->gw(i));
+      new tech::Xor3(this, b->gw(i), c->gw(i), d->gw(i), f_par->gw(i));
+      Wire* bc = new Wire(this, 1);
+      Wire* b_or_c = new Wire(this, 1);
+      Wire* bcd = new Wire(this, 1);
+      new tech::And2(this, b->gw(i), c->gw(i), bc);
+      new tech::Or2(this, b->gw(i), c->gw(i), b_or_c);
+      new tech::And2(this, b_or_c, d->gw(i), bcd);
+      new tech::Or2(this, bc, bcd, f_maj->gw(i));
+    }
+    Wire* f01 = mux_bus(this, f_ch, f_par, s0);
+    Wire* f23 = mux_bus(this, f_maj, f_par, s0);
+    Wire* f = mux_bus(this, f01, f23, s1);
+
+    Wire* k0 = constant_wire(this, 32, 0x5A827999u);
+    Wire* k1 = constant_wire(this, 32, 0x6ED9EBA1u);
+    Wire* k2 = constant_wire(this, 32, 0x8F1BBCDCu);
+    Wire* k3 = constant_wire(this, 32, 0xCA62C1D6u);
+    Wire* k01 = mux_bus(this, k0, k1, s0);
+    Wire* k23 = mux_bus(this, k2, k3, s0);
+    Wire* k = mux_bus(this, k01, k23, s1);
+
+    // temp = ROTL5(a) + f + e + K + W.
+    Wire* t1 = add_mod(this, rotl_view(a, 5), f);
+    Wire* t2 = add_mod(this, t1, e);
+    Wire* t3 = add_mod(this, t2, k);
+    Wire* temp = add_mod(this, t3, w_cur);
+
+    // State commits; power-on = the standard H0..H4.
+    const std::uint32_t kH[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu,
+                                 0x10325476u, 0xC3D2E1F0u};
+    Wire* c_next = rotl_view(b, 30);
+    for (std::size_t i = 0; i < 32; ++i) {
+      new tech::FD(this, temp->gw(i), a->gw(i), (kH[0] >> i) & 1u);
+      new tech::FD(this, a->gw(i), b->gw(i), (kH[1] >> i) & 1u);
+      new tech::FD(this, c_next->gw(i), c->gw(i), (kH[2] >> i) & 1u);
+      new tech::FD(this, c->gw(i), d->gw(i), (kH[3] >> i) & 1u);
+      new tech::FD(this, d->gw(i), e->gw(i), (kH[4] >> i) & 1u);
+    }
+  }
+};
+
+}  // namespace
+
+BuildResult HashPipeGenerator::build(const ParamMap& params) const {
+  const bool sha1 = params.get("algo") != 0;
+  BuildResult r;
+  if (sha1) {
+    r.system = std::make_unique<HWSystem>("sha1_system");
+    Wire* w = new Wire(r.system.get(), 32, "w");
+    Wire* stage = new Wire(r.system.get(), 2, "stage");
+    Wire* load_w = new Wire(r.system.get(), 1, "load_w");
+    Wire* digest = new Wire(r.system.get(), 160, "digest");
+    r.top = new Sha1CoreIp(r.system.get(), w, stage, load_w, digest);
+    r.inputs["w"] = w;
+    r.inputs["stage"] = stage;
+    r.inputs["load_w"] = load_w;
+    r.outputs["digest"] = digest;
+  } else {
+    const auto k = static_cast<std::size_t>(params.get("data_width"));
+    const auto poly = static_cast<std::uint32_t>(params.get("poly"));
+    r.system = std::make_unique<HWSystem>("crc_system");
+    Wire* d = new Wire(r.system.get(), k, "d");
+    Wire* crc = new Wire(r.system.get(), 32, "crc");
+    r.top = new CrcPipeIp(r.system.get(), d, crc, poly);
+    r.inputs["d"] = d;
+    r.outputs["crc"] = crc;
+  }
+  r.latency = 1;  // registered state
+  return r;
+}
+
+// ------------------------------------------------------------ CORDIC
+
+std::vector<ParamSpec> CordicGenerator::params() const {
+  return {
+      {"width", ParamSpec::Kind::Int, 8, 24, 16,
+       "x/y/z word width (two's complement)"},
+      {"stages", ParamSpec::Kind::Int, 1, 16, 8, "CORDIC iterations"},
+      {"pipelined", ParamSpec::Kind::Bool, 0, 1, 0,
+       "register x/y/z after every stage (latency = stages)"},
+  };
+}
+
+std::vector<std::uint64_t> CordicGenerator::angle_table(std::size_t width,
+                                                        std::size_t stages) {
+  // Angles in turns scaled to 2^width (one full turn = 2^width).
+  const double tau = 6.283185307179586476925286766559;
+  const std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  std::vector<std::uint64_t> table;
+  table.reserve(stages);
+  for (std::size_t i = 0; i < stages; ++i) {
+    const double angle = std::atan(std::ldexp(1.0, -static_cast<int>(i)));
+    const auto scaled = static_cast<std::uint64_t>(std::llround(
+        angle / tau * std::ldexp(1.0, static_cast<int>(width))));
+    table.push_back(scaled & mask);
+  }
+  return table;
+}
+
+namespace {
+
+class CordicIp : public Cell {
+ public:
+  CordicIp(Node* parent, Wire* x, Wire* y, Wire* z, Wire* xr, Wire* yr,
+           Wire* zr, std::size_t stages, bool pipelined)
+      : Cell(parent, "cordic_ip") {
+    const std::size_t w = x->width();
+    set_type_name("cordic_" + std::to_string(w) + "x" +
+                  std::to_string(stages));
+    port_in("x", x);
+    port_in("y", y);
+    port_in("z", z);
+    port_out("xr", xr);
+    port_out("yr", yr);
+    port_out("zr", zr);
+
+    const auto angles = CordicGenerator::angle_table(w, stages);
+    Wire* cx = x;
+    Wire* cy = y;
+    Wire* cz = z;
+    for (std::size_t i = 0; i < stages; ++i) {
+      Wire* dir = cz->gw(w - 1);  // 1 = negative residual angle
+      Wire* ndir = new Wire(this, 1);
+      new tech::Inv(this, dir, ndir);
+
+      Wire* xs = asr_view(this, cx, i);
+      Wire* ys = asr_view(this, cy, i);
+      Wire* at = constant_wire(this, w, angles[i]);
+      // z >= 0: x' = x - (y>>i), y' = y + (x>>i), z' = z - atan_i;
+      // z <  0: signs flip.
+      Wire* nx = add_sub(this, cx, ys, ndir);
+      Wire* ny = add_sub(this, cy, xs, dir);
+      Wire* nz = add_sub(this, cz, at, ndir);
+
+      if (pipelined) {
+        Wire* px = new Wire(this, w);
+        Wire* py = new Wire(this, w);
+        Wire* pz = new Wire(this, w);
+        new RegisterBank(this, nx, px);
+        new RegisterBank(this, ny, py);
+        new RegisterBank(this, nz, pz);
+        cx = px;
+        cy = py;
+        cz = pz;
+      } else {
+        cx = nx;
+        cy = ny;
+        cz = nz;
+      }
+    }
+    modgen::connect(this, cx, xr);
+    modgen::connect(this, cy, yr);
+    modgen::connect(this, cz, zr);
+  }
+};
+
+}  // namespace
+
+BuildResult CordicGenerator::build(const ParamMap& params) const {
+  const auto width = static_cast<std::size_t>(params.get("width"));
+  const auto stages = static_cast<std::size_t>(params.get("stages"));
+  const bool pipelined = params.get("pipelined") != 0;
+
+  BuildResult r;
+  r.system = std::make_unique<HWSystem>("cordic_system");
+  Wire* x = new Wire(r.system.get(), width, "x");
+  Wire* y = new Wire(r.system.get(), width, "y");
+  Wire* z = new Wire(r.system.get(), width, "z");
+  Wire* xr = new Wire(r.system.get(), width, "xr");
+  Wire* yr = new Wire(r.system.get(), width, "yr");
+  Wire* zr = new Wire(r.system.get(), width, "zr");
+  r.top = new CordicIp(r.system.get(), x, y, z, xr, yr, zr, stages,
+                       pipelined);
+  r.inputs["x"] = x;
+  r.inputs["y"] = y;
+  r.inputs["z"] = z;
+  r.outputs["xr"] = xr;
+  r.outputs["yr"] = yr;
+  r.outputs["zr"] = zr;
+  r.latency = pipelined ? stages : 0;
+  return r;
+}
+
+// ------------------------------------------------------------ rf-alu
+
+std::vector<ParamSpec> RfAluGenerator::params() const {
+  return {
+      {"regs", ParamSpec::Kind::Int, 2, 16, 8, "register count"},
+      {"width", ParamSpec::Kind::Int, 2, 32, 16, "datapath width in bits"},
+  };
+}
+
+std::size_t RfAluGenerator::addr_width(std::size_t regs) {
+  std::size_t bits = 1;
+  while ((std::size_t{1} << bits) < regs) ++bits;
+  return bits;
+}
+
+namespace {
+
+class RfAluIp : public Cell {
+ public:
+  RfAluIp(Node* parent, Wire* ra, Wire* rb, Wire* wa, Wire* we, Wire* op,
+          Wire* imm, Wire* use_imm, Wire* result, Wire* zero,
+          std::size_t regs, std::size_t width)
+      : Cell(parent, "rf_alu_ip") {
+    set_type_name("rf_alu_" + std::to_string(regs) + "x" +
+                  std::to_string(width));
+    port_in("ra", ra);
+    port_in("rb", rb);
+    port_in("wa", wa);
+    port_in("we", we);
+    port_in("op", op);
+    port_in("imm", imm);
+    port_in("use_imm", use_imm);
+    port_out("result", result);
+    port_out("zero", zero);
+
+    const std::size_t abits = ra->width();
+
+    // Write-back register file: per-register clock enable from the write
+    // address decode. Addresses >= regs drop the write.
+    std::vector<Wire*> reg_q(regs);
+    for (std::size_t i = 0; i < regs; ++i) {
+      reg_q[i] = new Wire(this, width);
+      Wire* eq = new Wire(this, 1);
+      new modgen::ConstComparator(this, wa, i, eq);
+      Wire* en = new Wire(this, 1);
+      new tech::And2(this, we, eq, en);
+      new RegisterBank(this, result, reg_q[i], en);
+    }
+
+    // Two combinational read ports (mux tree; out-of-range leaves read 0).
+    Wire* zero_word = constant_wire(this, width, 0);
+    auto read_port = [&](Wire* addr) {
+      std::vector<Wire*> level;
+      for (std::size_t i = 0; i < (std::size_t{1} << abits); ++i) {
+        level.push_back(i < regs ? reg_q[i] : zero_word);
+      }
+      for (std::size_t b = 0; b < abits; ++b) {
+        std::vector<Wire*> next;
+        for (std::size_t k = 0; k + 1 < level.size(); k += 2) {
+          next.push_back(
+              mux_bus(this, level[k], level[k + 1], addr->gw(b)));
+        }
+        level = std::move(next);
+      }
+      return level[0];
+    };
+    Wire* a_data = read_port(ra);
+    Wire* b_read = read_port(rb);
+    Wire* b_data = mux_bus(this, b_read, imm, use_imm);
+
+    // Eight ALU operations, selected by the 3-bit op code.
+    Wire* alu_add = add_mod(this, a_data, b_data);
+    Wire* alu_sub = new Wire(this, width);
+    new modgen::Subtractor(this, a_data, b_data, alu_sub);
+    Wire* alu_and = new Wire(this, width);
+    Wire* alu_or = new Wire(this, width);
+    Wire* alu_xor = new Wire(this, width);
+    Wire* alu_not = new Wire(this, width);
+    for (std::size_t i = 0; i < width; ++i) {
+      new tech::And2(this, a_data->gw(i), b_data->gw(i), alu_and->gw(i));
+      new tech::Or2(this, a_data->gw(i), b_data->gw(i), alu_or->gw(i));
+      new tech::Xor2(this, a_data->gw(i), b_data->gw(i), alu_xor->gw(i));
+      new tech::Inv(this, a_data->gw(i), alu_not->gw(i));
+    }
+    std::vector<Wire*> ops = {alu_add, alu_sub, alu_and, alu_or,
+                              alu_xor, b_data,  a_data,  alu_not};
+    for (std::size_t b = 0; b < 3; ++b) {
+      std::vector<Wire*> next;
+      for (std::size_t k = 0; k + 1 < ops.size(); k += 2) {
+        next.push_back(mux_bus(this, ops[k], ops[k + 1], op->gw(b)));
+      }
+      ops = std::move(next);
+    }
+    modgen::connect(this, ops[0], result);
+    new modgen::ConstComparator(this, result, 0, zero);
+  }
+};
+
+}  // namespace
+
+BuildResult RfAluGenerator::build(const ParamMap& params) const {
+  const auto regs = static_cast<std::size_t>(params.get("regs"));
+  const auto width = static_cast<std::size_t>(params.get("width"));
+  const std::size_t abits = addr_width(regs);
+
+  BuildResult r;
+  r.system = std::make_unique<HWSystem>("rf_alu_system");
+  Wire* ra = new Wire(r.system.get(), abits, "ra");
+  Wire* rb = new Wire(r.system.get(), abits, "rb");
+  Wire* wa = new Wire(r.system.get(), abits, "wa");
+  Wire* we = new Wire(r.system.get(), 1, "we");
+  Wire* op = new Wire(r.system.get(), 3, "op");
+  Wire* imm = new Wire(r.system.get(), width, "imm");
+  Wire* use_imm = new Wire(r.system.get(), 1, "use_imm");
+  Wire* result = new Wire(r.system.get(), width, "result");
+  Wire* zero = new Wire(r.system.get(), 1, "zero");
+  r.top = new RfAluIp(r.system.get(), ra, rb, wa, we, op, imm, use_imm,
+                      result, zero, regs, width);
+  r.inputs["ra"] = ra;
+  r.inputs["rb"] = rb;
+  r.inputs["wa"] = wa;
+  r.inputs["we"] = we;
+  r.inputs["op"] = op;
+  r.inputs["imm"] = imm;
+  r.inputs["use_imm"] = use_imm;
+  r.outputs["result"] = result;
+  r.outputs["zero"] = zero;
+  r.latency = 0;  // reads and the ALU are combinational
+  return r;
+}
+
+}  // namespace jhdl::core

@@ -1,0 +1,175 @@
+#include "core/golden.h"
+
+#include "core/corpus_generators.h"
+
+namespace jhdl::core::golden {
+
+namespace {
+
+std::uint64_t width_mask(std::size_t width) {
+  return width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+}
+
+}  // namespace
+
+// ----------------------------------------------------- systolic array
+
+SystolicModel::SystolicModel(std::size_t rows, std::size_t cols,
+                             std::size_t data_width, std::size_t guard_bits)
+    : rows_(rows),
+      cols_(cols),
+      dw_(data_width),
+      aw_(SystolicArrayGenerator::acc_width(data_width, guard_bits)),
+      dmask_(width_mask(data_width)),
+      amask_(width_mask(aw_)),
+      a_reg_(rows * cols, 0),
+      b_reg_(rows * cols, 0),
+      acc_(rows * cols, 0) {}
+
+void SystolicModel::step(std::uint64_t a_bus, std::uint64_t b_bus,
+                         bool clr) {
+  std::vector<std::uint64_t> a_in(rows_ * cols_), b_in(rows_ * cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const std::size_t i = r * cols_ + c;
+      a_in[i] = c == 0 ? (a_bus >> (r * dw_)) & dmask_
+                       : a_reg_[r * cols_ + (c - 1)];
+      b_in[i] = r == 0 ? (b_bus >> (c * dw_)) & dmask_
+                       : b_reg_[(r - 1) * cols_ + c];
+    }
+  }
+  for (std::size_t i = 0; i < rows_ * cols_; ++i) {
+    const std::uint64_t product = a_in[i] * b_in[i];  // fits: 2*dw <= 16
+    acc_[i] = clr ? 0 : (acc_[i] + product) & amask_;
+    a_reg_[i] = a_in[i];
+    b_reg_[i] = b_in[i];
+  }
+}
+
+// ---------------------------------------------------------- hash pipe
+
+void CrcModel::step(std::uint32_t data) {
+  for (std::size_t j = 0; j < k_; ++j) {
+    const std::uint32_t fb = (state_ ^ (data >> j)) & 1u;
+    state_ = (state_ >> 1) ^ (fb ? poly_ : 0u);
+  }
+}
+
+void Sha1Model::reset() {
+  s_[0] = 0x67452301u;
+  s_[1] = 0xEFCDAB89u;
+  s_[2] = 0x98BADCFEu;
+  s_[3] = 0x10325476u;
+  s_[4] = 0xC3D2E1F0u;
+  for (auto& word : sr_) word = 0;
+}
+
+void Sha1Model::step(std::uint32_t w, unsigned stage, bool load_w) {
+  auto rotl = [](std::uint32_t v, unsigned n) {
+    return (v << n) | (v >> (32 - n));
+  };
+  const std::uint32_t sched =
+      rotl(sr_[2] ^ sr_[7] ^ sr_[13] ^ sr_[15], 1);
+  const std::uint32_t w_cur = load_w ? w : sched;
+
+  const std::uint32_t b = s_[1], c = s_[2], d = s_[3];
+  std::uint32_t f = 0, k = 0;
+  switch (stage & 3u) {
+    case 0: f = (b & c) | (~b & d); k = 0x5A827999u; break;
+    case 1: f = b ^ c ^ d; k = 0x6ED9EBA1u; break;
+    case 2: f = (b & c) | (b & d) | (c & d); k = 0x8F1BBCDCu; break;
+    default: f = b ^ c ^ d; k = 0xCA62C1D6u; break;
+  }
+  const std::uint32_t temp = rotl(s_[0], 5) + f + s_[4] + k + w_cur;
+
+  s_[4] = s_[3];
+  s_[3] = s_[2];
+  s_[2] = rotl(s_[1], 30);
+  s_[1] = s_[0];
+  s_[0] = temp;
+  for (std::size_t j = 15; j > 0; --j) sr_[j] = sr_[j - 1];
+  sr_[0] = w_cur;
+}
+
+// ------------------------------------------------------------ CORDIC
+
+CordicModel::CordicModel(std::size_t width, std::size_t stages)
+    : w_(width),
+      stages_(stages),
+      mask_(width_mask(width)),
+      angles_(CordicGenerator::angle_table(width, stages)) {}
+
+std::int64_t CordicModel::to_signed(std::uint64_t v) const {
+  const std::uint64_t sign = std::uint64_t{1} << (w_ - 1);
+  return (v & sign) ? static_cast<std::int64_t>(v | ~mask_)
+                    : static_cast<std::int64_t>(v);
+}
+
+void CordicModel::rotate(std::uint64_t x, std::uint64_t y, std::uint64_t z,
+                         std::uint64_t& xr, std::uint64_t& yr,
+                         std::uint64_t& zr) const {
+  std::int64_t sx = to_signed(x & mask_);
+  std::int64_t sy = to_signed(y & mask_);
+  std::int64_t sz = to_signed(z & mask_);
+  for (std::size_t i = 0; i < stages_; ++i) {
+    const std::int64_t xs = sx >> i;  // arithmetic; i < 64 always
+    const std::int64_t ys = sy >> i;
+    const auto at = to_signed(angles_[i]);
+    std::int64_t nx, ny, nz;
+    if (sz < 0) {
+      nx = sx + ys;
+      ny = sy - xs;
+      nz = sz + at;
+    } else {
+      nx = sx - ys;
+      ny = sy + xs;
+      nz = sz - at;
+    }
+    sx = to_signed(static_cast<std::uint64_t>(nx) & mask_);
+    sy = to_signed(static_cast<std::uint64_t>(ny) & mask_);
+    sz = to_signed(static_cast<std::uint64_t>(nz) & mask_);
+  }
+  xr = static_cast<std::uint64_t>(sx) & mask_;
+  yr = static_cast<std::uint64_t>(sy) & mask_;
+  zr = static_cast<std::uint64_t>(sz) & mask_;
+}
+
+// ------------------------------------------------------------ rf-alu
+
+RfAluModel::RfAluModel(std::size_t regs, std::size_t width)
+    : regs_n_(regs), w_(width), mask_(width_mask(width)), regs_(regs, 0) {}
+
+std::uint64_t RfAluModel::read(std::uint64_t addr) const {
+  return addr < regs_n_ ? regs_[addr] : 0;
+}
+
+std::uint64_t RfAluModel::alu(unsigned op, std::uint64_t a,
+                              std::uint64_t b) const {
+  switch (op & 7u) {
+    case 0: return (a + b) & mask_;
+    case 1: return (a - b) & mask_;
+    case 2: return a & b;
+    case 3: return a | b;
+    case 4: return a ^ b;
+    case 5: return b;
+    case 6: return a;
+    default: return ~a & mask_;
+  }
+}
+
+RfAluModel::Out RfAluModel::step(std::uint64_t ra, std::uint64_t rb,
+                                 std::uint64_t wa, bool we, unsigned op,
+                                 std::uint64_t imm, bool use_imm) {
+  // Pre-edge: the value written is the ALU output over the OLD registers.
+  const std::uint64_t b0 = use_imm ? (imm & mask_) : read(rb);
+  const std::uint64_t wdata = alu(op, read(ra), b0);
+  if (we && wa < regs_n_) regs_[wa] = wdata;
+  // Post-edge: the read/ALU path re-settles over the new registers.
+  const std::uint64_t b1 = use_imm ? (imm & mask_) : read(rb);
+  Out out;
+  out.result = alu(op, read(ra), b1);
+  out.zero = out.result == 0;
+  return out;
+}
+
+}  // namespace jhdl::core::golden

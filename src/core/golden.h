@@ -1,0 +1,126 @@
+// Bit-exact C++ golden models for the corpus generators.
+//
+// "Generation and Validation of Custom Multiplication IP Blocks from the
+// Web" (PAPERS.md) argues web-delivered IP is only credible when every
+// generated instance is validated against a golden model. These classes
+// are the reference semantics for corpus IP: plain integer arithmetic
+// mirroring the register-transfer behaviour cycle for cycle, written
+// independently of the circuit construction so a structural bug cannot
+// hide in both (the CRC model is a bit-serial loop, not the flattened
+// XOR network; the SHA-1 model is validated against the published "abc"
+// digest in tests/corpus_test.cpp).
+//
+// Conventions: all values are bit patterns in the low `width` bits of a
+// std::uint64_t; two's-complement where the block is signed. step()
+// applies one clock edge with the given inputs held and returns/exposes
+// the post-edge outputs - exactly what Simulator::cycle() + get() shows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace jhdl::core::golden {
+
+/// Mirror of SystolicArrayGenerator: registered operand forwarding with
+/// local accumulate, unsigned, accumulators wrap mod 2^acc_width.
+class SystolicModel {
+ public:
+  SystolicModel(std::size_t rows, std::size_t cols, std::size_t data_width,
+                std::size_t guard_bits);
+
+  /// One clock edge. `a_bus` packs rows*data_width bits (row 0 in the
+  /// LSBs), `b_bus` packs cols*data_width bits.
+  void step(std::uint64_t a_bus, std::uint64_t b_bus, bool clr);
+
+  std::uint64_t acc(std::size_t r, std::size_t c) const {
+    return acc_[r * cols_ + c];
+  }
+  std::size_t acc_width() const { return aw_; }
+
+ private:
+  std::size_t rows_, cols_, dw_, aw_;
+  std::uint64_t dmask_, amask_;
+  std::vector<std::uint64_t> a_reg_, b_reg_, acc_;
+};
+
+/// Mirror of the hash-pipe CRC datapath: the bit-serial reflected update,
+/// data consumed LSB-first, state preset to 0xFFFFFFFF.
+class CrcModel {
+ public:
+  CrcModel(std::uint32_t poly, std::size_t data_width)
+      : poly_(poly), k_(data_width) {}
+
+  void step(std::uint32_t data);
+  void reset() { state_ = 0xFFFFFFFFu; }
+  std::uint32_t state() const { return state_; }
+
+ private:
+  std::uint32_t poly_;
+  std::size_t k_;
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// Mirror of the hash-pipe SHA-1 round core: one compression round per
+/// step, 16-word schedule shift register, state preset to H0..H4.
+class Sha1Model {
+ public:
+  Sha1Model() { reset(); }
+
+  /// `stage` is the round quarter (t/20); `load_w` substitutes `w` for
+  /// the scheduled word (rounds 0..15).
+  void step(std::uint32_t w, unsigned stage, bool load_w);
+  void reset();
+
+  std::uint32_t a() const { return s_[0]; }
+  std::uint32_t b() const { return s_[1]; }
+  std::uint32_t c() const { return s_[2]; }
+  std::uint32_t d() const { return s_[3]; }
+  std::uint32_t e() const { return s_[4]; }
+
+ private:
+  std::uint32_t s_[5];
+  std::uint32_t sr_[16];  ///< message schedule, sr_[0] = newest
+};
+
+/// Mirror of CordicGenerator: the pure per-stage function (pipelining
+/// only delays it). Inputs/outputs are width-bit two's-complement
+/// patterns.
+class CordicModel {
+ public:
+  CordicModel(std::size_t width, std::size_t stages);
+
+  void rotate(std::uint64_t x, std::uint64_t y, std::uint64_t z,
+              std::uint64_t& xr, std::uint64_t& yr,
+              std::uint64_t& zr) const;
+
+ private:
+  std::int64_t to_signed(std::uint64_t v) const;
+  std::size_t w_, stages_;
+  std::uint64_t mask_;
+  std::vector<std::uint64_t> angles_;
+};
+
+/// Mirror of RfAluGenerator: write-back register file + 8-op ALU.
+class RfAluModel {
+ public:
+  struct Out {
+    std::uint64_t result = 0;
+    bool zero = false;
+  };
+
+  RfAluModel(std::size_t regs, std::size_t width);
+
+  /// One clock edge; returns the post-edge combinational outputs (the
+  /// write lands first, then the read/ALU path re-settles).
+  Out step(std::uint64_t ra, std::uint64_t rb, std::uint64_t wa, bool we,
+           unsigned op, std::uint64_t imm, bool use_imm);
+
+ private:
+  std::uint64_t read(std::uint64_t addr) const;
+  std::uint64_t alu(unsigned op, std::uint64_t a, std::uint64_t b) const;
+  std::size_t regs_n_, w_;
+  std::uint64_t mask_;
+  std::vector<std::uint64_t> regs_;
+};
+
+}  // namespace jhdl::core::golden

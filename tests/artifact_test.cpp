@@ -12,6 +12,7 @@
 #include "core/artifact.h"
 #include "core/artifact_store.h"
 #include "core/blackbox.h"
+#include "core/catalog.h"
 #include "core/generators.h"
 #include "core/packaging.h"
 #include "sim/simulator.h"
@@ -271,6 +272,116 @@ TEST(ArtifactTest, DeliveryBundleMatchesArtifactViews) {
     }
   }
   EXPECT_TRUE(saw_edif);
+}
+
+// --- corpus-scale key diversity -------------------------------------
+
+/// The corpus sweep's working set: dozens of distinct (module, params)
+/// keys from four generators churned through a store whose byte budget
+/// cannot hold even one of them. Every unpinned entry must be LRU prey
+/// the moment its holder lets go; the pinned sessions (one per module)
+/// must ride out the whole storm and still answer as hits afterwards.
+TEST(ArtifactStoreTest, CorpusKeyDiversityStormKeepsPinnedSessions) {
+  const IpCatalog catalog = standard_catalog();
+  auto hash_pipe = catalog.find("hash-pipe");
+  auto rf_alu = catalog.find("rf-alu");
+  auto cordic = catalog.find("cordic-rotator");
+  auto systolic = catalog.find("systolic-array");
+  ASSERT_NE(hash_pipe, nullptr);
+  ASSERT_NE(rf_alu, nullptr);
+  ASSERT_NE(cordic, nullptr);
+  ASSERT_NE(systolic, nullptr);
+
+  ArtifactStore store(ArtifactStore::Config{1});  // nothing unpinned survives
+
+  // One long-lived session per module stays pinned through the storm.
+  std::vector<std::shared_ptr<const IpArtifact>> pinned;
+  pinned.push_back(store.get_or_build(
+      hash_pipe, ParamMap().set("data_width", std::int64_t{8})));
+  pinned.push_back(store.get_or_build(
+      rf_alu, ParamMap().set("regs", std::int64_t{2}).set("width",
+                                                          std::int64_t{2})));
+  pinned.push_back(store.get_or_build(
+      cordic, ParamMap().set("width", std::int64_t{8})
+                  .set("stages", std::int64_t{1})
+                  .set("pipelined", false)));
+  pinned.push_back(store.get_or_build(
+      systolic, ParamMap().set("rows", std::int64_t{1})
+                    .set("cols", std::int64_t{1})
+                    .set("data_width", std::int64_t{2})
+                    .set("guard_bits", std::int64_t{0})));
+  const std::size_t pinned_n = pinned.size();
+
+  // The storm: every key distinct, every holder dropped immediately.
+  std::size_t storm_keys = 0;
+  auto churn = [&store, &storm_keys](
+                   const std::shared_ptr<const ModuleGenerator>& gen,
+                   const ParamMap& params) {
+    (void)store.get_or_build(gen, params);
+    ++storm_keys;
+  };
+  for (std::int64_t k = 1; k <= 12; ++k) {
+    churn(hash_pipe, ParamMap().set("data_width", k).set(
+                         "poly", std::int64_t{0x82F63B78}));
+  }
+  for (std::int64_t regs = 3; regs <= 6; ++regs) {
+    for (std::int64_t width : {3, 5}) {
+      churn(rf_alu, ParamMap().set("regs", regs).set("width", width));
+    }
+  }
+  for (std::int64_t width = 11; width <= 13; ++width) {
+    for (std::int64_t stages = 1; stages <= 2; ++stages) {
+      churn(cordic, ParamMap().set("width", width).set("stages", stages).set(
+                        "pipelined", stages == 2));
+    }
+  }
+  for (std::int64_t rows = 1; rows <= 2; ++rows) {
+    for (std::int64_t cols = 1; cols <= 2; ++cols) {
+      churn(systolic, ParamMap()
+                          .set("rows", rows)
+                          .set("cols", cols)
+                          .set("data_width", std::int64_t{2})
+                          .set("guard_bits", std::int64_t{1}));
+    }
+  }
+
+  // Only the pinned sessions remain, plus the newest storm entry: during
+  // its own insert it is pinned by the shared_ptr being returned, and no
+  // later insert came along to evict it.
+  EXPECT_EQ(store.size(), pinned_n + 1);
+  ArtifactStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.misses, pinned_n + storm_keys);
+  EXPECT_GE(stats.evictions, storm_keys - 1);
+  EXPECT_GE(stats.pinned_skips, 1u);
+  for (const auto& session : pinned) {
+    EXPECT_NE(
+        store.lookup(session->generator()->name(), session->param_hash()),
+        nullptr)
+        << session->generator()->name();
+  }
+
+  // Pinned keys answer warm; a storm key must rebuild.
+  for (std::size_t i = 0; i < pinned_n; ++i) {
+    bool hit = false;
+    auto again = store.get_or_build(
+        i == 0 ? hash_pipe : i == 1 ? rf_alu : i == 2 ? cordic : systolic,
+        pinned[i]->params(), &hit);
+    EXPECT_TRUE(hit) << i;
+    EXPECT_EQ(again.get(), pinned[i].get()) << i;
+  }
+  bool storm_hit = true;
+  (void)store.get_or_build(
+      hash_pipe,
+      ParamMap().set("data_width", std::int64_t{1}).set(
+          "poly", std::int64_t{0x82F63B78}),
+      &storm_hit);
+  EXPECT_FALSE(storm_hit) << "evicted storm key must elaborate again";
+
+  // Dropping the pins turns the survivors into ordinary LRU prey.
+  pinned.clear();
+  (void)store.get_or_build(hash_pipe,
+                           ParamMap().set("data_width", std::int64_t{32}));
+  EXPECT_LE(store.size(), 1u);
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 #include <chrono>
 #include <thread>
 
+#include "core/artifact.h"
+#include "core/catalog.h"
 #include "core/generators.h"
 #include "core/packaging.h"
 #include "net/sim_server.h"
@@ -347,6 +349,73 @@ TEST(FuzzTest, JsonNetlistReaderOnMutatedDocument) {
     std::size_t pos = rng.below(bad.size());
     bad[pos] = static_cast<char>(rng.next() & 0x7F);
     expect_throw_or_value([&] { (void)netlist::read_json(bad); });
+  }
+}
+
+// Property over the whole standard catalog: any in-range parameter draw
+// must either elaborate - and then survive the full package / estimate /
+// netlist / kernel-compile pipeline - or be rejected with the typed
+// ParamError reserved for documented cross-field constraints (e.g. the
+// kcm product_width floor). Anything else (a crash, an std::logic_error
+// out of the guts of elaboration) fails.
+TEST(FuzzTest, CatalogRandomValidParamsRunTheFullPipeline) {
+  const core::IpCatalog catalog = core::standard_catalog();
+  Rng rng(0xCA7A106);
+  for (const auto& gen : catalog.entries()) {
+    const std::vector<core::ParamSpec> schema = gen->params();
+    for (int draw = 0; draw < 5; ++draw) {
+      core::ParamMap params;
+      for (const core::ParamSpec& spec : schema) {
+        if (spec.kind == core::ParamSpec::Kind::Bool) {
+          params.set(spec.name, rng.coin());
+        } else {
+          params.set(spec.name, rng.range(spec.min_value, spec.max_value));
+        }
+      }
+      SCOPED_TRACE(gen->name() + ": " + params.summary());
+      try {
+        core::IpArtifact artifact(gen, params.resolved(schema));
+        EXPECT_GT(artifact.area().primitives, 0u);
+        EXPECT_FALSE(
+            artifact.netlist_text(core::NetlistFormat::Edif).empty());
+        EXPECT_NE(artifact.program(), nullptr);
+        core::Packager packager;
+        EXPECT_FALSE(packager.applet_archive(*gen).entries().empty());
+      } catch (const core::ParamError&) {
+        // typed rejection of a cross-field constraint: acceptable
+      }
+    }
+  }
+}
+
+/// Out-of-range and malformed parameter values must come back as
+/// ParamError from schema resolution for every generator - never UB,
+/// never a raw crash from inside build().
+TEST(FuzzTest, CatalogInvalidParamsRejectedWithTypedError) {
+  const core::IpCatalog catalog = core::standard_catalog();
+  for (const auto& gen : catalog.entries()) {
+    const std::vector<core::ParamSpec> schema = gen->params();
+    for (const core::ParamSpec& spec : schema) {
+      SCOPED_TRACE(gen->name() + "." + spec.name);
+      if (spec.kind == core::ParamSpec::Kind::Int) {
+        EXPECT_THROW(core::ParamMap()
+                         .set(spec.name, spec.max_value + 1)
+                         .resolved(schema),
+                     core::ParamError);
+        EXPECT_THROW(core::ParamMap()
+                         .set(spec.name, spec.min_value - 1)
+                         .resolved(schema),
+                     core::ParamError);
+      } else {
+        EXPECT_THROW(
+            core::ParamMap().set(spec.name, std::int64_t{2}).resolved(schema),
+            core::ParamError);
+      }
+    }
+    EXPECT_THROW(core::ParamMap()
+                     .set("no-such-parameter", std::int64_t{1})
+                     .resolved(schema),
+                 core::ParamError);
   }
 }
 
