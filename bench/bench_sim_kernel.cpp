@@ -1,25 +1,41 @@
-// Compiled vs interpreted simulation-kernel throughput over the catalog
-// IP: the same clocked random stimulus is run through both engines for
-// each (generator, size) configuration and the harness reports cycles/sec,
-// primitive-evaluation counts, and the compiled/interpreted speedup. A
-// per-cycle output checksum proves the engines bit-exact against each
-// other, so a speedup bought with wrong answers fails the run.
+// Simulation-kernel throughput ladder over the VTR-class corpus: the
+// same workloads run through four engine configurations and the harness
+// reports throughput, speedups, and bit-exactness for each corpus shape
+// (systolic-array, hash-pipe, cordic-rotator, rf-alu).
 //
-// The compiled engine wins twice: opcode dispatch from a flat SoA program
-// replaces one virtual call per primitive, and event-driven settling
-// re-evaluates only the fan-out cone of nets that actually changed.
+// Two workloads, four engine rows:
+//   pattern sweep   N independent stimulus patterns, each from power-on
+//                   reset, C cycles deep - the PatternBatch workload.
+//                     interp    interpreted engine, one pattern at a time
+//                     compiled  compiled kernel, one pattern at a time
+//                     mp        bit-parallel kernel, 64 patterns/word
+//   cycle stream    T clocked cycles of per-cycle random stimulus - the
+//                   CycleBatch workload.
+//                     compiled  threads=1 (the baseline)
+//                     threaded  threads=hardware_concurrency, island-
+//                               parallel settles
 //
-// Emits BENCH_sim_kernel.json. `--smoke` shrinks the cycle budget for CI.
+// A per-run output checksum proves every engine row bit-exact against
+// the others, so a speedup bought with wrong answers fails the run.
+// Acceptance (full run): the multi-pattern kernel clears 8x over the
+// interpreter on at least two corpus shapes; with >= 4 hardware cores
+// the threaded kernel clears 2x over single-thread compiled on at least
+// one multi-island shape (on smaller hosts the threaded gate is
+// reported but not enforced - there is nothing to parallelize onto).
+//
+// Emits BENCH_sim_kernel.json. `--smoke` shrinks the budgets for CI.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/corpus_generators.h"
 #include "core/generator.h"
-#include "core/generators.h"
 #include "hdl/visitor.h"
+#include "sim/multi_pattern_kernel.h"
 #include "sim/simulator.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -29,69 +45,197 @@ using namespace jhdl::core;
 
 namespace {
 
-struct BenchConfig {
+struct ShapeConfig {
   std::string label;
   const ModuleGenerator* gen;
   ParamMap params;
-  /// Largest instance of its generator family (the acceptance rows).
-  bool flagship = false;
 };
 
-struct RunResult {
-  double cycles_per_sec = 0.0;
-  std::size_t evals = 0;
-  std::size_t prims = 0;
+/// Pre-generated stimulus for one shape, keyed by input order (the
+/// build's name-ordered input map), identical across every engine row.
+struct Stimulus {
+  std::vector<std::vector<BitVector>> patterns;  // [input][pattern]
+  std::vector<std::vector<BitVector>> stream;    // [input][cycle]
+};
+
+void hash_bits(std::uint64_t& h, const BitVector& v) {
+  for (std::size_t i = 0; i < v.width(); ++i) {
+    h ^= static_cast<std::uint64_t>(v.get(i));
+    h *= 0x100000001B3ull;  // FNV-1a
+  }
+}
+
+BitVector random_bits(Rng& rng, std::size_t width) {
+  BitVector v(width, Logic4::Zero);
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    if ((i & 63u) == 0) word = rng.next();
+    v.set(i, to_logic(((word >> (i & 63u)) & 1u) != 0));
+  }
+  return v;
+}
+
+Stimulus make_stimulus(const BuildResult& build, std::size_t n_patterns,
+                       std::size_t n_cycles, std::uint64_t seed) {
+  Stimulus stim;
+  Rng rng(seed);
+  for (const auto& [name, wire] : build.inputs) {
+    std::vector<BitVector> column;
+    column.reserve(n_patterns);
+    for (std::size_t p = 0; p < n_patterns; ++p) {
+      column.push_back(random_bits(rng, wire->width()));
+    }
+    stim.patterns.push_back(std::move(column));
+  }
+  for (const auto& [name, wire] : build.inputs) {
+    std::vector<BitVector> column;
+    column.reserve(n_cycles);
+    for (std::size_t t = 0; t < n_cycles; ++t) {
+      column.push_back(random_bits(rng, wire->width()));
+    }
+    stim.stream.push_back(std::move(column));
+  }
+  return stim;
+}
+
+struct PatternRun {
+  double patterns_per_sec = 0.0;
   std::uint64_t checksum = 0;
+  std::size_t prims = 0;
+  bool mp_supported = false;
 };
 
-RunResult run(const BenchConfig& config, SimMode mode, std::size_t cycles,
-              std::uint64_t seed) {
-  BuildResult build = config.gen->build(config.params);
+/// Scalar reference: one reset + C cycles per pattern, either engine.
+PatternRun run_pattern_scalar(const ShapeConfig& shape, SimMode mode,
+                              const Stimulus& stim, std::size_t cycles) {
+  BuildResult build = shape.gen->build(shape.params);
   SimOptions options;
   options.mode = mode;
   Simulator sim(*build.system, options);
 
-  RunResult result;
+  PatternRun result;
   result.prims = collect_primitives(*build.system).size();
-  Rng rng(seed);
-
-  // Hoist the stimulus vectors and probe lists out of the timed loop so
-  // the harness measures the engines, not per-cycle heap traffic. Probe
-  // bits are read straight off the nets: both engines write values
-  // through to the Net objects, so this observes exactly what get()
-  // would return, without materializing a BitVector + string per cycle.
-  std::vector<std::pair<Wire*, BitVector>> stim;
-  for (const auto& [name, wire] : build.inputs) {
-    stim.emplace_back(wire, BitVector(wire->width(), Logic4::Zero));
-  }
+  std::vector<Wire*> inputs;
+  for (const auto& [name, wire] : build.inputs) inputs.push_back(wire);
   std::vector<Wire*> probes;
   for (const auto& [name, wire] : build.outputs) probes.push_back(wire);
 
+  const std::size_t n_patterns = stim.patterns.front().size();
   std::uint64_t checksum = 0xcbf29ce484222325ull;
   const auto t0 = std::chrono::steady_clock::now();
-  for (std::size_t t = 0; t < cycles; ++t) {
-    for (auto& [wire, bits] : stim) {
-      const std::uint64_t v = rng.next();
-      for (std::size_t i = 0; i < bits.width(); ++i) {
-        bits.set(i, to_logic(((v >> (i & 63)) & 1u) != 0 && i < 64));
-      }
-      sim.put(wire, bits);
+  for (std::size_t p = 0; p < n_patterns; ++p) {
+    sim.reset();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      sim.put(inputs[i], stim.patterns[i][p]);
     }
-    sim.cycle();
-    sim.propagate();
-    for (Wire* wire : probes) {
-      for (std::size_t i = 0; i < wire->width(); ++i) {
-        checksum ^= static_cast<std::uint64_t>(wire->net(i)->value());
-        checksum *= 0x100000001B3ull;  // FNV-1a
-      }
+    if (cycles > 0) {
+      sim.cycle(cycles);
+    } else {
+      sim.propagate();
     }
+    for (Wire* wire : probes) hash_bits(checksum, sim.get(wire));
   }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  result.cycles_per_sec = seconds > 0.0 ? cycles / seconds : 0.0;
-  result.evals = sim.eval_count();
+  result.patterns_per_sec = seconds > 0.0 ? n_patterns / seconds : 0.0;
   result.checksum = checksum;
+  return result;
+}
+
+/// Bit-parallel row: one pattern_sweep call packs 64 patterns per word.
+PatternRun run_pattern_mp(const ShapeConfig& shape, const Stimulus& stim,
+                          std::size_t cycles) {
+  BuildResult build = shape.gen->build(shape.params);
+  SimOptions options;
+  options.mode = SimMode::Compiled;
+  options.threads = 1;
+  Simulator sim(*build.system, options);
+
+  PatternRun result;
+  result.prims = collect_primitives(*build.system).size();
+  result.mp_supported =
+      sim.compiled_program() != nullptr &&
+      MultiPatternKernel::supports(*sim.compiled_program());
+  std::vector<PatternStimulus> streams;
+  {
+    std::size_t i = 0;
+    for (const auto& [name, wire] : build.inputs) {
+      streams.push_back(PatternStimulus{wire, stim.patterns[i++]});
+    }
+  }
+  std::vector<Wire*> probes;
+  for (const auto& [name, wire] : build.outputs) probes.push_back(wire);
+
+  const std::size_t n_patterns = stim.patterns.front().size();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::vector<BitVector>> columns =
+      sim.pattern_sweep(n_patterns, streams, cycles, probes);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::uint64_t checksum = 0xcbf29ce484222325ull;
+  for (std::size_t p = 0; p < n_patterns; ++p) {
+    for (const std::vector<BitVector>& column : columns) {
+      hash_bits(checksum, column[p]);
+    }
+  }
+  result.patterns_per_sec = seconds > 0.0 ? n_patterns / seconds : 0.0;
+  result.checksum = checksum;
+  return result;
+}
+
+struct StreamRun {
+  double cycles_per_sec = 0.0;
+  std::uint64_t checksum = 0;
+  std::size_t islands = 0;
+};
+
+/// Streaming row: one cycle_batch call, single- or multi-threaded.
+StreamRun run_stream(const ShapeConfig& shape, const Stimulus& stim,
+                     std::size_t threads) {
+  BuildResult build = shape.gen->build(shape.params);
+  SimOptions options;
+  options.mode = SimMode::Compiled;
+  options.threads = threads;
+  // The bench measures the pool, not the engagement heuristic: let the
+  // threaded settle engage on every corpus shape.
+  options.parallel_min_ops = 1;
+  Simulator sim(*build.system, options);
+
+  std::vector<BatchStimulus> streams;
+  {
+    std::size_t i = 0;
+    for (const auto& [name, wire] : build.inputs) {
+      streams.push_back(BatchStimulus{wire, stim.stream[i++]});
+    }
+  }
+  std::vector<Wire*> probes;
+  for (const auto& [name, wire] : build.outputs) probes.push_back(wire);
+
+  const std::size_t n_cycles = stim.stream.front().size();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::vector<BitVector>> columns =
+      sim.cycle_batch(n_cycles, streams, probes);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  StreamRun result;
+  std::uint64_t checksum = 0xcbf29ce484222325ull;
+  for (std::size_t t = 0; t < n_cycles; ++t) {
+    for (const std::vector<BitVector>& column : columns) {
+      hash_bits(checksum, column[t]);
+    }
+  }
+  result.cycles_per_sec = seconds > 0.0 ? n_cycles / seconds : 0.0;
+  result.checksum = checksum;
+  if (sim.islands() != nullptr) {
+    result.islands = sim.islands()->num_islands();
+  } else if (sim.compiled_program() != nullptr) {
+    // Parallel settle never engaged (single thread / single core); the
+    // island count is structural, so report it anyway.
+    result.islands = partition_islands(*sim.compiled_program())->num_islands();
+  }
   return result;
 }
 
@@ -102,108 +246,145 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
-  const std::size_t cycles = smoke ? 500 : 20000;
+  const std::size_t n_patterns = smoke ? 70 : 256;
+  const std::size_t pattern_cycles = smoke ? 2 : 4;
+  const std::size_t stream_cycles = smoke ? 128 : 4096;
+  const std::size_t hw = std::max<std::size_t>(
+      1, std::thread::hardware_concurrency());
+  const std::size_t threads = std::min<std::size_t>(hw, 8);
 
-  KcmGenerator kcm;
-  FirGenerator fir;
-  DdsIpGenerator dds;
-  std::vector<BenchConfig> configs;
-  for (std::int64_t width : {8, 16, 32}) {
-    BenchConfig c;
-    c.label = "kcm-" + std::to_string(width);
-    c.gen = &kcm;
-    c.params = ParamMap()
-                   .set("input_width", width)
-                   .set("constant", std::int64_t{-20563})
-                   .set("signed_mode", true)
-                   .set("pipelined_mode", true)
-                   .resolved(kcm.params());
-    c.flagship = width == 32;
-    configs.push_back(c);
-  }
-  for (std::int64_t width : {8, 24}) {
-    BenchConfig c;
-    c.label = "fir4-" + std::to_string(width);
-    c.gen = &fir;
-    c.params = ParamMap()
-                   .set("input_width", width)
-                   .set("c0", std::int64_t{-2})
-                   .set("c1", std::int64_t{13})
-                   .set("c2", std::int64_t{13})
-                   .set("c3", std::int64_t{-2})
-                   .set("pipelined", true)
-                   .resolved(fir.params());
-    c.flagship = width == 24;
-    configs.push_back(c);
-  }
-  for (std::int64_t width : {10, 16}) {
-    BenchConfig c;
-    c.label = "dds-" + std::to_string(width);
-    c.gen = &dds;
-    c.params = ParamMap()
-                   .set("phase_width", width)
-                   .set("tuning", std::int64_t{977})
-                   .resolved(dds.params());
-    configs.push_back(c);
-  }
+  SystolicArrayGenerator systolic;
+  HashPipeGenerator hash;
+  CordicGenerator cordic;
+  RfAluGenerator rfalu;
+  std::vector<ShapeConfig> shapes;
+  shapes.push_back({"systolic-4x4x8", &systolic,
+                    ParamMap()
+                        .set("rows", std::int64_t{4})
+                        .set("cols", std::int64_t{4})
+                        .set("data_width", std::int64_t{8})
+                        .set("guard_bits", std::int64_t{4})
+                        .resolved(systolic.params())});
+  shapes.push_back({"hashpipe-crc8", &hash,
+                    ParamMap()
+                        .set("algo", std::int64_t{0})
+                        .set("data_width", std::int64_t{8})
+                        .resolved(hash.params())});
+  shapes.push_back({"cordic-16x12p", &cordic,
+                    ParamMap()
+                        .set("width", std::int64_t{16})
+                        .set("stages", std::int64_t{12})
+                        .set("pipelined", std::int64_t{1})
+                        .resolved(cordic.params())});
+  shapes.push_back({"rfalu-16x16", &rfalu,
+                    ParamMap()
+                        .set("regs", std::int64_t{16})
+                        .set("width", std::int64_t{16})
+                        .resolved(rfalu.params())});
 
-  std::printf("=== Simulation kernel: compiled vs interpreted ===\n\n");
-  std::printf("%zu clocked cycles per run, random stimulus%s\n\n", cycles,
-              smoke ? " (smoke)" : "");
-  std::printf("  %-9s %6s %14s %14s %8s %13s %6s\n", "circuit", "prims",
-              "interp cyc/s", "compiled cyc/s", "speedup", "eval ratio",
-              "exact");
+  std::printf("=== Simulation kernel ladder: corpus shapes ===\n\n");
+  std::printf(
+      "pattern sweep: %zu patterns x %zu cycles; stream: %zu cycles; "
+      "%zu kernel thread(s) on %zu core(s)%s\n\n",
+      n_patterns, pattern_cycles, stream_cycles, threads, hw,
+      smoke ? " (smoke)" : "");
+  std::printf("  %-15s %6s %10s %10s %10s %8s %10s %10s %8s %6s\n", "shape",
+              "prims", "interp p/s", "comp p/s", "mp p/s", "mp x",
+              "1t cyc/s", "Nt cyc/s", "thr x", "exact");
 
   Json rows = Json::array();
   bool all_exact = true;
-  bool flagships_fast = true;
-  for (const BenchConfig& config : configs) {
-    const RunResult interp =
-        run(config, SimMode::Interpreted, cycles, 0x5EED);
-    const RunResult comp = run(config, SimMode::Compiled, cycles, 0x5EED);
-    const bool exact = interp.checksum == comp.checksum;
+  std::size_t mp_fast_shapes = 0;
+  std::size_t threaded_fast_shapes = 0;
+  for (const ShapeConfig& shape : shapes) {
+    BuildResult probe_build = shape.gen->build(shape.params);
+    Stimulus stim =
+        make_stimulus(probe_build, n_patterns, stream_cycles, 0x5EED);
+
+    const PatternRun interp =
+        run_pattern_scalar(shape, SimMode::Interpreted, stim, pattern_cycles);
+    const PatternRun comp =
+        run_pattern_scalar(shape, SimMode::Compiled, stim, pattern_cycles);
+    const PatternRun mp = run_pattern_mp(shape, stim, pattern_cycles);
+    const StreamRun stream1 = run_stream(shape, stim, 1);
+    const StreamRun streamN = run_stream(shape, stim, threads);
+
+    const bool exact = interp.checksum == comp.checksum &&
+                       comp.checksum == mp.checksum &&
+                       stream1.checksum == streamN.checksum;
     all_exact = all_exact && exact;
-    const double speedup = interp.cycles_per_sec > 0.0
-                               ? comp.cycles_per_sec / interp.cycles_per_sec
-                               : 0.0;
-    // Acceptance: the flagship KCM and FIR instances must clear 3x. The
-    // smoke run still checks parity but skips the throughput gate (CI
-    // machines are noisy and the budget is tiny).
-    if (config.flagship && !smoke && speedup < 3.0) flagships_fast = false;
-    const double eval_ratio =
-        interp.evals > 0
-            ? static_cast<double>(comp.evals) / static_cast<double>(interp.evals)
-            : 1.0;
-    std::printf("  %-9s %6zu %14.0f %14.0f %7.2fx %12.3f %6s\n",
-                config.label.c_str(), interp.prims, interp.cycles_per_sec,
-                comp.cycles_per_sec, speedup, eval_ratio,
-                exact ? "yes" : "NO");
+    const double mp_speedup = interp.patterns_per_sec > 0.0
+                                  ? mp.patterns_per_sec / interp.patterns_per_sec
+                                  : 0.0;
+    const double thr_speedup = stream1.cycles_per_sec > 0.0
+                                   ? streamN.cycles_per_sec /
+                                         stream1.cycles_per_sec
+                                   : 0.0;
+    if (mp_speedup >= 8.0) ++mp_fast_shapes;
+    if (streamN.islands >= 2 && thr_speedup >= 2.0) ++threaded_fast_shapes;
+    std::printf(
+        "  %-15s %6zu %10.0f %10.0f %10.0f %7.1fx %10.0f %10.0f %7.2fx %6s\n",
+        shape.label.c_str(), interp.prims, interp.patterns_per_sec,
+        comp.patterns_per_sec, mp.patterns_per_sec, mp_speedup,
+        stream1.cycles_per_sec, streamN.cycles_per_sec, thr_speedup,
+        exact ? "yes" : "NO");
 
     Json row = Json::object();
-    row.set("circuit", config.label);
+    row.set("shape", shape.label);
     row.set("primitives", interp.prims);
-    row.set("cycles", cycles);
-    row.set("interpreted_cycles_per_sec", interp.cycles_per_sec);
-    row.set("compiled_cycles_per_sec", comp.cycles_per_sec);
-    row.set("speedup", speedup);
-    row.set("interpreted_evals", interp.evals);
-    row.set("compiled_evals", comp.evals);
-    row.set("eval_ratio", eval_ratio);
-    row.set("flagship", config.flagship);
+    row.set("patterns", n_patterns);
+    row.set("pattern_cycles", pattern_cycles);
+    row.set("interp_patterns_per_sec", interp.patterns_per_sec);
+    row.set("compiled_patterns_per_sec", comp.patterns_per_sec);
+    row.set("mp_patterns_per_sec", mp.patterns_per_sec);
+    row.set("mp_supported", mp.mp_supported);
+    row.set("mp_speedup_vs_interp", mp_speedup);
+    row.set("mp_speedup_vs_compiled",
+            comp.patterns_per_sec > 0.0
+                ? mp.patterns_per_sec / comp.patterns_per_sec
+                : 0.0);
+    row.set("stream_cycles", stream_cycles);
+    row.set("stream_1t_cycles_per_sec", stream1.cycles_per_sec);
+    row.set("stream_nt_cycles_per_sec", streamN.cycles_per_sec);
+    row.set("threaded_speedup", thr_speedup);
+    row.set("islands", streamN.islands);
     row.set("bit_exact", exact);
     rows.push(row);
   }
 
+  // The multi-pattern gate always applies to a full run; the threaded
+  // gate needs real cores to demonstrate (the pool adds coordination
+  // overhead that a 1-2 core host cannot amortize), so it is recorded
+  // but only enforced when >= 4 cores are present.
+  const bool threaded_gate_applicable = !smoke && hw >= 4;
+  const bool mp_gate = smoke || mp_fast_shapes >= 2;
+  const bool threaded_gate =
+      !threaded_gate_applicable || threaded_fast_shapes >= 1;
+
   Json doc = Json::object();
   doc.set("benchmark", std::string("sim_kernel"));
-  doc.set("cycles_per_run", cycles);
   doc.set("smoke", smoke);
+  doc.set("hardware_cores", hw);
+  doc.set("kernel_threads", threads);
+  doc.set("patterns_per_run", n_patterns);
+  doc.set("pattern_cycles", pattern_cycles);
+  doc.set("stream_cycles", stream_cycles);
   doc.set("rows", rows);
   doc.set("all_bit_exact", all_exact);
-  doc.set("flagships_reach_3x", flagships_fast);
+  doc.set("mp_shapes_reaching_8x", mp_fast_shapes);
+  doc.set("mp_gate_passed", mp_gate);
+  doc.set("threaded_shapes_reaching_2x", threaded_fast_shapes);
+  doc.set("threaded_gate_applicable", threaded_gate_applicable);
+  doc.set("threaded_gate_passed", threaded_gate);
   std::ofstream("BENCH_sim_kernel.json") << doc.dump() << "\n";
   std::printf("\nwrote BENCH_sim_kernel.json\n");
-  if (!all_exact) std::printf("FAIL: engines disagree\n");
-  if (!flagships_fast) std::printf("FAIL: flagship speedup below 3x\n");
-  return (all_exact && flagships_fast) ? 0 : 1;
+  if (!all_exact) std::printf("FAIL: engine rows disagree\n");
+  if (!mp_gate) {
+    std::printf("FAIL: multi-pattern kernel below 8x on %zu shape(s)\n",
+                mp_fast_shapes);
+  }
+  if (!threaded_gate) {
+    std::printf("FAIL: threaded kernel below 2x on every shape\n");
+  }
+  return (all_exact && mp_gate && threaded_gate) ? 0 : 1;
 }

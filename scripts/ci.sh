@@ -4,7 +4,11 @@
 # gates off), then ASan and TSan builds running the protocol-robustness
 # battery (everything labelled `net-fault`: net_test, server_test,
 # fuzz_test, fault_test), the compiled-kernel battery (`sim-kernel`:
-# unit tests + differential random-circuit parity), the observability
+# unit tests + differential random-circuit parity), the parallel-kernel
+# battery (`sim-parallel`: island-threaded + 64-lane multi-pattern
+# kernels, thread-count determinism and the PatternBatch protocol path -
+# the TSan run is what proves the island cut is race-free), the
+# observability
 # battery (`obs`: lock-free metrics/trace-ring hammers + trace
 # propagation end-to-end), the artifact-pipeline battery
 # (`artifact`: single-flight store races + cross-consumer determinism),
@@ -51,11 +55,11 @@ if [[ "${1:-}" == "--fast" ]]; then
 fi
 
 for SAN in address thread; do
-  echo "== ${SAN} sanitizer: net-fault + sim-kernel + obs + artifact + attack + corpus batteries =="
+  echo "== ${SAN} sanitizer: net-fault + sim-kernel + sim-parallel + obs + artifact + attack + corpus batteries =="
   cmake -B "build-${SAN}" -S . -DJHDL_SANITIZE="${SAN}" >/dev/null
   cmake --build "build-${SAN}" -j "${JOBS}"
   ctest --test-dir "build-${SAN}" \
-    -L 'net-fault|sim-kernel|obs|artifact|attack|corpus' \
+    -L 'net-fault|sim-kernel|sim-parallel|obs|artifact|attack|corpus' \
     --output-on-failure
 done
 

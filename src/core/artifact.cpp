@@ -35,6 +35,13 @@ std::shared_ptr<const CompiledProgram> IpArtifact::program() const {
   return program_;
 }
 
+std::shared_ptr<const IslandPlan> IpArtifact::islands() const {
+  std::shared_ptr<const CompiledProgram> prog = program();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (islands_ == nullptr) islands_ = partition_islands(*prog);
+  return islands_;
+}
+
 const netlist::Design& IpArtifact::design() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (design_ == nullptr) {
@@ -125,13 +132,23 @@ const std::string& IpArtifact::memories_text() const {
                    [this] { return viewer::memory_contents(*build_.top); });
 }
 
-std::unique_ptr<BlackBoxModel> IpArtifact::instantiate() const {
+std::unique_ptr<BlackBoxModel> IpArtifact::instantiate(
+    std::size_t sim_threads) const {
   // Fresh elaboration = private value/sequential state; the shared
   // program carries the levelization and lowering work. Generators are
   // deterministic, so the program binds (and the Simulator falls back to
-  // compiling its own if it ever did not).
+  // compiling its own if it ever did not). The island plan is only
+  // materialized when the threaded settle could actually engage, so
+  // single-threaded fleets never pay for the partition.
+  std::shared_ptr<const CompiledProgram> prog = program();
+  std::shared_ptr<const IslandPlan> plan;
+  if (resolve_sim_threads(sim_threads) > 1 && !prog->has_comb_cycle &&
+      prog->num_acyclic >= kParallelMinOps) {
+    plan = islands();
+  }
   return std::make_unique<BlackBoxModel>(generator_->build(params_), module_,
-                                         program());
+                                         std::move(prog), std::move(plan),
+                                         sim_threads);
 }
 
 std::size_t IpArtifact::resident_bytes() const {

@@ -47,6 +47,7 @@
 #include "estimate/timing.h"
 #include "netlist/design.h"
 #include "sim/compiled_kernel.h"
+#include "sim/island_partition.h"
 
 namespace jhdl::core {
 
@@ -89,6 +90,11 @@ class IpArtifact {
   /// ignores it.
   std::shared_ptr<const CompiledProgram> program() const;
 
+  /// The island partition of program() for the threaded settle (lazy,
+  /// memoized like every other stage). Computed on the shared program, so
+  /// every session of this configuration reuses one plan.
+  std::shared_ptr<const IslandPlan> islands() const;
+
   // --- stage 3: format-neutral netlist + renderings (lazy) ---
   /// The scoped Design every netlist writer renders from. Built once;
   /// EDIF/VHDL/Verilog/JSON texts all come from this same snapshot.
@@ -111,8 +117,10 @@ class IpArtifact {
 
   /// A private simulation instance of this configuration: fresh
   /// elaboration (its own value state) bound to the shared compiled
-  /// program. What sessions and black-box deliveries use.
-  std::unique_ptr<BlackBoxModel> instantiate() const;
+  /// program (and, when the threaded kernel could engage, the shared
+  /// island plan). `sim_threads` is the kernel thread count for batched
+  /// entry points (0 = auto). What sessions and black-box deliveries use.
+  std::unique_ptr<BlackBoxModel> instantiate(std::size_t sim_threads = 0) const;
 
   /// Approximate resident footprint for the store's byte budget: the
   /// elaborated graph plus whatever stages have been memoized so far.
@@ -134,6 +142,7 @@ class IpArtifact {
   /// is never mutated again, so returned references outlive the lock.
   mutable std::mutex mu_;
   mutable std::shared_ptr<const CompiledProgram> program_;
+  mutable std::shared_ptr<const IslandPlan> islands_;
   mutable std::unique_ptr<netlist::Design> design_;
   mutable std::map<int, std::string> netlists_;  ///< by NetlistFormat
   mutable std::optional<estimate::AreaEstimate> area_;

@@ -2,13 +2,19 @@
 
 #include <stdexcept>
 
+#include "hdl/error.h"
+
 namespace jhdl::core {
 
 BlackBoxModel::BlackBoxModel(BuildResult build, std::string ip_name,
-                             std::shared_ptr<const CompiledProgram> program)
+                             std::shared_ptr<const CompiledProgram> program,
+                             std::shared_ptr<const IslandPlan> islands,
+                             std::size_t sim_threads)
     : build_(std::move(build)), ip_name_(std::move(ip_name)) {
   SimOptions options;
   options.program = std::move(program);
+  options.islands = std::move(islands);
+  options.threads = sim_threads;
   sim_ = std::make_unique<Simulator>(*build_.system, options);
 }
 
@@ -77,6 +83,44 @@ std::map<std::string, std::vector<BitVector>> BlackBoxModel::cycle_batch(
   }
   std::vector<std::vector<BitVector>> columns =
       sim_->cycle_batch(n, streams, probe_wires);
+  std::map<std::string, std::vector<BitVector>> out;
+  for (std::size_t i = 0; i < probe_names.size(); ++i) {
+    out[probe_names[i]] = std::move(columns[i]);
+  }
+  return out;
+}
+
+std::map<std::string, std::vector<BitVector>> BlackBoxModel::pattern_batch(
+    const std::map<std::string, std::vector<BitVector>>& patterns,
+    std::size_t cycles, const std::vector<std::string>& probes) {
+  if (patterns.empty()) {
+    throw HdlError("pattern_batch needs at least one stimulus stream");
+  }
+  const std::size_t n_patterns = patterns.begin()->second.size();
+  std::vector<PatternStimulus> streams;
+  streams.reserve(patterns.size());
+  for (const auto& [name, values] : patterns) {
+    if (values.size() != n_patterns) {
+      throw HdlError("pattern_batch stream '" + name + "' has " +
+                     std::to_string(values.size()) + " values, expected " +
+                     std::to_string(n_patterns));
+    }
+    streams.push_back(PatternStimulus{input_wire(name), values});
+  }
+  std::vector<std::string> probe_names = probes;
+  if (probe_names.empty()) {
+    for (const auto& [name, wire] : build_.outputs) {
+      (void)wire;
+      probe_names.push_back(name);
+    }
+  }
+  std::vector<Wire*> probe_wires;
+  probe_wires.reserve(probe_names.size());
+  for (const std::string& name : probe_names) {
+    probe_wires.push_back(output_wire(name));
+  }
+  std::vector<std::vector<BitVector>> columns =
+      sim_->pattern_sweep(n_patterns, streams, cycles, probe_wires);
   std::map<std::string, std::vector<BitVector>> out;
   for (std::size_t i = 0; i < probe_names.size(); ++i) {
     out[probe_names[i]] = std::move(columns[i]);

@@ -35,9 +35,14 @@ class BlackBoxModel {
   /// protocol handshakes. `program` optionally injects a pre-compiled
   /// simulation program from an identical earlier build (the delivery
   /// service's elaboration cache); when null or non-binding, the
-  /// simulator compiles its own.
+  /// simulator compiles its own. `islands` optionally injects the
+  /// matching memoized island plan and `sim_threads` sets the kernel
+  /// thread count for batched entry points (0 = auto; see
+  /// resolve_sim_threads()).
   BlackBoxModel(BuildResult build, std::string ip_name,
-                std::shared_ptr<const CompiledProgram> program = nullptr);
+                std::shared_ptr<const CompiledProgram> program = nullptr,
+                std::shared_ptr<const IslandPlan> islands = nullptr,
+                std::size_t sim_threads = 0);
 
   const std::string& ip_name() const { return ip_name_; }
   std::vector<BlackBoxPort> ports() const;
@@ -65,6 +70,18 @@ class BlackBoxModel {
       std::size_t n,
       const std::map<std::string, std::vector<BitVector>>& stimulus,
       const std::vector<std::string>& probes);
+
+  /// Multi-pattern sweep (protocol v6 PatternBatch): each pattern starts
+  /// from power-on reset, applies its stimulus values (one per input
+  /// stream; unlisted inputs keep their current value), runs `cycles`
+  /// clock cycles (0 = settle only) and samples every probe. An empty
+  /// probe list samples all outputs. Runs 64 patterns per machine word
+  /// when the compiled program supports it. Leaves the model in power-on
+  /// reset state. Throws HdlError when `patterns` is empty or the streams
+  /// disagree on the pattern count; std::out_of_range on unknown ports.
+  std::map<std::string, std::vector<BitVector>> pattern_batch(
+      const std::map<std::string, std::vector<BitVector>>& patterns,
+      std::size_t cycles, const std::vector<std::string>& probes);
 
   /// The compiled simulation program backing this model (null when the
   /// simulator runs interpreted). Shareable across models built from

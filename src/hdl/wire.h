@@ -49,6 +49,17 @@ class Wire {
   Net* net(std::size_t bit) const;
   const std::vector<Net*>& nets() const { return nets_; }
 
+  /// Dense net-id view (bit i -> net id): the index vector batch loops
+  /// hoist once and then use to read/write HWSystem::net_values() (or a
+  /// multi-pattern kernel's lane planes) directly, with no per-sample Net
+  /// pointer chasing.
+  std::vector<std::uint32_t> ids() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(nets_.size());
+    for (const Net* n : nets_) out.push_back(n->id());
+    return out;
+  }
+
   /// Single-bit view of bit `i` ("get wire", JHDL's gw()).
   Wire* gw(std::size_t i);
 

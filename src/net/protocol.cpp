@@ -103,6 +103,7 @@ std::vector<std::uint8_t> encode(const Message& msg) {
       w.varint(msg.count);  // last-acked cycle count
       break;
     case MsgType::CycleBatch:
+    case MsgType::PatternBatch:  // same layout; count = per-pattern cycles
       w.varint(msg.count);  // cycles
       w.varint(msg.series.size());
       for (const auto& [name, stream] : msg.series) {
@@ -218,7 +219,8 @@ Message decode(const std::vector<std::uint8_t>& payload) {
       msg.count = r.varint();
       get_tail(r, msg);
       break;
-    case MsgType::CycleBatch: {
+    case MsgType::CycleBatch:
+    case MsgType::PatternBatch: {
       msg.count = r.varint();
       const std::size_t streams = get_count(r);
       for (std::size_t i = 0; i < streams; ++i) {

@@ -45,6 +45,18 @@
 //                                   value, clock, sample every probe
 //                                   (empty probe list = all outputs).
 //                                   Amortizes framing over n cycles.
+//   PatternBatch cycles,           expects BatchValues (v6). One round
+//              {name,stream}*,       trip for N INDEPENDENT stimulus
+//              probe names           patterns: each pattern starts from
+//                                    power-on reset, applies its value
+//                                    from every stream, runs `cycles`
+//                                    clocks (0 = settle only), samples
+//                                    every probe. Served from the bit-
+//                                    parallel kernel (64 patterns per
+//                                    machine word) when the model
+//                                    supports it. Reuses the CycleBatch
+//                                    wire layout with per-pattern (not
+//                                    per-cycle) stream values.
 //   Bye                            closes the session
 //
 // Replies (server -> client):
@@ -100,6 +112,7 @@ enum class MsgType : std::uint8_t {
   CycleBatch = 10,
   MetricsDump = 11,
   TraceDump = 12,
+  PatternBatch = 13,
   Iface = 64,
   Ok = 65,
   Value = 66,
@@ -120,8 +133,9 @@ enum class MsgType : std::uint8_t {
 /// the Iface JSON ("protocol" = min(server, client Hello) - a client that
 /// reads 3 or finds the field absent must not send CycleBatch); version 5
 /// adds the optional trailing trace id, the MetricsDump/TraceDump admin
-/// queries, and their MetricsReply/TraceReply replies.
-inline constexpr std::uint16_t kProtocolVersion = 5;
+/// queries, and their MetricsReply/TraceReply replies; version 6 adds
+/// PatternBatch (multi-pattern sweeps served by the bit-parallel kernel).
+inline constexpr std::uint16_t kProtocolVersion = 6;
 
 /// Oldest client Hello this build still serves (v2: same Hello layout,
 /// no seq/Resume — see the back-compat table in DESIGN.md §8).
@@ -134,6 +148,10 @@ inline constexpr std::uint32_t kHelloMagic = 0x4C44484Au;
 /// at dispatch (the decoder already bounds per-stream value counts against
 /// the payload size), so a hostile n cannot pin a worker.
 inline constexpr std::uint64_t kMaxCycleBatch = 65536;
+
+/// Upper bound on PatternBatch pattern counts (and its per-pattern cycle
+/// count reuses kMaxCycleBatch). Enforced at dispatch like kMaxCycleBatch.
+inline constexpr std::uint64_t kMaxPatternBatch = 4096;
 
 /// Version negotiated by this implementation (accessor form for callers
 /// that want a function rather than the constant).
@@ -180,11 +198,13 @@ struct Message {
   /// with the client's (0 = untraced). Encoded as a second trailing
   /// varint after seq; pre-v5 peers ignore it.
   std::uint64_t trace = 0;
-  // --- v4 ---
+  // --- v4/v6 ---
   /// CycleBatch stimulus streams / BatchValues probe columns: one value
-  /// per batched cycle, in cycle order.
+  /// per batched cycle, in cycle order. PatternBatch (v6) reuses the
+  /// field with one value per PATTERN (count carries the per-pattern
+  /// cycle count instead).
   std::map<std::string, std::vector<BitVector>> series;
-  std::vector<std::string> probes;  // CycleBatch probe names ([] = all)
+  std::vector<std::string> probes;  // batch probe names ([] = all)
 };
 
 /// Encode a message payload (without the length frame).

@@ -276,6 +276,60 @@ std::map<std::string, std::vector<BitVector>> SimClient::cycle_batch(
   return out;
 }
 
+std::map<std::string, std::vector<BitVector>> SimClient::pattern_batch(
+    const std::map<std::string, std::vector<BitVector>>& patterns,
+    std::size_t cycles, const std::vector<std::string>& probes) {
+  if (patterns.empty()) {
+    throw NetError("pattern_batch needs at least one stimulus stream",
+                   NetError::Kind::Fatal);
+  }
+  const std::size_t n_patterns = patterns.begin()->second.size();
+  for (const auto& [name, values] : patterns) {
+    if (values.size() != n_patterns) {
+      throw NetError("pattern_batch stream '" + name + "' has " +
+                         std::to_string(values.size()) + " values, expected " +
+                         std::to_string(n_patterns),
+                     NetError::Kind::Fatal);
+    }
+  }
+  if (negotiated_protocol() >= 6) {
+    Message msg;
+    msg.type = MsgType::PatternBatch;
+    msg.count = cycles;
+    msg.series = patterns;
+    msg.probes = probes;
+    return request(msg).series;
+  }
+  // Pre-v6 server: emulate the sweep with Reset + Eval per pattern.
+  // Identical results (every pattern starts from power-on reset and the
+  // model is left reset), per-pattern round trips.
+  std::map<std::string, std::vector<BitVector>> out;
+  for (std::size_t p = 0; p < n_patterns; ++p) {
+    reset();
+    std::map<std::string, BitVector> inputs;
+    for (const auto& [name, values] : patterns) {
+      inputs.emplace(name, values[p]);
+    }
+    std::map<std::string, BitVector> sampled = eval(inputs, cycles);
+    if (probes.empty()) {
+      for (auto& [name, value] : sampled) {
+        out[name].push_back(std::move(value));
+      }
+    } else {
+      for (const std::string& name : probes) {
+        auto it = sampled.find(name);
+        if (it == sampled.end()) {
+          throw NetError("server reported no output named '" + name + "'",
+                         NetError::Kind::Fatal);
+        }
+        out[name].push_back(std::move(it->second));
+      }
+    }
+  }
+  reset();
+  return out;
+}
+
 void SimClient::bye() {
   if (stream_ == nullptr || !stream_->valid()) return;
   Message msg;

@@ -126,6 +126,17 @@ class SimClient {
       const std::map<std::string, std::vector<BitVector>>& stimulus,
       const std::vector<std::string>& probes = {});
 
+  /// Multi-pattern sweep: each pattern starts from power-on reset,
+  /// applies its value from every stream, runs `cycles` clocks and
+  /// samples every probe (empty = all outputs). One PatternBatch round
+  /// trip against a v6 server (served by the bit-parallel kernel when the
+  /// model supports it); against an older server the client transparently
+  /// emulates with Reset + Eval per pattern. Either way the remote model
+  /// is left in power-on reset state.
+  std::map<std::string, std::vector<BitVector>> pattern_batch(
+      const std::map<std::string, std::vector<BitVector>>& patterns,
+      std::size_t cycles, const std::vector<std::string>& probes = {});
+
   /// Protocol version negotiated with the server: the Iface "protocol"
   /// field, or 3 when the server predates it.
   std::uint16_t negotiated_protocol() const;

@@ -75,6 +75,35 @@ Message dispatch_request(core::BlackBoxModel& model, const Message& request) {
       reply.count = model.cycle_count();
       break;
     }
+    case MsgType::PatternBatch: {
+      // v6 multi-pattern sweep: series carries one value per PATTERN,
+      // count the per-pattern cycle depth. Caps bound both dimensions so
+      // a hostile request cannot pin the worker.
+      const std::size_t n_patterns =
+          request.series.empty() ? 0 : request.series.begin()->second.size();
+      if (n_patterns > kMaxPatternBatch) {
+        reply.type = MsgType::Error;
+        reply.text = "pattern batch of " + std::to_string(n_patterns) +
+                     " exceeds the per-request limit of " +
+                     std::to_string(kMaxPatternBatch);
+        reply.code = ErrorCode::BadRequest;
+        break;
+      }
+      if (request.count > kMaxCycleBatch) {
+        reply.type = MsgType::Error;
+        reply.text = "pattern batch depth of " + std::to_string(request.count) +
+                     " cycles exceeds the per-request limit of " +
+                     std::to_string(kMaxCycleBatch);
+        reply.code = ErrorCode::BadRequest;
+        break;
+      }
+      reply.type = MsgType::BatchValues;
+      reply.series = model.pattern_batch(
+          request.series, static_cast<std::size_t>(request.count),
+          request.probes);
+      reply.count = model.cycle_count();
+      break;
+    }
     default:
       reply.type = MsgType::Error;
       reply.text = "unexpected message type";

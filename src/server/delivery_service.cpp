@@ -5,6 +5,7 @@
 #include "core/feature.h"
 #include "core/params.h"
 #include "net/sim_server.h"
+#include "sim/thread_pool.h"
 
 namespace jhdl::server {
 
@@ -32,6 +33,8 @@ const char* request_span_name(MsgType type) {
       return "req.eval";
     case MsgType::CycleBatch:
       return "req.cycle_batch";
+    case MsgType::PatternBatch:
+      return "req.pattern_batch";
     case MsgType::Stats:
       return "req.stats";
     case MsgType::MetricsDump:
@@ -53,6 +56,10 @@ DeliveryService::DeliveryService(core::IpCatalog catalog,
                  &metrics_) {
   if (config_.workers == 0) config_.workers = 1;
   tracer_.set_enabled(config_.tracing);
+  // Publish the resolved kernel thread count every session will run with.
+  metrics_.gauge("sim.threads")
+      .set(static_cast<std::int64_t>(
+          resolve_sim_threads(config_.sim_threads)));
 }
 
 DeliveryService::~DeliveryService() { stop(); }
@@ -373,8 +380,9 @@ Message DeliveryService::open_session(const Message& hello,
     } else {
       stats_.record_program_compile();
     }
-    // Private value state bound to the artifact's shared program.
-    model = artifact->instantiate();
+    // Private value state bound to the artifact's shared program (and
+    // island plan, when the threaded kernel could engage).
+    model = artifact->instantiate(config_.sim_threads);
   } catch (const std::exception& e) {
     error.text = std::string("build failed: ") + e.what();
     stats_.record_denial();
@@ -546,6 +554,22 @@ DeliveryService::EndReason DeliveryService::serve_session(
               session->input_image[name] = value;
             }
             verdict = session->auditor->observe(session->input_image);
+          } else if (request.type == MsgType::PatternBatch) {
+            // A pattern batch is N independent evaluations: show each
+            // pattern's input image to the auditor so batching cannot
+            // smuggle an extraction sweep past the detector. The first
+            // non-Allow verdict rejects the whole batch.
+            const std::size_t n_patterns =
+                request.series.empty()
+                    ? 0
+                    : request.series.begin()->second.size();
+            for (std::size_t p = 0;
+                 p < n_patterns && verdict == attack::Verdict::Allow; ++p) {
+              for (const auto& [name, stream] : request.series) {
+                if (p < stream.size()) session->input_image[name] = stream[p];
+              }
+              verdict = session->auditor->observe(session->input_image);
+            }
           }
         }
         if (verdict != attack::Verdict::Allow) {

@@ -101,6 +101,11 @@ struct DeliveryConfig {
   bool audit = false;
   /// Detector thresholds used when `audit` is set.
   attack::AuditorConfig auditor;
+  /// Kernel threads for each session's simulator (batched entry points
+  /// only; 0 = auto via JHDL_SIM_THREADS / hardware_concurrency - see
+  /// sim::resolve_sim_threads). The resolved value is published as the
+  /// `sim.threads` gauge.
+  std::size_t sim_threads = 0;
 };
 
 /// Serves many concurrent black-box sessions from one catalog.

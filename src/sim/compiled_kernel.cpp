@@ -6,6 +6,9 @@
 #include <unordered_map>
 
 #include "hdl/error.h"
+#include "sim/island_partition.h"
+#include "sim/logic_tables.h"
+#include "sim/thread_pool.h"
 #include "tech/carry.h"
 #include "tech/constants.h"
 #include "tech/ff.h"
@@ -17,83 +20,16 @@
 namespace jhdl {
 namespace {
 
-// Four-state truth tables indexed by (a << 2) | b, matching util/logic.cpp
-// exactly (Z behaves as X inside operators). Table lookups replace the
-// out-of-line logic_* calls on the hot path.
-constexpr Logic4 k0 = Logic4::Zero;
-constexpr Logic4 k1 = Logic4::One;
-constexpr Logic4 kX = Logic4::X;
-
-constexpr Logic4 kAndTable[16] = {
-    k0, k0, k0, k0,   // a = 0
-    k0, k1, kX, kX,   // a = 1
-    k0, kX, kX, kX,   // a = X
-    k0, kX, kX, kX};  // a = Z
-constexpr Logic4 kOrTable[16] = {
-    k0, k1, kX, kX,   // a = 0
-    k1, k1, k1, k1,   // a = 1
-    kX, k1, kX, kX,   // a = X
-    kX, k1, kX, kX};  // a = Z
-constexpr Logic4 kXorTable[16] = {
-    k0, k1, kX, kX,   // a = 0
-    k1, k0, kX, kX,   // a = 1
-    kX, kX, kX, kX,   // a = X
-    kX, kX, kX, kX};  // a = Z
-constexpr Logic4 kNotTable[4] = {k1, k0, kX, kX};
-
-inline Logic4 table2(const Logic4* table, Logic4 a, Logic4 b) {
-  return table[(static_cast<std::size_t>(a) << 2) |
-               static_cast<std::size_t>(b)];
-}
-
-/// o = s ? b : a with the Mux2/MuxCY/MuxF5 X rule: an undefined select
-/// yields the data value only when both data inputs agree and are binary.
-/// Precomputed over (s, a, b) because the select branch is a coin flip
-/// under real data - one table load replaces two unpredictable branches.
-constexpr std::array<Logic4, 64> make_mux_table() {
-  std::array<Logic4, 64> t{};
-  for (std::size_t s = 0; s < 4; ++s) {
-    for (std::size_t a = 0; a < 4; ++a) {
-      for (std::size_t b = 0; b < 4; ++b) {
-        const Logic4 la = static_cast<Logic4>(a);
-        const Logic4 lb = static_cast<Logic4>(b);
-        Logic4 out;
-        if (is_binary(static_cast<Logic4>(s))) {
-          out = s == 1 ? lb : la;
-        } else {
-          out = (la == lb && is_binary(la)) ? la : Logic4::X;
-        }
-        t[(s << 4) | (a << 2) | b] = out;
-      }
-    }
-  }
-  return t;
-}
-constexpr std::array<Logic4, 64> kMuxTable = make_mux_table();
-
-inline Logic4 mux3(Logic4 a, Logic4 b, Logic4 s) {
-  return kMuxTable[(static_cast<std::size_t>(s) << 4) |
-                   (static_cast<std::size_t>(a) << 2) |
-                   static_cast<std::size_t>(b)];
-}
-
-/// Truth-table evaluation with the Lut X-agreement semantics: an undefined
-/// select bit keeps the output defined only when both candidate halves of
-/// the table agree.
-Logic4 lut_eval(std::uint32_t init, const Logic4* in, std::uint8_t k,
-                std::uint8_t bit, std::uint32_t addr) {
-  if (bit == k) {
-    return to_logic(((init >> addr) & 1u) != 0);
-  }
-  const Logic4 v = in[bit];
-  if (is_binary(v)) {
-    return lut_eval(init, in, k, bit + 1,
-                    addr | (to_bool(v) ? (1u << bit) : 0u));
-  }
-  const Logic4 lo = lut_eval(init, in, k, bit + 1, addr);
-  const Logic4 hi = lut_eval(init, in, k, bit + 1, addr | (1u << bit));
-  return lo == hi ? lo : Logic4::X;
-}
+// The four-state truth tables live in sim/logic_tables.h, shared with the
+// multi-pattern kernel so both engines apply one definition of each rule.
+using simtab::kAndTable;
+using simtab::kFfSelTable;
+using simtab::kNotTable;
+using simtab::kOrTable;
+using simtab::kXorTable;
+using simtab::lut_eval;
+using simtab::mux3;
+using simtab::table2;
 
 void fnv_mix(std::uint64_t& h, std::uint64_t v) {
   h ^= v;
@@ -104,32 +40,6 @@ inline std::uint64_t profile_now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::steady_clock::now().time_since_epoch().count());
 }
-
-/// Flip-flop sample decision over (clr, ce), branchless: 0 = take D,
-/// 1 = hold state, 2 = clear to Zero, 3 = X. Clear dominates enable and
-/// a non-binary control pin poisons the sample (tech/ff.cpp rules).
-constexpr std::array<std::uint8_t, 16> make_ff_sel_table() {
-  std::array<std::uint8_t, 16> t{};
-  for (std::size_t clr = 0; clr < 4; ++clr) {
-    for (std::size_t ce = 0; ce < 4; ++ce) {
-      std::uint8_t sel = 0;
-      if (clr == 1) {
-        sel = 2;
-      } else if (clr >= 2) {
-        sel = 3;
-      } else if (ce == 0) {
-        sel = 1;
-      } else if (ce == 1) {
-        sel = 0;
-      } else {
-        sel = 3;
-      }
-      t[(clr << 2) | ce] = sel;
-    }
-  }
-  return t;
-}
-constexpr std::array<std::uint8_t, 16> kFfSelTable = make_ff_sel_table();
 
 // Pure compute kernels shared by the per-op switch and the specialized
 // run loops. All read the dense value array through local pointers.
@@ -399,13 +309,6 @@ CompiledKernel::CompiledKernel(HWSystem& system,
     ff_state_.push_back((*values_)[ff.q]);
   }
   ff_next_.assign(program_->ffs.size(), Logic4::X);
-  std::size_t max_fb_out = 0;
-  for (const CompiledOp& op : program_->ops) {
-    if (op.op == SimOp::Fallback) {
-      max_fb_out = std::max<std::size_t>(max_fb_out, op.n_out);
-    }
-  }
-  fb_old_.assign(max_fb_out, Logic4::X);
   op_dirty_.assign(program_->ops.size(), 0);
   // Below this many dirty ops the event-driven scan wins; above it the
   // flat sweep does. The specialized run loops evaluate an op several
@@ -586,8 +489,12 @@ bool CompiledKernel::eval_one(const EvalCtx& c, std::uint32_t i) {
     case SimOp::Fallback: {
       // The primitive reads and writes the shared dense array through its
       // Net pins; snapshot the outputs first so a change still wakes the
-      // fanout (and still counts for fixpoint convergence).
-      Logic4* old = fb_old_.data();
+      // fanout (and still counts for fixpoint convergence). The scratch is
+      // thread-local because settle_parallel sweeps islands concurrently
+      // and a Fallback op may land on any worker.
+      thread_local std::vector<Logic4> fb_scratch;
+      if (fb_scratch.size() < op.n_out) fb_scratch.resize(op.n_out);
+      Logic4* old = fb_scratch.data();
       for (std::uint16_t b = 0; b < op.n_out; ++b) old[b] = values[out[b]];
       c.live[op.aux]->propagate();
       bool changed = false;
@@ -665,6 +572,41 @@ void CompiledKernel::settle_sweep() {
   if (profile_ != nullptr) ++profile_->settles_sweep;
   sweep_range(c, 0, n);
   eval_count_ += n;
+  if (marked_count_ != 0) {
+    std::fill(op_dirty_.begin(), op_dirty_.end(), 0);
+    marked_count_ = 0;
+  }
+  dirty_ = false;
+}
+
+void CompiledKernel::settle_parallel(
+    const IslandPlan& plan,
+    const std::vector<std::vector<std::uint32_t>>& shards,
+    SimThreadPool& pool) {
+  if (!dirty_) return;
+  // A parallel settle is a full sweep: every acyclic op is evaluated once
+  // in topological order inside its island, so the result matches
+  // settle_sweep() exactly and no event bookkeeping is needed. Workers
+  // never share a combinational net (the island cut), so plain Logic4
+  // stores race with nothing.
+  const EvalCtx c = make_ctx();
+  if (profile_ != nullptr && profile_->islands.size() < plan.num_islands()) {
+    profile_->islands.resize(plan.num_islands());
+  }
+  pool.run(shards.size(), [&](std::size_t s) {
+    for (std::uint32_t island : shards[s]) {
+      const std::uint32_t b = plan.island_begin[island];
+      const std::uint32_t e = plan.island_begin[island + 1];
+      for (std::uint32_t k = b; k < e; ++k) {
+        eval_one<false>(c, plan.op_order[k]);
+      }
+      if (profile_ != nullptr) {
+        profile_->islands[island].evals += e - b;
+      }
+    }
+  });
+  eval_count_ += program_->num_acyclic;
+  if (profile_ != nullptr) ++profile_->settles_parallel;
   if (marked_count_ != 0) {
     std::fill(op_dirty_.begin(), op_dirty_.end(), 0);
     marked_count_ = 0;

@@ -65,6 +65,9 @@
 
 namespace jhdl {
 
+struct IslandPlan;
+class SimThreadPool;
+
 /// Opcode of one lowered combinational primitive.
 enum class SimOp : std::uint8_t {
   And,       ///< n-ary AND, 0 dominates
@@ -193,6 +196,23 @@ struct KernelProfile {
   /// Ops evaluated one-by-one by the dirty scan (the escalated remainder
   /// is attributed to `runs` instead).
   std::uint64_t scan_evals = 0;
+
+  /// Per-island attribution of the parallel and multi-pattern sweeps
+  /// (indexed by IslandPlan island id), so profiling stays truthful when
+  /// the work no longer flows through one sweep stream.
+  struct IslandStat {
+    std::uint64_t evals = 0;  ///< op evaluations swept inside this island
+  };
+  std::vector<IslandStat> islands;
+  std::uint64_t settles_parallel = 0;  ///< island-threaded full sweeps
+
+  /// Multi-pattern (64-lane) kernel counters.
+  std::uint64_t mp_settles = 0;      ///< 64-wide full sweeps
+  std::uint64_t mp_words = 0;        ///< op-words evaluated (64 lanes each)
+  /// LUT words whose input X/Z occupancy union was non-zero and fell back
+  /// to the scalar four-state tables for the flagged lanes only.
+  std::uint64_t mp_escalations = 0;
+  std::uint64_t mp_lane_evals = 0;   ///< scalar lane evals those words cost
 };
 
 /// Lower-case mnemonic for `op` ("and", "mux", "fallback", ...): the
@@ -234,6 +254,15 @@ class CompiledKernel {
   /// Event-driven settling (bounded fixpoint when the graph has a
   /// combinational cycle). Throws SimError on oscillation.
   void settle();
+
+  /// Full-sweep settling with the islands of `plan` distributed over
+  /// `pool` per `shards` (see island_partition.h for why this is race-free
+  /// and bit-exact for any thread count). Caller contract: the program has
+  /// no combinational cycle and `plan`/`shards` were built from this
+  /// kernel's program. No-op when nothing is dirty, like settle().
+  void settle_parallel(const IslandPlan& plan,
+                       const std::vector<std::vector<std::uint32_t>>& shards,
+                       SimThreadPool& pool);
 
   /// Two-phase clock edge over the sequential primitives, then marks the
   /// cones of every sequential output that changed.
@@ -294,7 +323,6 @@ class CompiledKernel {
   std::vector<Primitive*> ff_prims_;     // per program_->ff_prims (reset)
   std::vector<Logic4> ff_state_;         // committed flip-flop state
   std::vector<Logic4> ff_next_;          // sampled next state
-  std::vector<Logic4> fb_old_;           // Fallback output snapshot scratch
   std::vector<std::uint8_t> op_dirty_;
   std::size_t eval_count_ = 0;
   std::size_t marked_count_ = 0;   // ops currently marked dirty

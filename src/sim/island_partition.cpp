@@ -1,0 +1,120 @@
+#include "sim/island_partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/compiled_kernel.h"
+
+namespace jhdl {
+namespace {
+
+// Path-halving union-find over acyclic op indices.
+struct UnionFind {
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Deterministic: smaller root wins, so island numbering is stable.
+    if (a < b) {
+      parent[b] = a;
+    } else {
+      parent[a] = b;
+    }
+  }
+  std::vector<std::uint32_t> parent;
+};
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> IslandPlan::shards(
+    std::size_t k) const {
+  if (k == 0) k = 1;
+  std::vector<std::vector<std::uint32_t>> out(k);
+  const std::size_t n = num_islands();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const std::size_t sa = island_size(a);
+              const std::size_t sb = island_size(b);
+              if (sa != sb) return sa > sb;
+              return a < b;
+            });
+  std::vector<std::size_t> load(k, 0);
+  for (std::uint32_t island : order) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < k; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    out[best].push_back(island);
+    load[best] += island_size(island);
+  }
+  return out;
+}
+
+std::shared_ptr<const IslandPlan> partition_islands(
+    const CompiledProgram& program) {
+  auto plan = std::make_shared<IslandPlan>();
+  const auto n = static_cast<std::uint32_t>(program.num_acyclic);
+  if (n == 0) {
+    plan->island_begin.push_back(0);
+    return plan;
+  }
+
+  // comb_writer[net] = acyclic op producing that net, or ~0 for cut nets
+  // (FF q, external input, constant pseudo-slot, sequential output).
+  constexpr std::uint32_t kNone = ~0u;
+  std::vector<std::uint32_t> comb_writer(program.num_nets, kNone);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const CompiledOp& op = program.ops[i];
+    for (std::uint32_t k = 0; k < op.n_out; ++k) {
+      comb_writer[program.outputs[op.out_begin + k]] = i;
+    }
+  }
+
+  UnionFind uf(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const CompiledOp& op = program.ops[i];
+    for (std::uint32_t k = 0; k < op.n_in; ++k) {
+      const std::uint32_t w = comb_writer[program.inputs[op.in_begin + k]];
+      if (w != kNone) uf.unite(i, w);
+    }
+  }
+
+  // Number islands by smallest member op index, then bucket ops (already
+  // ascending within each island because i runs ascending).
+  std::vector<std::uint32_t> island_of(n);
+  std::vector<std::uint32_t> root_island(n, kNone);
+  std::uint32_t num_islands = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t r = uf.find(i);
+    if (root_island[r] == kNone) root_island[r] = num_islands++;
+    island_of[i] = root_island[r];
+  }
+
+  std::vector<std::uint32_t> counts(num_islands, 0);
+  for (std::uint32_t i = 0; i < n; ++i) ++counts[island_of[i]];
+  plan->island_begin.resize(num_islands + 1, 0);
+  for (std::uint32_t c = 0; c < num_islands; ++c) {
+    plan->island_begin[c + 1] = plan->island_begin[c] + counts[c];
+  }
+  plan->op_order.resize(n);
+  std::vector<std::uint32_t> cursor(plan->island_begin.begin(),
+                                    plan->island_begin.end() - 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    plan->op_order[cursor[island_of[i]]++] = i;
+  }
+  return plan;
+}
+
+}  // namespace jhdl

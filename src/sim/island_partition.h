@@ -1,0 +1,59 @@
+// Island partition of a compiled program's combinational graph.
+//
+// An island is a connected component of the acyclic combinational ops over
+// the relation "op A produces a net that op B consumes (or vice versa)".
+// Flip-flop and port boundaries fall out of the definition for free: a
+// flip-flop q net and an external (testbench-driven) net have no
+// combinational writer, so they never merge the islands that read them -
+// this is the Icarus vvp `island_tran` cut. Because nets have exactly one
+// driver, two ops in different islands can never read or write the same
+// comb-driven net, and every cut net (FF q, external input, constant
+// pseudo-slot) is written only between sweeps by single-threaded code
+// (clock commit, stimulus put). One parallel sweep per settle - each
+// worker evaluating whole islands in the program's topological op order -
+// is therefore race-free and produces bit-identical results for every
+// thread count and every shard assignment: determinism by construction,
+// not by locking.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace jhdl {
+
+struct CompiledProgram;
+
+/// Partition of a program's acyclic combinational ops into islands.
+/// Immutable and session-shareable (by-index, like the program itself), so
+/// the artifact store can memoize one plan per (module, params).
+struct IslandPlan {
+  /// Acyclic op indices grouped by island. Within an island the indices
+  /// are ascending, so the program's (level, opcode) order restricted to
+  /// the island is still a valid topological order.
+  std::vector<std::uint32_t> op_order;
+  /// CSR over `op_order`: island i owns [island_begin[i], island_begin[i+1]).
+  /// Islands are numbered by their smallest op index (deterministic).
+  std::vector<std::uint32_t> island_begin;
+
+  std::size_t num_islands() const {
+    return island_begin.empty() ? 0 : island_begin.size() - 1;
+  }
+  std::size_t island_size(std::size_t i) const {
+    return island_begin[i + 1] - island_begin[i];
+  }
+
+  /// Deterministic longest-processing-time assignment of islands onto
+  /// `k` shards: islands sorted by (size desc, id asc), each placed on the
+  /// currently lightest shard (ties to the lowest shard index). Returns
+  /// exactly `k` entries (some possibly empty when k > num_islands()).
+  std::vector<std::vector<std::uint32_t>> shards(std::size_t k) const;
+};
+
+/// Partition `program`'s acyclic ops (union-find over comb-driven net
+/// adjacency). Programs with combinational cycles keep their cyclic tail
+/// out of the plan - callers must not use the parallel sweep on them.
+std::shared_ptr<const IslandPlan> partition_islands(
+    const CompiledProgram& program);
+
+}  // namespace jhdl

@@ -1,0 +1,118 @@
+// Branchless four-state truth tables shared by the scalar compiled kernel
+// (compiled_kernel.cpp) and the bit-parallel multi-pattern kernel
+// (multi_pattern_kernel.cpp). The tables match util/logic.cpp exactly
+// (Z behaves as X inside operators); the multi-pattern kernel needs the
+// same scalar semantics for its per-lane escalation path, so there is one
+// definition of each rule.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/logic.h"
+
+namespace jhdl::simtab {
+
+constexpr Logic4 k0 = Logic4::Zero;
+constexpr Logic4 k1 = Logic4::One;
+constexpr Logic4 kX = Logic4::X;
+
+// Four-state truth tables indexed by (a << 2) | b.
+constexpr Logic4 kAndTable[16] = {
+    k0, k0, k0, k0,   // a = 0
+    k0, k1, kX, kX,   // a = 1
+    k0, kX, kX, kX,   // a = X
+    k0, kX, kX, kX};  // a = Z
+constexpr Logic4 kOrTable[16] = {
+    k0, k1, kX, kX,   // a = 0
+    k1, k1, k1, k1,   // a = 1
+    kX, k1, kX, kX,   // a = X
+    kX, k1, kX, kX};  // a = Z
+constexpr Logic4 kXorTable[16] = {
+    k0, k1, kX, kX,   // a = 0
+    k1, k0, kX, kX,   // a = 1
+    kX, kX, kX, kX,   // a = X
+    kX, kX, kX, kX};  // a = Z
+constexpr Logic4 kNotTable[4] = {k1, k0, kX, kX};
+
+inline Logic4 table2(const Logic4* table, Logic4 a, Logic4 b) {
+  return table[(static_cast<std::size_t>(a) << 2) |
+               static_cast<std::size_t>(b)];
+}
+
+/// o = s ? b : a with the Mux2/MuxCY/MuxF5 X rule: an undefined select
+/// yields the data value only when both data inputs agree and are binary.
+/// Precomputed over (s, a, b) because the select branch is a coin flip
+/// under real data - one table load replaces two unpredictable branches.
+constexpr std::array<Logic4, 64> make_mux_table() {
+  std::array<Logic4, 64> t{};
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t a = 0; a < 4; ++a) {
+      for (std::size_t b = 0; b < 4; ++b) {
+        const Logic4 la = static_cast<Logic4>(a);
+        const Logic4 lb = static_cast<Logic4>(b);
+        Logic4 out;
+        if (is_binary(static_cast<Logic4>(s))) {
+          out = s == 1 ? lb : la;
+        } else {
+          out = (la == lb && is_binary(la)) ? la : Logic4::X;
+        }
+        t[(s << 4) | (a << 2) | b] = out;
+      }
+    }
+  }
+  return t;
+}
+constexpr std::array<Logic4, 64> kMuxTable = make_mux_table();
+
+inline Logic4 mux3(Logic4 a, Logic4 b, Logic4 s) {
+  return kMuxTable[(static_cast<std::size_t>(s) << 4) |
+                   (static_cast<std::size_t>(a) << 2) |
+                   static_cast<std::size_t>(b)];
+}
+
+/// Truth-table evaluation with the Lut X-agreement semantics: an undefined
+/// select bit keeps the output defined only when both candidate halves of
+/// the table agree.
+inline Logic4 lut_eval(std::uint32_t init, const Logic4* in, std::uint8_t k,
+                       std::uint8_t bit, std::uint32_t addr) {
+  if (bit == k) {
+    return to_logic(((init >> addr) & 1u) != 0);
+  }
+  const Logic4 v = in[bit];
+  if (is_binary(v)) {
+    return lut_eval(init, in, k, bit + 1,
+                    addr | (to_bool(v) ? (1u << bit) : 0u));
+  }
+  const Logic4 lo = lut_eval(init, in, k, bit + 1, addr);
+  const Logic4 hi = lut_eval(init, in, k, bit + 1, addr | (1u << bit));
+  return lo == hi ? lo : Logic4::X;
+}
+
+/// Flip-flop sample decision over (clr, ce), branchless: 0 = take D,
+/// 1 = hold state, 2 = clear to Zero, 3 = X. Clear dominates enable and
+/// a non-binary control pin poisons the sample (tech/ff.cpp rules).
+constexpr std::array<std::uint8_t, 16> make_ff_sel_table() {
+  std::array<std::uint8_t, 16> t{};
+  for (std::size_t clr = 0; clr < 4; ++clr) {
+    for (std::size_t ce = 0; ce < 4; ++ce) {
+      std::uint8_t sel = 0;
+      if (clr == 1) {
+        sel = 2;
+      } else if (clr >= 2) {
+        sel = 3;
+      } else if (ce == 0) {
+        sel = 1;
+      } else if (ce == 1) {
+        sel = 0;
+      } else {
+        sel = 3;
+      }
+      t[(clr << 2) | ce] = sel;
+    }
+  }
+  return t;
+}
+constexpr std::array<std::uint8_t, 16> kFfSelTable = make_ff_sel_table();
+
+}  // namespace jhdl::simtab

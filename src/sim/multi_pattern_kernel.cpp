@@ -1,0 +1,351 @@
+#include "sim/multi_pattern_kernel.h"
+
+#include <algorithm>
+
+#include "hdl/error.h"
+#include "sim/logic_tables.h"
+#include "tech/memory.h"
+
+namespace jhdl {
+namespace {
+
+// Lane-plane helpers. A lane's Logic4 is (v1_bit << 1) | v0_bit, so
+//   one  = v0 & ~v1   (01)
+//   zero = ~v0 & ~v1  (00)
+//   unknown = v1      (10 = X, 11 = Z)
+// The formulas below are the scalar tables of logic_tables.h lifted to 64
+// lanes; the parity tests check them lane-for-lane against the scalar
+// kernel.
+struct Pl {
+  std::uint64_t v0;
+  std::uint64_t v1;
+};
+
+inline Pl and2(Pl a, Pl b) {
+  const std::uint64_t one = (a.v0 & ~a.v1) & (b.v0 & ~b.v1);
+  const std::uint64_t zero = (~a.v0 & ~a.v1) | (~b.v0 & ~b.v1);
+  return {one, ~(zero | one)};
+}
+
+inline Pl or2(Pl a, Pl b) {
+  const std::uint64_t one = (a.v0 & ~a.v1) | (b.v0 & ~b.v1);
+  const std::uint64_t zero = (~a.v0 & ~a.v1) & (~b.v0 & ~b.v1);
+  return {one, ~(one | zero)};
+}
+
+inline Pl xor2(Pl a, Pl b) {
+  const std::uint64_t unk = a.v1 | b.v1;
+  return {(a.v0 ^ b.v0) & ~unk, unk};
+}
+
+inline Pl not1(Pl a) { return {~a.v0 & ~a.v1, a.v1}; }
+
+/// o = s ? b : a; an unknown select passes the data only when both sides
+/// agree and are binary (the kMuxTable rule).
+inline Pl mux(Pl a, Pl b, Pl s) {
+  const std::uint64_t s_one = s.v0 & ~s.v1;
+  const std::uint64_t s_zero = ~s.v0 & ~s.v1;
+  const std::uint64_t agree = ~a.v1 & ~b.v1 & ~(a.v0 ^ b.v0);
+  return {(s_zero & a.v0) | (s_one & b.v0) | (s.v1 & agree & a.v0),
+          (s_zero & a.v1) | (s_one & b.v1) | (s.v1 & ~agree)};
+}
+
+inline unsigned lowest_lane(std::uint64_t m) {
+  return static_cast<unsigned>(__builtin_ctzll(m));
+}
+
+}  // namespace
+
+bool MultiPatternKernel::supports(const CompiledProgram& program) {
+  if (program.has_comb_cycle) return false;
+  if (!program.seq_prims.empty()) return false;
+  for (const CompiledOp& op : program.ops) {
+    if (op.op == SimOp::Fallback) return false;
+  }
+  return true;
+}
+
+MultiPatternKernel::MultiPatternKernel(
+    std::shared_ptr<const CompiledProgram> program,
+    const std::vector<Primitive*>& all_prims,
+    const std::vector<Logic4>& initial_values)
+    : program_(std::move(program)) {
+  if (program_ == nullptr || !supports(*program_)) {
+    throw SimError("program does not support multi-pattern simulation");
+  }
+  live_prims_.reserve(program_->live_prims.size());
+  for (std::uint32_t ord : program_->live_prims) {
+    live_prims_.push_back(all_prims.at(ord));
+  }
+  const std::size_t slots = program_->num_nets + 2;
+  v0_.assign(slots, 0);
+  v1_.assign(slots, 0);
+  // Broadcast the scalar state across every lane so nets this sweep never
+  // drives (unlisted inputs, stale combinational values) agree with the
+  // scalar fallback path.
+  const std::size_t n = std::min(initial_values.size(), slots);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<std::uint32_t>(initial_values[i]);
+    v0_[i] = (v & 1u) != 0 ? ~0ull : 0ull;
+    v1_[i] = (v & 2u) != 0 ? ~0ull : 0ull;
+  }
+  v0_[program_->num_nets] = 0;  // pseudo Zero slot
+  v1_[program_->num_nets] = 0;
+  v0_[program_->num_nets + 1] = ~0ull;  // pseudo One slot
+  v1_[program_->num_nets + 1] = 0;
+  const std::size_t num_ffs = program_->ffs.size();
+  s0_.resize(num_ffs);
+  s1_.resize(num_ffs);
+  n0_.assign(num_ffs, 0);
+  n1_.assign(num_ffs, 0);
+  for (std::size_t k = 0; k < num_ffs; ++k) {
+    s0_[k] = v0_[program_->ffs[k].q];
+    s1_[k] = v1_[program_->ffs[k].q];
+  }
+}
+
+void MultiPatternKernel::poke_lane(std::uint32_t net_id, std::size_t lane,
+                                   Logic4 v) {
+  const std::uint64_t bit = 1ull << lane;
+  const auto u = static_cast<std::uint32_t>(v);
+  v0_[net_id] = (v0_[net_id] & ~bit) | ((u & 1u) != 0 ? bit : 0);
+  v1_[net_id] = (v1_[net_id] & ~bit) | ((u & 2u) != 0 ? bit : 0);
+}
+
+void MultiPatternKernel::sweep_ops(const std::uint32_t* order,
+                                   std::size_t count,
+                                   std::uint64_t& escalations,
+                                   std::uint64_t& lane_evals) {
+  const CompiledOp* ops = program_->ops.data();
+  const std::uint32_t* ins = program_->inputs.data();
+  const std::uint32_t* outs = program_->outputs.data();
+  const std::uint64_t* cv = program_->const_values.data();
+  std::uint64_t* p0 = v0_.data();
+  std::uint64_t* p1 = v1_.data();
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    const std::uint32_t i = order != nullptr ? order[idx]
+                                             : static_cast<std::uint32_t>(idx);
+    const CompiledOp& op = ops[i];
+    const std::uint32_t* in = ins + op.in_begin;
+    const std::uint32_t* out = outs + op.out_begin;
+    const auto ld = [&](std::uint16_t k) -> Pl {
+      return {p0[in[k]], p1[in[k]]};
+    };
+    switch (op.op) {
+      case SimOp::And:
+      case SimOp::Nand: {
+        Pl acc = ld(0);
+        for (std::uint16_t k = 1; k < op.n_in; ++k) acc = and2(acc, ld(k));
+        if (op.op == SimOp::Nand) acc = not1(acc);
+        p0[out[0]] = acc.v0;
+        p1[out[0]] = acc.v1;
+        break;
+      }
+      case SimOp::Or:
+      case SimOp::Nor: {
+        Pl acc = ld(0);
+        for (std::uint16_t k = 1; k < op.n_in; ++k) acc = or2(acc, ld(k));
+        if (op.op == SimOp::Nor) acc = not1(acc);
+        p0[out[0]] = acc.v0;
+        p1[out[0]] = acc.v1;
+        break;
+      }
+      case SimOp::Xor: {
+        Pl acc = ld(0);
+        for (std::uint16_t k = 1; k < op.n_in; ++k) acc = xor2(acc, ld(k));
+        p0[out[0]] = acc.v0;
+        p1[out[0]] = acc.v1;
+        break;
+      }
+      case SimOp::Not: {
+        const Pl r = not1(ld(0));
+        p0[out[0]] = r.v0;
+        p1[out[0]] = r.v1;
+        break;
+      }
+      case SimOp::Buf:
+        p0[out[0]] = p0[in[0]];
+        p1[out[0]] = p1[in[0]];
+        break;
+      case SimOp::Mux: {
+        const Pl r = mux(ld(0), ld(1), ld(2));
+        p0[out[0]] = r.v0;
+        p1[out[0]] = r.v1;
+        break;
+      }
+      case SimOp::Lut: {
+        // Two-state fast path: fold the 2^k constant table words pairwise
+        // over the input v0 planes, LSB select first. Lanes flagged in the
+        // union occupancy mask get the scalar X-agreement evaluation.
+        std::uint64_t unk = 0;
+        for (std::uint16_t k = 0; k < op.n_in; ++k) unk |= p1[in[k]];
+        std::uint64_t w[16];
+        unsigned entries = 1u << op.n_in;
+        for (unsigned a = 0; a < entries; ++a) {
+          w[a] = ((op.aux >> a) & 1u) != 0 ? ~0ull : 0ull;
+        }
+        for (std::uint16_t j = 0; j < op.n_in; ++j) {
+          const std::uint64_t sel = p0[in[j]];
+          entries >>= 1;
+          for (unsigned a = 0; a < entries; ++a) {
+            w[a] = (w[2 * a] & ~sel) | (w[2 * a + 1] & sel);
+          }
+        }
+        std::uint64_t o0 = w[0] & ~unk;
+        std::uint64_t o1 = 0;
+        if (unk != 0) {
+          ++escalations;
+          Logic4 lane_in[4];
+          for (std::uint64_t m = unk; m != 0; m &= m - 1) {
+            const unsigned lane = lowest_lane(m);
+            const std::uint64_t bit = 1ull << lane;
+            for (std::uint16_t k = 0; k < op.n_in; ++k) {
+              lane_in[k] = static_cast<Logic4>(
+                  ((p0[in[k]] & bit) != 0 ? 1u : 0u) |
+                  ((p1[in[k]] & bit) != 0 ? 2u : 0u));
+            }
+            const Logic4 r = simtab::lut_eval(
+                op.aux, lane_in, static_cast<std::uint8_t>(op.n_in), 0, 0);
+            const auto u = static_cast<std::uint32_t>(r);
+            o0 |= (u & 1u) != 0 ? bit : 0;
+            o1 |= (u & 2u) != 0 ? bit : 0;
+            ++lane_evals;
+          }
+        }
+        p0[out[0]] = o0;
+        p1[out[0]] = o1;
+        break;
+      }
+      case SimOp::Rom: {
+        // Any non-binary address lane reads X on every data bit (the
+        // scalar rule), so the address occupancy union is the exact
+        // unknown mask - no per-lane escalation needed.
+        auto* rom = static_cast<tech::Rom16*>(live_prims_[op.aux]);
+        const std::uint64_t unk =
+            p1[in[0]] | p1[in[1]] | p1[in[2]] | p1[in[3]];
+        for (std::uint16_t b = 0; b < op.n_out; ++b) {
+          std::uint32_t init = 0;
+          for (unsigned a = 0; a < 16; ++a) {
+            init |= static_cast<std::uint32_t>((rom->contents()[a] >> b) & 1u)
+                    << a;
+          }
+          std::uint64_t w[16];
+          unsigned entries = 16;
+          for (unsigned a = 0; a < entries; ++a) {
+            w[a] = ((init >> a) & 1u) != 0 ? ~0ull : 0ull;
+          }
+          for (std::uint16_t j = 0; j < 4; ++j) {
+            const std::uint64_t sel = p0[in[j]];
+            entries >>= 1;
+            for (unsigned a = 0; a < entries; ++a) {
+              w[a] = (w[2 * a] & ~sel) | (w[2 * a + 1] & sel);
+            }
+          }
+          p0[out[b]] = w[0] & ~unk;
+          p1[out[b]] = unk;
+        }
+        break;
+      }
+      case SimOp::Const: {
+        const std::uint64_t word = cv[op.aux];
+        for (std::uint16_t b = 0; b < op.n_out; ++b) {
+          p0[out[b]] = ((word >> b) & 1u) != 0 ? ~0ull : 0ull;
+          p1[out[b]] = 0;
+        }
+        break;
+      }
+      case SimOp::Fallback:
+        break;  // excluded by supports()
+    }
+  }
+}
+
+void MultiPatternKernel::settle() {
+  std::uint64_t escalations = 0;
+  std::uint64_t lane_evals = 0;
+  sweep_ops(nullptr, program_->num_acyclic, escalations, lane_evals);
+  if (profile_ != nullptr) {
+    ++profile_->mp_settles;
+    profile_->mp_words += program_->num_acyclic;
+    profile_->mp_escalations += escalations;
+    profile_->mp_lane_evals += lane_evals;
+  }
+}
+
+void MultiPatternKernel::settle(
+    SimThreadPool& pool, const IslandPlan& plan,
+    const std::vector<std::vector<std::uint32_t>>& shards) {
+  struct ShardStat {
+    std::uint64_t escalations = 0;
+    std::uint64_t lane_evals = 0;
+  };
+  std::vector<ShardStat> stats(shards.size());
+  if (profile_ != nullptr && profile_->islands.size() < plan.num_islands()) {
+    profile_->islands.resize(plan.num_islands());
+  }
+  pool.run(shards.size(), [&](std::size_t s) {
+    for (std::uint32_t island : shards[s]) {
+      const std::uint32_t b = plan.island_begin[island];
+      const std::uint32_t e = plan.island_begin[island + 1];
+      sweep_ops(plan.op_order.data() + b, e - b, stats[s].escalations,
+                stats[s].lane_evals);
+      if (profile_ != nullptr) {
+        profile_->islands[island].evals += e - b;
+      }
+    }
+  });
+  if (profile_ != nullptr) {
+    ++profile_->mp_settles;
+    profile_->mp_words += program_->num_acyclic;
+    for (const ShardStat& st : stats) {
+      profile_->mp_escalations += st.escalations;
+      profile_->mp_lane_evals += st.lane_evals;
+    }
+  }
+}
+
+void MultiPatternKernel::clock_edge() {
+  const CompiledFF* ffs = program_->ffs.data();
+  const std::size_t num_ffs = program_->ffs.size();
+  const std::uint64_t* p0 = v0_.data();
+  const std::uint64_t* p1 = v1_.data();
+  for (std::size_t k = 0; k < num_ffs; ++k) {
+    const CompiledFF& ff = ffs[k];
+    const std::uint64_t clr0 = p0[ff.clr];
+    const std::uint64_t clr1 = p1[ff.clr];
+    const std::uint64_t ce0 = p0[ff.ce];
+    const std::uint64_t ce1 = p1[ff.ce];
+    // kFfSelTable lifted to planes: clear (live low) dominates, a binary
+    // enable takes D or holds, any unknown control lane samples X.
+    const std::uint64_t live = ~clr1 & ~(clr0 & ~clr1);
+    const std::uint64_t take_d = live & ce0 & ~ce1;
+    const std::uint64_t hold = live & ~ce0 & ~ce1;
+    const std::uint64_t x_mask = clr1 | (live & ce1);
+    n0_[k] = (p0[ff.d] & take_d) | (s0_[k] & hold);
+    n1_[k] = (p1[ff.d] & take_d) | (s1_[k] & hold) | x_mask;
+  }
+  std::uint64_t* w0 = v0_.data();
+  std::uint64_t* w1 = v1_.data();
+  for (std::size_t k = 0; k < num_ffs; ++k) {
+    s0_[k] = n0_[k];
+    s1_[k] = n1_[k];
+    w0[ffs[k].q] = n0_[k];
+    w1[ffs[k].q] = n1_[k];
+  }
+}
+
+void MultiPatternKernel::reset() {
+  const CompiledFF* ffs = program_->ffs.data();
+  const std::size_t num_ffs = program_->ffs.size();
+  for (std::size_t k = 0; k < num_ffs; ++k) {
+    const auto v = static_cast<std::uint32_t>(ffs[k].init);
+    const std::uint64_t b0 = (v & 1u) != 0 ? ~0ull : 0ull;
+    const std::uint64_t b1 = (v & 2u) != 0 ? ~0ull : 0ull;
+    s0_[k] = n0_[k] = b0;
+    s1_[k] = n1_[k] = b1;
+    v0_[ffs[k].q] = b0;
+    v1_[ffs[k].q] = b1;
+  }
+}
+
+}  // namespace jhdl

@@ -1,0 +1,112 @@
+// Bit-parallel multi-pattern simulation kernel: 64 independent stimulus
+// vectors packed per machine word, evaluated with bitwise ops over the
+// same flat SoA program the scalar kernel runs.
+//
+// Encoding: each net carries two 64-bit planes, v0 and v1, holding bit 0
+// and bit 1 of the Logic4 encoding per lane - lane L's value is
+// (v1_bit << 1) | v0_bit, i.e. 00=Zero, 01=One, 10=X, 11=Z. The v1 plane
+// doubles as the per-net X/Z occupancy mask: v1 == 0 means every lane is
+// binary, which is the common case after reset stimuli land, so the whole
+// word runs the two-state fast path. Gates have exact branchless
+// four-state formulas over the planes (derived from the scalar tables in
+// logic_tables.h and verified bit-for-bit by the parity tests); only the
+// LUT X-agreement rule resists a closed form, so a LUT whose input union
+// mask is non-zero escalates just the unknown lanes to the scalar
+// lut_eval - the word's binary lanes still take the fast path.
+//
+// The kernel owns its planes (it never touches the HWSystem's scalar
+// value array): one MultiPatternKernel is a disposable 64-wide sweep over
+// a shared immutable CompiledProgram. Construction broadcasts the current
+// scalar net values across all lanes, so inputs the sweep does not drive
+// behave exactly like the scalar fallback path. Sequential support covers
+// the compiled flip-flops (planes of committed state, same
+// clear/enable/X sample rules); programs with Fallback ops, virtual
+// sequential primitives (RAM/SRL/BRAM) or combinational cycles are
+// rejected by supports() and take the scalar path instead.
+//
+// Settling is always one flat topological sweep - a 64-pattern stimulus
+// word dirties essentially every cone, so event bookkeeping cannot pay.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hdl/primitive.h"
+#include "sim/compiled_kernel.h"
+#include "sim/island_partition.h"
+#include "sim/thread_pool.h"
+#include "util/logic.h"
+
+namespace jhdl {
+
+class MultiPatternKernel {
+ public:
+  static constexpr std::size_t kLanes = 64;
+
+  /// True when `program` can run 64-wide: no Fallback ops, no virtual
+  /// sequential primitives, no combinational cycle. (Rom16 is fine - its
+  /// contents are read live but never written during simulation.)
+  static bool supports(const CompiledProgram& program);
+
+  /// Binds the shared program and broadcasts `initial_values` (the bound
+  /// HWSystem's scalar net array) across every lane. `all_prims` is the
+  /// collect_primitives() order, for live Rom16 instances.
+  MultiPatternKernel(std::shared_ptr<const CompiledProgram> program,
+                     const std::vector<Primitive*>& all_prims,
+                     const std::vector<Logic4>& initial_values);
+
+  MultiPatternKernel(const MultiPatternKernel&) = delete;
+  MultiPatternKernel& operator=(const MultiPatternKernel&) = delete;
+
+  /// Drive one net with 64 lane values as raw planes.
+  void poke(std::uint32_t net_id, std::uint64_t v0, std::uint64_t v1) {
+    v0_[net_id] = v0;
+    v1_[net_id] = v1;
+  }
+  void poke_lane(std::uint32_t net_id, std::size_t lane, Logic4 v);
+  Logic4 peek_lane(std::uint32_t net_id, std::size_t lane) const {
+    const std::uint64_t bit = 1ull << lane;
+    return static_cast<Logic4>(((v0_[net_id] & bit) != 0 ? 1u : 0u) |
+                               ((v1_[net_id] & bit) != 0 ? 2u : 0u));
+  }
+
+  /// One full topological sweep over the acyclic ops (all 64 lanes).
+  void settle();
+  /// Same sweep, shard tasks run on `pool`. Bit-exact vs settle() for any
+  /// thread count (islands share no combinational nets).
+  void settle(SimThreadPool& pool, const IslandPlan& plan,
+              const std::vector<std::vector<std::uint32_t>>& shards);
+
+  /// Sample + commit every compiled flip-flop across all lanes.
+  void clock_edge();
+
+  /// Re-arm power-on state: every flip-flop plane and q net back to its
+  /// init value in all lanes. Combinational nets keep stale planes until
+  /// the next settle().
+  void reset();
+
+  /// Attach the owning simulator's profile: settles/words/escalations
+  /// accumulate into its mp_* counters.
+  void set_profile(KernelProfile* profile) { profile_ = profile; }
+
+ private:
+  struct Planes {
+    std::uint64_t v0;
+    std::uint64_t v1;
+  };
+  Planes eval_op(std::uint32_t i, std::uint64_t& escalations,
+                 std::uint64_t& lane_evals);
+  void sweep_ops(const std::uint32_t* order, std::size_t count,
+                 std::uint64_t& escalations, std::uint64_t& lane_evals);
+  void store_op(std::uint32_t i, Planes out);
+
+  std::shared_ptr<const CompiledProgram> program_;
+  std::vector<Primitive*> live_prims_;  // per program_->live_prims (Rom16)
+  std::vector<std::uint64_t> v0_, v1_;  // per-net planes (+2 pseudo slots)
+  std::vector<std::uint64_t> s0_, s1_;  // committed flip-flop planes
+  std::vector<std::uint64_t> n0_, n1_;  // sampled next-state planes
+  KernelProfile* profile_ = nullptr;
+};
+
+}  // namespace jhdl

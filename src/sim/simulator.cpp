@@ -7,6 +7,7 @@
 
 #include "hdl/error.h"
 #include "hdl/visitor.h"
+#include "sim/multi_pattern_kernel.h"
 
 namespace jhdl {
 
@@ -23,7 +24,10 @@ SimMode default_sim_mode() {
 }
 
 Simulator::Simulator(HWSystem& system, SimOptions options)
-    : system_(system), mode_(options.mode) {
+    : system_(system),
+      mode_(options.mode),
+      threads_(resolve_sim_threads(options.threads)),
+      parallel_min_ops_(options.parallel_min_ops) {
   elaborate();
   if (mode_ == SimMode::Compiled) {
     if (options.program != nullptr &&
@@ -37,6 +41,7 @@ Simulator::Simulator(HWSystem& system, SimOptions options)
     }
     kernel_ =
         std::make_unique<CompiledKernel>(system_, program_, all_prims_);
+    islands_ = std::move(options.islands);
   }
 }
 
@@ -182,24 +187,48 @@ void Simulator::propagate() {
   if (dirty_) settle();
 }
 
-void Simulator::cycle(std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    if (kernel_ != nullptr) {
+void Simulator::step(bool parallel) {
+  if (kernel_ != nullptr) {
+    if (parallel) {
+      kernel_->settle_parallel(*islands_, shards_, *pool_);
+      kernel_->clock_edge();
+      eval_count_ += 2 * sequential_.size();
+      kernel_->settle_parallel(*islands_, shards_, *pool_);
+    } else {
       kernel_->settle();
       kernel_->clock_edge();
       eval_count_ += 2 * sequential_.size();
       kernel_->settle();
-    } else {
-      if (dirty_) settle();
-      for (Primitive* p : sequential_) p->pre_clock();
-      for (Primitive* p : sequential_) p->post_clock();
-      eval_count_ += 2 * sequential_.size();
-      dirty_ = true;
-      settle();
     }
-    ++cycle_count_;
-    for (auto& fn : observers_) fn(cycle_count_);
+  } else {
+    if (dirty_) settle();
+    for (Primitive* p : sequential_) p->pre_clock();
+    for (Primitive* p : sequential_) p->post_clock();
+    eval_count_ += 2 * sequential_.size();
+    dirty_ = true;
+    settle();
   }
+  ++cycle_count_;
+  for (auto& fn : observers_) fn(cycle_count_);
+}
+
+void Simulator::cycle(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) step(/*parallel=*/false);
+}
+
+bool Simulator::parallel_ready() {
+  if (kernel_ == nullptr || has_comb_cycle_ || threads_ < 2) return false;
+  if (program_->num_acyclic < parallel_min_ops_) return false;
+  if (!parallel_init_) {
+    parallel_init_ = true;
+    if (islands_ == nullptr) islands_ = partition_islands(*program_);
+    if (islands_->num_islands() >= 2) {
+      shards_ = islands_->shards(
+          std::min(threads_, islands_->num_islands()));
+      pool_ = std::make_unique<SimThreadPool>(shards_.size());
+    }
+  }
+  return pool_ != nullptr && shards_.size() >= 2;
 }
 
 std::vector<std::vector<BitVector>> Simulator::cycle_batch(
@@ -213,15 +242,148 @@ std::vector<std::vector<BitVector>> Simulator::cycle_batch(
                      " values for " + std::to_string(n) + " cycles");
     }
   }
+  const bool parallel = parallel_ready();
+  // One batch-level fence: probe net-id views are hoisted out of the
+  // cycle loop and samples read the dense value array directly - after
+  // step() the kernel is settled, so no per-probe propagate() is needed.
+  std::vector<std::vector<std::uint32_t>> probe_ids;
+  probe_ids.reserve(probes.size());
+  for (Wire* w : probes) {
+    if (w == nullptr) throw HdlError("cycle_batch on null probe");
+    probe_ids.push_back(w->ids());
+  }
+  const std::vector<Logic4>& values = system_.net_values();
   std::vector<std::vector<BitVector>> result(probes.size());
   for (auto& column : result) column.reserve(n);
   for (std::size_t t = 0; t < n; ++t) {
     for (const auto& s : stimulus) put(s.wire, s.values[t]);
-    cycle(1);
+    step(parallel);
     for (std::size_t p = 0; p < probes.size(); ++p) {
-      result[p].push_back(get(probes[p]));
+      const std::vector<std::uint32_t>& ids = probe_ids[p];
+      BitVector v(ids.size());
+      for (std::size_t i = 0; i < ids.size(); ++i) v.set(i, values[ids[i]]);
+      result[p].push_back(std::move(v));
     }
   }
+  return result;
+}
+
+std::vector<std::vector<BitVector>> Simulator::pattern_sweep(
+    std::size_t n_patterns, const std::vector<PatternStimulus>& stimulus,
+    std::size_t cycles, const std::vector<Wire*>& probes) {
+  for (const auto& s : stimulus) {
+    if (s.wire == nullptr) throw HdlError("pattern_sweep on null wire");
+    if (s.values.size() != n_patterns) {
+      throw HdlError("pattern_sweep stimulus for wire '" + s.wire->name() +
+                     "' has " + std::to_string(s.values.size()) +
+                     " values for " + std::to_string(n_patterns) +
+                     " patterns");
+    }
+    for (const BitVector& v : s.values) {
+      if (v.width() != s.wire->width()) {
+        throw HdlError("pattern_sweep width mismatch on wire '" +
+                       s.wire->name() + "': wire " +
+                       std::to_string(s.wire->width()) + " bits, value " +
+                       std::to_string(v.width()) + " bits");
+      }
+    }
+    // Claim external driver slots up front (and fail identically to put()
+    // on primitive-driven wires) - the packed path writes lane planes, not
+    // Net values, so the claim cannot ride on put().
+    for (Net* n : s.wire->nets()) {
+      if (n->driver_kind() != DriverKind::External) n->bind_external();
+    }
+  }
+  std::vector<std::vector<std::uint32_t>> probe_ids;
+  probe_ids.reserve(probes.size());
+  for (Wire* w : probes) {
+    if (w == nullptr) throw HdlError("pattern_sweep on null probe");
+    probe_ids.push_back(w->ids());
+  }
+  std::vector<std::vector<BitVector>> result(probes.size());
+  for (auto& column : result) column.reserve(n_patterns);
+
+  constexpr std::size_t kLanes = MultiPatternKernel::kLanes;
+  if (kernel_ != nullptr && MultiPatternKernel::supports(*program_)) {
+    // Packed path: 64 patterns per machine word. Unlisted inputs already
+    // hold their entry values because the kernel broadcasts the scalar
+    // array at construction; the scalar array itself is never touched, so
+    // the entry values survive for the caller.
+    propagate();  // broadcast from a settled scalar state
+    MultiPatternKernel mp(program_, all_prims_, system_.net_values());
+    if (profile_ != nullptr) mp.set_profile(profile_.get());
+    const bool parallel = parallel_ready();
+    for (std::size_t base = 0; base < n_patterns; base += kLanes) {
+      const std::size_t lanes = std::min(kLanes, n_patterns - base);
+      mp.reset();
+      for (const auto& s : stimulus) {
+        const std::vector<std::uint32_t> ids = s.wire->ids();
+        for (std::size_t bit = 0; bit < ids.size(); ++bit) {
+          std::uint64_t v0 = 0;
+          std::uint64_t v1 = 0;
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            // Spare lanes replicate the last real pattern (their results
+            // are never read).
+            const std::size_t p = base + std::min(l, lanes - 1);
+            const auto u =
+                static_cast<std::uint32_t>(s.values[p].get(bit));
+            v0 |= static_cast<std::uint64_t>(u & 1u) << l;
+            v1 |= static_cast<std::uint64_t>((u >> 1) & 1u) << l;
+          }
+          mp.poke(ids[bit], v0, v1);
+        }
+      }
+      if (parallel) {
+        mp.settle(*pool_, *islands_, shards_);
+      } else {
+        mp.settle();
+      }
+      for (std::size_t c = 0; c < cycles; ++c) {
+        mp.clock_edge();
+        if (parallel) {
+          mp.settle(*pool_, *islands_, shards_);
+        } else {
+          mp.settle();
+        }
+      }
+      for (std::size_t p = 0; p < probes.size(); ++p) {
+        const std::vector<std::uint32_t>& ids = probe_ids[p];
+        for (std::size_t l = 0; l < lanes; ++l) {
+          BitVector v(ids.size());
+          for (std::size_t i = 0; i < ids.size(); ++i) {
+            v.set(i, mp.peek_lane(ids[i], l));
+          }
+          result[p].push_back(std::move(v));
+        }
+      }
+    }
+    reset();
+    return result;
+  }
+
+  // Scalar fallback (interpreted mode, Fallback ops, RAM/SRL state or a
+  // comb cycle): per-pattern reset + put + cycle loop, same observable
+  // semantics. Entry values of the stimulus wires are restored at the end
+  // so both paths leave identical state.
+  std::vector<BitVector> entry_values;
+  entry_values.reserve(stimulus.size());
+  for (const auto& s : stimulus) entry_values.push_back(s.wire->value());
+  for (std::size_t p = 0; p < n_patterns; ++p) {
+    reset();
+    for (const auto& s : stimulus) put(s.wire, s.values[p]);
+    if (cycles > 0) {
+      cycle(cycles);
+    } else {
+      propagate();
+    }
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      result[i].push_back(get(probes[i]));
+    }
+  }
+  for (std::size_t i = 0; i < stimulus.size(); ++i) {
+    put(stimulus[i].wire, entry_values[i]);
+  }
+  reset();
   return result;
 }
 
@@ -252,6 +414,7 @@ void Simulator::enable_profiling() {
 
 void Simulator::export_metrics(obs::MetricsRegistry& registry) const {
   registry.gauge("sim.cycles").set(static_cast<std::int64_t>(cycle_count_));
+  registry.gauge("sim.threads").set(static_cast<std::int64_t>(threads_));
   registry.gauge("sim.interp.evals")
       .set(static_cast<std::int64_t>(eval_count_));
   registry.gauge("sim.kernel.evals")
@@ -270,6 +433,21 @@ void Simulator::export_metrics(obs::MetricsRegistry& registry) const {
       .set(static_cast<std::int64_t>(p.fixpoint_passes));
   registry.gauge("sim.kernel.scan_evals")
       .set(static_cast<std::int64_t>(p.scan_evals));
+  registry.gauge("sim.kernel.settles_parallel")
+      .set(static_cast<std::int64_t>(p.settles_parallel));
+  registry.gauge("sim.kernel.islands")
+      .set(static_cast<std::int64_t>(p.islands.size()));
+  std::uint64_t island_evals = 0;
+  for (const auto& is : p.islands) island_evals += is.evals;
+  registry.gauge("sim.kernel.island_evals")
+      .set(static_cast<std::int64_t>(island_evals));
+  registry.gauge("sim.mp.settles")
+      .set(static_cast<std::int64_t>(p.mp_settles));
+  registry.gauge("sim.mp.words").set(static_cast<std::int64_t>(p.mp_words));
+  registry.gauge("sim.mp.escalations")
+      .set(static_cast<std::int64_t>(p.mp_escalations));
+  registry.gauge("sim.mp.lane_evals")
+      .set(static_cast<std::int64_t>(p.mp_lane_evals));
   // Runs of the same opcode at different levels are separate program
   // entries; the exported view aggregates them per opcode mnemonic.
   constexpr std::size_t kOps =

@@ -43,6 +43,8 @@
 #include "hdl/primitive.h"
 #include "obs/metrics.h"
 #include "sim/compiled_kernel.h"
+#include "sim/island_partition.h"
+#include "sim/thread_pool.h"
 #include "util/bitvector.h"
 
 namespace jhdl {
@@ -57,6 +59,10 @@ enum class SimMode {
 /// "compiled"), SimMode::Compiled when unset.
 SimMode default_sim_mode();
 
+/// Below this many acyclic ops the island-threaded settle cannot pay for
+/// its fork/join and batched entry points stay single-threaded.
+inline constexpr std::size_t kParallelMinOps = 2048;
+
 /// Construction options for Simulator.
 struct SimOptions {
   SimMode mode = default_sim_mode();
@@ -64,12 +70,32 @@ struct SimOptions {
   /// service's elaboration cache). Ignored in interpreted mode; if it does
   /// not bind to the circuit a fresh program is compiled instead.
   std::shared_ptr<const CompiledProgram> program;
+  /// Optional pre-partitioned island plan for the threaded settle (the
+  /// artifact store's memoized stage). Must come from `program`; when null
+  /// the simulator partitions on demand the first time threading engages.
+  std::shared_ptr<const IslandPlan> islands;
+  /// Kernel worker threads for the batched entry points (cycle_batch,
+  /// pattern_sweep): 0 = auto (JHDL_SIM_THREADS env var, else
+  /// hardware_concurrency clamped - see resolve_sim_threads()). 1 forces
+  /// the deterministic single-thread path. Single-cycle cycle()/get()
+  /// calls are always single-threaded.
+  std::size_t threads = 0;
+  /// Minimum acyclic op count before threading engages (tests lower it to
+  /// exercise the pool on small circuits).
+  std::size_t parallel_min_ops = kParallelMinOps;
 };
 
 /// Per-wire input stream for Simulator::cycle_batch.
 struct BatchStimulus {
   Wire* wire = nullptr;
   std::vector<BitVector> values;  ///< one value per batched cycle
+};
+
+/// Per-wire input stream for Simulator::pattern_sweep: one value per
+/// independent pattern (not per cycle).
+struct PatternStimulus {
+  Wire* wire = nullptr;
+  std::vector<BitVector> values;  ///< one value per pattern
 };
 
 /// Cycle-based simulator over an HWSystem.
@@ -106,9 +132,29 @@ class Simulator {
   /// once, sample every probe. Returns one value column per probe wire
   /// (probes.size() x n). Throws HdlError if any stimulus stream is not
   /// exactly n values long.
+  ///
+  /// This is a true batched kernel entry: probe net-id views and the
+  /// settle strategy are resolved once per batch, and on multi-island
+  /// programs large enough to pay for fork/join (SimOptions::threads > 1)
+  /// every settle runs as one island-parallel sweep - bit-exact vs the
+  /// single-threaded path for any thread count.
   std::vector<std::vector<BitVector>> cycle_batch(
       std::size_t n, const std::vector<BatchStimulus>& stimulus,
       const std::vector<Wire*>& probes);
+
+  /// Multi-pattern sweep: for each of `n_patterns` independent patterns,
+  /// start from power-on reset, apply that pattern's stimulus values
+  /// (wires not listed keep their value at call entry), run `cycles`
+  /// clock cycles (0 = settle only), and sample every probe. Returns one
+  /// column per probe wire (probes.size() x n_patterns). On programs the
+  /// 64-lane kernel supports (no Fallback ops / virtual sequential
+  /// primitives / comb cycles, compiled mode) the patterns run packed 64
+  /// per machine word; otherwise a scalar per-pattern loop produces the
+  /// same values. Either way the simulator is left in power-on reset
+  /// state with the stimulus wires restored to their entry values.
+  std::vector<std::vector<BitVector>> pattern_sweep(
+      std::size_t n_patterns, const std::vector<PatternStimulus>& stimulus,
+      std::size_t cycles, const std::vector<Wire*>& probes);
 
   /// Restore all sequential state to power-on values and re-settle.
   void reset();
@@ -154,15 +200,30 @@ class Simulator {
 
   SimMode mode() const { return mode_; }
 
+  /// Resolved kernel thread count for batched entry points (>= 1).
+  std::size_t threads() const { return threads_; }
+
   /// The compiled program driving this simulator (null in interpreted
   /// mode). Shareable with other simulators over identical circuits.
   const std::shared_ptr<const CompiledProgram>& compiled_program() const {
     return program_;
   }
 
+  /// The island plan backing the threaded settle (null until threading
+  /// first engages, unless one was injected via SimOptions).
+  const std::shared_ptr<const IslandPlan>& islands() const {
+    return islands_;
+  }
+
  private:
   void elaborate();
   void settle();
+  /// settle + clock edge + settle, observers, counters - one cycle, with
+  /// the settles island-parallel when `parallel` is set.
+  void step(bool parallel);
+  /// Lazily builds the plan/shards/pool; true when the threaded settle is
+  /// engaged for batched entry points.
+  bool parallel_ready();
 
   HWSystem& system_;
   SimMode mode_;
@@ -174,6 +235,12 @@ class Simulator {
   std::unique_ptr<CompiledKernel> kernel_;
   std::unique_ptr<KernelProfile> profile_;  // owned; attached to kernel_
   std::vector<std::function<void(std::size_t)>> observers_;
+  std::shared_ptr<const IslandPlan> islands_;
+  std::vector<std::vector<std::uint32_t>> shards_;
+  std::unique_ptr<SimThreadPool> pool_;
+  std::size_t threads_ = 1;
+  std::size_t parallel_min_ops_ = kParallelMinOps;
+  bool parallel_init_ = false;
   std::size_t cycle_count_ = 0;
   std::size_t eval_count_ = 0;
   bool dirty_ = true;

@@ -1,0 +1,94 @@
+#include "sim/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace jhdl {
+
+SimThreadPool::SimThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SimThreadPool::~SimThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void SimThreadPool::drain(Job& job) {
+  for (;;) {
+    const std::size_t t = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (t >= job.tasks) return;
+    try {
+      (*job.fn)(t);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job.error == nullptr) job.error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (++job.finished == job.tasks) cv_done_.notify_all();
+  }
+}
+
+void SimThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    // Hold a reference to this generation's job: a worker that resumes
+    // after the job completed drains an exhausted cursor and goes back to
+    // sleep without ever touching the next generation's tasks.
+    std::shared_ptr<Job> job = job_;
+    lock.unlock();
+    drain(*job);
+    lock.lock();
+  }
+}
+
+void SimThreadPool::run(std::size_t tasks,
+                        const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (workers_.empty() || tasks == 1) {
+    for (std::size_t t = 0; t < tasks; ++t) fn(t);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->tasks = tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  drain(*job);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return job->finished == job->tasks; });
+  if (job->error != nullptr) std::rethrow_exception(job->error);
+}
+
+std::size_t resolve_sim_threads(std::size_t requested) {
+  constexpr std::size_t kMax = 64;
+  if (requested > 0) return std::min(requested, kMax);
+  if (const char* env = std::getenv("JHDL_SIM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) {
+      return std::min<std::size_t>(static_cast<std::size_t>(v), kMax);
+    }
+  }
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return std::min<std::size_t>(hw, 8);
+}
+
+}  // namespace jhdl

@@ -1,0 +1,70 @@
+// Fixed worker pool for the island-threaded settle loop.
+//
+// A settle is one fork/join over a handful of shard tasks, repeated for
+// every clock edge of a batch, so the pool keeps its workers parked on a
+// condition variable between jobs instead of spawning threads. run() is a
+// barrier: the calling thread participates as a worker (so `threads = N`
+// costs N-1 OS threads) and returns only when every task has finished.
+// Each job carries its own atomic task cursor, so a worker that wakes late
+// from a previous generation can never claim work from the next one.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jhdl {
+
+class SimThreadPool {
+ public:
+  /// A pool of `threads` total lanes (>= 1); one is the caller inside
+  /// run(), the rest are parked worker threads.
+  explicit SimThreadPool(std::size_t threads);
+  ~SimThreadPool();
+
+  SimThreadPool(const SimThreadPool&) = delete;
+  SimThreadPool& operator=(const SimThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run fn(0) .. fn(tasks-1), any order, across the pool; returns when
+  /// all have completed. Rethrows the first task exception (after every
+  /// task has finished). Not reentrant: one run() at a time.
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t tasks = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t finished = 0;  // guarded by the pool mutex
+    std::exception_ptr error;  // first failure, guarded by the pool mutex
+  };
+
+  void worker_loop();
+  /// Claim-and-execute loop shared by workers and the run() caller.
+  void drain(Job& job);
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::shared_ptr<Job> job_;        // guarded by mu_
+  std::uint64_t generation_ = 0;    // guarded by mu_
+  bool stop_ = false;               // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+/// Resolve the kernel thread count: `requested` when non-zero, else the
+/// JHDL_SIM_THREADS env var, else hardware_concurrency clamped to 8
+/// (island sweeps stop scaling long before a big machine runs out of
+/// cores). Always >= 1, capped at 64.
+std::size_t resolve_sim_threads(std::size_t requested);
+
+}  // namespace jhdl

@@ -1,0 +1,651 @@
+// Differential and structural tests for the parallel simulation kernels:
+// island partitioning invariants, deterministic LPT sharding, bit-exact
+// parity of the island-threaded settle against the interpreter at every
+// thread count, the 64-lane multi-pattern kernel against scalar
+// per-pattern runs (corpus shapes, X/Z escalation, word-boundary pattern
+// counts), pattern_sweep's leave-reset contract, thread-count resolution,
+// the sim.threads gauge, and the protocol-v6 PatternBatch round trip
+// through a DeliveryService.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/blackbox.h"
+#include "core/catalog.h"
+#include "core/corpus_generators.h"
+#include "core/generators.h"
+#include "core/license.h"
+#include "hdl/error.h"
+#include "hdl/hwsystem.h"
+#include "net/sim_client.h"
+#include "obs/metrics.h"
+#include "server/delivery_service.h"
+#include "sim/island_partition.h"
+#include "sim/multi_pattern_kernel.h"
+#include "sim/simulator.h"
+#include "sim/thread_pool.h"
+#include "tech/ff.h"
+#include "tech/gates.h"
+#include "tech/lut.h"
+#include "util/rng.h"
+
+namespace jhdl {
+namespace {
+
+using namespace jhdl::core;
+
+// ---------------------------------------------------------------------------
+// A deterministic pipelined random circuit: `stages` stages of a random
+// comb DAG over `k` 1-bit values, each stage registered through FDCs
+// sharing one clear wire. FF boundaries cut the comb graph, so every
+// stage settles as (at least) one independent island - the multi-island
+// shape the threaded kernel needs. Construction is deterministic from
+// the seed, so two instances are structurally identical and can run
+// different engines for differential comparison.
+// ---------------------------------------------------------------------------
+struct PipelinedRandomCircuit {
+  HWSystem hw;
+  std::vector<Wire*> inputs;  // k 1-bit external data inputs
+  Wire* clr = nullptr;        // shared synchronous clear
+  std::vector<Wire*> outputs;  // final-stage q wires
+
+  PipelinedRandomCircuit(std::uint64_t seed, std::size_t k,
+                         std::size_t stages, std::size_t gates_per_stage) {
+    Rng rng(seed);
+    clr = new Wire(&hw, 1, "clr");
+    std::vector<Wire*> cur;
+    for (std::size_t i = 0; i < k; ++i) {
+      Wire* w = new Wire(&hw, 1, "in" + std::to_string(i));
+      inputs.push_back(w);
+      cur.push_back(w);
+    }
+    for (std::size_t s = 0; s < stages; ++s) {
+      std::vector<Wire*> values = cur;
+      for (std::size_t g = 0; g < gates_per_stage; ++g) {
+        const int kind = static_cast<int>(rng.below(5));
+        const std::size_t a = rng.below(values.size());
+        const std::size_t b = rng.below(values.size());
+        const std::size_t c = rng.below(values.size());
+        Wire* out = new Wire(
+            &hw, 1, "s" + std::to_string(s) + "g" + std::to_string(g));
+        switch (kind) {
+          case 0:
+            new tech::And2(&hw, values[a], values[b], out);
+            break;
+          case 1:
+            new tech::Or2(&hw, values[a], values[b], out);
+            break;
+          case 2:
+            new tech::Xor2(&hw, values[a], values[b], out);
+            break;
+          case 3:
+            new tech::Inv(&hw, values[a], out);
+            break;
+          default:
+            new tech::Mux2(&hw, values[a], values[b], values[c], out);
+            break;
+        }
+        values.push_back(out);
+      }
+      std::vector<Wire*> next;
+      for (std::size_t i = 0; i < k; ++i) {
+        Wire* q = new Wire(
+            &hw, 1, "q" + std::to_string(s) + "_" + std::to_string(i));
+        new tech::FDC(&hw, values[values.size() - k + i], q, clr,
+                      (i % 2) == 1);
+        next.push_back(q);
+      }
+      cur = next;
+    }
+    outputs = cur;
+  }
+};
+
+Simulator make_sim(HWSystem& hw, SimMode mode, std::size_t threads = 1) {
+  SimOptions options;
+  options.mode = mode;
+  options.threads = threads;
+  options.parallel_min_ops = 1;  // let tiny test circuits engage the pool
+  return Simulator(hw, options);
+}
+
+/// Random cycle_batch stimulus over the circuit's inputs + clr, with a
+/// clear pulse mid-stream and optional X/Z bits sprinkled in.
+std::vector<BatchStimulus> make_batch_stimulus(
+    const PipelinedRandomCircuit& rc, std::size_t n, std::uint64_t seed,
+    bool inject_xz) {
+  Rng rng(seed);
+  std::vector<BatchStimulus> streams;
+  for (Wire* in : rc.inputs) {
+    std::vector<BitVector> values;
+    for (std::size_t t = 0; t < n; ++t) {
+      Logic4 v = to_logic((rng.next() & 1u) != 0);
+      if (inject_xz) {
+        const std::uint64_t roll = rng.below(8);
+        if (roll == 0) v = Logic4::X;
+        if (roll == 1) v = Logic4::Z;
+      }
+      values.push_back(BitVector(1, v));
+    }
+    streams.push_back(BatchStimulus{in, values});
+  }
+  std::vector<BitVector> clr_values;
+  for (std::size_t t = 0; t < n; ++t) {
+    // Clear pulses mid-stream: the FF clear plane and the "reset while
+    // data in flight" path both get exercised.
+    const bool pulse = t == n / 2 || t == n / 2 + 1;
+    clr_values.push_back(BitVector(1, to_logic(pulse)));
+  }
+  streams.push_back(BatchStimulus{rc.clr, clr_values});
+  return streams;
+}
+
+// ---------------------------------------------------------------------------
+// Island partition invariants
+// ---------------------------------------------------------------------------
+
+TEST(IslandPartitionTest, PlanCoversAcyclicOpsExactlyOnce) {
+  PipelinedRandomCircuit rc(17, 6, 4, 24);
+  Simulator sim = make_sim(rc.hw, SimMode::Compiled);
+  ASSERT_NE(sim.compiled_program(), nullptr);
+  auto plan = partition_islands(*sim.compiled_program());
+  ASSERT_NE(plan, nullptr);
+  EXPECT_GE(plan->num_islands(), 2u) << "stage cuts should split the graph";
+
+  // op_order is a permutation of [0, num_acyclic).
+  std::set<std::uint32_t> seen(plan->op_order.begin(), plan->op_order.end());
+  EXPECT_EQ(seen.size(), plan->op_order.size());
+  ASSERT_FALSE(plan->island_begin.empty());
+  EXPECT_EQ(plan->island_begin.front(), 0u);
+  EXPECT_EQ(plan->island_begin.back(), plan->op_order.size());
+  for (std::size_t i = 0; i + 1 < plan->island_begin.size(); ++i) {
+    EXPECT_LT(plan->island_begin[i], plan->island_begin[i + 1]);
+  }
+  // Within an island, op indices ascend (stays a topological order).
+  for (std::size_t i = 0; i < plan->num_islands(); ++i) {
+    for (std::uint32_t j = plan->island_begin[i] + 1;
+         j < plan->island_begin[i + 1]; ++j) {
+      EXPECT_LT(plan->op_order[j - 1], plan->op_order[j]);
+    }
+  }
+}
+
+TEST(IslandPartitionTest, ShardsAreDeterministicAndComplete) {
+  PipelinedRandomCircuit rc(29, 6, 4, 24);
+  Simulator sim = make_sim(rc.hw, SimMode::Compiled);
+  auto plan = partition_islands(*sim.compiled_program());
+  for (std::size_t k : {1u, 2u, 3u, 8u}) {
+    const auto a = plan->shards(k);
+    const auto b = plan->shards(k);
+    EXPECT_EQ(a, b) << "sharding must be deterministic (k=" << k << ")";
+    ASSERT_EQ(a.size(), k);
+    std::set<std::uint32_t> covered;
+    for (const auto& shard : a) covered.insert(shard.begin(), shard.end());
+    EXPECT_EQ(covered.size(), plan->num_islands())
+        << "every island lands on exactly one shard (k=" << k << ")";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Island-threaded cycle_batch: parity with the interpreter at every
+// thread count, determinism across runs, X/Z stimulus included.
+// ---------------------------------------------------------------------------
+
+class ThreadedParityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+void expect_columns_equal(const std::vector<std::vector<BitVector>>& want,
+                          const std::vector<std::vector<BitVector>>& got,
+                          const char* what) {
+  ASSERT_EQ(want.size(), got.size()) << what;
+  for (std::size_t p = 0; p < want.size(); ++p) {
+    ASSERT_EQ(want[p].size(), got[p].size()) << what << " probe " << p;
+    for (std::size_t t = 0; t < want[p].size(); ++t) {
+      EXPECT_EQ(want[p][t].to_string(), got[p][t].to_string())
+          << what << " probe " << p << " step " << t;
+    }
+  }
+}
+
+TEST_P(ThreadedParityTest, CycleBatchMatchesInterpreterAtEveryThreadCount) {
+  const std::size_t n = 50;
+  for (const bool inject_xz : {false, true}) {
+    PipelinedRandomCircuit rc_ref(GetParam(), 6, 4, 24);
+    Simulator interp = make_sim(rc_ref.hw, SimMode::Interpreted);
+    const auto ref = interp.cycle_batch(
+        n, make_batch_stimulus(rc_ref, n, GetParam() * 7 + 1, inject_xz),
+        rc_ref.outputs);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      PipelinedRandomCircuit rc(GetParam(), 6, 4, 24);
+      Simulator sim = make_sim(rc.hw, SimMode::Compiled, threads);
+      const auto got = sim.cycle_batch(
+          n, make_batch_stimulus(rc, n, GetParam() * 7 + 1, inject_xz),
+          rc.outputs);
+      expect_columns_equal(ref, got,
+                           inject_xz ? "xz stimulus" : "binary stimulus");
+      if (threads >= 2) {
+        EXPECT_NE(sim.islands(), nullptr)
+            << "threaded batch should have built the island plan";
+      }
+    }
+  }
+}
+
+TEST_P(ThreadedParityTest, ThreadedRunsAreDeterministicAcrossRepeats) {
+  const std::size_t n = 40;
+  std::vector<std::vector<BitVector>> first;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    PipelinedRandomCircuit rc(GetParam(), 6, 4, 24);
+    Simulator sim = make_sim(rc.hw, SimMode::Compiled, 8);
+    auto got = sim.cycle_batch(
+        n, make_batch_stimulus(rc, n, GetParam() + 3, true), rc.outputs);
+    if (repeat == 0) {
+      first = std::move(got);
+    } else {
+      expect_columns_equal(first, got, "repeat");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadedParityTest,
+                         ::testing::Values(1, 2, 5, 11, 23, 47));
+
+// ---------------------------------------------------------------------------
+// Multi-pattern kernel: corpus parity, word-boundary pattern counts,
+// X/Z escalation, leave-reset contract.
+// ---------------------------------------------------------------------------
+
+struct CorpusShape {
+  const char* label;
+  std::shared_ptr<const ModuleGenerator> gen;
+  ParamMap params;
+};
+
+std::vector<CorpusShape> small_corpus_shapes() {
+  auto systolic = std::make_shared<SystolicArrayGenerator>();
+  auto hash = std::make_shared<HashPipeGenerator>();
+  auto cordic = std::make_shared<CordicGenerator>();
+  auto rfalu = std::make_shared<RfAluGenerator>();
+  std::vector<CorpusShape> shapes;
+  shapes.push_back({"systolic", systolic,
+                    ParamMap()
+                        .set("rows", std::int64_t{2})
+                        .set("cols", std::int64_t{2})
+                        .set("data_width", std::int64_t{4})
+                        .set("guard_bits", std::int64_t{2})
+                        .resolved(systolic->params())});
+  shapes.push_back({"hashpipe", hash,
+                    ParamMap()
+                        .set("algo", std::int64_t{0})
+                        .set("data_width", std::int64_t{4})
+                        .resolved(hash->params())});
+  shapes.push_back({"cordic", cordic,
+                    ParamMap()
+                        .set("width", std::int64_t{8})
+                        .set("stages", std::int64_t{6})
+                        .set("pipelined", std::int64_t{1})
+                        .resolved(cordic->params())});
+  shapes.push_back({"rfalu", rfalu,
+                    ParamMap()
+                        .set("regs", std::int64_t{4})
+                        .set("width", std::int64_t{4})
+                        .resolved(rfalu->params())});
+  return shapes;
+}
+
+BitVector random_pattern_value(Rng& rng, std::size_t width, bool inject_xz) {
+  BitVector v(width, Logic4::Zero);
+  for (std::size_t i = 0; i < width; ++i) {
+    Logic4 bit = to_logic((rng.next() & 1u) != 0);
+    if (inject_xz) {
+      const std::uint64_t roll = rng.below(10);
+      if (roll == 0) bit = Logic4::X;
+      if (roll == 1) bit = Logic4::Z;
+    }
+    v.set(i, bit);
+  }
+  return v;
+}
+
+/// Scalar reference for a pattern sweep: reset, apply, cycle, sample -
+/// using whichever engine `mode` selects.
+std::vector<std::vector<BitVector>> scalar_sweep(
+    const BuildResult& build, SimMode mode,
+    const std::vector<std::vector<BitVector>>& patterns, std::size_t cycles) {
+  SimOptions options;
+  options.mode = mode;
+  Simulator sim(*build.system, options);
+  std::vector<Wire*> inputs;
+  for (const auto& [name, wire] : build.inputs) inputs.push_back(wire);
+  std::vector<Wire*> probes;
+  for (const auto& [name, wire] : build.outputs) probes.push_back(wire);
+  const std::size_t n = patterns.front().size();
+  std::vector<std::vector<BitVector>> columns(probes.size());
+  for (std::size_t p = 0; p < n; ++p) {
+    sim.reset();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      sim.put(inputs[i], patterns[i][p]);
+    }
+    if (cycles > 0) {
+      sim.cycle(cycles);
+    } else {
+      sim.propagate();
+    }
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      columns[i].push_back(sim.get(probes[i]));
+    }
+  }
+  return columns;
+}
+
+TEST(MultiPatternTest, CorpusShapesMatchInterpreterAcrossWordBoundary) {
+  // 70 patterns: a full 64-lane word plus a 6-lane tail, so lane
+  // replication in the spare lanes and column extraction both run.
+  const std::size_t n_patterns = 70;
+  const std::size_t cycles = 2;
+  for (const CorpusShape& shape : small_corpus_shapes()) {
+    for (const bool inject_xz : {false, true}) {
+      BuildResult ref_build = shape.gen->build(shape.params);
+      Rng rng(0xC0FFEE);
+      std::vector<std::vector<BitVector>> patterns;
+      for (const auto& [name, wire] : ref_build.inputs) {
+        std::vector<BitVector> column;
+        for (std::size_t p = 0; p < n_patterns; ++p) {
+          column.push_back(
+              random_pattern_value(rng, wire->width(), inject_xz));
+        }
+        patterns.push_back(std::move(column));
+      }
+      const auto want =
+          scalar_sweep(ref_build, SimMode::Interpreted, patterns, cycles);
+
+      BuildResult build = shape.gen->build(shape.params);
+      SimOptions options;
+      options.mode = SimMode::Compiled;
+      Simulator sim(*build.system, options);
+      ASSERT_NE(sim.compiled_program(), nullptr) << shape.label;
+      EXPECT_TRUE(MultiPatternKernel::supports(*sim.compiled_program()))
+          << shape.label << " should take the packed path";
+      std::vector<PatternStimulus> streams;
+      {
+        std::size_t i = 0;
+        for (const auto& [name, wire] : build.inputs) {
+          streams.push_back(PatternStimulus{wire, patterns[i++]});
+        }
+      }
+      std::vector<Wire*> probes;
+      for (const auto& [name, wire] : build.outputs) probes.push_back(wire);
+      const auto got = sim.pattern_sweep(n_patterns, streams, cycles, probes);
+      expect_columns_equal(want, got, shape.label);
+    }
+  }
+}
+
+TEST(MultiPatternTest, LutEscalationHandlesXzExactly) {
+  // A hand-built LUT cone: random-init LUT4s over shared inputs. X/Z
+  // stimulus forces the per-lane escalation path (the word fast path
+  // cannot represent a LUT's X-agreement rule), and the profile counters
+  // prove it actually ran.
+  auto build_cone = [](HWSystem& hw, std::vector<Wire*>& ins,
+                       std::vector<Wire*>& outs) {
+    Rng rng(99);
+    for (std::size_t i = 0; i < 6; ++i) {
+      ins.push_back(new Wire(&hw, 1, "in" + std::to_string(i)));
+    }
+    std::vector<Wire*> values = ins;
+    for (std::size_t g = 0; g < 12; ++g) {
+      Wire* out = new Wire(&hw, 1, "lut" + std::to_string(g));
+      new tech::Lut4(&hw, values[rng.below(values.size())],
+                     values[rng.below(values.size())],
+                     values[rng.below(values.size())],
+                     values[rng.below(values.size())], out,
+                     static_cast<std::uint16_t>(rng.next() & 0xFFFF));
+      values.push_back(out);
+    }
+    outs.assign(values.end() - 4, values.end());
+  };
+
+  HWSystem ref_hw;
+  std::vector<Wire*> ref_ins, ref_outs;
+  build_cone(ref_hw, ref_ins, ref_outs);
+  HWSystem hw;
+  std::vector<Wire*> ins, outs;
+  build_cone(hw, ins, outs);
+
+  const std::size_t n_patterns = 70;
+  Rng rng(0xABCD);
+  std::vector<std::vector<BitVector>> patterns(ref_ins.size());
+  for (std::size_t i = 0; i < ref_ins.size(); ++i) {
+    for (std::size_t p = 0; p < n_patterns; ++p) {
+      patterns[i].push_back(random_pattern_value(rng, 1, true));
+    }
+  }
+
+  // Scalar reference on the interpreter.
+  Simulator interp = make_sim(ref_hw, SimMode::Interpreted);
+  std::vector<std::vector<BitVector>> want(ref_outs.size());
+  for (std::size_t p = 0; p < n_patterns; ++p) {
+    interp.reset();
+    for (std::size_t i = 0; i < ref_ins.size(); ++i) {
+      interp.put(ref_ins[i], patterns[i][p]);
+    }
+    interp.propagate();
+    for (std::size_t i = 0; i < ref_outs.size(); ++i) {
+      want[i].push_back(interp.get(ref_outs[i]));
+    }
+  }
+
+  Simulator sim = make_sim(hw, SimMode::Compiled);
+  sim.enable_profiling();
+  std::vector<PatternStimulus> streams;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    streams.push_back(PatternStimulus{ins[i], patterns[i]});
+  }
+  const auto got = sim.pattern_sweep(n_patterns, streams, 0, outs);
+  expect_columns_equal(want, got, "lut cone");
+  ASSERT_NE(sim.profile(), nullptr);
+  EXPECT_GT(sim.profile()->mp_settles, 0u);
+  EXPECT_GT(sim.profile()->mp_escalations, 0u)
+      << "X/Z stimulus must force per-lane LUT escalation";
+  EXPECT_GT(sim.profile()->mp_lane_evals, 0u);
+}
+
+TEST(MultiPatternTest, PatternSweepLeavesPowerOnResetState) {
+  auto gen = std::make_shared<HashPipeGenerator>();
+  ParamMap params = ParamMap()
+                        .set("algo", std::int64_t{0})
+                        .set("data_width", std::int64_t{4})
+                        .resolved(gen->params());
+  BuildResult build = gen->build(params);
+  SimOptions options;
+  options.mode = SimMode::Compiled;
+  Simulator sim(*build.system, options);
+  Wire* d = build.inputs.at("d");
+  Wire* crc = build.outputs.at("crc");
+
+  // Drive some history into the CRC state, remembering the entry value of
+  // the stimulus wire.
+  sim.put(d, 0x5u);
+  sim.cycle(3);
+  const BitVector entry_d = sim.get(d);
+
+  // Reference: a never-touched instance, still at power-on.
+  BuildResult fresh = gen->build(params);
+  Simulator fresh_sim(*fresh.system, SimOptions{});
+
+  std::vector<PatternStimulus> streams;
+  std::vector<BitVector> values;
+  Rng rng(7);
+  for (std::size_t p = 0; p < 70; ++p) {
+    values.push_back(random_pattern_value(rng, d->width(), false));
+  }
+  streams.push_back(PatternStimulus{d, values});
+  sim.pattern_sweep(70, streams, 2, {crc});
+
+  // Contract: stimulus wires back at their entry values.
+  EXPECT_EQ(sim.get(d).to_string(), entry_d.to_string());
+  // Contract: power-on sequential state. Drive both instances identically
+  // and compare a combinational read plus one clocked step.
+  sim.put(d, 0u);
+  fresh_sim.put(fresh.inputs.at("d"), 0u);
+  EXPECT_EQ(sim.get(crc).to_string(),
+            fresh_sim.get(fresh.outputs.at("crc")).to_string());
+  sim.put(d, 0x9u);
+  fresh_sim.put(fresh.inputs.at("d"), 0x9u);
+  sim.cycle();
+  fresh_sim.cycle();
+  EXPECT_EQ(sim.get(crc).to_string(),
+            fresh_sim.get(fresh.outputs.at("crc")).to_string());
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count resolution and observability
+// ---------------------------------------------------------------------------
+
+TEST(ResolveSimThreadsTest, RequestedEnvAndAutoOrder) {
+  EXPECT_EQ(resolve_sim_threads(3), 3u);
+  EXPECT_EQ(resolve_sim_threads(1), 1u);
+  EXPECT_EQ(resolve_sim_threads(200), 64u) << "explicit requests clamp at 64";
+  ::setenv("JHDL_SIM_THREADS", "5", 1);
+  EXPECT_EQ(resolve_sim_threads(0), 5u);
+  EXPECT_EQ(resolve_sim_threads(2), 2u) << "explicit beats the env var";
+  ::setenv("JHDL_SIM_THREADS", "bogus", 1);
+  EXPECT_GE(resolve_sim_threads(0), 1u);
+  ::unsetenv("JHDL_SIM_THREADS");
+  const std::size_t auto_threads = resolve_sim_threads(0);
+  EXPECT_GE(auto_threads, 1u);
+  EXPECT_LE(auto_threads, 8u) << "auto clamps at 8";
+}
+
+TEST(ResolveSimThreadsTest, SimulatorExportsThreadsGauge) {
+  PipelinedRandomCircuit rc(5, 4, 2, 10);
+  SimOptions options;
+  options.mode = SimMode::Compiled;
+  options.threads = 2;
+  Simulator sim(rc.hw, options);
+  EXPECT_EQ(sim.threads(), 2u);
+  obs::MetricsRegistry registry;
+  sim.export_metrics(registry);
+  EXPECT_EQ(registry.gauge("sim.threads").value(), 2);
+}
+
+TEST(ThreadedProfileTest, ParallelSettleCountersAndPerIslandEvals) {
+  PipelinedRandomCircuit rc(31, 6, 4, 24);
+  Simulator sim = make_sim(rc.hw, SimMode::Compiled, 2);
+  sim.enable_profiling();
+  const std::size_t n = 20;
+  sim.cycle_batch(n, make_batch_stimulus(rc, n, 42, false), rc.outputs);
+  ASSERT_NE(sim.profile(), nullptr);
+  EXPECT_GT(sim.profile()->settles_parallel, 0u);
+  ASSERT_NE(sim.islands(), nullptr);
+  ASSERT_EQ(sim.profile()->islands.size(), sim.islands()->num_islands());
+  std::uint64_t total = 0;
+  for (const auto& island : sim.profile()->islands) total += island.evals;
+  EXPECT_GT(total, 0u) << "per-island eval attribution must accumulate";
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v6 PatternBatch end to end
+// ---------------------------------------------------------------------------
+
+TEST(PatternBatchProtocolTest, RoundTripsThroughDeliveryService) {
+  server::DeliveryConfig config;
+  config.workers = 2;
+  config.sim_threads = 1;
+  IpCatalog catalog;
+  catalog.add(std::make_shared<KcmGenerator>());
+  server::DeliveryService service(std::move(catalog), config);
+  service.add_license(
+      LicensePolicy::make("acme", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+
+  net::ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "kcm-multiplier";
+  spec.params = {{"constant", -56}, {"input_width", 8}};
+  net::SimClient client(port, spec);
+  EXPECT_GE(client.negotiated_protocol(), 6u);
+
+  // Local reference model with identical params.
+  KcmGenerator kcm;
+  ParamMap params = ParamMap()
+                        .set("constant", std::int64_t{-56})
+                        .set("input_width", std::int64_t{8})
+                        .resolved(kcm.params());
+  BlackBoxModel local(kcm.build(params), "kcm");
+
+  std::map<std::string, std::vector<BitVector>> patterns;
+  Rng rng(0xFACE);
+  for (std::size_t p = 0; p < 70; ++p) {
+    patterns["multiplicand"].push_back(
+        BitVector::from_uint(8, rng.next() & 0xFF));
+  }
+  const std::size_t cycles = local.latency();
+  const auto want = local.pattern_batch(patterns, cycles, {});
+  const auto got = client.pattern_batch(patterns, cycles);
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [name, column] : want) {
+    ASSERT_TRUE(got.count(name)) << name;
+    ASSERT_EQ(got.at(name).size(), column.size()) << name;
+    for (std::size_t p = 0; p < column.size(); ++p) {
+      EXPECT_EQ(got.at(name)[p].to_string(), column[p].to_string())
+          << name << " pattern " << p;
+    }
+  }
+  // The sweep leaves the remote model reset, like the local one.
+  EXPECT_EQ(client.get_output("product").to_string(),
+            local.get_output("product").to_string());
+  client.bye();
+  service.stop();
+}
+
+TEST(PatternBatchProtocolTest, OversizedBatchIsRejected) {
+  server::DeliveryConfig config;
+  config.workers = 1;
+  IpCatalog catalog;
+  catalog.add(std::make_shared<KcmGenerator>());
+  server::DeliveryService service(std::move(catalog), config);
+  service.add_license(
+      LicensePolicy::make("acme", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+
+  net::ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "kcm-multiplier";
+  spec.params = {{"constant", 3}, {"input_width", 4}};
+  net::SimClient client(port, spec);
+
+  std::map<std::string, std::vector<BitVector>> patterns;
+  for (std::size_t p = 0; p < net::kMaxPatternBatch + 1; ++p) {
+    patterns["multiplicand"].push_back(BitVector::from_uint(4, p & 0xF));
+  }
+  EXPECT_THROW(client.pattern_batch(patterns, 1), net::NetError);
+  // The session survives the refusal: a legal batch still works.
+  patterns["multiplicand"].resize(4);
+  const auto ok = client.pattern_batch(patterns, client.latency());
+  EXPECT_EQ(ok.at("product").size(), 4u);
+  client.bye();
+  service.stop();
+}
+
+TEST(PatternBatchProtocolTest, ModelValidatesStreams) {
+  KcmGenerator kcm;
+  ParamMap params = ParamMap()
+                        .set("constant", std::int64_t{3})
+                        .set("input_width", std::int64_t{4})
+                        .resolved(kcm.params());
+  BlackBoxModel model(kcm.build(params), "kcm");
+  EXPECT_THROW(model.pattern_batch({}, 1, {}), HdlError);
+  std::map<std::string, std::vector<BitVector>> patterns;
+  patterns["multiplicand"] = {BitVector::from_uint(4, 1),
+                              BitVector::from_uint(4, 2)};
+  patterns["nonexistent"] = {BitVector::from_uint(4, 1),
+                             BitVector::from_uint(4, 2)};
+  EXPECT_THROW(model.pattern_batch(patterns, 1, {}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace jhdl
