@@ -7,10 +7,18 @@
 // customer licenses (one of which must be turned away), runs the
 // customers in parallel against different catalog entries, rejects an
 // unlicensed walk-in, and finally prints the admin stats the service
-// collected about all of it.
+// collected about all of it — including the per-tenant operations plane:
+// the admin HTTP port it announces serves GET /metrics (Prometheus
+// text), /healthz, /slo and /flight while the demo runs.
 //
-// Run:  ./delivery_service
+// Run:  ./delivery_service [--hold <ms>]
+//   --hold keeps the service (and its admin endpoint) up for <ms> after
+//   the demo traffic, so an outside scraper — CI's curl smoke, or a real
+//   Prometheus — can hit the HTTP plane before shutdown.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -59,7 +67,14 @@ void evaluate_kcm(std::uint16_t port) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  long hold_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hold") == 0 && i + 1 < argc) {
+      hold_ms = std::atol(argv[++i]);
+    }
+  }
+
   // The vendor's storefront: every generator it is willing to serve -
   // the stock IP plus the VTR-class corpus generators.
   IpCatalog catalog = standard_catalog();
@@ -68,6 +83,7 @@ int main() {
   config.workers = 4;
   config.queue_capacity = 8;
   config.idle_timeout = std::chrono::milliseconds(5000);
+  config.admin_http = true;
   DeliveryService service(std::move(catalog), config);
   service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
   service.add_license(LicensePolicy::make("globex", LicenseTier::Licensed));
@@ -77,6 +93,11 @@ int main() {
   std::uint16_t port = service.start();
   std::printf("=== Multi-tenant IP delivery service on port %u ===\n",
               port);
+  // Announce the operations plane on its own line: CI's smoke step (and
+  // any scrape-config generator) greps for "admin http port".
+  std::printf("admin http port %u (GET /metrics /healthz /slo /flight)\n",
+              service.admin_port());
+  std::fflush(stdout);
   std::printf("catalog: %zu IPs, %zu workers, queue %zu, idle timeout %lld ms\n\n",
               service.catalog().size(), service.config().workers,
               service.config().queue_capacity,
@@ -128,6 +149,22 @@ int main() {
   for (const char* key : {"artifact.entries", "artifact.resident_bytes"}) {
     std::printf("  %-22s %lld\n", key,
                 static_cast<long long>(gauges.at(key).as_int()));
+  }
+
+  // Per-tenant attribution: the same dump carries the labeled families.
+  std::printf("per-tenant requests (req.count family):\n");
+  for (const Json& row :
+       metrics.at("families").at("req.count").at("series").items()) {
+    std::printf("  %-10s %lld\n",
+                row.at("labels").at("customer").as_string().c_str(),
+                static_cast<long long>(row.at("value").as_int()));
+  }
+
+  if (hold_ms > 0) {
+    std::printf("\nholding for %ld ms; scrape http://127.0.0.1:%u/metrics\n",
+                hold_ms, service.admin_port());
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
   }
   service.stop();
   return 0;

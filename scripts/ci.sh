@@ -13,9 +13,14 @@
 # propagation end-to-end), the artifact-pipeline battery
 # (`artifact`: single-flight store races + cross-consumer determinism),
 # the extraction-defense battery (`attack`: cone-extractor oracle
-# loop, query-auditor detectors and the audited delivery service), and
-# the corpus battery (`corpus`: interpreter/compiled/golden-model
-# differential parity over the VTR-class generator corpus).
+# loop, query-auditor detectors and the audited delivery service), the
+# corpus battery (`corpus`: interpreter/compiled/golden-model
+# differential parity over the VTR-class generator corpus), and the
+# operations-plane battery (`ops`: structured log rings + flight
+# recorder, the SLO burn-rate engine, the admin HTTP endpoint and the
+# concurrent-exposition hammer — the TSan run is what proves the
+# lock-free log/exposition claims). A scrape smoke step also boots the
+# delivery_service example and curls its live /metrics and /healthz.
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  skip the sanitizer builds (plain build + full suite only)
@@ -49,17 +54,48 @@ echo "== corpus sweep smoke bench (elaborate + sim + warm-hit gates) =="
 cmake --build build -j "${JOBS}" --target bench_corpus
 (cd build/bench && ./bench_corpus --smoke)
 
+echo "== admin HTTP scrape smoke (live /metrics + /healthz) =="
+cmake --build build -j "${JOBS}" --target delivery_service
+SCRAPE_LOG="$(mktemp)"
+./build/examples/delivery_service --hold 8000 >"${SCRAPE_LOG}" 2>&1 &
+SCRAPE_PID=$!
+trap 'kill "${SCRAPE_PID}" 2>/dev/null || true' EXIT
+ADMIN_PORT=""
+for _ in $(seq 1 100); do
+  ADMIN_PORT="$(sed -n 's/^admin http port \([0-9]*\).*/\1/p' "${SCRAPE_LOG}")"
+  [[ -n "${ADMIN_PORT}" ]] && break
+  sleep 0.1
+done
+[[ -n "${ADMIN_PORT}" ]] || { echo "FAIL: no admin port announced"; cat "${SCRAPE_LOG}"; exit 1; }
+# The per-tenant acceptance shape: a labeled family line on the scrape.
+# Poll — the demo traffic that creates the tenant series is still running
+# when the port is announced.
+SCRAPE_OK=""
+for _ in $(seq 1 60); do
+  if curl -fsS "http://127.0.0.1:${ADMIN_PORT}/metrics" 2>/dev/null \
+      | grep 'req_count{customer='; then
+    SCRAPE_OK=1
+    break
+  fi
+  sleep 0.2
+done
+[[ -n "${SCRAPE_OK}" ]] || { echo "FAIL: no per-tenant family on /metrics"; exit 1; }
+curl -fsS "http://127.0.0.1:${ADMIN_PORT}/healthz"
+wait "${SCRAPE_PID}"
+trap - EXIT
+rm -f "${SCRAPE_LOG}"
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "CI OK (fast: sanitizers skipped)"
   exit 0
 fi
 
 for SAN in address thread; do
-  echo "== ${SAN} sanitizer: net-fault + sim-kernel + sim-parallel + obs + artifact + attack + corpus batteries =="
+  echo "== ${SAN} sanitizer: net-fault + sim-kernel + sim-parallel + obs + artifact + attack + corpus + ops batteries =="
   cmake -B "build-${SAN}" -S . -DJHDL_SANITIZE="${SAN}" >/dev/null
   cmake --build "build-${SAN}" -j "${JOBS}"
   ctest --test-dir "build-${SAN}" \
-    -L 'net-fault|sim-kernel|sim-parallel|obs|artifact|attack|corpus' \
+    -L 'net-fault|sim-kernel|sim-parallel|obs|artifact|attack|corpus|ops' \
     --output-on-failure
 done
 

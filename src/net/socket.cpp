@@ -167,6 +167,19 @@ std::vector<std::uint8_t> TcpStream::recv_frame_bytes() {
   return raw;
 }
 
+std::size_t TcpStream::recv_raw(std::uint8_t* data, std::size_t max) {
+  if (!valid()) throw NetError("recv on closed stream");
+  while (true) {
+    ssize_t n = ::recv(fd_, data, max, 0);
+    if (n == 0) throw NetError("connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("recv");
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
 std::vector<std::uint8_t> TcpStream::recv_frame() {
   return frame_unwrap(recv_frame_bytes());
 }

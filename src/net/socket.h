@@ -115,6 +115,11 @@ class TcpStream : public Stream {
   void send_bytes(const std::vector<std::uint8_t>& raw);
   std::vector<std::uint8_t> recv_frame_bytes();
 
+  /// Receive whatever bytes are available, up to `max` (unframed — for
+  /// byte protocols like the admin plane's HTTP). Returns the count read
+  /// (>= 1). Throws NetError on failure, timeout, or orderly close.
+  std::size_t recv_raw(std::uint8_t* data, std::size_t max);
+
  private:
   void send_all(const std::uint8_t* data, std::size_t size);
   void recv_all(std::uint8_t* data, std::size_t size);

@@ -1,0 +1,296 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <unordered_map>
+
+namespace jhdl::obs {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "debug";
+    case LogLevel::Info:
+      return "info";
+    case LogLevel::Warn:
+      return "warn";
+    case LogLevel::Error:
+      return "error";
+    case LogLevel::Fatal:
+      return "fatal";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Stable per-thread ordinal, shared scheme with the tracer's tid field.
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+constexpr std::size_t kTextWords = (Logger::kTextBytes + 7) / 8;
+
+}  // namespace
+
+/// Fixed-capacity single-writer ring, the tracer's design with a text
+/// payload: every scalar field is an individual relaxed atomic and the
+/// text is packed into relaxed atomic words, so a dump racing an
+/// overwrite reads torn-but-defined bytes instead of racing undefined
+/// ones. The writer stores fields, then bumps head with release.
+struct Logger::Ring {
+  struct Slot {
+    std::atomic<int> level{0};
+    std::atomic<const char*> event{nullptr};
+    std::atomic<std::uint64_t> ts_us{0};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint32_t> len{0};
+    std::array<std::atomic<std::uint64_t>, kTextWords> text{};
+  };
+
+  explicit Ring(std::size_t capacity, std::uint32_t tid)
+      : slots(capacity), tid(tid) {}
+
+  void push(LogLevel level, const char* event, std::uint64_t ts_us,
+            std::uint64_t trace_id, std::uint64_t seq, const char* text,
+            std::size_t len) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    Slot& slot = slots[h % slots.size()];
+    slot.level.store(static_cast<int>(level), std::memory_order_relaxed);
+    slot.event.store(event, std::memory_order_relaxed);
+    slot.ts_us.store(ts_us, std::memory_order_relaxed);
+    slot.trace_id.store(trace_id, std::memory_order_relaxed);
+    slot.seq.store(seq, std::memory_order_relaxed);
+    if (len > Logger::kTextBytes) len = Logger::kTextBytes;
+    slot.len.store(static_cast<std::uint32_t>(len),
+                   std::memory_order_relaxed);
+    for (std::size_t w = 0; w * 8 < len; ++w) {
+      std::uint64_t word = 0;
+      const std::size_t n = std::min<std::size_t>(8, len - w * 8);
+      std::memcpy(&word, text + w * 8, n);
+      slot.text[w].store(word, std::memory_order_relaxed);
+    }
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  std::vector<Slot> slots;
+  std::atomic<std::uint64_t> head{0};
+  const std::uint32_t tid;
+};
+
+Logger::Logger(std::size_t ring_capacity)
+    : capacity_(ring_capacity < 16 ? 16 : ring_capacity) {
+  static std::atomic<std::uint64_t> next_id{1};
+  logger_id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+Logger::~Logger() = default;
+
+Logger::Ring& Logger::local_ring() {
+  // Cache keyed by the PROCESS-UNIQUE logger id, not the pointer (same
+  // rationale as Tracer::local_ring: a destroyed logger's address can be
+  // reused, its id never is).
+  thread_local std::unordered_map<std::uint64_t, Ring*> cache;
+  auto it = cache.find(logger_id_);
+  if (it != cache.end()) return *it->second;
+  auto ring = std::make_unique<Ring>(capacity_, thread_ordinal());
+  Ring* raw = ring.get();
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings_.push_back(std::move(ring));
+  }
+  cache.emplace(logger_id_, raw);
+  return *raw;
+}
+
+void Logger::log(LogLevel level, const char* event,
+                 std::initializer_list<Kv> kvs, std::uint64_t trace_id) {
+  if (!enabled(level)) return;
+  // Pack "key=value" pairs, unit-separator delimited, into a stack
+  // buffer; anything past kTextBytes is truncated (never dropped).
+  char text[kTextBytes];
+  std::size_t len = 0;
+  for (const Kv& kv : kvs) {
+    if (len != 0 && len < kTextBytes) text[len++] = '\x1f';
+    for (char c : kv.first) {
+      if (len >= kTextBytes) break;
+      text[len++] = c;
+    }
+    if (len < kTextBytes) text[len++] = '=';
+    for (char c : kv.second) {
+      if (len >= kTextBytes) break;
+      text[len++] = c;
+    }
+  }
+  const std::uint64_t seq =
+      next_seq_.fetch_add(1, std::memory_order_relaxed);
+  local_ring().push(level, event, Tracer::now_us(), trace_id, seq, text,
+                    len);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<LogRecord> Logger::snapshot() const {
+  std::vector<LogRecord> out;
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t n = ring->slots.size();
+    const std::uint64_t first = head > n ? head - n : 0;
+    for (std::uint64_t i = first; i < head; ++i) {
+      const Ring::Slot& slot = ring->slots[i % n];
+      LogRecord r;
+      r.level = static_cast<LogLevel>(
+          slot.level.load(std::memory_order_relaxed));
+      r.event = slot.event.load(std::memory_order_relaxed);
+      r.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+      r.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      r.seq = slot.seq.load(std::memory_order_relaxed);
+      r.tid = ring->tid;
+      std::uint32_t len = slot.len.load(std::memory_order_relaxed);
+      if (len > kTextBytes) len = kTextBytes;
+      r.text.resize(len);
+      for (std::size_t w = 0; w * 8 < len; ++w) {
+        const std::uint64_t word =
+            slot.text[w].load(std::memory_order_relaxed);
+        const std::size_t take = std::min<std::size_t>(8, len - w * 8);
+        std::memcpy(r.text.data() + w * 8, &word, take);
+      }
+      if (r.event != nullptr) out.push_back(std::move(r));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LogRecord& a, const LogRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+Json Logger::record_json(const LogRecord& record) {
+  Json doc = Json::object();
+  doc.set("type", "log");
+  doc.set("seq", record.seq);
+  doc.set("ts_us", record.ts_us);
+  doc.set("level", std::string(log_level_name(record.level)));
+  doc.set("event", std::string(record.event));
+  doc.set("tid", std::size_t{record.tid});
+  if (record.trace_id != 0) {
+    doc.set("trace", TraceContext::hex(record.trace_id));
+  }
+  // Split the unit-separated "key=value" payload back into fields; a
+  // torn record may yield odd keys but stays valid JSON.
+  Json fields = Json::object();
+  std::size_t start = 0;
+  while (start < record.text.size()) {
+    std::size_t end = record.text.find('\x1f', start);
+    if (end == std::string::npos) end = record.text.size();
+    const std::string pair = record.text.substr(start, end - start);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      fields.set(pair.substr(0, eq), pair.substr(eq + 1));
+    } else if (!pair.empty()) {
+      fields.set(pair, "");
+    }
+    start = end + 1;
+  }
+  doc.set("fields", fields);
+  return doc;
+}
+
+std::string Logger::to_jsonl() const {
+  std::string out;
+  for (const LogRecord& record : snapshot()) {
+    out += record_json(record).dump();
+    out += "\n";
+  }
+  return out;
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  static bool init = [] {
+    logger.set_level(LogLevel::Warn);
+    return true;
+  }();
+  (void)init;
+  return logger;
+}
+
+FlightRecorder::FlightRecorder(Logger& log, MetricsRegistry& metrics,
+                               Tracer* tracer, Config config)
+    : log_(log),
+      metrics_(metrics),
+      tracer_(tracer),
+      config_(config),
+      dumps_metric_(&metrics.counter("flight.dumps")) {
+  if (config_.keep == 0) config_.keep = 1;
+}
+
+std::string FlightRecorder::trigger(const std::string& reason) {
+  const std::uint64_t now = Tracer::now_us();
+  std::string jsonl;
+  {
+    Json header = Json::object();
+    header.set("type", "flight");
+    header.set("reason", reason);
+    header.set("ts_us", now);
+    header.set("seq", seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+    jsonl += header.dump();
+    jsonl += "\n";
+  }
+  for (const LogRecord& record : log_.snapshot()) {
+    jsonl += Logger::record_json(record).dump();
+    jsonl += "\n";
+  }
+  {
+    Json metrics_line = Json::object();
+    metrics_line.set("type", "metrics");
+    metrics_line.set("data", metrics_.to_json());
+    jsonl += metrics_line.dump();
+    jsonl += "\n";
+  }
+  if (tracer_ != nullptr && config_.max_spans != 0) {
+    std::vector<TraceEvent> spans = tracer_->snapshot();
+    const std::size_t first =
+        spans.size() > config_.max_spans ? spans.size() - config_.max_spans
+                                         : 0;
+    for (std::size_t i = first; i < spans.size(); ++i) {
+      const TraceEvent& e = spans[i];
+      Json span = Json::object();
+      span.set("type", "span");
+      span.set("name", std::string(e.name));
+      span.set("ts_us", e.start_us);
+      span.set("dur_us", e.dur_us);
+      span.set("tid", std::size_t{e.tid});
+      if (e.trace_id != 0) span.set("trace", TraceContext::hex(e.trace_id));
+      jsonl += span.dump();
+      jsonl += "\n";
+    }
+  }
+  dumps_metric_->inc();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retained_.push_back({reason, now, jsonl});
+    while (retained_.size() > config_.keep) retained_.pop_front();
+    // Bump only after the dump is retained: a poller that observes
+    // triggered() >= N is guaranteed a non-empty latest().
+    triggered_.fetch_add(1, std::memory_order_release);
+  }
+  return jsonl;
+}
+
+std::vector<FlightRecorder::Dump> FlightRecorder::dumps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {retained_.begin(), retained_.end()};
+}
+
+std::string FlightRecorder::latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retained_.empty() ? std::string() : retained_.back().jsonl;
+}
+
+}  // namespace jhdl::obs

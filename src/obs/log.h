@@ -1,0 +1,193 @@
+// Structured logging + flight recorder for the delivery stack.
+//
+// Logger is the tracer's sibling (DESIGN.md §15): leveled key-value
+// records written into lock-free per-thread rings. A record below the
+// configured level costs one relaxed load and nothing else, so Debug
+// logging can sit on the request path permanently. Recording is wait-free
+// for the writer: the key-value text is packed into the slot's fixed
+// word array with relaxed stores, scalar fields follow, then a release
+// bump of the ring head publishes the record. A snapshot racing an
+// overwrite may read one record with mixed old/new fields or torn text —
+// flight-recorder semantics, same deliberate trade the tracer makes; the
+// export stays well-formed JSON either way.
+//
+// Records are (level, static event label, key=value pairs, trace id).
+// Event labels must be STATIC strings (the ring stores the pointer) —
+// "session.open", not formatted text; the dynamic payload goes in the
+// key-value pairs, which ARE copied (into the slot's bounded text words,
+// truncating past ~200 bytes). Each record carries the same trace id the
+// tracer's spans use, so one request can be correlated across metrics,
+// spans, and logs.
+//
+// FlightRecorder is the postmortem bundle: trigger(reason) snapshots the
+// last N log records, the full metrics registry, and the most recent
+// trace spans into one JSONL document (one self-describing JSON object
+// per line), retains the last few dumps in memory, and counts itself
+// under the `flight.dumps` metric. The delivery service triggers it on
+// session park/evict and on worker fatals; the admin HTTP endpoint's
+// GET /flight triggers it on demand.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace jhdl::obs {
+
+enum class LogLevel : int {
+  Debug = 0,
+  Info = 1,
+  Warn = 2,
+  Error = 3,
+  Fatal = 4,
+};
+
+const char* log_level_name(LogLevel level);
+
+/// One record, as read back out of a ring.
+struct LogRecord {
+  LogLevel level = LogLevel::Info;
+  const char* event = nullptr;  ///< static-lifetime label
+  std::uint64_t ts_us = 0;      ///< microseconds, Tracer::now_us epoch
+  std::uint64_t trace_id = 0;   ///< 0 = not tied to one request
+  std::uint64_t seq = 0;        ///< global ordinal (merges rings in order)
+  std::uint32_t tid = 0;        ///< per-thread ordinal
+  /// "key=value" pairs, unit-separator (\x1F) delimited as stored.
+  std::string text;
+};
+
+/// Leveled structured log sink. One per service (the DeliveryService owns
+/// one and feeds its flight recorder), plus a process-global instance for
+/// clients and tools.
+class Logger {
+ public:
+  /// Bytes of key-value text retained per record (longer payloads are
+  /// truncated, never dropped).
+  static constexpr std::size_t kTextBytes = 200;
+
+  /// `ring_capacity` records are retained per writer thread.
+  explicit Logger(std::size_t ring_capacity = 1024);
+  ~Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  void set_level(LogLevel min_level) {
+    level_.store(static_cast<int>(min_level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  /// One relaxed load: would a record at `level` be kept?
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >=
+           level_.load(std::memory_order_relaxed);
+  }
+
+  using Kv = std::pair<std::string_view, std::string_view>;
+
+  /// Record one event. `event` must have static lifetime; the key-value
+  /// payload is copied (bounded). No-op below the configured level.
+  void log(LogLevel level, const char* event,
+           std::initializer_list<Kv> kvs = {}, std::uint64_t trace_id = 0);
+
+  /// Records kept since construction (not counting level-suppressed ones;
+  /// overwritten records still count).
+  std::uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  /// All currently retained records, every ring, globally ordered by seq.
+  std::vector<LogRecord> snapshot() const;
+
+  /// One JSON object per line: {"type":"log","seq":...,"ts_us":...,
+  /// "level":"info","event":"session.open","trace":"00ab...",
+  /// "fields":{"customer":"acme",...}}. Truncated fields parse as far as
+  /// they survived.
+  std::string to_jsonl() const;
+
+  /// Render one record as its JSONL object (shared with FlightRecorder).
+  static Json record_json(const LogRecord& record);
+
+  /// Shared instance for code with no service to hang a logger on
+  /// (defaults to Warn).
+  static Logger& global();
+
+ private:
+  struct Ring;
+  Ring& local_ring();
+
+  std::atomic<int> level_{static_cast<int>(LogLevel::Info)};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::size_t capacity_;
+  std::uint64_t logger_id_;  ///< process-unique, keys the thread cache
+  mutable std::mutex rings_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// Postmortem bundler: logs + metrics + recent spans as one JSONL dump,
+/// retained in memory for the admin plane to serve.
+class FlightRecorder {
+ public:
+  struct Config {
+    /// Dumps retained (oldest evicted first).
+    std::size_t keep = 8;
+    /// Most recent spans included per dump (0 = none even if a tracer is
+    /// attached).
+    std::size_t max_spans = 256;
+  };
+
+  /// The recorder reads (never mutates) all three sources; they must
+  /// outlive it. `tracer` may be null. Registers the `flight.dumps`
+  /// counter in `metrics`.
+  FlightRecorder(Logger& log, MetricsRegistry& metrics, Tracer* tracer,
+                 Config config);
+  FlightRecorder(Logger& log, MetricsRegistry& metrics,
+                 Tracer* tracer = nullptr)
+      : FlightRecorder(log, metrics, tracer, Config()) {}
+
+  /// Snapshot now. Returns the JSONL text (first line carries the reason)
+  /// and retains it. Thread-safe.
+  std::string trigger(const std::string& reason);
+
+  struct Dump {
+    std::string reason;
+    std::uint64_t ts_us = 0;
+    std::string jsonl;
+  };
+  /// Retained dumps, oldest first.
+  std::vector<Dump> dumps() const;
+  /// The most recent dump's JSONL, or empty.
+  std::string latest() const;
+  /// Dumps completed AND retained: once this reads >= N, dumps() holds
+  /// the N-th dump (modulo keep-eviction) and latest() is non-empty.
+  std::uint64_t triggered() const {
+    return triggered_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Logger& log_;
+  MetricsRegistry& metrics_;
+  Tracer* tracer_;
+  Config config_;
+  Counter* dumps_metric_;
+  mutable std::mutex mutex_;
+  std::deque<Dump> retained_;
+  /// Header ordinal: assigned when a trigger starts composing.
+  std::atomic<std::uint64_t> seq_{0};
+  /// Completed-and-retained count; trails seq_ while a dump composes.
+  std::atomic<std::uint64_t> triggered_{0};
+};
+
+}  // namespace jhdl::obs

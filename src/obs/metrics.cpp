@@ -1,7 +1,6 @@
 #include "obs/metrics.h"
 
 #include <bit>
-#include <stdexcept>
 
 namespace jhdl::obs {
 
@@ -67,15 +66,24 @@ Histogram::Summary Histogram::summarize() const {
   return s;
 }
 
-void MetricsRegistry::check_unclaimed(const std::string& name) const {
-  // Called with mutex_ held, before inserting into one of the maps: the
-  // other two must not already own the name.
-  const int claims = static_cast<int>(counters_.count(name)) +
-                     static_cast<int>(gauges_.count(name)) +
-                     static_cast<int>(histograms_.count(name));
-  if (claims != 0) {
-    throw std::runtime_error("metric '" + name +
-                             "' already registered as a different kind");
+const char* MetricsRegistry::kind_of(const std::string& name) const {
+  if (counters_.count(name) != 0) return "counter";
+  if (gauges_.count(name) != 0) return "gauge";
+  if (histograms_.count(name) != 0) return "histogram";
+  if (counter_families_.count(name) != 0) return "counter family";
+  if (gauge_families_.count(name) != 0) return "gauge family";
+  if (histogram_families_.count(name) != 0) return "histogram family";
+  return nullptr;
+}
+
+void MetricsRegistry::check_unclaimed(const std::string& name,
+                                      const char* as_kind) const {
+  // Called with mutex_ held, before inserting into one of the maps: no
+  // other kind may already own the name (one name, one meaning).
+  const char* owner = kind_of(name);
+  if (owner != nullptr) {
+    throw MetricsError("metric '" + name + "' already registered as " +
+                       owner + "; cannot re-register as " + as_kind);
   }
 }
 
@@ -83,7 +91,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
-  check_unclaimed(name);
+  check_unclaimed(name, "counter");
   return *counters_.emplace(name, std::make_unique<Counter>())
               .first->second;
 }
@@ -92,7 +100,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
-  check_unclaimed(name);
+  check_unclaimed(name, "gauge");
   return *gauges_.emplace(name, std::make_unique<Gauge>()).first->second;
 }
 
@@ -100,13 +108,88 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
-  check_unclaimed(name);
+  check_unclaimed(name, "histogram");
   return *histograms_.emplace(name, std::make_unique<Histogram>())
               .first->second;
 }
 
+template <class F>
+F& MetricsRegistry::family_get(
+    std::map<std::string, std::unique_ptr<F>>& families,
+    const std::string& name, const std::vector<std::string>& label_keys,
+    std::size_t max_series, const char* kind) {
+  // Called with mutex_ held by the public getter.
+  auto it = families.find(name);
+  if (it != families.end()) {
+    if (it->second->keys() != label_keys) {
+      std::string want;
+      for (const std::string& k : it->second->keys()) {
+        want += (want.empty() ? "" : ",") + k;
+      }
+      throw MetricsError("family '" + name +
+                         "' already registered with label keys {" + want +
+                         "}");
+    }
+    return *it->second;
+  }
+  check_unclaimed(name, kind);
+  return *families
+              .emplace(name, std::unique_ptr<F>(new F(name, label_keys,
+                                                      max_series)))
+              .first->second;
+}
+
+CounterFamily& MetricsRegistry::counter_family(
+    const std::string& name, const std::vector<std::string>& label_keys,
+    std::size_t max_series) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return family_get(counter_families_, name, label_keys, max_series,
+                    "counter family");
+}
+
+GaugeFamily& MetricsRegistry::gauge_family(
+    const std::string& name, const std::vector<std::string>& label_keys,
+    std::size_t max_series) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return family_get(gauge_families_, name, label_keys, max_series,
+                    "gauge family");
+}
+
+HistogramFamily& MetricsRegistry::histogram_family(
+    const std::string& name, const std::vector<std::string>& label_keys,
+    std::size_t max_series) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return family_get(histogram_families_, name, label_keys, max_series,
+                    "histogram family");
+}
+
+void MetricsRegistry::enable_process_metrics(const std::string& version,
+                                             int protocol_rev) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (uptime_gauge_ != nullptr) return;  // idempotent
+  }
+  // Instrument creation re-takes the registry mutex, so the flag check
+  // above runs in its own scope.
+  Gauge& uptime = gauge("process.uptime_seconds");
+  GaugeFamily& info = gauge_family("build.info", {"version", "protocol"});
+  info.with({version, std::to_string(protocol_rev)}).set(1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  process_start_ = std::chrono::steady_clock::now();
+  uptime_gauge_ = &uptime;
+}
+
+void MetricsRegistry::refresh_process_metrics() const {
+  // Called with mutex_ held at the top of each exposition.
+  if (uptime_gauge_ == nullptr) return;
+  const auto up = std::chrono::steady_clock::now() - process_start_;
+  uptime_gauge_->set(
+      std::chrono::duration_cast<std::chrono::seconds>(up).count());
+}
+
 Json MetricsRegistry::to_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  refresh_process_metrics();
   Json counters = Json::object();
   for (const auto& [name, c] : counters_) counters.set(name, c->value());
   Json gauges = Json::object();
@@ -126,6 +209,71 @@ Json MetricsRegistry::to_json() const {
   doc.set("counters", counters);
   doc.set("gauges", gauges);
   doc.set("histograms", histograms);
+  // Families ride a separate key so a registry without any emits the
+  // byte-identical pre-family document.
+  if (!counter_families_.empty() || !gauge_families_.empty() ||
+      !histogram_families_.empty()) {
+    Json families = Json::object();
+    auto labels_json = [](const std::vector<std::string>& keys,
+                          const std::vector<std::string>& values) {
+      Json labels = Json::object();
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        labels.set(keys[i], values[i]);
+      }
+      return labels;
+    };
+    auto family_header = [](const auto& family, const char* kind) {
+      Json entry = Json::object();
+      entry.set("kind", kind);
+      Json keys = Json::array();
+      for (const std::string& k : family.keys()) keys.push(k);
+      entry.set("labels", keys);
+      entry.set("overflowed", family.overflowed());
+      return entry;
+    };
+    for (const auto& [name, fam] : counter_families_) {
+      Json entry = family_header(*fam, "counter");
+      Json series = Json::array();
+      for (const auto& [values, c] : fam->snapshot()) {
+        Json row = Json::object();
+        row.set("labels", labels_json(fam->keys(), values));
+        row.set("value", c->value());
+        series.push(row);
+      }
+      entry.set("series", series);
+      families.set(name, entry);
+    }
+    for (const auto& [name, fam] : gauge_families_) {
+      Json entry = family_header(*fam, "gauge");
+      Json series = Json::array();
+      for (const auto& [values, g] : fam->snapshot()) {
+        Json row = Json::object();
+        row.set("labels", labels_json(fam->keys(), values));
+        row.set("value", g->value());
+        series.push(row);
+      }
+      entry.set("series", series);
+      families.set(name, entry);
+    }
+    for (const auto& [name, fam] : histogram_families_) {
+      Json entry = family_header(*fam, "histogram");
+      Json series = Json::array();
+      for (const auto& [values, h] : fam->snapshot()) {
+        const Histogram::Summary s = h->summarize();
+        Json row = Json::object();
+        row.set("labels", labels_json(fam->keys(), values));
+        row.set("count", s.count);
+        row.set("sum", s.sum);
+        row.set("p50", s.p50);
+        row.set("p95", s.p95);
+        row.set("p99", s.p99);
+        series.push(row);
+      }
+      entry.set("series", series);
+      families.set(name, entry);
+    }
+    doc.set("families", families);
+  }
   return doc;
 }
 
@@ -139,10 +287,73 @@ std::string prom_name(const std::string& name) {
   return out;
 }
 
+/// Prometheus label-value escaping: backslash, quote, newline.
+std::string prom_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// {key="value",...} for one series; `extra` appends a pre-rendered pair
+/// (the histogram le bound).
+std::string prom_labels(const std::vector<std::string>& keys,
+                        const std::vector<std::string>& values,
+                        const std::string& extra = "") {
+  std::string out = "{";
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i != 0) out += ",";
+    out += keys[i] + "=\"" + prom_escape(values[i]) + "\"";
+  }
+  if (!extra.empty()) {
+    if (keys.size() != 0) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+void prom_histogram_series(std::string& out, const std::string& p,
+                           const Histogram& h, const std::string& labels,
+                           const std::vector<std::string>& keys,
+                           const std::vector<std::string>& values) {
+  const auto buckets = h.bucket_counts();
+  std::size_t highest = 0;
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    total += buckets[b];
+    if (buckets[b] != 0) highest = b;
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b <= highest; ++b) {
+    cumulative += buckets[b];
+    out += p + "_bucket" +
+           prom_labels(keys, values,
+                       "le=\"" + std::to_string(std::uint64_t{1} << b) +
+                           "\"") +
+           " " + std::to_string(cumulative) + "\n";
+  }
+  out += p + "_bucket" + prom_labels(keys, values, "le=\"+Inf\"") + " " +
+         std::to_string(total) + "\n";
+  out += p + "_sum" + labels + " " + std::to_string(h.sum()) + "\n";
+  out += p + "_count" + labels + " " + std::to_string(total) + "\n";
+}
+
 }  // namespace
 
 std::string MetricsRegistry::to_text() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  refresh_process_metrics();
   std::string out;
   for (const auto& [name, c] : counters_) {
     const std::string p = prom_name(name);
@@ -157,23 +368,31 @@ std::string MetricsRegistry::to_text() const {
   for (const auto& [name, h] : histograms_) {
     const std::string p = prom_name(name);
     out += "# TYPE " + p + " histogram\n";
-    const auto buckets = h->bucket_counts();
-    std::size_t highest = 0;
-    std::uint64_t total = 0;
-    for (std::size_t b = 0; b < buckets.size(); ++b) {
-      total += buckets[b];
-      if (buckets[b] != 0) highest = b;
+    prom_histogram_series(out, p, *h, "", {}, {});
+  }
+  for (const auto& [name, fam] : counter_families_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    for (const auto& [values, c] : fam->snapshot()) {
+      out += p + prom_labels(fam->keys(), values) + " " +
+             std::to_string(c->value()) + "\n";
     }
-    std::uint64_t cumulative = 0;
-    for (std::size_t b = 0; b <= highest; ++b) {
-      cumulative += buckets[b];
-      out += p + "_bucket{le=\"" +
-             std::to_string(std::uint64_t{1} << b) + "\"} " +
-             std::to_string(cumulative) + "\n";
+  }
+  for (const auto& [name, fam] : gauge_families_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    for (const auto& [values, g] : fam->snapshot()) {
+      out += p + prom_labels(fam->keys(), values) + " " +
+             std::to_string(g->value()) + "\n";
     }
-    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(total) + "\n";
-    out += p + "_sum " + std::to_string(h->sum()) + "\n";
-    out += p + "_count " + std::to_string(total) + "\n";
+  }
+  for (const auto& [name, fam] : histogram_families_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    for (const auto& [values, h] : fam->snapshot()) {
+      prom_histogram_series(out, p, *h, prom_labels(fam->keys(), values),
+                            fam->keys(), values);
+    }
   }
   return out;
 }

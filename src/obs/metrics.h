@@ -1,5 +1,6 @@
 // Metrics registry: named counters, gauges, and histograms shared by every
-// layer of the delivery stack.
+// layer of the delivery stack — plus LABELED FAMILIES of the same three
+// instruments for per-tenant attribution.
 //
 // The discipline is the one ServerStats pioneered — every mutation is a
 // relaxed atomic so hot paths never take a lock, and latency samples go
@@ -9,31 +10,67 @@
 // so any subsystem can publish a counter without owning a bespoke stats
 // block, and admin tooling can enumerate everything that exists.
 //
+// Families add one DIMENSION to a name: counter_family("req.count",
+// {"customer"}) owns one Counter per label-value tuple, created on first
+// use through Family::with() (a mutex-guarded lookup whose result callers
+// cache — one lookup per session, lock-free mutation from then on). A
+// family is bounded: past `max_series` distinct tuples, new tuples
+// collapse onto a single overflow series (labels all "__other__") instead
+// of growing without limit, so a hostile or buggy client cannot use label
+// cardinality as a memory attack. Flat names and family names share one
+// namespace: claiming a name twice under different kinds (or the same
+// family name with different label keys) throws a typed MetricsError.
+//
 // Exposition comes in two forms:
-//   to_json()  structured snapshot (the MetricsDump wire query);
+//   to_json()  structured snapshot (the MetricsDump wire query). Flat
+//              instruments keep their exact pre-family shape; families
+//              appear under a separate "families" key, so existing
+//              consumers never see a changed byte until families exist;
 //   to_text()  Prometheus-style text ('.' becomes '_', histograms emit
-//              cumulative le-buckets), scrape-ready.
+//              cumulative le-buckets, family series carry
+//              {key="value",...} label sets), scrape-ready — this is what
+//              the admin HTTP endpoint's GET /metrics serves.
+//
+// enable_process_metrics() registers the two instruments every scrape
+// should carry to identify the binary: a `process.uptime_seconds` gauge
+// (refreshed at exposition time) and a `build.info` gauge family whose
+// single series carries the version and protocol revision as labels with
+// value 1 — the standard Prometheus build-info idiom.
 //
 // Percentiles are interpolated WITHIN the crossing bucket (the old
 // ServerStats read back bucket upper bounds, which overstated the tail by
 // up to 2x at the bucket edges); see Histogram::percentile.
 //
-// Naming convention (DESIGN.md §10): dotted lowercase paths, coarsest
+// Naming convention (DESIGN.md §10/§15): dotted lowercase paths, coarsest
 // subsystem first — server.sessions_opened, server.request_us,
 // sim.kernel.evals. Histograms of microsecond latencies end in _us.
+// Per-tenant families put the tenant in the label, never the name:
+// req.latency_us{customer="acme"}.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "util/json.h"
 
 namespace jhdl::obs {
+
+/// Typed registry misuse: a name claimed twice under different kinds, a
+/// family re-registered with different label keys, or a with() call whose
+/// label tuple does not match the family's keys.
+class MetricsError : public std::runtime_error {
+ public:
+  explicit MetricsError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// Monotonic event count. Mutation is one relaxed fetch_add.
 class Counter {
@@ -101,32 +138,161 @@ class Histogram {
   std::atomic<std::uint64_t> sum_{0};
 };
 
+/// One labeled dimension over an instrument kind: a bounded map from
+/// label-value tuples to instruments. with() is the only mutation path;
+/// instruments are never destroyed while the family lives, so the
+/// references it returns are stable and callers cache them (one lookup at
+/// session open, lock-free mutation per request from then on).
+template <class T>
+class Family {
+ public:
+  /// Distinct label tuples retained before new tuples collapse onto the
+  /// overflow series. Chosen so a fleet of real tenants always fits while
+  /// a label-cardinality attack stays O(1) memory.
+  static constexpr std::size_t kDefaultMaxSeries = 256;
+  /// Label value every over-cap tuple is folded into.
+  static constexpr const char* kOverflowLabel = "__other__";
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& keys() const { return keys_; }
+
+  /// The instrument for one label-value tuple (order matches keys()),
+  /// created on first use. Past the cardinality cap, unseen tuples share
+  /// the overflow series and `overflowed` counts the collapses. Throws
+  /// MetricsError when the tuple arity does not match the family's keys.
+  T& with(const std::vector<std::string>& values) {
+    if (values.size() != keys_.size()) {
+      throw MetricsError("family '" + name_ + "' takes " +
+                         std::to_string(keys_.size()) + " label value(s), got " +
+                         std::to_string(values.size()));
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = series_.find(values);
+    if (it != series_.end()) return *it->second;
+    if (series_.size() >= max_series_) {
+      overflowed_.fetch_add(1, std::memory_order_relaxed);
+      const std::vector<std::string> overflow(keys_.size(), kOverflowLabel);
+      auto ov = series_.find(overflow);
+      if (ov != series_.end()) return *ov->second;
+      return *series_.emplace(overflow, std::make_unique<T>()).first->second;
+    }
+    return *series_.emplace(values, std::make_unique<T>()).first->second;
+  }
+  T& with(std::initializer_list<std::string> values) {
+    return with(std::vector<std::string>(values));
+  }
+
+  std::size_t series_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return series_.size();
+  }
+  /// with() calls that landed on the overflow series because the family
+  /// was at its cardinality cap.
+  std::uint64_t overflowed() const {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
+
+  /// Stable-pointer snapshot for exposition: instruments outlive the
+  /// returned pointers for the family's whole life.
+  std::vector<std::pair<std::vector<std::string>, const T*>> snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::vector<std::string>, const T*>> out;
+    out.reserve(series_.size());
+    for (const auto& [labels, instrument] : series_) {
+      out.emplace_back(labels, instrument.get());
+    }
+    return out;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Family(std::string name, std::vector<std::string> keys,
+         std::size_t max_series)
+      : name_(std::move(name)),
+        keys_(std::move(keys)),
+        max_series_(max_series == 0 ? kDefaultMaxSeries : max_series) {}
+
+  const std::string name_;
+  const std::vector<std::string> keys_;
+  const std::size_t max_series_;
+  mutable std::mutex mutex_;
+  std::map<std::vector<std::string>, std::unique_ptr<T>> series_;
+  std::atomic<std::uint64_t> overflowed_{0};
+};
+
+using CounterFamily = Family<Counter>;
+using GaugeFamily = Family<Gauge>;
+using HistogramFamily = Family<Histogram>;
+
 /// Owns every named instrument of one process/service. Creation takes a
 /// mutex and returns a stable reference; callers cache the reference and
 /// mutate lock-free from then on. Re-requesting a name returns the same
 /// instrument; requesting a name already registered as a different kind
-/// throws (one name, one meaning).
+/// throws MetricsError (one name, one meaning — flat instruments and
+/// families share the namespace).
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
+  /// Labeled families. Re-requesting a family name with the SAME label
+  /// keys returns the same family; different keys (or a name already
+  /// claimed flat or by another kind) throws MetricsError. `max_series`
+  /// bounds distinct label tuples (0 = Family::kDefaultMaxSeries).
+  CounterFamily& counter_family(const std::string& name,
+                                const std::vector<std::string>& label_keys,
+                                std::size_t max_series = 0);
+  GaugeFamily& gauge_family(const std::string& name,
+                            const std::vector<std::string>& label_keys,
+                            std::size_t max_series = 0);
+  HistogramFamily& histogram_family(const std::string& name,
+                                    const std::vector<std::string>& label_keys,
+                                    std::size_t max_series = 0);
+
+  /// Register the binary-identity instruments every scrape should carry:
+  /// `process.uptime_seconds` (refreshed at exposition time from the
+  /// steady clock) and the `build.info` gauge family with one series
+  /// {version, protocol} = 1. Idempotent.
+  void enable_process_metrics(const std::string& version, int protocol_rev);
+
   /// Structured snapshot: {"counters": {...}, "gauges": {...},
-  /// "histograms": {name: {count, sum, p50, p95, p99}}}.
+  /// "histograms": {name: {count, sum, p50, p95, p99}}}. Families appear
+  /// under an additional "families" key only once any exist, so the
+  /// pre-family wire format is byte-identical for registries without
+  /// them.
   Json to_json() const;
 
   /// Prometheus-style exposition ('.' -> '_', cumulative le-buckets up to
-  /// the highest non-empty one plus +Inf).
+  /// the highest non-empty one plus +Inf, family series labeled
+  /// {key="value",...}).
   std::string to_text() const;
 
  private:
-  void check_unclaimed(const std::string& name) const;
+  void check_unclaimed(const std::string& name, const char* as_kind) const;
+  /// The kind already owning `name`, or null. Called with mutex_ held.
+  const char* kind_of(const std::string& name) const;
+  void refresh_process_metrics() const;
+  /// Shared body of the three family getters: return-or-create under the
+  /// registry mutex, enforcing key-set agreement on re-request. Defined in
+  /// metrics.cpp (only used there).
+  template <class F>
+  F& family_get(std::map<std::string, std::unique_ptr<F>>& families,
+                const std::string& name,
+                const std::vector<std::string>& label_keys,
+                std::size_t max_series, const char* kind);
 
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<CounterFamily>> counter_families_;
+  std::map<std::string, std::unique_ptr<GaugeFamily>> gauge_families_;
+  std::map<std::string, std::unique_ptr<HistogramFamily>> histogram_families_;
+
+  /// Exposition-time uptime refresh (enable_process_metrics).
+  Gauge* uptime_gauge_ = nullptr;
+  std::chrono::steady_clock::time_point process_start_{};
 };
 
 }  // namespace jhdl::obs

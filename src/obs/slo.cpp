@@ -1,0 +1,211 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+
+namespace jhdl::obs {
+
+const char* slo_health_name(SloHealth health) {
+  switch (health) {
+    case SloHealth::Healthy:
+      return "healthy";
+    case SloHealth::Warning:
+      return "warning";
+    case SloHealth::Critical:
+      return "critical";
+  }
+  return "?";
+}
+
+void SloEngine::Window::init(std::chrono::milliseconds span,
+                             std::size_t buckets) {
+  if (buckets == 0) buckets = 1;
+  bucket_us = static_cast<std::uint64_t>(span.count()) * 1000 / buckets;
+  if (bucket_us == 0) bucket_us = 1;
+  good.assign(buckets, 0);
+  bad.assign(buckets, 0);
+  index.assign(buckets, 0);
+}
+
+void SloEngine::Window::record(std::uint64_t now_us, bool is_good) {
+  const std::uint64_t abs = now_us / bucket_us;
+  const std::size_t slot = abs % good.size();
+  if (index[slot] != abs) {
+    // The ring has wrapped past this slot since it was last written:
+    // retire its stale counts before reusing it for the current bucket.
+    index[slot] = abs;
+    good[slot] = 0;
+    bad[slot] = 0;
+  }
+  (is_good ? good : bad)[slot] += 1;
+}
+
+void SloEngine::Window::totals(std::uint64_t now_us, std::uint64_t& good_out,
+                               std::uint64_t& bad_out) const {
+  good_out = 0;
+  bad_out = 0;
+  const std::uint64_t abs = now_us / bucket_us;
+  const std::uint64_t n = good.size();
+  // A slot contributes only if its absolute bucket still falls inside the
+  // window ending now (lazy expiry — no background sweeper).
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    if (index[slot] + n > abs) {
+      good_out += good[slot];
+      bad_out += bad[slot];
+    }
+  }
+}
+
+SloEngine::SloEngine(SloConfig config, MetricsRegistry* metrics)
+    : config_(config), metrics_(metrics) {
+  if (config_.buckets == 0) config_.buckets = 1;
+  if (config_.max_tenants == 0) config_.max_tenants = 1;
+  if (metrics_ != nullptr) {
+    const std::vector<std::string> keys{"objective", "customer"};
+    health_gauge_ = &metrics_->gauge_family("slo.health", keys);
+    fast_gauge_ = &metrics_->gauge_family("slo.burn.fast_x100", keys);
+    slow_gauge_ = &metrics_->gauge_family("slo.burn.slow_x100", keys);
+  }
+}
+
+void SloEngine::define(SloObjective objective) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  objectives_[objective.name] = std::move(objective);
+}
+
+bool SloEngine::defined(const std::string& objective) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objectives_.count(objective) != 0;
+}
+
+std::vector<std::string> SloEngine::objectives() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(objectives_.size());
+  for (const auto& [name, obj] : objectives_) out.push_back(name);
+  return out;
+}
+
+SloEngine::Series& SloEngine::series_for(const SloObjective& objective,
+                                         const std::string& tenant) {
+  // Bounded like the metric families: past max_tenants distinct tenants
+  // per objective, the long tail shares one overflow series.
+  auto key = std::make_pair(objective.name, tenant);
+  auto it = series_.find(key);
+  if (it != series_.end()) return it->second;
+  std::size_t tenants = 0;
+  for (const auto& [k, s] : series_) {
+    if (k.first == objective.name) ++tenants;
+  }
+  if (tenants >= config_.max_tenants) {
+    key.second = kOverflowTenant;
+    it = series_.find(key);
+    if (it != series_.end()) return it->second;
+  }
+  Series& s = series_[key];
+  s.fast.init(config_.fast_window, config_.buckets);
+  s.slow.init(config_.slow_window, config_.buckets);
+  return s;
+}
+
+void SloEngine::record(const std::string& objective, const std::string& tenant,
+                       bool good, std::uint64_t now_us) {
+  if (now_us == 0) now_us = Tracer::now_us();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objectives_.find(objective);
+  if (it == objectives_.end()) return;
+  Series& s = series_for(it->second, tenant);
+  s.fast.record(now_us, good);
+  s.slow.record(now_us, good);
+}
+
+double SloEngine::burn_of(std::uint64_t good, std::uint64_t bad,
+                          double budget) {
+  const std::uint64_t total = good + bad;
+  if (total == 0 || budget <= 0.0) return 0.0;
+  return (static_cast<double>(bad) / static_cast<double>(total)) / budget;
+}
+
+std::vector<SloEngine::Burn> SloEngine::evaluate(std::uint64_t now_us) {
+  if (now_us == 0) now_us = Tracer::now_us();
+  std::vector<Burn> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(series_.size());
+    for (const auto& [key, s] : series_) {
+      const auto obj_it = objectives_.find(key.first);
+      if (obj_it == objectives_.end()) continue;
+      const SloObjective& obj = obj_it->second;
+      Burn b;
+      b.objective = key.first;
+      b.tenant = key.second;
+      std::uint64_t good = 0, bad = 0;
+      s.fast.totals(now_us, good, bad);
+      b.fast_events = good + bad;
+      b.fast_burn = burn_of(good, bad, obj.budget);
+      s.slow.totals(now_us, good, bad);
+      b.slow_events = good + bad;
+      b.slow_burn = burn_of(good, bad, obj.budget);
+      const bool fast_hot = b.fast_burn >= obj.fast_burn_threshold;
+      const bool slow_hot = b.slow_burn >= obj.slow_burn_threshold;
+      if (fast_hot && slow_hot) {
+        b.health = SloHealth::Critical;
+      } else if (fast_hot || slow_hot) {
+        b.health = SloHealth::Warning;
+      }
+      out.push_back(std::move(b));
+    }
+  }
+  // std::map iteration is already (objective, tenant)-ordered.
+  if (health_gauge_ != nullptr) {
+    for (const Burn& b : out) {
+      const std::vector<std::string> labels{b.objective, b.tenant};
+      health_gauge_->with(labels).set(static_cast<int>(b.health));
+      fast_gauge_->with(labels).set(
+          static_cast<std::int64_t>(b.fast_burn * 100.0));
+      slow_gauge_->with(labels).set(
+          static_cast<std::int64_t>(b.slow_burn * 100.0));
+    }
+  }
+  return out;
+}
+
+SloHealth SloEngine::overall(std::uint64_t now_us) {
+  SloHealth worst = SloHealth::Healthy;
+  for (const Burn& b : evaluate(now_us)) {
+    if (static_cast<int>(b.health) > static_cast<int>(worst)) {
+      worst = b.health;
+    }
+  }
+  return worst;
+}
+
+Json SloEngine::to_json(std::uint64_t now_us) {
+  if (now_us == 0) now_us = Tracer::now_us();
+  const std::vector<Burn> burns = evaluate(now_us);
+  SloHealth worst = SloHealth::Healthy;
+  for (const Burn& b : burns) {
+    if (static_cast<int>(b.health) > static_cast<int>(worst)) {
+      worst = b.health;
+    }
+  }
+  Json doc = Json::object();
+  doc.set("overall", std::string(slo_health_name(worst)));
+  Json series = Json::array();
+  for (const Burn& b : burns) {
+    Json entry = Json::object();
+    entry.set("objective", b.objective);
+    entry.set("customer", b.tenant);
+    entry.set("fast_burn", b.fast_burn);
+    entry.set("slow_burn", b.slow_burn);
+    entry.set("fast_events", b.fast_events);
+    entry.set("slow_events", b.slow_events);
+    entry.set("health", std::string(slo_health_name(b.health)));
+    series.push(entry);
+  }
+  doc.set("series", series);
+  return doc;
+}
+
+}  // namespace jhdl::obs

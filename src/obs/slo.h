@@ -1,0 +1,148 @@
+// Per-tenant SLO engine: declarative objectives evaluated over
+// multi-window burn rates (DESIGN.md §15).
+//
+// Model (the standard SRE burn-rate framing): an OBJECTIVE is a stream of
+// good/bad events with an error BUDGET — the fraction of events allowed
+// to be bad (p99 latency objective: budget 0.01, bad = request slower
+// than the threshold; error-rate objective: budget = allowed error
+// fraction; warm-hit objective: budget = allowed miss fraction). The
+// BURN RATE over a window is (bad fraction in window) / budget: burn 1.0
+// consumes exactly the budget, burn 14 exhausts a 30-day budget in ~2
+// days. One window is not enough — a short window alone pages on blips,
+// a long window alone pages hours late — so each objective is judged
+// over a FAST window (default 5 min) and a SLOW window (default 1 h):
+//
+//   Critical  fast AND slow burn over their thresholds (sustained burn,
+//             still burning right now) — /healthz goes unhealthy;
+//   Warning   exactly one window over its threshold (a blip that may
+//             become a page, or a burn that is already recovering);
+//   Healthy   otherwise (including no traffic at all).
+//
+// Events land per (objective, tenant) in bucketed ring windows — O(1)
+// memory per series, same boundedness discipline as the metric families
+// (max_tenants collapses the long tail onto "__other__"). record() takes
+// the engine mutex for a few nanoseconds of bucket arithmetic; the
+// delivery service calls it once per request, far off the simulation hot
+// path (bench_obs_overhead gates the whole plane at <3%).
+//
+// evaluate() publishes each series' state through the metrics registry as
+// gauge families — slo.health{objective,customer} (0/1/2) and
+// slo.burn.fast_x100/slo.burn.slow_x100 (burn rate, fixed-point x100) —
+// so a Prometheus scraping GET /metrics sees SLO state with no extra
+// query language. Timestamps are injectable (now_us parameters) so tests
+// drive the windows without sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace jhdl::obs {
+
+enum class SloHealth : int { Healthy = 0, Warning = 1, Critical = 2 };
+
+const char* slo_health_name(SloHealth health);
+
+/// One declarative objective. `budget` is the allowed bad fraction;
+/// the burn thresholds follow the classic multi-window pairing (a fast
+/// burn of 14 exhausts a 30-day budget in ~2 days; 6 in ~5 days).
+struct SloObjective {
+  std::string name;
+  double budget = 0.01;
+  double fast_burn_threshold = 14.0;
+  double slow_burn_threshold = 6.0;
+};
+
+struct SloConfig {
+  std::chrono::milliseconds fast_window{std::chrono::minutes(5)};
+  std::chrono::milliseconds slow_window{std::chrono::hours(1)};
+  /// Ring buckets per window (granularity of expiry).
+  std::size_t buckets = 12;
+  /// Distinct tenants tracked per objective before the long tail
+  /// collapses onto one "__other__" series.
+  std::size_t max_tenants = 256;
+};
+
+/// Burn-rate evaluator for one service. Thread-safe.
+class SloEngine {
+ public:
+  static constexpr const char* kOverflowTenant = "__other__";
+
+  /// `metrics` may be null (no gauge exposition). The registry must
+  /// outlive the engine.
+  explicit SloEngine(SloConfig config = {},
+                     MetricsRegistry* metrics = nullptr);
+
+  /// Register (or redefine) an objective.
+  void define(SloObjective objective);
+  bool defined(const std::string& objective) const;
+  std::vector<std::string> objectives() const;
+
+  /// Record one event for (objective, tenant). Unknown objectives are
+  /// ignored (the caller may feed a superset). `now_us` = 0 means the
+  /// real clock (Tracer::now_us); tests pass explicit stamps.
+  void record(const std::string& objective, const std::string& tenant,
+              bool good, std::uint64_t now_us = 0);
+
+  struct Burn {
+    std::string objective;
+    std::string tenant;
+    double fast_burn = 0.0;
+    double slow_burn = 0.0;
+    std::uint64_t fast_events = 0;
+    std::uint64_t slow_events = 0;
+    SloHealth health = SloHealth::Healthy;
+  };
+
+  /// Evaluate every (objective, tenant) series at `now_us` and publish
+  /// the slo.* gauges. Sorted by objective, then tenant.
+  std::vector<Burn> evaluate(std::uint64_t now_us = 0);
+
+  /// The worst health across all series (what /healthz keys on).
+  SloHealth overall(std::uint64_t now_us = 0);
+
+  /// {"overall":"healthy","series":[{objective,tenant,fast_burn,...}]}.
+  Json to_json(std::uint64_t now_us = 0);
+
+ private:
+  /// Bucketed ring over one window: bucket i covers one bucket_us-wide
+  /// time slice; a slot is lazily reset when its absolute index moves on.
+  struct Window {
+    std::uint64_t bucket_us = 0;
+    std::vector<std::uint64_t> good;
+    std::vector<std::uint64_t> bad;
+    std::vector<std::uint64_t> index;  ///< absolute bucket index per slot
+
+    void init(std::chrono::milliseconds span, std::size_t buckets);
+    void record(std::uint64_t now_us, bool is_good);
+    void totals(std::uint64_t now_us, std::uint64_t& good_out,
+                std::uint64_t& bad_out) const;
+  };
+
+  struct Series {
+    Window fast;
+    Window slow;
+  };
+
+  Series& series_for(const SloObjective& objective,
+                     const std::string& tenant);
+  static double burn_of(std::uint64_t good, std::uint64_t bad,
+                        double budget);
+
+  SloConfig config_;
+  MetricsRegistry* metrics_;
+  GaugeFamily* health_gauge_ = nullptr;
+  GaugeFamily* fast_gauge_ = nullptr;
+  GaugeFamily* slow_gauge_ = nullptr;
+  mutable std::mutex mutex_;
+  std::map<std::string, SloObjective> objectives_;
+  std::map<std::pair<std::string, std::string>, Series> series_;
+};
+
+}  // namespace jhdl::obs

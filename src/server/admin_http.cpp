@@ -1,0 +1,128 @@
+#include "server/admin_http.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace jhdl::server {
+
+namespace {
+
+std::string status_line(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.0 200 OK\r\n";
+    case 404:
+      return "HTTP/1.0 404 Not Found\r\n";
+    case 405:
+      return "HTTP/1.0 405 Method Not Allowed\r\n";
+    case 431:
+      return "HTTP/1.0 431 Request Header Fields Too Large\r\n";
+    case 503:
+      return "HTTP/1.0 503 Service Unavailable\r\n";
+    default:
+      return "HTTP/1.0 500 Internal Server Error\r\n";
+  }
+}
+
+std::string render(int code, const std::string& content_type,
+                   const std::string& body) {
+  std::string out = status_line(code);
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+AdminHttpServer::AdminHttpServer(AdminRoutes routes, int backlog)
+    : routes_(std::move(routes)), listener_(backlog) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+AdminHttpServer::~AdminHttpServer() { stop(); }
+
+void AdminHttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void AdminHttpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    try {
+      serve(listener_.accept());
+    } catch (const net::NetError&) {
+      // accept() failing means the listener was closed (stop()) or a
+      // transient race on a dying connection; requests themselves never
+      // throw out of serve().
+    }
+  }
+}
+
+void AdminHttpServer::serve(net::TcpStream stream) {
+  std::string response;
+  try {
+    stream.set_recv_timeout(kRecvTimeoutMs);
+    // Read until the end of the header block; the request line is all we
+    // route on (GET has no body).
+    std::string request;
+    std::uint8_t buf[1024];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.find("\n\n") == std::string::npos) {
+      if (request.size() > kMaxRequestBytes) {
+        const std::string r = render(431, "text/plain", "request too large\n");
+        stream.send_bytes(std::vector<std::uint8_t>(r.begin(), r.end()));
+        return;
+      }
+      const std::size_t n = stream.recv_raw(buf, sizeof buf);
+      request.append(reinterpret_cast<const char*>(buf), n);
+    }
+    const std::size_t line_end = request.find_first_of("\r\n");
+    const std::string line = request.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    const std::string method =
+        sp1 == std::string::npos ? line : line.substr(0, sp1);
+    std::string path = sp2 == std::string::npos
+                           ? (sp1 == std::string::npos
+                                  ? std::string()
+                                  : line.substr(sp1 + 1))
+                           : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+
+    if (method != "GET") {
+      response = render(405, "text/plain", "method not allowed\n");
+    } else if (path == "/metrics" && routes_.metrics_text) {
+      response = render(200, "text/plain; version=0.0.4",
+                        routes_.metrics_text());
+    } else if (path == "/healthz" && routes_.healthz) {
+      const auto [healthy, body] = routes_.healthz();
+      response = render(healthy ? 200 : 503, "text/plain", body);
+    } else if (path == "/slo" && routes_.slo_json) {
+      response = render(200, "application/json", routes_.slo_json());
+    } else if (path == "/flight" && routes_.flight_jsonl) {
+      response = render(200, "application/jsonl", routes_.flight_jsonl());
+    } else {
+      response = render(404, "text/plain", "not found\n");
+    }
+  } catch (const net::NetError&) {
+    return;  // timed out / dropped mid-request; nothing to answer
+  } catch (const std::exception& e) {
+    response = render(500, "text/plain", std::string(e.what()) + "\n");
+  }
+  try {
+    stream.send_bytes(std::vector<std::uint8_t>(response.begin(),
+                                                response.end()));
+  } catch (const net::NetError&) {
+    // Scraper went away before the response: its loss.
+  }
+}
+
+}  // namespace jhdl::server

@@ -1,0 +1,81 @@
+// Admin HTTP endpoint: the scrape-and-poke plane of the delivery service
+// (DESIGN.md §15).
+//
+// A deliberately minimal HTTP/1.0 server (every response carries
+// Content-Length and Connection: close) on its OWN listener and port,
+// separate from the framed delivery protocol — an operator's Prometheus
+// scraper must never contend with, or be confused for, licensed IP
+// traffic. It reuses the same TcpListener/TcpStream plumbing the framed
+// protocol runs on; only the byte discipline differs (recv_raw instead of
+// frames).
+//
+// Routes (GET only; anything else is 405/404):
+//   /metrics  Prometheus text exposition of the service registry —
+//             flat instruments plus per-tenant families and slo.* gauges;
+//   /healthz  200 "ok" while SLOs are not burning critically,
+//             503 "burning" once the burn-rate engine reports Critical;
+//   /slo      the SLO engine's JSON (per-tenant burns and health);
+//   /flight   triggers the flight recorder and returns the JSONL bundle.
+//
+// The handlers are injected as std::functions so the server owns no
+// observability state and tests can drive it with canned routes. Requests
+// are served inline on the accept thread: the admin plane is one scraper
+// polling every few seconds, not a concurrency problem worth a pool. A
+// slow or hostile client is bounded by a recv timeout and a header cap,
+// then dropped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "net/socket.h"
+
+namespace jhdl::server {
+
+/// The observability callbacks one admin server exposes. Unset routes
+/// answer 404.
+struct AdminRoutes {
+  /// GET /metrics -> Prometheus text (the callee evaluates SLO gauges
+  /// first so a scrape always sees fresh burn rates).
+  std::function<std::string()> metrics_text;
+  /// GET /healthz -> (healthy?, body). Unhealthy answers 503.
+  std::function<std::pair<bool, std::string>()> healthz;
+  /// GET /slo -> JSON body.
+  std::function<std::string()> slo_json;
+  /// GET /flight -> triggers a dump, returns its JSONL.
+  std::function<std::string()> flight_jsonl;
+};
+
+/// One accept thread serving HTTP/1.0 on a kernel-chosen loopback port.
+class AdminHttpServer {
+ public:
+  /// Request lines + headers larger than this are answered 431 and
+  /// dropped (nothing legitimate comes close).
+  static constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+  /// recv timeout per connection, ms: a stalled scraper cannot wedge the
+  /// accept thread for longer than this.
+  static constexpr int kRecvTimeoutMs = 2000;
+
+  explicit AdminHttpServer(AdminRoutes routes, int backlog = 8);
+  ~AdminHttpServer();
+  AdminHttpServer(const AdminHttpServer&) = delete;
+  AdminHttpServer& operator=(const AdminHttpServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve(net::TcpStream stream);
+
+  AdminRoutes routes_;
+  net::TcpListener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace jhdl::server

@@ -6,6 +6,7 @@
 #include "core/params.h"
 #include "net/sim_server.h"
 #include "sim/thread_pool.h"
+#include "util/version.h"
 
 namespace jhdl::server {
 
@@ -56,10 +57,22 @@ DeliveryService::DeliveryService(core::IpCatalog catalog,
                  &metrics_) {
   if (config_.workers == 0) config_.workers = 1;
   tracer_.set_enabled(config_.tracing);
+  log_.set_level(config_.log_level);
   // Publish the resolved kernel thread count every session will run with.
   metrics_.gauge("sim.threads")
       .set(static_cast<std::int64_t>(
           resolve_sim_threads(config_.sim_threads)));
+  // Binary identity + uptime for every scrape (process.uptime_seconds,
+  // build.info{version,protocol}).
+  metrics_.enable_process_metrics(kJhdlVersion, net::kProtocolVersion);
+  // The service-level objectives every tenant is judged against. Latency
+  // and errors page on sustained burn (classic 14x/6x multi-window
+  // thresholds); warm_hit's budget makes its burn an indicator that can
+  // never page (max burn 1/0.5 = 2 < 6) — cold builds are a cost signal,
+  // not an outage.
+  slo_.define({.name = "latency", .budget = 0.01});
+  slo_.define({.name = "errors", .budget = 0.05});
+  slo_.define({.name = "warm_hit", .budget = 0.5});
 }
 
 DeliveryService::~DeliveryService() { stop(); }
@@ -81,6 +94,25 @@ std::uint16_t DeliveryService::start() {
   if (config_.idle_timeout.count() > 0 || config_.resume_window.count() > 0) {
     reaper_ = std::thread([this] { reaper_loop(); });
   }
+  if (config_.admin_http) {
+    AdminRoutes routes;
+    routes.metrics_text = [this] {
+      // Refresh the slo.* gauges first so one scrape carries burn rates
+      // as fresh as the counters beside them.
+      slo_.evaluate();
+      return metrics_.to_text();
+    };
+    routes.healthz = [this] {
+      const obs::SloHealth health = slo_.overall();
+      return std::make_pair(health != obs::SloHealth::Critical,
+                            std::string(obs::slo_health_name(health)) + "\n");
+    };
+    routes.slo_json = [this] { return slo_.to_json().dump(2) + "\n"; };
+    routes.flight_jsonl = [this] { return flight_.trigger("on_demand"); };
+    admin_http_ = std::make_unique<AdminHttpServer>(std::move(routes));
+    log_.log(obs::LogLevel::Info, "admin.start",
+             {{"port", std::to_string(admin_http_->port())}});
+  }
   return port;
 }
 
@@ -88,6 +120,7 @@ void DeliveryService::stop() {
   if (!running_.exchange(false)) {
     return;
   }
+  admin_http_.reset();  // joins its accept thread; admin_port() goes 0
   if (listener_ != nullptr) listener_->close();  // unblocks accept()
   // Turn away connections still waiting for a worker.
   std::deque<PendingConn> orphans;
@@ -171,7 +204,14 @@ void DeliveryService::worker_loop() {
       tracer_.record("accept.queue", 0, pending.enqueued_us,
                      obs::Tracer::now_us() - pending.enqueued_us);
     }
-    serve_connection(std::move(pending.stream));
+    try {
+      serve_connection(std::move(pending.stream));
+    } catch (const std::exception& e) {
+      // A worker escaping its serve loop is a server bug: capture the
+      // postmortem bundle while the evidence is hot, keep the pool alive.
+      log_.log(obs::LogLevel::Fatal, "worker.fatal", {{"error", e.what()}});
+      flight_.trigger("worker.fatal");
+    }
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
@@ -286,6 +326,9 @@ void DeliveryService::serve_connection(net::TcpStream raw) {
   }
   reply.seq = first.seq;
   if (session == nullptr) {
+    log_.log(obs::LogLevel::Warn, "session.deny",
+             {{"customer", first.customer}, {"reason", reply.text}},
+             first.trace);
     try {
       stream->send_frame(encode(reply));
     } catch (const net::NetError&) {
@@ -363,6 +406,7 @@ Message DeliveryService::open_session(const Message& hello,
   }
   std::unique_ptr<core::BlackBoxModel> model;
   std::shared_ptr<const core::IpArtifact> artifact;
+  bool was_hit = false;
   try {
     // Store hit vs cold build is only known once get_or_build returns,
     // so the span is renamed at the end. The store canonicalizes the
@@ -372,7 +416,6 @@ Message DeliveryService::open_session(const Message& hello,
     obs::ScopedSpan span(tracer_, "session.elaborate", hello.trace);
     core::ParamMap params;
     for (const auto& [name, value] : hello.params) params.set(name, value);
-    bool was_hit = false;
     artifact = artifacts_.get_or_build(generator, params, &was_hit);
     if (was_hit) {
       stats_.record_program_share();
@@ -390,6 +433,9 @@ Message DeliveryService::open_session(const Message& hello,
   }
   session = sessions_.open(hello.customer, hello.name, std::move(model),
                            std::move(stream));
+  // The warm-hit SLO judges the artifact store from the tenant's seat:
+  // a cold build is the "bad" event (slow first response).
+  slo_.record("warm_hit", session->customer, was_hit);
   // Pin the artifact for the session's whole life - including parked
   // (resume_window) time - so store eviction can never free the program
   // a resumed session will replay against.
@@ -403,6 +449,11 @@ Message DeliveryService::open_session(const Message& hello,
   // server-minted one for clients that sent none (pre-v5, or untraced).
   session->trace_id =
       hello.trace != 0 ? hello.trace : obs::TraceContext::mint().id;
+  log_.log(obs::LogLevel::Info, "session.open",
+           {{"customer", session->customer},
+            {"module", session->module},
+            {"cache", was_hit ? "hit" : "miss"}},
+           session->trace_id);
   Json iface = session->model->interface_json();
   iface.set("customer", session->customer);
   iface.set("session", session->id);
@@ -468,9 +519,12 @@ DeliveryService::EndReason DeliveryService::serve_session(
     const std::shared_ptr<Session>& session) {
   while (running_ && !session->evicted.load(std::memory_order_relaxed)) {
     Message request;
+    std::size_t rx_bytes = 0;
     bool malformed = false;
     try {
-      request = decode(session->stream->recv_frame());
+      const std::vector<std::uint8_t> payload = session->stream->recv_frame();
+      rx_bytes = payload.size() + net::kFrameHeaderBytes;
+      request = decode(payload);
     } catch (const net::FrameError&) {
       // The frame arrived but was corrupt (bad CRC / impossible length);
       // the byte stream is still aligned, so report it and keep the
@@ -576,14 +630,25 @@ DeliveryService::EndReason DeliveryService::serve_session(
           span.set_name("req.throttled");
           reply.type = MsgType::Error;
           reply.code = ErrorCode::Throttled;
-          if (verdict == attack::Verdict::Park) {
+          const bool parked = verdict == attack::Verdict::Park;
+          stats_.record_escalation(session->customer, parked);
+          if (parked) {
             reply.text =
                 "query auditor: persistent extraction-like traffic; "
                 "session parked";
             session->evicted.store(true, std::memory_order_relaxed);
+            log_.log(obs::LogLevel::Error, "attack.park",
+                     {{"customer", session->customer},
+                      {"module", session->module}},
+                     trace);
+            flight_.trigger("attack.park");
           } else {
             reply.text =
                 "query auditor: extraction-like traffic; cooling down";
+            log_.log(obs::LogLevel::Warn, "attack.throttle",
+                     {{"customer", session->customer},
+                      {"module", session->module}},
+                     trace);
           }
         } else {
           try {
@@ -605,6 +670,19 @@ DeliveryService::EndReason DeliveryService::serve_session(
     reply.seq = request.seq;
     if (session->protocol >= 5) reply.trace = trace;
     std::vector<std::uint8_t> payload = encode(reply);
+    // Per-tenant attribution + SLO feed: every serviced request counts
+    // against its customer's families and burn-rate windows (cached
+    // pointers, relaxed atomics; the SLO record is a short mutex hop).
+    const bool is_error = reply.type == MsgType::Error;
+    session->tenant.requests->inc();
+    if (is_error) session->tenant.errors->inc();
+    session->tenant.latency_us->record(static_cast<std::uint64_t>(micros));
+    session->tenant.rx_bytes->inc(rx_bytes);
+    session->tenant.tx_bytes->inc(payload.size() + net::kFrameHeaderBytes);
+    slo_.record("latency", session->customer,
+                static_cast<std::uint64_t>(micros) <=
+                    config_.slo_latency_threshold_us);
+    slo_.record("errors", session->customer, !is_error);
     if (request.seq != 0 && request.seq > session->last_seq) {
       session->last_seq = request.seq;
       session->last_reply = payload;
@@ -632,8 +710,27 @@ void DeliveryService::finish_session(const std::shared_ptr<Session>& session,
   if (reason == EndReason::Transport && config_.resume_window.count() > 0) {
     // The transport died under a healthy session: park it for the client
     // to reclaim with Resume(token) instead of throwing the model away.
+    log_.log(obs::LogLevel::Info, "session.park",
+             {{"customer", session->customer},
+              {"module", session->module}},
+             session->trace_id);
     sessions_.detach(session);
+    // Snapshot the postmortem bundle while the parked session's state is
+    // hot: if the client never resumes, this is the record of why.
+    flight_.trigger("session.park");
     return;
+  }
+  if (reason == EndReason::Evicted) {
+    log_.log(obs::LogLevel::Warn, "session.evict",
+             {{"customer", session->customer},
+              {"module", session->module}},
+             session->trace_id);
+    flight_.trigger("session.evict");
+  } else {
+    log_.log(obs::LogLevel::Info, "session.close",
+             {{"customer", session->customer},
+              {"module", session->module}},
+             session->trace_id);
   }
   sessions_.close(session);
 }

@@ -58,8 +58,11 @@
 #include "net/fault_injection.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
+#include "server/admin_http.h"
 #include "server/session.h"
 #include "server/stats.h"
 #include "util/json.h"
@@ -106,6 +109,20 @@ struct DeliveryConfig {
   /// sim::resolve_sim_threads). The resolved value is published as the
   /// `sim.threads` gauge.
   std::size_t sim_threads = 0;
+  /// Serve the admin HTTP plane (GET /metrics, /healthz, /slo, /flight)
+  /// on its own kernel-chosen loopback port; see admin_port().
+  bool admin_http = false;
+  /// Minimum level the service logger records (Debug records cost ring
+  /// stores; below-level calls cost one relaxed load).
+  obs::LogLevel log_level = obs::LogLevel::Info;
+  /// Log records retained per writer thread.
+  std::size_t log_capacity = 1024;
+  /// Burn-rate windows and tenant bound for the SLO engine.
+  obs::SloConfig slo;
+  /// A request slower than this is a "bad" event for the per-tenant
+  /// latency SLO (the service-level objective, distinct from the
+  /// histogram, which records everything).
+  std::uint64_t slo_latency_threshold_us = 100'000;
 };
 
 /// Serves many concurrent black-box sessions from one catalog.
@@ -140,6 +157,20 @@ class DeliveryService {
   /// Span sink for this service; served by TraceDump as Chrome
   /// trace_event JSON. Disabled unless config.tracing (or set_enabled).
   obs::Tracer& tracer() { return tracer_; }
+  /// Structured log sink (session lifecycle, attack escalations, worker
+  /// fatals); feeds the flight recorder.
+  obs::Logger& log() { return log_; }
+  /// Per-tenant burn-rate engine (latency / errors / warm_hit
+  /// objectives); drives /healthz and the slo.* gauges.
+  obs::SloEngine& slo() { return slo_; }
+  /// Postmortem bundler: triggered on park/evict/fatal and by
+  /// GET /flight.
+  obs::FlightRecorder& flight() { return flight_; }
+  /// The admin HTTP plane's port; 0 unless config.admin_http and the
+  /// service is running.
+  std::uint16_t admin_port() const {
+    return admin_http_ != nullptr ? admin_http_->port() : 0;
+  }
   /// The shared artifact store every session reads. Exposed so admin
   /// tooling (and tests) can inspect hit/miss/pin behaviour.
   core::ArtifactStore& artifacts() { return artifacts_; }
@@ -178,12 +209,17 @@ class DeliveryService {
 
   core::IpCatalog catalog_;
   DeliveryConfig config_;
-  /// Declaration order is load-bearing: stats_ registers into metrics_,
-  /// sessions_ records into stats_.
+  /// Declaration order is load-bearing: stats_ and slo_ register into
+  /// metrics_, sessions_ records into stats_, flight_ reads log_,
+  /// metrics_ and tracer_.
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  obs::Logger log_{config_.log_capacity};
+  obs::SloEngine slo_{config_.slo, &metrics_};
   ServerStats stats_{metrics_};
   SessionManager sessions_{stats_};
+  obs::FlightRecorder flight_{log_, metrics_, &tracer_};
+  std::unique_ptr<AdminHttpServer> admin_http_;
 
   /// The shared artifact store: one elaboration per (module, canonical
   /// params), content-addressed, single-flight, LRU under

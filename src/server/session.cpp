@@ -32,6 +32,7 @@ std::shared_ptr<Session> SessionManager::open(
   session->module = std::move(module);
   session->model = std::move(model);
   session->stream = std::move(stream);
+  session->tenant = stats_.tenant(session->customer);
   session->touch();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -40,6 +41,7 @@ std::shared_ptr<Session> SessionManager::open(
     sessions_.emplace(session->id, session);
   }
   stats_.record_open();
+  stats_.record_session_open_for(session->customer);
   return session;
 }
 
@@ -62,6 +64,10 @@ void SessionManager::close(const std::shared_ptr<Session>& session) {
     const Simulator& sim = session->model->simulator();
     stats_.record_sim(sim.cycle_count(), sim.interp_eval_count(),
                       sim.kernel_eval_count());
+    // Same totals, attributed to the tenant that ran them.
+    stats_.record_sim_tenant(session->customer, sim.cycle_count(),
+                             sim.interp_eval_count(),
+                             sim.kernel_eval_count());
   }
   // Unpin the artifact only after the session is truly gone; until here a
   // parked session kept its program safe from store eviction.

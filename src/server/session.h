@@ -78,6 +78,10 @@ struct Session {
   std::atomic<bool> detached{false};
   /// When the session was parked, for the resume-window purge.
   std::atomic<std::int64_t> detached_at_ns{0};
+  /// This customer's per-tenant instrument block (req.count{customer},
+  /// ...), resolved once by SessionManager::open so the serve loop
+  /// mutates per-tenant counters lock-free, exactly like the flat ones.
+  ServerStats::TenantInstruments tenant;
   /// Extraction-attack auditor (null unless DeliveryConfig::audit). Only
   /// the owning worker touches it; like the replay cache it survives
   /// detach/resume, so a reconnect cannot launder a tripped session.

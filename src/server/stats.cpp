@@ -20,7 +20,26 @@ ServerStats::ServerStats(obs::MetricsRegistry& registry)
       request_us_(&registry.histogram("server.request_us")),
       sim_cycles_(&registry.counter("sim.cycles")),
       sim_interp_evals_(&registry.counter("sim.interp.evals")),
-      sim_kernel_evals_(&registry.counter("sim.kernel.evals")) {}
+      sim_kernel_evals_(&registry.counter("sim.kernel.evals")),
+      req_count_family_(&registry.counter_family("req.count", {"customer"})),
+      req_errors_family_(
+          &registry.counter_family("req.errors", {"customer"})),
+      req_latency_family_(
+          &registry.histogram_family("req.latency_us", {"customer"})),
+      rx_bytes_family_(&registry.counter_family("net.rx_bytes", {"customer"})),
+      tx_bytes_family_(&registry.counter_family("net.tx_bytes", {"customer"})),
+      session_opened_family_(
+          &registry.counter_family("session.opened", {"customer"})),
+      sim_tenant_cycles_(
+          &registry.counter_family("sim.tenant.cycles", {"customer"})),
+      sim_tenant_interp_(
+          &registry.counter_family("sim.tenant.interp_evals", {"customer"})),
+      sim_tenant_kernel_(
+          &registry.counter_family("sim.tenant.kernel_evals", {"customer"})),
+      attack_throttled_family_(
+          &registry.counter_family("attack.tenant.throttled", {"customer"})),
+      attack_parked_family_(
+          &registry.counter_family("attack.tenant.parked", {"customer"})) {}
 
 ServerStats::Snapshot ServerStats::snapshot() const {
   Snapshot s;

@@ -15,9 +15,19 @@
 // microsecond buckets; p50/p95/p99 are interpolated within the crossing
 // bucket (obs::Histogram::percentile) rather than read back as bucket
 // upper bounds.
+//
+// PR 9 adds the per-tenant dimension: alongside every service-wide flat
+// instrument, labeled families keyed by {customer} attribute requests,
+// errors, latency, wire bytes, sessions, simulator work, and attack
+// escalations to the tenant that caused them. The flat instruments are
+// untouched (same names, same wire bytes); the families are additive.
+// tenant() resolves one customer's instrument block ONCE (mutex-guarded
+// family lookups); the session caches the block and mutates lock-free
+// per request, the same two-phase discipline as the flat pointers.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "obs/metrics.h"
 #include "util/json.h"
@@ -96,6 +106,51 @@ class ServerStats {
     sim_kernel_evals_->inc(kernel_evals);
   }
 
+  /// One customer's cached instrument block: resolved once per session
+  /// (mutex-guarded family lookups), mutated lock-free per request. The
+  /// pointers stay valid for the registry's whole life.
+  struct TenantInstruments {
+    obs::Counter* requests = nullptr;   ///< req.count{customer}
+    obs::Counter* errors = nullptr;     ///< req.errors{customer}
+    obs::Histogram* latency_us = nullptr;  ///< req.latency_us{customer}
+    obs::Counter* rx_bytes = nullptr;   ///< net.rx_bytes{customer}
+    obs::Counter* tx_bytes = nullptr;   ///< net.tx_bytes{customer}
+  };
+  TenantInstruments tenant(const std::string& customer) {
+    TenantInstruments t;
+    t.requests = &req_count_family_->with({customer});
+    t.errors = &req_errors_family_->with({customer});
+    t.latency_us = &req_latency_family_->with({customer});
+    t.rx_bytes = &rx_bytes_family_->with({customer});
+    t.tx_bytes = &tx_bytes_family_->with({customer});
+    return t;
+  }
+
+  /// session.opened{customer} — counted at SessionManager::open.
+  void record_session_open_for(const std::string& customer) {
+    session_opened_family_->with({customer}).inc();
+  }
+
+  /// The per-tenant side of record_sim: a closing session's simulator
+  /// totals attributed to the customer that ran them
+  /// (sim.tenant.*{customer}).
+  void record_sim_tenant(const std::string& customer, std::uint64_t cycles,
+                         std::uint64_t interp_evals,
+                         std::uint64_t kernel_evals) {
+    sim_tenant_cycles_->with({customer}).inc(cycles);
+    sim_tenant_interp_->with({customer}).inc(interp_evals);
+    sim_tenant_kernel_->with({customer}).inc(kernel_evals);
+  }
+
+  /// An auditor escalation attributed to the offending tenant:
+  /// attack.tenant.throttled{customer}, plus attack.tenant.parked when
+  /// the verdict parked the session. (The flat attack.* counters are the
+  /// auditor's own.)
+  void record_escalation(const std::string& customer, bool parked) {
+    attack_throttled_family_->with({customer}).inc();
+    if (parked) attack_parked_family_->with({customer}).inc();
+  }
+
   Snapshot snapshot() const;
   Json to_json() const { return snapshot().to_json(); }
 
@@ -118,6 +173,19 @@ class ServerStats {
   obs::Counter* sim_cycles_;
   obs::Counter* sim_interp_evals_;
   obs::Counter* sim_kernel_evals_;
+
+  /// Per-tenant families, all keyed {customer}.
+  obs::CounterFamily* req_count_family_;
+  obs::CounterFamily* req_errors_family_;
+  obs::HistogramFamily* req_latency_family_;
+  obs::CounterFamily* rx_bytes_family_;
+  obs::CounterFamily* tx_bytes_family_;
+  obs::CounterFamily* session_opened_family_;
+  obs::CounterFamily* sim_tenant_cycles_;
+  obs::CounterFamily* sim_tenant_interp_;
+  obs::CounterFamily* sim_tenant_kernel_;
+  obs::CounterFamily* attack_throttled_family_;
+  obs::CounterFamily* attack_parked_family_;
 };
 
 }  // namespace jhdl::server

@@ -1,0 +1,10 @@
+// Build identity, surfaced through the `build.info` metric so a scrape
+// can tell which binary it is talking to. Bump alongside protocol or
+// behaviour changes worth telling an operator about.
+#pragma once
+
+namespace jhdl {
+
+inline constexpr const char* kJhdlVersion = "0.9.0";
+
+}  // namespace jhdl

@@ -175,6 +175,173 @@ TEST(MetricsTest, JsonAndTextExposition) {
 }
 
 // ---------------------------------------------------------------------
+// Labeled families and process metrics (PR 9)
+// ---------------------------------------------------------------------
+
+TEST(MetricsFamilyTest, DoubleRegisterUnderDifferentTypeThrowsTypedError) {
+  MetricsRegistry reg;
+  reg.counter("req.count");
+  // The pinned contract: a typed MetricsError naming both the owner and
+  // the rejected kind, so misconfigured dashboards fail loudly and
+  // legibly.
+  try {
+    reg.gauge_family("req.count", {"customer"});
+    FAIL() << "expected MetricsError";
+  } catch (const MetricsError& e) {
+    EXPECT_STREQ(e.what(),
+                 "metric 'req.count' already registered as counter; "
+                 "cannot re-register as gauge family");
+  }
+  // And the reverse direction: a family name cannot be reclaimed flat.
+  reg.counter_family("req.tenant", {"customer"});
+  try {
+    reg.histogram("req.tenant");
+    FAIL() << "expected MetricsError";
+  } catch (const MetricsError& e) {
+    EXPECT_STREQ(e.what(),
+                 "metric 'req.tenant' already registered as counter "
+                 "family; cannot re-register as histogram");
+  }
+}
+
+TEST(MetricsFamilyTest, SeriesPerLabelTupleWithStablePointers) {
+  MetricsRegistry reg;
+  CounterFamily& fam = reg.counter_family("req.count", {"customer"});
+  Counter& acme = fam.with({"acme"});
+  Counter& globex = fam.with({"globex"});
+  EXPECT_NE(&acme, &globex);
+  // Re-resolving a tuple returns the same instrument (callers cache it).
+  EXPECT_EQ(&fam.with({"acme"}), &acme);
+  acme.inc(3);
+  globex.inc(5);
+  EXPECT_EQ(fam.series_count(), 2u);
+  // Re-requesting the family with the same keys is idempotent; different
+  // keys are a registration error.
+  EXPECT_EQ(&reg.counter_family("req.count", {"customer"}), &fam);
+  EXPECT_THROW(reg.counter_family("req.count", {"customer", "module"}),
+               MetricsError);
+  // Arity mismatch on with() is a usage error, not a silent series.
+  EXPECT_THROW(fam.with({"acme", "extra"}), MetricsError);
+}
+
+TEST(MetricsFamilyTest, CardinalityCapCollapsesToOverflowSeries) {
+  MetricsRegistry reg;
+  CounterFamily& fam = reg.counter_family("req.count", {"customer"}, 4);
+  for (int i = 0; i < 4; ++i) {
+    fam.with({"tenant" + std::to_string(i)}).inc();
+  }
+  EXPECT_EQ(fam.overflowed(), 0u);
+  // Past the cap, unseen tuples share one overflow series: a hostile
+  // label sweep costs O(1) memory, not one instrument per value.
+  Counter& spill_a = fam.with({"hostile-a"});
+  Counter& spill_b = fam.with({"hostile-b"});
+  EXPECT_EQ(&spill_a, &spill_b);
+  spill_a.inc(7);
+  EXPECT_EQ(fam.with({std::string(CounterFamily::kOverflowLabel)}).value(),
+            7u);
+  EXPECT_EQ(fam.series_count(), 5u);  // 4 real + 1 overflow
+  EXPECT_GE(fam.overflowed(), 2u);
+  // Known tuples keep resolving to their own series after the collapse.
+  EXPECT_EQ(fam.with({"tenant0"}).value(), 1u);
+}
+
+TEST(MetricsFamilyTest, JsonAndTextExpositionCarryLabels) {
+  MetricsRegistry reg;
+  reg.counter("flat.count").inc(1);
+  reg.counter_family("req.count", {"customer"}).with({"acme"}).inc(3);
+  reg.histogram_family("req.latency_us", {"customer"})
+      .with({"acme"})
+      .record(100);
+
+  const Json doc = reg.to_json();
+  // Flat sections are untouched; families ride their own key.
+  EXPECT_EQ(doc.at("counters").at("flat.count").as_int(), 1);
+  const Json& fam = doc.at("families").at("req.count");
+  EXPECT_EQ(fam.at("kind").as_string(), "counter");
+  EXPECT_EQ(fam.at("labels").at(0).as_string(), "customer");
+  EXPECT_EQ(fam.at("series").at(0).at("labels").at("customer").as_string(),
+            "acme");
+  EXPECT_EQ(fam.at("series").at(0).at("value").as_int(), 3);
+  EXPECT_EQ(doc.at("families")
+                .at("req.latency_us")
+                .at("series")
+                .at(0)
+                .at("count")
+                .as_int(),
+            1);
+
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("req_count{customer=\"acme\"} 3"), std::string::npos);
+  // Family histograms emit labeled le-buckets (the scrape-side shape the
+  // acceptance criterion pins).
+  EXPECT_NE(text.find("req_latency_us_bucket{customer=\"acme\",le=\"128\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("req_latency_us_count{customer=\"acme\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("req_latency_us_sum{customer=\"acme\"} 100"),
+            std::string::npos);
+}
+
+TEST(MetricsFamilyTest, RegistryWithoutFamiliesKeepsWireFormat) {
+  MetricsRegistry reg;
+  reg.counter("a.count").inc(2);
+  // No families registered: the MetricsDump document must not grow a
+  // "families" key (byte compatibility with pre-family consumers).
+  EXPECT_FALSE(reg.to_json().has("families"));
+}
+
+TEST(MetricsFamilyTest, ProcessMetricsExposeUptimeAndBuildInfo) {
+  MetricsRegistry reg;
+  reg.enable_process_metrics("1.2.3", 6);
+  reg.enable_process_metrics("9.9.9", 7);  // idempotent: first call wins
+
+  const Json doc = reg.to_json();
+  EXPECT_GE(doc.at("gauges").at("process.uptime_seconds").as_int(), 0);
+  const Json& info = doc.at("families").at("build.info");
+  EXPECT_EQ(info.at("series").at(0).at("labels").at("version").as_string(),
+            "1.2.3");
+  EXPECT_EQ(info.at("series").at(0).at("labels").at("protocol").as_string(),
+            "6");
+
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("process_uptime_seconds"), std::string::npos);
+  EXPECT_NE(text.find("build_info{version=\"1.2.3\",protocol=\"6\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsFamilyTest, ConcurrentWithAndExposition) {
+  MetricsRegistry reg;
+  CounterFamily& fam = reg.counter_family("hammer.tenant", {"customer"});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&fam, &reg, t] {
+      // Half the threads mutate through a cached pointer, half keep
+      // re-resolving; one in eight iterations snapshots the registry.
+      Counter& mine = fam.with({"tenant" + std::to_string(t % 4)});
+      for (int i = 0; i < kPerThread; ++i) {
+        if (t % 2 == 0) {
+          mine.inc();
+        } else {
+          fam.with({"tenant" + std::to_string(t % 4)}).inc();
+        }
+        if (t == 0 && i % 1000 == 0) {
+          (void)reg.to_text();
+          (void)reg.to_json();
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  std::uint64_t total = 0;
+  for (const auto& [labels, counter] : fam.snapshot()) {
+    total += counter->value();
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------------
 // Tracing: rings, spans, Chrome export
 // ---------------------------------------------------------------------
 

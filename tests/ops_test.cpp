@@ -1,0 +1,649 @@
+// Tests for the per-tenant operations plane (PR 9): structured log rings
+// and the flight recorder, the multi-window SLO burn-rate engine, the
+// admin HTTP endpoint, and their integration with the DeliveryService —
+// per-customer attribution in /metrics, /healthz flipping on an induced
+// SLO burn, flight dumps on session park, and the concurrent-exposition
+// hammer that runs under ASan/TSan via the `ops` ctest label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/generators.h"
+#include "net/protocol.h"
+#include "net/sim_client.h"
+#include "net/socket.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+#include "server/admin_http.h"
+#include "server/delivery_service.h"
+#include "util/json.h"
+
+namespace jhdl {
+namespace {
+
+using namespace jhdl::core;
+using namespace jhdl::net;
+using namespace jhdl::obs;
+using namespace jhdl::server;
+using namespace std::chrono_literals;
+
+IpCatalog make_catalog() {
+  IpCatalog catalog;
+  catalog.add(std::make_shared<AdderGenerator>());
+  catalog.add(std::make_shared<KcmGenerator>());
+  return catalog;
+}
+
+/// Spin until `pred` holds or ~2 s elapse.
+bool eventually(const std::function<bool()>& pred) {
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+/// Minimal HTTP/1.0 GET against the admin plane: send the request, read
+/// until the server closes (Connection: close), return the raw response.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  TcpStream stream = TcpStream::connect(port);
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: l\r\n\r\n";
+  stream.send_bytes(std::vector<std::uint8_t>(req.begin(), req.end()));
+  stream.set_recv_timeout(2000);
+  std::string out;
+  std::uint8_t buf[4096];
+  try {
+    while (true) {
+      const std::size_t n = stream.recv_raw(buf, sizeof buf);
+      out.append(reinterpret_cast<const char*>(buf), n);
+    }
+  } catch (const NetError&) {
+    // Orderly close ends the response.
+  }
+  return out;
+}
+
+/// Every line of a JSONL document must parse on its own.
+std::vector<Json> parse_jsonl(const std::string& text) {
+  std::vector<Json> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(Json::parse(line));
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------
+// Logger: leveled records, rings, JSONL
+// ---------------------------------------------------------------------
+
+TEST(LoggerTest, LevelFilterAndKeyValueCapture) {
+  Logger log;
+  log.set_level(LogLevel::Info);
+  EXPECT_FALSE(log.enabled(LogLevel::Debug));
+  log.log(LogLevel::Debug, "dropped.event");  // below level: no record
+  log.log(LogLevel::Info, "session.open",
+          {{"customer", "acme"}, {"module", "kcm"}}, 0xabcdu);
+  log.log(LogLevel::Warn, "session.deny", {{"customer", "rogue"}});
+  EXPECT_EQ(log.recorded(), 2u);
+
+  const std::vector<LogRecord> records = log.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  // Global seq merges rings in order.
+  EXPECT_LT(records[0].seq, records[1].seq);
+  EXPECT_STREQ(records[0].event, "session.open");
+  EXPECT_EQ(records[0].level, LogLevel::Info);
+  EXPECT_EQ(records[0].trace_id, 0xabcdu);
+
+  const std::vector<Json> lines = parse_jsonl(log.to_jsonl());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].at("type").as_string(), "log");
+  EXPECT_EQ(lines[0].at("level").as_string(), "info");
+  EXPECT_EQ(lines[0].at("event").as_string(), "session.open");
+  EXPECT_EQ(lines[0].at("fields").at("customer").as_string(), "acme");
+  EXPECT_EQ(lines[0].at("fields").at("module").as_string(), "kcm");
+  EXPECT_EQ(lines[0].at("trace").as_string(),
+            TraceContext::hex(0xabcdu));
+  EXPECT_EQ(lines[1].at("level").as_string(), "warn");
+}
+
+TEST(LoggerTest, RingRetainsOnlyLastCapacity) {
+  Logger log(16);
+  log.set_level(LogLevel::Debug);
+  for (int i = 0; i < 50; ++i) {
+    log.log(LogLevel::Info, "tick",
+            {{"i", std::to_string(i)}});
+  }
+  EXPECT_EQ(log.recorded(), 50u);
+  const std::vector<LogRecord> records = log.snapshot();
+  ASSERT_EQ(records.size(), 16u);
+  // The retained window is the most recent records, in order.
+  EXPECT_EQ(records.front().text, "i=34");
+  EXPECT_EQ(records.back().text, "i=49");
+}
+
+TEST(LoggerTest, OversizedPayloadTruncatesNeverDrops) {
+  Logger log;
+  const std::string big(2 * Logger::kTextBytes, 'x');
+  log.log(LogLevel::Warn, "big.event", {{"blob", big}});
+  const std::vector<LogRecord> records = log.snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].text.size(), Logger::kTextBytes);
+  EXPECT_EQ(records[0].text.rfind("blob=", 0), 0u);
+  // The truncated record still renders as valid JSON.
+  EXPECT_NO_THROW(Json::parse(Logger::record_json(records[0]).dump()));
+}
+
+// TSan target: four writers race a snapshotting reader over the same
+// logger. The assertions check conservation; the sanitizer checks the
+// relaxed-atomic slot discipline.
+TEST(LoggerTest, ConcurrentWritersAndSnapshots) {
+  Logger log(256);
+  log.set_level(LogLevel::Debug);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 4000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (const LogRecord& r : log.snapshot()) {
+        ASSERT_NE(r.event, nullptr);
+      }
+      (void)log.to_jsonl();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.log(LogLevel::Info, "hammer",
+                {{"t", std::to_string(t)}, {"i", std::to_string(i)}});
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(log.recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Each thread's ring holds its last `capacity` records.
+  EXPECT_EQ(log.snapshot().size(), static_cast<std::size_t>(kThreads) * 256);
+}
+
+// ---------------------------------------------------------------------
+// FlightRecorder: postmortem bundles
+// ---------------------------------------------------------------------
+
+TEST(FlightRecorderTest, TriggerBundlesLogsMetricsAndSpans) {
+  Logger log;
+  MetricsRegistry metrics;
+  metrics.counter("test.count").inc(5);
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span(tracer, "test.span", 0x99u);
+  }
+  log.log(LogLevel::Warn, "bad.thing", {{"customer", "acme"}});
+
+  FlightRecorder::Config cfg;
+  cfg.keep = 2;
+  FlightRecorder flight(log, metrics, &tracer, cfg);
+  const std::string jsonl = flight.trigger("unit.test");
+
+  const std::vector<Json> lines = parse_jsonl(jsonl);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0].at("type").as_string(), "flight");
+  EXPECT_EQ(lines[0].at("reason").as_string(), "unit.test");
+  bool saw_log = false, saw_metrics = false, saw_span = false;
+  for (const Json& line : lines) {
+    const std::string& type = line.at("type").as_string();
+    if (type == "log" && line.at("event").as_string() == "bad.thing") {
+      saw_log = true;
+    }
+    if (type == "metrics") {
+      saw_metrics = true;
+      EXPECT_EQ(line.at("data").at("counters").at("test.count").as_int(), 5);
+    }
+    if (type == "span" && line.at("name").as_string() == "test.span") {
+      saw_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_log);
+  EXPECT_TRUE(saw_metrics);
+  EXPECT_TRUE(saw_span);
+  // flight.dumps counts every trigger; retention is bounded by keep.
+  flight.trigger("two");
+  flight.trigger("three");
+  EXPECT_EQ(flight.triggered(), 3u);
+  EXPECT_EQ(metrics.counter("flight.dumps").value(), 3u);
+  const std::vector<FlightRecorder::Dump> dumps = flight.dumps();
+  ASSERT_EQ(dumps.size(), 2u);
+  EXPECT_EQ(dumps[0].reason, "two");
+  EXPECT_EQ(dumps[1].reason, "three");
+  EXPECT_EQ(flight.latest(), dumps[1].jsonl);
+}
+
+// ---------------------------------------------------------------------
+// SLO engine: burn rates over injected clocks
+// ---------------------------------------------------------------------
+
+constexpr std::uint64_t kBaseUs = 1'000'000'000'000ull;
+
+TEST(SloEngineTest, MultiWindowBurnClassification) {
+  SloEngine slo;
+  slo.define({.name = "latency", .budget = 0.01});
+  // 100% bad traffic at t0: burn 100x in both windows -> Critical.
+  for (int i = 0; i < 50; ++i) {
+    slo.record("latency", "acme", /*good=*/false, kBaseUs + i);
+  }
+  std::vector<SloEngine::Burn> burns = slo.evaluate(kBaseUs + 100);
+  ASSERT_EQ(burns.size(), 1u);
+  EXPECT_EQ(burns[0].tenant, "acme");
+  EXPECT_DOUBLE_EQ(burns[0].fast_burn, 100.0);
+  EXPECT_DOUBLE_EQ(burns[0].slow_burn, 100.0);
+  EXPECT_EQ(burns[0].health, SloHealth::Critical);
+  EXPECT_EQ(slo.overall(kBaseUs + 100), SloHealth::Critical);
+
+  // 7 minutes on: the fast (5 min) window has forgotten the burn, the
+  // slow (1 h) window still remembers -> Warning (recovering).
+  const std::uint64_t t7m = kBaseUs + 7ull * 60 * 1'000'000;
+  burns = slo.evaluate(t7m);
+  EXPECT_DOUBLE_EQ(burns[0].fast_burn, 0.0);
+  EXPECT_DOUBLE_EQ(burns[0].slow_burn, 100.0);
+  EXPECT_EQ(burns[0].health, SloHealth::Warning);
+
+  // 2 hours on: both windows clear -> Healthy.
+  const std::uint64_t t2h = kBaseUs + 2ull * 3600 * 1'000'000;
+  burns = slo.evaluate(t2h);
+  EXPECT_EQ(burns[0].health, SloHealth::Healthy);
+  EXPECT_EQ(slo.overall(t2h), SloHealth::Healthy);
+}
+
+TEST(SloEngineTest, WithinBudgetTrafficStaysHealthy) {
+  SloEngine slo;
+  slo.define({.name = "errors", .budget = 0.05});
+  // 1% bad over 0.05 budget: burn 0.2, far under both thresholds.
+  for (int i = 0; i < 100; ++i) {
+    slo.record("errors", "acme", /*good=*/i != 0, kBaseUs + i);
+  }
+  const std::vector<SloEngine::Burn> burns = slo.evaluate(kBaseUs + 200);
+  ASSERT_EQ(burns.size(), 1u);
+  EXPECT_NEAR(burns[0].fast_burn, 0.2, 1e-9);
+  EXPECT_EQ(burns[0].health, SloHealth::Healthy);
+  // Unknown objectives are ignored, not invented.
+  slo.record("nonexistent", "acme", false, kBaseUs);
+  EXPECT_EQ(slo.evaluate(kBaseUs + 200).size(), 1u);
+}
+
+TEST(SloEngineTest, TenantsBurnIndependentlyAndTailCollapses) {
+  SloConfig cfg;
+  cfg.max_tenants = 2;
+  SloEngine slo(cfg);
+  slo.define({.name = "latency", .budget = 0.01});
+  for (int i = 0; i < 20; ++i) {
+    slo.record("latency", "acme", /*good=*/false, kBaseUs + i);
+    slo.record("latency", "globex", /*good=*/true, kBaseUs + i);
+    // Past max_tenants, the long tail shares the overflow series.
+    slo.record("latency", "tenant-" + std::to_string(i), false, kBaseUs + i);
+  }
+  const std::vector<SloEngine::Burn> burns = slo.evaluate(kBaseUs + 100);
+  ASSERT_EQ(burns.size(), 3u);  // acme, globex, __other__
+  bool saw_overflow = false;
+  for (const SloEngine::Burn& b : burns) {
+    if (b.tenant == "acme") {
+      EXPECT_EQ(b.health, SloHealth::Critical);
+    }
+    if (b.tenant == "globex") {
+      EXPECT_EQ(b.health, SloHealth::Healthy);
+    }
+    if (b.tenant == SloEngine::kOverflowTenant) {
+      saw_overflow = true;
+      EXPECT_EQ(b.fast_events, 20u);
+    }
+  }
+  EXPECT_TRUE(saw_overflow);
+}
+
+TEST(SloEngineTest, EvaluatePublishesGaugesAndJson) {
+  MetricsRegistry metrics;
+  SloEngine slo({}, &metrics);
+  slo.define({.name = "latency", .budget = 0.01});
+  for (int i = 0; i < 10; ++i) {
+    slo.record("latency", "acme", false, kBaseUs + i);
+  }
+  slo.evaluate(kBaseUs + 100);
+  const std::string text = metrics.to_text();
+  EXPECT_NE(
+      text.find("slo_health{objective=\"latency\",customer=\"acme\"} 2"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find(
+                "slo_burn_fast_x100{objective=\"latency\",customer=\"acme\"} "
+                "10000"),
+            std::string::npos);
+
+  const Json doc = slo.to_json(kBaseUs + 100);
+  EXPECT_EQ(doc.at("overall").as_string(), "critical");
+  EXPECT_EQ(doc.at("series").at(0).at("customer").as_string(), "acme");
+  EXPECT_EQ(doc.at("series").at(0).at("health").as_string(), "critical");
+}
+
+// ---------------------------------------------------------------------
+// Admin HTTP server: canned routes
+// ---------------------------------------------------------------------
+
+TEST(AdminHttpTest, RoutesStatusCodesAndMethodDiscipline) {
+  AdminRoutes routes;
+  routes.metrics_text = [] { return std::string("canned_metric 1\n"); };
+  std::atomic<bool> healthy{true};
+  routes.healthz = [&healthy] {
+    return std::make_pair(healthy.load(), std::string("state\n"));
+  };
+  routes.slo_json = [] { return std::string("{\"overall\":\"healthy\"}"); };
+  routes.flight_jsonl = [] {
+    return std::string("{\"type\":\"flight\"}\n");
+  };
+  AdminHttpServer server(std::move(routes));
+  ASSERT_NE(server.port(), 0);
+
+  std::string resp = http_get(server.port(), "/metrics");
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 16"), std::string::npos);
+  EXPECT_NE(resp.find("Connection: close"), std::string::npos);
+  EXPECT_NE(resp.find("canned_metric 1"), std::string::npos);
+
+  EXPECT_NE(http_get(server.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  healthy.store(false);
+  EXPECT_NE(http_get(server.port(), "/healthz")
+                .find("503 Service Unavailable"),
+            std::string::npos);
+
+  EXPECT_NE(http_get(server.port(), "/slo").find("application/json"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/flight").find("\"flight\""),
+            std::string::npos);
+  // Query strings are routed on the path alone.
+  EXPECT_NE(http_get(server.port(), "/metrics?x=1").find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/nope").find("404 Not Found"),
+            std::string::npos);
+
+  {
+    TcpStream stream = TcpStream::connect(server.port());
+    const std::string req = "POST /metrics HTTP/1.0\r\n\r\n";
+    stream.send_bytes(std::vector<std::uint8_t>(req.begin(), req.end()));
+    stream.set_recv_timeout(2000);
+    std::string out;
+    std::uint8_t buf[1024];
+    try {
+      while (true) {
+        out.append(reinterpret_cast<const char*>(buf),
+                   stream.recv_raw(buf, sizeof buf));
+      }
+    } catch (const NetError&) {
+    }
+    EXPECT_NE(out.find("405 Method Not Allowed"), std::string::npos);
+  }
+  server.stop();
+}
+
+TEST(AdminHttpTest, UnsetRoutesAnswer404) {
+  AdminHttpServer server(AdminRoutes{});
+  EXPECT_NE(http_get(server.port(), "/metrics").find("404"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// End to end: the operations plane on a live DeliveryService
+// ---------------------------------------------------------------------
+
+TEST(OpsEndToEndTest, MetricsEndpointServesPerTenantFamilies) {
+  DeliveryConfig config;
+  config.admin_http = true;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  service.add_license(LicensePolicy::make("globex", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+  ASSERT_NE(service.admin_port(), 0);
+
+  for (const char* customer : {"acme", "globex"}) {
+    ConnectSpec spec;
+    spec.customer = customer;
+    spec.module = "carry-adder";
+    spec.params["width"] = 8;
+    SimClient client(port, spec);
+    for (int i = 0; i < 5; ++i) {
+      client.eval({{"a", BitVector::from_uint(8, 3)},
+                   {"b", BitVector::from_uint(8, 4)}},
+                  1);
+    }
+    client.bye();
+  }
+  // Sessions must be fully closed so sim.tenant.* fold-in has happened.
+  ASSERT_TRUE(eventually([&] {
+    return service.stats().snapshot().sessions_closed == 2;
+  }));
+
+  const std::string resp = http_get(service.admin_port(), "/metrics");
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
+  // The acceptance shape: per-customer labeled series in Prometheus text.
+  EXPECT_NE(resp.find("req_count{customer=\"acme\"} 5"), std::string::npos)
+      << resp;
+  EXPECT_NE(resp.find("req_count{customer=\"globex\"} 5"),
+            std::string::npos);
+  EXPECT_NE(resp.find("req_latency_us_bucket{customer=\"acme\",le=\""),
+            std::string::npos);
+  EXPECT_NE(resp.find("session_opened{customer=\"acme\"} 1"),
+            std::string::npos);
+  EXPECT_NE(resp.find("net_rx_bytes{customer=\"acme\"}"), std::string::npos);
+  EXPECT_NE(resp.find("sim_tenant_cycles{customer=\"acme\"} 5"),
+            std::string::npos);
+  // Binary identity + flat metrics ride the same scrape.
+  EXPECT_NE(resp.find("build_info{version="), std::string::npos);
+  EXPECT_NE(resp.find("process_uptime_seconds"), std::string::npos);
+  EXPECT_NE(resp.find("server_requests 10"), std::string::npos);
+  // SLO gauges are evaluated at scrape time.
+  EXPECT_NE(resp.find("slo_health{objective=\"latency\",customer=\"acme\"}"),
+            std::string::npos);
+
+  // Healthy service: /healthz is 200 and /slo agrees.
+  EXPECT_NE(http_get(service.admin_port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  const std::string slo_resp = http_get(service.admin_port(), "/slo");
+  const std::size_t body_at = slo_resp.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const Json slo = Json::parse(slo_resp.substr(body_at + 4));
+  EXPECT_EQ(slo.at("overall").as_string(), "healthy");
+
+  // The MetricsDump wire query carries the same families as JSON.
+  const Json dump = query_metrics(port);
+  EXPECT_TRUE(dump.has("families"));
+  bool acme_found = false;
+  for (const Json& row :
+       dump.at("families").at("req.count").at("series").items()) {
+    if (row.at("labels").at("customer").as_string() == "acme") {
+      acme_found = true;
+      EXPECT_EQ(row.at("value").as_int(), 5);
+    }
+  }
+  EXPECT_TRUE(acme_found);
+  service.stop();
+  EXPECT_EQ(service.admin_port(), 0);
+}
+
+TEST(OpsEndToEndTest, HealthzFlipsOnInducedSloBurn) {
+  DeliveryConfig config;
+  config.admin_http = true;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+
+  // Drive the error-rate SLO to a 100% bad fraction: every SetInput names
+  // a port the model does not have, so every reply is an Error. Burn =
+  // 1.0/0.05 = 20x in both windows -> Critical -> /healthz 503.
+  TcpStream raw = TcpStream::connect(port);
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.customer = "acme";
+  hello.name = "carry-adder";
+  hello.params["width"] = 8;
+  raw.send_frame(encode(hello));
+  ASSERT_EQ(decode(raw.recv_frame()).type, MsgType::Iface);
+  for (int i = 0; i < 10; ++i) {
+    Message bad;
+    bad.type = MsgType::SetInput;
+    bad.name = "no-such-port";
+    bad.value = BitVector::from_uint(8, 1);
+    raw.send_frame(encode(bad));
+    ASSERT_EQ(decode(raw.recv_frame()).type, MsgType::Error);
+  }
+
+  const std::string health = http_get(service.admin_port(), "/healthz");
+  EXPECT_NE(health.find("503 Service Unavailable"), std::string::npos)
+      << health;
+  EXPECT_NE(health.find("critical"), std::string::npos);
+  const std::string slo_resp = http_get(service.admin_port(), "/slo");
+  EXPECT_NE(slo_resp.find("\"overall\": \"critical\""), std::string::npos)
+      << slo_resp;
+  // The burn is visible as a labeled gauge on the scrape too.
+  EXPECT_NE(http_get(service.admin_port(), "/metrics")
+                .find("slo_health{objective=\"errors\",customer=\"acme\"} 2"),
+            std::string::npos);
+  raw.shutdown();
+  service.stop();
+}
+
+TEST(OpsEndToEndTest, FlightRecorderDumpsOnSessionPark) {
+  DeliveryConfig config;
+  config.admin_http = true;
+  config.resume_window = 10s;  // long: the park outlives the test body
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+
+  // Open a session, then kill the transport without Bye: the worker
+  // parks the session and the flight recorder captures the postmortem.
+  TcpStream raw = TcpStream::connect(port);
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.customer = "acme";
+  hello.name = "carry-adder";
+  hello.params["width"] = 8;
+  raw.send_frame(encode(hello));
+  ASSERT_EQ(decode(raw.recv_frame()).type, MsgType::Iface);
+  raw.shutdown();
+  raw.close();
+
+  ASSERT_TRUE(eventually([&] { return service.flight().triggered() >= 1; }));
+  const std::string jsonl = service.flight().latest();
+  const std::vector<Json> lines = parse_jsonl(jsonl);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0].at("type").as_string(), "flight");
+  EXPECT_EQ(lines[0].at("reason").as_string(), "session.park");
+  bool park_logged = false;
+  for (const Json& line : lines) {
+    if (line.at("type").as_string() == "log" &&
+        line.at("event").as_string() == "session.park") {
+      park_logged = true;
+      EXPECT_EQ(line.at("fields").at("customer").as_string(), "acme");
+    }
+  }
+  EXPECT_TRUE(park_logged) << jsonl;
+
+  // GET /flight triggers a fresh on-demand dump over HTTP.
+  const std::string resp = http_get(service.admin_port(), "/flight");
+  EXPECT_NE(resp.find("application/jsonl"), std::string::npos);
+  EXPECT_NE(resp.find("\"on_demand\""), std::string::npos);
+  EXPECT_GE(service.flight().triggered(), 2u);
+  service.stop();
+}
+
+// Satellite: concurrent-exposition hammer. Eight sessions run eval
+// traffic while four threads pound MetricsDump, TraceDump, and the HTTP
+// scrape endpoint. Run under ASan/TSan via `ctest -L ops` in CI; the
+// assertions check nothing tears, the sanitizers check the lock-free
+// claims.
+TEST(OpsEndToEndTest, ConcurrentExpositionUnderEvalTraffic) {
+  DeliveryConfig config;
+  config.admin_http = true;
+  config.workers = 8;
+  config.tracing = true;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  service.add_license(LicensePolicy::make("globex", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+  const std::uint16_t admin = service.admin_port();
+
+  constexpr int kSessions = 8;
+  constexpr int kEvalsPerSession = 25;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([&, t] {
+      while (!stop.load()) {
+        switch (t % 3) {
+          case 0: {
+            const std::string resp = http_get(admin, "/metrics");
+            ASSERT_NE(resp.find("200 OK"), std::string::npos);
+            break;
+          }
+          case 1:
+            ASSERT_NO_THROW((void)query_metrics(port));
+            break;
+          default:
+            ASSERT_NO_THROW((void)query_trace(port));
+            break;
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&, s] {
+      ConnectSpec spec;
+      spec.customer = s % 2 == 0 ? "acme" : "globex";
+      spec.module = "carry-adder";
+      spec.params["width"] = 8;
+      SimClient client(port, spec);
+      for (int i = 0; i < kEvalsPerSession; ++i) {
+        const auto out = client.eval(
+            {{"a", BitVector::from_uint(8, static_cast<unsigned>(i))},
+             {"b", BitVector::from_uint(8, 7)}},
+            1);
+        ASSERT_EQ(out.at("s").to_uint(), (static_cast<unsigned>(i) + 7) & 0xff);
+      }
+      client.bye();
+    });
+  }
+  for (std::thread& s : sessions) s.join();
+  stop.store(true);
+  for (std::thread& s : scrapers) s.join();
+
+  // Totals add up across tenants despite the concurrent exposition.
+  const Json dump = query_metrics(port);
+  std::int64_t total = 0;
+  for (const Json& row :
+       dump.at("families").at("req.count").at("series").items()) {
+    total += row.at("value").as_int();
+  }
+  EXPECT_EQ(total, static_cast<std::int64_t>(kSessions) * kEvalsPerSession);
+  EXPECT_EQ(dump.at("counters").at("server.requests").as_int(), total);
+  service.stop();
+}
+
+}  // namespace
+}  // namespace jhdl
