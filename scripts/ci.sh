@@ -2,8 +2,13 @@
 # CI pipeline: plain build with the full test suite plus the simulation
 # kernel and observability smoke benchmarks (parity-checked, throughput
 # gates off), then ASan and TSan builds running the protocol-robustness
-# battery (everything labelled `net-fault`: net_test, server_test,
-# fuzz_test, fault_test), the compiled-kernel battery (`sim-kernel`:
+# battery (everything labelled `net-fault`: net_test, fuzz_test,
+# fault_test), the server battery (`server`: the DeliveryService
+# protocol/lifecycle contract), the reactor battery (`reactor`: poller,
+# timer wheel, frame assembler, fair scheduler, admission control and
+# the in-loop admin plane — the TSan run is what proves the
+# loop/worker/completion seam is race-free), the compiled-kernel
+# battery (`sim-kernel`:
 # unit tests + differential random-circuit parity), the parallel-kernel
 # battery (`sim-parallel`: island-threaded + 64-lane multi-pattern
 # kernels, thread-count determinism and the PatternBatch protocol path -
@@ -20,7 +25,10 @@
 # recorder, the SLO burn-rate engine, the admin HTTP endpoint and the
 # concurrent-exposition hammer — the TSan run is what proves the
 # lock-free log/exposition claims). A scrape smoke step also boots the
-# delivery_service example and curls its live /metrics and /healthz.
+# delivery_service example and curls its live /metrics and /healthz,
+# and a churn smoke step storms the reactor with 256 concurrent
+# loopback clients (asserting /healthz 200 mid-storm and zero malformed
+# frames / rejections / leaked sessions afterwards).
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  skip the sanitizer builds (plain build + full suite only)
@@ -53,6 +61,10 @@ cmake --build build -j "${JOBS}" --target bench_attack
 echo "== corpus sweep smoke bench (elaborate + sim + warm-hit gates) =="
 cmake --build build -j "${JOBS}" --target bench_corpus
 (cd build/bench && ./bench_corpus --smoke)
+
+echo "== reactor churn smoke (256 concurrent clients + live /healthz) =="
+cmake --build build -j "${JOBS}" --target bench_delivery_concurrency
+(cd build/bench && ./bench_delivery_concurrency --churn 256)
 
 echo "== admin HTTP scrape smoke (live /metrics + /healthz) =="
 cmake --build build -j "${JOBS}" --target delivery_service
@@ -91,11 +103,11 @@ if [[ "${1:-}" == "--fast" ]]; then
 fi
 
 for SAN in address thread; do
-  echo "== ${SAN} sanitizer: net-fault + sim-kernel + sim-parallel + obs + artifact + attack + corpus + ops batteries =="
+  echo "== ${SAN} sanitizer: net-fault + server + reactor + sim-kernel + sim-parallel + obs + artifact + attack + corpus + ops batteries =="
   cmake -B "build-${SAN}" -S . -DJHDL_SANITIZE="${SAN}" >/dev/null
   cmake --build "build-${SAN}" -j "${JOBS}"
   ctest --test-dir "build-${SAN}" \
-    -L 'net-fault|sim-kernel|sim-parallel|obs|artifact|attack|corpus|ops' \
+    -L 'net-fault|server|reactor|sim-kernel|sim-parallel|obs|artifact|attack|corpus|ops' \
     --output-on-failure
 done
 

@@ -193,6 +193,79 @@ std::vector<std::uint8_t> FaultyStream::recv_frame() {
   return frame_unwrap(raw);  // FrameError on injected corruption
 }
 
+FrameFaultAction apply_send_fault(const FaultSpec& spec,
+                                  std::vector<std::uint8_t> raw) {
+  FrameFaultAction action;
+  switch (spec.kind) {
+    case FaultKind::None:
+      action.chunks.push_back(std::move(raw));
+      break;
+    case FaultKind::Delay:
+      action.delay = spec.delay;
+      action.chunks.push_back(std::move(raw));
+      break;
+    case FaultKind::BitFlip:
+      flip_bit(raw, spec.offset);
+      action.chunks.push_back(std::move(raw));
+      break;
+    case FaultKind::Duplicate:
+      action.chunks.push_back(raw);
+      action.chunks.push_back(std::move(raw));
+      break;
+    case FaultKind::ShortWrite: {
+      const std::size_t split = 1 + spec.offset % (raw.size() - 1);
+      action.chunks.emplace_back(raw.begin(), raw.begin() + split);
+      action.chunks.emplace_back(raw.begin() + split, raw.end());
+      action.gap = spec.delay;
+      break;
+    }
+    case FaultKind::Drop: {
+      const std::size_t sent = spec.offset % raw.size();
+      action.chunks.emplace_back(raw.begin(), raw.begin() + sent);
+      action.kill = true;
+      break;
+    }
+    case FaultKind::Truncate: {
+      const std::size_t cut = 1 + spec.offset % raw.size();
+      action.chunks.emplace_back(raw.begin(), raw.end() - cut);
+      action.kill = true;
+      break;
+    }
+  }
+  return action;
+}
+
+FrameFaultAction apply_recv_fault(const FaultSpec& spec,
+                                  std::vector<std::uint8_t> raw) {
+  FrameFaultAction action;
+  switch (spec.kind) {
+    case FaultKind::Drop:
+      action.kill = true;
+      break;
+    case FaultKind::BitFlip:
+      flip_bit(raw, spec.offset);
+      action.chunks.push_back(std::move(raw));
+      break;
+    case FaultKind::Truncate:
+      raw.resize(raw.size() - (1 + spec.offset % raw.size()));
+      action.chunks.push_back(std::move(raw));
+      break;
+    case FaultKind::Duplicate:
+      action.chunks.push_back(raw);
+      action.chunks.push_back(std::move(raw));
+      break;
+    case FaultKind::Delay:
+    case FaultKind::ShortWrite:
+      action.delay = spec.delay;
+      action.chunks.push_back(std::move(raw));
+      break;
+    case FaultKind::None:
+      action.chunks.push_back(std::move(raw));
+      break;
+  }
+  return action;
+}
+
 std::unique_ptr<Stream> wrap_stream(TcpStream stream,
                                     std::shared_ptr<FaultPlan> plan) {
   if (plan != nullptr) {

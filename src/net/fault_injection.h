@@ -131,4 +131,38 @@ class FaultyStream : public Stream {
 std::unique_ptr<Stream> wrap_stream(TcpStream stream,
                                     std::shared_ptr<FaultPlan> plan);
 
+// --- frame-level fault application for event-driven transports ---
+//
+// FaultyStream injects faults from inside blocking send_frame/recv_frame
+// calls; a reactor has no such call to inject into, so it applies the
+// SAME per-frame transformations out-of-line: the plan is consulted once
+// per frame (identical operation counting), the raw-byte mutations are
+// shared with FaultyStream, and the sleeps become timer-wheel deadlines.
+
+/// The reactor-side rendering of one injected fault.
+struct FrameFaultAction {
+  /// Byte chunks to deliver, in order (send: onto the wire; recv: into
+  /// the frame pipeline). Usually one chunk; Duplicate yields two copies,
+  /// ShortWrite two bursts, Drop/Truncate a prefix.
+  std::vector<std::vector<std::uint8_t>> chunks;
+  /// Delay before the FIRST chunk (FaultyStream slept here).
+  std::chrono::milliseconds delay{0};
+  /// Delay between chunk 0 and chunk 1 (ShortWrite's mid-frame stall).
+  std::chrono::milliseconds gap{0};
+  /// Kill the connection after the chunks (Drop / send-side Truncate).
+  bool kill = false;
+};
+
+/// Render a SEND-side fault for one wrapped frame (header + payload), as
+/// FaultyStream::send_frame would apply it.
+FrameFaultAction apply_send_fault(const FaultSpec& spec,
+                                  std::vector<std::uint8_t> raw);
+
+/// Render a RECV-side fault for one assembled frame, as
+/// FaultyStream::recv_frame would: BitFlip/Truncate corrupt the bytes
+/// (the caller's frame_unwrap then reports FrameError), Duplicate yields
+/// the frame twice, Drop kills the connection.
+FrameFaultAction apply_recv_fault(const FaultSpec& spec,
+                                  std::vector<std::uint8_t> raw);
+
 }  // namespace jhdl::net

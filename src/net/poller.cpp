@@ -1,0 +1,165 @@
+#include "net/poller.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/socket.h"
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#define JHDL_HAVE_EPOLL 1
+#endif
+
+namespace jhdl::net {
+
+namespace {
+
+[[noreturn]] void raise_errno(const char* what) {
+  throw NetError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Poller::Poller() {
+#ifdef JHDL_HAVE_EPOLL
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) raise_errno("epoll_create1");
+#endif
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+std::vector<Poller::Interest>::iterator Poller::find(int fd) {
+  for (auto it = interest_.begin(); it != interest_.end(); ++it) {
+    if (it->fd == fd) return it;
+  }
+  return interest_.end();
+}
+
+void Poller::add(int fd, bool read, bool write) {
+#ifdef JHDL_HAVE_EPOLL
+  epoll_event ev{};
+  ev.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    raise_errno("epoll_ctl(add)");
+  }
+#endif
+  interest_.push_back({fd, read, write});
+}
+
+void Poller::modify(int fd, bool read, bool write) {
+  auto it = find(fd);
+  if (it == interest_.end()) return;
+  it->read = read;
+  it->write = write;
+#ifdef JHDL_HAVE_EPOLL
+  epoll_event ev{};
+  ev.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    raise_errno("epoll_ctl(mod)");
+  }
+#endif
+}
+
+void Poller::remove(int fd) {
+  auto it = find(fd);
+  if (it == interest_.end()) return;
+  interest_.erase(it);
+#ifdef JHDL_HAVE_EPOLL
+  // The kernel drops closed fds on its own; tolerate EBADF/ENOENT so
+  // remove-after-close stays a no-op instead of a crash.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+}
+
+std::size_t Poller::wait(std::vector<PollEvent>& out, int timeout_ms) {
+  out.clear();
+#ifdef JHDL_HAVE_EPOLL
+  epoll_event events[256];
+  const int n = ::epoll_wait(epoll_fd_, events, 256, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    raise_errno("epoll_wait");
+  }
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    PollEvent ev;
+    ev.fd = events[i].data.fd;
+    ev.readable = (events[i].events & EPOLLIN) != 0;
+    ev.writable = (events[i].events & EPOLLOUT) != 0;
+    ev.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+    out.push_back(ev);
+  }
+  return out.size();
+#else
+  std::vector<pollfd> fds;
+  fds.reserve(interest_.size());
+  for (const Interest& i : interest_) {
+    pollfd p{};
+    p.fd = i.fd;
+    p.events = static_cast<short>((i.read ? POLLIN : 0) |
+                                  (i.write ? POLLOUT : 0));
+    fds.push_back(p);
+  }
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    raise_errno("poll");
+  }
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    PollEvent ev;
+    ev.fd = p.fd;
+    ev.readable = (p.revents & POLLIN) != 0;
+    ev.writable = (p.revents & POLLOUT) != 0;
+    ev.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(ev);
+  }
+  return out.size();
+#endif
+}
+
+std::size_t Poller::watched() const { return interest_.size(); }
+
+WakeupFd::WakeupFd() {
+#ifdef JHDL_HAVE_EPOLL
+  read_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (read_fd_ < 0) raise_errno("eventfd");
+  write_fd_ = read_fd_;
+#else
+  int fds[2];
+  if (::pipe(fds) != 0) raise_errno("pipe");
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+  read_fd_ = fds[0];
+  write_fd_ = fds[1];
+#endif
+}
+
+WakeupFd::~WakeupFd() {
+  if (read_fd_ >= 0) ::close(read_fd_);
+  if (write_fd_ >= 0 && write_fd_ != read_fd_) ::close(write_fd_);
+}
+
+void WakeupFd::ring() {
+  const std::uint64_t one = 1;
+  // EAGAIN means a wakeup is already pending — exactly what we want.
+  [[maybe_unused]] ssize_t n = ::write(write_fd_, &one, sizeof one);
+}
+
+void WakeupFd::drain() {
+  std::uint8_t buf[64];
+  while (::read(read_fd_, buf, sizeof buf) > 0) {
+  }
+}
+
+}  // namespace jhdl::net

@@ -1,0 +1,95 @@
+// Readiness multiplexing for the event-driven delivery plane.
+//
+// Poller wraps the platform's level-triggered readiness API — epoll(7) on
+// Linux, poll(2) everywhere else — behind one small interface so the
+// delivery reactor can watch thousands of nonblocking sockets from a
+// single thread. Level-triggered semantics are deliberate: a handler that
+// leaves bytes unread (or a send buffer part-flushed) is re-notified on
+// the next wait(), which keeps the per-event code re-entrant and simple
+// at the cost of one syscall of re-arming discipline.
+//
+// WakeupFd is the cross-thread doorbell: worker threads finishing
+// CPU-heavy requests ring it to pull the loop out of wait() and drain the
+// completion queue. It is eventfd(2) on Linux, a nonblocking self-pipe
+// elsewhere; ring() is async-signal-safe-ish (one write syscall, never
+// blocks, coalesces).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace jhdl::net {
+
+/// One fd's readiness, as returned by Poller::wait.
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error/hangup on the descriptor. The owner should read until failure
+  /// and tear the connection down; level-triggered polling re-reports it
+  /// until the fd is removed.
+  bool error = false;
+};
+
+/// Level-triggered readiness poller over nonblocking descriptors.
+/// Single-threaded by contract: only the owning loop thread may call any
+/// method (WakeupFd is the one cross-thread channel).
+class Poller {
+ public:
+  Poller();
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// Start watching `fd`. `read`/`write` select the interest set.
+  void add(int fd, bool read, bool write);
+  /// Change the interest set of a watched fd.
+  void modify(int fd, bool read, bool write);
+  /// Stop watching. Safe to call for an fd the kernel already dropped
+  /// (close() auto-removes from epoll); keeps the fallback set in sync.
+  void remove(int fd);
+
+  /// Block up to `timeout_ms` (-1 = forever, 0 = poll) for readiness.
+  /// Fills `out` (cleared first) and returns the event count. EINTR is
+  /// absorbed (returns 0).
+  std::size_t wait(std::vector<PollEvent>& out, int timeout_ms);
+
+  /// How many descriptors are currently watched.
+  std::size_t watched() const;
+
+ private:
+  int epoll_fd_ = -1;  // -1 on the poll() fallback path
+  /// Fallback interest set (fd -> events mask); also mirrored on Linux so
+  /// watched() needs no kernel query.
+  struct Interest {
+    int fd;
+    bool read;
+    bool write;
+  };
+  std::vector<Interest> interest_;
+  std::vector<Interest>::iterator find(int fd);
+};
+
+/// Cross-thread wakeup channel for an event loop: any thread may ring(),
+/// the loop watches fd() for readability and drain()s on wakeup. Multiple
+/// rings coalesce into one readable event.
+class WakeupFd {
+ public:
+  WakeupFd();
+  ~WakeupFd();
+  WakeupFd(const WakeupFd&) = delete;
+  WakeupFd& operator=(const WakeupFd&) = delete;
+
+  /// The descriptor the loop registers for read interest.
+  int fd() const { return read_fd_; }
+  /// Make fd() readable. Never blocks; safe from any thread.
+  void ring();
+  /// Consume pending wakeups so the next ring() is a fresh edge.
+  void drain();
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;  // == read_fd_ when backed by eventfd
+};
+
+}  // namespace jhdl::net

@@ -53,6 +53,7 @@ bool error_retryable(ErrorCode code) {
     case ErrorCode::MalformedFrame:
     case ErrorCode::ShuttingDown:
     case ErrorCode::Throttled:
+    case ErrorCode::Overloaded:
       return true;
     default:
       return false;
@@ -249,7 +250,7 @@ Message decode(const std::vector<std::uint8_t>& payload) {
       // a seq).
       if (!r.done()) {
         const std::uint8_t code = r.u8();
-        if (code > static_cast<std::uint8_t>(ErrorCode::Throttled)) {
+        if (code > static_cast<std::uint8_t>(ErrorCode::Overloaded)) {
           throw std::runtime_error("protocol: unknown error code " +
                                    std::to_string(code));
         }

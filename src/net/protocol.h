@@ -171,6 +171,8 @@ enum class ErrorCode : std::uint8_t {
   Throttled = 8,       // retryable with backoff: the query auditor judged
                        //   the session's traffic extraction-like and is
                        //   refusing queries for a cooldown window (v5)
+  Overloaded = 9,      // retryable with backoff: admission control refused
+                       //   the session (global or per-tenant cap) (v6)
 };
 
 /// True when a client may reasonably retry after this Error.

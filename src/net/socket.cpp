@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -184,6 +185,48 @@ std::vector<std::uint8_t> TcpStream::recv_frame() {
   return frame_unwrap(recv_frame_bytes());
 }
 
+void TcpStream::set_nonblocking(bool on) {
+  if (fd_ < 0) return;
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return;
+  ::fcntl(fd_, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
+TcpStream::IoResult TcpStream::recv_some(std::uint8_t* data, std::size_t max,
+                                         std::size_t& n) {
+  n = 0;
+  if (fd_ < 0) return IoResult::Error;
+  while (true) {
+    const ssize_t r = ::recv(fd_, data, max, 0);
+    if (r > 0) {
+      n = static_cast<std::size_t>(r);
+      return IoResult::Ok;
+    }
+    if (r == 0) return IoResult::Closed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::WouldBlock;
+    return IoResult::Error;
+  }
+}
+
+TcpStream::IoResult TcpStream::send_some(const std::uint8_t* data,
+                                         std::size_t size, std::size_t& n) {
+  n = 0;
+  if (fd_ < 0) return IoResult::Error;
+  while (true) {
+    const ssize_t r = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (r > 0) {
+      n = static_cast<std::size_t>(r);
+      return IoResult::Ok;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return IoResult::WouldBlock;
+    }
+    return IoResult::Error;
+  }
+}
+
 TcpListener::TcpListener(int backlog) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) raise_errno("socket");
@@ -228,6 +271,27 @@ TcpStream TcpListener::accept() {
   if (fd < 0) raise_errno("accept");
   set_nodelay(fd);
   return TcpStream(fd);
+}
+
+TcpStream TcpListener::try_accept() {
+  if (closed_.load()) throw NetError("listener closed");
+  int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return TcpStream();  // nothing pending / aborted handshake
+    }
+    raise_errno("accept");
+  }
+  set_nodelay(fd);
+  return TcpStream(fd);
+}
+
+void TcpListener::set_nonblocking(bool on) {
+  if (fd_ < 0) return;
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return;
+  ::fcntl(fd_, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
 }
 
 }  // namespace jhdl::net

@@ -120,6 +120,33 @@ class TcpStream : public Stream {
   /// (>= 1). Throws NetError on failure, timeout, or orderly close.
   std::size_t recv_raw(std::uint8_t* data, std::size_t max);
 
+  // --- nonblocking support (the reactor's delivery plane) ---
+
+  /// The underlying descriptor (-1 when closed). For poller registration
+  /// only; ownership stays with the stream.
+  int fd() const { return fd_; }
+
+  /// Switch O_NONBLOCK on or off. The framed recv/send API above assumes
+  /// blocking mode; a nonblocking stream is driven with recv_some /
+  /// send_some under a Poller instead.
+  void set_nonblocking(bool on);
+
+  /// recv_some/send_some outcome for nonblocking IO.
+  enum class IoResult {
+    Ok,          ///< >= 1 byte moved (`n` holds the count)
+    WouldBlock,  ///< no progress now; wait for readiness
+    Closed,      ///< orderly peer close (recv only)
+    Error,       ///< connection is dead
+  };
+
+  /// Read up to `max` bytes without blocking. Never throws: the reactor
+  /// maps outcomes to connection-state transitions instead of unwinding.
+  IoResult recv_some(std::uint8_t* data, std::size_t max, std::size_t& n);
+
+  /// Write up to `size` bytes without blocking. Never throws.
+  IoResult send_some(const std::uint8_t* data, std::size_t size,
+                     std::size_t& n);
+
  private:
   void send_all(const std::uint8_t* data, std::size_t size);
   void recv_all(std::uint8_t* data, std::size_t size);
@@ -138,8 +165,17 @@ class TcpListener {
   TcpListener& operator=(const TcpListener&) = delete;
 
   std::uint16_t port() const { return port_; }
+  /// The listening descriptor, for poller registration (-1 once closed).
+  int fd() const { return fd_; }
   /// Accept one connection (blocking). Throws NetError on failure.
   TcpStream accept();
+  /// Nonblocking accept for a poller-driven loop: returns an invalid
+  /// TcpStream when no connection is pending (EAGAIN) or on a transient
+  /// per-connection error; throws NetError only when the listener itself
+  /// is dead. The listening socket must be set_nonblocking() first.
+  TcpStream try_accept();
+  /// Switch the LISTENING socket to O_NONBLOCK for try_accept().
+  void set_nonblocking(bool on);
   /// Stop accepting: shuts the socket down so a thread blocked in
   /// accept() fails with NetError. Safe to call from any thread; the
   /// descriptor itself is released in the destructor, once no thread can

@@ -1,0 +1,74 @@
+#include "net/timer_wheel.h"
+
+#include <algorithm>
+
+namespace jhdl::net {
+
+TimerWheel::TimerWheel(std::int64_t now_ms)
+    : slots_(kSlots), current_tick_(tick_of(now_ms)) {}
+
+TimerWheel::TimerId TimerWheel::schedule(std::int64_t delay_ms,
+                                         std::function<void()> fn) {
+  if (delay_ms < 0) delay_ms = 0;
+  const std::int64_t deadline =
+      (current_tick_ * kTickMs) + delay_ms;
+  std::int64_t tick = tick_of(deadline);
+  if (tick <= current_tick_) tick = current_tick_ + 1;  // next advance
+  const TimerId id = next_id_++;
+  slots_[static_cast<std::size_t>(tick) % kSlots].push_back(
+      {id, tick * kTickMs, std::move(fn)});
+  ++armed_;
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  for (auto& slot : slots_) {
+    for (auto it = slot.begin(); it != slot.end(); ++it) {
+      if (it->id == id) {
+        slot.erase(it);
+        --armed_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t TimerWheel::advance(std::int64_t now_ms) {
+  const std::int64_t target_tick = tick_of(now_ms + 1) - 1;  // floor
+  std::size_t fired = 0;
+  while (current_tick_ < target_tick) {
+    ++current_tick_;
+    auto& slot = slots_[static_cast<std::size_t>(current_tick_) % kSlots];
+    // Entries hashed into this slot for a LATER revolution stay; take the
+    // due ones out first so callbacks can re-arm into the same slot.
+    std::list<Entry> due;
+    for (auto it = slot.begin(); it != slot.end();) {
+      if (it->deadline_ms <= current_tick_ * kTickMs) {
+        due.splice(due.end(), slot, it++);
+      } else {
+        ++it;
+      }
+    }
+    for (Entry& e : due) {
+      --armed_;
+      ++fired;
+      e.fn();
+    }
+  }
+  return fired;
+}
+
+std::int64_t TimerWheel::next_delay_ms(std::int64_t now_ms) const {
+  if (armed_ == 0) return -1;
+  std::int64_t earliest = -1;
+  for (const auto& slot : slots_) {
+    for (const Entry& e : slot) {
+      if (earliest < 0 || e.deadline_ms < earliest) earliest = e.deadline_ms;
+    }
+  }
+  if (earliest < 0) return -1;
+  return std::max<std::int64_t>(0, earliest - now_ms);
+}
+
+}  // namespace jhdl::net

@@ -1,0 +1,78 @@
+// Hashed timer wheel for the delivery reactor.
+//
+// One wheel absorbs every time-driven concern of the event loop — idle
+// session reaping, resume-window expiry, admission-reject deadlines,
+// injected-fault delays, linger-before-close — so the loop computes a
+// single poll timeout (time to the next armed tick) instead of running a
+// dedicated reaper thread.
+//
+// Classic hashed-wheel design: kSlots buckets of kTickMs granularity,
+// each holding a list of entries with a remaining-rounds counter for
+// deadlines further than one revolution out. schedule() and cancel() are
+// O(1); advance() touches only the slots whose time has come. The wheel
+// is intentionally single-threaded (the loop's), so there are no locks:
+// cross-thread deadline changes go through the loop's wakeup channel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <vector>
+
+namespace jhdl::net {
+
+class TimerWheel {
+ public:
+  /// Tick granularity. Deadlines round UP to the next tick, so a timer
+  /// never fires early; the reactor's timing contracts (idle timeouts,
+  /// resume windows) are all "at least this long", matching the old
+  /// reaper's behaviour.
+  static constexpr std::int64_t kTickMs = 2;
+  static constexpr std::size_t kSlots = 256;
+
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  /// Construct with the wheel's notion of "now" in milliseconds (any
+  /// monotonic origin; the reactor feeds steady_clock).
+  explicit TimerWheel(std::int64_t now_ms);
+
+  /// Arm `fn` to run once, no earlier than `delay_ms` from the last
+  /// advance(). Returns an id for cancel(). Zero/negative delays fire on
+  /// the next advance.
+  TimerId schedule(std::int64_t delay_ms, std::function<void()> fn);
+
+  /// Disarm. Returns false if the timer already fired or was cancelled.
+  bool cancel(TimerId id);
+
+  /// Run every timer whose deadline is <= now_ms. Callbacks may schedule
+  /// new timers (including re-arming themselves for periodic work).
+  /// Returns how many fired.
+  std::size_t advance(std::int64_t now_ms);
+
+  /// Milliseconds until the earliest armed deadline, or -1 when empty
+  /// (the loop turns this into its poll timeout). Never negative: an
+  /// overdue timer reports 0.
+  std::int64_t next_delay_ms(std::int64_t now_ms) const;
+
+  std::size_t armed() const { return armed_; }
+
+ private:
+  struct Entry {
+    TimerId id;
+    std::int64_t deadline_ms;
+    std::function<void()> fn;
+  };
+
+  std::vector<std::list<Entry>> slots_;
+  std::int64_t current_tick_;  // last tick fully advanced past
+  TimerId next_id_ = 1;
+  std::size_t armed_ = 0;
+
+  static std::int64_t tick_of(std::int64_t ms) {
+    // Round up: a deadline mid-tick belongs to the NEXT tick boundary.
+    return (ms + kTickMs - 1) / kTickMs;
+  }
+};
+
+}  // namespace jhdl::net

@@ -24,8 +24,10 @@ std::string status_line(int code) {
   }
 }
 
-std::string render(int code, const std::string& content_type,
-                   const std::string& body) {
+}  // namespace
+
+std::string admin_http_render(int code, const std::string& content_type,
+                              const std::string& body) {
   std::string out = status_line(code);
   out += "Content-Type: " + content_type + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
@@ -34,7 +36,47 @@ std::string render(int code, const std::string& content_type,
   return out;
 }
 
-}  // namespace
+std::string admin_http_respond(const AdminRoutes& routes,
+                               const std::string& request) {
+  try {
+    const std::size_t line_end = request.find_first_of("\r\n");
+    const std::string line = request.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    const std::string method =
+        sp1 == std::string::npos ? line : line.substr(0, sp1);
+    std::string path = sp2 == std::string::npos
+                           ? (sp1 == std::string::npos
+                                  ? std::string()
+                                  : line.substr(sp1 + 1))
+                           : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+
+    if (method != "GET") {
+      return admin_http_render(405, "text/plain", "method not allowed\n");
+    }
+    if (path == "/metrics" && routes.metrics_text) {
+      return admin_http_render(200, "text/plain; version=0.0.4",
+                               routes.metrics_text());
+    }
+    if (path == "/healthz" && routes.healthz) {
+      const auto [healthy, body] = routes.healthz();
+      return admin_http_render(healthy ? 200 : 503, "text/plain", body);
+    }
+    if (path == "/slo" && routes.slo_json) {
+      return admin_http_render(200, "application/json", routes.slo_json());
+    }
+    if (path == "/flight" && routes.flight_jsonl) {
+      return admin_http_render(200, "application/jsonl",
+                               routes.flight_jsonl());
+    }
+    return admin_http_render(404, "text/plain", "not found\n");
+  } catch (const std::exception& e) {
+    return admin_http_render(500, "text/plain", std::string(e.what()) + "\n");
+  }
+}
 
 AdminHttpServer::AdminHttpServer(AdminRoutes routes, int backlog)
     : routes_(std::move(routes)), listener_(backlog) {
@@ -75,47 +117,19 @@ void AdminHttpServer::serve(net::TcpStream stream) {
     while (request.find("\r\n\r\n") == std::string::npos &&
            request.find("\n\n") == std::string::npos) {
       if (request.size() > kMaxRequestBytes) {
-        const std::string r = render(431, "text/plain", "request too large\n");
+        const std::string r =
+            admin_http_render(431, "text/plain", "request too large\n");
         stream.send_bytes(std::vector<std::uint8_t>(r.begin(), r.end()));
         return;
       }
       const std::size_t n = stream.recv_raw(buf, sizeof buf);
       request.append(reinterpret_cast<const char*>(buf), n);
     }
-    const std::size_t line_end = request.find_first_of("\r\n");
-    const std::string line = request.substr(0, line_end);
-    const std::size_t sp1 = line.find(' ');
-    const std::size_t sp2 =
-        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
-    const std::string method =
-        sp1 == std::string::npos ? line : line.substr(0, sp1);
-    std::string path = sp2 == std::string::npos
-                           ? (sp1 == std::string::npos
-                                  ? std::string()
-                                  : line.substr(sp1 + 1))
-                           : line.substr(sp1 + 1, sp2 - sp1 - 1);
-    const std::size_t query = path.find('?');
-    if (query != std::string::npos) path.resize(query);
-
-    if (method != "GET") {
-      response = render(405, "text/plain", "method not allowed\n");
-    } else if (path == "/metrics" && routes_.metrics_text) {
-      response = render(200, "text/plain; version=0.0.4",
-                        routes_.metrics_text());
-    } else if (path == "/healthz" && routes_.healthz) {
-      const auto [healthy, body] = routes_.healthz();
-      response = render(healthy ? 200 : 503, "text/plain", body);
-    } else if (path == "/slo" && routes_.slo_json) {
-      response = render(200, "application/json", routes_.slo_json());
-    } else if (path == "/flight" && routes_.flight_jsonl) {
-      response = render(200, "application/jsonl", routes_.flight_jsonl());
-    } else {
-      response = render(404, "text/plain", "not found\n");
-    }
+    response = admin_http_respond(routes_, request);
   } catch (const net::NetError&) {
     return;  // timed out / dropped mid-request; nothing to answer
   } catch (const std::exception& e) {
-    response = render(500, "text/plain", std::string(e.what()) + "\n");
+    response = admin_http_render(500, "text/plain", std::string(e.what()) + "\n");
   }
   try {
     stream.send_bytes(std::vector<std::uint8_t>(response.begin(),

@@ -50,6 +50,19 @@ struct AdminRoutes {
   std::function<std::string()> flight_jsonl;
 };
 
+/// Render one minimal HTTP/1.0 response: status line, Content-Type,
+/// Content-Length, Connection: close, body.
+std::string admin_http_render(int code, const std::string& content_type,
+                              const std::string& body);
+
+/// Parse one request's header text (request line onward) and dispatch it
+/// through `routes`, returning the full rendered response. Shared by the
+/// standalone AdminHttpServer below and the delivery reactor's in-loop
+/// admin plane, so both speak byte-identical HTTP. Handler exceptions
+/// render as 500.
+std::string admin_http_respond(const AdminRoutes& routes,
+                               const std::string& request);
+
 /// One accept thread serving HTTP/1.0 on a kernel-chosen loopback port.
 class AdminHttpServer {
  public:

@@ -1,10 +1,19 @@
 #include "server/delivery_service.h"
 
+#include <sys/socket.h>
+
 #include <algorithm>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "core/feature.h"
 #include "core/params.h"
+#include "net/poller.h"
 #include "net/sim_server.h"
+#include "net/timer_wheel.h"
+#include "server/scheduler.h"
 #include "sim/thread_pool.h"
 #include "util/version.h"
 
@@ -47,7 +56,1140 @@ const char* request_span_name(MsgType type) {
   }
 }
 
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The loop-owned socket state a ConnHandle can reach from other threads.
+/// The loop invalidates it (alive=false, fd=-1) under the mutex BEFORE
+/// closing the descriptor, so a racing shutdown() can never touch a
+/// recycled fd.
+struct ConnShared {
+  std::mutex m;
+  int fd = -1;
+  bool alive = false;
+};
+
+/// The net::Stream a reactor-owned session carries. The reactor does all
+/// real IO on the nonblocking socket itself; this handle exists so the
+/// SessionManager's cross-thread choreography (evict, evict_idle,
+/// shutdown_all, resume's force-claim) keeps working unchanged: its
+/// shutdown() fails the socket out from under the loop, which then sees
+/// EOF and runs the ordinary transport-death path.
+class ConnHandle : public net::Stream {
+ public:
+  explicit ConnHandle(std::shared_ptr<ConnShared> shared)
+      : shared_(std::move(shared)) {}
+
+  bool valid() const override {
+    std::lock_guard<std::mutex> lock(shared_->m);
+    return shared_->alive;
+  }
+  void close() override { shutdown(); }
+  void shutdown() override {
+    std::lock_guard<std::mutex> lock(shared_->m);
+    if (shared_->alive && shared_->fd >= 0) {
+      ::shutdown(shared_->fd, SHUT_RDWR);
+    }
+  }
+  void set_recv_timeout(int) override {}
+  void send_frame(const std::vector<std::uint8_t>&) override {
+    throw net::NetError("reactor-owned transport has no blocking send",
+                        net::NetError::Kind::Fatal);
+  }
+  std::vector<std::uint8_t> recv_frame() override {
+    throw net::NetError("reactor-owned transport has no blocking recv",
+                        net::NetError::Kind::Fatal);
+  }
+
+ private:
+  std::shared_ptr<ConnShared> shared_;
+};
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// DeliveryReactor: the event loop, worker pool, and admission machinery.
+// ---------------------------------------------------------------------------
+//
+// Threading contract:
+//   - the LOOP thread owns every socket, the poller, the timer wheel, the
+//     connection table and the admission bookkeeping;
+//   - WORKER threads execute DeliveryService::process_first_frame /
+//     process_request / the admin HTTP routes, then post a Completion and
+//     ring the wakeup fd — they never touch a socket;
+//   - other threads (reaper timers run on the loop; SessionManager
+//     callers) reach a connection only through its ConnHandle.
+class DeliveryReactor {
+ public:
+  explicit DeliveryReactor(DeliveryService& service)
+      : service_(service),
+        wheel_(now_ms()),
+        scheduler_(service.config_.scheduler_quantum) {
+    routes_.metrics_text = [this] {
+      // Refresh the slo.* gauges first so one scrape carries burn rates
+      // as fresh as the counters beside them.
+      service_.slo_.evaluate();
+      return service_.metrics_.to_text();
+    };
+    routes_.healthz = [this] {
+      const obs::SloHealth health = service_.slo_.overall();
+      return std::make_pair(health != obs::SloHealth::Critical,
+                            std::string(obs::slo_health_name(health)) + "\n");
+    };
+    routes_.slo_json = [this] {
+      return service_.slo_.to_json().dump(2) + "\n";
+    };
+    routes_.flight_jsonl = [this] {
+      return service_.flight_.trigger("on_demand");
+    };
+  }
+
+  ~DeliveryReactor() { shutdown(); }
+  DeliveryReactor(const DeliveryReactor&) = delete;
+  DeliveryReactor& operator=(const DeliveryReactor&) = delete;
+
+  /// Bind both listeners, arm the reaper, spawn the loop and the worker
+  /// pool. Returns the delivery port.
+  std::uint16_t start() {
+    const DeliveryConfig& config = service_.config_;
+    listener_ = std::make_unique<net::TcpListener>(config.listen_backlog);
+    listener_->set_nonblocking(true);
+    poller_.add(listener_->fd(), true, false);
+    poller_.add(wakeup_.fd(), true, false);
+    if (config.admin_http) {
+      admin_listener_ = std::make_unique<net::TcpListener>(8);
+      admin_listener_->set_nonblocking(true);
+      poller_.add(admin_listener_->fd(), true, false);
+      admin_port_ = admin_listener_->port();
+    }
+    arm_reaper();
+    const std::uint16_t port = listener_->port();
+    loop_thread_ = std::thread([this] { run(); });
+    workers_.reserve(config.workers);
+    for (std::size_t i = 0; i < config.workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    return port;
+  }
+
+  /// Drain and join everything. Idempotent; the caller clears running_
+  /// first so the loop starts its drain on wakeup.
+  void shutdown() {
+    wakeup_.ring();
+    if (loop_thread_.joinable()) loop_thread_.join();
+    scheduler_.close();
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    workers_.clear();
+  }
+
+  std::uint16_t admin_port() const { return admin_port_; }
+
+ private:
+  enum class CState : std::uint8_t {
+    Queued,     ///< accepted, waiting for a session slot (no read interest)
+    Handshake,  ///< granted a slot, first frame not yet bound to a session
+    Active,     ///< bound to a session; frames are requests
+    Rejecting,  ///< over capacity: waiting (bounded) for the Hello to answer
+    Http,       ///< admin-plane connection (byte protocol, no framing)
+  };
+
+  /// One assembled inbound frame awaiting dispatch.
+  struct InFrame {
+    std::vector<std::uint8_t> raw;
+    /// Already passed (or deliberately bypasses) the fault plan: the
+    /// second copy of a Duplicate, or a frame re-queued after its Delay.
+    bool skip_fault = false;
+  };
+
+  /// One outbound byte run. Injected faults render as delayed chunks
+  /// (not_before) and kill_after (Drop/Truncate cut the connection).
+  struct OutChunk {
+    std::vector<std::uint8_t> bytes;
+    std::size_t off = 0;
+    std::int64_t not_before_ms = 0;  // 0 = immediately
+    bool kill_after = false;
+  };
+
+  struct Conn {
+    std::uint64_t id = 0;
+    net::TcpStream stream;
+    std::shared_ptr<ConnShared> shared;
+    CState state = CState::Handshake;
+    bool granted = false;  ///< holds one concurrent-session budget slot
+    bool polled = false;   ///< registered with the poller right now
+    bool reading = true;   ///< wants read readiness
+    bool want_write = false;
+    bool rx_eof = false;   ///< orderly peer close seen; drain then reap
+    bool inflight = false; ///< a worker is executing this conn's frame
+    bool dead = false;     ///< transport died while inflight
+    bool close_after_flush = false;
+    bool frame_held = false;  ///< recv-fault delay pending on inbox front
+    int handshake_attempts = 0;
+    std::uint64_t enqueued_us = 0;  ///< accept-queue entry time
+    FrameAssembler assembler;
+    std::deque<InFrame> inbox;
+    std::deque<OutChunk> outbox;
+    std::shared_ptr<Session> session;
+    std::string http_request;
+    net::TimerWheel::TimerId hold_timer = net::TimerWheel::kInvalidTimer;
+    net::TimerWheel::TimerId deadline_timer = net::TimerWheel::kInvalidTimer;
+    net::TimerWheel::TimerId flush_timer = net::TimerWheel::kInvalidTimer;
+  };
+
+  /// Worker -> loop result of one dispatched unit of work.
+  struct Completion {
+    enum class Kind { Handshake, Request, Http, Fatal };
+    std::uint64_t conn_id = 0;
+    Kind kind = Kind::Fatal;
+    DeliveryService::HandshakeOutcome handshake;
+    DeliveryService::RequestOutcome request;
+    std::string http;
+  };
+
+  /// A frame under dispatch keeps its session pinned at most once: the
+  /// reactor never dispatches a second frame for a conn while inflight.
+  static constexpr std::size_t kInboxPauseDepth = 8;
+  static constexpr std::size_t kReadChunk = 16 * 1024;
+  /// How long a Rejecting conn may wait for its Hello before being
+  /// answered anyway (the legacy send_error recv-timeout).
+  static constexpr std::int64_t kRejectWaitMs = 100;
+
+  std::size_t budget() const {
+    const DeliveryConfig& config = service_.config_;
+    return config.max_sessions > 0 ? config.max_sessions : config.workers;
+  }
+
+  // --- loop -----------------------------------------------------------
+
+  void run() {
+    while (true) {
+      if (!service_.running_.load(std::memory_order_relaxed) && !draining_) {
+        begin_drain();
+      }
+      if (draining_ && conns_.empty()) break;
+      const std::int64_t delay = wheel_.next_delay_ms(now_ms());
+      const int timeout =
+          delay < 0 ? -1
+                    : static_cast<int>(std::min<std::int64_t>(delay, 60'000));
+      poller_.wait(events_, timeout);
+      for (const net::PollEvent& ev : events_) {
+        if (ev.fd == wakeup_.fd()) {
+          wakeup_.drain();
+          continue;
+        }
+        if (listener_ != nullptr && ev.fd == listener_->fd()) {
+          accept_ready();
+          continue;
+        }
+        if (admin_listener_ != nullptr && ev.fd == admin_listener_->fd()) {
+          accept_admin_ready();
+          continue;
+        }
+        auto it = by_fd_.find(ev.fd);
+        if (it == by_fd_.end()) continue;  // removed earlier in this batch
+        const std::uint64_t id = it->second;
+        if (ev.readable) {
+          conn_readable(id);
+        } else if (ev.error) {
+          conn_transport_dead(id);
+        }
+        if (ev.writable && find(id) != nullptr) flush_outbox(id);
+      }
+      wheel_.advance(now_ms());
+      handle_completions();
+    }
+  }
+
+  void worker_loop() {
+    FairScheduler::Item item;
+    while (scheduler_.pop(item)) item.run();
+  }
+
+  void post(Completion comp) {
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+      completions_.push_back(std::move(comp));
+    }
+    wakeup_.ring();
+  }
+
+  Conn* find(std::uint64_t id) {
+    auto it = conns_.find(id);
+    return it == conns_.end() ? nullptr : it->second.get();
+  }
+
+  /// Reconcile the poller with what the conn wants right now. A conn
+  /// wanting nothing is deregistered entirely — EPOLLHUP is reported
+  /// regardless of the interest mask, so leaving a drained-EOF socket
+  /// registered would spin the loop.
+  void apply_interest(Conn& c) {
+    const bool read = c.reading && !c.rx_eof && !c.dead;
+    const bool write = c.want_write && !c.dead;
+    if (!read && !write) {
+      if (c.polled) {
+        poller_.remove(c.stream.fd());
+        c.polled = false;
+      }
+      return;
+    }
+    if (c.polled) {
+      poller_.modify(c.stream.fd(), read, write);
+    } else {
+      poller_.add(c.stream.fd(), read, write);
+      c.polled = true;
+    }
+  }
+
+  // --- admission ------------------------------------------------------
+
+  void accept_ready() {
+    while (listener_ != nullptr) {
+      net::TcpStream stream;
+      try {
+        stream = listener_->try_accept();
+      } catch (const net::NetError&) {
+        return;  // listener closed under us (drain)
+      }
+      if (!stream.valid()) return;  // EAGAIN: burst drained
+      stream.set_nonblocking(true);
+      admit(std::move(stream));
+    }
+  }
+
+  void admit(net::TcpStream stream) {
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>();
+    conn->id = id;
+    conn->shared = std::make_shared<ConnShared>();
+    conn->shared->fd = stream.fd();
+    conn->shared->alive = true;
+    conn->stream = std::move(stream);
+    const int fd = conn->stream.fd();
+    Conn& c = *conn;
+    conns_[id] = std::move(conn);
+    by_fd_[fd] = id;
+    if (granted_ < budget()) {
+      grant(c);
+      return;
+    }
+    if (accept_queue_.size() < service_.config_.queue_capacity) {
+      c.state = CState::Queued;
+      c.reading = false;
+      c.enqueued_us = obs::Tracer::now_us();
+      accept_queue_.push_back(id);
+      service_.stats_.record_enqueue();
+      return;  // not polled: a dead queued conn is discovered at grant
+    }
+    // Over budget AND over queue: turn it away. Mirror the legacy
+    // send_error choreography — consume the Hello the client (almost
+    // certainly) already sent, bounded by a deadline, so closing cannot
+    // RST the very Error we answer with.
+    c.state = CState::Rejecting;
+    c.reading = true;
+    apply_interest(c);
+    c.deadline_timer = wheel_.schedule(kRejectWaitMs, [this, id] {
+      Conn* rc = find(id);
+      if (rc != nullptr && rc->state == CState::Rejecting &&
+          !rc->close_after_flush) {
+        finalize_rejection(id, nullptr);
+      }
+    });
+  }
+
+  void grant(Conn& c) {
+    ++granted_;
+    c.granted = true;
+    c.state = CState::Handshake;
+    c.reading = true;
+    apply_interest(c);
+  }
+
+  /// A granted slot freed: promote accept-queue heads into Handshake.
+  void grant_next() {
+    while (granted_ < budget() && !accept_queue_.empty()) {
+      const std::uint64_t id = accept_queue_.front();
+      accept_queue_.pop_front();
+      Conn* c = find(id);
+      if (c == nullptr) continue;
+      service_.stats_.record_dequeue();
+      if (service_.tracer_.enabled()) {
+        // How long the connection sat between accept and a free slot.
+        service_.tracer_.record("accept.queue", 0, c->enqueued_us,
+                                obs::Tracer::now_us() - c->enqueued_us);
+      }
+      grant(*c);
+    }
+  }
+
+  /// Answer an over-capacity connection with the typed, retryable Error
+  /// and count it (labeled per tenant when the Hello was decodable).
+  void finalize_rejection(std::uint64_t id,
+                          const std::vector<std::uint8_t>* first_raw) {
+    Conn* c = find(id);
+    if (c == nullptr) return;
+    if (c->deadline_timer != net::TimerWheel::kInvalidTimer) {
+      wheel_.cancel(c->deadline_timer);
+      c->deadline_timer = net::TimerWheel::kInvalidTimer;
+    }
+    std::string customer = "__unknown__";
+    if (first_raw != nullptr) {
+      try {
+        const Message hello = decode(net::frame_unwrap(*first_raw));
+        if (!hello.customer.empty()) customer = hello.customer;
+      } catch (const std::exception&) {
+        // Rejected before it even spoke the protocol: stays unlabeled.
+      }
+    }
+    service_.stats_.record_rejection();
+    service_.stats_.record_admission_reject(customer);
+    note_rejection_burst();
+    const std::size_t capacity = budget() + service_.config_.queue_capacity;
+    Message reply;
+    reply.type = MsgType::Error;
+    if (service_.config_.max_sessions > 0) {
+      reply.code = ErrorCode::Overloaded;
+      reply.text = "server overloaded: " + std::to_string(capacity) +
+                   " sessions in flight; retry later";
+    } else {
+      // Legacy sizing keeps the legacy wording and code bit-exact.
+      reply.code = ErrorCode::Saturated;
+      reply.text = "server saturated: " + std::to_string(capacity) +
+                   " sessions in flight; retry later";
+    }
+    c->reading = false;
+    c->close_after_flush = true;
+    queue_payload(*c, encode(reply), /*faults=*/false);
+    flush_outbox(id);
+  }
+
+  /// Sustained admission pressure is an incident, not a curiosity: past
+  /// the threshold within one second, capture the flight bundle (at most
+  /// once per window) so the overload's shape survives the moment.
+  void note_rejection_burst() {
+    const std::int64_t now = now_ms();
+    if (now - burst_window_start_ms_ >= 1000) {
+      burst_window_start_ms_ = now;
+      reject_burst_ = 0;
+      burst_flight_fired_ = false;
+    }
+    ++reject_burst_;
+    if (!burst_flight_fired_ &&
+        reject_burst_ >= service_.config_.overload_flight_threshold) {
+      burst_flight_fired_ = true;
+      service_.log_.log(obs::LogLevel::Warn, "admission.overload",
+                        {{"rejected_last_second",
+                          std::to_string(reject_burst_)}});
+      service_.flight_.trigger("admission.overload");
+    }
+  }
+
+  // --- reading / frame assembly ---------------------------------------
+
+  void conn_readable(std::uint64_t id) {
+    Conn* c = find(id);
+    if (c == nullptr || c->dead) return;
+    if (c->state == CState::Http) {
+      http_readable(id);
+      return;
+    }
+    bool eof = false;
+    while (true) {
+      std::uint8_t buf[kReadChunk];
+      std::size_t n = 0;
+      const net::TcpStream::IoResult res =
+          c->stream.recv_some(buf, sizeof buf, n);
+      if (res == net::TcpStream::IoResult::Ok) {
+        c->assembler.feed(buf, n);
+        continue;
+      }
+      if (res == net::TcpStream::IoResult::WouldBlock) break;
+      eof = true;  // Closed or Error: no more bytes will ever arrive
+      break;
+    }
+    // Extract every complete frame. A hostile length prefix throws: the
+    // stream can no longer be trusted, so the connection dies.
+    while (true) {
+      c = find(id);
+      if (c == nullptr) return;
+      std::vector<std::uint8_t> raw;
+      bool have = false;
+      try {
+        have = c->assembler.next(raw);
+      } catch (const net::NetError&) {
+        conn_transport_dead(id);
+        return;
+      }
+      if (!have) break;
+      on_frame(id, std::move(raw));
+    }
+    c = find(id);
+    if (c == nullptr) return;
+    if (eof) {
+      c->rx_eof = true;
+      apply_interest(*c);
+    }
+    maybe_reap_eof(id);
+    c = find(id);
+    if (c == nullptr) return;
+    // Backpressure: a conn with a deep inbox stops reading until the
+    // dispatch pipeline drains it (level-triggered, so re-arming later
+    // re-delivers whatever is still buffered).
+    const bool want_read =
+        c->inbox.size() < kInboxPauseDepth && !c->close_after_flush;
+    if (want_read != c->reading) {
+      c->reading = want_read;
+      apply_interest(*c);
+    }
+  }
+
+  void on_frame(std::uint64_t id, std::vector<std::uint8_t> raw) {
+    Conn* c = find(id);
+    if (c == nullptr) return;
+    if (c->state == CState::Rejecting) {
+      if (!c->close_after_flush) finalize_rejection(id, &raw);
+      return;
+    }
+    c->inbox.push_back(InFrame{std::move(raw), false});
+    dispatch_next(id);
+  }
+
+  /// The conn's pipeline tick: when idle, pull the next inbound frame
+  /// through the fault plan and hand it to a worker. At most one frame
+  /// per conn is ever in flight, which serializes requests per session
+  /// exactly like the old one-worker-per-connection loop.
+  void dispatch_next(std::uint64_t id) {
+    Conn* c = find(id);
+    if (c == nullptr || c->inflight || c->dead || c->frame_held ||
+        c->close_after_flush) {
+      return;
+    }
+    if (c->inbox.empty()) {
+      maybe_reap_eof(id);
+      return;
+    }
+    InFrame frame = std::move(c->inbox.front());
+    c->inbox.pop_front();
+    // Un-pause a backpressured conn once the inbox drains (the paused
+    // socket gets no read events, so this is the only re-arm point).
+    if (!c->reading && !c->rx_eof && !c->close_after_flush &&
+        c->inbox.size() < kInboxPauseDepth) {
+      c->reading = true;
+      apply_interest(*c);
+    }
+    if (service_.config_.fault_plan != nullptr && !frame.skip_fault) {
+      // One plan consult per logical frame receive, same counting as
+      // FaultyStream::recv_frame (a Duplicate's second copy skips it).
+      const net::FaultSpec spec =
+          service_.config_.fault_plan->next_recv(net::kFrameHeaderBytes);
+      if (spec.kind != net::FaultKind::None) {
+        net::FrameFaultAction action =
+            net::apply_recv_fault(spec, std::move(frame.raw));
+        if (action.kill && action.chunks.empty()) {
+          conn_transport_dead(id);
+          return;
+        }
+        if (action.delay.count() > 0) {
+          // FaultyStream slept here; the reactor parks the frame on the
+          // wheel instead and re-dispatches when the delay elapses.
+          for (auto it = action.chunks.rbegin(); it != action.chunks.rend();
+               ++it) {
+            c->inbox.push_front(InFrame{std::move(*it), true});
+          }
+          c->frame_held = true;
+          c->hold_timer = wheel_.schedule(
+              action.delay.count(), [this, id] {
+                Conn* hc = find(id);
+                if (hc == nullptr) return;
+                hc->frame_held = false;
+                hc->hold_timer = net::TimerWheel::kInvalidTimer;
+                dispatch_next(id);
+              });
+          return;
+        }
+        if (action.chunks.size() == 2) {
+          c->inbox.push_front(InFrame{std::move(action.chunks[1]), true});
+        }
+        frame.raw = std::move(action.chunks[0]);
+        if (action.kill) {
+          // Deliver nothing: a mid-frame kill never yields a frame.
+          conn_transport_dead(id);
+          return;
+        }
+      }
+    }
+    c->inflight = true;
+    if (c->state == CState::Handshake) {
+      auto shared = c->shared;
+      std::vector<std::uint8_t> raw = std::move(frame.raw);
+      FairScheduler::Item item;
+      item.tenant = "";  // tenant unknown until the Hello decodes
+      item.cost = raw.size();
+      item.run = [this, id, raw, shared]() mutable {
+        Completion comp;
+        comp.conn_id = id;
+        comp.kind = Completion::Kind::Handshake;
+        try {
+          comp.handshake = service_.process_first_frame(
+              raw, std::make_unique<ConnHandle>(shared));
+        } catch (const std::exception& e) {
+          worker_fatal(e);
+          comp.kind = Completion::Kind::Fatal;
+        }
+        post(std::move(comp));
+      };
+      scheduler_.push(std::move(item));
+    } else {
+      auto session = c->session;
+      std::vector<std::uint8_t> raw = std::move(frame.raw);
+      FairScheduler::Item item;
+      item.tenant = session->customer;
+      item.cost = raw.size();
+      item.run = [this, id, raw, session]() mutable {
+        Completion comp;
+        comp.conn_id = id;
+        comp.kind = Completion::Kind::Request;
+        try {
+          comp.request = service_.process_request(session, raw);
+        } catch (const std::exception& e) {
+          worker_fatal(e);
+          comp.kind = Completion::Kind::Fatal;
+        }
+        post(std::move(comp));
+      };
+      scheduler_.push(std::move(item));
+    }
+  }
+
+  /// A worker escaping process_* is a server bug: capture the postmortem
+  /// bundle while the evidence is hot, keep the pool alive.
+  void worker_fatal(const std::exception& e) {
+    service_.log_.log(obs::LogLevel::Fatal, "worker.fatal",
+                      {{"error", e.what()}});
+    service_.flight_.trigger("worker.fatal");
+  }
+
+  /// An EOF'd conn with nothing left to do (no frames buffered, no work
+  /// in flight, no bytes to flush) is done: run the transport-death path.
+  void maybe_reap_eof(std::uint64_t id) {
+    Conn* c = find(id);
+    if (c != nullptr && c->rx_eof && !c->inflight && !c->frame_held &&
+        c->inbox.empty() && c->outbox.empty() && !c->close_after_flush) {
+      conn_transport_dead(id);
+    }
+  }
+
+  // --- completions ----------------------------------------------------
+
+  void handle_completions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+      batch.swap(completions_);
+    }
+    for (Completion& comp : batch) handle_completion(comp);
+  }
+
+  void handle_completion(Completion& comp) {
+    const std::uint64_t id = comp.conn_id;
+    Conn* c = find(id);
+    if (c == nullptr) return;
+    c->inflight = false;
+    switch (comp.kind) {
+      case Completion::Kind::Fatal: {
+        if (c->session != nullptr) {
+          auto session = std::move(c->session);
+          remove_conn(id);
+          service_.finish_session(session, service_.end_reason(session));
+        } else {
+          remove_conn(id);
+        }
+        return;
+      }
+      case Completion::Kind::Http: {
+        if (c->dead) {
+          remove_conn(id);
+          return;
+        }
+        c->reading = false;
+        c->close_after_flush = true;
+        queue_raw(*c, std::vector<std::uint8_t>(comp.http.begin(),
+                                                comp.http.end()));
+        apply_interest(*c);
+        flush_outbox(id);
+        return;
+      }
+      case Completion::Kind::Handshake:
+        handle_handshake_completion(id, comp.handshake);
+        return;
+      case Completion::Kind::Request:
+        handle_request_completion(id, comp.request);
+        return;
+    }
+  }
+
+  void handle_handshake_completion(std::uint64_t id,
+                                   DeliveryService::HandshakeOutcome& h) {
+    Conn* c = find(id);
+    if (h.retry) {
+      // Malformed first frame: the stream is still aligned, so answer
+      // and keep listening for the real Hello — bounded, so a peer
+      // spewing garbage cannot hold its slot forever.
+      if (c->dead) {
+        remove_conn(id);
+        return;
+      }
+      queue_payload(*c, h.payload, /*faults=*/true);
+      if (++c->handshake_attempts >= 8 || draining_) {
+        c->close_after_flush = true;
+      }
+      flush_outbox(id);
+      dispatch_next(id);
+      return;
+    }
+    if (h.session != nullptr) {
+      c->session = h.session;
+      c->state = CState::Active;
+      if (c->dead) {
+        // The Iface never arrived; the client will reconnect and Resume
+        // (or Hello afresh), so treat it like any other transport death.
+        auto session = std::move(c->session);
+        remove_conn(id);
+        service_.finish_session(session, service_.end_reason(session));
+        return;
+      }
+      if (draining_) {
+        auto session = std::move(c->session);
+        remove_conn(id);
+        service_.finish_session(session, DeliveryService::EndReason::Stopping);
+        return;
+      }
+      queue_payload(*c, h.payload, /*faults=*/true);
+      flush_outbox(id);
+      dispatch_next(id);  // the client may have pipelined its first request
+      return;
+    }
+    // Denial, bare admin reply, or a failed Resume: answer and close.
+    if (c->dead) {
+      remove_conn(id);
+      return;
+    }
+    c->reading = false;
+    c->close_after_flush = true;
+    if (!h.payload.empty()) queue_payload(*c, h.payload, /*faults=*/true);
+    apply_interest(*c);
+    flush_outbox(id);
+  }
+
+  void handle_request_completion(std::uint64_t id,
+                                 DeliveryService::RequestOutcome& r) {
+    Conn* c = find(id);
+    auto session = c->session;
+    if (r.bye) {
+      // The farewell gets no reply; the session closes cleanly.
+      c->session.reset();
+      remove_conn(id);
+      service_.finish_session(session, DeliveryService::EndReason::Bye);
+      return;
+    }
+    if (c->dead) {
+      c->session.reset();
+      remove_conn(id);
+      service_.finish_session(session, service_.end_reason(session));
+      return;
+    }
+    queue_payload(*c, r.payload, /*faults=*/true);
+    if (draining_ || session->evicted.load(std::memory_order_relaxed)) {
+      // Eviction (auditor park, admin evict) or service stop: the reply
+      // still goes out — exactly like the old loop, which sent before
+      // re-checking its loop condition — then the session ends.
+      auto ended = std::move(c->session);
+      c->reading = false;
+      c->close_after_flush = true;
+      apply_interest(*c);
+      service_.finish_session(ended, draining_
+                                         ? DeliveryService::EndReason::Stopping
+                                         : service_.end_reason(ended));
+      flush_outbox(id);
+      return;
+    }
+    flush_outbox(id);
+    dispatch_next(id);
+  }
+
+  // --- writing --------------------------------------------------------
+
+  /// Frame-wrap one reply payload and enqueue it, rendering the fault
+  /// plan's send-side faults as delayed/truncated/duplicated chunks.
+  void queue_payload(Conn& c, const std::vector<std::uint8_t>& payload,
+                     bool faults) {
+    std::vector<std::uint8_t> raw = net::frame_wrap(payload);
+    if (faults && service_.config_.fault_plan != nullptr) {
+      const net::FaultSpec spec =
+          service_.config_.fault_plan->next_send(raw.size());
+      if (spec.kind != net::FaultKind::None) {
+        net::FrameFaultAction action =
+            net::apply_send_fault(spec, std::move(raw));
+        const std::int64_t base = now_ms();
+        for (std::size_t i = 0; i < action.chunks.size(); ++i) {
+          OutChunk chunk;
+          chunk.bytes = std::move(action.chunks[i]);
+          if (i == 0 && action.delay.count() > 0) {
+            chunk.not_before_ms = base + action.delay.count();
+          }
+          if (i == 1 && (action.delay.count() > 0 || action.gap.count() > 0)) {
+            chunk.not_before_ms =
+                base + action.delay.count() + action.gap.count();
+          }
+          if (i + 1 == action.chunks.size()) chunk.kill_after = action.kill;
+          c.outbox.push_back(std::move(chunk));
+        }
+        if (action.chunks.empty() && action.kill) {
+          OutChunk kill;
+          kill.kill_after = true;
+          c.outbox.push_back(std::move(kill));
+        }
+        return;
+      }
+    }
+    queue_raw(c, std::move(raw));
+  }
+
+  void queue_raw(Conn& c, std::vector<std::uint8_t> bytes) {
+    OutChunk chunk;
+    chunk.bytes = std::move(bytes);
+    c.outbox.push_back(std::move(chunk));
+  }
+
+  void flush_outbox(std::uint64_t id) {
+    Conn* c = find(id);
+    if (c == nullptr || c->dead) return;
+    if (c->flush_timer != net::TimerWheel::kInvalidTimer) {
+      wheel_.cancel(c->flush_timer);
+      c->flush_timer = net::TimerWheel::kInvalidTimer;
+    }
+    while (!c->outbox.empty()) {
+      OutChunk& chunk = c->outbox.front();
+      if (chunk.not_before_ms > 0) {
+        const std::int64_t wait = chunk.not_before_ms - now_ms();
+        if (wait > 0) {
+          c->flush_timer =
+              wheel_.schedule(wait, [this, id] { flush_outbox(id); });
+          if (c->want_write) {
+            c->want_write = false;
+            apply_interest(*c);
+          }
+          return;
+        }
+        chunk.not_before_ms = 0;
+      }
+      if (chunk.off >= chunk.bytes.size()) {
+        const bool kill = chunk.kill_after;
+        c->outbox.pop_front();
+        if (kill) {
+          conn_transport_dead(id);
+          return;
+        }
+        continue;
+      }
+      std::size_t n = 0;
+      const net::TcpStream::IoResult res = c->stream.send_some(
+          chunk.bytes.data() + chunk.off, chunk.bytes.size() - chunk.off, n);
+      if (res == net::TcpStream::IoResult::Ok) {
+        chunk.off += n;
+        continue;
+      }
+      if (res == net::TcpStream::IoResult::WouldBlock) {
+        if (!c->want_write) {
+          c->want_write = true;
+          apply_interest(*c);
+        }
+        return;
+      }
+      conn_transport_dead(id);
+      return;
+    }
+    if (c->want_write) {
+      c->want_write = false;
+      apply_interest(*c);
+    }
+    if (c->close_after_flush) {
+      remove_conn(id);
+      return;
+    }
+    maybe_reap_eof(id);
+  }
+
+  // --- teardown -------------------------------------------------------
+
+  /// The transport under a conn is gone (EOF, error, injected kill, or
+  /// poller-reported hangup). With a worker still executing the conn's
+  /// frame the teardown is deferred to its completion; otherwise the
+  /// session (if any) runs the ordinary end-of-life path.
+  void conn_transport_dead(std::uint64_t id) {
+    Conn* c = find(id);
+    if (c == nullptr) return;
+    if (c->inflight) {
+      c->dead = true;
+      apply_interest(*c);  // deregisters: no events until the completion
+      return;
+    }
+    if (c->session != nullptr) {
+      auto session = std::move(c->session);
+      // Remove first: that invalidates the ConnHandle (alive=false) so
+      // finish_session's detach/close can never poke the dying fd.
+      remove_conn(id);
+      service_.finish_session(session, service_.end_reason(session));
+      return;
+    }
+    remove_conn(id);
+  }
+
+  void remove_conn(std::uint64_t id) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    Conn& c = *it->second;
+    for (net::TimerWheel::TimerId* timer :
+         {&c.hold_timer, &c.deadline_timer, &c.flush_timer}) {
+      if (*timer != net::TimerWheel::kInvalidTimer) {
+        wheel_.cancel(*timer);
+        *timer = net::TimerWheel::kInvalidTimer;
+      }
+    }
+    if (c.state == CState::Queued) {
+      std::erase(accept_queue_, id);
+      service_.stats_.record_dequeue();
+    }
+    const int fd = c.stream.fd();
+    if (c.polled) poller_.remove(fd);
+    {
+      std::lock_guard<std::mutex> lock(c.shared->m);
+      c.shared->alive = false;
+      c.shared->fd = -1;
+    }
+    by_fd_.erase(fd);
+    c.stream.close();
+    const bool was_granted = c.granted;
+    conns_.erase(it);
+    if (was_granted) {
+      --granted_;
+      if (!draining_) grant_next();
+    }
+  }
+
+  /// running_ went false: stop accepting, turn away the queue, end every
+  /// idle conn. Conns with a worker in flight drain through the
+  /// completion path; the loop exits once the table is empty.
+  void begin_drain() {
+    draining_ = true;
+    if (listener_ != nullptr) {
+      poller_.remove(listener_->fd());
+      listener_->close();
+    }
+    if (admin_listener_ != nullptr) {
+      poller_.remove(admin_listener_->fd());
+      admin_listener_->close();
+    }
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) ids.push_back(id);
+    for (const std::uint64_t id : ids) {
+      Conn* c = find(id);
+      if (c == nullptr || c->inflight) continue;
+      switch (c->state) {
+        case CState::Queued: {
+          // Turn away connections still waiting for a slot.
+          std::erase(accept_queue_, id);
+          service_.stats_.record_dequeue();
+          c->state = CState::Rejecting;
+          Message err;
+          err.type = MsgType::Error;
+          err.text = "server shutting down";
+          err.code = ErrorCode::ShuttingDown;
+          c->close_after_flush = true;
+          queue_payload(*c, encode(err), /*faults=*/false);
+          flush_outbox(id);
+          break;
+        }
+        case CState::Active: {
+          auto session = std::move(c->session);
+          remove_conn(id);
+          if (session != nullptr) {
+            service_.finish_session(session,
+                                    DeliveryService::EndReason::Stopping);
+          }
+          break;
+        }
+        default:
+          remove_conn(id);
+          break;
+      }
+    }
+  }
+
+  // --- admin HTTP (same loop, own listener) ---------------------------
+
+  void accept_admin_ready() {
+    while (admin_listener_ != nullptr) {
+      net::TcpStream stream;
+      try {
+        stream = admin_listener_->try_accept();
+      } catch (const net::NetError&) {
+        return;
+      }
+      if (!stream.valid()) return;
+      stream.set_nonblocking(true);
+      const std::uint64_t id = next_conn_id_++;
+      auto conn = std::make_unique<Conn>();
+      conn->id = id;
+      conn->shared = std::make_shared<ConnShared>();
+      conn->shared->fd = stream.fd();
+      conn->shared->alive = true;
+      conn->stream = std::move(stream);
+      conn->state = CState::Http;
+      conn->granted = false;  // the admin plane never consumes a session slot
+      conn->reading = true;
+      const int fd = conn->stream.fd();
+      Conn& c = *conn;
+      conns_[id] = std::move(conn);
+      by_fd_[fd] = id;
+      apply_interest(c);
+      // A stalled scraper is dropped, same bound as the old accept-thread
+      // recv timeout.
+      c.deadline_timer =
+          wheel_.schedule(AdminHttpServer::kRecvTimeoutMs, [this, id] {
+            Conn* hc = find(id);
+            if (hc != nullptr && hc->state == CState::Http && !hc->inflight &&
+                !hc->close_after_flush) {
+              remove_conn(id);
+            }
+          });
+    }
+  }
+
+  void http_readable(std::uint64_t id) {
+    Conn* c = find(id);
+    while (true) {
+      std::uint8_t buf[1024];
+      std::size_t n = 0;
+      const net::TcpStream::IoResult res =
+          c->stream.recv_some(buf, sizeof buf, n);
+      if (res == net::TcpStream::IoResult::Ok) {
+        c->http_request.append(reinterpret_cast<const char*>(buf), n);
+        if (c->http_request.size() > AdminHttpServer::kMaxRequestBytes) {
+          const std::string r =
+              admin_http_render(431, "text/plain", "request too large\n");
+          c->reading = false;
+          c->close_after_flush = true;
+          queue_raw(*c, std::vector<std::uint8_t>(r.begin(), r.end()));
+          apply_interest(*c);
+          flush_outbox(id);
+          return;
+        }
+        continue;
+      }
+      if (res == net::TcpStream::IoResult::WouldBlock) break;
+      remove_conn(id);  // dropped mid-request; nothing to answer
+      return;
+    }
+    if (c->http_request.find("\r\n\r\n") == std::string::npos &&
+        c->http_request.find("\n\n") == std::string::npos) {
+      return;  // header block still incomplete
+    }
+    if (c->deadline_timer != net::TimerWheel::kInvalidTimer) {
+      wheel_.cancel(c->deadline_timer);
+      c->deadline_timer = net::TimerWheel::kInvalidTimer;
+    }
+    c->reading = false;
+    apply_interest(*c);
+    c->inflight = true;
+    FairScheduler::Item item;
+    item.tenant = "";  // service-internal work
+    item.cost = 1;
+    std::string request = std::move(c->http_request);
+    item.run = [this, id, request] {
+      Completion comp;
+      comp.conn_id = id;
+      comp.kind = Completion::Kind::Http;
+      try {
+        comp.http = admin_http_respond(routes_, request);
+      } catch (const std::exception& e) {
+        worker_fatal(e);
+        comp.kind = Completion::Kind::Fatal;
+      }
+      post(std::move(comp));
+    };
+    scheduler_.push(std::move(item));
+  }
+
+  // --- time-driven work ------------------------------------------------
+
+  /// The old reaper thread as a self-re-arming wheel timer: evict idle
+  /// sessions and purge expired parked ones a few times per period, so
+  /// lag stays well under one extra period.
+  void arm_reaper() {
+    const DeliveryConfig& config = service_.config_;
+    auto shortest = std::chrono::milliseconds::max();
+    if (config.idle_timeout.count() > 0) {
+      shortest = std::min(shortest, config.idle_timeout);
+    }
+    if (config.resume_window.count() > 0) {
+      shortest = std::min(shortest, config.resume_window);
+    }
+    if (shortest == std::chrono::milliseconds::max()) return;
+    reaper_period_ms_ = std::max<std::int64_t>(shortest.count() / 4, 5);
+    wheel_.schedule(reaper_period_ms_, [this] { reaper_tick(); });
+  }
+
+  void reaper_tick() {
+    const DeliveryConfig& config = service_.config_;
+    if (config.idle_timeout.count() > 0) {
+      service_.sessions_.evict_idle(config.idle_timeout);
+    }
+    if (config.resume_window.count() > 0) {
+      service_.sessions_.purge_detached(config.resume_window);
+    }
+    wheel_.schedule(reaper_period_ms_, [this] { reaper_tick(); });
+  }
+
+  DeliveryService& service_;
+  net::Poller poller_;
+  net::WakeupFd wakeup_;
+  net::TimerWheel wheel_;
+  FairScheduler scheduler_;
+  AdminRoutes routes_;
+
+  std::unique_ptr<net::TcpListener> listener_;
+  std::unique_ptr<net::TcpListener> admin_listener_;
+  std::uint16_t admin_port_ = 0;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::unordered_map<int, std::uint64_t> by_fd_;
+  std::uint64_t next_conn_id_ = 1;
+  std::size_t granted_ = 0;  ///< conns holding a concurrent-session slot
+  std::deque<std::uint64_t> accept_queue_;
+
+  std::mutex completion_mutex_;
+  std::vector<Completion> completions_;
+
+  std::int64_t burst_window_start_ms_ = 0;
+  std::size_t reject_burst_ = 0;
+  bool burst_flight_fired_ = false;
+  std::int64_t reaper_period_ms_ = 0;
+  bool draining_ = false;
+  std::vector<net::PollEvent> events_;
+};
+
+// ---------------------------------------------------------------------------
+// DeliveryService
+// ---------------------------------------------------------------------------
 
 DeliveryService::DeliveryService(core::IpCatalog catalog,
                                  DeliveryConfig config)
@@ -83,35 +1225,12 @@ void DeliveryService::add_license(core::LicensePolicy policy) {
 }
 
 std::uint16_t DeliveryService::start() {
-  listener_ = std::make_unique<net::TcpListener>(config_.listen_backlog);
-  std::uint16_t port = listener_->port();
-  running_ = true;
-  acceptor_ = std::thread([this] { accept_loop(); });
-  workers_.reserve(config_.workers);
-  for (std::size_t i = 0; i < config_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-  if (config_.idle_timeout.count() > 0 || config_.resume_window.count() > 0) {
-    reaper_ = std::thread([this] { reaper_loop(); });
-  }
+  reactor_ = std::make_unique<DeliveryReactor>(*this);
+  running_ = true;  // before the loop spins up: it checks running_ to drain
+  const std::uint16_t port = reactor_->start();
   if (config_.admin_http) {
-    AdminRoutes routes;
-    routes.metrics_text = [this] {
-      // Refresh the slo.* gauges first so one scrape carries burn rates
-      // as fresh as the counters beside them.
-      slo_.evaluate();
-      return metrics_.to_text();
-    };
-    routes.healthz = [this] {
-      const obs::SloHealth health = slo_.overall();
-      return std::make_pair(health != obs::SloHealth::Critical,
-                            std::string(obs::slo_health_name(health)) + "\n");
-    };
-    routes.slo_json = [this] { return slo_.to_json().dump(2) + "\n"; };
-    routes.flight_jsonl = [this] { return flight_.trigger("on_demand"); };
-    admin_http_ = std::make_unique<AdminHttpServer>(std::move(routes));
     log_.log(obs::LogLevel::Info, "admin.start",
-             {{"port", std::to_string(admin_http_->port())}});
+             {{"port", std::to_string(reactor_->admin_port())}});
   }
   return port;
 }
@@ -120,165 +1239,39 @@ void DeliveryService::stop() {
   if (!running_.exchange(false)) {
     return;
   }
-  admin_http_.reset();  // joins its accept thread; admin_port() goes 0
-  if (listener_ != nullptr) listener_->close();  // unblocks accept()
-  // Turn away connections still waiting for a worker.
-  std::deque<PendingConn> orphans;
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    orphans.swap(queue_);
+  if (reactor_ != nullptr) {
+    reactor_->shutdown();
+    reactor_.reset();
   }
-  for (PendingConn& pending : orphans) {
-    stats_.record_dequeue();
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    send_error(pending.stream, "server shutting down",
-               ErrorCode::ShuttingDown);
-  }
-  queue_cv_.notify_all();
-  reaper_cv_.notify_all();
-  // Fail workers blocked in a handshake recv (accepted connections whose
-  // client never sent Hello).
-  {
-    std::lock_guard<std::mutex> lock(handshake_mutex_);
-    for (net::Stream* stream : handshaking_) stream->shutdown();
-  }
-  // Fail the blocked recv of every live session; its worker then runs
-  // the ordinary close path and exits.
-  sessions_.shutdown_all();
-  if (acceptor_.joinable()) acceptor_.join();
-  for (std::thread& w : workers_) {
-    if (w.joinable()) w.join();
-  }
-  workers_.clear();
-  if (reaper_.joinable()) reaper_.join();
-  // Parked sessions have no worker and no transport; sweep them all once
+  // Parked sessions have no conn and no transport; sweep them all once
   // every thread that could detach one has been joined.
   sessions_.purge_detached(std::chrono::nanoseconds(0));
 }
 
-void DeliveryService::accept_loop() {
-  while (running_) {
-    net::TcpStream stream;
-    try {
-      stream = listener_->accept();
-    } catch (const net::NetError&) {
-      continue;  // listener closed during stop(), or transient error
-    }
-    const std::size_t capacity = config_.workers + config_.queue_capacity;
-    // Reserve a slot; the (capacity+1)-th simultaneous connection gets an
-    // immediate protocol Error instead of unbounded queueing.
-    if (in_flight_.fetch_add(1, std::memory_order_relaxed) >= capacity) {
-      in_flight_.fetch_sub(1, std::memory_order_relaxed);
-      stats_.record_rejection();
-      send_error(stream,
-                 "server saturated: " + std::to_string(capacity) +
-                     " sessions in flight; retry later",
-                 ErrorCode::Saturated);
-      continue;
-    }
-    {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      queue_.push_back({std::move(stream), obs::Tracer::now_us()});
-    }
-    stats_.record_enqueue();
-    queue_cv_.notify_one();
-  }
+std::uint16_t DeliveryService::admin_port() const {
+  return (running_.load(std::memory_order_relaxed) && reactor_ != nullptr)
+             ? reactor_->admin_port()
+             : 0;
 }
 
-void DeliveryService::worker_loop() {
-  while (true) {
-    PendingConn pending;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return !running_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (!running_) return;
-        continue;
-      }
-      pending = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    stats_.record_dequeue();
-    if (tracer_.enabled()) {
-      // How long the connection sat between accept and a free worker.
-      tracer_.record("accept.queue", 0, pending.enqueued_us,
-                     obs::Tracer::now_us() - pending.enqueued_us);
-    }
-    try {
-      serve_connection(std::move(pending.stream));
-    } catch (const std::exception& e) {
-      // A worker escaping its serve loop is a server bug: capture the
-      // postmortem bundle while the evidence is hot, keep the pool alive.
-      log_.log(obs::LogLevel::Fatal, "worker.fatal", {{"error", e.what()}});
-      flight_.trigger("worker.fatal");
-    }
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
-  }
-}
-
-void DeliveryService::reaper_loop() {
-  // Wake a few times per timeout so eviction/purge lag stays well under
-  // one extra period.
-  auto shortest = std::chrono::milliseconds::max();
-  if (config_.idle_timeout.count() > 0) {
-    shortest = std::min(shortest, config_.idle_timeout);
-  }
-  if (config_.resume_window.count() > 0) {
-    shortest = std::min(shortest, config_.resume_window);
-  }
-  const auto period =
-      std::max<std::chrono::milliseconds>(shortest / 4,
-                                          std::chrono::milliseconds(5));
-  std::unique_lock<std::mutex> lock(reaper_mutex_);
-  while (running_) {
-    reaper_cv_.wait_for(lock, period, [this] { return !running_.load(); });
-    if (!running_) return;
-    if (config_.idle_timeout.count() > 0) {
-      sessions_.evict_idle(config_.idle_timeout);
-    }
-    if (config_.resume_window.count() > 0) {
-      sessions_.purge_detached(config_.resume_window);
-    }
-  }
-}
-
-void DeliveryService::serve_connection(net::TcpStream raw) {
-  std::unique_ptr<net::Stream> stream =
-      net::wrap_stream(std::move(raw), config_.fault_plan);
-  if (!register_handshake(stream.get())) return;  // already stopping
+DeliveryService::HandshakeOutcome DeliveryService::process_first_frame(
+    const std::vector<std::uint8_t>& raw, std::unique_ptr<net::Stream> stream) {
+  HandshakeOutcome out;
   Message first;
-  bool handshake_ok = false;
-  // A corrupt frame leaves the byte stream aligned, so the handshake is
-  // retryable in place - report it and read again (bounded, so a peer
-  // spewing garbage cannot pin a worker).
-  for (int attempt = 0; attempt < 8; ++attempt) {
-    bool malformed = false;
-    try {
-      first = decode(stream->recv_frame());
-      handshake_ok = true;
-      break;
-    } catch (const net::FrameError&) {
-      malformed = true;  // corrupt frame: stream aligned, retryable
-    } catch (const net::NetError&) {
-      break;  // vanished (or shut down) before the handshake
-    } catch (const std::exception&) {
-      malformed = true;  // undecodable payload: also retryable
-    }
-    if (malformed) {
-      stats_.record_malformed();
-      Message err;
-      err.type = MsgType::Error;
-      err.text = "malformed frame";
-      err.code = ErrorCode::MalformedFrame;
-      try {
-        stream->send_frame(encode(err));
-      } catch (const net::NetError&) {
-        break;
-      }
-    }
+  try {
+    first = decode(net::frame_unwrap(raw));
+  } catch (const std::exception&) {
+    // Corrupt frame (FrameError) or undecodable payload: either way the
+    // byte stream is aligned, so the handshake is retryable in place.
+    stats_.record_malformed();
+    Message err;
+    err.type = MsgType::Error;
+    err.text = "malformed frame";
+    err.code = ErrorCode::MalformedFrame;
+    out.payload = encode(err);
+    out.retry = true;
+    return out;
   }
-  unregister_handshake(stream.get());
-  if (!handshake_ok) return;
   if (first.type == MsgType::Stats || first.type == MsgType::MetricsDump ||
       first.type == MsgType::TraceDump) {
     // Bare admin query: answer and close.
@@ -294,27 +1287,45 @@ void DeliveryService::serve_connection(net::TcpStream raw) {
       reply.text = tracer_.to_chrome_json().dump();
     }
     reply.seq = first.seq;
-    try {
-      stream->send_frame(encode(reply));
-    } catch (const net::NetError&) {
-    }
-    return;
+    out.payload = encode(reply);
+    return out;
   }
   if (first.type == MsgType::Resume) {
-    std::shared_ptr<Session> session;
+    Message reply;
     {
       obs::ScopedSpan span(tracer_, "session.resume", first.trace);
-      session = resume_session(first, stream);
-      if (session != nullptr) span.set_trace(session->trace_id);
+      out.session = resume_session(first, stream, reply);
+      if (out.session != nullptr) span.set_trace(out.session->trace_id);
     }
-    if (session == nullptr) return;  // Error already sent
-    finish_session(session, serve_session(session));
-    return;
+    out.payload = encode(reply);
+    return out;
   }
   if (first.type != MsgType::Hello) {
-    send_error(*stream, "expected Hello to open a session",
-               ErrorCode::BadRequest);
-    return;
+    Message reply;
+    reply.type = MsgType::Error;
+    reply.text = "expected Hello to open a session";
+    reply.code = ErrorCode::BadRequest;
+    out.payload = encode(reply);
+    return out;
+  }
+  if (config_.tenant_max_sessions > 0 &&
+      sessions_.active_for(first.customer) >= config_.tenant_max_sessions) {
+    // Per-tenant admission cap: refused before any elaboration work, with
+    // the same labeled accounting as a global-capacity reject.
+    stats_.record_rejection();
+    stats_.record_admission_reject(first.customer);
+    Message reply;
+    reply.type = MsgType::Error;
+    reply.code = ErrorCode::Overloaded;
+    reply.text = "tenant '" + first.customer + "' is at its session cap (" +
+                 std::to_string(config_.tenant_max_sessions) +
+                 "); retry later";
+    reply.seq = first.seq;
+    log_.log(obs::LogLevel::Warn, "session.deny",
+             {{"customer", first.customer}, {"reason", reply.text}},
+             first.trace);
+    out.payload = encode(reply);
+    return out;
   }
   std::shared_ptr<Session> session;
   Message reply;
@@ -329,21 +1340,10 @@ void DeliveryService::serve_connection(net::TcpStream raw) {
     log_.log(obs::LogLevel::Warn, "session.deny",
              {{"customer", first.customer}, {"reason", reply.text}},
              first.trace);
-    try {
-      stream->send_frame(encode(reply));
-    } catch (const net::NetError&) {
-    }
-    return;
   }
-  try {
-    session->stream->send_frame(encode(reply));
-  } catch (const net::NetError&) {
-    // The Iface never arrived; the client will reconnect and Resume (or
-    // Hello afresh), so treat it like any other transport death.
-    finish_session(session, end_reason(session));
-    return;
-  }
-  finish_session(session, serve_session(session));
+  out.session = std::move(session);
+  out.payload = encode(reply);
+  return out;
 }
 
 Message DeliveryService::open_session(const Message& hello,
@@ -474,18 +1474,22 @@ Message DeliveryService::open_session(const Message& hello,
 }
 
 std::shared_ptr<Session> DeliveryService::resume_session(
-    const Message& resume, std::unique_ptr<net::Stream>& stream) {
+    const Message& resume, std::unique_ptr<net::Stream>& stream,
+    Message& reply) {
+  reply = Message{};
+  reply.type = MsgType::Error;
+  reply.seq = resume.seq;
   if (config_.resume_window.count() == 0) {
-    send_error(*stream, "this server does not keep detached sessions",
-               ErrorCode::UnknownSession);
+    reply.text = "this server does not keep detached sessions";
+    reply.code = ErrorCode::UnknownSession;
     return nullptr;
   }
   std::shared_ptr<Session> session = sessions_.resume(resume.text);
   if (session == nullptr) {
-    send_error(*stream,
-               "no resumable session for token (expired, evicted, or "
-               "never issued)",
-               ErrorCode::UnknownSession);
+    reply.text =
+        "no resumable session for token (expired, evicted, or "
+        "never issued)";
+    reply.code = ErrorCode::UnknownSession;
     return nullptr;
   }
   sessions_.attach(session, std::move(stream));
@@ -501,199 +1505,189 @@ std::shared_ptr<Session> DeliveryService::resume_session(
   if (session->protocol >= 5) {
     iface.set("trace", obs::TraceContext::hex(session->trace_id));
   }
-  Message reply;
   reply.type = MsgType::Iface;
   reply.text = iface.dump();
   reply.seq = resume.seq;
   if (session->protocol >= 5) reply.trace = session->trace_id;
-  try {
-    session->stream->send_frame(encode(reply));
-  } catch (const net::NetError&) {
-    finish_session(session, end_reason(session));
-    return nullptr;
-  }
   return session;
 }
 
-DeliveryService::EndReason DeliveryService::serve_session(
-    const std::shared_ptr<Session>& session) {
-  while (running_ && !session->evicted.load(std::memory_order_relaxed)) {
-    Message request;
-    std::size_t rx_bytes = 0;
-    bool malformed = false;
-    try {
-      const std::vector<std::uint8_t> payload = session->stream->recv_frame();
-      rx_bytes = payload.size() + net::kFrameHeaderBytes;
-      request = decode(payload);
-    } catch (const net::FrameError&) {
-      // The frame arrived but was corrupt (bad CRC / impossible length);
-      // the byte stream is still aligned, so report it and keep the
-      // session.
-      malformed = true;
-    } catch (const net::NetError&) {
-      return end_reason(session);  // peer closed, evicted, or stopping
-    } catch (const std::exception&) {
-      // Integrity check passed but the payload does not decode: answer
-      // with a typed Error instead of closing (the stream is aligned).
-      malformed = true;
+DeliveryService::RequestOutcome DeliveryService::process_request(
+    const std::shared_ptr<Session>& session,
+    const std::vector<std::uint8_t>& raw) {
+  // Observational state-machine bookkeeping; restored on every exit (the
+  // manager overwrites it with Parked/Closing when the session ends).
+  session->state.store(SessionState::InFlight, std::memory_order_relaxed);
+  struct ReadyAgain {
+    Session& s;
+    ~ReadyAgain() {
+      s.state.store(SessionState::Ready, std::memory_order_relaxed);
     }
-    if (malformed) {
-      stats_.record_malformed();
-      Message err;
-      err.type = MsgType::Error;
-      err.text = "malformed frame";
-      err.code = ErrorCode::MalformedFrame;
-      try {
-        session->stream->send_frame(encode(err));
-        continue;
-      } catch (const net::NetError&) {
-        return end_reason(session);
-      }
-    }
-    if (request.type == MsgType::Bye) return EndReason::Bye;
-    // Idempotent replay: a numbered request this session has already
-    // executed (the client retried because our reply was lost) is
-    // answered from the cache without touching the model.
-    // Spans carry the request's own trace id when the client sent one,
-    // else the session's (covers pre-v5 clients end to end).
-    const std::uint64_t trace =
-        request.trace != 0 ? request.trace : session->trace_id;
-    if (request.seq != 0 && request.seq == session->last_seq &&
-        !session->last_reply.empty()) {
-      obs::ScopedSpan span(tracer_, "req.replay", trace);
-      stats_.record_replay();
-      session->touch();
-      try {
-        session->stream->send_frame(session->last_reply);
-        continue;
-      } catch (const net::NetError&) {
-        return end_reason(session);
-      }
-    }
-    const auto t0 = std::chrono::steady_clock::now();
-    Message reply;
-    {
-      obs::ScopedSpan span(tracer_, request_span_name(request.type), trace);
-      if (request.seq != 0 && request.seq < session->last_seq) {
-        // A frame-level duplicate of an older request; the client has
-        // moved on and will discard this reply by its seq.
-        span.set_name("req.stale");
-        reply.type = MsgType::Error;
-        reply.text = "stale request";
-        reply.code = ErrorCode::BadRequest;
-      } else if (request.type == MsgType::Stats) {
-        // Admin counters are also queryable mid-session.
-        reply.type = MsgType::StatsReply;
-        reply.text = stats_.to_json().dump();
-      } else if (request.type == MsgType::MetricsDump) {
-        reply.type = MsgType::MetricsReply;
-        reply.text = metrics_.to_json().dump();
-      } else if (request.type == MsgType::TraceDump) {
-        reply.type = MsgType::TraceReply;
-        reply.text = tracer_.to_chrome_json().dump();
-      } else {
-        // Extraction audit (DeliveryConfig::audit): each evaluation shows
-        // the session's FULL input image to the auditor before it reaches
-        // the model, however the client staged it (Eval carries the image
-        // inline; SetInput only updates it; Cycle/CycleBatch evaluate
-        // whatever was staged - a batch counts as one observation).
-        attack::Verdict verdict = attack::Verdict::Allow;
-        if (session->auditor != nullptr) {
-          if (request.type == MsgType::SetInput) {
-            session->input_image[request.name] = request.value;
-          } else if (request.type == MsgType::Eval ||
-                     request.type == MsgType::Cycle ||
-                     request.type == MsgType::CycleBatch) {
-            for (const auto& [name, value] : request.values) {
-              session->input_image[name] = value;
+  } ready_again{*session};
+
+  RequestOutcome out;
+  const std::size_t rx_bytes = raw.size();
+  Message request;
+  bool malformed = false;
+  try {
+    request = decode(net::frame_unwrap(raw));
+  } catch (const net::FrameError&) {
+    // The frame arrived but was corrupt (bad CRC / impossible length);
+    // the byte stream is still aligned, so report it and keep the
+    // session.
+    malformed = true;
+  } catch (const std::exception&) {
+    // Integrity check passed but the payload does not decode: answer
+    // with a typed Error instead of closing (the stream is aligned).
+    malformed = true;
+  }
+  if (malformed) {
+    stats_.record_malformed();
+    Message err;
+    err.type = MsgType::Error;
+    err.text = "malformed frame";
+    err.code = ErrorCode::MalformedFrame;
+    out.payload = encode(err);
+    return out;
+  }
+  if (request.type == MsgType::Bye) {
+    out.bye = true;
+    return out;
+  }
+  // Idempotent replay: a numbered request this session has already
+  // executed (the client retried because our reply was lost) is
+  // answered from the cache without touching the model.
+  // Spans carry the request's own trace id when the client sent one,
+  // else the session's (covers pre-v5 clients end to end).
+  const std::uint64_t trace =
+      request.trace != 0 ? request.trace : session->trace_id;
+  if (request.seq != 0 && request.seq == session->last_seq &&
+      !session->last_reply.empty()) {
+    obs::ScopedSpan span(tracer_, "req.replay", trace);
+    stats_.record_replay();
+    session->touch();
+    out.payload = session->last_reply;
+    return out;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  Message reply;
+  {
+    obs::ScopedSpan span(tracer_, request_span_name(request.type), trace);
+    if (request.seq != 0 && request.seq < session->last_seq) {
+      // A frame-level duplicate of an older request; the client has
+      // moved on and will discard this reply by its seq.
+      span.set_name("req.stale");
+      reply.type = MsgType::Error;
+      reply.text = "stale request";
+      reply.code = ErrorCode::BadRequest;
+    } else if (request.type == MsgType::Stats) {
+      // Admin counters are also queryable mid-session.
+      reply.type = MsgType::StatsReply;
+      reply.text = stats_.to_json().dump();
+    } else if (request.type == MsgType::MetricsDump) {
+      reply.type = MsgType::MetricsReply;
+      reply.text = metrics_.to_json().dump();
+    } else if (request.type == MsgType::TraceDump) {
+      reply.type = MsgType::TraceReply;
+      reply.text = tracer_.to_chrome_json().dump();
+    } else {
+      // Extraction audit (DeliveryConfig::audit): each evaluation shows
+      // the session's FULL input image to the auditor before it reaches
+      // the model, however the client staged it (Eval carries the image
+      // inline; SetInput only updates it; Cycle/CycleBatch evaluate
+      // whatever was staged - a batch counts as one observation).
+      attack::Verdict verdict = attack::Verdict::Allow;
+      if (session->auditor != nullptr) {
+        if (request.type == MsgType::SetInput) {
+          session->input_image[request.name] = request.value;
+        } else if (request.type == MsgType::Eval ||
+                   request.type == MsgType::Cycle ||
+                   request.type == MsgType::CycleBatch) {
+          for (const auto& [name, value] : request.values) {
+            session->input_image[name] = value;
+          }
+          verdict = session->auditor->observe(session->input_image);
+        } else if (request.type == MsgType::PatternBatch) {
+          // A pattern batch is N independent evaluations: show each
+          // pattern's input image to the auditor so batching cannot
+          // smuggle an extraction sweep past the detector. The first
+          // non-Allow verdict rejects the whole batch.
+          const std::size_t n_patterns =
+              request.series.empty()
+                  ? 0
+                  : request.series.begin()->second.size();
+          for (std::size_t p = 0;
+               p < n_patterns && verdict == attack::Verdict::Allow; ++p) {
+            for (const auto& [name, stream] : request.series) {
+              if (p < stream.size()) session->input_image[name] = stream[p];
             }
             verdict = session->auditor->observe(session->input_image);
-          } else if (request.type == MsgType::PatternBatch) {
-            // A pattern batch is N independent evaluations: show each
-            // pattern's input image to the auditor so batching cannot
-            // smuggle an extraction sweep past the detector. The first
-            // non-Allow verdict rejects the whole batch.
-            const std::size_t n_patterns =
-                request.series.empty()
-                    ? 0
-                    : request.series.begin()->second.size();
-            for (std::size_t p = 0;
-                 p < n_patterns && verdict == attack::Verdict::Allow; ++p) {
-              for (const auto& [name, stream] : request.series) {
-                if (p < stream.size()) session->input_image[name] = stream[p];
-              }
-              verdict = session->auditor->observe(session->input_image);
-            }
-          }
-        }
-        if (verdict != attack::Verdict::Allow) {
-          span.set_name("req.throttled");
-          reply.type = MsgType::Error;
-          reply.code = ErrorCode::Throttled;
-          const bool parked = verdict == attack::Verdict::Park;
-          stats_.record_escalation(session->customer, parked);
-          if (parked) {
-            reply.text =
-                "query auditor: persistent extraction-like traffic; "
-                "session parked";
-            session->evicted.store(true, std::memory_order_relaxed);
-            log_.log(obs::LogLevel::Error, "attack.park",
-                     {{"customer", session->customer},
-                      {"module", session->module}},
-                     trace);
-            flight_.trigger("attack.park");
-          } else {
-            reply.text =
-                "query auditor: extraction-like traffic; cooling down";
-            log_.log(obs::LogLevel::Warn, "attack.throttle",
-                     {{"customer", session->customer},
-                      {"module", session->module}},
-                     trace);
-          }
-        } else {
-          try {
-            reply = net::dispatch_request(*session->model, request);
-          } catch (const std::exception& e) {
-            reply.type = MsgType::Error;
-            reply.text = e.what();
-            reply.code = ErrorCode::BadRequest;
           }
         }
       }
-    }
-    const auto micros =
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
-    stats_.record_request(static_cast<std::uint64_t>(micros));
-    session->touch();
-    reply.seq = request.seq;
-    if (session->protocol >= 5) reply.trace = trace;
-    std::vector<std::uint8_t> payload = encode(reply);
-    // Per-tenant attribution + SLO feed: every serviced request counts
-    // against its customer's families and burn-rate windows (cached
-    // pointers, relaxed atomics; the SLO record is a short mutex hop).
-    const bool is_error = reply.type == MsgType::Error;
-    session->tenant.requests->inc();
-    if (is_error) session->tenant.errors->inc();
-    session->tenant.latency_us->record(static_cast<std::uint64_t>(micros));
-    session->tenant.rx_bytes->inc(rx_bytes);
-    session->tenant.tx_bytes->inc(payload.size() + net::kFrameHeaderBytes);
-    slo_.record("latency", session->customer,
-                static_cast<std::uint64_t>(micros) <=
-                    config_.slo_latency_threshold_us);
-    slo_.record("errors", session->customer, !is_error);
-    if (request.seq != 0 && request.seq > session->last_seq) {
-      session->last_seq = request.seq;
-      session->last_reply = payload;
-    }
-    try {
-      session->stream->send_frame(payload);
-    } catch (const net::NetError&) {
-      return end_reason(session);
+      if (verdict != attack::Verdict::Allow) {
+        span.set_name("req.throttled");
+        reply.type = MsgType::Error;
+        reply.code = ErrorCode::Throttled;
+        const bool parked = verdict == attack::Verdict::Park;
+        stats_.record_escalation(session->customer, parked);
+        if (parked) {
+          reply.text =
+              "query auditor: persistent extraction-like traffic; "
+              "session parked";
+          session->evicted.store(true, std::memory_order_relaxed);
+          log_.log(obs::LogLevel::Error, "attack.park",
+                   {{"customer", session->customer},
+                    {"module", session->module}},
+                   trace);
+          flight_.trigger("attack.park");
+        } else {
+          reply.text =
+              "query auditor: extraction-like traffic; cooling down";
+          log_.log(obs::LogLevel::Warn, "attack.throttle",
+                   {{"customer", session->customer},
+                    {"module", session->module}},
+                   trace);
+        }
+      } else {
+        try {
+          reply = net::dispatch_request(*session->model, request);
+        } catch (const std::exception& e) {
+          reply.type = MsgType::Error;
+          reply.text = e.what();
+          reply.code = ErrorCode::BadRequest;
+        }
+      }
     }
   }
-  return end_reason(session);
+  const auto micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  stats_.record_request(static_cast<std::uint64_t>(micros));
+  session->touch();
+  reply.seq = request.seq;
+  if (session->protocol >= 5) reply.trace = trace;
+  std::vector<std::uint8_t> payload = encode(reply);
+  // Per-tenant attribution + SLO feed: every serviced request counts
+  // against its customer's families and burn-rate windows (cached
+  // pointers, relaxed atomics; the SLO record is a short mutex hop).
+  const bool is_error = reply.type == MsgType::Error;
+  session->tenant.requests->inc();
+  if (is_error) session->tenant.errors->inc();
+  session->tenant.latency_us->record(static_cast<std::uint64_t>(micros));
+  session->tenant.rx_bytes->inc(rx_bytes);
+  session->tenant.tx_bytes->inc(payload.size() + net::kFrameHeaderBytes);
+  slo_.record("latency", session->customer,
+              static_cast<std::uint64_t>(micros) <=
+                  config_.slo_latency_threshold_us);
+  slo_.record("errors", session->customer, !is_error);
+  if (request.seq != 0 && request.seq > session->last_seq) {
+    session->last_seq = request.seq;
+    session->last_reply = payload;
+  }
+  out.payload = std::move(payload);
+  return out;
 }
 
 DeliveryService::EndReason DeliveryService::end_reason(
@@ -733,42 +1727,6 @@ void DeliveryService::finish_session(const std::shared_ptr<Session>& session,
              session->trace_id);
   }
   sessions_.close(session);
-}
-
-bool DeliveryService::register_handshake(net::Stream* stream) {
-  std::lock_guard<std::mutex> lock(handshake_mutex_);
-  if (!running_) return false;
-  handshaking_.push_back(stream);
-  return true;
-}
-
-void DeliveryService::unregister_handshake(net::Stream* stream) {
-  std::lock_guard<std::mutex> lock(handshake_mutex_);
-  std::erase(handshaking_, stream);
-}
-
-void DeliveryService::send_error(net::Stream& stream, const std::string& text,
-                                 net::ErrorCode code) {
-  // Consume the request the client (almost certainly) already sent,
-  // bounded so a silent peer cannot stall the accept thread. Closing
-  // with unread data in the receive buffer would RST the connection and
-  // discard the very Error we are about to send.
-  stream.set_recv_timeout(100);
-  try {
-    stream.recv_frame();
-  } catch (const net::NetError&) {
-    // Nothing arrived in time, or the peer is gone; reply regardless.
-  }
-  Message reply;
-  reply.type = MsgType::Error;
-  reply.text = text;
-  reply.code = code;
-  try {
-    stream.send_frame(encode(reply));
-  } catch (const net::NetError&) {
-    // Peer is already gone; nothing to tell it.
-  }
-  stream.shutdown();
 }
 
 namespace {

@@ -4,7 +4,7 @@
 // with one customer. This subsystem is the JavaCAD-style vendor service
 // that the ROADMAP's production north star needs instead: ONE port, the
 // WHOLE core::IpCatalog behind it, and many concurrent co-simulation
-// sessions multiplexed over a fixed worker pool.
+// sessions multiplexed over a small worker pool.
 //
 //   DeliveryService service(catalog, {.workers = 8, .queue_capacity = 16});
 //   service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
@@ -14,42 +14,50 @@
 //                                      .module = "kcm-multiplier",
 //                                      .params = {{"constant", -56}}});
 //
-// Lifecycle of a connection:
-//   accept thread    accepts; rejects with a protocol Error when
-//                    in-flight connections reach workers + queue_capacity
-//                    (backpressure instead of unbounded queueing);
-//   worker thread    pops the connection, validates the Hello (protocol
-//                    version v2..v3, customer license incl. the
-//                    BlackBoxSim feature and expiry, catalog lookup,
-//                    parameter resolution), builds a PRIVATE
-//                    BlackBoxModel for the session, replies Iface, then
-//                    serves requests until Bye / disconnect / eviction;
-//   reaper thread    evicts sessions idle past config.idle_timeout and
-//                    purges detached sessions past config.resume_window;
-//   admin            Stats query (first message instead of Hello, or
-//                    mid-session) returns the ServerStats counters as
-//                    JSON; query_stats() is the client-side helper.
+// Since the event-driven rewrite the service is a REACTOR, not a
+// thread-per-connection pool: one loop thread multiplexes every socket
+// (delivery protocol and admin HTTP alike) through net::Poller —
+// epoll(7) on Linux, poll(2) elsewhere — over nonblocking streams, with
+// a net::TimerWheel absorbing all time-driven work (idle eviction,
+// resume-window purge, admission-reject deadlines, injected-fault
+// delays). Sessions are explicit state machines (server/session.h:
+// Handshake -> Ready -> InFlight -> Parked -> Closing) whose frames are
+// assembled incrementally; CPU-heavy work — handshake elaboration and
+// request execution — is dispatched to `workers` pool threads through a
+// per-tenant deficit-round-robin FairScheduler (server/scheduler.h) and
+// completed back to the loop over a wakeup channel. Thousands of idle
+// sockets therefore cost one watched fd each, while at most `workers`
+// requests execute concurrently.
 //
-// Protocol-v3 hardening: frames are CRC-checked and a corrupt one is
-// answered with Error(MalformedFrame) on the still-aligned stream instead
-// of killing the session; numbered requests are served idempotently from
-// a per-session replay cache; and with a nonzero resume_window a session
-// whose transport dies is PARKED, to be reclaimed by a client
-// reconnecting with Resume(token) - model state, cycle count and replay
-// cache intact. config.fault_plan routes every connection through a
-// FaultyStream for tests and benchmarks.
+// Admission control happens at the loop:
+//   - a connection beyond the concurrent-session budget (max_sessions,
+//     or `workers` when unset — the legacy contract) first waits in the
+//     accept queue (queue_capacity deep, the `server.queued` gauge);
+//   - past that it is turned away with a typed, retryable protocol Error
+//     (Saturated in legacy sizing, Overloaded under max_sessions), the
+//     reject is labeled per tenant (accept.rejected{customer}), and a
+//     sustained reject burst triggers a flight-recorder dump;
+//   - per-tenant caps (tenant_max_sessions) refuse the Hello itself with
+//     Error(Overloaded).
+//
+// Protocol-v3+ hardening is unchanged and bit-exact with the blocking
+// implementation: frames are CRC-checked and a corrupt one is answered
+// with Error(MalformedFrame) on the still-aligned stream; numbered
+// requests are served idempotently from a per-session replay cache; with
+// a nonzero resume_window a session whose transport dies is PARKED, to
+// be reclaimed by a client reconnecting with Resume(token) - model
+// state, cycle count and replay cache intact. config.fault_plan applies
+// the same per-frame fault semantics FaultyStream gives blocking
+// transports, rendered through the timer wheel.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "attack/auditor.h"
@@ -69,14 +77,31 @@
 
 namespace jhdl::server {
 
+class DeliveryReactor;
+
 /// Sizing and policy knobs for one DeliveryService.
 struct DeliveryConfig {
-  /// Worker threads; also the number of sessions served concurrently.
+  /// Worker threads executing CPU-heavy work (elaboration, request
+  /// dispatch). With max_sessions unset this is ALSO the concurrent-
+  /// session budget, preserving the original pool semantics.
   std::size_t workers = 4;
-  /// Accepted connections allowed to wait for a free worker beyond the
-  /// pool; the (workers + queue_capacity + 1)-th simultaneous connection
-  /// is rejected with a protocol Error.
+  /// Accepted connections allowed to wait for a free session slot; the
+  /// (budget + queue_capacity + 1)-th simultaneous connection is
+  /// rejected with a protocol Error.
   std::size_t queue_capacity = 8;
+  /// Concurrent-session budget of the event loop (0 = `workers`, the
+  /// legacy contract). Set well above `workers` to hold thousands of
+  /// mostly-idle sessions over the reactor while the pool bounds CPU.
+  std::size_t max_sessions = 0;
+  /// Per-tenant cap on live sessions (attached + parked); a Hello over
+  /// the cap is refused with retryable Error(Overloaded). 0 = unlimited.
+  std::size_t tenant_max_sessions = 0;
+  /// Deficit-round-robin quantum, in request bytes, granted to each
+  /// tenant per scheduling visit (see server/scheduler.h).
+  std::size_t scheduler_quantum = 4096;
+  /// Admission rejections within one second that trigger a flight-
+  /// recorder dump ("admission.overload"), at most once per second.
+  std::size_t overload_flight_threshold = 8;
   /// Sessions idle longer than this are evicted (0 = never).
   std::chrono::milliseconds idle_timeout{0};
   /// How long a session whose transport died stays resumable via its
@@ -86,8 +111,8 @@ struct DeliveryConfig {
   int today = 0;
   /// Kernel listen() backlog.
   int listen_backlog = 64;
-  /// When set, every connection runs through a FaultyStream driven by
-  /// this plan (tests/bench inject faults on the server side).
+  /// When set, every delivery connection suffers this plan's per-frame
+  /// faults server-side (tests/bench inject faults on the server side).
   std::shared_ptr<net::FaultPlan> fault_plan;
   /// Start with span recording on (equivalent to tracer().set_enabled
   /// after start). Off by default: tracing costs clock reads + ring
@@ -110,7 +135,8 @@ struct DeliveryConfig {
   /// `sim.threads` gauge.
   std::size_t sim_threads = 0;
   /// Serve the admin HTTP plane (GET /metrics, /healthz, /slo, /flight)
-  /// on its own kernel-chosen loopback port; see admin_port().
+  /// off the same reactor on its own kernel-chosen loopback port; see
+  /// admin_port().
   bool admin_http = false;
   /// Minimum level the service logger records (Debug records cost ring
   /// stores; below-level calls cost one relaxed load).
@@ -140,7 +166,7 @@ class DeliveryService {
   /// are refused at the handshake.
   void add_license(core::LicensePolicy policy);
 
-  /// Bind, spin up the accept/worker/reaper threads, return the port.
+  /// Bind, spin up the reactor loop + worker pool, return the port.
   std::uint16_t start();
 
   /// Stop everything: reject queued connections, shut down live
@@ -168,21 +194,39 @@ class DeliveryService {
   obs::FlightRecorder& flight() { return flight_; }
   /// The admin HTTP plane's port; 0 unless config.admin_http and the
   /// service is running.
-  std::uint16_t admin_port() const {
-    return admin_http_ != nullptr ? admin_http_->port() : 0;
-  }
+  std::uint16_t admin_port() const;
   /// The shared artifact store every session reads. Exposed so admin
   /// tooling (and tests) can inspect hit/miss/pin behaviour.
   core::ArtifactStore& artifacts() { return artifacts_; }
 
  private:
-  /// Why a serve loop ended - decides detach (resumable) vs close.
+  friend class DeliveryReactor;
+
+  /// Why a session ended - decides detach (resumable) vs close.
   enum class EndReason { Bye, Transport, Evicted, Stopping };
 
-  void accept_loop();
-  void worker_loop();
-  void reaper_loop();
-  void serve_connection(net::TcpStream raw);
+  /// Worker-side verdict on a connection's first decodable frame.
+  struct HandshakeOutcome {
+    /// Encoded reply frame to send (may be empty: silent close).
+    std::vector<std::uint8_t> payload;
+    /// Bound session on Hello/Resume success; the connection turns
+    /// Active. Null with retry=false means close after the payload.
+    std::shared_ptr<Session> session;
+    /// Malformed frame: send the payload and stay in Handshake (the
+    /// stream is still aligned; bounded by the reactor's attempt cap).
+    bool retry = false;
+  };
+
+  /// Worker-side execution of one assembled request frame against a
+  /// session. Everything observable — spans, stats, SLO records, the
+  /// replay cache, auditor verdicts — happens here, identically to the
+  /// old blocking serve loop.
+  struct RequestOutcome {
+    /// Encoded reply frame (empty for Bye, which gets no reply).
+    std::vector<std::uint8_t> payload;
+    bool bye = false;
+  };
+
   /// Validate the Hello; on success fill `session` (taking the stream)
   /// and return the Iface reply, else return the Error reply (and count
   /// the denial).
@@ -190,22 +234,21 @@ class DeliveryService {
                             std::unique_ptr<net::Stream>& stream,
                             std::shared_ptr<Session>& session);
   /// The Resume handshake: claim the parked session, bind the stream,
-  /// and return it ready to serve (null => an Error was already sent).
-  std::shared_ptr<Session> resume_session(
-      const net::Message& resume, std::unique_ptr<net::Stream>& stream);
-  EndReason serve_session(const std::shared_ptr<Session>& session);
-  /// Detach-or-close after a serve loop ends.
+  /// fill `reply` (Iface on success, a typed Error otherwise).
+  std::shared_ptr<Session> resume_session(const net::Message& resume,
+                                          std::unique_ptr<net::Stream>& stream,
+                                          net::Message& reply);
+  /// Route a connection's first frame (worker thread).
+  HandshakeOutcome process_first_frame(const std::vector<std::uint8_t>& raw,
+                                       std::unique_ptr<net::Stream> stream);
+  /// Execute one request frame on its session (worker thread). The
+  /// reactor guarantees at most one in-flight request per session.
+  RequestOutcome process_request(const std::shared_ptr<Session>& session,
+                                 const std::vector<std::uint8_t>& raw);
+  /// Detach-or-close after a session ends (loop thread).
   void finish_session(const std::shared_ptr<Session>& session,
                       EndReason reason);
   EndReason end_reason(const std::shared_ptr<Session>& session) const;
-  static void send_error(
-      net::Stream& stream, const std::string& text,
-      net::ErrorCode code = net::ErrorCode::Generic);
-  /// Track a connection that is between accept and session open, so
-  /// stop() can fail its blocked handshake recv. Returns false when the
-  /// service is already stopping (caller should drop the connection).
-  bool register_handshake(net::Stream* stream);
-  void unregister_handshake(net::Stream* stream);
 
   core::IpCatalog catalog_;
   DeliveryConfig config_;
@@ -219,7 +262,6 @@ class DeliveryService {
   ServerStats stats_{metrics_};
   SessionManager sessions_{stats_};
   obs::FlightRecorder flight_{log_, metrics_, &tracer_};
-  std::unique_ptr<AdminHttpServer> admin_http_;
 
   /// The shared artifact store: one elaboration per (module, canonical
   /// params), content-addressed, single-flight, LRU under
@@ -232,31 +274,10 @@ class DeliveryService {
   std::mutex license_mutex_;
   std::map<std::string, core::LicensePolicy> licenses_;
 
-  std::unique_ptr<net::TcpListener> listener_;
   std::atomic<bool> running_{false};
-  /// Accepted connections not yet finished: queued + in service.
-  std::atomic<std::size_t> in_flight_{0};
-
-  /// An accepted connection waiting for a worker, stamped at enqueue so
-  /// the popping worker can record the queue-wait span.
-  struct PendingConn {
-    net::TcpStream stream;
-    std::uint64_t enqueued_us = 0;
-  };
-
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<PendingConn> queue_;
-
-  std::mutex handshake_mutex_;
-  std::vector<net::Stream*> handshaking_;
-
-  std::mutex reaper_mutex_;
-  std::condition_variable reaper_cv_;
-
-  std::thread acceptor_;
-  std::vector<std::thread> workers_;
-  std::thread reaper_;
+  /// The event loop + worker pool. Constructed by start(), torn down by
+  /// stop(); holds every socket, timer, and in-flight dispatch.
+  std::unique_ptr<DeliveryReactor> reactor_;
 };
 
 /// Admin helper: connect to a running service, issue the Stats query,

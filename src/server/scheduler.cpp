@@ -1,0 +1,88 @@
+#include "server/scheduler.h"
+
+namespace jhdl::server {
+
+void FairScheduler::push(Item item) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TenantQueue& q = tenants_[item.tenant];
+    if (!q.in_ring) {
+      q.in_ring = true;
+      ring_.push_back(item.tenant);
+    }
+    q.items.push_back(std::move(item));
+    ++queued_;
+  }
+  cv_.notify_one();
+}
+
+bool FairScheduler::pop(Item& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return queued_ > 0 || closed_; });
+  if (queued_ == 0) return false;  // closed and drained
+  out = take_locked();
+  return true;
+}
+
+FairScheduler::Item FairScheduler::take_locked() {
+  // The ring only ever holds tenants with queued work (emptied tenants
+  // are unlinked below), so this terminates: every full revolution grants
+  // each candidate another quantum, and some head item's cost is
+  // eventually covered.
+  //
+  // pop() serves ONE item per call, but a DRR "visit" may serve several;
+  // visit_granted_ remembers that the cursor's tenant already received
+  // this visit's quantum, so consecutive pops continue the same visit
+  // instead of granting afresh (which would decay byte-fairness into
+  // per-item round robin).
+  while (true) {
+    if (cursor_ >= ring_.size()) {
+      cursor_ = 0;
+      visit_granted_ = false;
+    }
+    const std::string tenant = ring_[cursor_];
+    TenantQueue& q = tenants_[tenant];
+    if (!visit_granted_) {
+      q.deficit += quantum_;
+      visit_granted_ = true;
+    }
+    if (!q.items.empty() && q.items.front().cost <= q.deficit) {
+      Item item = std::move(q.items.front());
+      q.items.pop_front();
+      q.deficit -= item.cost;
+      --queued_;
+      if (q.items.empty()) {
+        // Classic DRR: an emptied tenant forfeits its residual deficit
+        // and leaves the ring until it queues again.
+        q.deficit = 0;
+        q.in_ring = false;
+        ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(cursor_));
+        visit_granted_ = false;  // cursor now points at the next tenant
+      }
+      return item;
+    }
+    // Deficit exhausted for this visit: move on.
+    ++cursor_;
+    visit_granted_ = false;
+  }
+}
+
+void FairScheduler::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t FairScheduler::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+std::size_t FairScheduler::active_tenants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+}  // namespace jhdl::server

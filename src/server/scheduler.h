@@ -1,0 +1,92 @@
+// Per-tenant fair scheduling for the delivery plane's worker pool.
+//
+// The reactor classifies every CPU-heavy unit of work (handshake
+// elaboration, request execution) by the tenant that caused it and
+// pushes it here; workers pop. Ordering across tenants is deficit round
+// robin (Shreedhar & Varghese): the ring visits active tenants in turn,
+// each visit grants the tenant `quantum` bytes of deficit, and a tenant
+// may run work only while its accumulated deficit covers the work's
+// byte cost. A tenant streaming 64 KiB CycleBatches therefore cannot
+// starve one sending 40-byte Evals: the big frames drain the deficit
+// quickly and the ring moves on, giving every tenant the same long-run
+// byte share regardless of how requests are sized or how many
+// connections a tenant opens.
+//
+// Within one tenant, work stays FIFO — per-session request ordering is
+// already serialized upstream (the reactor dispatches one frame per
+// session at a time), so FIFO here preserves it.
+//
+// The queue is the reactor/worker seam: push never blocks, pop blocks
+// until work arrives or the scheduler closes. close() drains to
+// nothing — after it, pop returns false once the backlog is empty.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace jhdl::server {
+
+class FairScheduler {
+ public:
+  /// One schedulable unit: an opaque closure plus its accounting.
+  struct Item {
+    std::string tenant;        ///< customer id ("" = service-internal)
+    std::size_t cost = 1;      ///< bytes of request this work represents
+    std::function<void()> run;
+  };
+
+  /// `quantum` is the per-visit deficit grant in bytes. One quantum per
+  /// ring visit should cover a typical small request so light tenants
+  /// never wait a second revolution.
+  explicit FairScheduler(std::size_t quantum = 4096)
+      : quantum_(quantum == 0 ? 1 : quantum) {}
+
+  /// Enqueue; wakes one waiting worker. Safe from any thread. Work
+  /// pushed after close() is still delivered (drain-to-empty semantics).
+  void push(Item item);
+
+  /// Blocking DRR pop. Returns false only when the scheduler is closed
+  /// AND the backlog is empty.
+  bool pop(Item& out);
+
+  /// Stop the pool: wakes every blocked pop. Pending work remains
+  /// poppable so in-flight sessions can finish.
+  void close();
+
+  /// Total queued items (all tenants).
+  std::size_t size() const;
+
+  /// Observational: tenants currently holding queued work.
+  std::size_t active_tenants() const;
+
+ private:
+  struct TenantQueue {
+    std::deque<Item> items;
+    std::size_t deficit = 0;
+    bool in_ring = false;
+  };
+
+  /// Pick the next item per DRR. Caller holds mutex_ and has checked the
+  /// backlog is nonempty.
+  Item take_locked();
+
+  const std::size_t quantum_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, TenantQueue> tenants_;
+  std::vector<std::string> ring_;  ///< round-robin order of active tenants
+  std::size_t cursor_ = 0;
+  /// True while the cursor's tenant has already received this visit's
+  /// quantum (multi-item visits span multiple pop() calls).
+  bool visit_granted_ = false;
+  std::size_t queued_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace jhdl::server

@@ -21,7 +21,56 @@ std::string make_token(std::uint64_t id) {
   return std::string(buf);
 }
 
+std::uint32_t read_u32le(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
 }  // namespace
+
+const char* session_state_name(SessionState state) {
+  switch (state) {
+    case SessionState::Handshake:
+      return "handshake";
+    case SessionState::Ready:
+      return "ready";
+    case SessionState::InFlight:
+      return "inflight";
+    case SessionState::Parked:
+      return "parked";
+    case SessionState::Closing:
+      return "closing";
+  }
+  return "?";
+}
+
+void FrameAssembler::feed(const std::uint8_t* data, std::size_t n) {
+  // Compact once the dead prefix dominates, so a long-lived connection
+  // does not grow its buffer with every frame.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+bool FrameAssembler::next(std::vector<std::uint8_t>& raw) {
+  if (buffered() < net::kFrameHeaderBytes) return false;
+  const std::uint32_t len = read_u32le(buf_.data() + pos_);
+  if (len > net::kMaxFrameBytes) throw net::NetError("frame too large");
+  const std::size_t total = net::kFrameHeaderBytes + len;
+  if (buffered() < total) return false;
+  raw.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + total));
+  pos_ += total;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return true;
+}
 
 std::shared_ptr<Session> SessionManager::open(
     std::string customer, std::string module,
@@ -33,6 +82,9 @@ std::shared_ptr<Session> SessionManager::open(
   session->model = std::move(model);
   session->stream = std::move(stream);
   session->tenant = stats_.tenant(session->customer);
+  // The Session object is born at the end of a successful handshake; the
+  // Handshake state belongs to the pre-session connection.
+  session->state.store(SessionState::Ready, std::memory_order_relaxed);
   session->touch();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -72,6 +124,7 @@ void SessionManager::close(const std::shared_ptr<Session>& session) {
   // Unpin the artifact only after the session is truly gone; until here a
   // parked session kept its program safe from store eviction.
   session->artifact.reset();
+  session->state.store(SessionState::Closing, std::memory_order_relaxed);
 }
 
 void SessionManager::detach(const std::shared_ptr<Session>& session) {
@@ -79,6 +132,7 @@ void SessionManager::detach(const std::shared_ptr<Session>& session) {
     std::lock_guard<std::mutex> lock(session->stream_mutex);
     session->stream.reset();  // the transport is dead; drop it now
   }
+  session->state.store(SessionState::Parked, std::memory_order_relaxed);
   session->detached_at_ns.store(
       std::chrono::steady_clock::now().time_since_epoch().count(),
       std::memory_order_relaxed);
@@ -128,8 +182,11 @@ std::shared_ptr<Session> SessionManager::resume(
 
 void SessionManager::attach(const std::shared_ptr<Session>& session,
                             std::unique_ptr<net::Stream> stream) {
-  std::lock_guard<std::mutex> lock(session->stream_mutex);
-  session->stream = std::move(stream);
+  {
+    std::lock_guard<std::mutex> lock(session->stream_mutex);
+    session->stream = std::move(stream);
+  }
+  session->state.store(SessionState::Ready, std::memory_order_relaxed);
   session->touch();
 }
 
@@ -173,6 +230,15 @@ std::vector<SessionManager::Info> SessionManager::list() const {
 std::size_t SessionManager::active() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return sessions_.size();
+}
+
+std::size_t SessionManager::active_for(const std::string& customer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (session->customer == customer) ++n;
+  }
+  return n;
 }
 
 bool SessionManager::evict(std::uint64_t id) {

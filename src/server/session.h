@@ -33,6 +33,54 @@
 
 namespace jhdl::server {
 
+/// Explicit lifecycle of a session on the event-driven delivery plane.
+/// Transitions are driven by the reactor loop and the SessionManager:
+///
+///   Handshake --Hello/Resume ok--> Ready
+///   Ready     --request frame----> InFlight --reply sent--> Ready
+///   Ready|InFlight --transport death + resume window--> Parked
+///   Parked    --Resume claim-----> Ready
+///   any       --Bye / evict / expiry / stop--> Closing (terminal)
+///
+/// The state is observational (admin/debug/tests): correctness still
+/// rests on the atomic flags below (detached, evicted, ...), which
+/// predate it and keep their exact semantics.
+enum class SessionState : std::uint8_t {
+  Handshake = 0,  ///< connection accepted, Hello/Resume not yet processed
+  Ready,          ///< attached, no request outstanding
+  InFlight,       ///< a request is executing on a worker
+  Parked,         ///< detached; resumable until the window expires
+  Closing,        ///< terminal: being torn down
+};
+
+const char* session_state_name(SessionState state);
+
+/// Incremental assembly of length-framed wire bytes into complete raw
+/// frames, for transports read in EAGAIN-bounded chunks. feed() appends
+/// whatever recv_some produced; next() yields one complete raw frame
+/// (header + payload, same bytes frame_unwrap expects) per call. The
+/// length prefix is validated against kMaxFrameBytes BEFORE any payload
+/// buffering, mirroring recv_frame_bytes' refusal to let a hostile
+/// length drive the allocator.
+class FrameAssembler {
+ public:
+  /// Append `n` raw bytes from the wire.
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Extract the next complete raw frame into `raw`. Returns false when
+  /// the buffer holds only a partial frame. Throws NetError when the
+  /// advertised payload length exceeds kMaxFrameBytes (the stream can no
+  /// longer be trusted; the caller must kill the connection).
+  bool next(std::vector<std::uint8_t>& raw);
+
+  /// Bytes currently buffered (incomplete frame tail).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted opportunistically
+};
+
 /// One live (or detached) co-simulation session.
 struct Session {
   std::uint64_t id = 0;
@@ -90,6 +138,10 @@ struct Session {
   /// so the auditor can judge each evaluation's complete stimulus vector
   /// no matter how the client staged it.
   std::map<std::string, BitVector> input_image;
+  /// Lifecycle state (see SessionState). Advisory alongside the flags;
+  /// SessionManager keeps it in step on detach/attach/close, the reactor
+  /// on Ready <-> InFlight.
+  std::atomic<SessionState> state{SessionState::Handshake};
 
   void touch() {
     last_active_ns.store(
@@ -144,6 +196,10 @@ class SessionManager {
   };
   std::vector<Info> list() const;
   std::size_t active() const;
+
+  /// Live sessions (attached or parked) belonging to one customer, for
+  /// per-tenant admission caps.
+  std::size_t active_for(const std::string& customer) const;
 
   /// Explicit admin eviction. Marks the session and shuts its stream
   /// down; the owning worker then closes it. A detached session is

@@ -39,7 +39,9 @@ ServerStats::ServerStats(obs::MetricsRegistry& registry)
       attack_throttled_family_(
           &registry.counter_family("attack.tenant.throttled", {"customer"})),
       attack_parked_family_(
-          &registry.counter_family("attack.tenant.parked", {"customer"})) {}
+          &registry.counter_family("attack.tenant.parked", {"customer"})),
+      accept_rejected_family_(
+          &registry.counter_family("accept.rejected", {"customer"})) {}
 
 ServerStats::Snapshot ServerStats::snapshot() const {
   Snapshot s;

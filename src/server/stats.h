@@ -142,6 +142,14 @@ class ServerStats {
     sim_tenant_kernel_->with({customer}).inc(kernel_evals);
   }
 
+  /// An admission rejection (saturation or overload cap) attributed to
+  /// the tenant that was turned away: accept.rejected{customer}. Callers
+  /// that cannot decode a Hello before rejecting pass "__unknown__".
+  /// Additive to the flat record_rejection() counter.
+  void record_admission_reject(const std::string& customer) {
+    accept_rejected_family_->with({customer}).inc();
+  }
+
   /// An auditor escalation attributed to the offending tenant:
   /// attack.tenant.throttled{customer}, plus attack.tenant.parked when
   /// the verdict parked the session. (The flat attack.* counters are the
@@ -186,6 +194,7 @@ class ServerStats {
   obs::CounterFamily* sim_tenant_kernel_;
   obs::CounterFamily* attack_throttled_family_;
   obs::CounterFamily* attack_parked_family_;
+  obs::CounterFamily* accept_rejected_family_;
 };
 
 }  // namespace jhdl::server

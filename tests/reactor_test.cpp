@@ -1,0 +1,691 @@
+// Tests for the event-driven delivery plane: the Poller / WakeupFd /
+// TimerWheel reactor primitives, incremental FrameAssembler, per-tenant
+// deficit-round-robin FairScheduler, admission control (session budget,
+// per-tenant caps, typed Overloaded errors, labeled reject counters, the
+// overload flight dump), connection churn over the reactor, the in-loop
+// admin HTTP plane, and TcpStream::recv_raw edge cases (partial reads
+// across header boundaries, peer close mid-request, oversized requests).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/generators.h"
+#include "net/poller.h"
+#include "net/protocol.h"
+#include "net/sim_client.h"
+#include "net/socket.h"
+#include "net/timer_wheel.h"
+#include "server/delivery_service.h"
+#include "server/scheduler.h"
+#include "server/session.h"
+
+namespace jhdl {
+namespace {
+
+using namespace jhdl::core;
+using namespace jhdl::net;
+using namespace jhdl::server;
+using namespace std::chrono_literals;
+
+IpCatalog make_catalog() {
+  IpCatalog catalog;
+  catalog.add(std::make_shared<AdderGenerator>());
+  catalog.add(std::make_shared<KcmGenerator>());
+  return catalog;
+}
+
+/// Spin until `pred` holds or ~2 s elapse. Returns the final value.
+bool eventually(const std::function<bool()>& pred) {
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+// --- TimerWheel ----------------------------------------------------------
+
+TEST(TimerWheelTest, FiresAtDeadlineNeverEarly) {
+  TimerWheel wheel(0);
+  int fired = 0;
+  wheel.schedule(10, [&] { ++fired; });
+  EXPECT_EQ(wheel.advance(8), 0u);  // before the deadline: must not fire
+  EXPECT_EQ(fired, 0);
+  wheel.advance(12);  // past it (deadlines round up to the next tick)
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheelTest, ZeroDelayFiresOnNextAdvance) {
+  TimerWheel wheel(100);
+  bool fired = false;
+  wheel.schedule(0, [&] { fired = true; });
+  wheel.advance(100 + TimerWheel::kTickMs);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheelTest, MultiRevolutionDeadline) {
+  // A deadline further out than one wheel revolution must not fire on
+  // earlier visits to its slot.
+  TimerWheel wheel(0);
+  const std::int64_t revolution = TimerWheel::kTickMs * TimerWheel::kSlots;
+  bool fired = false;
+  wheel.schedule(2 * revolution, [&] { fired = true; });
+  wheel.advance(revolution);
+  EXPECT_FALSE(fired);
+  wheel.advance(2 * revolution - TimerWheel::kTickMs);
+  EXPECT_FALSE(fired);
+  wheel.advance(2 * revolution + TimerWheel::kTickMs);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheelTest, CancelDisarms) {
+  TimerWheel wheel(0);
+  bool fired = false;
+  const TimerWheel::TimerId id = wheel.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));  // already gone
+  wheel.advance(1000);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheelTest, NextDelayTracksEarliestDeadline) {
+  TimerWheel wheel(0);
+  EXPECT_EQ(wheel.next_delay_ms(0), -1);  // empty: sleep forever
+  wheel.schedule(50, [] {});
+  wheel.schedule(20, [] {});
+  const std::int64_t delay = wheel.next_delay_ms(0);
+  EXPECT_GE(delay, 1);
+  EXPECT_LE(delay, 20 + TimerWheel::kTickMs);
+  // Overdue reports 0, never negative.
+  EXPECT_EQ(wheel.next_delay_ms(1000), 0);
+}
+
+TEST(TimerWheelTest, CallbackMayReArm) {
+  TimerWheel wheel(0);
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 3) wheel.schedule(10, tick);
+  };
+  wheel.schedule(10, tick);
+  for (std::int64_t now = 0; now <= 100; now += 10) wheel.advance(now);
+  EXPECT_EQ(ticks, 3);
+}
+
+// --- Poller / WakeupFd ---------------------------------------------------
+
+TEST(PollerTest, WakeupFdRoundTrip) {
+  Poller poller;
+  WakeupFd wakeup;
+  poller.add(wakeup.fd(), true, false);
+  EXPECT_EQ(poller.watched(), 1u);
+
+  std::vector<PollEvent> events;
+  EXPECT_EQ(poller.wait(events, 0), 0u);  // nothing rung yet
+
+  wakeup.ring();
+  wakeup.ring();  // coalesces
+  ASSERT_EQ(poller.wait(events, 1000), 1u);
+  EXPECT_EQ(events[0].fd, wakeup.fd());
+  EXPECT_TRUE(events[0].readable);
+
+  wakeup.drain();
+  EXPECT_EQ(poller.wait(events, 0), 0u);  // fresh edge after drain
+
+  poller.remove(wakeup.fd());
+  EXPECT_EQ(poller.watched(), 0u);
+}
+
+TEST(PollerTest, ReadWriteInterestOnSockets) {
+  TcpListener listener(4);
+  TcpStream client = TcpStream::connect(listener.port());
+  TcpStream server = listener.accept();
+  client.set_nonblocking(true);
+
+  Poller poller;
+  // A connected socket with an empty send buffer is immediately writable.
+  poller.add(client.fd(), false, true);
+  std::vector<PollEvent> events;
+  ASSERT_EQ(poller.wait(events, 1000), 1u);
+  EXPECT_TRUE(events[0].writable);
+  EXPECT_FALSE(events[0].readable);
+
+  // Drop write interest: silence.
+  poller.modify(client.fd(), true, false);
+  EXPECT_EQ(poller.wait(events, 0), 0u);
+
+  // Peer bytes make it readable.
+  server.send_bytes({1, 2, 3});
+  ASSERT_GE(poller.wait(events, 1000), 1u);
+  EXPECT_TRUE(events[0].readable);
+
+  std::uint8_t buf[8];
+  std::size_t n = 0;
+  ASSERT_EQ(client.recv_some(buf, sizeof buf, n), TcpStream::IoResult::Ok);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(client.recv_some(buf, sizeof buf, n),
+            TcpStream::IoResult::WouldBlock);
+  poller.remove(client.fd());
+}
+
+// --- FrameAssembler ------------------------------------------------------
+
+TEST(FrameAssemblerTest, ByteAtATimeReassembly) {
+  const std::vector<std::uint8_t> payload = {9, 8, 7, 6, 5};
+  const std::vector<std::uint8_t> wire = frame_wrap(payload);
+  FrameAssembler assembler;
+  std::vector<std::uint8_t> raw;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_FALSE(assembler.next(raw)) << "frame complete too early at " << i;
+    assembler.feed(&wire[i], 1);
+  }
+  ASSERT_TRUE(assembler.next(raw));
+  EXPECT_EQ(raw, wire);
+  EXPECT_EQ(frame_unwrap(raw), payload);
+  EXPECT_EQ(assembler.buffered(), 0u);
+  EXPECT_FALSE(assembler.next(raw));
+}
+
+TEST(FrameAssemblerTest, ManyFramesInOneFeed) {
+  std::vector<std::uint8_t> wire;
+  for (int i = 0; i < 5; ++i) {
+    const std::vector<std::uint8_t> one =
+        frame_wrap({static_cast<std::uint8_t>(i), 42});
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  wire.pop_back();  // hold back the last byte of frame 4
+  FrameAssembler assembler;
+  assembler.feed(wire.data(), wire.size());
+  std::vector<std::uint8_t> raw;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(assembler.next(raw)) << "frame " << i;
+    EXPECT_EQ(frame_unwrap(raw)[0], static_cast<std::uint8_t>(i));
+  }
+  EXPECT_FALSE(assembler.next(raw));
+  const std::uint8_t tail = frame_wrap({4, 42}).back();
+  assembler.feed(&tail, 1);
+  ASSERT_TRUE(assembler.next(raw));
+  EXPECT_EQ(frame_unwrap(raw)[0], 4u);
+}
+
+TEST(FrameAssemblerTest, HostileLengthPrefixThrows) {
+  // A length beyond kMaxFrameBytes must be rejected from the header
+  // alone, before any payload is buffered.
+  const std::uint32_t evil = kMaxFrameBytes + 1;
+  std::vector<std::uint8_t> header(kFrameHeaderBytes, 0);
+  std::memcpy(header.data(), &evil, sizeof evil);
+  FrameAssembler assembler;
+  assembler.feed(header.data(), header.size());
+  std::vector<std::uint8_t> raw;
+  EXPECT_THROW(assembler.next(raw), NetError);
+}
+
+// --- FairScheduler -------------------------------------------------------
+
+TEST(FairSchedulerTest, FifoWithinOneTenant) {
+  FairScheduler sched(4096);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sched.push({"acme", 10, [&order, i] { order.push_back(i); }});
+  }
+  FairScheduler::Item item;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(sched.pop(item));
+    item.run();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sched.size(), 0u);
+  EXPECT_EQ(sched.active_tenants(), 0u);
+}
+
+TEST(FairSchedulerTest, DeficitRoundRobinIsByteFair) {
+  // Tenant A sends quantum-sized requests, tenant B quarter-quantum ones.
+  // DRR must serve ~four B items per A item - byte fairness, not item
+  // fairness.
+  FairScheduler sched(4096);
+  std::vector<std::string> order;
+  for (int i = 0; i < 3; ++i) {
+    sched.push({"A", 4096, [&order] { order.push_back("A"); }});
+  }
+  for (int i = 0; i < 8; ++i) {
+    sched.push({"B", 1024, [&order] { order.push_back("B"); }});
+  }
+  FairScheduler::Item item;
+  while (sched.size() > 0) {
+    ASSERT_TRUE(sched.pop(item));
+    item.run();
+  }
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"A", "B", "B", "B", "B", "A", "B", "B",
+                                      "B", "B", "A"}));
+}
+
+TEST(FairSchedulerTest, EmptiedTenantForfeitsDeficitAndLeavesRing) {
+  FairScheduler sched(1000);
+  // One cheap item: serving it empties the tenant, which must forfeit
+  // the residual deficit (no banking across idle periods).
+  sched.push({"acme", 1, [] {}});
+  FairScheduler::Item item;
+  ASSERT_TRUE(sched.pop(item));
+  EXPECT_EQ(sched.active_tenants(), 0u);
+  // Re-queue an item costing more than one quantum: it needs two ring
+  // visits, proving the old 999-byte residue was not retained.
+  bool ran = false;
+  sched.push({"acme", 1500, [&ran] { ran = true; }});
+  ASSERT_TRUE(sched.pop(item));
+  item.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(FairSchedulerTest, CloseDrainsThenReturnsFalse) {
+  FairScheduler sched;
+  int ran = 0;
+  sched.push({"a", 1, [&ran] { ++ran; }});
+  sched.push({"b", 1, [&ran] { ++ran; }});
+  sched.close();
+  FairScheduler::Item item;
+  while (sched.pop(item)) item.run();
+  EXPECT_EQ(ran, 2);  // close() keeps the backlog poppable
+}
+
+TEST(FairSchedulerTest, PopBlocksUntilPush) {
+  FairScheduler sched;
+  std::atomic<int> got{0};
+  std::thread worker([&] {
+    FairScheduler::Item item;
+    while (sched.pop(item)) {
+      item.run();
+    }
+  });
+  std::this_thread::sleep_for(10ms);
+  sched.push({"acme", 1, [&got] { got.store(1); }});
+  EXPECT_TRUE(eventually([&] { return got.load() == 1; }));
+  sched.close();
+  worker.join();
+}
+
+// --- Session state machine ----------------------------------------------
+
+TEST(SessionStateTest, StateNamesAreStable) {
+  EXPECT_STREQ(session_state_name(SessionState::Handshake), "handshake");
+  EXPECT_STREQ(session_state_name(SessionState::Ready), "ready");
+  EXPECT_STREQ(session_state_name(SessionState::InFlight), "inflight");
+  EXPECT_STREQ(session_state_name(SessionState::Parked), "parked");
+  EXPECT_STREQ(session_state_name(SessionState::Closing), "closing");
+}
+
+// --- Admission control ---------------------------------------------------
+
+TEST(AdmissionTest, MaxSessionsHoldsManySessionsOverSmallPool) {
+  // The reactor decouples live sessions from worker threads: 12 open
+  // sessions over a 2-thread pool, all responsive. The old
+  // thread-per-connection design would have parked 10 of them in the
+  // accept queue forever.
+  DeliveryConfig config;
+  config.workers = 2;
+  config.max_sessions = 32;
+  config.queue_capacity = 4;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+
+  constexpr int kSessions = 12;
+  std::vector<std::unique_ptr<SimClient>> clients;
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "carry-adder";
+  spec.params["width"] = 8;
+  for (int i = 0; i < kSessions; ++i) {
+    clients.push_back(std::make_unique<SimClient>(port, spec));
+  }
+  EXPECT_EQ(service.stats().snapshot().sessions_active,
+            static_cast<std::uint64_t>(kSessions));
+  // Every session still answers (round-robin through all of them).
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < kSessions; ++i) {
+      std::map<std::string, BitVector> inputs;
+      inputs["a"] = BitVector::from_uint(8, 10 + i);
+      inputs["b"] = BitVector::from_uint(8, k);
+      auto out = clients[i]->eval(inputs, 0);
+      EXPECT_EQ(out.at("s").to_uint(), (10u + i + k) & 0xFF);
+    }
+  }
+  for (auto& client : clients) client->bye();
+  EXPECT_TRUE(eventually(
+      [&] { return service.stats().snapshot().sessions_active == 0; }));
+  EXPECT_EQ(service.stats().snapshot().rejections, 0u);
+  service.stop();
+}
+
+TEST(AdmissionTest, OverCapacityGetsTypedOverloadedError) {
+  DeliveryConfig config;
+  config.workers = 2;
+  config.max_sessions = 1;
+  config.queue_capacity = 0;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "carry-adder";
+  spec.params["width"] = 8;
+  SimClient held(port, spec);  // occupies the single session slot
+
+  TcpStream rejected = TcpStream::connect(port);
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.customer = "acme";
+  hello.name = "carry-adder";
+  hello.params["width"] = 8;
+  rejected.send_frame(encode(hello));
+  const Message reply = decode(rejected.recv_frame());
+  EXPECT_EQ(reply.type, MsgType::Error);
+  EXPECT_EQ(reply.code, ErrorCode::Overloaded);
+  EXPECT_TRUE(error_retryable(reply.code));
+  EXPECT_NE(reply.text.find("overloaded"), std::string::npos);
+  rejected.close();
+
+  EXPECT_TRUE(
+      eventually([&] { return service.stats().snapshot().rejections == 1; }));
+  // The reject is attributed to the tenant whose Hello was refused.
+  EXPECT_EQ(service.metrics()
+                .counter_family("accept.rejected", {"customer"})
+                .with({"acme"})
+                .value(),
+            1u);
+  held.bye();
+  service.stop();
+}
+
+TEST(AdmissionTest, TenantSessionCapRefusesHello) {
+  DeliveryConfig config;
+  config.workers = 2;
+  config.max_sessions = 8;
+  config.tenant_max_sessions = 1;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  service.add_license(LicensePolicy::make("zeta", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "carry-adder";
+  spec.params["width"] = 8;
+  SimClient held(port, spec);  // acme is now at its cap
+
+  // A second acme session is refused with a retryable typed error...
+  TcpStream second = TcpStream::connect(port);
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.customer = "acme";
+  hello.name = "carry-adder";
+  hello.params["width"] = 8;
+  hello.seq = 77;
+  second.send_frame(encode(hello));
+  const Message reply = decode(second.recv_frame());
+  EXPECT_EQ(reply.type, MsgType::Error);
+  EXPECT_EQ(reply.code, ErrorCode::Overloaded);
+  EXPECT_EQ(reply.seq, 77u);
+  EXPECT_NE(reply.text.find("session cap"), std::string::npos);
+  second.close();
+
+  // ...while another tenant still gets in: the cap is per tenant, not
+  // global.
+  ConnectSpec other = spec;
+  other.customer = "zeta";
+  SimClient fine(port, other);
+  EXPECT_EQ(service.metrics()
+                .counter_family("accept.rejected", {"customer"})
+                .with({"acme"})
+                .value(),
+            1u);
+  EXPECT_EQ(service.stats().snapshot().rejections, 1u);
+  fine.bye();
+  held.bye();
+  service.stop();
+}
+
+TEST(AdmissionTest, SustainedOverloadTriggersFlightDump) {
+  DeliveryConfig config;
+  config.workers = 1;
+  config.max_sessions = 1;
+  config.queue_capacity = 0;
+  config.overload_flight_threshold = 3;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "carry-adder";
+  spec.params["width"] = 8;
+  SimClient held(port, spec);
+
+  EXPECT_EQ(service.flight().triggered(), 0u);
+  Message hello;
+  hello.type = MsgType::Hello;
+  hello.customer = "acme";
+  hello.name = "carry-adder";
+  hello.params["width"] = 8;
+  for (int i = 0; i < 4; ++i) {
+    TcpStream conn = TcpStream::connect(port);
+    conn.send_frame(encode(hello));
+    EXPECT_EQ(decode(conn.recv_frame()).code, ErrorCode::Overloaded);
+  }
+  // The burst crossed the threshold inside one second: exactly one
+  // postmortem bundle, not one per reject.
+  EXPECT_EQ(service.flight().triggered(), 1u);
+  held.bye();
+  service.stop();
+}
+
+// --- Connection churn over the reactor -----------------------------------
+
+TEST(ReactorChurnTest, SequentialSessionsAndGhostConnections) {
+  DeliveryConfig config;
+  config.workers = 2;
+  config.max_sessions = 16;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  const std::uint16_t port = service.start();
+
+  ConnectSpec spec;
+  spec.customer = "acme";
+  spec.module = "carry-adder";
+  spec.params["width"] = 8;
+  constexpr int kRounds = 40;
+  for (int i = 0; i < kRounds; ++i) {
+    // Ghost connections that never speak, or hang up mid-handshake: the
+    // reactor must shed them without leaking conns or slots.
+    if (i % 4 == 0) {
+      TcpStream ghost = TcpStream::connect(port);
+      ghost.close();
+    }
+    if (i % 4 == 2) {
+      TcpStream half = TcpStream::connect(port);
+      half.send_bytes({0x01, 0x02, 0x03});  // partial frame, then gone
+      half.close();
+    }
+    SimClient client(port, spec);
+    std::map<std::string, BitVector> inputs;
+    inputs["a"] = BitVector::from_uint(8, i);
+    inputs["b"] = BitVector::from_uint(8, 1);
+    EXPECT_EQ(client.eval(inputs, 0).at("s").to_uint(),
+              (static_cast<unsigned>(i) + 1) & 0xFF);
+    client.bye();
+  }
+  EXPECT_TRUE(eventually(
+      [&] { return service.stats().snapshot().sessions_active == 0; }));
+  const ServerStats::Snapshot s = service.stats().snapshot();
+  EXPECT_EQ(s.sessions_opened, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(s.sessions_closed, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(s.rejections, 0u);
+  service.stop();
+}
+
+// --- Admin HTTP on the reactor -------------------------------------------
+
+namespace {
+
+/// One blocking HTTP/1.0 exchange against the admin plane.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  TcpStream conn = TcpStream::connect(port);
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  conn.send_bytes(std::vector<std::uint8_t>(request.begin(), request.end()));
+  std::string response;
+  std::uint8_t buf[1024];
+  try {
+    while (true) {
+      const std::size_t n = conn.recv_raw(buf, sizeof buf);
+      response.append(reinterpret_cast<const char*>(buf), n);
+    }
+  } catch (const NetError&) {
+    // Connection: close terminates the body.
+  }
+  return response;
+}
+
+}  // namespace
+
+TEST(ReactorAdminHttpTest, ServesHealthzAndMetricsOffTheLoop) {
+  DeliveryConfig config;
+  config.workers = 2;
+  config.admin_http = true;
+  DeliveryService service(make_catalog(), config);
+  service.add_license(LicensePolicy::make("acme", LicenseTier::Evaluation));
+  service.start();
+  ASSERT_NE(service.admin_port(), 0u);
+
+  const std::string health = http_get(service.admin_port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  const std::string metrics = http_get(service.admin_port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("server_sessions_active"), std::string::npos);
+  const std::string missing = http_get(service.admin_port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  service.stop();
+  EXPECT_EQ(service.admin_port(), 0u);
+}
+
+TEST(ReactorAdminHttpTest, SlowHeaderArrivesInPieces) {
+  DeliveryConfig config;
+  config.workers = 1;
+  config.admin_http = true;
+  DeliveryService service(make_catalog(), config);
+  service.start();
+
+  TcpStream conn = TcpStream::connect(service.admin_port());
+  const std::string part1 = "GET /hea";
+  const std::string part2 = "lthz HTTP/1.0\r\n\r\n";
+  conn.send_bytes(std::vector<std::uint8_t>(part1.begin(), part1.end()));
+  std::this_thread::sleep_for(20ms);
+  conn.send_bytes(std::vector<std::uint8_t>(part2.begin(), part2.end()));
+  std::string response;
+  std::uint8_t buf[512];
+  try {
+    while (true) {
+      const std::size_t n = conn.recv_raw(buf, sizeof buf);
+      response.append(reinterpret_cast<const char*>(buf), n);
+    }
+  } catch (const NetError&) {
+  }
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  service.stop();
+}
+
+TEST(ReactorAdminHttpTest, OversizedRequestAnswered431) {
+  DeliveryConfig config;
+  config.workers = 1;
+  config.admin_http = true;
+  DeliveryService service(make_catalog(), config);
+  service.start();
+
+  TcpStream conn = TcpStream::connect(service.admin_port());
+  // A header block past the cap with no terminator in sight.
+  const std::string junk(AdminHttpServer::kMaxRequestBytes + 512, 'x');
+  conn.send_bytes(std::vector<std::uint8_t>(junk.begin(), junk.end()));
+  std::string response;
+  std::uint8_t buf[512];
+  try {
+    while (true) {
+      const std::size_t n = conn.recv_raw(buf, sizeof buf);
+      response.append(reinterpret_cast<const char*>(buf), n);
+    }
+  } catch (const NetError&) {
+  }
+  EXPECT_NE(response.find("431"), std::string::npos);
+  service.stop();
+}
+
+// --- TcpStream::recv_raw edge cases --------------------------------------
+
+TEST(RecvRawTest, PartialReadsAcrossBoundariesReassemble) {
+  TcpListener listener(4);
+  TcpStream client = TcpStream::connect(listener.port());
+  TcpStream server = listener.accept();
+
+  const std::string full = "GET /healthz HTTP/1.0\r\n\r\n";
+  std::thread sender([&] {
+    // Deliver in three bursts that split the request line AND the header
+    // terminator, forcing the reader to cross both boundaries.
+    client.send_bytes({full.begin(), full.begin() + 5});
+    std::this_thread::sleep_for(10ms);
+    client.send_bytes({full.begin() + 5, full.end() - 2});
+    std::this_thread::sleep_for(10ms);
+    client.send_bytes({full.end() - 2, full.end()});
+  });
+  std::string request;
+  std::uint8_t buf[1024];
+  while (request.find("\r\n\r\n") == std::string::npos) {
+    const std::size_t n = server.recv_raw(buf, sizeof buf);
+    ASSERT_GE(n, 1u);  // contract: returns at least one byte or throws
+    request.append(reinterpret_cast<const char*>(buf), n);
+  }
+  sender.join();
+  EXPECT_EQ(request, full);
+}
+
+TEST(RecvRawTest, PeerCloseMidRequestThrowsAfterDrain) {
+  TcpListener listener(4);
+  TcpStream client = TcpStream::connect(listener.port());
+  TcpStream server = listener.accept();
+
+  const std::string partial = "GET /par";  // hangs up mid-request-line
+  client.send_bytes(std::vector<std::uint8_t>(partial.begin(), partial.end()));
+  client.close();
+
+  // The bytes already on the wire are still delivered...
+  std::string got;
+  std::uint8_t buf[64];
+  const std::size_t n = server.recv_raw(buf, sizeof buf);
+  got.append(reinterpret_cast<const char*>(buf), n);
+  while (got.size() < partial.size()) {
+    const std::size_t more = server.recv_raw(buf, sizeof buf);
+    got.append(reinterpret_cast<const char*>(buf), more);
+  }
+  EXPECT_EQ(got, partial);
+  // ...and the orderly close surfaces as NetError, not a silent 0.
+  EXPECT_THROW(server.recv_raw(buf, sizeof buf), NetError);
+}
+
+TEST(RecvRawTest, TimeoutThrowsNetError) {
+  TcpListener listener(4);
+  TcpStream client = TcpStream::connect(listener.port());
+  TcpStream server = listener.accept();
+  server.set_recv_timeout(50);
+  std::uint8_t buf[16];
+  EXPECT_THROW(server.recv_raw(buf, sizeof buf), NetError);
+  (void)client;
+}
+
+}  // namespace
+}  // namespace jhdl
